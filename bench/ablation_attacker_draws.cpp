@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: a stronger attacker who averages many simulated
+ * randomization draws per estimate. Averaging converges the estimate
+ * to E[U | ciphertext], whose correlation with the victim's actual
+ * draw is exactly the analytical rho of Table II - so this bench ties
+ * the empirical attack to the theoretical model and shows the defense
+ * holds even against the averaging attacker.
+ */
+
+#include <cstdio>
+
+#include "rcoal/theory/security_model.hpp"
+#include "support/bench_support.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    const unsigned samples = bench::samplesFromArgs(argc, argv);
+
+    printBanner("Ablation: attacker-side estimate averaging (FSS+RTS)");
+    TablePrinter table({"num-subwarp", "draws/estimate", "avg corr",
+                        "bytes recovered", "theoretical rho (x0.25)"});
+    for (unsigned m : {4u, 8u}) {
+        const auto policy = core::CoalescingPolicy::fss(m, true);
+        const auto observations =
+            bench::collectObservations(policy, samples);
+        sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+        attack::EncryptionService reference(cfg, bench::victimKey());
+        const double rho_theory =
+            theory::analyzeFssRts({32, 16, m}).rho;
+
+        for (unsigned draws : {1u, 4u, 16u, 64u}) {
+            attack::AttackConfig attack_cfg;
+            attack_cfg.assumedPolicy = policy;
+            attack_cfg.drawsPerEstimate = draws;
+            attack::CorrelationAttack attacker(attack_cfg);
+            const auto result = attacker.attackKey(
+                observations, reference.lastRoundKey());
+            // Our measured channel aggregates 16 per-byte lookup
+            // instructions, diluting per-byte correlation by ~1/4
+            // relative to the single-byte theoretical channel.
+            table.addRow(
+                {TablePrinter::num(m), TablePrinter::num(draws),
+                 TablePrinter::num(result.avgCorrectCorrelation, 3),
+                 TablePrinter::num(result.bytesRecovered) + "/16",
+                 TablePrinter::num(rho_theory * 0.25, 3)});
+        }
+        table.addSeparator();
+    }
+    table.print();
+    std::printf("\nReading: more draws push the achieved correlation "
+                "toward the (diluted) analytical rho - the attacker "
+                "cannot do better\nthan Table II predicts, which is why "
+                "the paper's sample-count multipliers are the right "
+                "security metric.\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: interaction with the bandwidth-saving features the paper
+ * disabled (Section VII): L1/L2 caches and MSHR merging. With caches
+ * enabled, T-table lookups mostly hit on chip, which both speeds up
+ * encryption and flattens the DRAM-side timing channel.
+ */
+
+#include <cstdio>
+
+#include "support/bench_support.hpp"
+
+namespace {
+
+rcoal::bench::PolicyEvaluation
+evaluateWithHierarchy(const rcoal::core::CoalescingPolicy &policy,
+                      bool l1, bool l2, bool mshr, unsigned samples)
+{
+    using namespace rcoal;
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.seed = 42;
+    cfg.policy = policy;
+    cfg.l1Enabled = l1;
+    cfg.l2Enabled = l2;
+    cfg.mshrEnabled = mshr;
+    attack::EncryptionService service(cfg, bench::victimKey());
+    Rng rng(7);
+    const auto observations = service.collectSamples(samples, 32, rng);
+
+    bench::PolicyEvaluation eval;
+    eval.policy = policy;
+    eval.samples = samples;
+    eval.lines = 32;
+    for (const auto &obs : observations) {
+        eval.meanTotalTime += obs.totalTime;
+        eval.meanTotalAccesses += static_cast<double>(obs.totalAccesses);
+        eval.meanLastRoundAccesses +=
+            static_cast<double>(obs.lastRoundAccesses);
+    }
+    eval.meanTotalTime /= samples;
+    eval.meanTotalAccesses /= samples;
+    eval.meanLastRoundAccesses /= samples;
+
+    attack::AttackConfig attack_cfg;
+    attack_cfg.assumedPolicy = policy;
+    attack::CorrelationAttack attacker(attack_cfg);
+    eval.attackResult =
+        attacker.attackKey(observations, service.lastRoundKey());
+    return eval;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    const unsigned samples = bench::samplesFromArgs(argc, argv);
+
+    printBanner("Ablation: L1/L2/MSHR interaction (Section VII)");
+    TablePrinter table({"policy", "hierarchy", "mean cycles",
+                        "avg corr", "bytes recovered"});
+    const std::vector<core::CoalescingPolicy> policies = {
+        core::CoalescingPolicy::baseline(),
+        core::CoalescingPolicy::fss(8, true),
+        core::CoalescingPolicy::rss(8, true),
+    };
+    for (const auto &policy : policies) {
+        const auto off =
+            evaluateWithHierarchy(policy, false, false, false, samples);
+        const auto on =
+            evaluateWithHierarchy(policy, true, true, true, samples);
+        table.addRow({policy.name(), "off (paper)",
+                      TablePrinter::num(off.meanTotalTime, 0),
+                      TablePrinter::num(off.avgCorrelation(), 3),
+                      TablePrinter::num(off.attackResult.bytesRecovered) +
+                          "/16"});
+        table.addRow({policy.name(), "L1+L2+MSHR",
+                      TablePrinter::num(on.meanTotalTime, 0),
+                      TablePrinter::num(on.avgCorrelation(), 3),
+                      TablePrinter::num(on.attackResult.bytesRecovered) +
+                          "/16"});
+        table.addSeparator();
+    }
+    table.print();
+    std::printf("\nReading: caching shortens execution but does NOT close "
+                "the channel - the number of coalesced accesses is decided "
+                "before\nthe cache, and the LD/ST unit still serializes "
+                "them, so timing keeps tracking the coalesce count. This "
+                "is exactly why the\npaper attacks *coalescing* rather "
+                "than DRAM state, and why Section VII calls for "
+                "randomization at every level of the\nhierarchy rather "
+                "than relying on caches.\n");
+    return 0;
+}

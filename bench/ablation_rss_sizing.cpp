@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: RSS subwarp-size distribution - skewed (the paper's
+ * choice) vs normal. Section IV-B claims skewed sizing improves both
+ * security and performance over normal sizing; this bench quantifies
+ * that claim.
+ */
+
+#include <cstdio>
+
+#include "support/bench_support.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    const unsigned samples = bench::samplesFromArgs(argc, argv);
+
+    printBanner("Ablation: RSS sizing distribution (skewed vs normal)");
+    const auto baseline = bench::evaluatePolicy(
+        core::CoalescingPolicy::baseline(), samples);
+
+    TablePrinter table({"num-subwarp", "sizing", "avg corr",
+                        "bytes recovered", "accesses vs baseline",
+                        "time vs baseline"});
+    for (unsigned m : {2u, 4u, 8u}) {
+        for (const auto sizing :
+             {core::RssSizing::Skewed, core::RssSizing::Normal}) {
+            auto policy = core::CoalescingPolicy::rss(m, true, sizing);
+            policy.normalSigma = 1.0;
+            const auto eval = bench::evaluatePolicy(policy, samples);
+            table.addRow(
+                {TablePrinter::num(m),
+                 sizing == core::RssSizing::Skewed ? "skewed" : "normal",
+                 TablePrinter::num(eval.avgCorrelation(), 3),
+                 TablePrinter::num(eval.attackResult.bytesRecovered) +
+                     "/16",
+                 TablePrinter::num(eval.meanTotalAccesses /
+                                       baseline.meanTotalAccesses,
+                                   2) +
+                     "x",
+                 TablePrinter::num(eval.meanTotalTime /
+                                       baseline.meanTotalTime,
+                                   2) +
+                     "x"});
+        }
+        table.addSeparator();
+    }
+    table.print();
+    std::printf("\nExpectation (Section IV-B): normal sizing behaves like "
+                "FSS (sizes concentrate at N/M); skewed sizing produces "
+                "large\nsubwarps that recover coalescing (fewer accesses, "
+                "less time) while keeping the size channel random.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: selective RCoal (Section VII future work) - randomize the
+ * coalescing only for the vulnerable last-round lookups instead of the
+ * entire kernel. The attack only exploits the last round, so security
+ * should hold while the performance cost shrinks dramatically.
+ */
+
+#include <cstdio>
+
+#include "support/bench_support.hpp"
+
+namespace {
+
+rcoal::bench::PolicyEvaluation
+evaluateSelective(const rcoal::core::CoalescingPolicy &policy,
+                  bool selective, std::uint32_t mask, unsigned samples)
+{
+    using namespace rcoal;
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.seed = 42;
+    cfg.policy = policy;
+    cfg.selectiveRCoal = selective;
+    cfg.protectedTagMask = mask;
+    attack::EncryptionService service(cfg, bench::victimKey());
+    Rng rng(7);
+    const auto observations = service.collectSamples(samples, 32, rng);
+
+    bench::PolicyEvaluation eval;
+    eval.policy = policy;
+    for (const auto &obs : observations) {
+        eval.meanTotalTime += obs.totalTime;
+        eval.meanTotalAccesses += static_cast<double>(obs.totalAccesses);
+    }
+    eval.meanTotalTime /= samples;
+    eval.meanTotalAccesses /= samples;
+
+    attack::AttackConfig attack_cfg;
+    attack_cfg.assumedPolicy = policy;
+    attack::CorrelationAttack attacker(attack_cfg);
+    eval.attackResult =
+        attacker.attackKey(observations, service.lastRoundKey());
+    return eval;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    constexpr std::uint32_t kLastRoundOnly =
+        1u << static_cast<unsigned>(sim::AccessTag::LastRoundLookup);
+
+    printBanner("Ablation: selective RCoal (protect last round only)");
+    const auto baseline = evaluateSelective(
+        core::CoalescingPolicy::baseline(), false, 0, samples);
+
+    TablePrinter table({"policy", "scope", "time vs baseline",
+                        "accesses vs baseline", "avg corr",
+                        "bytes recovered"});
+    for (const auto &policy :
+         {core::CoalescingPolicy::fss(16, true),
+          core::CoalescingPolicy::rss(8, true)}) {
+        const auto full =
+            evaluateSelective(policy, false, 0, samples);
+        const auto selective =
+            evaluateSelective(policy, true, kLastRoundOnly, samples);
+        for (const auto *scope_eval : {&full, &selective}) {
+            table.addRow(
+                {policy.name(),
+                 scope_eval == &full ? "whole kernel (paper)"
+                                     : "last round only",
+                 TablePrinter::num(scope_eval->meanTotalTime /
+                                       baseline.meanTotalTime,
+                                   2) +
+                     "x",
+                 TablePrinter::num(scope_eval->meanTotalAccesses /
+                                       baseline.meanTotalAccesses,
+                                   2) +
+                     "x",
+                 TablePrinter::num(scope_eval->avgCorrelation(), 3),
+                 TablePrinter::num(
+                     scope_eval->attackResult.bytesRecovered) +
+                     "/16"});
+        }
+        table.addSeparator();
+    }
+    table.print();
+    std::printf("\nReading: protecting only the tagged last-round "
+                "lookups preserves the defense against the last-round "
+                "correlation attack\nwhile rounds 1-9 keep full "
+                "coalescing - the hardware/software co-design the paper "
+                "sketches as future work. The residual\ncost is the "
+                "last-round access inflation only.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core components: coalescer,
+ * partition sampling, T-table AES, DRAM model, attack estimation, and
+ * a full 32-line kernel launch.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rcoal/aes/ttable.hpp"
+#include "rcoal/attack/correlation_attack.hpp"
+#include "rcoal/core/coalescer.hpp"
+#include "rcoal/core/partitioner.hpp"
+#include "rcoal/sim/dram.hpp"
+#include "rcoal/sim/gpu.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+#include "support/bench_support.hpp"
+
+namespace {
+
+using namespace rcoal;
+
+std::vector<core::LaneRequest>
+randomLanes(Rng &rng)
+{
+    std::vector<core::LaneRequest> lanes(32);
+    for (ThreadId t = 0; t < 32; ++t)
+        lanes[t] = {t, 0x1000 + rng.below(16) * 64, 4, true};
+    return lanes;
+}
+
+void
+BM_CoalesceBaseline(benchmark::State &state)
+{
+    Rng rng(1);
+    const core::Coalescer coalescer(64);
+    const auto lanes = randomLanes(rng);
+    const auto partition = core::SubwarpPartition::single(32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coalescer.coalesce(lanes, partition));
+}
+BENCHMARK(BM_CoalesceBaseline);
+
+void
+BM_CoalesceRssRts8(benchmark::State &state)
+{
+    Rng rng(2);
+    const core::Coalescer coalescer(64);
+    const auto lanes = randomLanes(rng);
+    core::SubwarpPartitioner partitioner(
+        core::CoalescingPolicy::rss(8, true), 32);
+    const auto partition = partitioner.draw(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(coalescer.coalesce(lanes, partition));
+}
+BENCHMARK(BM_CoalesceRssRts8);
+
+void
+BM_PartitionDraw(benchmark::State &state)
+{
+    Rng rng(3);
+    core::SubwarpPartitioner partitioner(
+        core::CoalescingPolicy::rss(static_cast<unsigned>(state.range(0)),
+                                    true),
+        32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(partitioner.draw(rng));
+}
+BENCHMARK(BM_PartitionDraw)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_TTableEncryptTraced(benchmark::State &state)
+{
+    const aes::TTableAes cipher(bench::victimKey());
+    aes::Block block{};
+    std::uint8_t counter = 0;
+    for (auto _ : state) {
+        block[0] = ++counter;
+        std::vector<aes::TableLookup> trace;
+        benchmark::DoNotOptimize(
+            cipher.encryptBlockTraced(block, trace));
+    }
+}
+BENCHMARK(BM_TTableEncryptTraced);
+
+void
+BM_DramPartitionDrain(benchmark::State &state)
+{
+    const sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    const sim::AddressMapping mapping(cfg);
+    Rng rng(4);
+    for (auto _ : state) {
+        sim::KernelStats stats;
+        sim::DramPartition dram(cfg, 0, &stats);
+        Cycle now = 0;
+        unsigned completed = 0;
+        unsigned injected = 0;
+        while (completed < 64) {
+            if (injected < 64 && dram.canAccept()) {
+                sim::MemoryAccess access;
+                access.id = injected;
+                access.blockAddr = (rng.below(512) * 6) * 256;
+                dram.enqueue(access, mapping.decode(access.blockAddr),
+                             now);
+                ++injected;
+            }
+            dram.tick(++now);
+            while (dram.hasCompleted(now)) {
+                dram.popCompleted(now);
+                ++completed;
+            }
+        }
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_DramPartitionDrain);
+
+void
+BM_AttackEstimate(benchmark::State &state)
+{
+    attack::AttackConfig cfg;
+    cfg.assumedPolicy = core::CoalescingPolicy::rss(8, true);
+    attack::CorrelationAttack attacker(cfg);
+    Rng data_rng(5);
+    std::vector<aes::Block> lines(32);
+    for (auto &line : lines) {
+        for (auto &b : line)
+            b = static_cast<std::uint8_t>(data_rng.below(256));
+    }
+    Rng rng(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            attacker.estimateLastRoundAccesses(lines, 0, 0x42, rng));
+    }
+}
+BENCHMARK(BM_AttackEstimate);
+
+void
+BM_AesKernelLaunch32Lines(benchmark::State &state)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.seed = 9;
+    sim::Gpu gpu(cfg);
+    Rng rng(10);
+    const auto plaintext = workloads::randomPlaintext(32, rng);
+    const workloads::AesGpuKernel kernel(plaintext, bench::victimKey(),
+                                         cfg.warpSize);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gpu.launch(kernel));
+}
+BENCHMARK(BM_AesKernelLaunch32Lines);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Energy report: data-movement energy per defense (the Section III
+ * motivation quantified with the first-order GPUWattch-style model).
+ */
+
+#include <cstdio>
+
+#include "rcoal/sim/energy.hpp"
+#include "support/bench_support.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    const unsigned samples = bench::samplesFromArgs(argc, argv, 10);
+
+    printBanner("Energy per 32-line AES encryption (first-order model)");
+    const sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+
+    TablePrinter table({"policy", "energy/launch (nJ)", "vs baseline",
+                        "DRAM share"});
+    double baseline_total = 0.0;
+    std::vector<core::CoalescingPolicy> policies = {
+        core::CoalescingPolicy::baseline(),
+        core::CoalescingPolicy::fss(8),
+        core::CoalescingPolicy::rss(8),
+        core::CoalescingPolicy::rss(8, true),
+        core::CoalescingPolicy::disabled(),
+    };
+    for (const auto &policy : policies) {
+        sim::GpuConfig run_cfg = cfg;
+        run_cfg.seed = 42;
+        run_cfg.policy = policy;
+        attack::EncryptionService service(run_cfg, bench::victimKey());
+        Rng rng(7);
+        sim::EnergyBreakdown sum;
+        const auto add = [&](const sim::EnergyBreakdown &e) {
+            sum.dramDynamic += e.dramDynamic;
+            sum.dramActivate += e.dramActivate;
+            sum.interconnect += e.interconnect;
+            sum.caches += e.caches;
+            sum.core += e.core;
+            sum.leakage += e.leakage;
+        };
+        for (unsigned s = 0; s < samples; ++s) {
+            const auto plaintext = workloads::randomPlaintext(32, rng);
+            workloads::AesGpuKernel kernel(plaintext, bench::victimKey(),
+                                           run_cfg.warpSize);
+            sim::Gpu gpu(run_cfg);
+            add(sim::estimateEnergy(gpu.launch(kernel), run_cfg));
+        }
+        const double total = sum.total() / samples;
+        const double dram_share =
+            (sum.dramDynamic + sum.dramActivate) / sum.total();
+        if (policy.mechanism == core::Mechanism::Baseline)
+            baseline_total = total;
+        table.addRow({policy.name(),
+                      TablePrinter::num(total / 1000.0, 1),
+                      TablePrinter::num(total / baseline_total, 2) + "x",
+                      TablePrinter::num(100.0 * dram_share, 1) + "%"});
+    }
+    table.print();
+    std::printf("\nReading: energy follows data movement - disabling "
+                "coalescing costs the most, the subwarp defenses sit "
+                "between, and\nRSS-based sizing keeps the energy bill "
+                "below FSS at equal M (Section III's efficiency "
+                "argument for partial, randomized\ncoalescing instead "
+                "of none).\n");
+    return 0;
+}

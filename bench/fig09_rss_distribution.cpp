@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 9: subwarp size distribution of RSS for num-subwarp = 4 under
+ * the normal and skewed sizing schemes (1000 plaintexts = 1000 draws).
+ */
+
+#include <cstdio>
+
+#include "rcoal/common/histogram.hpp"
+#include "rcoal/core/partitioner.hpp"
+#include "support/bench_support.hpp"
+
+namespace {
+
+rcoal::Histogram
+sampleSizes(const rcoal::core::CoalescingPolicy &policy, unsigned draws)
+{
+    rcoal::core::SubwarpPartitioner partitioner(policy, 32);
+    rcoal::Rng rng(2024);
+    rcoal::Histogram hist;
+    for (unsigned i = 0; i < draws; ++i) {
+        for (unsigned size : partitioner.draw(rng).sizes())
+            hist.add(size);
+    }
+    return hist;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    const unsigned draws = bench::samplesFromArgs(argc, argv, 1000);
+
+    printBanner("Fig. 9: RSS subwarp-size distributions (M = 4, N = 32)");
+
+    auto normal_policy =
+        core::CoalescingPolicy::rss(4, false, core::RssSizing::Normal);
+    normal_policy.normalSigma = 1.0;
+    const Histogram normal = sampleSizes(normal_policy, draws);
+    std::printf("Normal sizing (mean %.2f, stddev %.2f):\n%s\n",
+                normal.mean(), normal.stddev(),
+                normal.toAscii(40).c_str());
+
+    const Histogram skewed =
+        sampleSizes(core::CoalescingPolicy::rss(4), draws);
+    std::printf("Skewed sizing (mean %.2f, stddev %.2f):\n%s\n",
+                skewed.mean(), skewed.stddev(),
+                skewed.toAscii(40).c_str());
+
+    std::printf("Paper claims: normal sizing concentrates near N/M = 8 "
+                "(performance and security similar to FSS); the skewed\n"
+                "distribution makes every composition equally likely, so "
+                "large subwarps (up to %lld) appear and recover "
+                "coalescing\nopportunities while adding size randomness.\n",
+                static_cast<long long>(skewed.maxValue()));
+    return 0;
+}

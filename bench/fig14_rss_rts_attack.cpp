@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Fig. 14: the RSS+RTS defense against the RSS+RTS-aware attack -
+ * randomness in both the subwarp sizes and the thread allocation.
+ */
+
+#include <cstdio>
+
+#include "support/bench_support.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    bench::runScatterFigure(
+        "Fig. 14: RSS+RTS defense vs RSS+RTS attack",
+        [](unsigned m) { return core::CoalescingPolicy::rss(m, true); },
+        samples);
+    std::printf("\nPaper claims: combining size and thread-allocation "
+                "randomness is very difficult to replicate in the "
+                "attack; recovery\nfails for num-subwarp > 2.\n");
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Bench harness implementation.
+ */
+
+#include "bench_support.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::bench {
+
+const std::array<std::uint8_t, 16> &
+victimKey()
+{
+    // The FIPS-197 example key; any key works, this one makes results
+    // easy to cross-check.
+    static const std::array<std::uint8_t, 16> key = {
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    return key;
+}
+
+const std::vector<unsigned> &
+paperSubwarpCounts()
+{
+    static const std::vector<unsigned> counts = {1, 2, 4, 8, 16, 32};
+    return counts;
+}
+
+unsigned
+samplesFromArgs(int argc, char **argv, unsigned fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc)
+            return static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+    if (argc >= 2 && std::atoi(argv[1]) > 0)
+        return static_cast<unsigned>(std::atoi(argv[1]));
+    return fallback;
+}
+
+std::vector<attack::EncryptionObservation>
+collectObservations(const core::CoalescingPolicy &policy,
+                    unsigned samples, unsigned lines,
+                    std::uint64_t victim_seed,
+                    std::uint64_t plaintext_seed)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.seed = victim_seed;
+    cfg.policy = policy;
+    attack::EncryptionService service(cfg, victimKey());
+    Rng rng(plaintext_seed);
+    return service.collectSamples(samples, lines, rng);
+}
+
+PolicyEvaluation
+evaluatePolicy(const core::CoalescingPolicy &policy, unsigned samples,
+               unsigned lines, attack::MeasurementVector measurement,
+               std::uint64_t victim_seed, std::uint64_t plaintext_seed)
+{
+    PolicyEvaluation eval;
+    eval.policy = policy;
+    eval.samples = samples;
+    eval.lines = lines;
+
+    const auto observations = collectObservations(
+        policy, samples, lines, victim_seed, plaintext_seed);
+    for (const auto &obs : observations) {
+        eval.meanTotalTime += obs.totalTime;
+        eval.meanLastRoundTime += obs.lastRoundTime;
+        eval.meanTotalAccesses += static_cast<double>(obs.totalAccesses);
+        eval.meanLastRoundAccesses +=
+            static_cast<double>(obs.lastRoundAccesses);
+    }
+    const auto n = static_cast<double>(observations.size());
+    eval.meanTotalTime /= n;
+    eval.meanLastRoundTime /= n;
+    eval.meanTotalAccesses /= n;
+    eval.meanLastRoundAccesses /= n;
+
+    attack::AttackConfig attack_cfg;
+    attack_cfg.assumedPolicy = policy;
+    attack_cfg.measurement = measurement;
+    attack::CorrelationAttack attacker(attack_cfg);
+
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.policy = policy;
+    attack::EncryptionService reference(cfg, victimKey());
+    eval.attackResult =
+        attacker.attackKey(observations, reference.lastRoundKey());
+    return eval;
+}
+
+std::vector<core::CoalescingPolicy>
+defenseFamilies(unsigned m)
+{
+    return {
+        core::CoalescingPolicy::fss(m),
+        core::CoalescingPolicy::fss(m, true),
+        core::CoalescingPolicy::rss(m),
+        core::CoalescingPolicy::rss(m, true),
+    };
+}
+
+std::string
+familyName(const core::CoalescingPolicy &policy)
+{
+    switch (policy.mechanism) {
+      case core::Mechanism::Baseline:
+        return "Baseline";
+      case core::Mechanism::Disabled:
+        return "NoCoalescing";
+      case core::Mechanism::Fss:
+        return policy.randomThreads ? "FSS+RTS" : "FSS";
+      case core::Mechanism::Rss:
+        return policy.randomThreads ? "RSS+RTS" : "RSS";
+    }
+    return "?";
+}
+
+void
+printByteScatterSummary(const attack::ByteAttackResult &byte_result,
+                        std::uint8_t true_byte)
+{
+    // Reproduce the information content of the scatter plots: where the
+    // correct guess lands relative to the 255 wrong guesses.
+    double wrong_min = 1.0;
+    double wrong_max = -1.0;
+    double wrong_sum = 0.0;
+    for (unsigned m = 0; m < 256; ++m) {
+        if (m == true_byte)
+            continue;
+        const double c = byte_result.correlation[m];
+        wrong_min = std::min(wrong_min, c);
+        wrong_max = std::max(wrong_max, c);
+        wrong_sum += c;
+    }
+    std::printf("  correct guess 0x%02x: corr %+0.4f (rank %u)\n",
+                true_byte, byte_result.correlation[true_byte],
+                byte_result.rankOfCorrect);
+    std::printf("  wrong guesses: min %+0.4f mean %+0.4f max %+0.4f\n",
+                wrong_min, wrong_sum / 255.0, wrong_max);
+    std::printf("  best guess 0x%02x with corr %+0.4f -> %s\n",
+                byte_result.bestGuess, byte_result.bestCorrelation,
+                byte_result.bestGuess == true_byte ? "KEY BYTE RECOVERED"
+                                                   : "recovery failed");
+}
+
+void
+runScatterFigure(
+    const std::string &title,
+    const std::function<core::CoalescingPolicy(unsigned)> &policy_for_m,
+    unsigned samples)
+{
+    printBanner(title);
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    attack::EncryptionService reference(cfg, victimKey());
+    const aes::Block true_key = reference.lastRoundKey();
+
+    TablePrinter table({"num-subwarp", "avg corr (all bytes)",
+                        "byte-0 corr", "byte-0 rank",
+                        "bytes recovered"});
+    for (unsigned m : {2u, 4u, 8u, 16u}) {
+        const auto eval = evaluatePolicy(policy_for_m(m), samples);
+        std::printf("num-subwarp = %u (%s):\n", m,
+                    eval.policy.name().c_str());
+        printByteScatterSummary(eval.attackResult.bytes[0], true_key[0]);
+        table.addRow(
+            {TablePrinter::num(m),
+             TablePrinter::num(eval.avgCorrelation(), 3),
+             TablePrinter::num(
+                 eval.attackResult.bytes[0].correctGuessCorrelation, 3),
+             TablePrinter::num(static_cast<int>(
+                 eval.attackResult.bytes[0].rankOfCorrect)),
+             TablePrinter::num(eval.attackResult.bytesRecovered) +
+                 "/16"});
+    }
+    std::printf("\n");
+    table.print();
+}
+
+} // namespace rcoal::bench

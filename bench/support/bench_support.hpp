@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared harness code for the per-figure/table bench binaries.
+ *
+ * Every bench evaluates one or more (defense policy, attack) pairs on
+ * the simulated GPU AES service and prints the same rows/series the
+ * paper reports. The harness fixes seeds so output is reproducible.
+ */
+
+#ifndef RCOAL_BENCH_SUPPORT_HPP
+#define RCOAL_BENCH_SUPPORT_HPP
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcoal/attack/correlation_attack.hpp"
+#include "rcoal/common/table_printer.hpp"
+
+namespace rcoal::bench {
+
+/** The fixed AES-128 key every experiment's victim uses. */
+const std::array<std::uint8_t, 16> &victimKey();
+
+/** The subwarp counts the paper sweeps. */
+const std::vector<unsigned> &paperSubwarpCounts();
+
+/** Default sample count (the paper demonstrates with 100 plaintexts). */
+inline constexpr unsigned kDefaultSamples = 100;
+
+/** Parse "--samples N" / first positional argument, else fallback. */
+unsigned samplesFromArgs(int argc, char **argv,
+                         unsigned fallback = kDefaultSamples);
+
+/** Aggregate result of evaluating one policy under its attack. */
+struct PolicyEvaluation
+{
+    core::CoalescingPolicy policy;
+    unsigned samples = 0;
+    unsigned lines = 0;
+
+    // Victim-side aggregates (mean per plaintext).
+    double meanTotalTime = 0.0;
+    double meanLastRoundTime = 0.0;
+    double meanTotalAccesses = 0.0;
+    double meanLastRoundAccesses = 0.0;
+
+    // Attack-side results (corresponding attack).
+    attack::KeyAttackResult attackResult;
+
+    /** Average correct-guess correlation (Fig. 7b / 15 / 18a metric). */
+    double
+    avgCorrelation() const
+    {
+        return attackResult.avgCorrectCorrelation;
+    }
+};
+
+/**
+ * Run the full pipeline for one policy: collect @p samples encryptions
+ * of @p lines-line plaintexts under @p policy, then run the
+ * corresponding attack (the attacker assumes the same policy,
+ * Section IV-E) against @p measurement.
+ */
+PolicyEvaluation evaluatePolicy(
+    const core::CoalescingPolicy &policy, unsigned samples,
+    unsigned lines = 32,
+    attack::MeasurementVector measurement =
+        attack::MeasurementVector::LastRoundTime,
+    std::uint64_t victim_seed = 42, std::uint64_t plaintext_seed = 7);
+
+/** Collect observations only (no attack). */
+std::vector<attack::EncryptionObservation>
+collectObservations(const core::CoalescingPolicy &policy,
+                    unsigned samples, unsigned lines = 32,
+                    std::uint64_t victim_seed = 42,
+                    std::uint64_t plaintext_seed = 7);
+
+/**
+ * The four defense families of the paper's evaluation, at subwarp count
+ * @p m: FSS, FSS+RTS, RSS, RSS+RTS.
+ */
+std::vector<core::CoalescingPolicy> defenseFamilies(unsigned m);
+
+/** Short column label for a policy family ("FSS+RTS" etc). */
+std::string familyName(const core::CoalescingPolicy &policy);
+
+/** Print the per-guess correlation summary for one key byte. */
+void printByteScatterSummary(const attack::ByteAttackResult &byte_result,
+                             std::uint8_t true_byte);
+
+/**
+ * Shared driver for the Fig. 12/13/14 scatter figures: run the
+ * corresponding attack against the defense produced by @p policy_for_m
+ * for M in {2, 4, 8, 16} and print the key-byte-0 scatter summaries
+ * plus the roll-up table.
+ */
+void runScatterFigure(
+    const std::string &title,
+    const std::function<core::CoalescingPolicy(unsigned)> &policy_for_m,
+    unsigned samples);
+
+} // namespace rcoal::bench
+
+#endif // RCOAL_BENCH_SUPPORT_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Visualize how each RCoal mechanism coalesces one warp's T-table
+ * lookups: 32 threads, 16 memory blocks, one row per subwarp.
+ *
+ * Usage: coalescing_visualizer [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rcoal/core/coalescer.hpp"
+#include "rcoal/core/partitioner.hpp"
+
+namespace {
+
+using namespace rcoal;
+
+void
+visualize(const core::CoalescingPolicy &policy,
+          const std::vector<core::LaneRequest> &lanes, Rng &rng)
+{
+    core::SubwarpPartitioner partitioner(policy, 32);
+    const auto partition = partitioner.draw(rng);
+    const core::Coalescer coalescer(64);
+    const auto accesses = coalescer.coalesce(lanes, partition);
+
+    std::printf("\n%s -> %zu coalesced accesses\n",
+                policy.name().c_str(), accesses.size());
+    for (unsigned s = 0; s < partition.numSubwarps(); ++s) {
+        std::printf("  sid %2u | threads:", s);
+        for (ThreadId tid : partition.threadsOf(s))
+            std::printf(" %2u", tid);
+        std::printf("\n         | blocks :");
+        for (const auto &access : accesses) {
+            if (access.sid == s) {
+                std::printf(" %2llu",
+                            static_cast<unsigned long long>(
+                                (access.blockAddr - 0x1000) / 64));
+            }
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 7;
+    Rng rng(seed);
+
+    // One warp instruction: every thread looks up a random element of a
+    // 1 KiB T-table (16 blocks of 64 bytes) - the AES access pattern.
+    std::vector<core::LaneRequest> lanes(32);
+    std::printf("warp instruction: T4[t] lookups, thread -> block:\n ");
+    for (ThreadId t = 0; t < 32; ++t) {
+        const Addr block = rng.below(16);
+        lanes[t] = {t, 0x1000 + block * 64 + 4 * rng.below(16), 4, true};
+        std::printf(" %llu", static_cast<unsigned long long>(block));
+    }
+    std::printf("\n");
+
+    visualize(core::CoalescingPolicy::baseline(), lanes, rng);
+    visualize(core::CoalescingPolicy::fss(4), lanes, rng);
+    visualize(core::CoalescingPolicy::fss(4, true), lanes, rng);
+    visualize(core::CoalescingPolicy::rss(4), lanes, rng);
+    visualize(core::CoalescingPolicy::rss(4, true), lanes, rng);
+    visualize(core::CoalescingPolicy::disabled(), lanes, rng);
+
+    std::printf("\nEach access is one DRAM transaction; the attacker "
+                "tries to predict the total from the ciphertext. Re-run "
+                "with a\ndifferent seed to see the randomized mechanisms "
+                "change their grouping.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: simulate AES-128 encryption on the Table I GPU, then turn
+ * on the RSS+RTS defense and compare.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "rcoal/attack/encryption_service.hpp"
+
+int
+main()
+{
+    using namespace rcoal;
+
+    // 1. A GPU with the paper's baseline configuration (Table I).
+    sim::GpuConfig config = sim::GpuConfig::paperBaseline();
+    config.seed = 1;
+    std::printf("Simulated GPU:\n%s\n", config.describe().c_str());
+
+    // 2. An AES-128 encryption service running on it.
+    const std::array<std::uint8_t, 16> key = {
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    attack::EncryptionService service(config, key);
+
+    // 3. Encrypt one 32-line plaintext (one warp, one line per thread).
+    Rng rng(2024);
+    const auto plaintext = workloads::randomPlaintext(32, rng);
+    const auto baseline = service.encrypt(plaintext);
+    std::printf("Baseline coalescing: %.0f cycles, %llu coalesced "
+                "accesses (%llu in the last AES round)\n",
+                baseline.totalTime,
+                static_cast<unsigned long long>(baseline.totalAccesses),
+                static_cast<unsigned long long>(
+                    baseline.lastRoundAccesses));
+
+    // 4. Same workload under the RSS+RTS defense with 8 subwarps.
+    config.policy = core::CoalescingPolicy::rss(8, /*rts=*/true);
+    attack::EncryptionService defended(config, key);
+    const auto rcoal = defended.encrypt(plaintext);
+    std::printf("RSS+RTS (M=8):       %.0f cycles, %llu coalesced "
+                "accesses (%llu in the last AES round)\n",
+                rcoal.totalTime,
+                static_cast<unsigned long long>(rcoal.totalAccesses),
+                static_cast<unsigned long long>(rcoal.lastRoundAccesses));
+
+    std::printf("\nDefense cost: %.1f%% more time, %.1f%% more data "
+                "movement - the price of randomizing the timing "
+                "channel.\n",
+                100.0 * (rcoal.totalTime / baseline.totalTime - 1.0),
+                100.0 * (static_cast<double>(rcoal.totalAccesses) /
+                             static_cast<double>(baseline.totalAccesses) -
+                         1.0));
+
+    // 5. Ciphertext is unchanged - the defense only reorders memory
+    // traffic.
+    if (rcoal.ciphertext == baseline.ciphertext)
+        std::printf("Ciphertexts match: the defense is functionally "
+                    "transparent.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The full correlation timing attack, end to end: observe an
+ * unprotected GPU AES service, recover all 16 bytes of the last round
+ * key from timing alone, and invert the key schedule to obtain the
+ * original AES key (Jiang et al. / Section II-C of the RCoal paper).
+ *
+ * Usage: timing_attack_demo [--samples N]   (default 400)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "rcoal/aes/key_schedule.hpp"
+#include "rcoal/attack/correlation_attack.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rcoal;
+    unsigned samples = 400;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc)
+            samples = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+
+    // The victim: a remote GPU AES encryption service. The attacker
+    // does NOT know this key.
+    const std::array<std::uint8_t, 16> secret_key = {
+        0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67,
+        0x89, 0xab, 0xcd, 0xef, 0x10, 0x32, 0x54, 0x76};
+    sim::GpuConfig config = sim::GpuConfig::paperBaseline();
+    config.seed = 99;
+    attack::EncryptionService victim(config, secret_key);
+
+    // Step 1: submit random plaintexts, record ciphertext + timing.
+    std::printf("Collecting %u timing samples from the victim...\n",
+                samples);
+    Rng rng(1337);
+    const auto observations = victim.collectSamples(samples, 32, rng);
+
+    // Step 2: per key byte, correlate guessed access counts (Eq. 3 +
+    // the coalescing model) with the measured timing.
+    attack::AttackConfig attack_config;
+    attack_config.assumedPolicy = core::CoalescingPolicy::baseline();
+    attack_config.measurement =
+        attack::MeasurementVector::LastRoundTime;
+    attack::CorrelationAttack attacker(attack_config);
+
+    const aes::Block true_last_round_key = victim.lastRoundKey();
+    const auto result =
+        attacker.attackKey(observations, true_last_round_key);
+
+    std::printf("\nbyte | guessed | actual | corr    | rank\n");
+    std::printf("-----+---------+--------+---------+-----\n");
+    for (unsigned j = 0; j < 16; ++j) {
+        const auto &byte = result.bytes[j];
+        std::printf("  %2u |  0x%02x   |  0x%02x  | %+0.4f | %3u %s\n",
+                    j, byte.bestGuess, true_last_round_key[j],
+                    byte.bestCorrelation, byte.rankOfCorrect,
+                    byte.bestGuess == true_last_round_key[j] ? "ok"
+                                                             : "MISS");
+    }
+    std::printf("\nrecovered %u/16 last-round key bytes "
+                "(avg correct-guess correlation %+0.3f)\n",
+                result.bytesRecovered, result.avgCorrectCorrelation);
+
+    if (!result.fullKeyRecovered()) {
+        std::printf("partial recovery - rerun with more --samples.\n");
+        return 1;
+    }
+
+    // Step 3: the key expansion is invertible, so the last round key
+    // yields the original cipher key.
+    const aes::Block recovered =
+        aes::invertFromLastRoundKey(result.recoveredLastRoundKey);
+    std::printf("\ninverting the key schedule...\nrecovered AES key:  ");
+    for (std::uint8_t b : recovered)
+        std::printf("%02x", b);
+    std::printf("\nactual AES key:     ");
+    for (std::uint8_t b : secret_key)
+        std::printf("%02x", b);
+    const bool match =
+        std::equal(recovered.begin(), recovered.end(),
+                   secret_key.begin());
+    std::printf("\n\n%s\n",
+                match ? "FULL KEY RECOVERED FROM TIMING ALONE."
+                      : "key mismatch (unexpected)");
+    return match ? 0 : 1;
+}

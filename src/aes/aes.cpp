@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Reference AES implementation.
+ *
+ * State layout: the 16-byte block maps linearly onto the FIPS-197 state
+ * in column-major order, i.e. byte i of the block is state element
+ * (row = i % 4, column = i / 4). All transforms below use that layout.
+ */
+
+#include "rcoal/aes/aes.hpp"
+
+#include "rcoal/aes/galois.hpp"
+#include "rcoal/aes/sbox.hpp"
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::aes {
+
+void
+subBytes(Block &state)
+{
+    for (auto &b : state)
+        b = subByte(b);
+}
+
+void
+invSubBytes(Block &state)
+{
+    for (auto &b : state)
+        b = invSubByte(b);
+}
+
+namespace {
+
+inline std::size_t
+idx(unsigned row, unsigned col)
+{
+    return 4 * col + row;
+}
+
+} // namespace
+
+void
+shiftRows(Block &state)
+{
+    const Block src = state;
+    for (unsigned r = 1; r < 4; ++r) {
+        for (unsigned c = 0; c < 4; ++c)
+            state[idx(r, c)] = src[idx(r, (c + r) % 4)];
+    }
+}
+
+void
+invShiftRows(Block &state)
+{
+    const Block src = state;
+    for (unsigned r = 1; r < 4; ++r) {
+        for (unsigned c = 0; c < 4; ++c)
+            state[idx(r, (c + r) % 4)] = src[idx(r, c)];
+    }
+}
+
+void
+mixColumns(Block &state)
+{
+    for (unsigned c = 0; c < 4; ++c) {
+        const std::uint8_t a0 = state[idx(0, c)];
+        const std::uint8_t a1 = state[idx(1, c)];
+        const std::uint8_t a2 = state[idx(2, c)];
+        const std::uint8_t a3 = state[idx(3, c)];
+        state[idx(0, c)] = gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3;
+        state[idx(1, c)] = a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3;
+        state[idx(2, c)] = a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3);
+        state[idx(3, c)] = gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2);
+    }
+}
+
+void
+invMixColumns(Block &state)
+{
+    for (unsigned c = 0; c < 4; ++c) {
+        const std::uint8_t a0 = state[idx(0, c)];
+        const std::uint8_t a1 = state[idx(1, c)];
+        const std::uint8_t a2 = state[idx(2, c)];
+        const std::uint8_t a3 = state[idx(3, c)];
+        state[idx(0, c)] =
+            gfMul(a0, 0x0e) ^ gfMul(a1, 0x0b) ^ gfMul(a2, 0x0d) ^
+            gfMul(a3, 0x09);
+        state[idx(1, c)] =
+            gfMul(a0, 0x09) ^ gfMul(a1, 0x0e) ^ gfMul(a2, 0x0b) ^
+            gfMul(a3, 0x0d);
+        state[idx(2, c)] =
+            gfMul(a0, 0x0d) ^ gfMul(a1, 0x09) ^ gfMul(a2, 0x0e) ^
+            gfMul(a3, 0x0b);
+        state[idx(3, c)] =
+            gfMul(a0, 0x0b) ^ gfMul(a1, 0x0d) ^ gfMul(a2, 0x09) ^
+            gfMul(a3, 0x0e);
+    }
+}
+
+void
+addRoundKey(Block &state, const Block &round_key)
+{
+    for (std::size_t i = 0; i < state.size(); ++i)
+        state[i] ^= round_key[i];
+}
+
+Aes::Aes(std::span<const std::uint8_t> key)
+    : ks(key, keySizeForLength(key.size()))
+{
+}
+
+Block
+Aes::encryptBlock(const Block &plaintext) const
+{
+    Block state = plaintext;
+    addRoundKey(state, ks.roundKey(0));
+    const unsigned nr = ks.rounds();
+    for (unsigned round = 1; round < nr; ++round) {
+        subBytes(state);
+        shiftRows(state);
+        mixColumns(state);
+        addRoundKey(state, ks.roundKey(round));
+    }
+    subBytes(state);
+    shiftRows(state);
+    addRoundKey(state, ks.roundKey(nr));
+    return state;
+}
+
+Block
+Aes::decryptBlock(const Block &ciphertext) const
+{
+    Block state = ciphertext;
+    const unsigned nr = ks.rounds();
+    addRoundKey(state, ks.roundKey(nr));
+    invShiftRows(state);
+    invSubBytes(state);
+    for (unsigned round = nr - 1; round >= 1; --round) {
+        addRoundKey(state, ks.roundKey(round));
+        invMixColumns(state);
+        invShiftRows(state);
+        invSubBytes(state);
+    }
+    addRoundKey(state, ks.roundKey(0));
+    return state;
+}
+
+std::vector<Block>
+Aes::encryptEcb(std::span<const Block> plaintext) const
+{
+    std::vector<Block> out;
+    out.reserve(plaintext.size());
+    for (const Block &block : plaintext)
+        out.push_back(encryptBlock(block));
+    return out;
+}
+
+} // namespace rcoal::aes

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GF(2^8) arithmetic implementation.
+ */
+
+#include "rcoal/aes/galois.hpp"
+
+namespace rcoal::aes {
+
+std::uint8_t
+gfXtime(std::uint8_t a)
+{
+    const std::uint16_t shifted = static_cast<std::uint16_t>(a) << 1;
+    return static_cast<std::uint8_t>(
+        (shifted & 0xff) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t result = 0;
+    while (b) {
+        if (b & 1)
+            result ^= a;
+        a = gfXtime(a);
+        b >>= 1;
+    }
+    return result;
+}
+
+std::uint8_t
+gfInv(std::uint8_t a)
+{
+    if (a == 0)
+        return 0;
+    // a^254 = a^-1 in GF(2^8)*: square-and-multiply over the fixed
+    // exponent 254 = 0b11111110.
+    std::uint8_t result = 1;
+    std::uint8_t base = a;
+    std::uint8_t exp = 254;
+    while (exp) {
+        if (exp & 1)
+            result = gfMul(result, base);
+        base = gfMul(base, base);
+        exp >>= 1;
+    }
+    return result;
+}
+
+} // namespace rcoal::aes

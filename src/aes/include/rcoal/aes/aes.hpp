@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reference AES implementation (FIPS-197).
+ *
+ * This is the straightforward transform-by-transform implementation used
+ * as ground truth: the GPU-style T-table implementation (ttable.hpp) must
+ * produce byte-identical ciphertext, and the FIPS-197 appendix vectors
+ * pin both.
+ */
+
+#ifndef RCOAL_AES_AES_HPP
+#define RCOAL_AES_AES_HPP
+
+#include <span>
+#include <vector>
+
+#include "rcoal/aes/key_schedule.hpp"
+
+namespace rcoal::aes {
+
+/**
+ * Reference AES cipher (ECB mode on explicit 16-byte blocks).
+ */
+class Aes
+{
+  public:
+    /** Construct from a raw key; key length selects 128/192/256. */
+    explicit Aes(std::span<const std::uint8_t> key);
+
+    /** Encrypt one 16-byte block. */
+    Block encryptBlock(const Block &plaintext) const;
+
+    /** Decrypt one 16-byte block. */
+    Block decryptBlock(const Block &ciphertext) const;
+
+    /** Encrypt a sequence of blocks (ECB). */
+    std::vector<Block> encryptEcb(std::span<const Block> plaintext) const;
+
+    /** The expanded key schedule. */
+    const KeySchedule &schedule() const { return ks; }
+
+  private:
+    KeySchedule ks;
+};
+
+/** State-level transforms, exposed for unit testing. @{ */
+void subBytes(Block &state);
+void invSubBytes(Block &state);
+void shiftRows(Block &state);
+void invShiftRows(Block &state);
+void mixColumns(Block &state);
+void invMixColumns(Block &state);
+void addRoundKey(Block &state, const Block &round_key);
+/** @} */
+
+} // namespace rcoal::aes
+
+#endif // RCOAL_AES_AES_HPP

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * GF(2^8) arithmetic with the AES reduction polynomial
+ * x^8 + x^4 + x^3 + x + 1 (0x11b).
+ */
+
+#ifndef RCOAL_AES_GALOIS_HPP
+#define RCOAL_AES_GALOIS_HPP
+
+#include <cstdint>
+
+namespace rcoal::aes {
+
+/** Multiply two field elements in GF(2^8) / 0x11b. */
+std::uint8_t gfMul(std::uint8_t a, std::uint8_t b);
+
+/** Multiplicative inverse in GF(2^8); gfInv(0) == 0 by AES convention. */
+std::uint8_t gfInv(std::uint8_t a);
+
+/** xtime: multiplication by x (i.e. 0x02). */
+std::uint8_t gfXtime(std::uint8_t a);
+
+} // namespace rcoal::aes
+
+#endif // RCOAL_AES_GALOIS_HPP

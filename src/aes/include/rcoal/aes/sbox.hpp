@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The AES S-box and its inverse.
+ *
+ * Both tables are derived at first use from GF(2^8) arithmetic (the
+ * multiplicative inverse followed by the FIPS-197 affine transform)
+ * rather than transcribed, eliminating transcription risk; the unit tests
+ * pin well-known entries and the FIPS-197 vectors validate the rest.
+ */
+
+#ifndef RCOAL_AES_SBOX_HPP
+#define RCOAL_AES_SBOX_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace rcoal::aes {
+
+/** Forward S-box (SubBytes). */
+const std::array<std::uint8_t, 256> &sbox();
+
+/** Inverse S-box (InvSubBytes). */
+const std::array<std::uint8_t, 256> &invSbox();
+
+/** Shorthand: forward S-box lookup. */
+inline std::uint8_t
+subByte(std::uint8_t x)
+{
+    return sbox()[x];
+}
+
+/** Shorthand: inverse S-box lookup. */
+inline std::uint8_t
+invSubByte(std::uint8_t x)
+{
+    return invSbox()[x];
+}
+
+} // namespace rcoal::aes
+
+#endif // RCOAL_AES_SBOX_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * GPU-style T-table AES with table-lookup tracing.
+ *
+ * CUDA AES implementations replace the per-round transforms with lookups
+ * into four 1 KiB tables (Te0..Te3) plus a last-round table (T4). The
+ * timing attack of Jiang et al. exploits exactly those lookups: the index
+ * of the j-th last-round T4 lookup satisfies
+ *     index = InvSbox[ciphertext[j] ^ lastRoundKey[j]]      (Eq. 3)
+ * This class encrypts blocks the same way and optionally records every
+ * table lookup (round, table, index) in issue order, which the workloads
+ * module converts into the memory addresses the simulated GPU coalesces.
+ */
+
+#ifndef RCOAL_AES_TTABLE_HPP
+#define RCOAL_AES_TTABLE_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rcoal/aes/key_schedule.hpp"
+
+namespace rcoal::aes {
+
+/** Table identifier of the last-round table (T4). */
+inline constexpr unsigned kLastRoundTable = 4;
+
+/** Number of table lookups a thread performs per round. */
+inline constexpr unsigned kLookupsPerRound = 16;
+
+/** One recorded T-table lookup. */
+struct TableLookup
+{
+    std::uint8_t round; ///< 1-based round number (1..Nr).
+    std::uint8_t table; ///< 0..3 for Te0..Te3; kLastRoundTable for T4.
+    std::uint8_t index; ///< Table index (the state byte).
+};
+
+/**
+ * T-table AES cipher. Produces ciphertext byte-identical to the
+ * reference Aes class (enforced by tests).
+ */
+class TTableAes
+{
+  public:
+    /** Construct from a raw key; key length selects 128/192/256. */
+    explicit TTableAes(std::span<const std::uint8_t> key);
+
+    /** Construct from an already expanded schedule. */
+    explicit TTableAes(KeySchedule schedule);
+
+    /** Encrypt one block. */
+    Block encryptBlock(const Block &plaintext) const;
+
+    /**
+     * Encrypt one block, appending every table lookup to @p trace in
+     * issue order. Each round contributes kLookupsPerRound entries, and
+     * the j-th last-round entry (j in 0..15) is the T4 lookup whose
+     * result becomes ciphertext byte j.
+     */
+    Block encryptBlockTraced(const Block &plaintext,
+                             std::vector<TableLookup> &trace) const;
+
+    /** Number of rounds. */
+    unsigned rounds() const { return ks.rounds(); }
+
+    /** The expanded key schedule. */
+    const KeySchedule &schedule() const { return ks; }
+
+    /** Read-only access to Te0..Te3 and T4 (id = kLastRoundTable). */
+    static const std::array<std::uint32_t, 256> &table(unsigned id);
+
+  private:
+    template <bool Traced>
+    Block encryptImpl(const Block &plaintext,
+                      std::vector<TableLookup> *trace) const;
+
+    KeySchedule ks;
+};
+
+} // namespace rcoal::aes
+
+#endif // RCOAL_AES_TTABLE_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * S-box construction from GF(2^8) arithmetic.
+ */
+
+#include "rcoal/aes/sbox.hpp"
+
+#include "rcoal/aes/galois.hpp"
+
+namespace rcoal::aes {
+
+namespace {
+
+std::uint8_t
+rotl8(std::uint8_t x, int k)
+{
+    return static_cast<std::uint8_t>((x << k) | (x >> (8 - k)));
+}
+
+std::array<std::uint8_t, 256>
+buildSbox()
+{
+    std::array<std::uint8_t, 256> table{};
+    for (int i = 0; i < 256; ++i) {
+        const std::uint8_t inv = gfInv(static_cast<std::uint8_t>(i));
+        // FIPS-197 affine transform: b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63.
+        const std::uint8_t affine =
+            static_cast<std::uint8_t>(inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^
+                                      rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63);
+        table[static_cast<std::size_t>(i)] = affine;
+    }
+    return table;
+}
+
+std::array<std::uint8_t, 256>
+buildInvSbox()
+{
+    const auto &fwd = sbox();
+    std::array<std::uint8_t, 256> table{};
+    for (int i = 0; i < 256; ++i)
+        table[fwd[static_cast<std::size_t>(i)]] =
+            static_cast<std::uint8_t>(i);
+    return table;
+}
+
+} // namespace
+
+const std::array<std::uint8_t, 256> &
+sbox()
+{
+    static const std::array<std::uint8_t, 256> table = buildSbox();
+    return table;
+}
+
+const std::array<std::uint8_t, 256> &
+invSbox()
+{
+    static const std::array<std::uint8_t, 256> table = buildInvSbox();
+    return table;
+}
+
+} // namespace rcoal::aes

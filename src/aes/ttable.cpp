@@ -1,0 +1,167 @@
+/**
+ * @file
+ * T-table AES implementation.
+ */
+
+#include "rcoal/aes/ttable.hpp"
+
+#include "rcoal/aes/galois.hpp"
+#include "rcoal/aes/sbox.hpp"
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::aes {
+
+namespace {
+
+inline std::uint32_t
+ror32(std::uint32_t x, int k)
+{
+    return (x >> k) | (x << (32 - k));
+}
+
+struct Tables
+{
+    std::array<std::array<std::uint32_t, 256>, 5> t;
+
+    Tables()
+    {
+        for (int i = 0; i < 256; ++i) {
+            const std::uint8_t s = subByte(static_cast<std::uint8_t>(i));
+            const std::uint32_t s2 = gfMul(s, 2);
+            const std::uint32_t s3 = gfMul(s, 3);
+            const std::uint32_t te0 =
+                (s2 << 24) | (static_cast<std::uint32_t>(s) << 16) |
+                (static_cast<std::uint32_t>(s) << 8) | s3;
+            t[0][static_cast<std::size_t>(i)] = te0;
+            t[1][static_cast<std::size_t>(i)] = ror32(te0, 8);
+            t[2][static_cast<std::size_t>(i)] = ror32(te0, 16);
+            t[3][static_cast<std::size_t>(i)] = ror32(te0, 24);
+            t[4][static_cast<std::size_t>(i)] =
+                (static_cast<std::uint32_t>(s) << 24) |
+                (static_cast<std::uint32_t>(s) << 16) |
+                (static_cast<std::uint32_t>(s) << 8) | s;
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables instance;
+    return instance;
+}
+
+inline std::uint32_t
+loadWord(const Block &block, unsigned word)
+{
+    return (static_cast<std::uint32_t>(block[4 * word]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * word + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * word + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * word + 3]);
+}
+
+inline void
+storeWord(Block &block, unsigned word, std::uint32_t value)
+{
+    block[4 * word] = static_cast<std::uint8_t>(value >> 24);
+    block[4 * word + 1] = static_cast<std::uint8_t>(value >> 16);
+    block[4 * word + 2] = static_cast<std::uint8_t>(value >> 8);
+    block[4 * word + 3] = static_cast<std::uint8_t>(value);
+}
+
+} // namespace
+
+const std::array<std::uint32_t, 256> &
+TTableAes::table(unsigned id)
+{
+    RCOAL_ASSERT(id <= kLastRoundTable, "table id %u out of range", id);
+    return tables().t[id];
+}
+
+TTableAes::TTableAes(std::span<const std::uint8_t> key)
+    : ks(key, keySizeForLength(key.size()))
+{
+}
+
+TTableAes::TTableAes(KeySchedule schedule) : ks(std::move(schedule)) {}
+
+template <bool Traced>
+Block
+TTableAes::encryptImpl(const Block &plaintext,
+                       std::vector<TableLookup> *trace) const
+{
+    const auto &tb = tables().t;
+    const auto &w = ks.words();
+    const unsigned nr = ks.rounds();
+
+    std::array<std::uint32_t, 4> s{};
+    for (unsigned i = 0; i < 4; ++i)
+        s[i] = loadWord(plaintext, i) ^ w[i];
+
+    const auto record = [&](unsigned round, unsigned tab, std::uint8_t ix) {
+        if constexpr (Traced) {
+            trace->push_back({static_cast<std::uint8_t>(round),
+                              static_cast<std::uint8_t>(tab), ix});
+        }
+    };
+
+    std::array<std::uint32_t, 4> t{};
+    for (unsigned round = 1; round < nr; ++round) {
+        for (unsigned i = 0; i < 4; ++i) {
+            const std::uint8_t b0 =
+                static_cast<std::uint8_t>(s[i] >> 24);
+            const std::uint8_t b1 =
+                static_cast<std::uint8_t>(s[(i + 1) % 4] >> 16);
+            const std::uint8_t b2 =
+                static_cast<std::uint8_t>(s[(i + 2) % 4] >> 8);
+            const std::uint8_t b3 =
+                static_cast<std::uint8_t>(s[(i + 3) % 4]);
+            record(round, 0, b0);
+            record(round, 1, b1);
+            record(round, 2, b2);
+            record(round, 3, b3);
+            t[i] = tb[0][b0] ^ tb[1][b1] ^ tb[2][b2] ^ tb[3][b3] ^
+                   w[4 * round + i];
+        }
+        s = t;
+    }
+
+    // Last round: T4 lookups, one per output byte, issued in ciphertext
+    // byte order so trace position j corresponds to ciphertext byte j.
+    Block out{};
+    for (unsigned i = 0; i < 4; ++i) {
+        const std::uint8_t b0 = static_cast<std::uint8_t>(s[i] >> 24);
+        const std::uint8_t b1 =
+            static_cast<std::uint8_t>(s[(i + 1) % 4] >> 16);
+        const std::uint8_t b2 =
+            static_cast<std::uint8_t>(s[(i + 2) % 4] >> 8);
+        const std::uint8_t b3 = static_cast<std::uint8_t>(s[(i + 3) % 4]);
+        record(nr, kLastRoundTable, b0);
+        record(nr, kLastRoundTable, b1);
+        record(nr, kLastRoundTable, b2);
+        record(nr, kLastRoundTable, b3);
+        const std::uint32_t word = (tb[4][b0] & 0xff000000u) ^
+                                   (tb[4][b1] & 0x00ff0000u) ^
+                                   (tb[4][b2] & 0x0000ff00u) ^
+                                   (tb[4][b3] & 0x000000ffu) ^
+                                   w[4 * nr + i];
+        storeWord(out, i, word);
+    }
+    return out;
+}
+
+Block
+TTableAes::encryptBlock(const Block &plaintext) const
+{
+    return encryptImpl<false>(plaintext, nullptr);
+}
+
+Block
+TTableAes::encryptBlockTraced(const Block &plaintext,
+                              std::vector<TableLookup> &trace) const
+{
+    trace.reserve(trace.size() + ks.rounds() * kLookupsPerRound);
+    return encryptImpl<true>(plaintext, &trace);
+}
+
+} // namespace rcoal::aes

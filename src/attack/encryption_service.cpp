@@ -1,0 +1,82 @@
+/**
+ * @file
+ * EncryptionService implementation.
+ */
+
+#include "rcoal/attack/encryption_service.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::attack {
+
+EncryptionService::EncryptionService(const sim::GpuConfig &config,
+                                     std::span<const std::uint8_t> key)
+    : device(config), secretKey(key.begin(), key.end())
+{
+    if (secretKey.size() != 16 && secretKey.size() != 24 &&
+        secretKey.size() != 32) {
+        fatal("AES key must be 16, 24 or 32 bytes, got %zu",
+              secretKey.size());
+    }
+}
+
+EncryptionObservation
+EncryptionService::encrypt(std::span<const aes::Block> plaintext_lines)
+{
+    workloads::AesGpuKernel kernel(plaintext_lines, secretKey,
+                                   device.config().warpSize);
+    const sim::KernelStats stats = device.launch(kernel);
+
+    EncryptionObservation obs;
+    obs.ciphertext = kernel.ciphertext();
+    obs.totalTime = static_cast<double>(stats.cycles);
+    obs.lastRoundTime = static_cast<double>(stats.lastRoundCycles());
+    obs.lastRoundAccesses = stats.lastRoundAccesses();
+    obs.totalAccesses = stats.coalescedAccesses;
+    return obs;
+}
+
+std::vector<EncryptionObservation>
+EncryptionService::collectSamples(unsigned samples, unsigned lines,
+                                  Rng &rng)
+{
+    std::vector<EncryptionObservation> out;
+    out.reserve(samples);
+    for (unsigned s = 0; s < samples; ++s) {
+        const auto plaintext = workloads::randomPlaintext(lines, rng);
+        out.push_back(encrypt(plaintext));
+    }
+    return out;
+}
+
+aes::Block
+EncryptionService::lastRoundKey() const
+{
+    const aes::KeySchedule schedule(
+        secretKey, aes::keySizeForLength(secretKey.size()));
+    return schedule.roundKey(schedule.rounds());
+}
+
+std::vector<double>
+measurementSeries(std::span<const EncryptionObservation> observations,
+                  MeasurementVector which)
+{
+    std::vector<double> out;
+    out.reserve(observations.size());
+    for (const auto &obs : observations) {
+        switch (which) {
+          case MeasurementVector::TotalTime:
+            out.push_back(obs.totalTime);
+            break;
+          case MeasurementVector::LastRoundTime:
+            out.push_back(obs.lastRoundTime);
+            break;
+          case MeasurementVector::ObservedLastRoundAccesses:
+            out.push_back(static_cast<double>(obs.lastRoundAccesses));
+            break;
+        }
+    }
+    return out;
+}
+
+} // namespace rcoal::attack

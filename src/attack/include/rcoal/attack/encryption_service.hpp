@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The victim: a GPU AES encryption service.
+ *
+ * Models the remote GPU server of the baseline attack (Section II-C):
+ * the attacker submits plaintexts; the service encrypts each on the
+ * simulated GPU and returns the ciphertext together with the timing the
+ * attacker can observe. Following the paper we expose the stronger
+ * attacker's measurements (last-round execution time) in addition to the
+ * total time, plus the ground-truth last-round coalesced-access count
+ * used by the Fig. 18 noise-free evaluation.
+ */
+
+#ifndef RCOAL_ATTACK_ENCRYPTION_SERVICE_HPP
+#define RCOAL_ATTACK_ENCRYPTION_SERVICE_HPP
+
+#include <span>
+#include <vector>
+
+#include "rcoal/aes/key_schedule.hpp"
+#include "rcoal/sim/gpu.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::attack {
+
+/** Everything observable from one encryption request. */
+struct EncryptionObservation
+{
+    std::vector<aes::Block> ciphertext; ///< One block per line.
+    double totalTime = 0.0;             ///< Kernel cycles.
+    double lastRoundTime = 0.0;         ///< Last-round window, cycles.
+    std::uint64_t lastRoundAccesses = 0; ///< Observed (ground truth).
+    std::uint64_t totalAccesses = 0;
+};
+
+/** Which observable the attacker correlates against. */
+enum class MeasurementVector
+{
+    TotalTime,
+    LastRoundTime,
+    ObservedLastRoundAccesses, ///< Noise-free (Fig. 18 methodology).
+};
+
+/**
+ * GPU AES encryption service (AES-128/192/256).
+ */
+class EncryptionService
+{
+  public:
+    /**
+     * @param config GPU configuration (including the defense policy).
+     * @param key the service's secret AES key (16, 24 or 32 bytes;
+     *        the paper evaluates AES-128 "without losing generality" -
+     *        the last-round channel is identical for all sizes).
+     */
+    EncryptionService(const sim::GpuConfig &config,
+                      std::span<const std::uint8_t> key);
+
+    /** Encrypt one plaintext (a set of 16-byte lines). */
+    EncryptionObservation
+    encrypt(std::span<const aes::Block> plaintext_lines);
+
+    /**
+     * Encrypt @p samples random plaintexts of @p lines lines each,
+     * drawn from @p rng.
+     */
+    std::vector<EncryptionObservation>
+    collectSamples(unsigned samples, unsigned lines, Rng &rng);
+
+    /** Ground truth: the last round key (for evaluating attacks). */
+    aes::Block lastRoundKey() const;
+
+    /** The GPU under the hood. */
+    const sim::Gpu &gpu() const { return device; }
+
+  private:
+    sim::Gpu device;
+    std::vector<std::uint8_t> secretKey;
+};
+
+/** Extract one measurement series from a set of observations. */
+std::vector<double>
+measurementSeries(std::span<const EncryptionObservation> observations,
+                  MeasurementVector which);
+
+} // namespace rcoal::attack
+
+#endif // RCOAL_ATTACK_ENCRYPTION_SERVICE_HPP

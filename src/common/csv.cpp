@@ -1,0 +1,89 @@
+/**
+ * @file
+ * CsvWriter implementation.
+ */
+
+#include "rcoal/common/csv.hpp"
+
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    RCOAL_ASSERT(!header.empty(), "CSV needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    RCOAL_ASSERT(cells.size() == header.size(),
+                 "row has %zu cells, CSV has %zu columns", cells.size(),
+                 header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quoting)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+CsvWriter::render() const
+{
+    std::ostringstream out;
+    const auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                out << ',';
+            out << escape(cells[i]);
+        }
+        out << '\n';
+    };
+    emit(header);
+    for (const auto &row : rows)
+        emit(row);
+    return out.str();
+}
+
+void
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open '%s' for writing", path.c_str());
+    file << render();
+    if (!file)
+        fatal("write to '%s' failed", path.c_str());
+}
+
+std::string
+CsvWriter::num(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+std::string
+CsvWriter::num(std::uint64_t v)
+{
+    return strprintf("%" PRIu64, v);
+}
+
+} // namespace rcoal

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Histogram implementation.
+ */
+
+#include "rcoal/common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal {
+
+void
+Histogram::add(std::int64_t value, std::uint64_t weight)
+{
+    bins[value] += weight;
+    total += weight;
+}
+
+std::uint64_t
+Histogram::countOf(std::int64_t value) const
+{
+    const auto it = bins.find(value);
+    return it == bins.end() ? 0 : it->second;
+}
+
+double
+Histogram::fractionOf(std::int64_t value) const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(countOf(value)) / static_cast<double>(total);
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+Histogram::sorted() const
+{
+    return {bins.begin(), bins.end()};
+}
+
+double
+Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    double s = 0.0;
+    for (const auto &[v, c] : bins)
+        s += static_cast<double>(v) * static_cast<double>(c);
+    return s / static_cast<double>(total);
+}
+
+double
+Histogram::stddev() const
+{
+    if (total == 0)
+        return 0.0;
+    const double mu = mean();
+    double s = 0.0;
+    for (const auto &[v, c] : bins) {
+        const double d = static_cast<double>(v) - mu;
+        s += d * d * static_cast<double>(c);
+    }
+    return std::sqrt(s / static_cast<double>(total));
+}
+
+std::int64_t
+Histogram::minValue() const
+{
+    RCOAL_ASSERT(!bins.empty(), "minValue() on empty histogram");
+    return bins.begin()->first;
+}
+
+std::int64_t
+Histogram::maxValue() const
+{
+    RCOAL_ASSERT(!bins.empty(), "maxValue() on empty histogram");
+    return bins.rbegin()->first;
+}
+
+void
+Histogram::reset()
+{
+    bins.clear();
+    total = 0;
+}
+
+std::string
+Histogram::toAscii(int width) const
+{
+    std::ostringstream out;
+    if (bins.empty()) {
+        out << "(empty histogram)\n";
+        return out.str();
+    }
+    std::uint64_t mode = 0;
+    for (const auto &[v, c] : bins)
+        mode = std::max(mode, c);
+    for (const auto &[v, c] : bins) {
+        const int bar = mode == 0
+            ? 0
+            : static_cast<int>(static_cast<double>(c) /
+                               static_cast<double>(mode) * width);
+        out << strprintf("%6lld | %-*s %llu (%.1f%%)\n",
+                         static_cast<long long>(v), width,
+                         std::string(static_cast<std::size_t>(bar), '#')
+                             .c_str(),
+                         static_cast<unsigned long long>(c),
+                         100.0 * fractionOf(v));
+    }
+    return out.str();
+}
+
+} // namespace rcoal

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal CSV writer for exporting experiment series (RFC-4180-style
+ * quoting). Lets downstream users plot observations and sweeps with
+ * their own tooling.
+ */
+
+#ifndef RCOAL_COMMON_CSV_HPP
+#define RCOAL_COMMON_CSV_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcoal {
+
+/**
+ * Row-oriented CSV document builder.
+ */
+class CsvWriter
+{
+  public:
+    /** Construct with column headers. */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a row; cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Render the full document (headers first, "\n" line endings). */
+    std::string render() const;
+
+    /** Write to @p path; fatal() on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+    /** Escape one cell per RFC 4180 (quote when needed). */
+    static std::string escape(const std::string &cell);
+
+    /** Format helpers mirroring TablePrinter. @{ */
+    static std::string num(double v, int decimals = 6);
+    static std::string num(std::uint64_t v);
+    /** @} */
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace rcoal
+
+#endif // RCOAL_COMMON_CSV_HPP

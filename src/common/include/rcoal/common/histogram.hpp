@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Integer-valued histogram used for subwarp-size distributions (Fig. 9)
+ * and coalesced-access-count distributions.
+ */
+
+#ifndef RCOAL_COMMON_HISTOGRAM_HPP
+#define RCOAL_COMMON_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rcoal {
+
+/**
+ * Sparse histogram over signed 64-bit values.
+ */
+class Histogram
+{
+  public:
+    /** Add @p weight observations of @p value. */
+    void add(std::int64_t value, std::uint64_t weight = 1);
+
+    /** Total number of observations. */
+    std::uint64_t totalCount() const { return total; }
+
+    /** Count of a specific value (0 if never seen). */
+    std::uint64_t countOf(std::int64_t value) const;
+
+    /** Fraction of observations equal to @p value. */
+    double fractionOf(std::int64_t value) const;
+
+    /** All (value, count) pairs in increasing value order. */
+    std::vector<std::pair<std::int64_t, std::uint64_t>> sorted() const;
+
+    /** Mean of the observations. */
+    double mean() const;
+
+    /** Population standard deviation of the observations. */
+    double stddev() const;
+
+    /** Smallest observed value; requires non-empty. */
+    std::int64_t minValue() const;
+
+    /** Largest observed value; requires non-empty. */
+    std::int64_t maxValue() const;
+
+    /** True when no observations have been added. */
+    bool empty() const { return total == 0; }
+
+    /** Reset to empty. */
+    void reset();
+
+    /**
+     * Render an ASCII bar chart, one row per distinct value, bars scaled
+     * so the mode occupies @p width characters.
+     */
+    std::string toAscii(int width = 50) const;
+
+  private:
+    std::map<std::int64_t, std::uint64_t> bins;
+    std::uint64_t total = 0;
+};
+
+} // namespace rcoal
+
+#endif // RCOAL_COMMON_HISTOGRAM_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting.
+ *
+ * Severity model follows the gem5 convention:
+ *  - inform(): normal operating message, no connotation of error.
+ *  - warn():   something may be off; simulation continues.
+ *  - fatal():  the simulation cannot continue due to a user error
+ *              (bad configuration, invalid argument); exits cleanly.
+ *  - panic():  an internal invariant was violated (a bug); aborts.
+ */
+
+#ifndef RCOAL_COMMON_LOGGING_HPP
+#define RCOAL_COMMON_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace rcoal {
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message to stderr ("warn: ..."). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error and exit(1).
+ * Use for bad configuration or invalid arguments, not internal bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a violated internal invariant and abort().
+ * Use for conditions that indicate a bug in the simulator itself.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style string into a std::string. */
+std::string vstrprintf(const char *fmt, std::va_list args);
+
+/** Format a printf-style string into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Panic if @p cond is false. Unlike assert(), this is active in all build
+ * types: simulator invariants guard statistics integrity, so violating one
+ * must never silently corrupt results.
+ */
+#define RCOAL_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::rcoal::panic("assertion '%s' failed at %s:%d: %s", #cond,      \
+                           __FILE__, __LINE__,                               \
+                           ::rcoal::strprintf(__VA_ARGS__).c_str());         \
+        }                                                                    \
+    } while (0)
+
+} // namespace rcoal
+
+#endif // RCOAL_COMMON_LOGGING_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output.
+ *
+ * Every bench binary prints its paper table/figure as rows of a
+ * TablePrinter so the output format stays consistent across experiments.
+ */
+
+#ifndef RCOAL_COMMON_TABLE_PRINTER_HPP
+#define RCOAL_COMMON_TABLE_PRINTER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcoal {
+
+/**
+ * Collects rows of string cells and renders them with aligned columns.
+ */
+class TablePrinter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table (headers, separator, rows). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Helper: format a double with @p decimals places. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Helper: format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Helper: format an integer. */
+    static std::string num(std::int64_t v);
+
+    /** Helper: format an int. */
+    static std::string num(int v);
+
+    /** Helper: format an unsigned int. */
+    static std::string num(unsigned v);
+
+  private:
+    std::vector<std::string> header;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section banner ("=== title ===") to stdout. */
+void printBanner(const std::string &title);
+
+} // namespace rcoal
+
+#endif // RCOAL_COMMON_TABLE_PRINTER_HPP

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fundamental integral types shared across the RCoal code base.
+ */
+
+#ifndef RCOAL_COMMON_TYPES_HPP
+#define RCOAL_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace rcoal {
+
+/** A simulated clock cycle count (domain-specific; see sim::ClockDomain). */
+using Cycle = std::uint64_t;
+
+/** A global byte address in the simulated GPU address space. */
+using Addr = std::uint64_t;
+
+/** Thread index within a warp (0..warpSize-1). */
+using ThreadId = std::uint32_t;
+
+/** Warp index within a kernel launch. */
+using WarpId = std::uint32_t;
+
+/** Subwarp index within a warp (0..numSubwarps-1). */
+using SubwarpId = std::uint32_t;
+
+/** An invalid / "not yet scheduled" cycle marker. */
+inline constexpr Cycle kInvalidCycle = ~Cycle{0};
+
+/** An invalid address marker. */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+} // namespace rcoal
+
+#endif // RCOAL_COMMON_TYPES_HPP

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * xoshiro256** / SplitMix64 implementation.
+ *
+ * Reference algorithms by Blackman & Vigna (public domain).
+ */
+
+#include "rcoal/common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal {
+
+namespace {
+
+inline std::uint64_t
+rotl64(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    reseed(seed);
+}
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : state)
+        word = sm.next();
+}
+
+Rng
+Rng::fork(std::uint64_t stream_tag)
+{
+    // Mix the tag with fresh output so children with distinct tags get
+    // unrelated SplitMix64 seeds.
+    const std::uint64_t child_seed =
+        next64() ^ (stream_tag * 0x9e3779b97f4a7c15ull + 0x1234'5678'9abc'def0ull);
+    return Rng(child_seed);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl64(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl64(state[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    RCOAL_ASSERT(bound > 0, "below() requires a positive bound");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound; // (2^64 - bound) % bound
+    for (;;) {
+        const std::uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    RCOAL_ASSERT(lo <= hi, "range() requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next64());
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::uniform01()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    // Box-Muller; draw u1 in (0, 1] to avoid log(0).
+    double u1;
+    do {
+        u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double z = mag * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform01() < p;
+}
+
+std::vector<std::uint64_t>
+Rng::sampleDistinctSorted(std::uint64_t k, std::uint64_t n)
+{
+    RCOAL_ASSERT(k <= n, "cannot sample %llu distinct values from %llu",
+                 static_cast<unsigned long long>(k),
+                 static_cast<unsigned long long>(n));
+    // Floyd's algorithm: O(k) expected insertions.
+    std::vector<std::uint64_t> chosen;
+    chosen.reserve(k);
+    for (std::uint64_t j = n - k; j < n; ++j) {
+        const std::uint64_t t = below(j + 1);
+        if (std::find(chosen.begin(), chosen.end(), t) == chosen.end())
+            chosen.push_back(t);
+        else
+            chosen.push_back(j);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return chosen;
+}
+
+} // namespace rcoal

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Implementation of statistics primitives.
+ */
+
+#include "rcoal/common/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal {
+
+void
+RunningStats::push(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.m - m;
+    const auto na = static_cast<double>(n);
+    const auto nb = static_cast<double>(other.n);
+    const double nt = na + nb;
+    m2 += other.m2 + delta * delta * na * nb / nt;
+    m = (na * m + nb * other.m) / nt;
+    n += other.n;
+    total += other.total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+}
+
+double
+RunningStats::variancePopulation() const
+{
+    return n >= 1 ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+RunningStats::varianceSample() const
+{
+    return n >= 2 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddevPopulation() const
+{
+    return std::sqrt(variancePopulation());
+}
+
+double
+RunningStats::stddevSample() const
+{
+    return std::sqrt(varianceSample());
+}
+
+double
+RunningStats::min() const
+{
+    return n ? lo : std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::max() const
+{
+    return n ? hi : -std::numeric_limits<double>::infinity();
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats{};
+}
+
+double
+meanOf(std::span<const double> x)
+{
+    if (x.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : x)
+        s += v;
+    return s / static_cast<double>(x.size());
+}
+
+double
+stddevOf(std::span<const double> x)
+{
+    if (x.size() < 2)
+        return 0.0;
+    const double mu = meanOf(x);
+    double s = 0.0;
+    for (double v : x)
+        s += (v - mu) * (v - mu);
+    return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+double
+covariancePopulation(std::span<const double> x, std::span<const double> y)
+{
+    RCOAL_ASSERT(x.size() == y.size(),
+                 "covariance requires equal-length series (%zu vs %zu)",
+                 x.size(), y.size());
+    if (x.size() < 2)
+        return 0.0;
+    const double mx = meanOf(x);
+    const double my = meanOf(y);
+    double s = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        s += (x[i] - mx) * (y[i] - my);
+    return s / static_cast<double>(x.size());
+}
+
+double
+pearsonCorrelation(std::span<const double> x, std::span<const double> y)
+{
+    RCOAL_ASSERT(x.size() == y.size(),
+                 "correlation requires equal-length series (%zu vs %zu)",
+                 x.size(), y.size());
+    if (x.size() < 2)
+        return 0.0;
+    const double sx = stddevOf(x);
+    const double sy = stddevOf(y);
+    if (sx == 0.0 || sy == 0.0)
+        return 0.0;
+    return covariancePopulation(x, y) / (sx * sy);
+}
+
+double
+normalQuantile(double p)
+{
+    RCOAL_ASSERT(p > 0.0 && p < 1.0, "normalQuantile requires p in (0,1)");
+
+    // Acklam's algorithm.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+    double q, r;
+
+    if (p < p_low) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= p_high) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+                a[5]) *
+               q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+                1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double
+samplesForSuccessfulAttack(double rho, double alpha)
+{
+    const double r = std::abs(rho);
+    if (r < 1e-12)
+        return std::numeric_limits<double>::infinity();
+    if (r >= 1.0)
+        return 3.0;
+    const double z = normalQuantile(alpha);
+    const double fisher = std::log((1.0 + r) / (1.0 - r));
+    return 3.0 + 8.0 * (z / fisher) * (z / fisher);
+}
+
+double
+samplesForSuccessfulAttackApprox(double rho, double alpha)
+{
+    const double r = std::abs(rho);
+    if (r < 1e-12)
+        return std::numeric_limits<double>::infinity();
+    const double z = normalQuantile(alpha);
+    return 2.0 * z * z / (r * r);
+}
+
+} // namespace rcoal

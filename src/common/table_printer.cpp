@@ -1,0 +1,123 @@
+/**
+ * @file
+ * TablePrinter implementation.
+ */
+
+#include "rcoal/common/table_printer.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : header(std::move(headers))
+{
+    RCOAL_ASSERT(!header.empty(), "table must have at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    RCOAL_ASSERT(cells.size() == header.size(),
+                 "row has %zu cells, table has %zu columns", cells.size(),
+                 header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addSeparator()
+{
+    rows.emplace_back();
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    const auto render_sep = [&] {
+        std::string line = "+";
+        for (std::size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        return line + "\n";
+    };
+    const auto render_row = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += " " + cells[c] +
+                    std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    // Ignore trailing separators so a separator-after-each-group loop
+    // does not produce a doubled bottom rule.
+    std::size_t last = rows.size();
+    while (last > 0 && rows[last - 1].empty())
+        --last;
+
+    std::ostringstream out;
+    out << render_sep() << render_row(header) << render_sep();
+    for (std::size_t i = 0; i < last; ++i) {
+        if (rows[i].empty())
+            out << render_sep();
+        else
+            out << render_row(rows[i]);
+    }
+    out << render_sep();
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TablePrinter::num(double v, int decimals)
+{
+    return strprintf("%.*f", decimals, v);
+}
+
+std::string
+TablePrinter::num(std::uint64_t v)
+{
+    return strprintf("%" PRIu64, v);
+}
+
+std::string
+TablePrinter::num(std::int64_t v)
+{
+    return strprintf("%" PRId64, v);
+}
+
+std::string
+TablePrinter::num(int v)
+{
+    return strprintf("%d", v);
+}
+
+std::string
+TablePrinter::num(unsigned v)
+{
+    return strprintf("%u", v);
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace rcoal

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * BigRational implementation.
+ */
+
+#include "rcoal/numeric/big_rational.hpp"
+
+#include <cmath>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::numeric {
+
+BigRational::BigRational(BigUInt numerator, BigUInt denominator)
+    : num(std::move(numerator)), den(std::move(denominator))
+{
+    RCOAL_ASSERT(!den.isZero(), "rational with zero denominator");
+    reduce();
+}
+
+void
+BigRational::reduce()
+{
+    if (num.isZero()) {
+        den = BigUInt(1);
+        return;
+    }
+    const BigUInt g = BigUInt::gcd(num, den);
+    num = num / g;
+    den = den / g;
+}
+
+std::strong_ordering
+BigRational::operator<=>(const BigRational &other) const
+{
+    // a/b <=> c/d  iff  a*d <=> c*b (all values non-negative).
+    return (num * other.den) <=> (other.num * den);
+}
+
+BigRational &
+BigRational::operator+=(const BigRational &other)
+{
+    num = num * other.den + other.num * den;
+    den = den * other.den;
+    reduce();
+    return *this;
+}
+
+BigRational &
+BigRational::operator-=(const BigRational &other)
+{
+    RCOAL_ASSERT(*this >= other,
+                 "BigRational underflow: %s - %s", toString().c_str(),
+                 other.toString().c_str());
+    num = num * other.den - other.num * den;
+    den = den * other.den;
+    reduce();
+    return *this;
+}
+
+BigRational &
+BigRational::operator*=(const BigRational &other)
+{
+    num = num * other.num;
+    den = den * other.den;
+    reduce();
+    return *this;
+}
+
+BigRational &
+BigRational::operator/=(const BigRational &other)
+{
+    RCOAL_ASSERT(!other.isZero(), "BigRational division by zero");
+    num = num * other.den;
+    den = den * other.num;
+    reduce();
+    return *this;
+}
+
+std::string
+BigRational::toString() const
+{
+    if (den == BigUInt(1))
+        return num.toString();
+    return num.toString() + "/" + den.toString();
+}
+
+long double
+BigRational::toLongDouble() const
+{
+    // Scale so both operands convert without precision collapse when the
+    // magnitudes are huge but the ratio is moderate.
+    const std::size_t nb = num.bitLength();
+    const std::size_t db = den.bitLength();
+    if (nb < 16000 && db < 16000)
+        return num.toLongDouble() / den.toLongDouble();
+    const std::size_t shift = std::max(nb, db) - 8000;
+    const BigUInt sn = num >> shift;
+    const BigUInt sd = den >> shift;
+    RCOAL_ASSERT(!sd.isZero(), "rational scaling underflow");
+    return sn.toLongDouble() / sd.toLongDouble();
+}
+
+double
+BigRational::toDouble() const
+{
+    return static_cast<double>(toLongDouble());
+}
+
+} // namespace rcoal::numeric

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * BigUInt implementation (schoolbook algorithms over 32-bit limbs).
+ */
+
+#include "rcoal/numeric/big_uint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::numeric {
+
+BigUInt::BigUInt(std::uint64_t value)
+{
+    if (value != 0) {
+        limbs.push_back(static_cast<std::uint32_t>(value));
+        if (value >> 32)
+            limbs.push_back(static_cast<std::uint32_t>(value >> 32));
+    }
+}
+
+BigUInt
+BigUInt::fromDecimal(const std::string &text)
+{
+    RCOAL_ASSERT(!text.empty(), "empty decimal string");
+    BigUInt out;
+    for (char ch : text) {
+        RCOAL_ASSERT(std::isdigit(static_cast<unsigned char>(ch)),
+                     "invalid decimal digit '%c'", ch);
+        out *= BigUInt(10);
+        out += BigUInt(static_cast<std::uint64_t>(ch - '0'));
+    }
+    return out;
+}
+
+void
+BigUInt::trim()
+{
+    while (!limbs.empty() && limbs.back() == 0)
+        limbs.pop_back();
+}
+
+std::size_t
+BigUInt::bitLength() const
+{
+    if (limbs.empty())
+        return 0;
+    const std::uint32_t top = limbs.back();
+    const int top_bits = 32 - __builtin_clz(top);
+    return (limbs.size() - 1) * 32 + static_cast<std::size_t>(top_bits);
+}
+
+bool
+BigUInt::bit(std::size_t i) const
+{
+    const std::size_t limb = i / 32;
+    if (limb >= limbs.size())
+        return false;
+    return (limbs[limb] >> (i % 32)) & 1u;
+}
+
+std::strong_ordering
+BigUInt::operator<=>(const BigUInt &other) const
+{
+    if (limbs.size() != other.limbs.size())
+        return limbs.size() <=> other.limbs.size();
+    for (std::size_t i = limbs.size(); i-- > 0;) {
+        if (limbs[i] != other.limbs[i])
+            return limbs[i] <=> other.limbs[i];
+    }
+    return std::strong_ordering::equal;
+}
+
+BigUInt &
+BigUInt::operator+=(const BigUInt &other)
+{
+    const std::size_t n = std::max(limbs.size(), other.limbs.size());
+    limbs.resize(n, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry + limbs[i];
+        if (i < other.limbs.size())
+            sum += other.limbs[i];
+        limbs[i] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    if (carry)
+        limbs.push_back(static_cast<std::uint32_t>(carry));
+    return *this;
+}
+
+BigUInt &
+BigUInt::operator-=(const BigUInt &other)
+{
+    RCOAL_ASSERT(*this >= other, "BigUInt underflow: %s - %s",
+                 toString().c_str(), other.toString().c_str());
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(limbs[i]) - borrow;
+        if (i < other.limbs.size())
+            diff -= other.limbs[i];
+        if (diff < 0) {
+            diff += (std::int64_t{1} << 32);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        limbs[i] = static_cast<std::uint32_t>(diff);
+    }
+    RCOAL_ASSERT(borrow == 0, "BigUInt subtraction left a borrow");
+    trim();
+    return *this;
+}
+
+BigUInt
+operator*(const BigUInt &a, const BigUInt &b)
+{
+    if (a.isZero() || b.isZero())
+        return {};
+    BigUInt out;
+    out.limbs.assign(a.limbs.size() + b.limbs.size(), 0);
+    for (std::size_t i = 0; i < a.limbs.size(); ++i) {
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < b.limbs.size(); ++j) {
+            const std::uint64_t cur =
+                static_cast<std::uint64_t>(a.limbs[i]) * b.limbs[j] +
+                out.limbs[i + j] + carry;
+            out.limbs[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + b.limbs.size();
+        while (carry) {
+            const std::uint64_t cur = out.limbs[k] + carry;
+            out.limbs[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+BigUInt &
+BigUInt::operator*=(const BigUInt &other)
+{
+    *this = *this * other;
+    return *this;
+}
+
+BigUInt &
+BigUInt::operator<<=(std::size_t bits)
+{
+    if (isZero() || bits == 0)
+        return *this;
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    limbs.insert(limbs.begin(), limb_shift, 0);
+    if (bit_shift) {
+        std::uint32_t carry = 0;
+        for (std::size_t i = limb_shift; i < limbs.size(); ++i) {
+            const std::uint64_t cur =
+                (static_cast<std::uint64_t>(limbs[i]) << bit_shift) | carry;
+            limbs[i] = static_cast<std::uint32_t>(cur);
+            carry = static_cast<std::uint32_t>(cur >> 32);
+        }
+        if (carry)
+            limbs.push_back(carry);
+    }
+    return *this;
+}
+
+BigUInt &
+BigUInt::operator>>=(std::size_t bits)
+{
+    if (isZero() || bits == 0)
+        return *this;
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    if (limb_shift >= limbs.size()) {
+        limbs.clear();
+        return *this;
+    }
+    limbs.erase(limbs.begin(),
+                limbs.begin() + static_cast<std::ptrdiff_t>(limb_shift));
+    if (bit_shift) {
+        for (std::size_t i = 0; i < limbs.size(); ++i) {
+            std::uint64_t cur = limbs[i] >> bit_shift;
+            if (i + 1 < limbs.size()) {
+                cur |= static_cast<std::uint64_t>(limbs[i + 1])
+                       << (32 - bit_shift);
+            }
+            limbs[i] = static_cast<std::uint32_t>(cur);
+        }
+    }
+    trim();
+    return *this;
+}
+
+std::pair<BigUInt, BigUInt>
+BigUInt::divmod(const BigUInt &divisor) const
+{
+    RCOAL_ASSERT(!divisor.isZero(), "BigUInt division by zero");
+    if (*this < divisor)
+        return {BigUInt{}, *this};
+
+    BigUInt quotient;
+    BigUInt remainder;
+    const std::size_t nbits = bitLength();
+    for (std::size_t i = nbits; i-- > 0;) {
+        remainder <<= 1;
+        if (bit(i))
+            remainder += BigUInt(1);
+        quotient <<= 1;
+        if (remainder >= divisor) {
+            remainder -= divisor;
+            quotient += BigUInt(1);
+        }
+    }
+    return {quotient, remainder};
+}
+
+BigUInt
+BigUInt::pow(std::uint64_t exp) const
+{
+    BigUInt base = *this;
+    BigUInt result(1);
+    while (exp) {
+        if (exp & 1)
+            result *= base;
+        exp >>= 1;
+        if (exp)
+            base *= base;
+    }
+    return result;
+}
+
+BigUInt
+BigUInt::gcd(BigUInt a, BigUInt b)
+{
+    while (!b.isZero()) {
+        BigUInt r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+std::string
+BigUInt::toString() const
+{
+    if (isZero())
+        return "0";
+    // Repeated division by 1e9 yields 9-digit chunks.
+    static const BigUInt chunk(1'000'000'000ull);
+    std::vector<std::uint32_t> groups;
+    BigUInt cur = *this;
+    while (!cur.isZero()) {
+        auto [q, r] = cur.divmod(chunk);
+        groups.push_back(r.isZero() ? 0u
+                                    : static_cast<std::uint32_t>(r.toU64()));
+        cur = std::move(q);
+    }
+    std::string out = std::to_string(groups.back());
+    for (std::size_t i = groups.size() - 1; i-- > 0;)
+        out += strprintf("%09u", groups[i]);
+    return out;
+}
+
+double
+BigUInt::toDouble() const
+{
+    double out = 0.0;
+    for (std::size_t i = limbs.size(); i-- > 0;)
+        out = out * 4294967296.0 + static_cast<double>(limbs[i]);
+    return out;
+}
+
+long double
+BigUInt::toLongDouble() const
+{
+    long double out = 0.0L;
+    for (std::size_t i = limbs.size(); i-- > 0;)
+        out = out * 4294967296.0L + static_cast<long double>(limbs[i]);
+    return out;
+}
+
+std::uint64_t
+BigUInt::toU64() const
+{
+    RCOAL_ASSERT(limbs.size() <= 2, "BigUInt %s does not fit in 64 bits",
+                 toString().c_str());
+    std::uint64_t out = 0;
+    if (limbs.size() >= 2)
+        out = static_cast<std::uint64_t>(limbs[1]) << 32;
+    if (!limbs.empty())
+        out |= limbs[0];
+    return out;
+}
+
+} // namespace rcoal::numeric

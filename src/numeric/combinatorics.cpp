@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Exact combinatorics implementation with simple memo tables.
+ */
+
+#include "rcoal/numeric/combinatorics.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::numeric {
+
+namespace {
+
+std::mutex memo_mutex;
+
+} // namespace
+
+const BigUInt &
+factorial(unsigned n)
+{
+    static std::vector<BigUInt> table = {BigUInt(1)}; // 0! = 1
+    std::scoped_lock lock(memo_mutex);
+    while (table.size() <= n)
+        table.push_back(table.back() * BigUInt(table.size()));
+    return table[n];
+}
+
+BigUInt
+binomial(unsigned n, unsigned k)
+{
+    if (k > n)
+        return {};
+    if (k > n - k)
+        k = n - k;
+    // Multiply/divide incrementally; each intermediate is integral.
+    BigUInt result(1);
+    for (unsigned i = 0; i < k; ++i) {
+        result *= BigUInt(n - i);
+        result = result / BigUInt(i + 1);
+    }
+    return result;
+}
+
+BigUInt
+fallingFactorial(unsigned n, unsigned k)
+{
+    RCOAL_ASSERT(k <= n, "falling factorial with k=%u > n=%u", k, n);
+    BigUInt result(1);
+    for (unsigned i = 0; i < k; ++i)
+        result *= BigUInt(n - i);
+    return result;
+}
+
+BigUInt
+multinomial(std::span<const unsigned> counts)
+{
+    unsigned total = 0;
+    for (unsigned c : counts)
+        total += c;
+    BigUInt result = factorial(total);
+    for (unsigned c : counts)
+        result = result / factorial(c);
+    return result;
+}
+
+const BigUInt &
+stirling2(unsigned n, unsigned k)
+{
+    // Triangular memo table: row n holds S(n, 0..n).
+    static std::vector<std::vector<BigUInt>> table = {{BigUInt(1)}};
+    static const BigUInt zero{};
+    if (k > n)
+        return zero;
+    std::scoped_lock lock(memo_mutex);
+    while (table.size() <= n) {
+        const std::size_t row = table.size();
+        std::vector<BigUInt> cur(row + 1);
+        cur[0] = BigUInt{}; // S(n, 0) = 0 for n >= 1
+        for (std::size_t j = 1; j <= row; ++j) {
+            // S(n, k) = k * S(n-1, k) + S(n-1, k-1)
+            BigUInt v = table[row - 1][j - 1];
+            if (j < row)
+                v += BigUInt(j) * table[row - 1][j];
+            cur[j] = std::move(v);
+        }
+        table.push_back(std::move(cur));
+    }
+    return table[n][k];
+}
+
+BigUInt
+bell(unsigned n)
+{
+    BigUInt sum;
+    for (unsigned k = 0; k <= n; ++k)
+        sum += stirling2(n, k);
+    return sum;
+}
+
+BigUInt
+compositionsCount(unsigned n, unsigned k)
+{
+    if (k == 0)
+        return n == 0 ? BigUInt(1) : BigUInt{};
+    if (n < k)
+        return {};
+    return binomial(n - 1, k - 1);
+}
+
+} // namespace rcoal::numeric

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Exact non-negative rational numbers on top of BigUInt.
+ *
+ * Probabilities and expectations in the analytical model are ratios of
+ * exact integers; carrying them as reduced rationals keeps the Table II
+ * computation exact until the final square root.
+ */
+
+#ifndef RCOAL_NUMERIC_BIG_RATIONAL_HPP
+#define RCOAL_NUMERIC_BIG_RATIONAL_HPP
+
+#include <string>
+
+#include "rcoal/numeric/big_uint.hpp"
+
+namespace rcoal::numeric {
+
+/**
+ * Non-negative rational number, always stored in lowest terms with a
+ * positive denominator. Subtraction below zero panics (quantities in the
+ * analytical model are non-negative by construction).
+ */
+class BigRational
+{
+  public:
+    /** Zero. */
+    BigRational() : den(1) {}
+
+    /** Whole number. */
+    BigRational(std::uint64_t value) // NOLINT(google-explicit-constructor)
+        : num(value), den(1)
+    {}
+
+    /** numerator / denominator; denominator must be non-zero. */
+    BigRational(BigUInt numerator, BigUInt denominator);
+
+    const BigUInt &numerator() const { return num; }
+    const BigUInt &denominator() const { return den; }
+
+    bool isZero() const { return num.isZero(); }
+
+    bool operator==(const BigRational &other) const = default;
+    std::strong_ordering operator<=>(const BigRational &other) const;
+
+    BigRational &operator+=(const BigRational &other);
+    BigRational &operator-=(const BigRational &other);
+    BigRational &operator*=(const BigRational &other);
+    BigRational &operator/=(const BigRational &other);
+
+    friend BigRational
+    operator+(BigRational a, const BigRational &b)
+    {
+        a += b;
+        return a;
+    }
+    friend BigRational
+    operator-(BigRational a, const BigRational &b)
+    {
+        a -= b;
+        return a;
+    }
+    friend BigRational
+    operator*(BigRational a, const BigRational &b)
+    {
+        a *= b;
+        return a;
+    }
+    friend BigRational
+    operator/(BigRational a, const BigRational &b)
+    {
+        a /= b;
+        return a;
+    }
+
+    /** "num/den" (or just "num" when den == 1). */
+    std::string toString() const;
+
+    /** Nearest long double. */
+    long double toLongDouble() const;
+
+    /** Nearest double. */
+    double toDouble() const;
+
+  private:
+    void reduce();
+
+    BigUInt num;
+    BigUInt den;
+};
+
+} // namespace rcoal::numeric
+
+#endif // RCOAL_NUMERIC_BIG_RATIONAL_HPP

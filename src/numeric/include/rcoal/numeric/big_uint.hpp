@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers.
+ *
+ * The analytical security model (Section V of the paper) needs exact
+ * Stirling numbers of the second kind and multinomials up to 32!, which
+ * overflow 64-bit (and in places 128-bit) arithmetic. This class provides
+ * the small exact-integer substrate those computations run on. It is a
+ * little-endian vector of 32-bit limbs with schoolbook algorithms - ample
+ * for the few-hundred-bit values this project manipulates.
+ */
+
+#ifndef RCOAL_NUMERIC_BIG_UINT_HPP
+#define RCOAL_NUMERIC_BIG_UINT_HPP
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rcoal::numeric {
+
+/**
+ * Arbitrary-precision unsigned integer.
+ *
+ * Invariant: no leading zero limbs (zero is the empty limb vector).
+ * Subtraction of a larger value panics: all quantities in the analytical
+ * model are non-negative, so underflow always indicates a bug.
+ */
+class BigUInt
+{
+  public:
+    /** Zero. */
+    BigUInt() = default;
+
+    /** Construct from a built-in unsigned value. */
+    BigUInt(std::uint64_t value); // NOLINT(google-explicit-constructor)
+
+    /** Parse a non-empty decimal string; panics on invalid input. */
+    static BigUInt fromDecimal(const std::string &text);
+
+    /** True when the value is zero. */
+    bool isZero() const { return limbs.empty(); }
+
+    /** Number of significant bits (0 for zero). */
+    std::size_t bitLength() const;
+
+    /** Value of bit @p i (0 = least significant). */
+    bool bit(std::size_t i) const;
+
+    bool operator==(const BigUInt &other) const = default;
+    std::strong_ordering operator<=>(const BigUInt &other) const;
+
+    BigUInt &operator+=(const BigUInt &other);
+    BigUInt &operator-=(const BigUInt &other);
+    BigUInt &operator*=(const BigUInt &other);
+    BigUInt &operator<<=(std::size_t bits);
+    BigUInt &operator>>=(std::size_t bits);
+
+    friend BigUInt
+    operator+(BigUInt a, const BigUInt &b)
+    {
+        a += b;
+        return a;
+    }
+    friend BigUInt
+    operator-(BigUInt a, const BigUInt &b)
+    {
+        a -= b;
+        return a;
+    }
+    friend BigUInt operator*(const BigUInt &a, const BigUInt &b);
+    friend BigUInt
+    operator<<(BigUInt a, std::size_t bits)
+    {
+        a <<= bits;
+        return a;
+    }
+    friend BigUInt
+    operator>>(BigUInt a, std::size_t bits)
+    {
+        a >>= bits;
+        return a;
+    }
+
+    /**
+     * Quotient and remainder; panics when @p divisor is zero.
+     * Binary long division: O(bitLength * limbs), fine at this scale.
+     */
+    std::pair<BigUInt, BigUInt> divmod(const BigUInt &divisor) const;
+
+    friend BigUInt
+    operator/(const BigUInt &a, const BigUInt &b)
+    {
+        return a.divmod(b).first;
+    }
+    friend BigUInt
+    operator%(const BigUInt &a, const BigUInt &b)
+    {
+        return a.divmod(b).second;
+    }
+
+    /** this^exp via binary exponentiation (0^0 == 1). */
+    BigUInt pow(std::uint64_t exp) const;
+
+    /** Greatest common divisor (Euclid). */
+    static BigUInt gcd(BigUInt a, BigUInt b);
+
+    /** Decimal representation. */
+    std::string toString() const;
+
+    /** Nearest double (may overflow to +inf for huge values). */
+    double toDouble() const;
+
+    /** Nearest long double. */
+    long double toLongDouble() const;
+
+    /**
+     * Convert to uint64_t; panics if the value does not fit.
+     */
+    std::uint64_t toU64() const;
+
+  private:
+    void trim();
+
+    /** Little-endian 32-bit limbs; empty means zero. */
+    std::vector<std::uint32_t> limbs;
+};
+
+} // namespace rcoal::numeric
+
+#endif // RCOAL_NUMERIC_BIG_UINT_HPP

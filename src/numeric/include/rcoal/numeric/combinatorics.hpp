@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Exact combinatorial quantities: factorials, binomials, multinomials,
+ * Stirling numbers of the second kind, and Bell numbers.
+ *
+ * Definition 1 of the paper expresses the distribution of the number of
+ * coalesced accesses in terms of Stirling numbers of the second kind and
+ * falling factorials; everything here is computed exactly with BigUInt
+ * and memoized.
+ */
+
+#ifndef RCOAL_NUMERIC_COMBINATORICS_HPP
+#define RCOAL_NUMERIC_COMBINATORICS_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "rcoal/numeric/big_uint.hpp"
+
+namespace rcoal::numeric {
+
+/** n! (memoized). */
+const BigUInt &factorial(unsigned n);
+
+/** Binomial coefficient C(n, k); 0 when k > n. */
+BigUInt binomial(unsigned n, unsigned k);
+
+/** Falling factorial n * (n-1) * ... * (n-k+1); 1 when k == 0. */
+BigUInt fallingFactorial(unsigned n, unsigned k);
+
+/**
+ * Multinomial coefficient (sum counts)! / prod(counts[i]!).
+ */
+BigUInt multinomial(std::span<const unsigned> counts);
+
+/**
+ * Stirling number of the second kind S(n, k): the number of ways to
+ * partition n labeled items into k non-empty unlabeled subsets (memoized).
+ */
+const BigUInt &stirling2(unsigned n, unsigned k);
+
+/** Bell number B(n) = sum over k of S(n, k). */
+BigUInt bell(unsigned n);
+
+/**
+ * Number of compositions of n into k positive parts: C(n-1, k-1).
+ * This is |W| in Section V-B3 of the paper (the skewed RSS size space).
+ */
+BigUInt compositionsCount(unsigned n, unsigned k);
+
+} // namespace rcoal::numeric
+
+#endif // RCOAL_NUMERIC_COMBINATORICS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Integer partition and composition enumeration.
+ *
+ * The analytical model sums over the frequency set F (all ways N thread
+ * accesses distribute over R memory blocks) and over the RSS size space W
+ * (all compositions of N into M positive parts). Both spaces are
+ * astronomically large when enumerated as vectors (|F| ~ 1.5e12 for
+ * N=32, R=16), but every summand is symmetric under relabeling, so the
+ * sums collapse to integer *partitions* with multiplicity weights
+ * (~1e4 terms). This header provides the partition enumerators and the
+ * weight helpers.
+ */
+
+#ifndef RCOAL_NUMERIC_PARTITIONS_HPP
+#define RCOAL_NUMERIC_PARTITIONS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rcoal/numeric/big_uint.hpp"
+
+namespace rcoal::numeric {
+
+/** A partition of an integer: positive parts in non-increasing order. */
+using Partition = std::vector<unsigned>;
+
+/**
+ * Enumerate all partitions of @p n into at most @p max_parts parts, each
+ * part at most @p max_part. The callback receives parts in non-increasing
+ * order. n == 0 yields the empty partition.
+ */
+void forEachPartition(unsigned n, unsigned max_parts, unsigned max_part,
+                      const std::function<void(const Partition &)> &fn);
+
+/**
+ * Enumerate all partitions of @p n into exactly @p parts positive parts
+ * (each at most @p max_part).
+ */
+void forEachPartitionExact(unsigned n, unsigned parts, unsigned max_part,
+                           const std::function<void(const Partition &)> &fn);
+
+/** Number of partitions of n into at most max_parts parts. */
+std::uint64_t countPartitions(unsigned n, unsigned max_parts,
+                              unsigned max_part);
+
+/**
+ * Number of distinct compositions (ordered sequences of positive parts)
+ * realizing a given partition over exactly k slots, i.e.
+ * k! / prod(multiplicity of each distinct part)!. Requires
+ * partition.size() == k.
+ */
+BigUInt compositionsOfPartition(const Partition &partition);
+
+/**
+ * Number of distinct R-slot frequency vectors (slots may be zero)
+ * realizing a given partition of positive parts:
+ * R! / (prod(multiplicity of each distinct positive part)! * (R-k)!)
+ * where k = partition.size(). Requires k <= total_slots.
+ */
+BigUInt vectorsOfPartition(const Partition &partition, unsigned total_slots);
+
+/**
+ * Multinomial N! / prod(f_i!) for the parts of a partition: the number of
+ * ways to assign N labeled threads to blocks with these frequencies.
+ */
+BigUInt threadAssignmentsOfPartition(const Partition &partition);
+
+} // namespace rcoal::numeric
+
+#endif // RCOAL_NUMERIC_PARTITIONS_HPP

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Partition enumeration implementation.
+ */
+
+#include "rcoal/numeric/partitions.hpp"
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/numeric/combinatorics.hpp"
+
+namespace rcoal::numeric {
+
+namespace {
+
+void
+recurse(unsigned remaining, unsigned max_parts, unsigned max_part,
+        Partition &prefix, const std::function<void(const Partition &)> &fn)
+{
+    if (remaining == 0) {
+        fn(prefix);
+        return;
+    }
+    if (max_parts == 0)
+        return;
+    const unsigned hi = std::min(remaining, max_part);
+    // Largest remaining part first keeps parts non-increasing.
+    for (unsigned part = hi; part >= 1; --part) {
+        // Prune: the rest must fit in (max_parts - 1) parts of size <= part.
+        if (static_cast<std::uint64_t>(part) * max_parts < remaining)
+            break;
+        prefix.push_back(part);
+        recurse(remaining - part, max_parts - 1, part, prefix, fn);
+        prefix.pop_back();
+    }
+}
+
+} // namespace
+
+void
+forEachPartition(unsigned n, unsigned max_parts, unsigned max_part,
+                 const std::function<void(const Partition &)> &fn)
+{
+    Partition prefix;
+    recurse(n, max_parts, max_part, prefix, fn);
+}
+
+void
+forEachPartitionExact(unsigned n, unsigned parts, unsigned max_part,
+                      const std::function<void(const Partition &)> &fn)
+{
+    forEachPartition(n, parts, max_part, [&](const Partition &p) {
+        if (p.size() == parts)
+            fn(p);
+    });
+}
+
+std::uint64_t
+countPartitions(unsigned n, unsigned max_parts, unsigned max_part)
+{
+    std::uint64_t count = 0;
+    forEachPartition(n, max_parts, max_part,
+                     [&](const Partition &) { ++count; });
+    return count;
+}
+
+namespace {
+
+/** prod over distinct part values of multiplicity!. */
+BigUInt
+multiplicityFactorialProduct(const Partition &partition)
+{
+    BigUInt prod(1);
+    std::size_t i = 0;
+    while (i < partition.size()) {
+        std::size_t j = i;
+        while (j < partition.size() && partition[j] == partition[i])
+            ++j;
+        prod *= factorial(static_cast<unsigned>(j - i));
+        i = j;
+    }
+    return prod;
+}
+
+} // namespace
+
+BigUInt
+compositionsOfPartition(const Partition &partition)
+{
+    return factorial(static_cast<unsigned>(partition.size())) /
+           multiplicityFactorialProduct(partition);
+}
+
+BigUInt
+vectorsOfPartition(const Partition &partition, unsigned total_slots)
+{
+    const auto k = static_cast<unsigned>(partition.size());
+    RCOAL_ASSERT(k <= total_slots,
+                 "partition has %u parts but only %u slots", k, total_slots);
+    BigUInt denom = multiplicityFactorialProduct(partition);
+    denom *= factorial(total_slots - k);
+    return factorial(total_slots) / denom;
+}
+
+BigUInt
+threadAssignmentsOfPartition(const Partition &partition)
+{
+    unsigned total = 0;
+    for (unsigned p : partition)
+        total += p;
+    BigUInt result = factorial(total);
+    for (unsigned p : partition)
+        result = result / factorial(p);
+    return result;
+}
+
+} // namespace rcoal::numeric

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Coalescer implementation.
+ */
+
+#include "rcoal/core/coalescer.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <set>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::core {
+
+Coalescer::Coalescer(std::uint32_t block_size) : blockBytes(block_size)
+{
+    RCOAL_ASSERT(block_size > 0 && (block_size & (block_size - 1)) == 0,
+                 "block size must be a power of two, got %u", block_size);
+}
+
+std::vector<CoalescedAccess>
+Coalescer::coalesce(std::span<const LaneRequest> requests,
+                    const SubwarpPartition &partition) const
+{
+    // Warp-sized inputs produce at most a few dozen accesses, so a
+    // linear scan over the output beats a map (no node allocations on
+    // the simulator's hottest path).
+    std::vector<CoalescedAccess> out;
+    out.reserve(requests.size());
+    for (const LaneRequest &req : requests) {
+        if (!req.active)
+            continue;
+        const SubwarpId sid = partition.subwarpOf(req.tid);
+        RCOAL_ASSERT(req.size > 0, "zero-size request from tid %u",
+                     req.tid);
+        const Addr first = blockAlign(req.addr);
+        const Addr last = blockAlign(req.addr + req.size - 1);
+        for (Addr block = first; block <= last; block += blockBytes) {
+            CoalescedAccess *slot = nullptr;
+            for (auto &existing : out) {
+                if (existing.sid == sid && existing.blockAddr == block) {
+                    slot = &existing;
+                    break;
+                }
+            }
+            if (slot == nullptr) {
+                out.push_back(CoalescedAccess{block, sid, {}});
+                slot = &out.back();
+            }
+            slot->threads.push_back(req.tid);
+        }
+    }
+    // Hardware scans the PRT one subwarp at a time: emit grouped by sid,
+    // then by block address (also keeps output deterministic).
+    std::sort(out.begin(), out.end(),
+              [](const CoalescedAccess &a, const CoalescedAccess &b) {
+                  return std::tie(a.sid, a.blockAddr) <
+                         std::tie(b.sid, b.blockAddr);
+              });
+    return out;
+}
+
+unsigned
+Coalescer::countAccesses(std::span<const LaneRequest> requests,
+                         const SubwarpPartition &partition) const
+{
+    std::set<std::pair<SubwarpId, Addr>> blocks;
+    for (const LaneRequest &req : requests) {
+        if (!req.active)
+            continue;
+        const SubwarpId sid = partition.subwarpOf(req.tid);
+        const Addr first = blockAlign(req.addr);
+        const Addr last = blockAlign(req.addr + req.size - 1);
+        for (Addr block = first; block <= last; block += blockBytes)
+            blocks.insert({sid, block});
+    }
+    return static_cast<unsigned>(blocks.size());
+}
+
+} // namespace rcoal::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Subwarp partition sampling for each defense mechanism.
+ *
+ * The partitioner turns a CoalescingPolicy into concrete SubwarpPartition
+ * draws. Per Section IV-D of the paper, the hardware fixes the sid<->tid
+ * mapping once at the beginning of an application execution (a kernel
+ * launch), so the simulator calls draw() once per warp per launch.
+ */
+
+#ifndef RCOAL_CORE_PARTITIONER_HPP
+#define RCOAL_CORE_PARTITIONER_HPP
+
+#include <vector>
+
+#include "rcoal/common/rng.hpp"
+#include "rcoal/core/policy.hpp"
+#include "rcoal/core/subwarp.hpp"
+
+namespace rcoal::core {
+
+/**
+ * Draws SubwarpPartitions according to a CoalescingPolicy.
+ */
+class SubwarpPartitioner
+{
+  public:
+    /** @p warp_size is N (32 in the paper's configuration). */
+    SubwarpPartitioner(CoalescingPolicy policy, unsigned warp_size);
+
+    /** The policy being realized. */
+    const CoalescingPolicy &policy() const { return pol; }
+
+    /** Warp size N. */
+    unsigned warpSize() const { return n; }
+
+    /**
+     * Draw a partition. Deterministic policies (Baseline, Disabled, FSS
+     * without RTS) ignore the RNG and always return the same partition.
+     */
+    SubwarpPartition draw(Rng &rng) const;
+
+    /**
+     * FSS subwarp sizes: N/M each; when M does not divide N the first
+     * N mod M subwarps get one extra thread.
+     */
+    std::vector<unsigned> fixedSizes() const;
+
+    /**
+     * Sample skewed RSS sizes: uniform over all compositions of N into
+     * M positive parts (Section V-B3), via M-1 distinct cut points.
+     */
+    std::vector<unsigned> sampleSkewedSizes(Rng &rng) const;
+
+    /**
+     * Sample "normal" RSS sizes: iid Normal(N/M, sigma) rounded to
+     * integers, clamped to >= 1, then rebalanced to sum exactly N.
+     */
+    std::vector<unsigned> sampleNormalSizes(Rng &rng) const;
+
+  private:
+    SubwarpPartition partitionFromSizes(std::vector<unsigned> sizes,
+                                        Rng &rng) const;
+
+    CoalescingPolicy pol;
+    unsigned n;
+};
+
+} // namespace rcoal::core
+
+#endif // RCOAL_CORE_PARTITIONER_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Coalescing-defense policy description.
+ *
+ * A CoalescingPolicy selects one of the paper's mechanisms and its
+ * parameters:
+ *  - Baseline:  one subwarp per warp (the attackable GPGPU-Sim default).
+ *  - Disabled:  no coalescing at all (every active thread issues its own
+ *               access) - the heavy-handed defense of Section III.
+ *  - FSS:       fixed-sized subwarps, num-subwarp = M.
+ *  - RSS:       random-sized subwarps (skewed or normal sizing).
+ * The RTS overlay (random thread-to-subwarp allocation) applies on top of
+ * FSS or RSS, yielding FSS+RTS and RSS+RTS.
+ */
+
+#ifndef RCOAL_CORE_POLICY_HPP
+#define RCOAL_CORE_POLICY_HPP
+
+#include <string>
+
+namespace rcoal::core {
+
+/** Top-level mechanism selector. */
+enum class Mechanism
+{
+    Baseline, ///< Single subwarp, in-order threads (num-subwarp = 1).
+    Disabled, ///< Coalescing disabled entirely (32 accesses per warp).
+    Fss,      ///< Fixed-sized subwarps.
+    Rss,      ///< Random-sized subwarps.
+};
+
+/** Subwarp size distribution used by RSS (Section IV-B / Fig. 9). */
+enum class RssSizing
+{
+    Skewed, ///< Uniform over all compositions of N into M positive parts.
+    Normal, ///< iid Normal(N/M, sigma), rounded and rebalanced to sum N.
+};
+
+/**
+ * Full policy description. Plain data; validated by validate().
+ */
+struct CoalescingPolicy
+{
+    Mechanism mechanism = Mechanism::Baseline;
+
+    /** Number of subwarps M (ignored for Baseline/Disabled). */
+    unsigned numSubwarps = 1;
+
+    /** RTS overlay: randomize the thread elements of each subwarp. */
+    bool randomThreads = false;
+
+    /** Sizing distribution (RSS only). */
+    RssSizing sizing = RssSizing::Skewed;
+
+    /** Standard deviation for RssSizing::Normal. */
+    double normalSigma = 1.0;
+
+    /** Baseline policy (num-subwarp = 1, no randomization). */
+    static CoalescingPolicy baseline();
+
+    /** Coalescing disabled. */
+    static CoalescingPolicy disabled();
+
+    /** FSS with M subwarps; @p rts adds the RTS overlay. */
+    static CoalescingPolicy fss(unsigned m, bool rts = false);
+
+    /** RSS with M subwarps; @p rts adds the RTS overlay. */
+    static CoalescingPolicy rss(unsigned m, bool rts = false,
+                                RssSizing sizing = RssSizing::Skewed);
+
+    /** Human-readable name, e.g. "FSS+RTS(M=8)". */
+    std::string name() const;
+
+    /** Panics if the policy is internally inconsistent for @p warp_size. */
+    void validate(unsigned warp_size) const;
+
+    /** True when any randomness is involved (RSS sizing or RTS). */
+    bool isRandomized() const;
+
+    bool operator==(const CoalescingPolicy &other) const = default;
+};
+
+} // namespace rcoal::core
+
+#endif // RCOAL_CORE_POLICY_HPP

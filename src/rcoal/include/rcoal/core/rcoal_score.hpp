@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The RCoal_Score security/performance trade-off metric (Eq. 7).
+ */
+
+#ifndef RCOAL_CORE_RCOAL_SCORE_HPP
+#define RCOAL_CORE_RCOAL_SCORE_HPP
+
+namespace rcoal::core {
+
+/**
+ * Security strength S: the square of the inverse of the average
+ * correlation observed by the corresponding attack (Section VI-C).
+ * Returns +inf when the correlation is (numerically) zero.
+ */
+double securityStrength(double average_correlation);
+
+/**
+ * RCoal_Score = S^a / execution_time^b (Eq. 7).
+ *
+ * @param security S as computed by securityStrength().
+ * @param execution_time execution time (any consistent unit; the paper
+ *        uses time normalized to the baseline).
+ * @param a exponent weighting security.
+ * @param b exponent weighting performance.
+ */
+double rcoalScore(double security, double execution_time, double a,
+                  double b);
+
+} // namespace rcoal::core
+
+#endif // RCOAL_CORE_RCOAL_SCORE_HPP

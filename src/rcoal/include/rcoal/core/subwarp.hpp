@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Subwarp partition: the sid <-> tid mapping the modified MCU coalesces
+ * by (Fig. 11 of the paper).
+ */
+
+#ifndef RCOAL_CORE_SUBWARP_HPP
+#define RCOAL_CORE_SUBWARP_HPP
+
+#include <vector>
+
+#include "rcoal/common/types.hpp"
+
+namespace rcoal::core {
+
+/**
+ * A concrete assignment of every warp thread to a subwarp.
+ *
+ * Invariants (enforced by validate()):
+ *  - sidOfThread has one entry per thread, each < numSubwarps;
+ *  - every subwarp is non-empty (the paper's skewed distribution
+ *    explicitly guarantees this, Section V-B3).
+ */
+class SubwarpPartition
+{
+  public:
+    /** Build from an explicit per-thread sid vector. */
+    SubwarpPartition(std::vector<SubwarpId> sid_of_thread,
+                     unsigned num_subwarps);
+
+    /** The in-order single-subwarp partition (the baseline). */
+    static SubwarpPartition single(unsigned warp_size);
+
+    /**
+     * In-order partition with the given subwarp sizes: the first
+     * sizes[0] threads form subwarp 0, and so on.
+     */
+    static SubwarpPartition fromSizes(const std::vector<unsigned> &sizes);
+
+    /** Number of threads in the warp. */
+    unsigned warpSize() const
+    {
+        return static_cast<unsigned>(sid.size());
+    }
+
+    /** Number of subwarps M. */
+    unsigned numSubwarps() const { return m; }
+
+    /** Subwarp of thread @p tid. */
+    SubwarpId subwarpOf(ThreadId tid) const;
+
+    /** Per-thread sid vector (index = tid). */
+    const std::vector<SubwarpId> &sidOfThread() const { return sid; }
+
+    /** Thread ids belonging to subwarp @p s, in increasing tid order. */
+    std::vector<ThreadId> threadsOf(SubwarpId s) const;
+
+    /** Size of each subwarp, indexed by sid. */
+    std::vector<unsigned> sizes() const;
+
+    /**
+     * True when threads are assigned to subwarps in tid order (i.e. no
+     * RTS shuffling): sid values are non-decreasing across tids.
+     */
+    bool isInOrder() const;
+
+    /** Panics if an invariant is violated. */
+    void validate() const;
+
+    bool operator==(const SubwarpPartition &other) const = default;
+
+  private:
+    std::vector<SubwarpId> sid;
+    unsigned m;
+};
+
+} // namespace rcoal::core
+
+#endif // RCOAL_CORE_SUBWARP_HPP

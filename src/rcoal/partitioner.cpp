@@ -1,0 +1,124 @@
+/**
+ * @file
+ * SubwarpPartitioner implementation.
+ */
+
+#include "rcoal/core/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::core {
+
+SubwarpPartitioner::SubwarpPartitioner(CoalescingPolicy policy,
+                                       unsigned warp_size)
+    : pol(policy), n(warp_size)
+{
+    RCOAL_ASSERT(warp_size >= 1, "warp size must be positive");
+    pol.validate(warp_size);
+}
+
+std::vector<unsigned>
+SubwarpPartitioner::fixedSizes() const
+{
+    const unsigned m = pol.numSubwarps;
+    std::vector<unsigned> sizes(m, n / m);
+    for (unsigned i = 0; i < n % m; ++i)
+        ++sizes[i];
+    return sizes;
+}
+
+std::vector<unsigned>
+SubwarpPartitioner::sampleSkewedSizes(Rng &rng) const
+{
+    const unsigned m = pol.numSubwarps;
+    // A composition of n into m positive parts corresponds to a choice of
+    // m-1 distinct cut points among the n-1 gaps between consecutive
+    // threads; sampling cut points uniformly makes every composition
+    // equally likely and guarantees no subwarp is empty.
+    const auto cuts = rng.sampleDistinctSorted(m - 1, n - 1);
+    std::vector<unsigned> sizes;
+    sizes.reserve(m);
+    std::uint64_t prev = 0;
+    for (std::uint64_t cut : cuts) {
+        sizes.push_back(static_cast<unsigned>(cut + 1 - prev));
+        prev = cut + 1;
+    }
+    sizes.push_back(static_cast<unsigned>(n - prev));
+    return sizes;
+}
+
+std::vector<unsigned>
+SubwarpPartitioner::sampleNormalSizes(Rng &rng) const
+{
+    const unsigned m = pol.numSubwarps;
+    const double mean = static_cast<double>(n) / m;
+    std::vector<unsigned> sizes(m);
+    long total = 0;
+    for (unsigned i = 0; i < m; ++i) {
+        const double v = std::round(rng.normal(mean, pol.normalSigma));
+        const long clamped = std::max(1L, static_cast<long>(v));
+        sizes[i] = static_cast<unsigned>(
+            std::min<long>(clamped, static_cast<long>(n)));
+        total += sizes[i];
+    }
+    // Rebalance to sum exactly n while keeping every size >= 1.
+    while (total > static_cast<long>(n)) {
+        const unsigned i = static_cast<unsigned>(rng.below(m));
+        if (sizes[i] > 1) {
+            --sizes[i];
+            --total;
+        }
+    }
+    while (total < static_cast<long>(n)) {
+        const unsigned i = static_cast<unsigned>(rng.below(m));
+        ++sizes[i];
+        ++total;
+    }
+    return sizes;
+}
+
+SubwarpPartition
+SubwarpPartitioner::partitionFromSizes(std::vector<unsigned> sizes,
+                                       Rng &rng) const
+{
+    if (!pol.randomThreads)
+        return SubwarpPartition::fromSizes(sizes);
+
+    // RTS: assign the available sids to the threads in random order.
+    std::vector<SubwarpId> slots;
+    slots.reserve(n);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        for (unsigned i = 0; i < sizes[s]; ++i)
+            slots.push_back(static_cast<SubwarpId>(s));
+    }
+    rng.shuffle(slots);
+    return {std::move(slots), static_cast<unsigned>(sizes.size())};
+}
+
+SubwarpPartition
+SubwarpPartitioner::draw(Rng &rng) const
+{
+    switch (pol.mechanism) {
+      case Mechanism::Baseline:
+        return SubwarpPartition::single(n);
+      case Mechanism::Disabled:
+        // One thread per subwarp: coalescing degenerates to one access
+        // per active thread, matching disabled coalescing exactly.
+        return partitionFromSizes(std::vector<unsigned>(n, 1), rng);
+      case Mechanism::Fss:
+        return partitionFromSizes(fixedSizes(), rng);
+      case Mechanism::Rss: {
+        auto sizes = pol.sizing == RssSizing::Skewed
+                         ? sampleSkewedSizes(rng)
+                         : sampleNormalSizes(rng);
+        return partitionFromSizes(std::move(sizes), rng);
+      }
+    }
+    panic("invalid mechanism");
+}
+
+} // namespace rcoal::core

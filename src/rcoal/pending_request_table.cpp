@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PendingRequestTable implementation.
+ */
+
+#include "rcoal/core/pending_request_table.hpp"
+
+#include <bit>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::core {
+
+PendingRequestTable::PendingRequestTable(std::size_t entries)
+    : table(entries)
+{
+    RCOAL_ASSERT(entries > 0, "PRT must have at least one entry");
+    freeList.reserve(entries);
+    for (std::size_t i = entries; i-- > 0;)
+        freeList.push_back(i);
+}
+
+std::optional<std::size_t>
+PendingRequestTable::allocate(ThreadId tid, Addr base_addr,
+                              std::uint32_t offset, std::uint32_t size,
+                              SubwarpId sid)
+{
+    if (freeList.empty())
+        return std::nullopt;
+    const std::size_t i = freeList.back();
+    freeList.pop_back();
+    RCOAL_ASSERT(!table[i].valid, "free list returned a live entry");
+    table[i] = {true, tid, base_addr, offset, size, sid, false};
+    ++used;
+    return i;
+}
+
+void
+PendingRequestTable::markPending(std::size_t index)
+{
+    RCOAL_ASSERT(index < table.size() && table[index].valid,
+                 "markPending on invalid entry %zu", index);
+    table[index].pending = true;
+}
+
+void
+PendingRequestTable::release(std::size_t index)
+{
+    RCOAL_ASSERT(index < table.size() && table[index].valid,
+                 "release of invalid entry %zu", index);
+    table[index] = PrtEntry{};
+    freeList.push_back(index);
+    --used;
+}
+
+const PrtEntry &
+PendingRequestTable::entry(std::size_t index) const
+{
+    RCOAL_ASSERT(index < table.size() && table[index].valid,
+                 "access to invalid entry %zu", index);
+    return table[index];
+}
+
+std::vector<std::size_t>
+PendingRequestTable::entriesOfSubwarp(SubwarpId sid) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].valid && table[i].sid == sid)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::size_t
+PendingRequestTable::sidFieldBits(unsigned warp_size)
+{
+    // ceil(log2(warp_size)) bits per thread to name up to warp_size
+    // subwarps (5 bits for a 32-thread warp, Section IV-D).
+    return static_cast<std::size_t>(
+        std::bit_width(static_cast<unsigned>(warp_size - 1)));
+}
+
+} // namespace rcoal::core

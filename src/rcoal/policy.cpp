@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CoalescingPolicy helpers.
+ */
+
+#include "rcoal/core/policy.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::core {
+
+CoalescingPolicy
+CoalescingPolicy::baseline()
+{
+    return {};
+}
+
+CoalescingPolicy
+CoalescingPolicy::disabled()
+{
+    CoalescingPolicy p;
+    p.mechanism = Mechanism::Disabled;
+    return p;
+}
+
+CoalescingPolicy
+CoalescingPolicy::fss(unsigned m, bool rts)
+{
+    CoalescingPolicy p;
+    p.mechanism = Mechanism::Fss;
+    p.numSubwarps = m;
+    p.randomThreads = rts;
+    return p;
+}
+
+CoalescingPolicy
+CoalescingPolicy::rss(unsigned m, bool rts, RssSizing sizing)
+{
+    CoalescingPolicy p;
+    p.mechanism = Mechanism::Rss;
+    p.numSubwarps = m;
+    p.randomThreads = rts;
+    p.sizing = sizing;
+    return p;
+}
+
+std::string
+CoalescingPolicy::name() const
+{
+    switch (mechanism) {
+      case Mechanism::Baseline:
+        return "Baseline";
+      case Mechanism::Disabled:
+        return "NoCoalescing";
+      case Mechanism::Fss:
+        return strprintf("FSS%s(M=%u)", randomThreads ? "+RTS" : "",
+                         numSubwarps);
+      case Mechanism::Rss:
+        return strprintf("RSS%s(M=%u%s)", randomThreads ? "+RTS" : "",
+                         numSubwarps,
+                         sizing == RssSizing::Normal ? ",normal" : "");
+    }
+    panic("invalid mechanism");
+}
+
+void
+CoalescingPolicy::validate(unsigned warp_size) const
+{
+    switch (mechanism) {
+      case Mechanism::Baseline:
+      case Mechanism::Disabled:
+        return;
+      case Mechanism::Fss:
+      case Mechanism::Rss:
+        if (numSubwarps < 1 || numSubwarps > warp_size) {
+            fatal("num-subwarp must be in [1, %u], got %u", warp_size,
+                  numSubwarps);
+        }
+        if (mechanism == Mechanism::Rss &&
+            sizing == RssSizing::Normal && normalSigma < 0.0) {
+            fatal("normalSigma must be non-negative");
+        }
+        return;
+    }
+    panic("invalid mechanism");
+}
+
+bool
+CoalescingPolicy::isRandomized() const
+{
+    if (randomThreads)
+        return true;
+    return mechanism == Mechanism::Rss && numSubwarps > 1;
+}
+
+} // namespace rcoal::core

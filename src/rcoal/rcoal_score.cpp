@@ -1,0 +1,32 @@
+/**
+ * @file
+ * RCoal_Score implementation.
+ */
+
+#include "rcoal/core/rcoal_score.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::core {
+
+double
+securityStrength(double average_correlation)
+{
+    const double r = std::abs(average_correlation);
+    if (r < 1e-12)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / (r * r);
+}
+
+double
+rcoalScore(double security, double execution_time, double a, double b)
+{
+    RCOAL_ASSERT(execution_time > 0.0, "execution time must be positive");
+    RCOAL_ASSERT(security >= 0.0, "security strength must be non-negative");
+    return std::pow(security, a) / std::pow(execution_time, b);
+}
+
+} // namespace rcoal::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SubwarpPartition implementation.
+ */
+
+#include "rcoal/core/subwarp.hpp"
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::core {
+
+SubwarpPartition::SubwarpPartition(std::vector<SubwarpId> sid_of_thread,
+                                   unsigned num_subwarps)
+    : sid(std::move(sid_of_thread)), m(num_subwarps)
+{
+    validate();
+}
+
+SubwarpPartition
+SubwarpPartition::single(unsigned warp_size)
+{
+    return {std::vector<SubwarpId>(warp_size, 0), 1};
+}
+
+SubwarpPartition
+SubwarpPartition::fromSizes(const std::vector<unsigned> &sizes)
+{
+    std::vector<SubwarpId> sid;
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        for (unsigned i = 0; i < sizes[s]; ++i)
+            sid.push_back(static_cast<SubwarpId>(s));
+    }
+    return {std::move(sid), static_cast<unsigned>(sizes.size())};
+}
+
+SubwarpId
+SubwarpPartition::subwarpOf(ThreadId tid) const
+{
+    RCOAL_ASSERT(tid < sid.size(), "tid %u out of range", tid);
+    return sid[tid];
+}
+
+std::vector<ThreadId>
+SubwarpPartition::threadsOf(SubwarpId s) const
+{
+    std::vector<ThreadId> out;
+    for (ThreadId tid = 0; tid < sid.size(); ++tid) {
+        if (sid[tid] == s)
+            out.push_back(tid);
+    }
+    return out;
+}
+
+std::vector<unsigned>
+SubwarpPartition::sizes() const
+{
+    std::vector<unsigned> out(m, 0);
+    for (SubwarpId s : sid)
+        ++out[s];
+    return out;
+}
+
+bool
+SubwarpPartition::isInOrder() const
+{
+    for (std::size_t i = 1; i < sid.size(); ++i) {
+        if (sid[i] < sid[i - 1])
+            return false;
+    }
+    return true;
+}
+
+void
+SubwarpPartition::validate() const
+{
+    RCOAL_ASSERT(!sid.empty(), "empty partition");
+    RCOAL_ASSERT(m >= 1 && m <= sid.size(),
+                 "numSubwarps %u invalid for warp of %zu threads", m,
+                 sid.size());
+    // Constructed on the simulator's hot path: track non-emptiness with
+    // a stack bitmask for the common (m <= 128) case.
+    if (m <= 128) {
+        std::array<std::uint64_t, 2> seen{};
+        for (SubwarpId s : sid) {
+            RCOAL_ASSERT(s < m, "sid %u out of range (M=%u)", s, m);
+            seen[s >> 6] |= std::uint64_t{1} << (s & 63);
+        }
+        for (unsigned s = 0; s < m; ++s) {
+            RCOAL_ASSERT(seen[s >> 6] & (std::uint64_t{1} << (s & 63)),
+                         "subwarp %u is empty", s);
+        }
+        return;
+    }
+    std::vector<unsigned> count(m, 0);
+    for (SubwarpId s : sid) {
+        RCOAL_ASSERT(s < m, "sid %u out of range (M=%u)", s, m);
+        ++count[s];
+    }
+    for (unsigned s = 0; s < m; ++s)
+        RCOAL_ASSERT(count[s] > 0, "subwarp %u is empty", s);
+}
+
+} // namespace rcoal::core

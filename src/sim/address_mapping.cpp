@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Address mapping implementation.
+ */
+
+#include "rcoal/sim/address_mapping.hpp"
+
+namespace rcoal::sim {
+
+AddressMapping::AddressMapping(const GpuConfig &config)
+    : interleave(config.partitionInterleaveBytes),
+      partitions(config.numPartitions),
+      banks(config.banksPerPartition),
+      groups(config.bankGroups),
+      rowBytes(config.rowBytes)
+{
+}
+
+unsigned
+AddressMapping::partitionOf(Addr addr) const
+{
+    return static_cast<unsigned>((addr / interleave) % partitions);
+}
+
+DramLocation
+AddressMapping::decode(Addr addr) const
+{
+    DramLocation loc;
+    const std::uint64_t chunk = addr / interleave;
+    loc.partition = static_cast<unsigned>(chunk % partitions);
+
+    // Partition-local chunk index: collapse the interleaving.
+    const std::uint64_t local_chunk = chunk / partitions;
+
+    // Spread consecutive chunks across banks, then fill rows: a row of
+    // bank b holds chunksPerRow consecutive local chunks with stride
+    // `banks` between them.
+    const std::uint64_t chunks_per_row = rowBytes / interleave;
+    loc.bank = static_cast<unsigned>(local_chunk % banks);
+    loc.bankGroup = loc.bank % groups;
+    const std::uint64_t bank_chunk = local_chunk / banks;
+    loc.row = bank_chunk / chunks_per_row;
+    loc.column = static_cast<std::uint32_t>(
+        (bank_chunk % chunks_per_row) * interleave + (addr % interleave));
+    return loc;
+}
+
+} // namespace rcoal::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cache and MSHR implementation.
+ */
+
+#include "rcoal/sim/cache.hpp"
+
+#include <algorithm>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+Cache::Cache(const CacheGeometry &geometry) : geom(geometry)
+{
+    RCOAL_ASSERT(geom.lineBytes > 0 && geom.ways > 0,
+                 "cache geometry must be positive");
+    const std::size_t lines = geom.sizeBytes / geom.lineBytes;
+    RCOAL_ASSERT(lines >= geom.ways,
+                 "cache too small for its associativity");
+    numSets = lines / geom.ways;
+    sets.resize(numSets);
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    Set &set = sets[setOf(line)];
+    const auto it = std::find(set.lines.begin(), set.lines.end(), line);
+    if (it != set.lines.end()) {
+        set.lines.splice(set.lines.begin(), set.lines, it);
+        ++hitCount;
+        return true;
+    }
+    ++missCount;
+    return false;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    const std::uint64_t line = lineOf(addr);
+    Set &set = sets[setOf(line)];
+    const auto it = std::find(set.lines.begin(), set.lines.end(), line);
+    if (it != set.lines.end()) {
+        set.lines.splice(set.lines.begin(), set.lines, it);
+        return;
+    }
+    if (set.lines.size() >= geom.ways)
+        set.lines.pop_back();
+    set.lines.push_front(line);
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint64_t line = lineOf(addr);
+    const Set &set = sets[setOf(line)];
+    return std::find(set.lines.begin(), set.lines.end(), line) !=
+           set.lines.end();
+}
+
+void
+Cache::clear()
+{
+    for (Set &set : sets)
+        set.lines.clear();
+}
+
+MshrTable::MshrTable(std::size_t entries) : capacity(entries)
+{
+    RCOAL_ASSERT(entries > 0, "MSHR table needs at least one entry");
+}
+
+bool
+MshrTable::isPending(Addr block_addr) const
+{
+    return table.contains(block_addr);
+}
+
+bool
+MshrTable::canAllocate() const
+{
+    return table.size() < capacity;
+}
+
+void
+MshrTable::allocate(Addr block_addr, MemoryAccess access)
+{
+    RCOAL_ASSERT(!isPending(block_addr),
+                 "MSHR double-allocate for block %llx",
+                 static_cast<unsigned long long>(block_addr));
+    RCOAL_ASSERT(canAllocate(), "MSHR table full");
+    table[block_addr].push_back(std::move(access));
+}
+
+std::size_t
+MshrTable::merge(Addr block_addr, MemoryAccess access)
+{
+    auto it = table.find(block_addr);
+    RCOAL_ASSERT(it != table.end(), "MSHR merge without pending entry");
+    it->second.push_back(std::move(access));
+    ++mergeCount;
+    return it->second.size();
+}
+
+std::vector<MemoryAccess>
+MshrTable::complete(Addr block_addr)
+{
+    auto it = table.find(block_addr);
+    RCOAL_ASSERT(it != table.end(), "MSHR complete without pending entry");
+    std::vector<MemoryAccess> waiting = std::move(it->second);
+    table.erase(it);
+    return waiting;
+}
+
+} // namespace rcoal::sim

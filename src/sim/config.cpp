@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GpuConfig implementation.
+ */
+
+#include "rcoal/sim/config.hpp"
+
+#include <sstream>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+GpuConfig
+GpuConfig::paperBaseline()
+{
+    return GpuConfig{};
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numSms == 0 || warpSize == 0 || numPartitions == 0)
+        fatal("numSms, warpSize and numPartitions must be positive");
+    if (issueWidth == 0 || issueWidth > 8)
+        fatal("issueWidth must be in [1, 8]");
+    if ((coalesceBlockBytes & (coalesceBlockBytes - 1)) != 0)
+        fatal("coalesceBlockBytes must be a power of two");
+    if ((partitionInterleaveBytes & (partitionInterleaveBytes - 1)) != 0)
+        fatal("partitionInterleaveBytes must be a power of two");
+    if (partitionInterleaveBytes < coalesceBlockBytes)
+        fatal("partition interleave must be >= coalescing block size");
+    if (rowBytes < partitionInterleaveBytes)
+        fatal("row size must be >= partition interleave chunk");
+    if (banksPerPartition == 0 || bankGroups == 0 ||
+        banksPerPartition % bankGroups != 0) {
+        fatal("banksPerPartition must be a positive multiple of bankGroups");
+    }
+    if (banksPerPartition > 64) {
+        fatal("at most 64 banks per partition supported");
+    }
+    if (coreClockMhz <= 0.0 || memClockMhz <= 0.0)
+        fatal("clock frequencies must be positive");
+    if (prtEntries < warpSize)
+        fatal("PRT must hold at least one entry per warp lane");
+    policy.validate(warpSize);
+}
+
+std::string
+GpuConfig::describe() const
+{
+    std::ostringstream out;
+    out << strprintf("Core: %u SMs, warp size %u (SIMT 16x%u), "
+                     "%.0f MHz core clock\n",
+                     numSms, warpSize, issueWidth, coreClockMhz);
+    out << strprintf("Resources/core: %zu-entry PRT, %u warps max, "
+                     "ALU latency %u\n",
+                     prtEntries, maxWarpsPerSm, aluLatency);
+    out << strprintf("Coalescing: %u-byte blocks, policy %s\n",
+                     coalesceBlockBytes, policy.name().c_str());
+    out << strprintf("Interconnect: 1 crossbar/direction, %u-cycle "
+                     "traversal, %zu-deep port queues, %.0f MHz\n",
+                     icnLatency, icnQueueDepth, coreClockMhz);
+    out << strprintf("Memory: %u GDDR5 MCs (FR-FCFS), %u banks x %u "
+                     "bank-groups each, %.0f MHz, %u-byte interleave, "
+                     "%u-byte rows\n",
+                     numPartitions, banksPerPartition / bankGroups,
+                     bankGroups, memClockMhz, partitionInterleaveBytes,
+                     rowBytes);
+    out << strprintf("GDDR5 timing: tCL=%u tRP=%u tRC=%u tRAS=%u tCCD=%u "
+                     "tRCD=%u tRRD=%u\n",
+                     timing.tCL, timing.tRP, timing.tRC, timing.tRAS,
+                     timing.tCCD, timing.tRCD, timing.tRRD);
+    out << strprintf("L1: %s, L2: %s, MSHR merging: %s "
+                     "(paper disables all three)\n",
+                     l1Enabled ? "on" : "off", l2Enabled ? "on" : "off",
+                     mshrEnabled ? "on" : "off");
+    return out.str();
+}
+
+} // namespace rcoal::sim

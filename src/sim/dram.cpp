@@ -1,0 +1,195 @@
+/**
+ * @file
+ * DramPartition implementation.
+ */
+
+#include "rcoal/sim/dram.hpp"
+
+#include <algorithm>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+DramPartition::DramPartition(const GpuConfig &config, unsigned partition_id,
+                             KernelStats *kernel_stats)
+    : id(partition_id),
+      timing(config.timing),
+      burstCycles(config.burstCycles),
+      queueDepth(config.dramQueueDepth),
+      stats(kernel_stats),
+      banks(config.banksPerPartition),
+      refreshEnabled(config.refreshEnabled),
+      nextRefreshAt(config.timing.tREFI)
+{
+    RCOAL_ASSERT(stats != nullptr, "DramPartition requires a stats sink");
+}
+
+void
+DramPartition::maybeRefresh(Cycle now)
+{
+    if (!refreshEnabled || now < nextRefreshAt)
+        return;
+    // All-bank refresh: precharge everything and lock the banks for
+    // tRFC memory cycles.
+    for (Bank &bank : banks) {
+        bank.openRow = -1;
+        bank.nextActivate = std::max(bank.nextActivate, now + timing.tRFC);
+        bank.nextRead = std::max(bank.nextRead, now + timing.tRFC);
+    }
+    nextRefreshAt += timing.tREFI;
+    ++stats->dramRefreshes;
+}
+
+void
+DramPartition::enqueue(MemoryAccess access, const DramLocation &loc,
+                       Cycle now)
+{
+    RCOAL_ASSERT(canAccept(), "enqueue on full DRAM queue (partition %u)",
+                 id);
+    RCOAL_ASSERT(loc.partition == id,
+                 "access for partition %u routed to partition %u",
+                 loc.partition, id);
+    Request req;
+    req.access = std::move(access);
+    req.loc = loc;
+    req.arrival = now;
+    queue.push_back(std::move(req));
+}
+
+bool
+DramPartition::tryIssueColumn(Cycle now)
+{
+    // FR-FCFS: the oldest request whose row is open and whose bank/bus
+    // constraints are satisfied wins.
+    for (Request &req : queue) {
+        if (req.completion != kInvalidCycle)
+            continue;
+        Bank &bank = banks[req.loc.bank];
+        if (bank.openRow != static_cast<std::int64_t>(req.loc.row))
+            continue;
+        if (now < bank.nextRead)
+            continue;
+        // Reserve the data bus: the burst begins after CAS latency, or
+        // when the bus frees up, whichever is later.
+        const Cycle burst_start = std::max(now + timing.tCL, busFreeAt);
+        busFreeAt = burst_start + burstCycles;
+        req.completion = burst_start + burstCycles;
+        bank.nextRead = now + timing.tCCD;
+        if (req.neededActivate)
+            ++stats->dramRowMisses;
+        else
+            ++stats->dramRowHits;
+        return true;
+    }
+    return false;
+}
+
+bool
+DramPartition::tryIssueActivate(Cycle now)
+{
+    if (now < nextActivateAny)
+        return false;
+    for (Request &req : queue) {
+        if (req.completion != kInvalidCycle)
+            continue;
+        Bank &bank = banks[req.loc.bank];
+        if (bank.openRow != -1)
+            continue;
+        if (now < bank.nextActivate)
+            continue;
+        bank.openRow = static_cast<std::int64_t>(req.loc.row);
+        bank.nextRead = std::max(bank.nextRead, now + timing.tRCD);
+        bank.prechargeAllowed = now + timing.tRAS;
+        bank.nextActivate = now + timing.tRC;
+        nextActivateAny = now + timing.tRRD;
+        ++stats->dramActivates;
+        // Row-hit accounting: only the request this ACT was issued for
+        // counts as a miss; younger same-row requests will read from
+        // the now-open row and count as hits.
+        req.neededActivate = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+DramPartition::tryIssuePrecharge(Cycle now)
+{
+    // One pass to find which banks still have pending work for their
+    // open row (keeps the precharge scan linear in the queue length).
+    std::uint64_t open_row_wanted = 0; // bit per bank
+    for (const Request &req : queue) {
+        if (req.completion != kInvalidCycle)
+            continue;
+        const Bank &bank = banks[req.loc.bank];
+        if (bank.openRow == static_cast<std::int64_t>(req.loc.row))
+            open_row_wanted |= std::uint64_t{1} << req.loc.bank;
+    }
+    for (Request &req : queue) {
+        if (req.completion != kInvalidCycle)
+            continue;
+        Bank &bank = banks[req.loc.bank];
+        if (bank.openRow == -1 ||
+            bank.openRow == static_cast<std::int64_t>(req.loc.row)) {
+            continue;
+        }
+        if (now < bank.prechargeAllowed)
+            continue;
+        // Keep the row open while older work still wants it (FR-FCFS
+        // services those first anyway).
+        if (open_row_wanted & (std::uint64_t{1} << req.loc.bank))
+            continue;
+        bank.openRow = -1;
+        bank.nextActivate = std::max(bank.nextActivate, now + timing.tRP);
+        ++stats->dramPrecharges;
+        return true;
+    }
+    return false;
+}
+
+void
+DramPartition::tick(Cycle now)
+{
+    // Retire serviced requests whose burst finished.
+    for (auto it = queue.begin(); it != queue.end();) {
+        if (it->completion != kInvalidCycle && it->completion <= now) {
+            completed.push_back(std::move(*it));
+            it = queue.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    maybeRefresh(now);
+
+    // One command of each class per cycle approximates the command bus.
+    tryIssueColumn(now);
+    tryIssueActivate(now);
+    tryIssuePrecharge(now);
+}
+
+bool
+DramPartition::hasCompleted(Cycle now) const
+{
+    for (const Request &req : completed) {
+        if (req.completion <= now)
+            return true;
+    }
+    return false;
+}
+
+MemoryAccess
+DramPartition::popCompleted(Cycle now)
+{
+    for (auto it = completed.begin(); it != completed.end(); ++it) {
+        if (it->completion <= now) {
+            MemoryAccess access = std::move(it->access);
+            completed.erase(it);
+            return access;
+        }
+    }
+    panic("popCompleted with nothing completed (partition %u)", id);
+}
+
+} // namespace rcoal::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "rcoal/sim/energy.hpp"
+
+#include <sstream>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+double
+EnergyBreakdown::total() const
+{
+    return dramDynamic + dramActivate + interconnect + caches + core +
+           leakage;
+}
+
+std::string
+EnergyBreakdown::describe() const
+{
+    std::ostringstream out;
+    const double t = total();
+    const auto line = [&](const char *label, double pj) {
+        out << strprintf("  %-14s %10.1f nJ (%5.1f%%)\n", label,
+                         pj / 1000.0, t > 0.0 ? 100.0 * pj / t : 0.0);
+    };
+    out << strprintf("total energy: %.1f nJ\n", t / 1000.0);
+    line("DRAM dynamic", dramDynamic);
+    line("DRAM activate", dramActivate);
+    line("interconnect", interconnect);
+    line("caches", caches);
+    line("core", core);
+    line("leakage", leakage);
+    return out.str();
+}
+
+EnergyBreakdown
+estimateEnergy(const KernelStats &stats, const GpuConfig &config,
+               const EnergyCoefficients &coefficients)
+{
+    EnergyBreakdown energy;
+
+    // Every coalesced access that reached DRAM moves one block; with
+    // caches on, hits stay on chip.
+    const double dram_accesses =
+        static_cast<double>(stats.dramRowHits + stats.dramRowMisses);
+    energy.dramDynamic = dram_accesses * config.coalesceBlockBytes *
+                         coefficients.dramPerByte;
+    energy.dramActivate = static_cast<double>(stats.dramActivates) *
+                          coefficients.dramActivate;
+
+    // Request + response flit per DRAM-bound access (writes have no
+    // response; approximate with 2 flits per access, the dominant
+    // term either way).
+    energy.interconnect = dram_accesses * 2.0 *
+                          coefficients.interconnectPerFlit;
+
+    energy.caches =
+        static_cast<double>(stats.l1Hits + stats.l1Misses) *
+            coefficients.l1PerAccess +
+        static_cast<double>(stats.l2Hits + stats.l2Misses) *
+            coefficients.l2PerAccess;
+
+    energy.core = static_cast<double>(stats.warpInstructions) *
+                  coefficients.smPerInstruction;
+
+    energy.leakage = static_cast<double>(stats.cycles) *
+                     config.numSms * coefficients.staticPerCycleSm;
+
+    return energy;
+}
+
+} // namespace rcoal::sim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Simulated GPU configuration (Table I of the paper).
+ */
+
+#ifndef RCOAL_SIM_CONFIG_HPP
+#define RCOAL_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "rcoal/core/policy.hpp"
+
+namespace rcoal::sim {
+
+/**
+ * GDDR5 timing parameters in memory-clock cycles (Hynix part, Table I).
+ */
+struct DramTiming
+{
+    unsigned tCL = 12;  ///< CAS latency (READ to data).
+    unsigned tRP = 12;  ///< Precharge to ACT.
+    unsigned tRC = 40;  ///< ACT to ACT, same bank.
+    unsigned tRAS = 28; ///< ACT to PRE, same bank.
+    unsigned tCCD = 2;  ///< Column command to column command.
+    unsigned tRCD = 12; ///< ACT to READ/WRITE.
+    unsigned tRRD = 6;  ///< ACT to ACT, different banks.
+    unsigned tREFI = 1755; ///< Refresh interval (all banks).
+    unsigned tRFC = 83;    ///< Refresh cycle duration.
+};
+
+/** Warp scheduler selection policy. */
+enum class SchedulerPolicy
+{
+    LooseRoundRobin, ///< Rotate through ready warps (the default).
+    GreedyThenOldest, ///< Stick with the last warp; fall back to oldest.
+};
+
+/** Set-associative cache geometry (used when caches are enabled). */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 4;
+    unsigned hitLatency = 4; ///< Core cycles.
+};
+
+/**
+ * Full GPU configuration. Defaults reproduce the paper's simulated
+ * machine (Table I): 15 SMs, 32-thread warps with two schedulers per SM,
+ * 6 GDDR5 memory controllers with FR-FCFS scheduling, 256-byte
+ * partition interleaving, and caches/MSHRs disabled (Section VII).
+ */
+struct GpuConfig
+{
+    // Core features.
+    unsigned numSms = 15;
+    unsigned warpSize = 32;
+    unsigned issueWidth = 2;      ///< Warp schedulers per SM (16x2 SIMT).
+    unsigned maxWarpsPerSm = 48;
+    unsigned aluLatency = 4;      ///< Default ALU op latency, core cycles.
+    SchedulerPolicy scheduler = SchedulerPolicy::LooseRoundRobin;
+
+    // Clocks (MHz). Interconnect runs at the core clock.
+    double coreClockMhz = 1400.0;
+    double memClockMhz = 924.0;
+
+    // Coalescing.
+    std::uint32_t coalesceBlockBytes = 64;
+    /**
+     * PRT capacity per SM LD/ST unit. 256 entries keep 8 fully-divergent
+     * warp loads in flight, which makes execution time track the
+     * coalesced-access count (the linear relationship of Fig. 5) instead
+     * of being bound by load round-trip latency.
+     */
+    std::size_t prtEntries = 256;
+
+    // Interconnect (one crossbar per direction).
+    unsigned icnLatency = 8;      ///< Traversal latency, core cycles.
+    std::size_t icnQueueDepth = 16;
+
+    // Memory system.
+    unsigned numPartitions = 6;
+    std::uint32_t partitionInterleaveBytes = 256;
+    unsigned banksPerPartition = 16;
+    unsigned bankGroups = 4;
+    std::uint32_t rowBytes = 2048;
+    std::size_t dramQueueDepth = 32;
+    unsigned burstCycles = 2;     ///< Data-bus occupancy per access.
+    DramTiming timing{};
+    /**
+     * Periodic all-bank refresh (tREFI/tRFC). Off by default: refresh
+     * adds low-frequency timing noise that is irrelevant to the
+     * coalescing channel and the paper's GPGPU-Sim configuration; turn
+     * it on for substrate studies.
+     */
+    bool refreshEnabled = false;
+
+    // Optional bandwidth-saving features (paper disables them).
+    bool l1Enabled = false;
+    bool l2Enabled = false;
+    bool mshrEnabled = false;
+    std::size_t mshrEntries = 32;
+    CacheGeometry l1{};
+    CacheGeometry l2{128 * 1024, 64, 8, 8};
+
+    // The defense under evaluation.
+    core::CoalescingPolicy policy{};
+
+    /**
+     * Section VII future work: apply the randomized-coalescing policy
+     * only to memory instructions whose AccessTag bit is set in
+     * protectedTagMask; everything else coalesces with the baseline
+     * single-subwarp partition. Requires software support to identify
+     * the vulnerable code (here: the semantic trace tags).
+     */
+    bool selectiveRCoal = false;
+
+    /** Bit i protects AccessTag i (default: last-round lookups only). */
+    std::uint32_t protectedTagMask = 1u << 3; // LastRoundLookup
+
+    /** Master seed for all simulator randomness. */
+    std::uint64_t seed = 1;
+
+    /** The paper's baseline configuration. */
+    static GpuConfig paperBaseline();
+
+    /** Panics on inconsistent parameters. */
+    void validate() const;
+
+    /** Multi-line human-readable dump (used by the Table I bench). */
+    std::string describe() const;
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_CONFIG_HPP

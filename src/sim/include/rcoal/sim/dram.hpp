@@ -1,0 +1,103 @@
+/**
+ * @file
+ * GDDR5 memory partition model with FR-FCFS scheduling.
+ *
+ * Each partition owns a request queue, per-bank row-buffer state, and a
+ * shared data bus. Scheduling is First-Ready First-Come-First-Served:
+ * row-buffer hits are serviced ahead of older row misses. Timing follows
+ * the Hynix GDDR5 parameters of Table I (tCL, tRP, tRC, tRAS, tCCD,
+ * tRCD, tRRD), expressed in memory-clock cycles; the GPU top level
+ * converts between clock domains.
+ */
+
+#ifndef RCOAL_SIM_DRAM_HPP
+#define RCOAL_SIM_DRAM_HPP
+
+#include <deque>
+#include <vector>
+
+#include "rcoal/sim/address_mapping.hpp"
+#include "rcoal/sim/memory_access.hpp"
+#include "rcoal/sim/stats.hpp"
+
+namespace rcoal::sim {
+
+/**
+ * One GDDR5 memory partition (memory controller + devices).
+ */
+class DramPartition
+{
+  public:
+    /**
+     * @param config GPU configuration (timing, queue depth, banks).
+     * @param partition_id this partition's index.
+     * @param stats kernel statistics sink (row hits/misses, ACT/PRE).
+     */
+    DramPartition(const GpuConfig &config, unsigned partition_id,
+                  KernelStats *stats);
+
+    /** True when the request queue has room. */
+    bool canAccept() const { return queue.size() < queueDepth; }
+
+    /** Enqueue an access (must canAccept()); @p now is the memory cycle. */
+    void enqueue(MemoryAccess access, const DramLocation &loc, Cycle now);
+
+    /** Advance one memory cycle: issue up to one READ/WRITE, ACT, PRE. */
+    void tick(Cycle now);
+
+    /**
+     * True when a serviced access is ready to be picked up at memory
+     * cycle @p now.
+     */
+    bool hasCompleted(Cycle now) const;
+
+    /** Pop one completed access (must hasCompleted()). */
+    MemoryAccess popCompleted(Cycle now);
+
+    /** True when no requests are queued, in flight, or completed. */
+    bool idle() const { return queue.empty() && completed.empty(); }
+
+    /** Number of queued (unserviced) requests. */
+    std::size_t queuedRequests() const { return queue.size(); }
+
+  private:
+    struct Request
+    {
+        MemoryAccess access;
+        DramLocation loc;
+        Cycle arrival = 0;
+        bool neededActivate = false; ///< Row was not open on arrival path.
+        Cycle completion = kInvalidCycle; ///< Data available (mem cycles).
+    };
+
+    struct Bank
+    {
+        std::int64_t openRow = -1;   ///< -1 = precharged.
+        Cycle nextRead = 0;          ///< Earliest next column command.
+        Cycle nextActivate = 0;      ///< Earliest next ACT (tRP / tRC).
+        Cycle prechargeAllowed = 0;  ///< tRAS from last ACT.
+    };
+
+    bool tryIssueColumn(Cycle now);
+    bool tryIssueActivate(Cycle now);
+    bool tryIssuePrecharge(Cycle now);
+    void maybeRefresh(Cycle now);
+
+    unsigned id;
+    DramTiming timing;
+    unsigned burstCycles;
+    std::size_t queueDepth;
+    KernelStats *stats;
+
+    std::deque<Request> queue;        ///< Age-ordered, oldest first.
+    std::vector<Request> completed;   ///< Serviced, awaiting pickup.
+    std::vector<Bank> banks;
+    Cycle busFreeAt = 0;              ///< Data bus reservation horizon.
+    Cycle nextActivateAny = 0;        ///< tRRD across banks.
+    bool refreshEnabled = false;
+    Cycle nextRefreshAt = 0;          ///< Next all-bank refresh.
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_DRAM_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * First-order energy model (GPUWattch-style accounting).
+ *
+ * The paper motivates RCoal's cost in both time and *data movement*:
+ * disabling coalescing multiplies DRAM traffic by 2.7x, and energy
+ * follows traffic. This model turns KernelStats into an energy
+ * breakdown using per-event costs in the range published for
+ * GDDR5-era GPUs (GPUWattch / Micron power notes): it is meant for
+ * relative comparisons between coalescing policies, not absolute
+ * calibration.
+ */
+
+#ifndef RCOAL_SIM_ENERGY_HPP
+#define RCOAL_SIM_ENERGY_HPP
+
+#include <string>
+
+#include "rcoal/sim/config.hpp"
+#include "rcoal/sim/stats.hpp"
+
+namespace rcoal::sim {
+
+/** Per-event energy costs in picojoules. */
+struct EnergyCoefficients
+{
+    double dramPerByte = 20.0;      ///< DRAM array + I/O, pJ/byte.
+    double dramActivate = 900.0;    ///< ACT+PRE pair amortized, pJ.
+    double interconnectPerFlit = 50.0; ///< Crossbar traversal, pJ.
+    double l1PerAccess = 25.0;      ///< L1 lookup, pJ.
+    double l2PerAccess = 60.0;      ///< L2 lookup, pJ.
+    double smPerInstruction = 120.0; ///< Warp instruction issue+exec.
+    double staticPerCycleSm = 30.0; ///< Leakage/clock per SM-cycle, pJ.
+};
+
+/** Energy breakdown of one kernel launch, picojoules. */
+struct EnergyBreakdown
+{
+    double dramDynamic = 0.0;
+    double dramActivate = 0.0;
+    double interconnect = 0.0;
+    double caches = 0.0;
+    double core = 0.0;
+    double leakage = 0.0;
+
+    /** Sum of every component. */
+    double total() const;
+
+    /** Nanojoules, for display. */
+    double totalNanojoules() const { return total() / 1000.0; }
+
+    /** Multi-line human-readable dump. */
+    std::string describe() const;
+};
+
+/**
+ * Estimate the energy of a launch from its statistics.
+ */
+EnergyBreakdown
+estimateEnergy(const KernelStats &stats, const GpuConfig &config,
+               const EnergyCoefficients &coefficients = {});
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_ENERGY_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Top-level GPU: SMs + interconnect + memory partitions + clocking.
+ */
+
+#ifndef RCOAL_SIM_GPU_HPP
+#define RCOAL_SIM_GPU_HPP
+
+#include <memory>
+#include <vector>
+
+#include "rcoal/common/rng.hpp"
+#include "rcoal/core/partitioner.hpp"
+#include "rcoal/sim/address_mapping.hpp"
+#include "rcoal/sim/config.hpp"
+#include "rcoal/sim/kernel.hpp"
+#include "rcoal/sim/stats.hpp"
+
+namespace rcoal::sim {
+
+/**
+ * The simulated GPU. Construct once per configuration; every launch()
+ * builds a fresh machine state (cold caches, empty queues), draws new
+ * subwarp partitions per warp (Section IV-D: the sid<->tid mapping is
+ * fixed at the beginning of each application execution), runs the kernel
+ * to completion, and returns its statistics.
+ */
+class Gpu
+{
+  public:
+    explicit Gpu(GpuConfig config);
+
+    /** The active configuration. */
+    const GpuConfig &config() const { return cfg; }
+
+    /** Run @p kernel to completion and return its statistics. */
+    KernelStats launch(const KernelSource &kernel);
+
+    /** Number of launches performed so far. */
+    std::uint64_t launchCount() const { return launches; }
+
+  private:
+    GpuConfig cfg;
+    core::SubwarpPartitioner partitioner;
+    Rng masterRng;
+    std::uint64_t launches = 0;
+
+    /** Hard cap to catch simulator deadlock; far above any real run. */
+    static constexpr Cycle kMaxCycles = 2'000'000'000;
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_GPU_HPP

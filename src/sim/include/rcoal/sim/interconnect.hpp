@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Crossbar interconnect between SMs and memory partitions.
+ *
+ * Table I: one crossbar per direction at the core clock. The model is a
+ * fixed-traversal-latency crossbar with bounded per-port queues, one
+ * ejection per output port per cycle, and round-robin arbitration among
+ * inputs contending for the same output.
+ */
+
+#ifndef RCOAL_SIM_INTERCONNECT_HPP
+#define RCOAL_SIM_INTERCONNECT_HPP
+
+#include <deque>
+#include <vector>
+
+#include "rcoal/sim/memory_access.hpp"
+
+namespace rcoal::sim {
+
+/**
+ * One direction of the interconnect (e.g. SMs -> partitions).
+ */
+class Crossbar
+{
+  public:
+    /**
+     * @param num_inputs number of injection ports.
+     * @param num_outputs number of ejection ports.
+     * @param latency traversal latency in cycles.
+     * @param queue_depth per-port queue capacity.
+     */
+    Crossbar(unsigned num_inputs, unsigned num_outputs, unsigned latency,
+             std::size_t queue_depth);
+
+    /** True when input port @p input can take another packet. */
+    bool canInject(unsigned input) const;
+
+    /** Inject a packet at @p now destined for output port @p output. */
+    void inject(unsigned input, unsigned output, MemoryAccess access,
+                Cycle now);
+
+    /**
+     * Advance one cycle: for every output port with queue space, move at
+     * most one ready packet (injected at least `latency` cycles ago)
+     * from an input queue, arbitrating round-robin among inputs.
+     */
+    void tick(Cycle now);
+
+    /** True when output port @p output has a packet to eject. */
+    bool outputReady(unsigned output) const;
+
+    /** Pop the packet at output port @p output (must be outputReady). */
+    MemoryAccess popOutput(unsigned output);
+
+    /** True when no packets are anywhere in the crossbar. */
+    bool idle() const;
+
+    /** Total packets moved input -> output so far. */
+    std::uint64_t packetsTransferred() const { return transferred; }
+
+  private:
+    struct Packet
+    {
+        MemoryAccess access;
+        unsigned dest = 0;
+        Cycle readyAt = 0;
+    };
+
+    unsigned numInputs;
+    unsigned numOutputs;
+    unsigned latency;
+    std::size_t queueDepth;
+    std::vector<std::deque<Packet>> inputQueues;
+    std::vector<std::deque<MemoryAccess>> outputQueues;
+    std::vector<unsigned> rrPointer; ///< Rotating input priority.
+    std::uint64_t transferred = 0;
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_INTERCONNECT_HPP

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Kernel abstraction: per-warp instruction traces.
+ *
+ * Workloads compile to lockstep warp instruction traces rather than a
+ * functional ISA: an instruction is either an ALU batch (fixed latency,
+ * optionally a join that waits for all outstanding loads) or a memory
+ * instruction carrying one request per active lane. This captures
+ * exactly what the paper's evaluation needs - the address streams the
+ * coalescer sees and the dependence structure that shapes timing -
+ * without interpreting CUDA.
+ */
+
+#ifndef RCOAL_SIM_KERNEL_HPP
+#define RCOAL_SIM_KERNEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "rcoal/core/coalescer.hpp"
+#include "rcoal/sim/memory_access.hpp"
+
+namespace rcoal::sim {
+
+/** One lockstep warp instruction. */
+struct WarpInstruction
+{
+    enum class Op : std::uint8_t
+    {
+        Alu,   ///< Compute for `latency` cycles.
+        Load,  ///< One read request per active lane.
+        Store, ///< One write request per active lane (fire-and-forget).
+    };
+
+    Op op = Op::Alu;
+
+    /** ALU latency in core cycles (Op::Alu only). */
+    unsigned latency = 1;
+
+    /**
+     * Op::Alu only: this instruction consumes loaded data and must wait
+     * until every outstanding load of this warp has returned.
+     */
+    bool waitAllLoads = false;
+
+    /** Semantic tag for statistics (memory ops). */
+    AccessTag tag = AccessTag::Generic;
+
+    /** Per-lane requests (memory ops); lanes may be inactive. */
+    std::vector<core::LaneRequest> lanes;
+
+    /** Build an ALU instruction. */
+    static WarpInstruction alu(unsigned latency, bool wait_all_loads = false);
+
+    /** Build a load instruction. */
+    static WarpInstruction load(std::vector<core::LaneRequest> lanes,
+                                AccessTag tag);
+
+    /** Build a store instruction. */
+    static WarpInstruction store(std::vector<core::LaneRequest> lanes,
+                                 AccessTag tag);
+};
+
+/**
+ * A kernel launch: a set of warps, each with an instruction trace.
+ */
+class KernelSource
+{
+  public:
+    virtual ~KernelSource() = default;
+
+    /** Number of warps in the launch. */
+    virtual unsigned numWarps() const = 0;
+
+    /** Instruction trace of warp @p warp. */
+    virtual const std::vector<WarpInstruction> &trace(WarpId warp) const = 0;
+
+    /** Display name. */
+    virtual std::string name() const { return "kernel"; }
+};
+
+/**
+ * Trivial KernelSource that owns explicit traces; used by tests and
+ * microbenchmark workloads.
+ */
+class VectorKernel : public KernelSource
+{
+  public:
+    VectorKernel(std::vector<std::vector<WarpInstruction>> warp_traces,
+                 std::string kernel_name = "kernel");
+
+    unsigned numWarps() const override;
+    const std::vector<WarpInstruction> &trace(WarpId warp) const override;
+    std::string name() const override { return kernelName; }
+
+  private:
+    std::vector<std::vector<WarpInstruction>> traces;
+    std::string kernelName;
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_KERNEL_HPP

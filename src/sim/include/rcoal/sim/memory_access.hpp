@@ -1,0 +1,59 @@
+/**
+ * @file
+ * In-flight memory access representation and semantic tags.
+ */
+
+#ifndef RCOAL_SIM_MEMORY_ACCESS_HPP
+#define RCOAL_SIM_MEMORY_ACCESS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "rcoal/common/types.hpp"
+
+namespace rcoal::sim {
+
+/**
+ * Semantic tag attached to memory instructions so statistics can
+ * separate the access classes the attack analysis cares about
+ * (in particular the last-round T4 lookups).
+ */
+enum class AccessTag : std::uint8_t
+{
+    Generic = 0,
+    PlaintextLoad,
+    RoundLookup,     ///< Te0..Te3 lookups, rounds 1..Nr-1.
+    LastRoundLookup, ///< T4 lookups in the last round.
+    CiphertextStore,
+};
+
+/** Number of distinct AccessTag values. */
+inline constexpr std::size_t kNumAccessTags = 5;
+
+/** Short name for an AccessTag. */
+const char *accessTagName(AccessTag tag);
+
+/**
+ * One coalesced memory access travelling through the memory system.
+ * Created by the SM's LD/ST unit, routed through the interconnect to a
+ * memory partition, serviced by DRAM, and (for loads) returned to the SM.
+ */
+struct MemoryAccess
+{
+    std::uint64_t id = 0;     ///< Unique, monotonically increasing.
+    Addr blockAddr = 0;       ///< Block-aligned address.
+    std::uint32_t bytes = 0;  ///< Access size (the coalescing block).
+    bool isWrite = false;
+    AccessTag tag = AccessTag::Generic;
+
+    unsigned smId = 0;        ///< Originating SM.
+    WarpId warpId = 0;        ///< Originating warp (global id).
+    SubwarpId sid = 0;        ///< Subwarp that generated the access.
+    std::vector<std::size_t> prtIndices; ///< PRT entries to release.
+
+    Cycle issueCycle = 0;     ///< Core cycle the access left the LD/ST.
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_MEMORY_ACCESS_HPP

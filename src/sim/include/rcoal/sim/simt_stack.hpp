@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SIMT reconvergence stack with immediate-post-dominator based branch
+ * divergence handling (Table I: "immediate post dominator based branch
+ * divergence handling").
+ *
+ * The workloads in this reproduction (AES, streaming kernels) never
+ * diverge, but the stack is part of the baseline GPU the paper
+ * simulates: it produces the per-instruction active masks that the
+ * trace model consumes, and lets divergent kernels be expressed
+ * faithfully. Masks are 64-bit, supporting warps up to 64 lanes.
+ */
+
+#ifndef RCOAL_SIM_SIMT_STACK_HPP
+#define RCOAL_SIM_SIMT_STACK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "rcoal/common/types.hpp"
+
+namespace rcoal::sim {
+
+/** A lane activity mask (bit t = lane t active). */
+using LaneMask = std::uint64_t;
+
+/** Mask with the low @p lanes bits set. */
+LaneMask fullMask(unsigned lanes);
+
+/**
+ * Per-warp SIMT stack.
+ *
+ * Usage: on a divergent branch at pc with reconvergence point (the
+ * immediate post-dominator) rpc, call diverge(); the stack first
+ * executes the taken side, and reconverge(rpc) pops back to the other
+ * side and finally restores the pre-branch mask at rpc.
+ */
+class SimtStack
+{
+  public:
+    /** @param warp_size lanes per warp (<= 64). */
+    explicit SimtStack(unsigned warp_size);
+
+    /** Currently active lanes. */
+    LaneMask activeMask() const;
+
+    /** PC the active entry is expected to resume at (kInvalidPc if
+     * top-level). */
+    std::uint64_t reconvergencePc() const;
+
+    /** Number of stack entries above the top-level frame. */
+    std::size_t depth() const { return entries.size() - 1; }
+
+    /** True when @p lane is active. */
+    bool isActive(ThreadId lane) const;
+
+    /**
+     * Execute a divergent branch: lanes in @p taken_mask take the
+     * branch (resuming at @p taken_pc), the rest fall through to
+     * @p fallthrough_pc. Both masks must partition the current active
+     * mask; fully-uniform branches (one side empty) do not push.
+     *
+     * @param taken_mask lanes taking the branch.
+     * @param taken_pc target of the branch.
+     * @param fallthrough_pc pc of the not-taken side.
+     * @param reconv_pc the immediate post-dominator both sides meet at.
+     * @return the pc execution continues at (taken_pc if diverged or
+     *         all lanes take; fallthrough_pc if no lane takes).
+     */
+    std::uint64_t diverge(LaneMask taken_mask, std::uint64_t taken_pc,
+                          std::uint64_t fallthrough_pc,
+                          std::uint64_t reconv_pc);
+
+    /**
+     * The warp reached @p pc. If a stack entry reconverges here and has
+     * a deferred side, switch to it and return its resume pc; when the
+     * last side finishes, the entry pops (restoring the joined mask)
+     * and execution continues at @p pc (returned).
+     */
+    std::uint64_t reconverge(std::uint64_t pc);
+
+    /** Permanently disable lanes (thread exit). */
+    void exitLanes(LaneMask lanes);
+
+    /** Marker for "no reconvergence pending". */
+    static constexpr std::uint64_t kNoReconvergence = ~std::uint64_t{0};
+
+  private:
+    struct Entry
+    {
+        LaneMask mask;            ///< Active lanes of this entry.
+        std::uint64_t reconvPc;   ///< Where this entry pops.
+        LaneMask pendingMask;     ///< Deferred (else) side, 0 if none.
+        std::uint64_t pendingPc;  ///< Resume pc of the deferred side.
+    };
+
+    unsigned warpSize;
+    std::vector<Entry> entries; ///< Bottom = full warp; top = active.
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_SIMT_STACK_HPP

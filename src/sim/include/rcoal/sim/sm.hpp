@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Streaming multiprocessor model.
+ *
+ * Each SM hosts a set of resident warps, issues up to issueWidth warp
+ * instructions per cycle (one per warp scheduler, loose round-robin),
+ * and owns the LD/ST path: the RCoal coalescer, the pending request
+ * table with the sid field, the optional L1/MSHR, and the injection port
+ * into the request crossbar.
+ */
+
+#ifndef RCOAL_SIM_SM_HPP
+#define RCOAL_SIM_SM_HPP
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rcoal/core/coalescer.hpp"
+#include "rcoal/core/pending_request_table.hpp"
+#include "rcoal/core/subwarp.hpp"
+#include "rcoal/sim/address_mapping.hpp"
+#include "rcoal/sim/cache.hpp"
+#include "rcoal/sim/interconnect.hpp"
+#include "rcoal/sim/kernel.hpp"
+#include "rcoal/sim/stats.hpp"
+
+namespace rcoal::sim {
+
+/**
+ * One streaming multiprocessor.
+ */
+class StreamingMultiprocessor
+{
+  public:
+    /**
+     * @param config GPU configuration.
+     * @param sm_id this SM's index (also its crossbar port).
+     * @param stats kernel statistics sink.
+     * @param request_xbar SM -> partition crossbar.
+     * @param mapping address decoder (for routing).
+     * @param access_id_counter shared unique-id source for accesses.
+     */
+    StreamingMultiprocessor(const GpuConfig &config, unsigned sm_id,
+                            KernelStats *stats, Crossbar *request_xbar,
+                            const AddressMapping *mapping,
+                            std::uint64_t *access_id_counter);
+
+    /** Make a warp resident with its per-launch subwarp partition. */
+    void assignWarp(WarpId warp_id,
+                    const std::vector<WarpInstruction> *warp_trace,
+                    core::SubwarpPartition partition);
+
+    /** Advance one core cycle: drain LD/ST, then issue instructions. */
+    void tick(Cycle now);
+
+    /** A load response arrived from the memory system. */
+    void deliverResponse(MemoryAccess access, Cycle now);
+
+    /**
+     * True when every resident warp has retired (including the latency
+     * of a trailing ALU batch) and all queues have drained.
+     */
+    bool done(Cycle now) const;
+
+    /** Number of resident warps. */
+    std::size_t residentWarps() const { return warps.size(); }
+
+    const Cache *l1Cache() const { return l1.get(); }
+
+  private:
+    struct WarpContext
+    {
+        WarpId id;
+        const std::vector<WarpInstruction> *trace;
+        core::SubwarpPartition partition;
+        std::size_t pc;
+        Cycle readyAt;
+        unsigned outstandingLoads; ///< In-flight coalesced loads.
+
+        /**
+         * Coalesce result and resource demand cached across stall
+         * retries of the current memory instruction (recomputing them
+         * every stalled cycle dominated the simulator profile).
+         */
+        std::vector<core::CoalescedAccess> pendingCoalesce;
+        std::size_t pendingPc = ~std::size_t{0};
+        std::size_t pendingPrtEntries = 0;
+        unsigned pendingActiveLanes = 0;
+
+        bool
+        finished() const
+        {
+            return pc >= trace->size() && outstandingLoads == 0;
+        }
+    };
+
+    /** Try to issue one instruction from @p warp; true on success. */
+    bool tryIssue(WarpContext &warp, Cycle now);
+
+    /** Issue a memory instruction; false when resources are exhausted. */
+    bool issueMemory(WarpContext &warp, const WarpInstruction &instr,
+                     Cycle now);
+
+    /** Advance the LD/ST queue head toward the memory system. */
+    void drainLdst(Cycle now);
+
+    /** Finish one load access: free PRT, wake warp, record stats. */
+    void finalizeLoad(const MemoryAccess &access, Cycle now);
+
+    const GpuConfig &cfg;
+    unsigned id;
+    KernelStats *stats;
+    Crossbar *reqXbar;
+    const AddressMapping *map;
+    std::uint64_t *nextAccessId;
+
+    core::Coalescer coalescer;
+    core::PendingRequestTable prt;
+    /** Partition used for unprotected instructions (selective RCoal). */
+    core::SubwarpPartition baselinePartition;
+    std::deque<MemoryAccess> ldstQueue;
+    std::size_t ldstQueueCapacity;
+
+    std::unique_ptr<Cache> l1;
+    std::unique_ptr<MshrTable> mshr;
+    /** L1-hit responses waiting their hit latency (readyAt ascending). */
+    std::deque<std::pair<Cycle, MemoryAccess>> localResponses;
+
+    std::vector<WarpContext> warps;
+    std::unordered_map<WarpId, std::size_t> warpIndex;
+    std::vector<std::size_t> rrPointer; ///< Per-scheduler round robin.
+    std::size_t unfinishedWarps = 0;    ///< Cached for O(1) done().
+    Cycle busyUntil = 0;                ///< Max readyAt across warps.
+    std::vector<int> laneScratch;       ///< tid -> lane index scratch.
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_SM_HPP

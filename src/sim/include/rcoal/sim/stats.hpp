@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Kernel-level simulation statistics.
+ */
+
+#ifndef RCOAL_SIM_STATS_HPP
+#define RCOAL_SIM_STATS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rcoal/common/types.hpp"
+#include "rcoal/sim/memory_access.hpp"
+
+namespace rcoal::sim {
+
+/** Per-tag access statistics. */
+struct TagStats
+{
+    std::uint64_t accesses = 0; ///< Coalesced accesses generated.
+    std::uint64_t laneRequests = 0; ///< Pre-coalescing lane requests.
+    Cycle firstIssue = kInvalidCycle; ///< First issue cycle of the tag.
+    Cycle lastComplete = 0;     ///< Last completion cycle of the tag.
+
+    /** Issue-to-completion window; 0 when the tag never appeared. */
+    Cycle window() const
+    {
+        return firstIssue == kInvalidCycle ? 0 : lastComplete - firstIssue;
+    }
+};
+
+/**
+ * Statistics for one kernel launch.
+ */
+struct KernelStats
+{
+    Cycle cycles = 0;               ///< Total core cycles.
+    std::uint64_t warpInstructions = 0;
+    std::uint64_t memInstructions = 0;
+    std::uint64_t coalescedAccesses = 0; ///< Loads + stores.
+    std::uint64_t loadAccesses = 0;
+    std::uint64_t storeAccesses = 0;
+
+    std::array<TagStats, kNumAccessTags> perTag{};
+
+    // DRAM behaviour.
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+    std::uint64_t dramActivates = 0;
+    std::uint64_t dramPrecharges = 0;
+    std::uint64_t dramRefreshes = 0;
+
+    // Optional hierarchy (all zero when disabled).
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t mshrMerges = 0;
+
+    // Stall diagnostics.
+    std::uint64_t prtStallCycles = 0;
+    std::uint64_t icnStallCycles = 0;
+
+    /** Stats for one tag. */
+    TagStats &tagStats(AccessTag tag)
+    {
+        return perTag[static_cast<std::size_t>(tag)];
+    }
+    const TagStats &
+    tagStats(AccessTag tag) const
+    {
+        return perTag[static_cast<std::size_t>(tag)];
+    }
+
+    /** Convenience: last-round coalesced accesses (the attack's U). */
+    std::uint64_t
+    lastRoundAccesses() const
+    {
+        return tagStats(AccessTag::LastRoundLookup).accesses;
+    }
+
+    /** Convenience: last-round execution window in core cycles. */
+    Cycle
+    lastRoundCycles() const
+    {
+        return tagStats(AccessTag::LastRoundLookup).window();
+    }
+
+    /** Multi-line human-readable dump. */
+    std::string describe() const;
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_STATS_HPP

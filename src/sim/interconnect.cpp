@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Crossbar implementation.
+ */
+
+#include "rcoal/sim/interconnect.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+Crossbar::Crossbar(unsigned num_inputs, unsigned num_outputs,
+                   unsigned traversal_latency, std::size_t queue_depth)
+    : numInputs(num_inputs),
+      numOutputs(num_outputs),
+      latency(traversal_latency),
+      queueDepth(queue_depth),
+      inputQueues(num_inputs),
+      outputQueues(num_outputs),
+      rrPointer(1, 0)
+{
+    RCOAL_ASSERT(num_inputs > 0 && num_outputs > 0 && queue_depth > 0,
+                 "crossbar needs ports and queue space");
+    RCOAL_ASSERT(num_outputs <= 64, "at most 64 output ports supported");
+}
+
+bool
+Crossbar::canInject(unsigned input) const
+{
+    RCOAL_ASSERT(input < numInputs, "input port %u out of range", input);
+    return inputQueues[input].size() < queueDepth;
+}
+
+void
+Crossbar::inject(unsigned input, unsigned output, MemoryAccess access,
+                 Cycle now)
+{
+    RCOAL_ASSERT(canInject(input), "inject on full input port %u", input);
+    RCOAL_ASSERT(output < numOutputs, "output port %u out of range",
+                 output);
+    inputQueues[input].push_back(
+        {std::move(access), output, now + latency});
+}
+
+void
+Crossbar::tick(Cycle now)
+{
+    // Input-major arbitration: scan inputs once in rotating priority
+    // order and grant each output to at most one input per cycle
+    // (O(inputs) instead of O(inputs x outputs); the rotating start
+    // keeps arbitration fair).
+    std::uint64_t granted_mask = 0;
+    RCOAL_ASSERT(numOutputs <= 64, "grant mask limited to 64 outputs");
+    unsigned moved = 0;
+    for (unsigned k = 0; k < numInputs && moved < numOutputs; ++k) {
+        const unsigned in =
+            static_cast<unsigned>((rrPointer[0] + k) % numInputs);
+        auto &q = inputQueues[in];
+        if (q.empty())
+            continue;
+        Packet &head = q.front();
+        if (head.readyAt > now)
+            continue;
+        const unsigned out = head.dest;
+        if (granted_mask & (std::uint64_t{1} << out))
+            continue;
+        if (outputQueues[out].size() >= queueDepth)
+            continue;
+        granted_mask |= std::uint64_t{1} << out;
+        outputQueues[out].push_back(std::move(head.access));
+        q.pop_front();
+        ++transferred;
+        ++moved;
+    }
+    rrPointer[0] = (rrPointer[0] + 1) % numInputs;
+}
+
+bool
+Crossbar::outputReady(unsigned output) const
+{
+    RCOAL_ASSERT(output < numOutputs, "output port %u out of range",
+                 output);
+    return !outputQueues[output].empty();
+}
+
+MemoryAccess
+Crossbar::popOutput(unsigned output)
+{
+    RCOAL_ASSERT(outputReady(output), "popOutput on empty port %u",
+                 output);
+    MemoryAccess access = std::move(outputQueues[output].front());
+    outputQueues[output].pop_front();
+    return access;
+}
+
+bool
+Crossbar::idle() const
+{
+    for (const auto &q : inputQueues) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto &q : outputQueues) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+} // namespace rcoal::sim

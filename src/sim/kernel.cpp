@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Kernel trace helpers.
+ */
+
+#include "rcoal/sim/kernel.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+WarpInstruction
+WarpInstruction::alu(unsigned alu_latency, bool wait_all_loads)
+{
+    WarpInstruction instr;
+    instr.op = Op::Alu;
+    instr.latency = alu_latency;
+    instr.waitAllLoads = wait_all_loads;
+    return instr;
+}
+
+WarpInstruction
+WarpInstruction::load(std::vector<core::LaneRequest> lane_requests,
+                      AccessTag tag)
+{
+    WarpInstruction instr;
+    instr.op = Op::Load;
+    instr.tag = tag;
+    instr.lanes = std::move(lane_requests);
+    return instr;
+}
+
+WarpInstruction
+WarpInstruction::store(std::vector<core::LaneRequest> lane_requests,
+                       AccessTag tag)
+{
+    WarpInstruction instr;
+    instr.op = Op::Store;
+    instr.tag = tag;
+    instr.lanes = std::move(lane_requests);
+    return instr;
+}
+
+VectorKernel::VectorKernel(
+    std::vector<std::vector<WarpInstruction>> warp_traces,
+    std::string kernel_name)
+    : traces(std::move(warp_traces)), kernelName(std::move(kernel_name))
+{
+    RCOAL_ASSERT(!traces.empty(), "kernel needs at least one warp");
+}
+
+unsigned
+VectorKernel::numWarps() const
+{
+    return static_cast<unsigned>(traces.size());
+}
+
+const std::vector<WarpInstruction> &
+VectorKernel::trace(WarpId warp) const
+{
+    RCOAL_ASSERT(warp < traces.size(), "warp %u out of range", warp);
+    return traces[warp];
+}
+
+} // namespace rcoal::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SimtStack implementation.
+ */
+
+#include "rcoal/sim/simt_stack.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+LaneMask
+fullMask(unsigned lanes)
+{
+    RCOAL_ASSERT(lanes >= 1 && lanes <= 64,
+                 "lane masks support 1..64 lanes, got %u", lanes);
+    if (lanes == 64)
+        return ~LaneMask{0};
+    return (LaneMask{1} << lanes) - 1;
+}
+
+SimtStack::SimtStack(unsigned warp_size) : warpSize(warp_size)
+{
+    entries.push_back({fullMask(warp_size), kNoReconvergence, 0, 0});
+}
+
+LaneMask
+SimtStack::activeMask() const
+{
+    return entries.back().mask;
+}
+
+std::uint64_t
+SimtStack::reconvergencePc() const
+{
+    return entries.back().reconvPc;
+}
+
+bool
+SimtStack::isActive(ThreadId lane) const
+{
+    RCOAL_ASSERT(lane < warpSize, "lane %u out of range", lane);
+    return (activeMask() >> lane) & 1;
+}
+
+std::uint64_t
+SimtStack::diverge(LaneMask taken_mask, std::uint64_t taken_pc,
+                   std::uint64_t fallthrough_pc, std::uint64_t reconv_pc)
+{
+    const LaneMask active = activeMask();
+    RCOAL_ASSERT((taken_mask & ~active) == 0,
+                 "taken mask includes inactive lanes");
+    const LaneMask fallthrough = active & ~taken_mask;
+    if (taken_mask == 0)
+        return fallthrough_pc; // uniformly not taken
+    if (fallthrough == 0)
+        return taken_pc; // uniformly taken
+    // Execute the taken side first; the fall-through side is deferred
+    // until the taken side reaches the reconvergence point.
+    entries.push_back({taken_mask, reconv_pc, fallthrough,
+                       fallthrough_pc});
+    return taken_pc;
+}
+
+std::uint64_t
+SimtStack::reconverge(std::uint64_t pc)
+{
+    while (entries.size() > 1 && entries.back().reconvPc == pc) {
+        Entry &top = entries.back();
+        if (top.pendingMask != 0) {
+            // Switch to the deferred side; it still pops at the same
+            // reconvergence point.
+            top.mask = top.pendingMask;
+            top.pendingMask = 0;
+            const std::uint64_t resume = top.pendingPc;
+            top.pendingPc = 0;
+            return resume;
+        }
+        entries.pop_back();
+    }
+    return pc;
+}
+
+void
+SimtStack::exitLanes(LaneMask lanes)
+{
+    for (Entry &entry : entries) {
+        entry.mask &= ~lanes;
+        entry.pendingMask &= ~lanes;
+    }
+    // Drop entries whose both sides died.
+    while (entries.size() > 1 && entries.back().mask == 0 &&
+           entries.back().pendingMask == 0) {
+        entries.pop_back();
+    }
+}
+
+} // namespace rcoal::sim

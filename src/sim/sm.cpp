@@ -1,0 +1,336 @@
+/**
+ * @file
+ * StreamingMultiprocessor implementation.
+ */
+
+#include "rcoal/sim/sm.hpp"
+
+#include <algorithm>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+StreamingMultiprocessor::StreamingMultiprocessor(
+    const GpuConfig &config, unsigned sm_id, KernelStats *kernel_stats,
+    Crossbar *request_xbar, const AddressMapping *mapping,
+    std::uint64_t *access_id_counter)
+    : cfg(config),
+      id(sm_id),
+      stats(kernel_stats),
+      reqXbar(request_xbar),
+      map(mapping),
+      nextAccessId(access_id_counter),
+      coalescer(config.coalesceBlockBytes),
+      prt(config.prtEntries),
+      baselinePartition(core::SubwarpPartition::single(config.warpSize)),
+      ldstQueueCapacity(4 * config.warpSize),
+      rrPointer(config.issueWidth, 0)
+{
+    RCOAL_ASSERT(stats && reqXbar && map && nextAccessId,
+                 "SM wired without its collaborators");
+    if (cfg.l1Enabled)
+        l1 = std::make_unique<Cache>(cfg.l1);
+    if (cfg.mshrEnabled)
+        mshr = std::make_unique<MshrTable>(cfg.mshrEntries);
+}
+
+void
+StreamingMultiprocessor::assignWarp(
+    WarpId warp_id, const std::vector<WarpInstruction> *warp_trace,
+    core::SubwarpPartition partition)
+{
+    RCOAL_ASSERT(warps.size() < cfg.maxWarpsPerSm,
+                 "SM %u over its warp limit", id);
+    warpIndex[warp_id] = warps.size();
+    warps.push_back(
+        WarpContext{warp_id, warp_trace, std::move(partition), 0, 0, 0,
+                    {}, ~std::size_t{0}, 0, 0});
+    if (!warps.back().finished())
+        ++unfinishedWarps;
+}
+
+bool
+StreamingMultiprocessor::issueMemory(WarpContext &warp,
+                                     const WarpInstruction &instr,
+                                     Cycle now)
+{
+    const bool is_load = instr.op == WarpInstruction::Op::Load;
+    if (warp.pendingPc != warp.pc) {
+        // Selective RCoal (Section VII): only instructions tagged as
+        // vulnerable get the randomized partition.
+        const bool protect =
+            !cfg.selectiveRCoal ||
+            (cfg.protectedTagMask &
+             (1u << static_cast<unsigned>(instr.tag)));
+        warp.pendingCoalesce = coalescer.coalesce(
+            instr.lanes, protect ? warp.partition : baselinePartition);
+        warp.pendingPc = warp.pc;
+        warp.pendingActiveLanes = 0;
+        for (const auto &lane : instr.lanes) {
+            if (lane.active)
+                ++warp.pendingActiveLanes;
+        }
+        // A lane straddling a block boundary lands in several accesses
+        // and needs one PRT entry per touched block, so reserve by the
+        // exact entry demand rather than the active-lane count.
+        warp.pendingPrtEntries = 0;
+        for (const auto &coalesced : warp.pendingCoalesce)
+            warp.pendingPrtEntries += coalesced.threads.size();
+    }
+    auto &accesses = warp.pendingCoalesce;
+    if (accesses.empty()) {
+        // All lanes inactive: the instruction is a no-op.
+        warp.pendingPc = ~std::size_t{0};
+        return true;
+    }
+    // Cheap resource checks first: these run every stalled retry.
+    if (ldstQueue.size() + accesses.size() > ldstQueueCapacity)
+        return false;
+    if (is_load && prt.freeEntries() < warp.pendingPrtEntries) {
+        ++stats->prtStallCycles;
+        return false;
+    }
+
+    const unsigned active_lanes = warp.pendingActiveLanes;
+    laneScratch.assign(cfg.warpSize, -1);
+    std::vector<int> &lane_of_tid = laneScratch;
+    for (std::size_t i = 0; i < instr.lanes.size(); ++i) {
+        const auto &lane = instr.lanes[i];
+        RCOAL_ASSERT(lane.tid < cfg.warpSize, "lane tid %u out of range",
+                     lane.tid);
+        lane_of_tid[lane.tid] = static_cast<int>(i);
+    }
+
+    TagStats &tag_stats = stats->tagStats(instr.tag);
+    tag_stats.firstIssue = std::min(tag_stats.firstIssue, now);
+    tag_stats.laneRequests += active_lanes;
+    tag_stats.accesses += accesses.size();
+    stats->coalescedAccesses += accesses.size();
+    if (is_load)
+        stats->loadAccesses += accesses.size();
+    else
+        stats->storeAccesses += accesses.size();
+    ++stats->memInstructions;
+
+    for (auto &coalesced : accesses) {
+        MemoryAccess access;
+        access.id = (*nextAccessId)++;
+        access.blockAddr = coalesced.blockAddr;
+        access.bytes = cfg.coalesceBlockBytes;
+        access.isWrite = !is_load;
+        access.tag = instr.tag;
+        access.smId = id;
+        access.warpId = warp.id;
+        access.sid = coalesced.sid;
+        access.issueCycle = now;
+        if (is_load) {
+            for (ThreadId tid : coalesced.threads) {
+                const int lane_idx = lane_of_tid[tid];
+                RCOAL_ASSERT(lane_idx >= 0, "coalesced unknown tid %u",
+                             tid);
+                const auto &lane =
+                    instr.lanes[static_cast<std::size_t>(lane_idx)];
+                const Addr lane_block = coalescer.blockAlign(lane.addr);
+                const std::uint32_t offset =
+                    lane_block == coalesced.blockAddr
+                        ? static_cast<std::uint32_t>(lane.addr -
+                                                     coalesced.blockAddr)
+                        : 0; // Lane straddles into this block.
+                const auto entry =
+                    prt.allocate(tid, coalesced.blockAddr, offset,
+                                 lane.size, coalesced.sid);
+                RCOAL_ASSERT(entry.has_value(),
+                             "PRT full despite reservation check");
+                access.prtIndices.push_back(*entry);
+            }
+            ++warp.outstandingLoads;
+        }
+        ldstQueue.push_back(std::move(access));
+    }
+    warp.pendingCoalesce.clear();
+    warp.pendingPc = ~std::size_t{0};
+    return true;
+}
+
+bool
+StreamingMultiprocessor::tryIssue(WarpContext &warp, Cycle now)
+{
+    if (warp.pc >= warp.trace->size() || warp.readyAt > now)
+        return false;
+    const WarpInstruction &instr = (*warp.trace)[warp.pc];
+    switch (instr.op) {
+      case WarpInstruction::Op::Alu:
+        if (instr.waitAllLoads && warp.outstandingLoads > 0)
+            return false;
+        warp.readyAt = now + std::max(1u, instr.latency);
+        busyUntil = std::max(busyUntil, warp.readyAt);
+        ++warp.pc;
+        ++stats->warpInstructions;
+        if (warp.finished()) {
+            RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
+            --unfinishedWarps;
+        }
+        return true;
+      case WarpInstruction::Op::Load:
+      case WarpInstruction::Op::Store:
+        if (!issueMemory(warp, instr, now))
+            return false;
+        warp.readyAt = now + 1;
+        ++warp.pc;
+        ++stats->warpInstructions;
+        if (warp.finished()) {
+            RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
+            --unfinishedWarps;
+        }
+        return true;
+    }
+    panic("invalid warp instruction opcode");
+}
+
+void
+StreamingMultiprocessor::drainLdst(Cycle now)
+{
+    // Retire L1-hit responses whose latency elapsed.
+    while (!localResponses.empty() && localResponses.front().first <= now) {
+        finalizeLoad(localResponses.front().second, now);
+        localResponses.pop_front();
+    }
+
+    if (ldstQueue.empty())
+        return;
+    MemoryAccess &head = ldstQueue.front();
+
+    // Loads may hit in the (optional) L1; writes are write-through,
+    // no-allocate and always travel to memory.
+    if (l1 && !head.isWrite) {
+        if (l1->access(head.blockAddr)) {
+            ++stats->l1Hits;
+            localResponses.emplace_back(now + l1->hitLatency(),
+                                        std::move(head));
+            ldstQueue.pop_front();
+            return;
+        }
+        ++stats->l1Misses;
+        if (mshr) {
+            if (mshr->isPending(head.blockAddr)) {
+                mshr->merge(head.blockAddr, std::move(head));
+                ++stats->mshrMerges;
+                ldstQueue.pop_front();
+                return;
+            }
+            if (!mshr->canAllocate())
+                return; // Structural stall; retry next cycle.
+            if (!reqXbar->canInject(id)) {
+                ++stats->icnStallCycles;
+                return;
+            }
+            MemoryAccess copy = head;
+            mshr->allocate(head.blockAddr, std::move(head));
+            ldstQueue.pop_front();
+            const unsigned dest = map->partitionOf(copy.blockAddr);
+            copy.prtIndices.clear(); // PRT freed via the MSHR entry.
+            reqXbar->inject(id, dest, std::move(copy), now);
+            return;
+        }
+    }
+
+    if (!reqXbar->canInject(id)) {
+        ++stats->icnStallCycles;
+        return;
+    }
+    const unsigned dest = map->partitionOf(head.blockAddr);
+    reqXbar->inject(id, dest, std::move(head), now);
+    ldstQueue.pop_front();
+}
+
+void
+StreamingMultiprocessor::tick(Cycle now)
+{
+    if (warps.empty())
+        return;
+
+    drainLdst(now);
+
+    // One issue slot per scheduler; warp slot w belongs to scheduler
+    // w % issueWidth (the 16x2 SIMT organization of Table I).
+    for (unsigned sched = 0; sched < cfg.issueWidth && sched < warps.size();
+         ++sched) {
+        // Slots sched, sched+issueWidth, ... belong to this scheduler.
+        const std::size_t count =
+            (warps.size() - sched + cfg.issueWidth - 1) / cfg.issueWidth;
+        if (cfg.scheduler == SchedulerPolicy::GreedyThenOldest) {
+            // GTO: keep issuing from the last warp; when it cannot
+            // issue, fall back to the oldest (lowest-slot) ready warp.
+            const std::size_t greedy = rrPointer[sched] % count;
+            if (tryIssue(warps[sched + greedy * cfg.issueWidth], now))
+                continue;
+            for (std::size_t k = 0; k < count; ++k) {
+                if (k == greedy)
+                    continue;
+                if (tryIssue(warps[sched + k * cfg.issueWidth], now)) {
+                    rrPointer[sched] = k;
+                    break;
+                }
+            }
+            continue;
+        }
+        // Loose round robin.
+        for (std::size_t k = 0; k < count; ++k) {
+            const std::size_t slot =
+                sched + ((rrPointer[sched] + k) % count) * cfg.issueWidth;
+            if (tryIssue(warps[slot], now)) {
+                rrPointer[sched] = (rrPointer[sched] + k + 1) % count;
+                break;
+            }
+        }
+    }
+}
+
+void
+StreamingMultiprocessor::finalizeLoad(const MemoryAccess &access, Cycle now)
+{
+    for (std::size_t idx : access.prtIndices)
+        prt.release(idx);
+    const auto it = warpIndex.find(access.warpId);
+    RCOAL_ASSERT(it != warpIndex.end(), "response for unknown warp %u",
+                 access.warpId);
+    WarpContext &warp = warps[it->second];
+    RCOAL_ASSERT(warp.outstandingLoads > 0,
+                 "warp %u has no outstanding loads", access.warpId);
+    --warp.outstandingLoads;
+    if (warp.finished()) {
+        RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
+        --unfinishedWarps;
+    }
+    TagStats &tag_stats = stats->tagStats(access.tag);
+    tag_stats.lastComplete = std::max(tag_stats.lastComplete, now);
+}
+
+void
+StreamingMultiprocessor::deliverResponse(MemoryAccess access, Cycle now)
+{
+    RCOAL_ASSERT(!access.isWrite, "write response delivered to SM %u", id);
+    if (l1)
+        l1->fill(access.blockAddr);
+    if (mshr) {
+        for (MemoryAccess &waiting : mshr->complete(access.blockAddr))
+            finalizeLoad(waiting, now);
+        return;
+    }
+    finalizeLoad(access, now);
+}
+
+bool
+StreamingMultiprocessor::done(Cycle now) const
+{
+    if (unfinishedWarps > 0 || now < busyUntil)
+        return false;
+    if (!ldstQueue.empty() || !localResponses.empty())
+        return false;
+    if (mshr && mshr->occupancy() > 0)
+        return false;
+    return true;
+}
+
+} // namespace rcoal::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * KernelStats implementation.
+ */
+
+#include "rcoal/sim/stats.hpp"
+
+#include <sstream>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+const char *
+accessTagName(AccessTag tag)
+{
+    switch (tag) {
+      case AccessTag::Generic:
+        return "generic";
+      case AccessTag::PlaintextLoad:
+        return "plaintext-load";
+      case AccessTag::RoundLookup:
+        return "round-lookup";
+      case AccessTag::LastRoundLookup:
+        return "last-round-lookup";
+      case AccessTag::CiphertextStore:
+        return "ciphertext-store";
+    }
+    return "unknown";
+}
+
+std::string
+KernelStats::describe() const
+{
+    std::ostringstream out;
+    out << strprintf("cycles: %llu (last-round window: %llu)\n",
+                     static_cast<unsigned long long>(cycles),
+                     static_cast<unsigned long long>(lastRoundCycles()));
+    out << strprintf("warp instructions: %llu (%llu memory)\n",
+                     static_cast<unsigned long long>(warpInstructions),
+                     static_cast<unsigned long long>(memInstructions));
+    out << strprintf("coalesced accesses: %llu (%llu loads, %llu stores)\n",
+                     static_cast<unsigned long long>(coalescedAccesses),
+                     static_cast<unsigned long long>(loadAccesses),
+                     static_cast<unsigned long long>(storeAccesses));
+    for (std::size_t i = 0; i < kNumAccessTags; ++i) {
+        const auto &ts = perTag[i];
+        if (ts.accesses == 0)
+            continue;
+        out << strprintf("  tag %-18s: %llu accesses from %llu lane "
+                         "requests, window %llu\n",
+                         accessTagName(static_cast<AccessTag>(i)),
+                         static_cast<unsigned long long>(ts.accesses),
+                         static_cast<unsigned long long>(ts.laneRequests),
+                         static_cast<unsigned long long>(ts.window()));
+    }
+    out << strprintf("DRAM: %llu row hits, %llu row misses, %llu ACT, "
+                     "%llu PRE\n",
+                     static_cast<unsigned long long>(dramRowHits),
+                     static_cast<unsigned long long>(dramRowMisses),
+                     static_cast<unsigned long long>(dramActivates),
+                     static_cast<unsigned long long>(dramPrecharges));
+    if (l1Hits + l1Misses + l2Hits + l2Misses + mshrMerges) {
+        out << strprintf("hierarchy: L1 %llu/%llu, L2 %llu/%llu, "
+                         "MSHR merges %llu\n",
+                         static_cast<unsigned long long>(l1Hits),
+                         static_cast<unsigned long long>(l1Misses),
+                         static_cast<unsigned long long>(l2Hits),
+                         static_cast<unsigned long long>(l2Misses),
+                         static_cast<unsigned long long>(mshrMerges));
+    }
+    out << strprintf("stalls: %llu PRT, %llu interconnect\n",
+                     static_cast<unsigned long long>(prtStallCycles),
+                     static_cast<unsigned long long>(icnStallCycles));
+    return out.str();
+}
+
+} // namespace rcoal::sim

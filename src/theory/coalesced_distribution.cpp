@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CoalescedAccessDistribution implementation.
+ */
+
+#include "rcoal/theory/coalesced_distribution.hpp"
+
+#include <cmath>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/numeric/combinatorics.hpp"
+
+namespace rcoal::theory {
+
+using numeric::BigRational;
+using numeric::BigUInt;
+
+CoalescedAccessDistribution::CoalescedAccessDistribution(unsigned m,
+                                                         unsigned n)
+    : mThreads(m), nBlocks(n)
+{
+    RCOAL_ASSERT(m >= 1 && n >= 1, "N_{m,n} requires m, n >= 1");
+    const BigUInt denom = BigUInt(n).pow(m);
+    const unsigned hi = std::min(m, n);
+    probabilities.resize(hi + 1);
+    BigRational total;
+    for (unsigned i = 1; i <= hi; ++i) {
+        const BigUInt ways =
+            numeric::fallingFactorial(n, i) * numeric::stirling2(m, i);
+        probabilities[i] = BigRational(ways, denom);
+        total += probabilities[i];
+        mu += BigRational(BigUInt(i), BigUInt(1)) * probabilities[i];
+        mu2 += BigRational(BigUInt(std::uint64_t{i} * i), BigUInt(1)) *
+               probabilities[i];
+    }
+    RCOAL_ASSERT(total == BigRational(1),
+                 "N_{%u,%u} probabilities sum to %s, not 1", m, n,
+                 total.toString().c_str());
+}
+
+BigRational
+CoalescedAccessDistribution::pmfExact(unsigned i) const
+{
+    if (i >= probabilities.size())
+        return {};
+    return probabilities[i];
+}
+
+double
+CoalescedAccessDistribution::pmf(unsigned i) const
+{
+    return pmfExact(i).toDouble();
+}
+
+double
+CoalescedAccessDistribution::variance() const
+{
+    const double m1 = mu.toDouble();
+    return mu2.toDouble() - m1 * m1;
+}
+
+double
+CoalescedAccessDistribution::meanClosedForm(unsigned m, unsigned n)
+{
+    return n * (1.0 - std::pow(1.0 - 1.0 / n, m));
+}
+
+} // namespace rcoal::theory

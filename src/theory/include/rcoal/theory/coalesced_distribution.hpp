@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Definition 1 of the paper: the distribution of the number of coalesced
+ * accesses when m threads each access one of n memory blocks uniformly.
+ *
+ *   P(N_{m,n} = i) = (1 / n^m) * n!/(n-i)! * S(m, i)
+ *
+ * where S is the Stirling number of the second kind. Computed exactly
+ * with big integers and exposed both as exact rationals and doubles.
+ */
+
+#ifndef RCOAL_THEORY_COALESCED_DISTRIBUTION_HPP
+#define RCOAL_THEORY_COALESCED_DISTRIBUTION_HPP
+
+#include <vector>
+
+#include "rcoal/numeric/big_rational.hpp"
+
+namespace rcoal::theory {
+
+/**
+ * The exact distribution N_{m,n} of coalesced accesses from m uniform
+ * thread accesses over n memory blocks.
+ */
+class CoalescedAccessDistribution
+{
+  public:
+    /** @param m threads, @param n memory blocks; both positive. */
+    CoalescedAccessDistribution(unsigned m, unsigned n);
+
+    unsigned threads() const { return mThreads; }
+    unsigned blocks() const { return nBlocks; }
+
+    /** Exact P(N = i); zero outside [1, min(m, n)]. */
+    numeric::BigRational pmfExact(unsigned i) const;
+
+    /** P(N = i) as a double. */
+    double pmf(unsigned i) const;
+
+    /** Exact mean. */
+    const numeric::BigRational &meanExact() const { return mu; }
+
+    /** Exact second moment E[N^2]. */
+    const numeric::BigRational &secondMomentExact() const { return mu2; }
+
+    /** Mean as a double. */
+    double mean() const { return mu.toDouble(); }
+
+    /** Variance as a double. */
+    double variance() const;
+
+    /**
+     * Closed-form mean n * (1 - (1 - 1/n)^m), used as a cross-check of
+     * the Stirling-based computation.
+     */
+    static double meanClosedForm(unsigned m, unsigned n);
+
+  private:
+    unsigned mThreads;
+    unsigned nBlocks;
+    std::vector<numeric::BigRational> probabilities; ///< Index i.
+    numeric::BigRational mu;
+    numeric::BigRational mu2;
+};
+
+} // namespace rcoal::theory
+
+#endif // RCOAL_THEORY_COALESCED_DISTRIBUTION_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section V analytical security model: exact correlation rho between the
+ * actual and estimated coalesced-access vectors under each defense, and
+ * the derived (normalized) sample count S for a successful attack.
+ *
+ * The headline result is Table II (N = 32 threads, R = 16 memory
+ * blocks): FSS keeps rho = 1 for M < N, while FSS+RTS and RSS+RTS drive
+ * rho down as the number of subwarps M grows, multiplying the samples an
+ * attacker needs by 6x-961x.
+ *
+ * Implementation notes: the paper's sums over the frequency set F (all
+ * R^N thread-to-block assignments grouped by block frequencies) and over
+ * the RSS size space W (compositions of N into M positive parts) are
+ * astronomically large when enumerated directly; every summand is
+ * symmetric under relabeling of blocks/subwarps, so both sums collapse
+ * to integer partitions with exact multiplicity weights (a few thousand
+ * terms; see numeric/partitions.hpp).
+ */
+
+#ifndef RCOAL_THEORY_SECURITY_MODEL_HPP
+#define RCOAL_THEORY_SECURITY_MODEL_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rcoal/theory/coalesced_distribution.hpp"
+
+namespace rcoal::theory {
+
+/** Problem parameters of the analytical model. */
+struct ModelParams
+{
+    unsigned n = 32; ///< Threads per warp (N).
+    unsigned r = 16; ///< Memory blocks per lookup table (R).
+    unsigned m = 1;  ///< Number of subwarps (M).
+};
+
+/** rho and sample counts for one defense at one M. */
+struct SecurityResult
+{
+    double rho = 0.0;        ///< corr(measurement, estimation).
+    double muU = 0.0;        ///< E[U], expected coalesced accesses.
+    double sigmaU = 0.0;     ///< stddev(U).
+    double normalizedSamples = 0.0; ///< S relative to FSS M=1 (1/rho^2).
+                                    ///< +inf when rho == 0.
+};
+
+/**
+ * Definition 3: expected coalesced accesses E[M_{F,C}] given block
+ * frequencies @p frequencies (non-negative, summing to N) and subwarp
+ * capacities @p capacities (positive, summing to N), under random
+ * thread-to-subwarp assignment.
+ */
+double expectedAccessesGivenFrequencies(
+    std::span<const unsigned> frequencies,
+    std::span<const unsigned> capacities);
+
+/** FSS: deterministic partition; rho is 1 until sigma(U) hits 0 at M=N. */
+SecurityResult analyzeFss(const ModelParams &params);
+
+/** FSS+RTS: fixed sizes, random thread allocation. */
+SecurityResult analyzeFssRts(const ModelParams &params);
+
+/** RSS+RTS: skewed random sizes and random thread allocation. */
+SecurityResult analyzeRssRts(const ModelParams &params);
+
+/** One row of Table II. */
+struct TableTwoRow
+{
+    unsigned m = 0;
+    SecurityResult fss;
+    SecurityResult fssRts;
+    SecurityResult rssRts;
+};
+
+/**
+ * Reproduce Table II: N=32, R=16, M in {1, 2, 4, 8, 16, 32} by default.
+ */
+std::vector<TableTwoRow>
+tableTwo(unsigned n = 32, unsigned r = 16,
+         std::span<const unsigned> subwarp_counts = {});
+
+} // namespace rcoal::theory
+
+#endif // RCOAL_THEORY_SECURITY_MODEL_HPP

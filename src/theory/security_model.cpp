@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Analytical security model implementation.
+ */
+
+#include "rcoal/theory/security_model.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/numeric/combinatorics.hpp"
+#include "rcoal/numeric/partitions.hpp"
+
+namespace rcoal::theory {
+
+using numeric::BigUInt;
+using numeric::Partition;
+
+namespace {
+
+/** FSS subwarp capacities: N/M with the remainder spread (as in core). */
+std::vector<unsigned>
+fssCapacities(unsigned n, unsigned m)
+{
+    std::vector<unsigned> sizes(m, n / m);
+    for (unsigned i = 0; i < n % m; ++i)
+        ++sizes[i];
+    return sizes;
+}
+
+/**
+ * Per-(N) table of g[f][c] = P(subwarp of capacity c sees block with
+ * frequency f) = 1 - C(N-c, f) / C(N, f).
+ */
+class OccupancyTable
+{
+  public:
+    explicit OccupancyTable(unsigned n) : size(n), g(n + 1)
+    {
+        for (unsigned f = 0; f <= n; ++f) {
+            g[f].resize(n + 1, 0.0L);
+            const long double denom =
+                numeric::binomial(n, f).toLongDouble();
+            for (unsigned c = 1; c <= n; ++c) {
+                long double miss = 0.0L;
+                if (f <= n - c) {
+                    miss = numeric::binomial(n - c, f).toLongDouble() /
+                           denom;
+                }
+                g[f][c] = 1.0L - miss;
+            }
+        }
+    }
+
+    long double
+    value(unsigned f, unsigned c) const
+    {
+        RCOAL_ASSERT(f <= size && c <= size, "occupancy out of range");
+        return g[f][c];
+    }
+
+  private:
+    unsigned size;
+    std::vector<std::vector<long double>> g;
+};
+
+/** Per-subwarp-size moments of N_{w,R}, cached for w = 1..N. */
+struct SizeMoments
+{
+    std::vector<double> mean; ///< Index w.
+    std::vector<double> var;
+
+    SizeMoments(unsigned n, unsigned r) : mean(n + 1, 0.0), var(n + 1, 0.0)
+    {
+        for (unsigned w = 1; w <= n; ++w) {
+            const CoalescedAccessDistribution dist(w, r);
+            mean[w] = dist.mean();
+            var[w] = dist.variance();
+        }
+    }
+};
+
+/**
+ * Weight of a frequency-partition lambda: the probability that the block
+ * frequencies of N uniform accesses over R blocks form this multiset.
+ */
+long double
+frequencyWeight(const Partition &lambda, unsigned n, unsigned r)
+{
+    const long double vectors =
+        numeric::vectorsOfPartition(lambda, r).toLongDouble();
+    const long double assignments =
+        numeric::threadAssignmentsOfPartition(lambda).toLongDouble();
+    const long double total = BigUInt(r).pow(n).toLongDouble();
+    return vectors * assignments / total;
+}
+
+double
+rhoToNormalizedSamples(double rho)
+{
+    if (std::abs(rho) < 1e-9)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / (rho * rho);
+}
+
+/**
+ * Frequency multisets and their probabilities for (n, r), memoized:
+ * the enumeration with exact big-integer weights costs seconds and is
+ * shared by every defense analysis at the same (n, r).
+ */
+const std::vector<std::pair<Partition, long double>> &
+frequencyPartitions(unsigned n, unsigned r)
+{
+    static std::map<std::pair<unsigned, unsigned>,
+                    std::vector<std::pair<Partition, long double>>>
+        cache;
+    static std::mutex cache_mutex;
+    std::scoped_lock lock(cache_mutex);
+    auto [it, inserted] = cache.try_emplace({n, r});
+    if (inserted) {
+        long double total = 0.0L;
+        numeric::forEachPartition(n, r, n, [&](const Partition &lambda) {
+            const long double weight = frequencyWeight(lambda, n, r);
+            total += weight;
+            it->second.emplace_back(lambda, weight);
+        });
+        RCOAL_ASSERT(std::abs(static_cast<double>(total) - 1.0) < 1e-9,
+                     "frequency weights sum to %.12f",
+                     static_cast<double>(total));
+    }
+    return it->second;
+}
+
+} // namespace
+
+double
+expectedAccessesGivenFrequencies(std::span<const unsigned> frequencies,
+                                 std::span<const unsigned> capacities)
+{
+    unsigned n = 0;
+    for (unsigned c : capacities) {
+        RCOAL_ASSERT(c > 0, "subwarp capacity must be positive");
+        n += c;
+    }
+    unsigned freq_total = 0;
+    for (unsigned f : frequencies)
+        freq_total += f;
+    RCOAL_ASSERT(freq_total == n,
+                 "frequencies sum to %u but capacities to %u", freq_total,
+                 n);
+    const OccupancyTable table(n);
+    long double sum = 0.0L;
+    for (unsigned f : frequencies) {
+        if (f == 0)
+            continue;
+        for (unsigned c : capacities)
+            sum += table.value(f, c);
+    }
+    return static_cast<double>(sum);
+}
+
+SecurityResult
+analyzeFss(const ModelParams &params)
+{
+    const SizeMoments moments(params.n, params.r);
+    double mu = 0.0;
+    double var = 0.0;
+    for (unsigned c : fssCapacities(params.n, params.m)) {
+        mu += moments.mean[c];
+        var += moments.var[c];
+    }
+    SecurityResult result;
+    result.muU = mu;
+    result.sigmaU = std::sqrt(var);
+    // The attacker replicates the deterministic partition exactly, so
+    // U == U-hat: rho is 1 whenever U varies at all.
+    result.rho = var > 1e-12 ? 1.0 : 0.0;
+    result.normalizedSamples = rhoToNormalizedSamples(result.rho);
+    return result;
+}
+
+SecurityResult
+analyzeFssRts(const ModelParams &params)
+{
+    const unsigned n = params.n;
+    const unsigned r = params.r;
+    const SizeMoments moments(n, r);
+    const OccupancyTable occupancy(n);
+    const auto capacities = fssCapacities(n, params.m);
+
+    // mu(U) and sigma(U) are unaffected by the random permutation
+    // (Section V-B2): subwarp contents are iid uniform block draws.
+    double mu = 0.0;
+    double var = 0.0;
+    for (unsigned c : capacities) {
+        mu += moments.mean[c];
+        var += moments.var[c];
+    }
+
+    // mu(U x U-hat) = sum over frequency multisets of P(F) mu(U|F)^2.
+    // g-row sums per frequency value, shared across partitions.
+    std::vector<long double> row(n + 1, 0.0L);
+    for (unsigned f = 1; f <= n; ++f) {
+        for (unsigned c : capacities)
+            row[f] += occupancy.value(f, c);
+    }
+
+    long double cross = 0.0L;
+    long double mu_check = 0.0L;
+    for (const auto &[lambda, weight] : frequencyPartitions(n, r)) {
+        long double mu_given_f = 0.0L;
+        for (unsigned f : lambda)
+            mu_given_f += row[f];
+        cross += weight * mu_given_f * mu_given_f;
+        mu_check += weight * mu_given_f;
+    }
+    RCOAL_ASSERT(std::abs(static_cast<double>(mu_check) - mu) < 1e-6,
+                 "mu(U) mismatch: partition sum %.9f vs moments %.9f",
+                 static_cast<double>(mu_check), mu);
+
+    SecurityResult result;
+    result.muU = mu;
+    result.sigmaU = std::sqrt(var);
+    if (var <= 1e-12) {
+        result.rho = 0.0;
+    } else {
+        result.rho =
+            static_cast<double>(cross - static_cast<long double>(mu) * mu) /
+            var;
+    }
+    result.normalizedSamples = rhoToNormalizedSamples(result.rho);
+    return result;
+}
+
+SecurityResult
+analyzeRssRts(const ModelParams &params)
+{
+    const unsigned n = params.n;
+    const unsigned r = params.r;
+    const unsigned m = params.m;
+    const SizeMoments moments(n, r);
+    const OccupancyTable occupancy(n);
+
+    // Enumerate the RSS size space W (compositions of n into m positive
+    // parts) as partitions with composition-multiplicity weights.
+    const long double total_compositions =
+        numeric::compositionsCount(n, m).toLongDouble();
+
+    double mu = 0.0;        // E[U]
+    double mu_sq = 0.0;     // E[U^2]
+    // h[f] = E_W[ sum_j g[f][w_j] ], the expected probability mass a
+    // frequency-f block contributes across the random subwarp sizes.
+    std::vector<long double> h(n + 1, 0.0L);
+    long double pw_total = 0.0L;
+
+    numeric::forEachPartitionExact(n, m, n, [&](const Partition &sizes) {
+        const long double pw =
+            numeric::compositionsOfPartition(sizes).toLongDouble() /
+            total_compositions;
+        pw_total += pw;
+        double mu_w = 0.0;
+        double var_w = 0.0;
+        for (unsigned w : sizes) {
+            mu_w += moments.mean[w];
+            var_w += moments.var[w];
+        }
+        mu += static_cast<double>(pw) * mu_w;
+        mu_sq += static_cast<double>(pw) * (var_w + mu_w * mu_w);
+        for (unsigned f = 1; f <= n; ++f) {
+            long double sum = 0.0L;
+            for (unsigned w : sizes)
+                sum += occupancy.value(f, w);
+            h[f] += pw * sum;
+        }
+    });
+    RCOAL_ASSERT(std::abs(static_cast<double>(pw_total) - 1.0) < 1e-9,
+                 "size-space weights sum to %.12f",
+                 static_cast<double>(pw_total));
+
+    const double var = mu_sq - mu * mu;
+
+    // mu(U x U-hat) over the frequency multisets, with
+    // mu(U|F) = sum_f h[f] (RTS makes U|F and U-hat|F iid).
+    long double cross = 0.0L;
+    for (const auto &[lambda, weight] : frequencyPartitions(n, r)) {
+        long double mu_given_f = 0.0L;
+        for (unsigned f : lambda)
+            mu_given_f += h[f];
+        cross += weight * mu_given_f * mu_given_f;
+    }
+
+    SecurityResult result;
+    result.muU = mu;
+    result.sigmaU = var > 0.0 ? std::sqrt(var) : 0.0;
+    if (var <= 1e-12) {
+        result.rho = 0.0;
+    } else {
+        result.rho =
+            static_cast<double>(cross - static_cast<long double>(mu) * mu) /
+            var;
+    }
+    result.normalizedSamples = rhoToNormalizedSamples(result.rho);
+    return result;
+}
+
+std::vector<TableTwoRow>
+tableTwo(unsigned n, unsigned r, std::span<const unsigned> subwarp_counts)
+{
+    static constexpr std::array<unsigned, 6> kDefault = {1, 2, 4,
+                                                         8, 16, 32};
+    std::vector<unsigned> counts(subwarp_counts.begin(),
+                                 subwarp_counts.end());
+    if (counts.empty())
+        counts.assign(kDefault.begin(), kDefault.end());
+
+    std::vector<TableTwoRow> rows;
+    rows.reserve(counts.size());
+    for (unsigned m : counts) {
+        TableTwoRow row;
+        row.m = m;
+        const ModelParams params{n, r, m};
+        row.fss = analyzeFss(params);
+        row.fssRts = analyzeFssRts(params);
+        row.rssRts = analyzeRssRts(params);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace rcoal::theory

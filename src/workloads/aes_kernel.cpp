@@ -1,0 +1,157 @@
+/**
+ * @file
+ * AES GPU kernel construction.
+ */
+
+#include "rcoal/workloads/aes_kernel.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::workloads {
+
+AesMemoryLayout
+AesMemoryLayout::standard()
+{
+    AesMemoryLayout layout;
+    constexpr Addr table_bytes = 256 * 4;
+    for (unsigned t = 0; t < 5; ++t)
+        layout.tableBase[t] = 0x1000 + t * table_bytes;
+    layout.plaintextBase = 0x4'0000;
+    layout.ciphertextBase = 0x8'0000;
+    return layout;
+}
+
+AesGpuKernel::AesGpuKernel(std::span<const aes::Block> plaintext_lines,
+                           std::span<const std::uint8_t> key,
+                           unsigned warp_size,
+                           const AesMemoryLayout &layout,
+                           unsigned alu_latency)
+{
+    RCOAL_ASSERT(!plaintext_lines.empty(), "no plaintext lines");
+    RCOAL_ASSERT(warp_size > 0, "warp size must be positive");
+
+    const aes::TTableAes ttable(key);
+    const unsigned rounds = ttable.rounds();
+    const unsigned lines = static_cast<unsigned>(plaintext_lines.size());
+    const unsigned warps = (lines + warp_size - 1) / warp_size;
+
+    // Encrypt every line, keeping the per-line lookup trace.
+    cipher.reserve(lines);
+    std::vector<std::vector<aes::TableLookup>> lookups(lines);
+    for (unsigned line = 0; line < lines; ++line) {
+        cipher.push_back(
+            ttable.encryptBlockTraced(plaintext_lines[line],
+                                      lookups[line]));
+        RCOAL_ASSERT(lookups[line].size() ==
+                         static_cast<std::size_t>(rounds) *
+                             aes::kLookupsPerRound,
+                     "unexpected trace length");
+    }
+
+    traces.resize(warps);
+    for (unsigned w = 0; w < warps; ++w) {
+        auto &trace_out = traces[w];
+        const unsigned line0 = w * warp_size;
+        const unsigned lanes_in_warp =
+            std::min(warp_size, lines - line0);
+
+        const auto make_lanes =
+            [&](auto addr_of) {
+                std::vector<core::LaneRequest> lanes(warp_size);
+                for (unsigned t = 0; t < warp_size; ++t) {
+                    lanes[t].tid = t;
+                    if (t < lanes_in_warp) {
+                        auto [addr, size] = addr_of(line0 + t);
+                        lanes[t].addr = addr;
+                        lanes[t].size = size;
+                        lanes[t].active = true;
+                    } else {
+                        lanes[t].active = false;
+                    }
+                }
+                return lanes;
+            };
+
+        // 1. Load this thread's plaintext line (one 16-byte vector load).
+        trace_out.push_back(sim::WarpInstruction::load(
+            make_lanes([&](unsigned line) {
+                return std::pair<Addr, std::uint32_t>{
+                    layout.plaintextBase + Addr{line} * 16, 16};
+            }),
+            sim::AccessTag::PlaintextLoad));
+        trace_out.push_back(sim::WarpInstruction::alu(alu_latency, true));
+
+        // 2. Rounds of table lookups. All threads execute the same
+        // static instruction, so lookup k of every lane uses the same
+        // table; the per-lane index comes from its own trace.
+        for (unsigned round = 1; round <= rounds; ++round) {
+            const bool last = round == rounds;
+            for (unsigned k = 0; k < aes::kLookupsPerRound; ++k) {
+                const std::size_t pos =
+                    static_cast<std::size_t>(round - 1) *
+                        aes::kLookupsPerRound + k;
+                // Table id is static across lanes; take it from the
+                // first line of this warp.
+                const unsigned table = lookups[line0][pos].table;
+                trace_out.push_back(sim::WarpInstruction::load(
+                    make_lanes([&](unsigned line) {
+                        const aes::TableLookup &lk = lookups[line][pos];
+                        RCOAL_ASSERT(lk.table == table,
+                                     "divergent table in lockstep trace");
+                        return std::pair<Addr, std::uint32_t>{
+                            layout.tableBase[table] +
+                                Addr{lk.index} * layout.elementBytes,
+                            layout.elementBytes};
+                    }),
+                    last ? sim::AccessTag::LastRoundLookup
+                         : sim::AccessTag::RoundLookup));
+            }
+            // Combine/XOR work consuming all of this round's loads.
+            trace_out.push_back(
+                sim::WarpInstruction::alu(alu_latency, true));
+        }
+
+        // 3. Store the ciphertext line.
+        trace_out.push_back(sim::WarpInstruction::store(
+            make_lanes([&](unsigned line) {
+                return std::pair<Addr, std::uint32_t>{
+                    layout.ciphertextBase + Addr{line} * 16, 16};
+            }),
+            sim::AccessTag::CiphertextStore));
+    }
+}
+
+unsigned
+AesGpuKernel::numWarps() const
+{
+    return static_cast<unsigned>(traces.size());
+}
+
+const std::vector<sim::WarpInstruction> &
+AesGpuKernel::trace(WarpId warp) const
+{
+    RCOAL_ASSERT(warp < traces.size(), "warp %u out of range", warp);
+    return traces[warp];
+}
+
+std::vector<aes::Block>
+randomPlaintext(unsigned lines, Rng &rng)
+{
+    std::vector<aes::Block> out(lines);
+    for (auto &block : out) {
+        for (auto &byte : block)
+            byte = static_cast<std::uint8_t>(rng.below(256));
+    }
+    return out;
+}
+
+std::array<std::uint8_t, 16>
+randomKey128(Rng &rng)
+{
+    std::array<std::uint8_t, 16> key{};
+    for (auto &byte : key)
+        byte = static_cast<std::uint8_t>(rng.below(256));
+    return key;
+}
+
+} // namespace rcoal::workloads

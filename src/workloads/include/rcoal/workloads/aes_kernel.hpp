@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The AES-128 encryption kernel as seen by the simulated GPU.
+ *
+ * Mirrors the CUDA implementation the paper attacks (Section II-B): the
+ * plaintext is divided across threads, one 16-byte line per thread, with
+ * a sequential, deterministic line-to-thread mapping; 32 threads form a
+ * warp; each thread performs per-round T-table lookups that the
+ * coalescing unit merges. The builder encrypts each line with the
+ * traced T-table cipher and converts the lookup traces into lockstep
+ * warp instructions:
+ *
+ *   load plaintext line (16 B/lane)
+ *   per round: 16 table-lookup loads (4 B/lane) + a join ALU op
+ *   store ciphertext line (16 B/lane)
+ *
+ * Last-round lookups carry AccessTag::LastRoundLookup so the simulator
+ * reports the quantities the attack correlates.
+ */
+
+#ifndef RCOAL_WORKLOADS_AES_KERNEL_HPP
+#define RCOAL_WORKLOADS_AES_KERNEL_HPP
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "rcoal/aes/ttable.hpp"
+#include "rcoal/common/rng.hpp"
+#include "rcoal/sim/kernel.hpp"
+
+namespace rcoal::workloads {
+
+/** Memory layout of the AES kernel's data structures. */
+struct AesMemoryLayout
+{
+    /** Base addresses of Te0..Te3 and T4 (index 4). */
+    std::array<Addr, 5> tableBase{};
+
+    Addr plaintextBase = 0;
+    Addr ciphertextBase = 0;
+
+    /** Bytes per table element (32-bit words in T-table AES). */
+    std::uint32_t elementBytes = 4;
+
+    /**
+     * Standard layout: five 1 KiB tables packed contiguously from
+     * 0x1000, plaintext at 0x4'0000, ciphertext at 0x8'0000. With
+     * 256-byte partition interleaving each table spans 4 partitions.
+     */
+    static AesMemoryLayout standard();
+};
+
+/**
+ * KernelSource for one AES-128 ECB encryption over a set of plaintext
+ * lines. Also exposes the functionally computed ciphertext, which the
+ * attack harness hands to the attacker.
+ */
+class AesGpuKernel : public sim::KernelSource
+{
+  public:
+    /**
+     * @param plaintext_lines one 16-byte block per line.
+     * @param key AES key (16/24/32 bytes).
+     * @param warp_size threads per warp (32 in the paper).
+     * @param layout memory layout of tables and buffers.
+     * @param alu_latency latency of the per-round combine ALU batch.
+     */
+    AesGpuKernel(std::span<const aes::Block> plaintext_lines,
+                 std::span<const std::uint8_t> key, unsigned warp_size,
+                 const AesMemoryLayout &layout = AesMemoryLayout::standard(),
+                 unsigned alu_latency = 8);
+
+    unsigned numWarps() const override;
+    const std::vector<sim::WarpInstruction> &
+    trace(WarpId warp) const override;
+    std::string name() const override { return "aes128-ecb"; }
+
+    /** Ciphertext of every line (functional result). */
+    const std::vector<aes::Block> &ciphertext() const { return cipher; }
+
+    /** Number of plaintext lines. */
+    unsigned numLines() const
+    {
+        return static_cast<unsigned>(cipher.size());
+    }
+
+  private:
+    std::vector<std::vector<sim::WarpInstruction>> traces;
+    std::vector<aes::Block> cipher;
+};
+
+/** Generate @p lines random plaintext lines. */
+std::vector<aes::Block> randomPlaintext(unsigned lines, Rng &rng);
+
+/** Generate a random AES-128 key. */
+std::array<std::uint8_t, 16> randomKey128(Rng &rng);
+
+} // namespace rcoal::workloads
+
+#endif // RCOAL_WORKLOADS_AES_KERNEL_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic microbenchmark kernels for substrate validation.
+ *
+ * These exercise the memory system with known access patterns so the
+ * tests can check coalescing counts, DRAM row behaviour and bandwidth
+ * shapes independently of AES.
+ */
+
+#ifndef RCOAL_WORKLOADS_MICRO_KERNELS_HPP
+#define RCOAL_WORKLOADS_MICRO_KERNELS_HPP
+
+#include <memory>
+
+#include "rcoal/common/rng.hpp"
+#include "rcoal/sim/kernel.hpp"
+
+namespace rcoal::workloads {
+
+/**
+ * Streaming kernel: each thread of each warp reads consecutive 4-byte
+ * words; perfectly coalesced under the baseline policy.
+ *
+ * @param warps number of warps.
+ * @param loads_per_warp load instructions per warp.
+ * @param warp_size threads per warp.
+ * @param base base address of the streamed buffer.
+ */
+std::unique_ptr<sim::KernelSource>
+makeStreamingKernel(unsigned warps, unsigned loads_per_warp,
+                    unsigned warp_size, Addr base = 0x10'0000);
+
+/**
+ * Random-access kernel: each lane reads a uniformly random 4-byte word
+ * from a table of @p table_words words; the GPU-unfriendly pattern.
+ */
+std::unique_ptr<sim::KernelSource>
+makeRandomKernel(unsigned warps, unsigned loads_per_warp,
+                 unsigned warp_size, unsigned table_words, Rng &rng,
+                 Addr base = 0x20'0000);
+
+/**
+ * Strided kernel: lane t of each load reads at stride * t; stride in
+ * bytes controls how many coalesced accesses each load produces.
+ */
+std::unique_ptr<sim::KernelSource>
+makeStridedKernel(unsigned warps, unsigned loads_per_warp,
+                  unsigned warp_size, std::uint32_t stride_bytes,
+                  Addr base = 0x30'0000);
+
+/**
+ * Divergent kernel: a data-dependent branch splits each warp with the
+ * immediate-post-dominator SIMT stack (Table I's divergence model).
+ * Lanes with (lane_value % 2 == 0) take the if-side (one load from
+ * @p base), the rest the else-side (one load from @p base + 0x10000);
+ * both sides then reconverge and issue a final full-warp load. Lane
+ * values are drawn from @p rng, so the divergence pattern varies per
+ * warp. Per warp: one if-side load, one else-side load (each partially
+ * masked) and one reconverged load.
+ */
+std::unique_ptr<sim::KernelSource>
+makeDivergentKernel(unsigned warps, unsigned warp_size, Rng &rng,
+                    Addr base = 0x40'0000);
+
+} // namespace rcoal::workloads
+
+#endif // RCOAL_WORKLOADS_MICRO_KERNELS_HPP

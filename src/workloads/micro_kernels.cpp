@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Microbenchmark kernel builders.
+ */
+
+#include "rcoal/workloads/micro_kernels.hpp"
+
+#include <functional>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/sim/simt_stack.hpp"
+
+namespace rcoal::workloads {
+
+namespace {
+
+std::vector<core::LaneRequest>
+lanesFor(unsigned warp_size, const std::function<Addr(unsigned)> &addr_of)
+{
+    std::vector<core::LaneRequest> lanes(warp_size);
+    for (unsigned t = 0; t < warp_size; ++t) {
+        lanes[t].tid = t;
+        lanes[t].addr = addr_of(t);
+        lanes[t].size = 4;
+        lanes[t].active = true;
+    }
+    return lanes;
+}
+
+} // namespace
+
+std::unique_ptr<sim::KernelSource>
+makeStreamingKernel(unsigned warps, unsigned loads_per_warp,
+                    unsigned warp_size, Addr base)
+{
+    std::vector<std::vector<sim::WarpInstruction>> traces(warps);
+    for (unsigned w = 0; w < warps; ++w) {
+        for (unsigned i = 0; i < loads_per_warp; ++i) {
+            const Addr instr_base =
+                base + (Addr{w} * loads_per_warp + i) * warp_size * 4;
+            traces[w].push_back(sim::WarpInstruction::load(
+                lanesFor(warp_size,
+                         [&](unsigned t) { return instr_base + t * 4; }),
+                sim::AccessTag::Generic));
+        }
+        traces[w].push_back(sim::WarpInstruction::alu(1, true));
+    }
+    return std::make_unique<sim::VectorKernel>(std::move(traces),
+                                               "streaming");
+}
+
+std::unique_ptr<sim::KernelSource>
+makeRandomKernel(unsigned warps, unsigned loads_per_warp,
+                 unsigned warp_size, unsigned table_words, Rng &rng,
+                 Addr base)
+{
+    std::vector<std::vector<sim::WarpInstruction>> traces(warps);
+    for (unsigned w = 0; w < warps; ++w) {
+        for (unsigned i = 0; i < loads_per_warp; ++i) {
+            traces[w].push_back(sim::WarpInstruction::load(
+                lanesFor(warp_size,
+                         [&](unsigned) {
+                             return base + rng.below(table_words) * 4;
+                         }),
+                sim::AccessTag::Generic));
+        }
+        traces[w].push_back(sim::WarpInstruction::alu(1, true));
+    }
+    return std::make_unique<sim::VectorKernel>(std::move(traces),
+                                               "random");
+}
+
+std::unique_ptr<sim::KernelSource>
+makeStridedKernel(unsigned warps, unsigned loads_per_warp,
+                  unsigned warp_size, std::uint32_t stride_bytes,
+                  Addr base)
+{
+    std::vector<std::vector<sim::WarpInstruction>> traces(warps);
+    for (unsigned w = 0; w < warps; ++w) {
+        for (unsigned i = 0; i < loads_per_warp; ++i) {
+            const Addr instr_base =
+                base + (Addr{w} * loads_per_warp + i) * warp_size *
+                           stride_bytes;
+            traces[w].push_back(sim::WarpInstruction::load(
+                lanesFor(warp_size,
+                         [&](unsigned t) {
+                             return instr_base + Addr{t} * stride_bytes;
+                         }),
+                sim::AccessTag::Generic));
+        }
+        traces[w].push_back(sim::WarpInstruction::alu(1, true));
+    }
+    return std::make_unique<sim::VectorKernel>(std::move(traces),
+                                               "strided");
+}
+
+std::unique_ptr<sim::KernelSource>
+makeDivergentKernel(unsigned warps, unsigned warp_size, Rng &rng,
+                    Addr base)
+{
+    RCOAL_ASSERT(warp_size <= 64, "SIMT stack supports up to 64 lanes");
+    std::vector<std::vector<sim::WarpInstruction>> traces(warps);
+    for (unsigned w = 0; w < warps; ++w) {
+        // Per-lane data decides the branch direction.
+        std::vector<std::uint64_t> lane_value(warp_size);
+        sim::LaneMask taken = 0;
+        for (unsigned t = 0; t < warp_size; ++t) {
+            lane_value[t] = rng.below(1024);
+            if (lane_value[t] % 2 == 0)
+                taken |= sim::LaneMask{1} << t;
+        }
+
+        // Drive the SIMT stack exactly as the hardware would: branch,
+        // run the taken side, switch at the post-dominator, run the
+        // else side, reconverge.
+        sim::SimtStack stack(warp_size);
+        const auto masked_load = [&](Addr instr_base,
+                                     sim::AccessTag tag) {
+            std::vector<core::LaneRequest> lanes(warp_size);
+            for (unsigned t = 0; t < warp_size; ++t) {
+                lanes[t].tid = t;
+                lanes[t].addr = instr_base + lane_value[t] * 4;
+                lanes[t].size = 4;
+                lanes[t].active = stack.isActive(t);
+            }
+            traces[w].push_back(sim::WarpInstruction::load(lanes, tag));
+            traces[w].push_back(sim::WarpInstruction::alu(1, true));
+        };
+
+        constexpr std::uint64_t kReconvPc = 100;
+        const std::uint64_t entry_pc =
+            stack.diverge(taken, /*taken_pc=*/10, /*fallthrough_pc=*/20,
+                          kReconvPc);
+        if (entry_pc == 10) {
+            masked_load(base, sim::AccessTag::Generic); // if-side
+            const std::uint64_t next = stack.reconverge(kReconvPc);
+            if (next == 20)
+                masked_load(base + 0x10000, sim::AccessTag::Generic);
+            stack.reconverge(kReconvPc);
+        } else {
+            masked_load(base + 0x10000, sim::AccessTag::Generic);
+            stack.reconverge(kReconvPc);
+        }
+        // Reconverged: full-warp load.
+        masked_load(base + 0x20000, sim::AccessTag::Generic);
+    }
+    return std::make_unique<sim::VectorKernel>(std::move(traces),
+                                               "divergent");
+}
+
+} // namespace rcoal::workloads

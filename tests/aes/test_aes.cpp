@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the reference AES implementation (FIPS-197 vectors).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "rcoal/aes/aes.hpp"
+#include "rcoal/common/rng.hpp"
+
+namespace rcoal::aes {
+namespace {
+
+Block
+blockFromHex(const char *hex)
+{
+    Block out{};
+    for (unsigned i = 0; i < 16; ++i) {
+        unsigned byte = 0;
+        sscanf(hex + 2 * i, "%2x", &byte);
+        out[i] = static_cast<std::uint8_t>(byte);
+    }
+    return out;
+}
+
+TEST(Aes, Fips197Appendix128)
+{
+    const std::array<std::uint8_t, 16> key = {
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+        0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+    const Aes aes(key);
+    const Block pt = blockFromHex("00112233445566778899aabbccddeeff");
+    const Block expected = blockFromHex("69c4e0d86a7b0430d8cdb78070b4c55a");
+    EXPECT_EQ(aes.encryptBlock(pt), expected);
+}
+
+TEST(Aes, Fips197Appendix192)
+{
+    const std::array<std::uint8_t, 24> key = {
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+        0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+        0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17};
+    const Aes aes(key);
+    const Block pt = blockFromHex("00112233445566778899aabbccddeeff");
+    const Block expected = blockFromHex("dda97ca4864cdfe06eaf70a0ec0d7191");
+    EXPECT_EQ(aes.encryptBlock(pt), expected);
+}
+
+TEST(Aes, Fips197Appendix256)
+{
+    const std::array<std::uint8_t, 32> key = {
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+        0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f,
+        0x10, 0x11, 0x12, 0x13, 0x14, 0x15, 0x16, 0x17,
+        0x18, 0x19, 0x1a, 0x1b, 0x1c, 0x1d, 0x1e, 0x1f};
+    const Aes aes(key);
+    const Block pt = blockFromHex("00112233445566778899aabbccddeeff");
+    const Block expected = blockFromHex("8ea2b7ca516745bfeafc49904b496089");
+    EXPECT_EQ(aes.encryptBlock(pt), expected);
+}
+
+TEST(Aes, Fips197AppendixB)
+{
+    // The worked example of FIPS-197 Appendix B.
+    const std::array<std::uint8_t, 16> key = {
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+        0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    const Aes aes(key);
+    const Block pt = blockFromHex("3243f6a8885a308d313198a2e0370734");
+    const Block expected = blockFromHex("3925841d02dc09fbdc118597196a0b32");
+    EXPECT_EQ(aes.encryptBlock(pt), expected);
+}
+
+TEST(Aes, DecryptInvertsEncrypt)
+{
+    Rng rng(4);
+    std::array<std::uint8_t, 16> key{};
+    for (auto &b : key)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    const Aes aes(key);
+    for (int trial = 0; trial < 100; ++trial) {
+        Block pt{};
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(pt)), pt);
+    }
+}
+
+TEST(Aes, DecryptInvertsEncryptAllKeySizes)
+{
+    Rng rng(6);
+    const Block pt = blockFromHex("00112233445566778899aabbccddeeff");
+    for (std::size_t len : {16u, 24u, 32u}) {
+        std::vector<std::uint8_t> key(len);
+        for (auto &b : key)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const Aes aes(key);
+        EXPECT_EQ(aes.decryptBlock(aes.encryptBlock(pt)), pt);
+    }
+}
+
+TEST(Aes, EcbEncryptsBlockwise)
+{
+    const std::array<std::uint8_t, 16> key{};
+    const Aes aes(key);
+    std::vector<Block> pts(3);
+    pts[1][0] = 1;
+    pts[2][0] = 2;
+    const auto cts = aes.encryptEcb(pts);
+    ASSERT_EQ(cts.size(), 3u);
+    EXPECT_EQ(cts[0], aes.encryptBlock(pts[0]));
+    EXPECT_EQ(cts[1], aes.encryptBlock(pts[1]));
+    EXPECT_NE(cts[0], cts[1]);
+}
+
+TEST(AesTransforms, ShiftRowsInverse)
+{
+    Block state;
+    for (unsigned i = 0; i < 16; ++i)
+        state[i] = static_cast<std::uint8_t>(i);
+    Block copy = state;
+    shiftRows(copy);
+    EXPECT_NE(copy, state);
+    invShiftRows(copy);
+    EXPECT_EQ(copy, state);
+}
+
+TEST(AesTransforms, ShiftRowsRowZeroUntouched)
+{
+    Block state;
+    for (unsigned i = 0; i < 16; ++i)
+        state[i] = static_cast<std::uint8_t>(i);
+    shiftRows(state);
+    // Row 0 occupies indices 0, 4, 8, 12 (column-major layout).
+    EXPECT_EQ(state[0], 0);
+    EXPECT_EQ(state[4], 4);
+    EXPECT_EQ(state[8], 8);
+    EXPECT_EQ(state[12], 12);
+    // Row 1 rotates by one column: (1,5,9,13) -> (5,9,13,1).
+    EXPECT_EQ(state[1], 5);
+    EXPECT_EQ(state[13], 1);
+}
+
+TEST(AesTransforms, MixColumnsKnownVector)
+{
+    // FIPS-197 / standard MixColumns test column:
+    // db 13 53 45 -> 8e 4d a1 bc.
+    Block state{};
+    state[0] = 0xdb;
+    state[1] = 0x13;
+    state[2] = 0x53;
+    state[3] = 0x45;
+    mixColumns(state);
+    EXPECT_EQ(state[0], 0x8e);
+    EXPECT_EQ(state[1], 0x4d);
+    EXPECT_EQ(state[2], 0xa1);
+    EXPECT_EQ(state[3], 0xbc);
+}
+
+TEST(AesTransforms, MixColumnsInverse)
+{
+    Rng rng(8);
+    for (int trial = 0; trial < 50; ++trial) {
+        Block state;
+        for (auto &b : state)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        Block copy = state;
+        mixColumns(copy);
+        invMixColumns(copy);
+        EXPECT_EQ(copy, state);
+    }
+}
+
+TEST(AesTransforms, SubBytesInverse)
+{
+    Block state;
+    for (unsigned i = 0; i < 16; ++i)
+        state[i] = static_cast<std::uint8_t>(i * 17);
+    Block copy = state;
+    subBytes(copy);
+    invSubBytes(copy);
+    EXPECT_EQ(copy, state);
+}
+
+TEST(AesTransforms, AddRoundKeyIsInvolution)
+{
+    Block state{};
+    Block key{};
+    for (unsigned i = 0; i < 16; ++i) {
+        state[i] = static_cast<std::uint8_t>(i);
+        key[i] = static_cast<std::uint8_t>(0xa0 + i);
+    }
+    Block copy = state;
+    addRoundKey(copy, key);
+    EXPECT_NE(copy, state);
+    addRoundKey(copy, key);
+    EXPECT_EQ(copy, state);
+}
+
+TEST(AesDeathTest, UnsupportedKeyLengthIsFatal)
+{
+    const std::array<std::uint8_t, 5> bad{};
+    EXPECT_EXIT(Aes{bad}, testing::ExitedWithCode(1), "key length");
+}
+
+} // namespace
+} // namespace rcoal::aes

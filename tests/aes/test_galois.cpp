@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for GF(2^8) arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/aes/galois.hpp"
+
+namespace rcoal::aes {
+namespace {
+
+TEST(Galois, XtimeKnownValues)
+{
+    EXPECT_EQ(gfXtime(0x57), 0xae);
+    EXPECT_EQ(gfXtime(0xae), 0x47); // wraps through the polynomial
+    EXPECT_EQ(gfXtime(0x80), 0x1b);
+    EXPECT_EQ(gfXtime(0x00), 0x00);
+}
+
+TEST(Galois, MulKnownValues)
+{
+    // FIPS-197 example: 0x57 * 0x13 = 0xfe.
+    EXPECT_EQ(gfMul(0x57, 0x13), 0xfe);
+    EXPECT_EQ(gfMul(0x57, 0x02), 0xae);
+    EXPECT_EQ(gfMul(0x57, 0x01), 0x57);
+}
+
+TEST(Galois, MulByZeroAndOne)
+{
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(gfMul(static_cast<std::uint8_t>(a), 0), 0);
+        EXPECT_EQ(gfMul(static_cast<std::uint8_t>(a), 1), a);
+        EXPECT_EQ(gfMul(1, static_cast<std::uint8_t>(a)), a);
+    }
+}
+
+TEST(Galois, MulIsCommutative)
+{
+    for (int a = 0; a < 256; a += 7) {
+        for (int b = 0; b < 256; b += 11) {
+            EXPECT_EQ(gfMul(static_cast<std::uint8_t>(a),
+                            static_cast<std::uint8_t>(b)),
+                      gfMul(static_cast<std::uint8_t>(b),
+                            static_cast<std::uint8_t>(a)));
+        }
+    }
+}
+
+TEST(Galois, MulDistributesOverXor)
+{
+    for (int a = 1; a < 256; a += 13) {
+        for (int b = 1; b < 256; b += 17) {
+            for (int c = 1; c < 256; c += 29) {
+                const auto au = static_cast<std::uint8_t>(a);
+                const auto bu = static_cast<std::uint8_t>(b);
+                const auto cu = static_cast<std::uint8_t>(c);
+                EXPECT_EQ(gfMul(au, bu ^ cu),
+                          gfMul(au, bu) ^ gfMul(au, cu));
+            }
+        }
+    }
+}
+
+TEST(Galois, InverseIsTwoSided)
+{
+    for (int a = 1; a < 256; ++a) {
+        const auto au = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gfMul(au, gfInv(au)), 1) << "a=" << a;
+        EXPECT_EQ(gfMul(gfInv(au), au), 1) << "a=" << a;
+    }
+}
+
+TEST(Galois, InverseOfZeroIsZeroByConvention)
+{
+    EXPECT_EQ(gfInv(0), 0);
+}
+
+TEST(Galois, InverseIsInvolution)
+{
+    for (int a = 0; a < 256; ++a) {
+        const auto au = static_cast<std::uint8_t>(a);
+        EXPECT_EQ(gfInv(gfInv(au)), au);
+    }
+}
+
+} // namespace
+} // namespace rcoal::aes

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the AES key schedule and its inversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "rcoal/aes/key_schedule.hpp"
+#include "rcoal/common/rng.hpp"
+
+namespace rcoal::aes {
+namespace {
+
+const std::array<std::uint8_t, 16> kFipsKey128 = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+TEST(KeySchedule, SizeHelpers)
+{
+    EXPECT_EQ(keyWords(KeySize::Aes128), 4u);
+    EXPECT_EQ(keyWords(KeySize::Aes192), 6u);
+    EXPECT_EQ(keyWords(KeySize::Aes256), 8u);
+    EXPECT_EQ(numRounds(KeySize::Aes128), 10u);
+    EXPECT_EQ(numRounds(KeySize::Aes192), 12u);
+    EXPECT_EQ(numRounds(KeySize::Aes256), 14u);
+    EXPECT_EQ(keyBytes(KeySize::Aes128), 16u);
+}
+
+TEST(KeySchedule, Fips197Appendix128)
+{
+    // FIPS-197 Appendix A.1 expansion of the 128-bit key.
+    const KeySchedule ks(kFipsKey128, KeySize::Aes128);
+    const auto &w = ks.words();
+    ASSERT_EQ(w.size(), 44u);
+    EXPECT_EQ(w[0], 0x2b7e1516u);
+    EXPECT_EQ(w[4], 0xa0fafe17u);
+    EXPECT_EQ(w[5], 0x88542cb1u);
+    EXPECT_EQ(w[10], 0x5935807au);
+    EXPECT_EQ(w[23], 0x11f915bcu);
+    EXPECT_EQ(w[40], 0xd014f9a8u);
+    EXPECT_EQ(w[43], 0xb6630ca6u);
+}
+
+TEST(KeySchedule, Fips197Appendix192And256)
+{
+    const std::array<std::uint8_t, 24> key192 = {
+        0x8e, 0x73, 0xb0, 0xf7, 0xda, 0x0e, 0x64, 0x52,
+        0xc8, 0x10, 0xf3, 0x2b, 0x80, 0x90, 0x79, 0xe5,
+        0x62, 0xf8, 0xea, 0xd2, 0x52, 0x2c, 0x6b, 0x7b};
+    const KeySchedule ks192(key192, KeySize::Aes192);
+    ASSERT_EQ(ks192.words().size(), 52u);
+    EXPECT_EQ(ks192.words()[6], 0xfe0c91f7u);
+    EXPECT_EQ(ks192.words()[51], 0x01002202u);
+
+    const std::array<std::uint8_t, 32> key256 = {
+        0x60, 0x3d, 0xeb, 0x10, 0x15, 0xca, 0x71, 0xbe,
+        0x2b, 0x73, 0xae, 0xf0, 0x85, 0x7d, 0x77, 0x81,
+        0x1f, 0x35, 0x2c, 0x07, 0x3b, 0x61, 0x08, 0xd7,
+        0x2d, 0x98, 0x10, 0xa3, 0x09, 0x14, 0xdf, 0xf4};
+    const KeySchedule ks256(key256, KeySize::Aes256);
+    ASSERT_EQ(ks256.words().size(), 60u);
+    EXPECT_EQ(ks256.words()[8], 0x9ba35411u);
+    EXPECT_EQ(ks256.words()[59], 0x706c631eu);
+}
+
+TEST(KeySchedule, RoundKeyZeroIsTheCipherKey)
+{
+    const KeySchedule ks(kFipsKey128, KeySize::Aes128);
+    const Block rk0 = ks.roundKey(0);
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(rk0[i], kFipsKey128[i]);
+}
+
+TEST(KeySchedule, LastRoundKeyBytes)
+{
+    const KeySchedule ks(kFipsKey128, KeySize::Aes128);
+    const Block rk10 = ks.roundKey(10);
+    // w[40..43] = d014f9a8 c9ee2589 e13f0cc8 b6630ca6.
+    const std::array<std::uint8_t, 16> expected = {
+        0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89,
+        0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63, 0x0c, 0xa6};
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(rk10[i], expected[i]) << "byte " << i;
+}
+
+TEST(KeyScheduleInversion, RecoversFipsKey)
+{
+    const KeySchedule ks(kFipsKey128, KeySize::Aes128);
+    const Block recovered = invertFromLastRoundKey(ks.roundKey(10));
+    for (unsigned i = 0; i < 16; ++i)
+        EXPECT_EQ(recovered[i], kFipsKey128[i]) << "byte " << i;
+}
+
+TEST(KeyScheduleInversion, RoundTripsRandomKeys)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::array<std::uint8_t, 16> key{};
+        for (auto &b : key)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const KeySchedule ks(key, KeySize::Aes128);
+        const Block recovered = invertFromLastRoundKey(ks.roundKey(10));
+        for (unsigned i = 0; i < 16; ++i)
+            EXPECT_EQ(recovered[i], key[i]);
+    }
+}
+
+TEST(KeyScheduleDeathTest, WrongKeyLengthPanics)
+{
+    const std::array<std::uint8_t, 10> short_key{};
+    EXPECT_DEATH(KeySchedule(short_key, KeySize::Aes128), "16 bytes");
+}
+
+TEST(KeyScheduleDeathTest, RoundKeyOutOfRangePanics)
+{
+    const KeySchedule ks(kFipsKey128, KeySize::Aes128);
+    EXPECT_DEATH(ks.roundKey(11), "out of range");
+}
+
+} // namespace
+} // namespace rcoal::aes

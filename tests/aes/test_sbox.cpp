@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the S-box tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rcoal/aes/sbox.hpp"
+
+namespace rcoal::aes {
+namespace {
+
+TEST(Sbox, PinnedFipsEntries)
+{
+    // Corner and well-known entries from the FIPS-197 table.
+    EXPECT_EQ(sbox()[0x00], 0x63);
+    EXPECT_EQ(sbox()[0x01], 0x7c);
+    EXPECT_EQ(sbox()[0x10], 0xca);
+    EXPECT_EQ(sbox()[0x53], 0xed);
+    EXPECT_EQ(sbox()[0xff], 0x16);
+    EXPECT_EQ(sbox()[0xc9], 0xdd);
+}
+
+TEST(Sbox, IsAPermutation)
+{
+    std::set<std::uint8_t> seen(sbox().begin(), sbox().end());
+    EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Sbox, HasNoFixedPoints)
+{
+    for (int i = 0; i < 256; ++i) {
+        EXPECT_NE(sbox()[static_cast<std::size_t>(i)], i);
+        // Also no "anti-fixed" points (complement), a classic S-box
+        // property.
+        EXPECT_NE(sbox()[static_cast<std::size_t>(i)], i ^ 0xff);
+    }
+}
+
+TEST(InvSbox, PinnedFipsEntries)
+{
+    EXPECT_EQ(invSbox()[0x00], 0x52);
+    EXPECT_EQ(invSbox()[0x63], 0x00);
+    EXPECT_EQ(invSbox()[0x16], 0xff);
+}
+
+TEST(InvSbox, RoundTripsWithForward)
+{
+    for (int i = 0; i < 256; ++i) {
+        const auto b = static_cast<std::uint8_t>(i);
+        EXPECT_EQ(invSubByte(subByte(b)), b);
+        EXPECT_EQ(subByte(invSubByte(b)), b);
+    }
+}
+
+} // namespace
+} // namespace rcoal::aes

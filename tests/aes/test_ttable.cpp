@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the T-table AES and its lookup tracing - the property
+ * the whole attack rests on (Eq. 3) is verified here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "rcoal/aes/aes.hpp"
+#include "rcoal/aes/sbox.hpp"
+#include "rcoal/aes/ttable.hpp"
+#include "rcoal/common/rng.hpp"
+
+namespace rcoal::aes {
+namespace {
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+TEST(TTable, MatchesReferenceAesOnRandomBlocks)
+{
+    Rng rng(12);
+    const Aes reference(kKey);
+    const TTableAes ttable(kKey);
+    for (int trial = 0; trial < 200; ++trial) {
+        Block pt{};
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(ttable.encryptBlock(pt), reference.encryptBlock(pt));
+    }
+}
+
+TEST(TTable, MatchesReferenceForAllKeySizes)
+{
+    Rng rng(13);
+    for (std::size_t len : {16u, 24u, 32u}) {
+        std::vector<std::uint8_t> key(len);
+        for (auto &b : key)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        const Aes reference(key);
+        const TTableAes ttable(key);
+        Block pt{};
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        EXPECT_EQ(ttable.encryptBlock(pt), reference.encryptBlock(pt));
+    }
+}
+
+TEST(TTable, TracedEncryptionProducesSameCiphertext)
+{
+    Rng rng(14);
+    const TTableAes ttable(kKey);
+    Block pt{};
+    for (auto &b : pt)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    std::vector<TableLookup> trace;
+    EXPECT_EQ(ttable.encryptBlockTraced(pt, trace),
+              ttable.encryptBlock(pt));
+}
+
+TEST(TTable, TraceShape)
+{
+    const TTableAes ttable(kKey);
+    std::vector<TableLookup> trace;
+    ttable.encryptBlockTraced(Block{}, trace);
+    ASSERT_EQ(trace.size(), 10u * kLookupsPerRound);
+    // Rounds 1..9 use tables 0..3 in a fixed static pattern.
+    for (unsigned r = 0; r < 9; ++r) {
+        for (unsigned k = 0; k < kLookupsPerRound; ++k) {
+            const TableLookup &lk = trace[r * kLookupsPerRound + k];
+            EXPECT_EQ(lk.round, r + 1);
+            EXPECT_EQ(lk.table, k % 4);
+        }
+    }
+    // The last round uses T4 exclusively.
+    for (unsigned k = 0; k < kLookupsPerRound; ++k) {
+        const TableLookup &lk = trace[9 * kLookupsPerRound + k];
+        EXPECT_EQ(lk.round, 10);
+        EXPECT_EQ(lk.table, kLastRoundTable);
+    }
+}
+
+TEST(TTable, LastRoundTraceSatisfiesEquationThree)
+{
+    // The attack's core identity: the j-th last-round lookup index t_j
+    // satisfies t_j = InvSbox[c_j ^ k10_j].
+    Rng rng(15);
+    const TTableAes ttable(kKey);
+    const Block k10 = ttable.schedule().roundKey(10);
+    for (int trial = 0; trial < 100; ++trial) {
+        Block pt{};
+        for (auto &b : pt)
+            b = static_cast<std::uint8_t>(rng.below(256));
+        std::vector<TableLookup> trace;
+        const Block ct = ttable.encryptBlockTraced(pt, trace);
+        for (unsigned j = 0; j < 16; ++j) {
+            const TableLookup &lk =
+                trace[9 * kLookupsPerRound + j];
+            EXPECT_EQ(lk.index, invSubByte(ct[j] ^ k10[j]))
+                << "byte " << j;
+        }
+    }
+}
+
+TEST(TTable, TableContentsConsistentWithSbox)
+{
+    for (int i = 0; i < 256; ++i) {
+        const std::uint8_t s = subByte(static_cast<std::uint8_t>(i));
+        const std::uint32_t t4 =
+            TTableAes::table(kLastRoundTable)[static_cast<std::size_t>(i)];
+        // T4 replicates Sbox[i] in all four byte lanes.
+        EXPECT_EQ(t4 & 0xff, s);
+        EXPECT_EQ((t4 >> 8) & 0xff, s);
+        EXPECT_EQ((t4 >> 16) & 0xff, s);
+        EXPECT_EQ((t4 >> 24) & 0xff, s);
+        // Te0's second byte lane holds Sbox[i].
+        EXPECT_EQ((TTableAes::table(0)[static_cast<std::size_t>(i)] >> 16) &
+                      0xff,
+                  s);
+    }
+}
+
+TEST(TTable, RotatedTableRelationship)
+{
+    for (int i = 0; i < 256; ++i) {
+        const std::uint32_t te0 =
+            TTableAes::table(0)[static_cast<std::size_t>(i)];
+        const std::uint32_t te1 =
+            TTableAes::table(1)[static_cast<std::size_t>(i)];
+        EXPECT_EQ(te1, (te0 >> 8) | (te0 << 24));
+    }
+}
+
+TEST(TTable, ConstructsFromExpandedSchedule)
+{
+    const KeySchedule ks(kKey, KeySize::Aes128);
+    const TTableAes from_schedule(ks);
+    const TTableAes from_key(kKey);
+    Block pt{};
+    pt[3] = 0x7f;
+    EXPECT_EQ(from_schedule.encryptBlock(pt), from_key.encryptBlock(pt));
+}
+
+TEST(TTable, TraceAppendsWithoutClearing)
+{
+    const TTableAes ttable(kKey);
+    std::vector<TableLookup> trace;
+    ttable.encryptBlockTraced(Block{}, trace);
+    const std::size_t once = trace.size();
+    ttable.encryptBlockTraced(Block{}, trace);
+    EXPECT_EQ(trace.size(), 2 * once);
+}
+
+} // namespace
+} // namespace rcoal::aes

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the encryption-service harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/aes/aes.hpp"
+#include "rcoal/attack/encryption_service.hpp"
+#include "rcoal/common/stats.hpp"
+
+namespace rcoal::attack {
+namespace {
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+sim::GpuConfig
+baseConfig()
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(EncryptionService, CiphertextIsCorrectAes)
+{
+    EncryptionService service(baseConfig(), kKey);
+    Rng rng(1);
+    const auto pts = workloads::randomPlaintext(32, rng);
+    const auto obs = service.encrypt(pts);
+    const aes::Aes reference(kKey);
+    ASSERT_EQ(obs.ciphertext.size(), 32u);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(obs.ciphertext[i], reference.encryptBlock(pts[i]));
+}
+
+TEST(EncryptionService, TimingFieldsArePopulated)
+{
+    EncryptionService service(baseConfig(), kKey);
+    Rng rng(2);
+    const auto obs =
+        service.encrypt(workloads::randomPlaintext(32, rng));
+    EXPECT_GT(obs.totalTime, 0.0);
+    EXPECT_GT(obs.lastRoundTime, 0.0);
+    EXPECT_LT(obs.lastRoundTime, obs.totalTime);
+    EXPECT_GT(obs.lastRoundAccesses, 0u);
+    EXPECT_GT(obs.totalAccesses, obs.lastRoundAccesses);
+}
+
+TEST(EncryptionService, LastRoundAccessesWithinTheoreticalBounds)
+{
+    EncryptionService service(baseConfig(), kKey);
+    Rng rng(3);
+    for (int i = 0; i < 5; ++i) {
+        const auto obs =
+            service.encrypt(workloads::randomPlaintext(32, rng));
+        // 16 lookup instructions, each producing 1..16 accesses under
+        // the baseline single-subwarp policy.
+        EXPECT_GE(obs.lastRoundAccesses, 16u);
+        EXPECT_LE(obs.lastRoundAccesses, 16u * 16u);
+    }
+}
+
+TEST(EncryptionService, DisabledCoalescingYields512LastRoundAccesses)
+{
+    sim::GpuConfig cfg = baseConfig();
+    cfg.policy = core::CoalescingPolicy::disabled();
+    EncryptionService service(cfg, kKey);
+    Rng rng(4);
+    const auto obs =
+        service.encrypt(workloads::randomPlaintext(32, rng));
+    // 16 T4 instructions x 32 lanes, no merging.
+    EXPECT_EQ(obs.lastRoundAccesses, 512u);
+}
+
+TEST(EncryptionService, CollectSamplesGathersDistinctPlaintexts)
+{
+    EncryptionService service(baseConfig(), kKey);
+    Rng rng(5);
+    const auto obs = service.collectSamples(4, 32, rng);
+    ASSERT_EQ(obs.size(), 4u);
+    EXPECT_NE(obs[0].ciphertext, obs[1].ciphertext);
+}
+
+TEST(EncryptionService, LastRoundKeyMatchesSchedule)
+{
+    EncryptionService service(baseConfig(), kKey);
+    const aes::KeySchedule ks(kKey, aes::KeySize::Aes128);
+    EXPECT_EQ(service.lastRoundKey(), ks.roundKey(10));
+}
+
+TEST(EncryptionService, Figure5TimeTracksAccesses)
+{
+    // Fig. 5: last-round execution time is linear in last-round
+    // coalesced accesses. Require a strong positive correlation.
+    EncryptionService service(baseConfig(), kKey);
+    Rng rng(6);
+    const auto obs = service.collectSamples(30, 32, rng);
+    std::vector<double> accesses;
+    for (const auto &o : obs)
+        accesses.push_back(static_cast<double>(o.lastRoundAccesses));
+    const auto times =
+        measurementSeries(obs, MeasurementVector::LastRoundTime);
+    EXPECT_GT(pearsonCorrelation(accesses, times), 0.9);
+}
+
+TEST(EncryptionService, MeasurementSeriesSelectors)
+{
+    EncryptionService service(baseConfig(), kKey);
+    Rng rng(7);
+    const auto obs = service.collectSamples(3, 32, rng);
+    const auto total =
+        measurementSeries(obs, MeasurementVector::TotalTime);
+    const auto last =
+        measurementSeries(obs, MeasurementVector::LastRoundTime);
+    const auto acc = measurementSeries(
+        obs, MeasurementVector::ObservedLastRoundAccesses);
+    ASSERT_EQ(total.size(), 3u);
+    for (unsigned i = 0; i < 3; ++i) {
+        EXPECT_EQ(total[i], obs[i].totalTime);
+        EXPECT_EQ(last[i], obs[i].lastRoundTime);
+        EXPECT_EQ(acc[i],
+                  static_cast<double>(obs[i].lastRoundAccesses));
+    }
+}
+
+TEST(EncryptionServiceDeathTest, RejectsInvalidKeyLengths)
+{
+    const std::array<std::uint8_t, 10> bad{};
+    EXPECT_EXIT(EncryptionService(baseConfig(), bad),
+                testing::ExitedWithCode(1), "16, 24 or 32");
+}
+
+TEST(EncryptionService, SupportsAes256)
+{
+    const std::array<std::uint8_t, 32> key256{9, 9, 9};
+    EncryptionService service(baseConfig(), key256);
+    Rng rng(8);
+    const auto pts = workloads::randomPlaintext(32, rng);
+    const auto obs = service.encrypt(pts);
+    const aes::Aes reference(key256);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(obs.ciphertext[i], reference.encryptBlock(pts[i]));
+    // 14 rounds: more round lookups than AES-128, same last round size.
+    EXPECT_GT(obs.totalAccesses, obs.lastRoundAccesses * 10);
+    // Eq. 3 holds for any key size: the last-round key byte relation is
+    // checked end-to-end by the AES-256 attack test below.
+    const aes::KeySchedule ks(key256, aes::KeySize::Aes256);
+    EXPECT_EQ(service.lastRoundKey(), ks.roundKey(14));
+}
+
+} // namespace
+} // namespace rcoal::attack

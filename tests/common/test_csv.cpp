@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "rcoal/common/csv.hpp"
+
+namespace rcoal {
+namespace {
+
+TEST(Csv, HeaderAndRows)
+{
+    CsvWriter csv({"m", "rho"});
+    csv.addRow({"1", "1.0"});
+    csv.addRow({"2", "0.41"});
+    EXPECT_EQ(csv.render(), "m,rho\n1,1.0\n2,0.41\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+}
+
+TEST(Csv, EscapingCommasQuotesNewlines)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, EscapedCellsRoundTripInRender)
+{
+    CsvWriter csv({"name", "value"});
+    csv.addRow({"with,comma", "1"});
+    EXPECT_EQ(csv.render(), "name,value\n\"with,comma\",1\n");
+}
+
+TEST(Csv, NumberFormatting)
+{
+    EXPECT_EQ(CsvWriter::num(0.25, 2), "0.25");
+    EXPECT_EQ(CsvWriter::num(std::uint64_t{42}), "42");
+}
+
+TEST(Csv, WriteFileRoundTrip)
+{
+    CsvWriter csv({"a"});
+    csv.addRow({"1"});
+    const std::string path = testing::TempDir() + "/rcoal_csv_test.csv";
+    csv.writeFile(path);
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "a\n1\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvDeathTest, MismatchedRowPanics)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_DEATH(csv.addRow({"only"}), "cells");
+}
+
+TEST(CsvDeathTest, UnwritablePathIsFatal)
+{
+    CsvWriter csv({"a"});
+    EXPECT_EXIT(csv.writeFile("/nonexistent-dir/x.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace rcoal

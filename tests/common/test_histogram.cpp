@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/common/histogram.hpp"
+
+namespace rcoal {
+namespace {
+
+TEST(Histogram, EmptyState)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_EQ(h.countOf(3), 0u);
+    EXPECT_EQ(h.fractionOf(3), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.stddev(), 0.0);
+}
+
+TEST(Histogram, CountsAndFractions)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2, 3);
+    h.add(1);
+    EXPECT_EQ(h.totalCount(), 5u);
+    EXPECT_EQ(h.countOf(1), 2u);
+    EXPECT_EQ(h.countOf(2), 3u);
+    EXPECT_DOUBLE_EQ(h.fractionOf(1), 0.4);
+    EXPECT_DOUBLE_EQ(h.fractionOf(2), 0.6);
+}
+
+TEST(Histogram, MeanAndStddev)
+{
+    Histogram h;
+    // Values 2,4,4,4,5,5,7,9: mean 5, population stddev 2.
+    for (int v : {2, 4, 4, 4, 5, 5, 7, 9})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 2.0);
+}
+
+TEST(Histogram, MinMaxAndSorted)
+{
+    Histogram h;
+    h.add(5);
+    h.add(-2);
+    h.add(9);
+    EXPECT_EQ(h.minValue(), -2);
+    EXPECT_EQ(h.maxValue(), 9);
+    const auto sorted = h.sorted();
+    ASSERT_EQ(sorted.size(), 3u);
+    EXPECT_EQ(sorted.front().first, -2);
+    EXPECT_EQ(sorted.back().first, 9);
+}
+
+TEST(Histogram, NegativeValues)
+{
+    Histogram h;
+    h.add(-5, 2);
+    h.add(5, 2);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 5.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.add(1, 10);
+    h.reset();
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.countOf(1), 0u);
+}
+
+TEST(Histogram, AsciiRenderContainsValues)
+{
+    Histogram h;
+    h.add(3, 4);
+    h.add(7, 1);
+    const std::string art = h.toAscii(10);
+    EXPECT_NE(art.find("3"), std::string::npos);
+    EXPECT_NE(art.find("7"), std::string::npos);
+    EXPECT_NE(art.find("#"), std::string::npos);
+}
+
+TEST(Histogram, AsciiRenderEmpty)
+{
+    Histogram h;
+    EXPECT_NE(h.toAscii().find("empty"), std::string::npos);
+}
+
+} // namespace
+} // namespace rcoal

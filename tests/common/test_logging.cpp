@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit tests for logging/formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal {
+namespace {
+
+TEST(Strprintf, FormatsBasicTypes)
+{
+    EXPECT_EQ(strprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("%s!", "hello"), "hello!");
+}
+
+TEST(Strprintf, EmptyAndLongStrings)
+{
+    EXPECT_EQ(strprintf("%s", ""), "");
+    const std::string long_str(5000, 'x');
+    EXPECT_EQ(strprintf("%s", long_str.c_str()), long_str);
+}
+
+TEST(Assert, PassingConditionDoesNotAbort)
+{
+    RCOAL_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(AssertDeathTest, FailingConditionPanics)
+{
+    EXPECT_DEATH(RCOAL_ASSERT(false, "value was %d", 42), "value was 42");
+}
+
+TEST(PanicDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %s", "now"), "boom now");
+}
+
+TEST(FatalDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+} // namespace
+} // namespace rcoal

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rcoal/common/rng.hpp"
+
+namespace rcoal {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromZeroSeed)
+{
+    // Reference values for SplitMix64 seeded with 0.
+    SplitMix64 sm(0);
+    EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafull);
+    EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ull);
+    EXPECT_EQ(sm.next(), 0x06c45d188009454full);
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next64() == b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(77);
+    const auto first = rng.next64();
+    rng.next64();
+    rng.reseed(77);
+    EXPECT_EQ(rng.next64(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(9);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    std::array<int, kBuckets> counts{};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[rng.below(kBuckets)];
+    const double expected = double(kDraws) / kBuckets;
+    for (int c : counts)
+        EXPECT_NEAR(c, expected, expected * 0.1);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    double sq = 0.0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / kDraws;
+    const double var = sq / kDraws - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(21);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleIsUniformOverPermutations)
+{
+    // All 6 permutations of 3 elements should appear ~equally often.
+    Rng rng(23);
+    std::map<std::vector<int>, int> counts;
+    constexpr int kDraws = 60000;
+    for (int i = 0; i < kDraws; ++i) {
+        std::vector<int> v{0, 1, 2};
+        rng.shuffle(v);
+        ++counts[v];
+    }
+    EXPECT_EQ(counts.size(), 6u);
+    for (const auto &[perm, count] : counts)
+        EXPECT_NEAR(count, kDraws / 6.0, kDraws / 6.0 * 0.1);
+}
+
+TEST(Rng, SampleDistinctSortedProperties)
+{
+    Rng rng(29);
+    for (int trial = 0; trial < 200; ++trial) {
+        const auto sample = rng.sampleDistinctSorted(5, 20);
+        ASSERT_EQ(sample.size(), 5u);
+        const std::set<std::uint64_t> unique(sample.begin(), sample.end());
+        EXPECT_EQ(unique.size(), 5u);
+        EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+        for (auto v : sample)
+            EXPECT_LT(v, 20u);
+    }
+}
+
+TEST(Rng, SampleDistinctSortedFullRange)
+{
+    Rng rng(31);
+    const auto sample = rng.sampleDistinctSorted(10, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleDistinctSortedEmpty)
+{
+    Rng rng(37);
+    EXPECT_TRUE(rng.sampleDistinctSorted(0, 10).empty());
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(41);
+    Rng child_a = parent.fork(1);
+    Rng child_b = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (child_a.next64() == child_b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState)
+{
+    Rng p1(43);
+    Rng p2(43);
+    Rng c1 = p1.fork(9);
+    Rng c2 = p2.fork(9);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(c1.next64(), c2.next64());
+}
+
+} // namespace
+} // namespace rcoal

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for TablePrinter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/common/table_printer.hpp"
+
+namespace rcoal {
+namespace {
+
+TEST(TablePrinter, RendersHeadersAndRows)
+{
+    TablePrinter table({"M", "rho"});
+    table.addRow({"1", "1.00"});
+    table.addRow({"16", "0.03"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("M"), std::string::npos);
+    EXPECT_NE(out.find("rho"), std::string::npos);
+    EXPECT_NE(out.find("1.00"), std::string::npos);
+    EXPECT_NE(out.find("0.03"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsAreAligned)
+{
+    TablePrinter table({"a", "b"});
+    table.addRow({"x", "y"});
+    table.addRow({"longer-cell", "z"});
+    const std::string out = table.render();
+    // Every rendered line has the same width.
+    std::size_t expected = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        ASSERT_NE(next, std::string::npos);
+        EXPECT_EQ(next - pos, expected);
+        pos = next + 1;
+    }
+}
+
+TEST(TablePrinter, SeparatorRendersAsRule)
+{
+    TablePrinter table({"a"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    const std::string out = table.render();
+    // Header rule + bottom rule + middle separator + top = 4 '+--' rules.
+    int rules = 0;
+    std::size_t pos = 0;
+    while ((pos = out.find("+-", pos)) != std::string::npos) {
+        ++rules;
+        pos = out.find('\n', pos);
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(TablePrinter, NumberFormattingHelpers)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(TablePrinter::num(std::uint64_t{12345}), "12345");
+    EXPECT_EQ(TablePrinter::num(std::int64_t{-42}), "-42");
+    EXPECT_EQ(TablePrinter::num(7), "7");
+}
+
+TEST(TablePrinterDeathTest, RowCellCountMustMatch)
+{
+    TablePrinter table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "cells");
+}
+
+} // namespace
+} // namespace rcoal

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the subwarp-aware coalescer, including the paper's
+ * worked examples (Fig. 2 and Fig. 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rcoal/core/coalescer.hpp"
+#include "rcoal/core/partitioner.hpp"
+#include "rcoal/theory/coalesced_distribution.hpp"
+
+namespace rcoal::core {
+namespace {
+
+std::vector<LaneRequest>
+lanes(std::initializer_list<Addr> addrs, std::uint32_t size = 4)
+{
+    std::vector<LaneRequest> out;
+    ThreadId tid = 0;
+    for (Addr a : addrs)
+        out.push_back({tid++, a, size, true});
+    return out;
+}
+
+TEST(Coalescer, PerfectlyCoalescedWarp)
+{
+    const Coalescer c(64);
+    std::vector<LaneRequest> reqs;
+    for (ThreadId t = 0; t < 16; ++t)
+        reqs.push_back({t, 0x1000 + Addr{t} * 4, 4, true});
+    const auto out = c.coalesce(reqs, SubwarpPartition::single(16));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].blockAddr, 0x1000u);
+    EXPECT_EQ(out[0].threads.size(), 16u);
+}
+
+TEST(Coalescer, Figure2Case1SingleSubwarp)
+{
+    // Fig. 2, Case 1: 4 threads, num-subwarp = 1; threads 1 and 2 share
+    // a block -> 3 coalesced accesses.
+    const Coalescer c(64);
+    const auto reqs = lanes({0x000, 0x100, 0x104, 0x200});
+    const auto out = c.coalesce(reqs, SubwarpPartition::single(4));
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Coalescer, Figure2Case2TwoSubwarps)
+{
+    // Fig. 2, Case 2: same requests, num-subwarp = 2 splits the sharing
+    // pair -> 4 accesses (two per subwarp).
+    const Coalescer c(64);
+    const auto reqs = lanes({0x000, 0x100, 0x104, 0x200});
+    const auto part = SubwarpPartition::fromSizes({2, 2});
+    const auto out = c.coalesce(reqs, part);
+    EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(Coalescer, Figure10aFssRts)
+{
+    // Fig. 10a: FSS+RTS, 4 threads in 2 subwarps of size 2 with
+    // shuffled threads {0,2} and {1,3}: the sharing pair (1,2) is
+    // split -> 4 accesses.
+    const Coalescer c(64);
+    const auto reqs = lanes({0x000, 0x100, 0x104, 0x200});
+    const SubwarpPartition part({0, 1, 0, 1}, 2);
+    EXPECT_EQ(c.coalesce(reqs, part).size(), 4u);
+}
+
+TEST(Coalescer, Figure10bRssRts)
+{
+    // Fig. 10b: RSS+RTS with sizes {1, 3}; threads 1, 2 end up in the
+    // same subwarp -> 3 accesses.
+    const Coalescer c(64);
+    const auto reqs = lanes({0x000, 0x100, 0x104, 0x200});
+    const SubwarpPartition part({1, 1, 1, 0}, 2);
+    EXPECT_EQ(c.coalesce(reqs, part).size(), 3u);
+}
+
+TEST(Coalescer, OneSubwarpPerThreadDisablesCoalescing)
+{
+    const Coalescer c(64);
+    std::vector<LaneRequest> reqs;
+    for (ThreadId t = 0; t < 32; ++t)
+        reqs.push_back({t, 0x1000, 4, true}); // all identical!
+    const auto part = SubwarpPartition::fromSizes(
+        std::vector<unsigned>(32, 1));
+    EXPECT_EQ(c.coalesce(reqs, part).size(), 32u);
+    EXPECT_EQ(c.countAccesses(reqs, part), 32u);
+}
+
+TEST(Coalescer, InactiveLanesIgnored)
+{
+    const Coalescer c(64);
+    std::vector<LaneRequest> reqs = lanes({0x000, 0x040, 0x080, 0x0c0});
+    reqs[1].active = false;
+    reqs[3].active = false;
+    const auto out = c.coalesce(reqs, SubwarpPartition::single(4));
+    EXPECT_EQ(out.size(), 2u);
+    for (const auto &access : out)
+        EXPECT_EQ(access.threads.size(), 1u);
+}
+
+TEST(Coalescer, AllLanesInactiveYieldsNothing)
+{
+    const Coalescer c(64);
+    std::vector<LaneRequest> reqs = lanes({0x000, 0x040});
+    reqs[0].active = false;
+    reqs[1].active = false;
+    EXPECT_TRUE(c.coalesce(reqs, SubwarpPartition::single(2)).empty());
+    EXPECT_EQ(c.countAccesses(reqs, SubwarpPartition::single(2)), 0u);
+}
+
+TEST(Coalescer, RequestStraddlingBlockBoundary)
+{
+    const Coalescer c(64);
+    // A 16-byte request starting 8 bytes before a block boundary
+    // touches two blocks.
+    std::vector<LaneRequest> reqs{{0, 0x38, 16, true}};
+    const auto out = c.coalesce(reqs, SubwarpPartition::single(1));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].blockAddr, 0x00u);
+    EXPECT_EQ(out[1].blockAddr, 0x40u);
+}
+
+TEST(Coalescer, BlockAlignment)
+{
+    const Coalescer c(128);
+    EXPECT_EQ(c.blockAlign(0x0), 0x0u);
+    EXPECT_EQ(c.blockAlign(0x7f), 0x0u);
+    EXPECT_EQ(c.blockAlign(0x80), 0x80u);
+    EXPECT_EQ(c.blockAlign(0x1ff), 0x180u);
+    EXPECT_EQ(c.blockSize(), 128u);
+}
+
+TEST(Coalescer, OutputGroupedBySubwarpThenAddress)
+{
+    const Coalescer c(64);
+    const auto reqs = lanes({0x200, 0x000, 0x100, 0x040});
+    const auto part = SubwarpPartition::fromSizes({2, 2});
+    const auto out = c.coalesce(reqs, part);
+    ASSERT_EQ(out.size(), 4u);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+        EXPECT_TRUE(out[i - 1].sid < out[i].sid ||
+                    (out[i - 1].sid == out[i].sid &&
+                     out[i - 1].blockAddr < out[i].blockAddr));
+    }
+}
+
+TEST(Coalescer, CountMatchesCoalesceSize)
+{
+    const Coalescer c(64);
+    Rng rng(44);
+    SubwarpPartitioner partitioner(CoalescingPolicy::rss(4, true), 32);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<LaneRequest> reqs;
+        for (ThreadId t = 0; t < 32; ++t)
+            reqs.push_back({t, rng.below(16) * 64, 4, true});
+        const auto part = partitioner.draw(rng);
+        EXPECT_EQ(c.countAccesses(reqs, part),
+                  c.coalesce(reqs, part).size());
+    }
+}
+
+TEST(Coalescer, EveryActiveLaneAppearsExactlyOncePerTouchedBlock)
+{
+    const Coalescer c(64);
+    Rng rng(45);
+    SubwarpPartitioner partitioner(CoalescingPolicy::fss(8, true), 32);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<LaneRequest> reqs;
+        for (ThreadId t = 0; t < 32; ++t)
+            reqs.push_back({t, rng.below(1024) * 4, 4, true});
+        const auto part = partitioner.draw(rng);
+        const auto out = c.coalesce(reqs, part);
+        std::multiset<ThreadId> seen;
+        for (const auto &access : out) {
+            for (ThreadId t : access.threads) {
+                seen.insert(t);
+                // The lane's subwarp must match the access's.
+                EXPECT_EQ(part.subwarpOf(t), access.sid);
+            }
+        }
+        EXPECT_EQ(seen.size(), 32u); // 4-byte aligned: 1 block each.
+    }
+}
+
+TEST(Coalescer, EmpiricalMeanMatchesDefinitionOne)
+{
+    // Monte-Carlo check of Definition 1: 32 threads over 16 blocks,
+    // single subwarp; mean coalesced accesses must match the exact
+    // distribution N_{32,16}.
+    const Coalescer c(64);
+    Rng rng(46);
+    const auto part = SubwarpPartition::single(32);
+    double sum = 0.0;
+    constexpr int kTrials = 20000;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        std::vector<LaneRequest> reqs;
+        for (ThreadId t = 0; t < 32; ++t)
+            reqs.push_back({t, rng.below(16) * 64, 4, true});
+        sum += c.countAccesses(reqs, part);
+    }
+    const theory::CoalescedAccessDistribution dist(32, 16);
+    EXPECT_NEAR(sum / kTrials, dist.mean(), 0.05);
+}
+
+TEST(CoalescerDeathTest, NonPowerOfTwoBlockSizePanics)
+{
+    EXPECT_DEATH(Coalescer(48), "power of two");
+}
+
+TEST(CoalescerDeathTest, ZeroSizeRequestPanics)
+{
+    const Coalescer c(64);
+    std::vector<LaneRequest> reqs{{0, 0x0, 0, true}};
+    EXPECT_DEATH(c.coalesce(reqs, SubwarpPartition::single(1)),
+                 "zero-size");
+}
+
+} // namespace
+} // namespace rcoal::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Property suite: the production coalescer against an independent
+ * reference model, over randomized inputs including inactive lanes and
+ * block-straddling requests, parameterized across block sizes and
+ * policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/core/coalescer.hpp"
+#include "rcoal/core/partitioner.hpp"
+
+namespace rcoal::core {
+namespace {
+
+/** Straightforward reference: set of (sid, block) per touched block. */
+std::map<std::pair<SubwarpId, Addr>, std::set<ThreadId>>
+referenceCoalesce(std::span<const LaneRequest> requests,
+                  const SubwarpPartition &partition,
+                  std::uint32_t block_bytes)
+{
+    std::map<std::pair<SubwarpId, Addr>, std::set<ThreadId>> out;
+    for (const auto &req : requests) {
+        if (!req.active)
+            continue;
+        const SubwarpId sid = partition.subwarpOf(req.tid);
+        Addr block = req.addr / block_bytes * block_bytes;
+        const Addr last =
+            (req.addr + req.size - 1) / block_bytes * block_bytes;
+        for (; block <= last; block += block_bytes)
+            out[{sid, block}].insert(req.tid);
+    }
+    return out;
+}
+
+class CoalescerModelSweep
+    : public testing::TestWithParam<
+          std::tuple<std::uint32_t, unsigned, bool>>
+{
+  protected:
+    std::uint32_t blockBytes() const { return std::get<0>(GetParam()); }
+    unsigned numSubwarps() const { return std::get<1>(GetParam()); }
+    bool rts() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(CoalescerModelSweep, MatchesReferenceModel)
+{
+    const Coalescer coalescer(blockBytes());
+    SubwarpPartitioner partitioner(
+        CoalescingPolicy::rss(numSubwarps(), rts()), 32);
+    Rng rng(1000 + blockBytes() + numSubwarps());
+
+    for (int trial = 0; trial < 60; ++trial) {
+        std::vector<LaneRequest> lanes(32);
+        for (ThreadId t = 0; t < 32; ++t) {
+            lanes[t].tid = t;
+            lanes[t].addr = rng.below(4096);
+            // Mix of sizes, some straddling block boundaries.
+            lanes[t].size = 1u << rng.below(5); // 1..16 bytes
+            lanes[t].active = rng.chance(0.8);
+        }
+        const auto partition = partitioner.draw(rng);
+        const auto expected =
+            referenceCoalesce(lanes, partition, blockBytes());
+        const auto actual = coalescer.coalesce(lanes, partition);
+
+        ASSERT_EQ(actual.size(), expected.size());
+        for (const auto &access : actual) {
+            const auto it =
+                expected.find({access.sid, access.blockAddr});
+            ASSERT_NE(it, expected.end())
+                << "unexpected access sid=" << access.sid << " block=0x"
+                << std::hex << access.blockAddr;
+            const std::set<ThreadId> threads(access.threads.begin(),
+                                             access.threads.end());
+            EXPECT_EQ(threads, it->second);
+        }
+        EXPECT_EQ(coalescer.countAccesses(lanes, partition),
+                  actual.size());
+    }
+}
+
+TEST_P(CoalescerModelSweep, AccessCountBounds)
+{
+    const Coalescer coalescer(blockBytes());
+    SubwarpPartitioner partitioner(
+        CoalescingPolicy::rss(numSubwarps(), rts()), 32);
+    Rng rng(2000 + blockBytes() * 3 + numSubwarps());
+
+    for (int trial = 0; trial < 60; ++trial) {
+        std::vector<LaneRequest> lanes(32);
+        unsigned active = 0;
+        for (ThreadId t = 0; t < 32; ++t) {
+            lanes[t].tid = t;
+            lanes[t].addr = rng.below(2048) * 4; // aligned, no straddle
+            lanes[t].size = 4;
+            lanes[t].active = rng.chance(0.9);
+            active += lanes[t].active ? 1 : 0;
+        }
+        const auto partition = partitioner.draw(rng);
+        const unsigned count =
+            coalescer.countAccesses(lanes, partition);
+        // At most one access per active lane; at least the number of
+        // distinct blocks overall (subwarps can only split, not merge).
+        std::set<Addr> distinct_blocks;
+        for (const auto &lane : lanes) {
+            if (lane.active)
+                distinct_blocks.insert(coalescer.blockAlign(lane.addr));
+        }
+        EXPECT_LE(count, active);
+        EXPECT_GE(count,
+                  active == 0 ? 0u
+                              : static_cast<unsigned>(
+                                    distinct_blocks.size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockSizesAndPolicies, CoalescerModelSweep,
+    testing::Combine(testing::Values(32u, 64u, 128u),
+                     testing::Values(1u, 4u, 16u), testing::Bool()),
+    [](const auto &info) {
+        return strprintf("B%u_M%u_%s", std::get<0>(info.param),
+                         std::get<1>(info.param),
+                         std::get<2>(info.param) ? "RTS" : "InOrder");
+    });
+
+} // namespace
+} // namespace rcoal::core

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the PendingRequestTable (Fig. 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/core/pending_request_table.hpp"
+
+namespace rcoal::core {
+namespace {
+
+TEST(Prt, AllocateAndRelease)
+{
+    PendingRequestTable prt(4);
+    EXPECT_EQ(prt.capacity(), 4u);
+    EXPECT_EQ(prt.occupancy(), 0u);
+    EXPECT_EQ(prt.freeEntries(), 4u);
+
+    const auto idx = prt.allocate(3, 0x1000, 8, 4, 2);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(prt.occupancy(), 1u);
+    const PrtEntry &entry = prt.entry(*idx);
+    EXPECT_TRUE(entry.valid);
+    EXPECT_EQ(entry.tid, 3u);
+    EXPECT_EQ(entry.baseAddr, 0x1000u);
+    EXPECT_EQ(entry.offset, 8u);
+    EXPECT_EQ(entry.size, 4u);
+    EXPECT_EQ(entry.sid, 2u);
+    EXPECT_FALSE(entry.pending);
+
+    prt.release(*idx);
+    EXPECT_EQ(prt.occupancy(), 0u);
+}
+
+TEST(Prt, FillsToCapacityThenRefuses)
+{
+    PendingRequestTable prt(3);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_TRUE(prt.allocate(0, 0, 0, 4, 0).has_value());
+    EXPECT_FALSE(prt.allocate(0, 0, 0, 4, 0).has_value());
+    EXPECT_EQ(prt.freeEntries(), 0u);
+}
+
+TEST(Prt, ReleaseMakesEntryReusable)
+{
+    PendingRequestTable prt(1);
+    const auto a = prt.allocate(1, 0x40, 0, 4, 0);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_FALSE(prt.allocate(2, 0x80, 0, 4, 0).has_value());
+    prt.release(*a);
+    const auto b = prt.allocate(2, 0x80, 0, 4, 0);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(prt.entry(*b).tid, 2u);
+}
+
+TEST(Prt, MarkPending)
+{
+    PendingRequestTable prt(2);
+    const auto idx = prt.allocate(0, 0, 0, 4, 0);
+    prt.markPending(*idx);
+    EXPECT_TRUE(prt.entry(*idx).pending);
+}
+
+TEST(Prt, EntriesOfSubwarp)
+{
+    PendingRequestTable prt(8);
+    prt.allocate(0, 0, 0, 4, 0);
+    const auto b = prt.allocate(1, 0, 0, 4, 1);
+    prt.allocate(2, 0, 0, 4, 1);
+    const auto of_one = prt.entriesOfSubwarp(1);
+    ASSERT_EQ(of_one.size(), 2u);
+    EXPECT_EQ(of_one[0], *b);
+    EXPECT_TRUE(prt.entriesOfSubwarp(5).empty());
+}
+
+TEST(Prt, SidFieldBitsMatchPaperOverhead)
+{
+    // Section IV-D: 5 bits to represent 32 possible sid values.
+    EXPECT_EQ(PendingRequestTable::sidFieldBits(32), 5u);
+    EXPECT_EQ(PendingRequestTable::sidFieldBits(64), 6u);
+    EXPECT_EQ(PendingRequestTable::sidFieldBits(2), 1u);
+    // Per-SM overhead: 32 threads x 2 schedulers x 5 bits = 320 bits.
+    EXPECT_EQ(32 * 2 * PendingRequestTable::sidFieldBits(32), 320u);
+}
+
+TEST(PrtDeathTest, ReleaseInvalidEntryPanics)
+{
+    PendingRequestTable prt(2);
+    EXPECT_DEATH(prt.release(0), "invalid");
+}
+
+TEST(PrtDeathTest, EntryAccessOutOfRangePanics)
+{
+    PendingRequestTable prt(2);
+    EXPECT_DEATH(prt.entry(5), "invalid");
+}
+
+TEST(PrtDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(PendingRequestTable(0), "at least one");
+}
+
+} // namespace
+} // namespace rcoal::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for CoalescingPolicy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/core/policy.hpp"
+
+namespace rcoal::core {
+namespace {
+
+TEST(Policy, FactoryHelpers)
+{
+    const auto base = CoalescingPolicy::baseline();
+    EXPECT_EQ(base.mechanism, Mechanism::Baseline);
+    EXPECT_EQ(base.numSubwarps, 1u);
+    EXPECT_FALSE(base.randomThreads);
+
+    const auto off = CoalescingPolicy::disabled();
+    EXPECT_EQ(off.mechanism, Mechanism::Disabled);
+
+    const auto fss = CoalescingPolicy::fss(8);
+    EXPECT_EQ(fss.mechanism, Mechanism::Fss);
+    EXPECT_EQ(fss.numSubwarps, 8u);
+    EXPECT_FALSE(fss.randomThreads);
+
+    const auto fss_rts = CoalescingPolicy::fss(4, true);
+    EXPECT_TRUE(fss_rts.randomThreads);
+
+    const auto rss = CoalescingPolicy::rss(16);
+    EXPECT_EQ(rss.mechanism, Mechanism::Rss);
+    EXPECT_EQ(rss.sizing, RssSizing::Skewed);
+
+    const auto rss_norm =
+        CoalescingPolicy::rss(4, false, RssSizing::Normal);
+    EXPECT_EQ(rss_norm.sizing, RssSizing::Normal);
+}
+
+TEST(Policy, Names)
+{
+    EXPECT_EQ(CoalescingPolicy::baseline().name(), "Baseline");
+    EXPECT_EQ(CoalescingPolicy::disabled().name(), "NoCoalescing");
+    EXPECT_EQ(CoalescingPolicy::fss(8).name(), "FSS(M=8)");
+    EXPECT_EQ(CoalescingPolicy::fss(8, true).name(), "FSS+RTS(M=8)");
+    EXPECT_EQ(CoalescingPolicy::rss(2).name(), "RSS(M=2)");
+    EXPECT_EQ(CoalescingPolicy::rss(2, true).name(), "RSS+RTS(M=2)");
+    EXPECT_EQ(CoalescingPolicy::rss(2, false, RssSizing::Normal).name(),
+              "RSS(M=2,normal)");
+}
+
+TEST(Policy, RandomizationFlag)
+{
+    EXPECT_FALSE(CoalescingPolicy::baseline().isRandomized());
+    EXPECT_FALSE(CoalescingPolicy::disabled().isRandomized());
+    EXPECT_FALSE(CoalescingPolicy::fss(8).isRandomized());
+    EXPECT_TRUE(CoalescingPolicy::fss(8, true).isRandomized());
+    EXPECT_TRUE(CoalescingPolicy::rss(8).isRandomized());
+    // RSS with one subwarp has nothing to randomize (sizes are fixed).
+    EXPECT_FALSE(CoalescingPolicy::rss(1).isRandomized());
+}
+
+TEST(Policy, ValidationAcceptsLegalRange)
+{
+    for (unsigned m : {1u, 2u, 16u, 32u}) {
+        CoalescingPolicy::fss(m).validate(32);
+        CoalescingPolicy::rss(m).validate(32);
+    }
+    CoalescingPolicy::baseline().validate(32);
+    CoalescingPolicy::disabled().validate(32);
+}
+
+TEST(PolicyDeathTest, ValidationRejectsOutOfRangeSubwarps)
+{
+    EXPECT_EXIT(CoalescingPolicy::fss(33).validate(32),
+                testing::ExitedWithCode(1), "num-subwarp");
+    EXPECT_EXIT(CoalescingPolicy::fss(0).validate(32),
+                testing::ExitedWithCode(1), "num-subwarp");
+}
+
+TEST(PolicyDeathTest, ValidationRejectsNegativeSigma)
+{
+    auto p = CoalescingPolicy::rss(4, false, RssSizing::Normal);
+    p.normalSigma = -1.0;
+    EXPECT_EXIT(p.validate(32), testing::ExitedWithCode(1), "Sigma");
+}
+
+TEST(Policy, Equality)
+{
+    EXPECT_EQ(CoalescingPolicy::fss(8), CoalescingPolicy::fss(8));
+    EXPECT_NE(CoalescingPolicy::fss(8), CoalescingPolicy::fss(8, true));
+    EXPECT_NE(CoalescingPolicy::fss(8), CoalescingPolicy::rss(8));
+}
+
+} // namespace
+} // namespace rcoal::core

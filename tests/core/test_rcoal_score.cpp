@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the RCoal_Score metric (Eq. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcoal/core/rcoal_score.hpp"
+
+namespace rcoal::core {
+namespace {
+
+TEST(SecurityStrength, InverseSquareOfCorrelation)
+{
+    EXPECT_DOUBLE_EQ(securityStrength(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(securityStrength(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(securityStrength(0.1), 100.0);
+    EXPECT_DOUBLE_EQ(securityStrength(-0.5), 4.0); // sign-insensitive
+}
+
+TEST(SecurityStrength, ZeroCorrelationIsInfinitelySecure)
+{
+    EXPECT_TRUE(std::isinf(securityStrength(0.0)));
+}
+
+TEST(RcoalScore, SecurityOrientedWeighting)
+{
+    // a = 1, b = 1 (Fig. 17a): score = S / time.
+    EXPECT_DOUBLE_EQ(rcoalScore(100.0, 2.0, 1.0, 1.0), 50.0);
+}
+
+TEST(RcoalScore, PerformanceOrientedWeighting)
+{
+    // a = 1, b = 20 (Fig. 17b): heavy time penalty.
+    const double slow = rcoalScore(100.0, 1.5, 1.0, 20.0);
+    const double fast = rcoalScore(50.0, 1.1, 1.0, 20.0);
+    // Half the security but much faster wins under b = 20.
+    EXPECT_GT(fast, slow);
+}
+
+TEST(RcoalScore, SecurityWinsUnderSecurityOrientedWeights)
+{
+    const double secure = rcoalScore(1000.0, 1.5, 1.0, 1.0);
+    const double quick = rcoalScore(50.0, 1.1, 1.0, 1.0);
+    EXPECT_GT(secure, quick);
+}
+
+TEST(RcoalScore, MonotoneInSecurity)
+{
+    EXPECT_LT(rcoalScore(10.0, 1.0, 1.0, 1.0),
+              rcoalScore(20.0, 1.0, 1.0, 1.0));
+}
+
+TEST(RcoalScore, MonotoneDecreasingInTime)
+{
+    EXPECT_GT(rcoalScore(10.0, 1.0, 1.0, 1.0),
+              rcoalScore(10.0, 2.0, 1.0, 1.0));
+}
+
+TEST(RcoalScoreDeathTest, NonPositiveTimePanics)
+{
+    EXPECT_DEATH(rcoalScore(1.0, 0.0, 1.0, 1.0), "positive");
+}
+
+} // namespace
+} // namespace rcoal::core

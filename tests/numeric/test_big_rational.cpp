@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for BigRational.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/numeric/big_rational.hpp"
+
+namespace rcoal::numeric {
+namespace {
+
+TEST(BigRational, DefaultIsZero)
+{
+    BigRational r;
+    EXPECT_TRUE(r.isZero());
+    EXPECT_EQ(r.toString(), "0");
+    EXPECT_EQ(r.denominator(), BigUInt(1));
+}
+
+TEST(BigRational, ReducesToLowestTerms)
+{
+    const BigRational r(BigUInt(6), BigUInt(8));
+    EXPECT_EQ(r.numerator(), BigUInt(3));
+    EXPECT_EQ(r.denominator(), BigUInt(4));
+    EXPECT_EQ(r.toString(), "3/4");
+}
+
+TEST(BigRational, WholeNumbersPrintWithoutDenominator)
+{
+    const BigRational r(BigUInt(10), BigUInt(5));
+    EXPECT_EQ(r.toString(), "2");
+}
+
+TEST(BigRational, Arithmetic)
+{
+    const BigRational half(BigUInt(1), BigUInt(2));
+    const BigRational third(BigUInt(1), BigUInt(3));
+    EXPECT_EQ((half + third).toString(), "5/6");
+    EXPECT_EQ((half - third).toString(), "1/6");
+    EXPECT_EQ((half * third).toString(), "1/6");
+    EXPECT_EQ((half / third).toString(), "3/2");
+}
+
+TEST(BigRational, SumOfSeriesIsExact)
+{
+    // 1/1 + 1/2 + ... + 1/10 = 7381/2520.
+    BigRational sum;
+    for (std::uint64_t k = 1; k <= 10; ++k)
+        sum += BigRational(BigUInt(1), BigUInt(k));
+    EXPECT_EQ(sum.toString(), "7381/2520");
+}
+
+TEST(BigRational, Comparisons)
+{
+    const BigRational half(BigUInt(1), BigUInt(2));
+    const BigRational third(BigUInt(1), BigUInt(3));
+    EXPECT_GT(half, third);
+    EXPECT_LT(third, half);
+    EXPECT_EQ(half, BigRational(BigUInt(2), BigUInt(4)));
+    EXPECT_GE(half, half);
+}
+
+TEST(BigRationalDeathTest, SubtractionBelowZeroPanics)
+{
+    const BigRational half(BigUInt(1), BigUInt(2));
+    const BigRational one(1);
+    EXPECT_DEATH(
+        {
+            BigRational r = half;
+            r -= one;
+        },
+        "underflow");
+}
+
+TEST(BigRationalDeathTest, ZeroDenominatorPanics)
+{
+    EXPECT_DEATH(BigRational(BigUInt(1), BigUInt(0)), "denominator");
+}
+
+TEST(BigRationalDeathTest, DivisionByZeroPanics)
+{
+    EXPECT_DEATH(BigRational(1) / BigRational(0), "zero");
+}
+
+TEST(BigRational, ToDoubleConversion)
+{
+    EXPECT_DOUBLE_EQ(BigRational(BigUInt(1), BigUInt(4)).toDouble(), 0.25);
+    EXPECT_DOUBLE_EQ(BigRational(BigUInt(2), BigUInt(3)).toDouble(),
+                     2.0 / 3.0);
+}
+
+TEST(BigRational, HugeMagnitudeRatio)
+{
+    // (2^200) / (2^199) = 2 exactly.
+    const BigRational r(BigUInt(2).pow(200), BigUInt(2).pow(199));
+    EXPECT_DOUBLE_EQ(r.toDouble(), 2.0);
+    EXPECT_EQ(r.toString(), "2");
+}
+
+TEST(BigRational, ZeroTimesAnything)
+{
+    const BigRational big(BigUInt(2).pow(100), BigUInt(3));
+    EXPECT_TRUE((BigRational(0) * big).isZero());
+}
+
+} // namespace
+} // namespace rcoal::numeric

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for BigUInt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcoal/numeric/big_uint.hpp"
+
+namespace rcoal::numeric {
+namespace {
+
+TEST(BigUInt, ZeroProperties)
+{
+    BigUInt zero;
+    EXPECT_TRUE(zero.isZero());
+    EXPECT_EQ(zero.bitLength(), 0u);
+    EXPECT_EQ(zero.toString(), "0");
+    EXPECT_EQ(zero.toU64(), 0u);
+    EXPECT_EQ(zero, BigUInt(0));
+}
+
+TEST(BigUInt, ConstructFrom64Bit)
+{
+    const BigUInt v(0x1234'5678'9abc'def0ull);
+    EXPECT_EQ(v.toU64(), 0x1234'5678'9abc'def0ull);
+    EXPECT_EQ(v.bitLength(), 61u);
+}
+
+TEST(BigUInt, DecimalRoundTrip)
+{
+    const std::string digits = "123456789012345678901234567890123456789";
+    EXPECT_EQ(BigUInt::fromDecimal(digits).toString(), digits);
+    EXPECT_EQ(BigUInt::fromDecimal("0").toString(), "0");
+    EXPECT_EQ(BigUInt::fromDecimal("00042").toString(), "42");
+}
+
+TEST(BigUInt, AdditionWithCarryChains)
+{
+    const BigUInt a(0xffff'ffff'ffff'ffffull);
+    const BigUInt sum = a + BigUInt(1);
+    EXPECT_EQ(sum.toString(), "18446744073709551616"); // 2^64
+    EXPECT_EQ((sum + sum).toString(), "36893488147419103232");
+}
+
+TEST(BigUInt, SubtractionExact)
+{
+    const BigUInt a = BigUInt::fromDecimal("100000000000000000000");
+    const BigUInt b = BigUInt::fromDecimal("99999999999999999999");
+    EXPECT_EQ((a - b).toString(), "1");
+    EXPECT_TRUE((a - a).isZero());
+}
+
+TEST(BigUIntDeathTest, SubtractionUnderflowPanics)
+{
+    EXPECT_DEATH(BigUInt(1) - BigUInt(2), "underflow");
+}
+
+TEST(BigUInt, MultiplicationLargeValues)
+{
+    // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+    const BigUInt a(0xffff'ffff'ffff'ffffull);
+    EXPECT_EQ((a * a).toString(),
+              "340282366920938463426481119284349108225");
+    EXPECT_TRUE((a * BigUInt(0)).isZero());
+    EXPECT_EQ(a * BigUInt(1), a);
+}
+
+TEST(BigUInt, DivmodBasics)
+{
+    const BigUInt a(1000);
+    auto [q, r] = a.divmod(BigUInt(7));
+    EXPECT_EQ(q.toU64(), 142u);
+    EXPECT_EQ(r.toU64(), 6u);
+}
+
+TEST(BigUInt, DivmodLarge)
+{
+    const BigUInt a = BigUInt::fromDecimal(
+        "340282366920938463426481119284349108225");
+    const BigUInt b(0xffff'ffff'ffff'ffffull);
+    EXPECT_EQ(a / b, b);
+    EXPECT_TRUE((a % b).isZero());
+}
+
+TEST(BigUInt, DivmodIdentity)
+{
+    // For random-ish values: a == q*b + r with r < b.
+    const BigUInt a = BigUInt::fromDecimal("987654321987654321987654321");
+    const BigUInt b = BigUInt::fromDecimal("12345678912345");
+    auto [q, r] = a.divmod(b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+}
+
+TEST(BigUIntDeathTest, DivisionByZeroPanics)
+{
+    EXPECT_DEATH(BigUInt(5).divmod(BigUInt(0)), "zero");
+}
+
+TEST(BigUInt, Shifts)
+{
+    BigUInt v(1);
+    v <<= 100;
+    EXPECT_EQ(v.bitLength(), 101u);
+    EXPECT_EQ(v.toString(), "1267650600228229401496703205376");
+    v >>= 100;
+    EXPECT_EQ(v, BigUInt(1));
+    v >>= 1;
+    EXPECT_TRUE(v.isZero());
+}
+
+TEST(BigUInt, BitAccess)
+{
+    const BigUInt v = BigUInt(1) << 77;
+    EXPECT_TRUE(v.bit(77));
+    EXPECT_FALSE(v.bit(76));
+    EXPECT_FALSE(v.bit(200));
+}
+
+TEST(BigUInt, Comparisons)
+{
+    const BigUInt small(5);
+    const BigUInt big = BigUInt::fromDecimal("99999999999999999999999");
+    EXPECT_LT(small, big);
+    EXPECT_GT(big, small);
+    EXPECT_LE(small, BigUInt(5));
+    EXPECT_EQ(small <=> BigUInt(5), std::strong_ordering::equal);
+}
+
+TEST(BigUInt, PowMatchesKnownValues)
+{
+    EXPECT_EQ(BigUInt(2).pow(10).toU64(), 1024u);
+    EXPECT_EQ(BigUInt(16).pow(32).toString(),
+              "340282366920938463463374607431768211456"); // 2^128
+    EXPECT_EQ(BigUInt(7).pow(0), BigUInt(1));
+    EXPECT_EQ(BigUInt(0).pow(0), BigUInt(1));
+    EXPECT_TRUE(BigUInt(0).pow(5).isZero());
+}
+
+TEST(BigUInt, Gcd)
+{
+    EXPECT_EQ(BigUInt::gcd(BigUInt(12), BigUInt(18)).toU64(), 6u);
+    EXPECT_EQ(BigUInt::gcd(BigUInt(17), BigUInt(5)).toU64(), 1u);
+    EXPECT_EQ(BigUInt::gcd(BigUInt(0), BigUInt(9)).toU64(), 9u);
+    EXPECT_EQ(BigUInt::gcd(BigUInt(9), BigUInt(0)).toU64(), 9u);
+}
+
+TEST(BigUInt, ToDoubleAccuracy)
+{
+    EXPECT_DOUBLE_EQ(BigUInt(1000000).toDouble(), 1e6);
+    const double big = BigUInt(2).pow(100).toDouble();
+    EXPECT_NEAR(big / std::pow(2.0, 100), 1.0, 1e-12);
+    EXPECT_NEAR(static_cast<double>(BigUInt(2).pow(100).toLongDouble()) /
+                    std::pow(2.0, 100),
+                1.0, 1e-12);
+}
+
+TEST(BigUIntDeathTest, ToU64OverflowPanics)
+{
+    EXPECT_DEATH(BigUInt(2).pow(70).toU64(), "64 bits");
+}
+
+TEST(BigUInt, AssociativityAndDistributivityProperty)
+{
+    const BigUInt a = BigUInt::fromDecimal("123456789123456789");
+    const BigUInt b = BigUInt::fromDecimal("98765432198765432101");
+    const BigUInt c = BigUInt::fromDecimal("555555555555");
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+} // namespace
+} // namespace rcoal::numeric

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for exact combinatorics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "rcoal/numeric/combinatorics.hpp"
+
+namespace rcoal::numeric {
+namespace {
+
+TEST(Factorial, SmallValues)
+{
+    EXPECT_EQ(factorial(0).toU64(), 1u);
+    EXPECT_EQ(factorial(1).toU64(), 1u);
+    EXPECT_EQ(factorial(5).toU64(), 120u);
+    EXPECT_EQ(factorial(12).toU64(), 479001600u);
+}
+
+TEST(Factorial, ThirtyTwo)
+{
+    EXPECT_EQ(factorial(32).toString(),
+              "263130836933693530167218012160000000");
+}
+
+TEST(Binomial, KnownValues)
+{
+    EXPECT_EQ(binomial(0, 0).toU64(), 1u);
+    EXPECT_EQ(binomial(5, 2).toU64(), 10u);
+    EXPECT_EQ(binomial(32, 16).toU64(), 601080390u);
+    EXPECT_EQ(binomial(47, 15).toU64(), 751616304549u);
+    EXPECT_TRUE(binomial(3, 5).isZero());
+}
+
+TEST(Binomial, Symmetry)
+{
+    for (unsigned n = 1; n <= 20; ++n) {
+        for (unsigned k = 0; k <= n; ++k)
+            EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+    }
+}
+
+TEST(Binomial, PascalIdentity)
+{
+    for (unsigned n = 1; n <= 25; ++n) {
+        for (unsigned k = 1; k <= n; ++k) {
+            EXPECT_EQ(binomial(n, k),
+                      binomial(n - 1, k) + binomial(n - 1, k - 1));
+        }
+    }
+}
+
+TEST(Binomial, RowSumIsPowerOfTwo)
+{
+    for (unsigned n = 0; n <= 40; ++n) {
+        BigUInt sum;
+        for (unsigned k = 0; k <= n; ++k)
+            sum += binomial(n, k);
+        EXPECT_EQ(sum, BigUInt(2).pow(n));
+    }
+}
+
+TEST(FallingFactorial, Basics)
+{
+    EXPECT_EQ(fallingFactorial(5, 0).toU64(), 1u);
+    EXPECT_EQ(fallingFactorial(5, 2).toU64(), 20u);
+    EXPECT_EQ(fallingFactorial(5, 5).toU64(), 120u);
+    EXPECT_EQ(fallingFactorial(16, 16), factorial(16));
+}
+
+TEST(FallingFactorial, RelationToBinomial)
+{
+    // n!/(n-k)! = C(n,k) * k!
+    for (unsigned n = 1; n <= 16; ++n) {
+        for (unsigned k = 0; k <= n; ++k) {
+            EXPECT_EQ(fallingFactorial(n, k),
+                      binomial(n, k) * factorial(k));
+        }
+    }
+}
+
+TEST(Multinomial, KnownValues)
+{
+    const std::array<unsigned, 3> counts{2, 1, 1};
+    EXPECT_EQ(multinomial(counts).toU64(), 12u); // 4!/(2!1!1!)
+    const std::array<unsigned, 2> half{16, 16};
+    EXPECT_EQ(multinomial(half), binomial(32, 16));
+}
+
+TEST(Stirling2, BaseCases)
+{
+    EXPECT_EQ(stirling2(0, 0).toU64(), 1u);
+    EXPECT_TRUE(stirling2(1, 0).isZero());
+    EXPECT_TRUE(stirling2(0, 1).isZero());
+    EXPECT_EQ(stirling2(1, 1).toU64(), 1u);
+    EXPECT_TRUE(stirling2(3, 5).isZero());
+}
+
+TEST(Stirling2, KnownSmallValues)
+{
+    EXPECT_EQ(stirling2(4, 2).toU64(), 7u);
+    EXPECT_EQ(stirling2(5, 3).toU64(), 25u);
+    EXPECT_EQ(stirling2(6, 3).toU64(), 90u);
+    EXPECT_EQ(stirling2(10, 5).toU64(), 42525u);
+}
+
+TEST(Stirling2, NChooseOneAndN)
+{
+    for (unsigned n = 1; n <= 32; ++n) {
+        EXPECT_EQ(stirling2(n, 1).toU64(), 1u);
+        EXPECT_EQ(stirling2(n, n).toU64(), 1u);
+        if (n >= 2) {
+            // S(n,2) = 2^(n-1) - 1
+            EXPECT_EQ(stirling2(n, 2), BigUInt(2).pow(n - 1) - BigUInt(1));
+            // S(n, n-1) = C(n, 2)
+            EXPECT_EQ(stirling2(n, n - 1), binomial(n, 2));
+        }
+    }
+}
+
+TEST(Stirling2, SurjectionIdentity)
+{
+    // k^n = sum_i C(k,i) * i! * S(n,i): classifying functions by image
+    // size. Check for a few (n, k).
+    for (unsigned n : {5u, 8u, 12u}) {
+        for (unsigned k : {2u, 3u, 6u}) {
+            BigUInt total;
+            for (unsigned i = 1; i <= k; ++i) {
+                total +=
+                    binomial(k, i) * factorial(i) * stirling2(n, i);
+            }
+            EXPECT_EQ(total, BigUInt(k).pow(n))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(Bell, KnownSequence)
+{
+    const std::array<std::uint64_t, 9> expected{1,  1,  2,   5,   15,
+                                                52, 203, 877, 4140};
+    for (unsigned n = 0; n < expected.size(); ++n)
+        EXPECT_EQ(bell(n).toU64(), expected[n]) << "n=" << n;
+}
+
+TEST(Compositions, CountMatchesBinomial)
+{
+    EXPECT_EQ(compositionsCount(32, 1).toU64(), 1u);
+    EXPECT_EQ(compositionsCount(32, 2).toU64(), 31u);
+    EXPECT_EQ(compositionsCount(32, 32).toU64(), 1u);
+    EXPECT_EQ(compositionsCount(4, 2).toU64(), 3u); // 1+3, 2+2, 3+1
+    EXPECT_TRUE(compositionsCount(2, 5).isZero());
+    EXPECT_EQ(compositionsCount(0, 0).toU64(), 1u);
+    EXPECT_TRUE(compositionsCount(3, 0).isZero());
+}
+
+} // namespace
+} // namespace rcoal::numeric

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for partition enumeration and multiplicity weights.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "rcoal/numeric/combinatorics.hpp"
+#include "rcoal/numeric/partitions.hpp"
+
+namespace rcoal::numeric {
+namespace {
+
+TEST(Partitions, CountMatchesPartitionFunction)
+{
+    // p(n) for n = 0..10: 1,1,2,3,5,7,11,15,22,30,42.
+    const std::array<std::uint64_t, 11> p{1, 1, 2, 3, 5, 7, 11, 15, 22,
+                                          30, 42};
+    for (unsigned n = 0; n < p.size(); ++n)
+        EXPECT_EQ(countPartitions(n, n, n), p[n]) << "n=" << n;
+}
+
+TEST(Partitions, PartsAreNonIncreasingAndSumCorrectly)
+{
+    forEachPartition(12, 5, 12, [](const Partition &part) {
+        unsigned sum = 0;
+        for (std::size_t i = 0; i < part.size(); ++i) {
+            sum += part[i];
+            EXPECT_GE(part[i], 1u);
+            if (i > 0)
+                EXPECT_LE(part[i], part[i - 1]);
+        }
+        EXPECT_EQ(sum, 12u);
+        EXPECT_LE(part.size(), 5u);
+    });
+}
+
+TEST(Partitions, MaxPartRespected)
+{
+    forEachPartition(10, 10, 3, [](const Partition &part) {
+        for (unsigned p : part)
+            EXPECT_LE(p, 3u);
+    });
+}
+
+TEST(Partitions, NoDuplicates)
+{
+    std::set<Partition> seen;
+    forEachPartition(20, 20, 20, [&](const Partition &part) {
+        EXPECT_TRUE(seen.insert(part).second);
+    });
+    EXPECT_EQ(seen.size(), 627u); // p(20)
+}
+
+TEST(Partitions, ExactPartsFiltering)
+{
+    // Partitions of 8 into exactly 3 parts: 6+1+1, 5+2+1, 4+3+1,
+    // 4+2+2, 3+3+2 -> 5 of them.
+    std::uint64_t count = 0;
+    forEachPartitionExact(8, 3, 8, [&](const Partition &part) {
+        EXPECT_EQ(part.size(), 3u);
+        ++count;
+    });
+    EXPECT_EQ(count, 5u);
+}
+
+TEST(Partitions, ZeroYieldsEmptyPartition)
+{
+    std::uint64_t count = 0;
+    forEachPartition(0, 4, 4, [&](const Partition &part) {
+        EXPECT_TRUE(part.empty());
+        ++count;
+    });
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(CompositionsOfPartition, MatchesDirectEnumeration)
+{
+    // Partition {2,1,1}: orderings of (2,1,1) over 3 slots = 3.
+    EXPECT_EQ(compositionsOfPartition({2, 1, 1}).toU64(), 3u);
+    // {3,2,1}: all distinct -> 3! = 6.
+    EXPECT_EQ(compositionsOfPartition({3, 2, 1}).toU64(), 6u);
+    // {2,2,2}: all equal -> 1.
+    EXPECT_EQ(compositionsOfPartition({2, 2, 2}).toU64(), 1u);
+}
+
+TEST(CompositionsOfPartition, SumOverPartitionsEqualsCompositionCount)
+{
+    // Sum over partitions of n into exactly k parts of the number of
+    // orderings equals C(n-1, k-1).
+    for (unsigned n : {8u, 12u, 16u}) {
+        for (unsigned k : {2u, 3u, 5u}) {
+            BigUInt total;
+            forEachPartitionExact(n, k, n, [&](const Partition &part) {
+                total += compositionsOfPartition(part);
+            });
+            EXPECT_EQ(total, compositionsCount(n, k))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(VectorsOfPartition, SmallCases)
+{
+    // Partition {2,1} over 3 slots: choose which slot holds 2, which
+    // holds 1, one empty: 3 * 2 = 6.
+    EXPECT_EQ(vectorsOfPartition({2, 1}, 3).toU64(), 6u);
+    // Partition {1,1} over 3 slots: choose 2 of 3 slots: 3.
+    EXPECT_EQ(vectorsOfPartition({1, 1}, 3).toU64(), 3u);
+    // Empty partition: exactly one all-zero vector.
+    EXPECT_EQ(vectorsOfPartition({}, 4).toU64(), 1u);
+}
+
+TEST(VectorsOfPartition, TotalFrequencyVectorsMatchStarsAndBars)
+{
+    // Sum over partitions of n into <= r parts of the vector count
+    // equals C(n + r - 1, r - 1) (weak compositions of n into r parts).
+    const unsigned n = 8;
+    const unsigned r = 4;
+    BigUInt total;
+    forEachPartition(n, r, n, [&](const Partition &part) {
+        total += vectorsOfPartition(part, r);
+    });
+    EXPECT_EQ(total, binomial(n + r - 1, r - 1));
+}
+
+TEST(ThreadAssignments, MultinomialConsistency)
+{
+    EXPECT_EQ(threadAssignmentsOfPartition({2, 1, 1}).toU64(), 12u);
+    EXPECT_EQ(threadAssignmentsOfPartition({4}).toU64(), 1u);
+    EXPECT_EQ(threadAssignmentsOfPartition({1, 1, 1, 1}).toU64(), 24u);
+}
+
+TEST(ThreadAssignments, TotalAssignmentsEqualRToTheN)
+{
+    // Sum over frequency partitions of (vectors * assignments) counts
+    // every function from n threads to r blocks exactly once.
+    const unsigned n = 10;
+    const unsigned r = 4;
+    BigUInt total;
+    forEachPartition(n, r, n, [&](const Partition &part) {
+        total += vectorsOfPartition(part, r) *
+                 threadAssignmentsOfPartition(part);
+    });
+    EXPECT_EQ(total, BigUInt(r).pow(n));
+}
+
+} // namespace
+} // namespace rcoal::numeric

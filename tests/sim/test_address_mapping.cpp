@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the address decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rcoal/sim/address_mapping.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+GpuConfig
+baseConfig()
+{
+    return GpuConfig::paperBaseline();
+}
+
+TEST(AddressMapping, InterleavesInChunksOf256Bytes)
+{
+    const AddressMapping map(baseConfig());
+    // Table I: 256-byte chunks rotate across the 6 partitions.
+    EXPECT_EQ(map.partitionOf(0), 0u);
+    EXPECT_EQ(map.partitionOf(255), 0u);
+    EXPECT_EQ(map.partitionOf(256), 1u);
+    EXPECT_EQ(map.partitionOf(511), 1u);
+    EXPECT_EQ(map.partitionOf(256 * 5), 5u);
+    EXPECT_EQ(map.partitionOf(256 * 6), 0u);
+}
+
+TEST(AddressMapping, AllPartitionsCovered)
+{
+    const AddressMapping map(baseConfig());
+    std::set<unsigned> seen;
+    for (Addr a = 0; a < 6 * 256; a += 256)
+        seen.insert(map.partitionOf(a));
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(AddressMapping, DecodePartitionConsistent)
+{
+    const AddressMapping map(baseConfig());
+    for (Addr a = 0; a < 100000; a += 123)
+        EXPECT_EQ(map.decode(a).partition, map.partitionOf(a));
+}
+
+TEST(AddressMapping, ConsecutiveChunksHitDifferentBanks)
+{
+    const AddressMapping map(baseConfig());
+    // Two consecutive chunks of the same partition (stride 6*256).
+    const auto a = map.decode(0);
+    const auto b = map.decode(6 * 256);
+    EXPECT_EQ(a.partition, b.partition);
+    EXPECT_NE(a.bank, b.bank);
+}
+
+TEST(AddressMapping, BankGroupDerivedFromBank)
+{
+    const AddressMapping map(baseConfig());
+    for (Addr a = 0; a < 200000; a += 4096) {
+        const auto loc = map.decode(a);
+        EXPECT_EQ(loc.bankGroup, loc.bank % baseConfig().bankGroups);
+        EXPECT_LT(loc.bank, baseConfig().banksPerPartition);
+    }
+}
+
+TEST(AddressMapping, RowAdvancesWithBankStride)
+{
+    const GpuConfig cfg = baseConfig();
+    const AddressMapping map(cfg);
+    // chunksPerRow chunks of the same bank fill one row.
+    const std::uint64_t chunks_per_row =
+        cfg.rowBytes / cfg.partitionInterleaveBytes;
+    const Addr bank_stride =
+        Addr{cfg.partitionInterleaveBytes} * cfg.numPartitions *
+        cfg.banksPerPartition;
+    const auto first = map.decode(0);
+    const auto same_row = map.decode(bank_stride * (chunks_per_row - 1));
+    EXPECT_EQ(same_row.bank, first.bank);
+    EXPECT_EQ(same_row.row, first.row);
+    const auto next_row = map.decode(bank_stride * chunks_per_row);
+    EXPECT_EQ(next_row.bank, first.bank);
+    EXPECT_EQ(next_row.row, first.row + 1);
+}
+
+TEST(AddressMapping, ColumnWithinRowBounds)
+{
+    const GpuConfig cfg = baseConfig();
+    const AddressMapping map(cfg);
+    for (Addr a = 0; a < 1000000; a += 97)
+        EXPECT_LT(map.decode(a).column, cfg.rowBytes);
+}
+
+TEST(AddressMapping, DistinctAddressesDistinctCoordinates)
+{
+    // The decode must be injective on (partition, bank, row, column).
+    const AddressMapping map(baseConfig());
+    std::set<std::tuple<unsigned, unsigned, std::uint64_t,
+                        std::uint32_t>>
+        seen;
+    for (Addr a = 0; a < 64 * 1024; a += 64) {
+        const auto loc = map.decode(a);
+        EXPECT_TRUE(
+            seen.insert({loc.partition, loc.bank, loc.row, loc.column})
+                .second)
+            << "collision at addr " << a;
+    }
+}
+
+TEST(AddressMapping, AesTableSpansFourPartitions)
+{
+    // A 1 KiB T-table covers 4 consecutive 256-byte chunks, i.e. 4
+    // different partitions - the parallelism the AES kernel relies on.
+    const AddressMapping map(baseConfig());
+    std::set<unsigned> parts;
+    for (Addr a = 0x1000; a < 0x1400; a += 64)
+        parts.insert(map.partitionOf(a));
+    EXPECT_EQ(parts.size(), 4u);
+}
+
+} // namespace
+} // namespace rcoal::sim

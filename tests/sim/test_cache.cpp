@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the cache and MSHR table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/sim/cache.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+CacheGeometry
+tinyCache()
+{
+    // 4 sets x 2 ways x 64-byte lines = 512 bytes.
+    return {512, 64, 2, 4};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(tinyCache());
+    EXPECT_FALSE(cache.access(0x1000));
+    cache.fill(0x1000);
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, SameLineDifferentOffsetsHit)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x1000);
+    EXPECT_TRUE(cache.access(0x1004));
+    EXPECT_TRUE(cache.access(0x103f));
+    EXPECT_FALSE(cache.access(0x1040));
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    Cache cache(tinyCache());
+    // Lines 0x0000, 0x0400, 0x0800 all map to set 0 (stride =
+    // 4 sets * 64 B = 256... use stride 256 to stay in one set).
+    cache.fill(0x0000);
+    cache.fill(0x0100);
+    // Touch 0x0000 so 0x0100 is LRU.
+    EXPECT_TRUE(cache.access(0x0000));
+    cache.fill(0x0200); // evicts 0x0100
+    EXPECT_TRUE(cache.contains(0x0000));
+    EXPECT_FALSE(cache.contains(0x0100));
+    EXPECT_TRUE(cache.contains(0x0200));
+}
+
+TEST(Cache, FillIsIdempotent)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x40);
+    cache.fill(0x40);
+    cache.fill(0x80);
+    EXPECT_TRUE(cache.contains(0x40));
+    EXPECT_TRUE(cache.contains(0x80));
+}
+
+TEST(Cache, DifferentSetsDoNotInterfere)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x000); // set 0
+    cache.fill(0x040); // set 1
+    cache.fill(0x080); // set 2
+    cache.fill(0x0c0); // set 3
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_TRUE(cache.contains(0x040));
+    EXPECT_TRUE(cache.contains(0x080));
+    EXPECT_TRUE(cache.contains(0x0c0));
+}
+
+TEST(Cache, ClearInvalidatesEverything)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x40);
+    cache.clear();
+    EXPECT_FALSE(cache.contains(0x40));
+}
+
+TEST(Cache, ContainsDoesNotUpdateLru)
+{
+    Cache cache(tinyCache());
+    cache.fill(0x0000);
+    cache.fill(0x0100);
+    // contains() must not refresh 0x0000.
+    EXPECT_TRUE(cache.contains(0x0000));
+    cache.fill(0x0200); // evicts LRU = 0x0000
+    EXPECT_FALSE(cache.contains(0x0000));
+}
+
+TEST(Cache, HitLatencyExposed)
+{
+    Cache cache(tinyCache());
+    EXPECT_EQ(cache.hitLatency(), 4u);
+}
+
+TEST(Mshr, AllocateMergeComplete)
+{
+    MshrTable mshr(4);
+    EXPECT_FALSE(mshr.isPending(0x40));
+    MemoryAccess primary;
+    primary.id = 1;
+    mshr.allocate(0x40, primary);
+    EXPECT_TRUE(mshr.isPending(0x40));
+
+    MemoryAccess secondary;
+    secondary.id = 2;
+    EXPECT_EQ(mshr.merge(0x40, secondary), 2u);
+    EXPECT_EQ(mshr.merges(), 1u);
+
+    const auto waiting = mshr.complete(0x40);
+    ASSERT_EQ(waiting.size(), 2u);
+    EXPECT_EQ(waiting[0].id, 1u);
+    EXPECT_EQ(waiting[1].id, 2u);
+    EXPECT_FALSE(mshr.isPending(0x40));
+}
+
+TEST(Mshr, CapacityLimit)
+{
+    MshrTable mshr(2);
+    mshr.allocate(0x40, {});
+    mshr.allocate(0x80, {});
+    EXPECT_FALSE(mshr.canAllocate());
+    mshr.complete(0x40);
+    EXPECT_TRUE(mshr.canAllocate());
+}
+
+TEST(Mshr, IndependentBlocks)
+{
+    MshrTable mshr(4);
+    mshr.allocate(0x40, {});
+    mshr.allocate(0x80, {});
+    EXPECT_TRUE(mshr.isPending(0x40));
+    EXPECT_TRUE(mshr.isPending(0x80));
+    mshr.complete(0x40);
+    EXPECT_FALSE(mshr.isPending(0x40));
+    EXPECT_TRUE(mshr.isPending(0x80));
+}
+
+TEST(MshrDeathTest, DoubleAllocatePanics)
+{
+    MshrTable mshr(4);
+    mshr.allocate(0x40, {});
+    EXPECT_DEATH(mshr.allocate(0x40, {}), "double-allocate");
+}
+
+TEST(MshrDeathTest, MergeWithoutPendingPanics)
+{
+    MshrTable mshr(4);
+    EXPECT_DEATH(mshr.merge(0x40, {}), "without pending");
+}
+
+TEST(MshrDeathTest, CompleteWithoutPendingPanics)
+{
+    MshrTable mshr(4);
+    EXPECT_DEATH(mshr.complete(0x40), "without pending");
+}
+
+} // namespace
+} // namespace rcoal::sim

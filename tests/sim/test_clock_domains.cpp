@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests of the core/memory clock-domain interaction: the DRAM ticks at
+ * 924 MHz while the cores tick at 1400 MHz, so memory-bound kernels
+ * must slow down proportionally when the memory clock drops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/sim/gpu.hpp"
+#include "rcoal/workloads/micro_kernels.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+Cycle
+cyclesWithMemClock(double mem_mhz)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.seed = 3;
+    cfg.memClockMhz = mem_mhz;
+    Gpu gpu(cfg);
+    // Strided loads: one access per lane, heavily DRAM-bound.
+    const auto kernel = workloads::makeStridedKernel(4, 32, 32, 64);
+    return gpu.launch(*kernel).cycles;
+}
+
+TEST(ClockDomains, SlowerMemoryClockSlowsMemoryBoundKernels)
+{
+    const Cycle fast = cyclesWithMemClock(924.0);
+    const Cycle half = cyclesWithMemClock(462.0);
+    // Halving the DRAM clock should cost a clearly measurable slowdown
+    // (not necessarily 2x: injection and interconnect stay at core
+    // clock).
+    EXPECT_GT(half, fast + fast / 4);
+}
+
+TEST(ClockDomains, FasterMemoryClockHelps)
+{
+    const Cycle normal = cyclesWithMemClock(924.0);
+    const Cycle fast = cyclesWithMemClock(1848.0);
+    EXPECT_LT(fast, normal);
+}
+
+TEST(ClockDomains, ComputeBoundKernelInsensitiveToMemClock)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.seed = 3;
+    std::vector<std::vector<WarpInstruction>> traces(1);
+    for (int i = 0; i < 50; ++i)
+        traces[0].push_back(WarpInstruction::alu(10));
+    const VectorKernel kernel(std::move(traces));
+
+    cfg.memClockMhz = 924.0;
+    const Cycle normal = Gpu(cfg).launch(kernel).cycles;
+    cfg.memClockMhz = 231.0;
+    const Cycle slow_mem = Gpu(cfg).launch(kernel).cycles;
+    EXPECT_EQ(normal, slow_mem);
+}
+
+TEST(ClockDomains, MemClockEqualToCoreClockIsSupported)
+{
+    const Cycle cycles = cyclesWithMemClock(1400.0);
+    EXPECT_GT(cycles, 0u);
+    EXPECT_LT(cycles, cyclesWithMemClock(700.0));
+}
+
+} // namespace
+} // namespace rcoal::sim

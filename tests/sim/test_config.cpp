@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for GpuConfig validation and description.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/sim/config.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+TEST(GpuConfig, PaperBaselineMatchesTableOne)
+{
+    const GpuConfig cfg = GpuConfig::paperBaseline();
+    EXPECT_EQ(cfg.numSms, 15u);
+    EXPECT_EQ(cfg.warpSize, 32u);
+    EXPECT_EQ(cfg.issueWidth, 2u); // SIMT width 32 = 16 x 2
+    EXPECT_DOUBLE_EQ(cfg.coreClockMhz, 1400.0);
+    EXPECT_DOUBLE_EQ(cfg.memClockMhz, 924.0);
+    EXPECT_EQ(cfg.numPartitions, 6u);
+    EXPECT_EQ(cfg.partitionInterleaveBytes, 256u);
+    EXPECT_EQ(cfg.banksPerPartition, 16u);
+    EXPECT_EQ(cfg.bankGroups, 4u);
+    EXPECT_EQ(cfg.timing.tCL, 12u);
+    EXPECT_EQ(cfg.timing.tRP, 12u);
+    EXPECT_EQ(cfg.timing.tRC, 40u);
+    EXPECT_EQ(cfg.timing.tRAS, 28u);
+    EXPECT_EQ(cfg.timing.tCCD, 2u);
+    EXPECT_EQ(cfg.timing.tRCD, 12u);
+    EXPECT_EQ(cfg.timing.tRRD, 6u);
+    // The paper disables the bandwidth-saving features (Section VII).
+    EXPECT_FALSE(cfg.l1Enabled);
+    EXPECT_FALSE(cfg.l2Enabled);
+    EXPECT_FALSE(cfg.mshrEnabled);
+    // Baseline attack model: one subwarp per coalescing unit.
+    EXPECT_EQ(cfg.policy.mechanism, core::Mechanism::Baseline);
+    cfg.validate();
+}
+
+TEST(GpuConfig, DescribeMentionsKeyParameters)
+{
+    const std::string text = GpuConfig::paperBaseline().describe();
+    for (const char *needle :
+         {"15 SMs", "1400 MHz", "924 MHz", "FR-FCFS", "tCL=12",
+          "256-byte interleave", "Baseline"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing: " << needle;
+    }
+}
+
+TEST(GpuConfigDeathTest, RejectsBadGeometry)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.coalesceBlockBytes = 48;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "power of two");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.partitionInterleaveBytes = 32; // < block size
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "interleave");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.banksPerPartition = 6; // not a multiple of 4 groups
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "multiple");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.rowBytes = 64; // smaller than the interleave chunk
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "row size");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.prtEntries = 8; // cannot hold one lane each
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "PRT");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.numSms = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "positive");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.policy = core::CoalescingPolicy::fss(64); // > warp size
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "num-subwarp");
+}
+
+TEST(GpuConfigDeathTest, RejectsTooManyBanks)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.banksPerPartition = 128;
+    cfg.bankGroups = 4;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "64 banks");
+}
+
+} // namespace
+} // namespace rcoal::sim

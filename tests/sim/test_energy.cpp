@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/sim/energy.hpp"
+#include "rcoal/sim/gpu.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+#include "rcoal/workloads/micro_kernels.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+TEST(Energy, ZeroStatsZeroDynamicEnergy)
+{
+    const KernelStats stats;
+    const auto energy = estimateEnergy(stats, GpuConfig::paperBaseline());
+    EXPECT_EQ(energy.dramDynamic, 0.0);
+    EXPECT_EQ(energy.core, 0.0);
+    EXPECT_EQ(energy.total(), 0.0);
+}
+
+TEST(Energy, HandComputedBreakdown)
+{
+    KernelStats stats;
+    stats.dramRowHits = 10;
+    stats.dramRowMisses = 5;
+    stats.dramActivates = 5;
+    stats.warpInstructions = 100;
+    stats.cycles = 1000;
+    GpuConfig cfg = GpuConfig::paperBaseline(); // 64 B blocks, 15 SMs
+    EnergyCoefficients c;
+    c.dramPerByte = 1.0;
+    c.dramActivate = 100.0;
+    c.interconnectPerFlit = 2.0;
+    c.smPerInstruction = 3.0;
+    c.staticPerCycleSm = 1.0;
+    const auto energy = estimateEnergy(stats, cfg, c);
+    EXPECT_DOUBLE_EQ(energy.dramDynamic, 15.0 * 64.0);
+    EXPECT_DOUBLE_EQ(energy.dramActivate, 500.0);
+    EXPECT_DOUBLE_EQ(energy.interconnect, 15.0 * 2.0 * 2.0);
+    EXPECT_DOUBLE_EQ(energy.core, 300.0);
+    EXPECT_DOUBLE_EQ(energy.leakage, 1000.0 * 15.0);
+    EXPECT_DOUBLE_EQ(energy.total(),
+                     960.0 + 500.0 + 60.0 + 300.0 + 15000.0);
+}
+
+TEST(Energy, MoreSubwarpsCostMoreEnergy)
+{
+    // The §III motivation: data movement is energy; FSS inflates both.
+    Rng rng(5);
+    const std::array<std::uint8_t, 16> key{7};
+    const auto plaintext = workloads::randomPlaintext(32, rng);
+    const workloads::AesGpuKernel kernel(plaintext, key, 32);
+
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.seed = 2;
+    const auto base_stats = Gpu(cfg).launch(kernel);
+    cfg.policy = core::CoalescingPolicy::fss(16);
+    const auto fss_stats = Gpu(cfg).launch(kernel);
+
+    const auto base = estimateEnergy(base_stats, cfg);
+    const auto fss = estimateEnergy(fss_stats, cfg);
+    EXPECT_GT(fss.dramDynamic, 1.5 * base.dramDynamic);
+    EXPECT_GT(fss.total(), base.total());
+}
+
+TEST(Energy, CachesCutDramEnergy)
+{
+    Rng rng(6);
+    const auto kernel = workloads::makeRandomKernel(2, 40, 32, 64, rng);
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.seed = 2;
+    const auto no_cache = estimateEnergy(Gpu(cfg).launch(*kernel), cfg);
+    cfg.l1Enabled = true;
+    const auto with_cache =
+        estimateEnergy(Gpu(cfg).launch(*kernel), cfg);
+    EXPECT_LT(with_cache.dramDynamic, no_cache.dramDynamic);
+    EXPECT_GT(with_cache.caches, 0.0);
+}
+
+TEST(Energy, DescribeListsComponents)
+{
+    KernelStats stats;
+    stats.dramRowHits = 1;
+    stats.cycles = 10;
+    const auto energy =
+        estimateEnergy(stats, GpuConfig::paperBaseline());
+    const std::string text = energy.describe();
+    for (const char *needle :
+         {"total energy", "DRAM dynamic", "interconnect", "leakage"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+} // namespace
+} // namespace rcoal::sim

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * End-to-end tests of the GPU model on synthetic kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rcoal/sim/gpu.hpp"
+#include "rcoal/workloads/micro_kernels.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+GpuConfig
+baseConfig()
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(Gpu, AluOnlyKernelTakesItsLatency)
+{
+    std::vector<std::vector<WarpInstruction>> traces(1);
+    traces[0].push_back(WarpInstruction::alu(10));
+    traces[0].push_back(WarpInstruction::alu(10));
+    const VectorKernel kernel(std::move(traces));
+    Gpu gpu(baseConfig());
+    const KernelStats stats = gpu.launch(kernel);
+    EXPECT_EQ(stats.warpInstructions, 2u);
+    EXPECT_EQ(stats.coalescedAccesses, 0u);
+    // Two dependent 10-cycle ALU batches: at least 20 cycles.
+    EXPECT_GE(stats.cycles, 20u);
+    EXPECT_LT(stats.cycles, 40u);
+}
+
+TEST(Gpu, SingleLoadRoundTrip)
+{
+    std::vector<std::vector<WarpInstruction>> traces(1);
+    std::vector<core::LaneRequest> lanes{{0, 0x1000, 4, true}};
+    traces[0].push_back(
+        WarpInstruction::load(lanes, AccessTag::Generic));
+    traces[0].push_back(WarpInstruction::alu(1, true));
+    const VectorKernel kernel(std::move(traces));
+    Gpu gpu(baseConfig());
+    const KernelStats stats = gpu.launch(kernel);
+    EXPECT_EQ(stats.coalescedAccesses, 1u);
+    EXPECT_EQ(stats.loadAccesses, 1u);
+    // Round trip: 2x interconnect latency + DRAM ACT+CAS+burst.
+    EXPECT_GT(stats.cycles, 30u);
+    EXPECT_LT(stats.cycles, 200u);
+}
+
+TEST(Gpu, StreamingKernelCoalescesPerfectly)
+{
+    const auto kernel = workloads::makeStreamingKernel(2, 10, 32);
+    Gpu gpu(baseConfig());
+    const KernelStats stats = gpu.launch(*kernel);
+    // 32 consecutive 4-byte words = 128 bytes = 2 blocks of 64 bytes.
+    EXPECT_EQ(stats.coalescedAccesses, 2u * 10u * 2u);
+}
+
+TEST(Gpu, StridedKernelAccessCountScalesWithStride)
+{
+    Gpu gpu(baseConfig());
+    // 4-byte stride: fully coalesced, 2 accesses per load.
+    const auto dense = workloads::makeStridedKernel(1, 8, 32, 4);
+    // 64-byte stride: one block per lane, 32 accesses per load.
+    const auto sparse = workloads::makeStridedKernel(1, 8, 32, 64);
+    const auto dense_stats = gpu.launch(*dense);
+    const auto sparse_stats = gpu.launch(*sparse);
+    EXPECT_EQ(dense_stats.coalescedAccesses, 8u * 2u);
+    EXPECT_EQ(sparse_stats.coalescedAccesses, 8u * 32u);
+    EXPECT_GT(sparse_stats.cycles, dense_stats.cycles);
+}
+
+TEST(Gpu, DisabledCoalescingGeneratesOneAccessPerLane)
+{
+    GpuConfig cfg = baseConfig();
+    cfg.policy = core::CoalescingPolicy::disabled();
+    Gpu gpu(cfg);
+    const auto kernel = workloads::makeStreamingKernel(1, 4, 32);
+    const KernelStats stats = gpu.launch(*kernel);
+    EXPECT_EQ(stats.coalescedAccesses, 4u * 32u);
+}
+
+TEST(Gpu, FssSubwarpsIncreaseAccessCount)
+{
+    const auto kernel = workloads::makeStreamingKernel(1, 10, 32);
+    GpuConfig cfg = baseConfig();
+    std::uint64_t prev = 0;
+    for (unsigned m : {1u, 4u, 16u, 32u}) {
+        cfg.policy = m == 1 ? core::CoalescingPolicy::baseline()
+                            : core::CoalescingPolicy::fss(m);
+        Gpu gpu(cfg);
+        const auto stats = gpu.launch(*kernel);
+        EXPECT_GE(stats.coalescedAccesses, prev) << "M=" << m;
+        prev = stats.coalescedAccesses;
+    }
+    // M = 32 on a fully-coalescable stream: one access per lane.
+    EXPECT_EQ(prev, 10u * 32u);
+}
+
+TEST(Gpu, MultiWarpKernelsDistributeAcrossSms)
+{
+    // More warps than SMs must still complete, faster than serial.
+    Gpu gpu(baseConfig());
+    const auto one = workloads::makeStreamingKernel(1, 20, 32);
+    const auto thirty = workloads::makeStreamingKernel(30, 20, 32);
+    const auto one_stats = gpu.launch(*one);
+    const auto thirty_stats = gpu.launch(*thirty);
+    EXPECT_EQ(thirty_stats.coalescedAccesses,
+              30 * one_stats.coalescedAccesses);
+    // 30 warps on 15 SMs: nowhere near 30x the single-warp time.
+    EXPECT_LT(thirty_stats.cycles, one_stats.cycles * 10);
+}
+
+TEST(Gpu, DeterministicAcrossIdenticalRuns)
+{
+    const auto kernel = workloads::makeStreamingKernel(3, 10, 32);
+    Gpu a(baseConfig());
+    Gpu b(baseConfig());
+    const auto sa = a.launch(*kernel);
+    const auto sb = b.launch(*kernel);
+    EXPECT_EQ(sa.cycles, sb.cycles);
+    EXPECT_EQ(sa.coalescedAccesses, sb.coalescedAccesses);
+    EXPECT_EQ(sa.dramRowHits, sb.dramRowHits);
+}
+
+TEST(Gpu, RandomPolicyVariesAcrossLaunchesWithinOneGpu)
+{
+    GpuConfig cfg = baseConfig();
+    cfg.policy = core::CoalescingPolicy::rss(4, true);
+    Gpu gpu(cfg);
+    Rng rng(3);
+    const auto kernel = workloads::makeRandomKernel(1, 10, 32, 256, rng);
+    std::set<std::uint64_t> counts;
+    for (int i = 0; i < 10; ++i)
+        counts.insert(gpu.launch(*kernel).coalescedAccesses);
+    EXPECT_GT(counts.size(), 3u);
+}
+
+TEST(Gpu, InactiveLanesProduceNoAccesses)
+{
+    std::vector<std::vector<WarpInstruction>> traces(1);
+    std::vector<core::LaneRequest> lanes(32);
+    for (ThreadId t = 0; t < 32; ++t)
+        lanes[t] = {t, 0x1000 + Addr{t} * 4, 4, t < 4};
+    traces[0].push_back(WarpInstruction::load(lanes, AccessTag::Generic));
+    traces[0].push_back(WarpInstruction::alu(1, true));
+    const VectorKernel kernel(std::move(traces));
+    Gpu gpu(baseConfig());
+    const auto stats = gpu.launch(kernel);
+    EXPECT_EQ(stats.coalescedAccesses, 1u);
+    EXPECT_EQ(stats.tagStats(AccessTag::Generic).laneRequests, 4u);
+}
+
+TEST(Gpu, StoresAreCountedButNotBlocking)
+{
+    std::vector<std::vector<WarpInstruction>> traces(1);
+    std::vector<core::LaneRequest> lanes{{0, 0x2000, 4, true}};
+    traces[0].push_back(
+        WarpInstruction::store(lanes, AccessTag::CiphertextStore));
+    const VectorKernel kernel(std::move(traces));
+    Gpu gpu(baseConfig());
+    const auto stats = gpu.launch(kernel);
+    EXPECT_EQ(stats.storeAccesses, 1u);
+    EXPECT_EQ(stats.loadAccesses, 0u);
+    // The write still drains through DRAM before the launch ends.
+    EXPECT_GT(stats.tagStats(AccessTag::CiphertextStore).lastComplete,
+              0u);
+}
+
+TEST(Gpu, TagWindowsAreOrdered)
+{
+    const auto kernel = workloads::makeStreamingKernel(1, 5, 32);
+    Gpu gpu(baseConfig());
+    const auto stats = gpu.launch(*kernel);
+    const auto &tag = stats.tagStats(AccessTag::Generic);
+    EXPECT_NE(tag.firstIssue, kInvalidCycle);
+    EXPECT_GE(tag.lastComplete, tag.firstIssue);
+    EXPECT_LE(tag.lastComplete, stats.cycles);
+}
+
+TEST(Gpu, L1CacheReducesTrafficOnRepeatedAccesses)
+{
+    // Same address loaded repeatedly: with L1 on, DRAM sees one access.
+    std::vector<std::vector<WarpInstruction>> traces(1);
+    for (int i = 0; i < 8; ++i) {
+        std::vector<core::LaneRequest> lanes{{0, 0x1000, 4, true}};
+        traces[0].push_back(
+            WarpInstruction::load(lanes, AccessTag::Generic));
+        traces[0].push_back(WarpInstruction::alu(1, true));
+    }
+    const VectorKernel kernel(std::move(traces));
+
+    GpuConfig cfg = baseConfig();
+    cfg.l1Enabled = true;
+    Gpu with_l1(cfg);
+    const auto stats = with_l1.launch(kernel);
+    EXPECT_EQ(stats.l1Misses, 1u);
+    EXPECT_EQ(stats.l1Hits, 7u);
+
+    Gpu without(baseConfig());
+    const auto stats_off = without.launch(kernel);
+    EXPECT_EQ(stats_off.l1Hits, 0u);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_LT(stats.cycles, stats_off.cycles);
+}
+
+TEST(Gpu, MshrMergesConcurrentSameBlockLoads)
+{
+    // Two warps hitting the same block with loads in flight: MSHR
+    // merges the second request.
+    std::vector<std::vector<WarpInstruction>> traces(2);
+    for (auto &trace : traces) {
+        std::vector<core::LaneRequest> lanes{{0, 0x3000, 4, true}};
+        trace.push_back(WarpInstruction::load(lanes, AccessTag::Generic));
+        trace.push_back(WarpInstruction::alu(1, true));
+    }
+    const VectorKernel kernel(std::move(traces));
+
+    GpuConfig cfg = baseConfig();
+    cfg.numSms = 1; // both warps on one SM so the MSHR sees both
+    cfg.l1Enabled = true;
+    cfg.mshrEnabled = true;
+    Gpu gpu(cfg);
+    const auto stats = gpu.launch(kernel);
+    EXPECT_EQ(stats.mshrMerges, 1u);
+    EXPECT_EQ(stats.l1Misses, 2u);
+    // Only one access traveled to DRAM.
+    EXPECT_EQ(stats.dramRowHits + stats.dramRowMisses, 1u);
+}
+
+TEST(Gpu, L2CacheServicesRepeatedMissesFromDifferentSms)
+{
+    // Two warps on two SMs read the same block; with L2 on, the second
+    // read hits in L2 and DRAM services only one access.
+    std::vector<std::vector<WarpInstruction>> traces(2);
+    for (auto &trace : traces) {
+        std::vector<core::LaneRequest> lanes{{0, 0x4000, 4, true}};
+        // Padding ALU so the second warp's load trails the first's fill.
+        trace.push_back(WarpInstruction::alu(1));
+        trace.push_back(WarpInstruction::load(lanes, AccessTag::Generic));
+        trace.push_back(WarpInstruction::alu(1, true));
+    }
+    // Delay warp 1 so its request arrives after the fill.
+    traces[1].insert(traces[1].begin(), WarpInstruction::alu(300));
+    const VectorKernel kernel(std::move(traces));
+
+    GpuConfig cfg = baseConfig();
+    cfg.l2Enabled = true;
+    Gpu gpu(cfg);
+    const auto stats = gpu.launch(kernel);
+    EXPECT_EQ(stats.l2Hits, 1u);
+    EXPECT_EQ(stats.l2Misses, 1u);
+    EXPECT_EQ(stats.dramRowHits + stats.dramRowMisses, 1u);
+}
+
+TEST(GpuDeathTest, TooManyWarpsPanics)
+{
+    GpuConfig cfg = baseConfig();
+    cfg.numSms = 1;
+    cfg.maxWarpsPerSm = 2;
+    Gpu gpu(cfg);
+    const auto kernel = workloads::makeStreamingKernel(3, 1, 32);
+    EXPECT_DEATH(gpu.launch(*kernel), "warp");
+}
+
+} // namespace
+} // namespace rcoal::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the kernel/trace abstractions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/sim/kernel.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+TEST(WarpInstruction, AluBuilder)
+{
+    const auto instr = WarpInstruction::alu(5);
+    EXPECT_EQ(instr.op, WarpInstruction::Op::Alu);
+    EXPECT_EQ(instr.latency, 5u);
+    EXPECT_FALSE(instr.waitAllLoads);
+    EXPECT_TRUE(instr.lanes.empty());
+
+    const auto join = WarpInstruction::alu(3, true);
+    EXPECT_TRUE(join.waitAllLoads);
+}
+
+TEST(WarpInstruction, LoadBuilder)
+{
+    std::vector<core::LaneRequest> lanes{{0, 0x40, 4, true}};
+    const auto instr =
+        WarpInstruction::load(lanes, AccessTag::LastRoundLookup);
+    EXPECT_EQ(instr.op, WarpInstruction::Op::Load);
+    EXPECT_EQ(instr.tag, AccessTag::LastRoundLookup);
+    ASSERT_EQ(instr.lanes.size(), 1u);
+    EXPECT_EQ(instr.lanes[0].addr, 0x40u);
+}
+
+TEST(WarpInstruction, StoreBuilder)
+{
+    std::vector<core::LaneRequest> lanes{{0, 0x80, 16, true}};
+    const auto instr =
+        WarpInstruction::store(lanes, AccessTag::CiphertextStore);
+    EXPECT_EQ(instr.op, WarpInstruction::Op::Store);
+    EXPECT_EQ(instr.tag, AccessTag::CiphertextStore);
+}
+
+TEST(VectorKernel, ExposesTraces)
+{
+    std::vector<std::vector<WarpInstruction>> traces(2);
+    traces[0].push_back(WarpInstruction::alu(1));
+    traces[1].push_back(WarpInstruction::alu(2));
+    traces[1].push_back(WarpInstruction::alu(3));
+    const VectorKernel kernel(std::move(traces), "demo");
+    EXPECT_EQ(kernel.numWarps(), 2u);
+    EXPECT_EQ(kernel.trace(0).size(), 1u);
+    EXPECT_EQ(kernel.trace(1).size(), 2u);
+    EXPECT_EQ(kernel.name(), "demo");
+}
+
+TEST(VectorKernelDeathTest, OutOfRangeWarpPanics)
+{
+    std::vector<std::vector<WarpInstruction>> traces(1);
+    const VectorKernel kernel(std::move(traces));
+    EXPECT_DEATH(kernel.trace(3), "out of range");
+}
+
+TEST(AccessTag, NamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumAccessTags; ++i)
+        names.insert(accessTagName(static_cast<AccessTag>(i)));
+    EXPECT_EQ(names.size(), kNumAccessTags);
+}
+
+} // namespace
+} // namespace rcoal::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for selective RCoal (Section VII future work): the randomized
+ * partition is applied only to protected instruction tags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/sim/gpu.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+constexpr std::uint32_t
+tagBit(AccessTag tag)
+{
+    return 1u << static_cast<unsigned>(tag);
+}
+
+GpuConfig
+selectiveConfig(core::CoalescingPolicy policy, std::uint32_t mask)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.seed = 5;
+    cfg.policy = policy;
+    cfg.selectiveRCoal = true;
+    cfg.protectedTagMask = mask;
+    return cfg;
+}
+
+KernelStats
+runAes(const GpuConfig &cfg, unsigned lines = 32)
+{
+    Rng rng(3);
+    const std::array<std::uint8_t, 16> key{1, 2, 3, 4};
+    const auto plaintext = workloads::randomPlaintext(lines, rng);
+    const workloads::AesGpuKernel kernel(plaintext, key, cfg.warpSize);
+    Gpu gpu(cfg);
+    return gpu.launch(kernel);
+}
+
+TEST(SelectiveRcoal, ProtectingNothingMatchesBaseline)
+{
+    const auto selective = runAes(
+        selectiveConfig(core::CoalescingPolicy::fss(16, true), 0));
+    GpuConfig base = GpuConfig::paperBaseline();
+    base.seed = 5;
+    const auto baseline = runAes(base);
+    EXPECT_EQ(selective.coalescedAccesses, baseline.coalescedAccesses);
+    EXPECT_EQ(selective.cycles, baseline.cycles);
+}
+
+TEST(SelectiveRcoal, ProtectingEverythingMatchesFullPolicy)
+{
+    const std::uint32_t all = 0xffffffffu;
+    const auto selective = runAes(
+        selectiveConfig(core::CoalescingPolicy::fss(16), all));
+    GpuConfig full = GpuConfig::paperBaseline();
+    full.seed = 5;
+    full.policy = core::CoalescingPolicy::fss(16);
+    const auto whole = runAes(full);
+    EXPECT_EQ(selective.coalescedAccesses, whole.coalescedAccesses);
+    EXPECT_EQ(selective.cycles, whole.cycles);
+}
+
+TEST(SelectiveRcoal, LastRoundOnlyInflatesOnlyLastRoundAccesses)
+{
+    GpuConfig base = GpuConfig::paperBaseline();
+    base.seed = 5;
+    const auto baseline = runAes(base);
+    const auto selective = runAes(selectiveConfig(
+        core::CoalescingPolicy::fss(16),
+        tagBit(AccessTag::LastRoundLookup)));
+
+    // Round 1..9 lookups keep baseline coalescing.
+    EXPECT_EQ(selective.tagStats(AccessTag::RoundLookup).accesses,
+              baseline.tagStats(AccessTag::RoundLookup).accesses);
+    EXPECT_EQ(selective.tagStats(AccessTag::PlaintextLoad).accesses,
+              baseline.tagStats(AccessTag::PlaintextLoad).accesses);
+    // The protected last round inflates toward one access per lane.
+    EXPECT_GT(selective.lastRoundAccesses(),
+              baseline.lastRoundAccesses() * 2);
+}
+
+TEST(SelectiveRcoal, MuchCheaperThanWholeKernelProtection)
+{
+    GpuConfig full_cfg = GpuConfig::paperBaseline();
+    full_cfg.seed = 5;
+    full_cfg.policy = core::CoalescingPolicy::fss(16, true);
+    const auto full = runAes(full_cfg);
+    const auto selective = runAes(selectiveConfig(
+        core::CoalescingPolicy::fss(16, true),
+        tagBit(AccessTag::LastRoundLookup)));
+    GpuConfig base = GpuConfig::paperBaseline();
+    base.seed = 5;
+    const auto baseline = runAes(base);
+
+    // Selective protection costs strictly less than whole-kernel
+    // protection and sits between baseline and full.
+    EXPECT_LT(selective.cycles, full.cycles);
+    EXPECT_GT(selective.cycles, baseline.cycles);
+    const double full_overhead =
+        static_cast<double>(full.cycles) / baseline.cycles - 1.0;
+    const double selective_overhead =
+        static_cast<double>(selective.cycles) / baseline.cycles - 1.0;
+    EXPECT_LT(selective_overhead, full_overhead / 2.0);
+}
+
+TEST(SelectiveRcoal, DefaultMaskProtectsLastRound)
+{
+    const GpuConfig cfg;
+    EXPECT_EQ(cfg.protectedTagMask,
+              tagBit(AccessTag::LastRoundLookup));
+    EXPECT_FALSE(cfg.selectiveRCoal); // opt-in
+}
+
+} // namespace
+} // namespace rcoal::sim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the SIMT reconvergence stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/sim/simt_stack.hpp"
+
+namespace rcoal::sim {
+namespace {
+
+TEST(LaneMaskHelpers, FullMask)
+{
+    EXPECT_EQ(fullMask(1), 0x1u);
+    EXPECT_EQ(fullMask(4), 0xfu);
+    EXPECT_EQ(fullMask(32), 0xffffffffu);
+    EXPECT_EQ(fullMask(64), ~std::uint64_t{0});
+}
+
+TEST(SimtStack, StartsConverged)
+{
+    SimtStack stack(32);
+    EXPECT_EQ(stack.activeMask(), fullMask(32));
+    EXPECT_EQ(stack.depth(), 0u);
+    EXPECT_EQ(stack.reconvergencePc(), SimtStack::kNoReconvergence);
+    for (ThreadId t = 0; t < 32; ++t)
+        EXPECT_TRUE(stack.isActive(t));
+}
+
+TEST(SimtStack, UniformBranchesDoNotPush)
+{
+    SimtStack stack(32);
+    // All lanes take: continue at the taken pc, no push.
+    EXPECT_EQ(stack.diverge(fullMask(32), 100, 5, 200), 100u);
+    EXPECT_EQ(stack.depth(), 0u);
+    // No lane takes: continue at the fall-through pc.
+    EXPECT_EQ(stack.diverge(0, 100, 5, 200), 5u);
+    EXPECT_EQ(stack.depth(), 0u);
+}
+
+TEST(SimtStack, DivergeExecutesTakenSideFirst)
+{
+    SimtStack stack(4);
+    const LaneMask taken = 0b0011;
+    EXPECT_EQ(stack.diverge(taken, 100, 5, 200), 100u);
+    EXPECT_EQ(stack.depth(), 1u);
+    EXPECT_EQ(stack.activeMask(), taken);
+    EXPECT_EQ(stack.reconvergencePc(), 200u);
+}
+
+TEST(SimtStack, ReconvergeSwitchesToDeferredSideThenJoins)
+{
+    SimtStack stack(4);
+    stack.diverge(0b0011, 100, 5, 200);
+    // Taken side reaches the post-dominator: switch to the else side,
+    // resuming at the fall-through pc.
+    EXPECT_EQ(stack.reconverge(200), 5u);
+    EXPECT_EQ(stack.activeMask(), 0b1100u);
+    EXPECT_EQ(stack.depth(), 1u);
+    // Else side reaches the post-dominator: join and continue there.
+    EXPECT_EQ(stack.reconverge(200), 200u);
+    EXPECT_EQ(stack.activeMask(), fullMask(4));
+    EXPECT_EQ(stack.depth(), 0u);
+}
+
+TEST(SimtStack, ReconvergeAtOtherPcIsANoop)
+{
+    SimtStack stack(4);
+    stack.diverge(0b0001, 100, 5, 200);
+    EXPECT_EQ(stack.reconverge(150), 150u);
+    EXPECT_EQ(stack.activeMask(), 0b0001u);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack stack(8);
+    // Outer branch splits 0..3 vs 4..7.
+    stack.diverge(0x0f, 100, 50, 500);
+    EXPECT_EQ(stack.activeMask(), 0x0fu);
+    // Inner branch on the taken side splits 0..1 vs 2..3.
+    stack.diverge(0x03, 110, 105, 300);
+    EXPECT_EQ(stack.activeMask(), 0x03u);
+    EXPECT_EQ(stack.depth(), 2u);
+    // Inner join.
+    EXPECT_EQ(stack.reconverge(300), 105u);
+    EXPECT_EQ(stack.activeMask(), 0x0cu);
+    EXPECT_EQ(stack.reconverge(300), 300u);
+    EXPECT_EQ(stack.activeMask(), 0x0fu);
+    EXPECT_EQ(stack.depth(), 1u);
+    // Outer join.
+    EXPECT_EQ(stack.reconverge(500), 50u);
+    EXPECT_EQ(stack.activeMask(), 0xf0u);
+    EXPECT_EQ(stack.reconverge(500), 500u);
+    EXPECT_EQ(stack.activeMask(), fullMask(8));
+}
+
+TEST(SimtStack, ExitLanesShrinksAllEntries)
+{
+    SimtStack stack(4);
+    stack.diverge(0b0011, 100, 5, 200);
+    stack.exitLanes(0b0001);
+    EXPECT_EQ(stack.activeMask(), 0b0010u);
+    stack.reconverge(200);             // switch to else side
+    EXPECT_EQ(stack.activeMask(), 0b1100u);
+    stack.reconverge(200);             // join
+    EXPECT_EQ(stack.activeMask(), 0b1110u); // lane 0 stays dead
+}
+
+TEST(SimtStack, ExitAllLanesOfBothSidesPopsEntry)
+{
+    SimtStack stack(4);
+    stack.diverge(0b0011, 100, 5, 200);
+    stack.exitLanes(0b1111);
+    EXPECT_EQ(stack.depth(), 0u);
+    EXPECT_EQ(stack.activeMask(), 0u);
+}
+
+TEST(SimtStackDeathTest, TakenMaskMustBeSubsetOfActive)
+{
+    SimtStack stack(4);
+    stack.diverge(0b0011, 100, 5, 200); // active = 0b0011
+    EXPECT_DEATH(stack.diverge(0b1000, 100, 5, 300), "inactive");
+}
+
+TEST(SimtStackDeathTest, LaneRangeChecked)
+{
+    SimtStack stack(4);
+    EXPECT_DEATH(stack.isActive(9), "out of range");
+    EXPECT_DEATH(fullMask(0), "1..64");
+    EXPECT_DEATH(fullMask(65), "1..64");
+}
+
+} // namespace
+} // namespace rcoal::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the Definition 1 distribution N_{m,n}.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/common/rng.hpp"
+#include "rcoal/theory/coalesced_distribution.hpp"
+
+namespace rcoal::theory {
+namespace {
+
+TEST(CoalescedDistribution, PmfSumsToOneExactly)
+{
+    // Verified internally by an assertion; spot check a few shapes.
+    for (auto [m, n] : std::vector<std::pair<unsigned, unsigned>>{
+             {1, 1}, {4, 2}, {8, 16}, {32, 16}, {16, 3}}) {
+        const CoalescedAccessDistribution dist(m, n);
+        numeric::BigRational total;
+        for (unsigned i = 0; i <= std::min(m, n); ++i)
+            total += dist.pmfExact(i);
+        EXPECT_EQ(total, numeric::BigRational(1))
+            << "m=" << m << " n=" << n;
+    }
+}
+
+TEST(CoalescedDistribution, SingleThreadAlwaysOneAccess)
+{
+    const CoalescedAccessDistribution dist(1, 16);
+    EXPECT_DOUBLE_EQ(dist.pmf(1), 1.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 1.0);
+    EXPECT_DOUBLE_EQ(dist.variance(), 0.0);
+}
+
+TEST(CoalescedDistribution, SingleBlockAlwaysOneAccess)
+{
+    const CoalescedAccessDistribution dist(32, 1);
+    EXPECT_DOUBLE_EQ(dist.pmf(1), 1.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 1.0);
+}
+
+TEST(CoalescedDistribution, TwoThreadsTwoBlocks)
+{
+    // P(1 access) = 1/2 (both threads pick the same block),
+    // P(2) = 1/2.
+    const CoalescedAccessDistribution dist(2, 2);
+    EXPECT_DOUBLE_EQ(dist.pmf(1), 0.5);
+    EXPECT_DOUBLE_EQ(dist.pmf(2), 0.5);
+    EXPECT_DOUBLE_EQ(dist.mean(), 1.5);
+}
+
+TEST(CoalescedDistribution, MeanMatchesClosedForm)
+{
+    for (auto [m, n] : std::vector<std::pair<unsigned, unsigned>>{
+             {2, 16}, {4, 16}, {8, 16}, {16, 16}, {32, 16}, {32, 4}}) {
+        const CoalescedAccessDistribution dist(m, n);
+        EXPECT_NEAR(dist.mean(),
+                    CoalescedAccessDistribution::meanClosedForm(m, n),
+                    1e-9)
+            << "m=" << m << " n=" << n;
+    }
+}
+
+TEST(CoalescedDistribution, PaperConfigurationMean)
+{
+    // N = 32 threads over R = 16 blocks: E = 16*(1-(15/16)^32) ~= 13.97
+    // coalesced accesses, the baseline value behind Fig. 7a.
+    const CoalescedAccessDistribution dist(32, 16);
+    EXPECT_NEAR(dist.mean(), 13.97, 0.01);
+    EXPECT_GT(dist.variance(), 0.5);
+    EXPECT_LT(dist.variance(), 2.0);
+}
+
+TEST(CoalescedDistribution, PmfOutsideSupportIsZero)
+{
+    const CoalescedAccessDistribution dist(4, 16);
+    EXPECT_DOUBLE_EQ(dist.pmf(0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.pmf(5), 0.0);
+    EXPECT_DOUBLE_EQ(dist.pmf(100), 0.0);
+}
+
+TEST(CoalescedDistribution, MonteCarloAgreement)
+{
+    // Empirical distribution of distinct blocks for 8 threads over 4
+    // blocks matches the exact pmf.
+    const CoalescedAccessDistribution dist(8, 4);
+    Rng rng(33);
+    std::array<unsigned, 5> counts{};
+    constexpr int kTrials = 100000;
+    for (int t = 0; t < kTrials; ++t) {
+        unsigned mask = 0;
+        for (int i = 0; i < 8; ++i)
+            mask |= 1u << rng.below(4);
+        ++counts[static_cast<unsigned>(__builtin_popcount(mask))];
+    }
+    for (unsigned i = 1; i <= 4; ++i) {
+        EXPECT_NEAR(static_cast<double>(counts[i]) / kTrials,
+                    dist.pmf(i), 0.01)
+            << "i=" << i;
+    }
+}
+
+TEST(CoalescedDistribution, MeanIsMonotoneInThreads)
+{
+    double prev = 0.0;
+    for (unsigned m = 1; m <= 32; ++m) {
+        const CoalescedAccessDistribution dist(m, 16);
+        EXPECT_GT(dist.mean(), prev);
+        prev = dist.mean();
+    }
+    EXPECT_LT(prev, 16.0);
+}
+
+TEST(CoalescedDistributionDeathTest, ZeroArgumentsPanic)
+{
+    EXPECT_DEATH(CoalescedAccessDistribution(0, 4), "requires");
+    EXPECT_DEATH(CoalescedAccessDistribution(4, 0), "requires");
+}
+
+} // namespace
+} // namespace rcoal::theory

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Tests of the Section V analytical model, pinned against Table II.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "rcoal/common/rng.hpp"
+#include "rcoal/common/stats.hpp"
+#include "rcoal/core/partitioner.hpp"
+#include "rcoal/theory/security_model.hpp"
+
+namespace rcoal::theory {
+namespace {
+
+TEST(SecurityModel, TableTwoFssColumn)
+{
+    // FSS: rho = 1 for M < 32, rho = 0 at M = 32.
+    const auto rows = tableTwo();
+    ASSERT_EQ(rows.size(), 6u);
+    for (const auto &row : rows) {
+        if (row.m < 32) {
+            EXPECT_DOUBLE_EQ(row.fss.rho, 1.0) << "M=" << row.m;
+            EXPECT_DOUBLE_EQ(row.fss.normalizedSamples, 1.0);
+        } else {
+            EXPECT_DOUBLE_EQ(row.fss.rho, 0.0);
+            EXPECT_TRUE(std::isinf(row.fss.normalizedSamples));
+        }
+    }
+}
+
+TEST(SecurityModel, TableTwoFssRtsColumn)
+{
+    // Paper Table II, FSS+RTS: rho = 1.00, 0.41, 0.20, 0.09, 0.03, 0;
+    // S = 1, 6, 24, 115, 961, inf.
+    const auto rows = tableTwo();
+    const double expected_rho[] = {1.00, 0.41, 0.20, 0.09, 0.03, 0.0};
+    const double expected_s[] = {1, 6, 24, 115, 961, 0};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_NEAR(rows[i].fssRts.rho, expected_rho[i], 0.005)
+            << "M=" << rows[i].m;
+        if (rows[i].m == 32) {
+            EXPECT_TRUE(std::isinf(rows[i].fssRts.normalizedSamples));
+        } else {
+            EXPECT_NEAR(rows[i].fssRts.normalizedSamples, expected_s[i],
+                        expected_s[i] * 0.05 + 0.5)
+                << "M=" << rows[i].m;
+        }
+    }
+}
+
+TEST(SecurityModel, TableTwoRssRtsColumn)
+{
+    // Paper Table II, RSS+RTS: rho = 1.00, 0.20, 0.15, 0.11, 0.05, 0;
+    // S = 1, 25, 42, 78, 349, inf.
+    const auto rows = tableTwo();
+    const double expected_rho[] = {1.00, 0.20, 0.15, 0.11, 0.05, 0.0};
+    const double expected_s[] = {1, 25, 42, 78, 349, 0};
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_NEAR(rows[i].rssRts.rho, expected_rho[i], 0.006)
+            << "M=" << rows[i].m;
+        if (rows[i].m == 32) {
+            EXPECT_TRUE(std::isinf(rows[i].rssRts.normalizedSamples));
+        } else {
+            EXPECT_NEAR(rows[i].rssRts.normalizedSamples, expected_s[i],
+                        expected_s[i] * 0.05 + 0.5)
+                << "M=" << rows[i].m;
+        }
+    }
+}
+
+TEST(SecurityModel, PaperCrossoverBetweenFssRtsAndRssRts)
+{
+    // Section V-C: RSS+RTS is stronger (higher S) at M = 2, 4 but
+    // FSS+RTS overtakes at M = 8, 16.
+    const auto rows = tableTwo();
+    for (const auto &row : rows) {
+        if (row.m == 2 || row.m == 4) {
+            EXPECT_GT(row.rssRts.normalizedSamples,
+                      row.fssRts.normalizedSamples)
+                << "M=" << row.m;
+        }
+        if (row.m == 8 || row.m == 16) {
+            EXPECT_GT(row.fssRts.normalizedSamples,
+                      row.rssRts.normalizedSamples)
+                << "M=" << row.m;
+        }
+    }
+}
+
+TEST(SecurityModel, MeanAccessesGrowWithSubwarps)
+{
+    double prev = 0.0;
+    for (unsigned m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const auto result = analyzeFss({32, 16, m});
+        EXPECT_GT(result.muU, prev) << "M=" << m;
+        prev = result.muU;
+    }
+    // M = 32: every thread alone -> exactly 32 accesses, variance 0.
+    const auto degenerate = analyzeFss({32, 16, 32});
+    EXPECT_DOUBLE_EQ(degenerate.muU, 32.0);
+    EXPECT_DOUBLE_EQ(degenerate.sigmaU, 0.0);
+}
+
+TEST(SecurityModel, RtsDoesNotChangeMarginalMoments)
+{
+    // Section V-B2: the random permutation affects neither mu(U) nor
+    // sigma(U).
+    for (unsigned m : {2u, 4u, 8u}) {
+        const auto fss = analyzeFss({32, 16, m});
+        const auto rts = analyzeFssRts({32, 16, m});
+        EXPECT_NEAR(fss.muU, rts.muU, 1e-9);
+        EXPECT_NEAR(fss.sigmaU, rts.sigmaU, 1e-9);
+    }
+}
+
+TEST(SecurityModel, RssRtsMeanIsBelowFss)
+{
+    // The skewed sizing creates large subwarps with more coalescing
+    // opportunities, so RSS generates fewer accesses than FSS
+    // (Section IV-B / Fig. 16).
+    for (unsigned m : {2u, 4u, 8u, 16u}) {
+        const auto fss = analyzeFss({32, 16, m});
+        const auto rss = analyzeRssRts({32, 16, m});
+        EXPECT_LT(rss.muU, fss.muU) << "M=" << m;
+    }
+}
+
+TEST(SecurityModel, RhoIsBoundedByOne)
+{
+    for (unsigned m : {1u, 2u, 3u, 5u, 8u, 13u, 16u, 21u, 32u}) {
+        for (const auto &result :
+             {analyzeFss({32, 16, m}), analyzeFssRts({32, 16, m}),
+              analyzeRssRts({32, 16, m})}) {
+            EXPECT_GE(result.rho, -1e-9) << "M=" << m;
+            EXPECT_LE(result.rho, 1.0 + 1e-9) << "M=" << m;
+        }
+    }
+}
+
+TEST(SecurityModel, NonDividingSubwarpCountsSupported)
+{
+    // M that does not divide N uses floor/ceil sizes; the model must
+    // still produce sane, monotone-ish results.
+    const auto m3 = analyzeFssRts({32, 16, 3});
+    const auto m5 = analyzeFssRts({32, 16, 5});
+    EXPECT_GT(m3.rho, m5.rho);
+    EXPECT_GT(m3.rho, 0.0);
+    EXPECT_LT(m3.rho, 1.0);
+}
+
+TEST(SecurityModel, SmallConfigurationExactlyComputable)
+{
+    // N = 4 threads, R = 2 blocks, M = 2 with RTS: small enough to
+    // verify mu(U) by brute force over all 2^4 access patterns and all
+    // C(4,2)=6 thread splits.
+    double mu_brute = 0.0;
+    for (unsigned pattern = 0; pattern < 16; ++pattern) {
+        // Threads t access block (pattern >> t) & 1.
+        double per_pattern = 0.0;
+        unsigned splits = 0;
+        // Enumerate subwarp-0 memberships of size 2.
+        for (unsigned s0 = 0; s0 < 16; ++s0) {
+            if (__builtin_popcount(s0) != 2)
+                continue;
+            ++splits;
+            unsigned blocks0 = 0;
+            unsigned blocks1 = 0;
+            for (unsigned t = 0; t < 4; ++t) {
+                const unsigned b = (pattern >> t) & 1;
+                if (s0 & (1u << t))
+                    blocks0 |= 1u << b;
+                else
+                    blocks1 |= 1u << b;
+            }
+            per_pattern += __builtin_popcount(blocks0) +
+                           __builtin_popcount(blocks1);
+        }
+        mu_brute += per_pattern / splits;
+    }
+    mu_brute /= 16.0;
+    const auto result = analyzeFssRts({4, 2, 2});
+    EXPECT_NEAR(result.muU, mu_brute, 1e-9);
+}
+
+TEST(SecurityModel, ExpectedAccessesGivenFrequenciesEdgeCases)
+{
+    // All threads on one block, one subwarp: exactly 1 access.
+    const std::vector<unsigned> all_on_one{8, 0};
+    const std::vector<unsigned> one_subwarp{8};
+    EXPECT_DOUBLE_EQ(
+        expectedAccessesGivenFrequencies(all_on_one, one_subwarp), 1.0);
+
+    // Every thread on its own block: one access per (block, subwarp
+    // that holds that thread) = 8 regardless of the split.
+    const std::vector<unsigned> spread(8, 1);
+    const std::vector<unsigned> halves{4, 4};
+    EXPECT_DOUBLE_EQ(expectedAccessesGivenFrequencies(spread, halves),
+                     8.0);
+}
+
+TEST(SecurityModel, ExpectedAccessesMatchesMonteCarlo)
+{
+    // Frequencies {5, 2, 1} over subwarps {3, 3, 2}: compare
+    // Definition 3 against simulation.
+    const std::vector<unsigned> freqs{5, 2, 1};
+    const std::vector<unsigned> caps{3, 3, 2};
+    const double exact =
+        expectedAccessesGivenFrequencies(freqs, caps);
+
+    Rng rng(55);
+    double sum = 0.0;
+    constexpr int kTrials = 100000;
+    std::vector<unsigned> block_of_thread;
+    for (unsigned b = 0; b < freqs.size(); ++b) {
+        for (unsigned i = 0; i < freqs[b]; ++i)
+            block_of_thread.push_back(b);
+    }
+    for (int t = 0; t < kTrials; ++t) {
+        auto shuffled = block_of_thread;
+        rng.shuffle(shuffled);
+        unsigned count = 0;
+        std::size_t pos = 0;
+        for (unsigned cap : caps) {
+            unsigned mask = 0;
+            for (unsigned i = 0; i < cap; ++i)
+                mask |= 1u << shuffled[pos++];
+            count += static_cast<unsigned>(__builtin_popcount(mask));
+        }
+        sum += count;
+    }
+    EXPECT_NEAR(sum / kTrials, exact, 0.02);
+}
+
+TEST(SecurityModel, EmpiricalRhoMatchesTheoryForSmallCase)
+{
+    // Simulate the FSS+RTS channel for N=8, R=4, M=2 and compare the
+    // achieved correlation between two independent RTS draws over the
+    // same data (U vs U-hat) with the analytical rho.
+    const ModelParams params{8, 4, 2};
+    const auto predicted = analyzeFssRts(params);
+
+    Rng rng(77);
+    core::SubwarpPartitioner partitioner(
+        core::CoalescingPolicy::fss(2, true), 8);
+    std::vector<double> u;
+    std::vector<double> u_hat;
+    constexpr int kTrials = 60000;
+    for (int t = 0; t < kTrials; ++t) {
+        std::array<unsigned, 8> block{};
+        for (auto &b : block)
+            b = static_cast<unsigned>(rng.below(4));
+        const auto count = [&](const core::SubwarpPartition &part) {
+            std::array<unsigned, 2> mask{};
+            for (unsigned tid = 0; tid < 8; ++tid)
+                mask[part.subwarpOf(tid)] |= 1u << block[tid];
+            return __builtin_popcount(mask[0]) +
+                   __builtin_popcount(mask[1]);
+        };
+        u.push_back(count(partitioner.draw(rng)));
+        u_hat.push_back(count(partitioner.draw(rng)));
+    }
+    EXPECT_NEAR(pearsonCorrelation(u, u_hat), predicted.rho, 0.02);
+}
+
+TEST(SecurityModel, CustomSubwarpListRespected)
+{
+    const std::vector<unsigned> ms{2, 8};
+    const auto rows = tableTwo(32, 16, ms);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].m, 2u);
+    EXPECT_EQ(rows[1].m, 8u);
+}
+
+} // namespace
+} // namespace rcoal::theory

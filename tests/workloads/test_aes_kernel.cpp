@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the AES GPU kernel builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/aes/aes.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::workloads {
+namespace {
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+TEST(AesKernel, CiphertextMatchesReferenceAes)
+{
+    Rng rng(1);
+    const auto pts = randomPlaintext(32, rng);
+    const AesGpuKernel kernel(pts, kKey, 32);
+    const aes::Aes reference(kKey);
+    ASSERT_EQ(kernel.ciphertext().size(), 32u);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_EQ(kernel.ciphertext()[i], reference.encryptBlock(pts[i]));
+}
+
+TEST(AesKernel, OneWarpPer32Lines)
+{
+    Rng rng(2);
+    EXPECT_EQ(AesGpuKernel(randomPlaintext(32, rng), kKey, 32).numWarps(),
+              1u);
+    EXPECT_EQ(AesGpuKernel(randomPlaintext(64, rng), kKey, 32).numWarps(),
+              2u);
+    EXPECT_EQ(
+        AesGpuKernel(randomPlaintext(1024, rng), kKey, 32).numWarps(),
+        32u);
+}
+
+TEST(AesKernel, PartialWarpHasInactiveLanes)
+{
+    Rng rng(3);
+    const AesGpuKernel kernel(randomPlaintext(40, rng), kKey, 32);
+    EXPECT_EQ(kernel.numWarps(), 2u);
+    const auto &trace = kernel.trace(1);
+    // First instruction: plaintext load with 8 active lanes.
+    unsigned active = 0;
+    for (const auto &lane : trace[0].lanes)
+        active += lane.active ? 1 : 0;
+    EXPECT_EQ(active, 8u);
+}
+
+TEST(AesKernel, TraceStructure)
+{
+    Rng rng(4);
+    const AesGpuKernel kernel(randomPlaintext(32, rng), kKey, 32);
+    const auto &trace = kernel.trace(0);
+    // 1 plaintext load + 1 alu + 10 rounds x (16 loads + 1 alu) +
+    // 1 store = 2 + 170 + 1 = 173 instructions.
+    ASSERT_EQ(trace.size(), 173u);
+    EXPECT_EQ(trace[0].op, sim::WarpInstruction::Op::Load);
+    EXPECT_EQ(trace[0].tag, sim::AccessTag::PlaintextLoad);
+    EXPECT_EQ(trace[1].op, sim::WarpInstruction::Op::Alu);
+    EXPECT_TRUE(trace[1].waitAllLoads);
+    EXPECT_EQ(trace.back().op, sim::WarpInstruction::Op::Store);
+    EXPECT_EQ(trace.back().tag, sim::AccessTag::CiphertextStore);
+}
+
+TEST(AesKernel, RoundTagging)
+{
+    Rng rng(5);
+    const AesGpuKernel kernel(randomPlaintext(32, rng), kKey, 32);
+    const auto &trace = kernel.trace(0);
+    unsigned round_lookups = 0;
+    unsigned last_round_lookups = 0;
+    for (const auto &instr : trace) {
+        if (instr.tag == sim::AccessTag::RoundLookup)
+            ++round_lookups;
+        else if (instr.tag == sim::AccessTag::LastRoundLookup)
+            ++last_round_lookups;
+    }
+    EXPECT_EQ(round_lookups, 9u * 16u);
+    EXPECT_EQ(last_round_lookups, 16u);
+}
+
+TEST(AesKernel, LookupAddressesFallInsideTables)
+{
+    Rng rng(6);
+    const auto layout = AesMemoryLayout::standard();
+    const AesGpuKernel kernel(randomPlaintext(32, rng), kKey, 32,
+                              layout);
+    for (const auto &instr : kernel.trace(0)) {
+        if (instr.tag != sim::AccessTag::RoundLookup &&
+            instr.tag != sim::AccessTag::LastRoundLookup) {
+            continue;
+        }
+        for (const auto &lane : instr.lanes) {
+            if (!lane.active)
+                continue;
+            EXPECT_GE(lane.addr, layout.tableBase[0]);
+            EXPECT_LT(lane.addr, layout.tableBase[4] + 1024);
+            EXPECT_EQ(lane.size, 4u);
+            EXPECT_EQ((lane.addr - layout.tableBase[0]) % 4, 0u);
+        }
+    }
+}
+
+TEST(AesKernel, LastRoundAddressesUseT4Table)
+{
+    Rng rng(7);
+    const auto layout = AesMemoryLayout::standard();
+    const AesGpuKernel kernel(randomPlaintext(32, rng), kKey, 32,
+                              layout);
+    for (const auto &instr : kernel.trace(0)) {
+        if (instr.tag != sim::AccessTag::LastRoundLookup)
+            continue;
+        for (const auto &lane : instr.lanes) {
+            EXPECT_GE(lane.addr, layout.tableBase[4]);
+            EXPECT_LT(lane.addr, layout.tableBase[4] + 1024);
+        }
+    }
+}
+
+TEST(AesKernel, LanesCarrySequentialLineMapping)
+{
+    // Section II-B: line-to-thread mapping is sequential and
+    // deterministic.
+    Rng rng(8);
+    const auto layout = AesMemoryLayout::standard();
+    const AesGpuKernel kernel(randomPlaintext(64, rng), kKey, 32,
+                              layout);
+    for (WarpId w = 0; w < 2; ++w) {
+        const auto &plaintext_load = kernel.trace(w)[0];
+        for (unsigned t = 0; t < 32; ++t) {
+            EXPECT_EQ(plaintext_load.lanes[t].addr,
+                      layout.plaintextBase + (Addr{w} * 32 + t) * 16);
+        }
+    }
+}
+
+TEST(AesKernel, StandardLayoutHasDisjointTables)
+{
+    const auto layout = AesMemoryLayout::standard();
+    for (unsigned t = 1; t < 5; ++t)
+        EXPECT_EQ(layout.tableBase[t], layout.tableBase[t - 1] + 1024);
+    EXPECT_GT(layout.plaintextBase, layout.tableBase[4] + 1024);
+    EXPECT_GT(layout.ciphertextBase, layout.plaintextBase);
+}
+
+TEST(RandomPlaintext, DeterministicPerSeed)
+{
+    Rng a(9);
+    Rng b(9);
+    EXPECT_EQ(randomPlaintext(8, a), randomPlaintext(8, b));
+}
+
+TEST(RandomKey, DeterministicPerSeed)
+{
+    Rng a(10);
+    Rng b(10);
+    EXPECT_EQ(randomKey128(a), randomKey128(b));
+}
+
+} // namespace
+} // namespace rcoal::workloads

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the synthetic microbenchmark kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/workloads/micro_kernels.hpp"
+
+namespace rcoal::workloads {
+namespace {
+
+TEST(MicroKernels, StreamingShape)
+{
+    const auto kernel = makeStreamingKernel(3, 5, 32);
+    EXPECT_EQ(kernel->numWarps(), 3u);
+    // 5 loads + 1 join per warp.
+    EXPECT_EQ(kernel->trace(0).size(), 6u);
+    EXPECT_EQ(kernel->name(), "streaming");
+}
+
+TEST(MicroKernels, StreamingAddressesAreContiguous)
+{
+    const auto kernel = makeStreamingKernel(1, 2, 32, 0x1000);
+    const auto &load = kernel->trace(0)[0];
+    for (unsigned t = 0; t < 32; ++t)
+        EXPECT_EQ(load.lanes[t].addr, 0x1000u + t * 4);
+    // Second load continues past the first.
+    EXPECT_EQ(kernel->trace(0)[1].lanes[0].addr, 0x1000u + 32 * 4);
+}
+
+TEST(MicroKernels, RandomKernelStaysInTable)
+{
+    Rng rng(1);
+    const auto kernel = makeRandomKernel(2, 10, 32, 64, rng, 0x2000);
+    for (WarpId w = 0; w < 2; ++w) {
+        for (const auto &instr : kernel->trace(w)) {
+            for (const auto &lane : instr.lanes) {
+                EXPECT_GE(lane.addr, 0x2000u);
+                EXPECT_LT(lane.addr, 0x2000u + 64 * 4);
+            }
+        }
+    }
+}
+
+TEST(MicroKernels, StridedAddressesUseStride)
+{
+    const auto kernel = makeStridedKernel(1, 1, 8, 128, 0x0);
+    const auto &load = kernel->trace(0)[0];
+    for (unsigned t = 0; t < 8; ++t)
+        EXPECT_EQ(load.lanes[t].addr, Addr{t} * 128);
+}
+
+TEST(MicroKernels, AllLanesActive)
+{
+    Rng rng(2);
+    for (const auto &kernel :
+         {makeStreamingKernel(1, 3, 32),
+          makeRandomKernel(1, 3, 32, 128, rng),
+          makeStridedKernel(1, 3, 32, 32)}) {
+        for (const auto &instr : kernel->trace(0)) {
+            for (const auto &lane : instr.lanes)
+                EXPECT_TRUE(lane.active);
+        }
+    }
+}
+
+} // namespace
+} // namespace rcoal::workloads
