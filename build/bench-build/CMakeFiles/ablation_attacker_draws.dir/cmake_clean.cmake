@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_attacker_draws"
+  "../bench/ablation_attacker_draws.pdb"
+  "CMakeFiles/ablation_attacker_draws.dir/ablation_attacker_draws.cpp.o"
+  "CMakeFiles/ablation_attacker_draws.dir/ablation_attacker_draws.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attacker_draws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

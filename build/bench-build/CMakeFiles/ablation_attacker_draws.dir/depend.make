@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_attacker_draws.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_memory_hierarchy"
+  "../bench/ablation_memory_hierarchy.pdb"
+  "CMakeFiles/ablation_memory_hierarchy.dir/ablation_memory_hierarchy.cpp.o"
+  "CMakeFiles/ablation_memory_hierarchy.dir/ablation_memory_hierarchy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

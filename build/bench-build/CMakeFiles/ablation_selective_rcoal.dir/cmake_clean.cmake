@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_selective_rcoal"
+  "../bench/ablation_selective_rcoal.pdb"
+  "CMakeFiles/ablation_selective_rcoal.dir/ablation_selective_rcoal.cpp.o"
+  "CMakeFiles/ablation_selective_rcoal.dir/ablation_selective_rcoal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_rcoal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

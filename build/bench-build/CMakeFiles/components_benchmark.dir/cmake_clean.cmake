@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/components_benchmark"
+  "../bench/components_benchmark.pdb"
+  "CMakeFiles/components_benchmark.dir/components_benchmark.cpp.o"
+  "CMakeFiles/components_benchmark.dir/components_benchmark.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/components_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_time_relationship"
+  "../bench/fig05_time_relationship.pdb"
+  "CMakeFiles/fig05_time_relationship.dir/fig05_time_relationship.cpp.o"
+  "CMakeFiles/fig05_time_relationship.dir/fig05_time_relationship.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_time_relationship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_motivation"
+  "../bench/fig06_motivation.pdb"
+  "CMakeFiles/fig06_motivation.dir/fig06_motivation.cpp.o"
+  "CMakeFiles/fig06_motivation.dir/fig06_motivation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

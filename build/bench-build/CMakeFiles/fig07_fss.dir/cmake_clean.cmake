@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_fss"
+  "../bench/fig07_fss.pdb"
+  "CMakeFiles/fig07_fss.dir/fig07_fss.cpp.o"
+  "CMakeFiles/fig07_fss.dir/fig07_fss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_fss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_fss_attack"
+  "../bench/fig08_fss_attack.pdb"
+  "CMakeFiles/fig08_fss_attack.dir/fig08_fss_attack.cpp.o"
+  "CMakeFiles/fig08_fss_attack.dir/fig08_fss_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fss_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_rss_distribution"
+  "../bench/fig09_rss_distribution.pdb"
+  "CMakeFiles/fig09_rss_distribution.dir/fig09_rss_distribution.cpp.o"
+  "CMakeFiles/fig09_rss_distribution.dir/fig09_rss_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rss_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

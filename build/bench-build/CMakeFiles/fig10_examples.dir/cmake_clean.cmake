@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_examples"
+  "../bench/fig10_examples.pdb"
+  "CMakeFiles/fig10_examples.dir/fig10_examples.cpp.o"
+  "CMakeFiles/fig10_examples.dir/fig10_examples.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_fss_rts_attack"
+  "../bench/fig12_fss_rts_attack.pdb"
+  "CMakeFiles/fig12_fss_rts_attack.dir/fig12_fss_rts_attack.cpp.o"
+  "CMakeFiles/fig12_fss_rts_attack.dir/fig12_fss_rts_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_fss_rts_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

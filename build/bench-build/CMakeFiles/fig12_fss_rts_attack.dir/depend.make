@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_fss_rts_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_rss_attack"
+  "../bench/fig13_rss_attack.pdb"
+  "CMakeFiles/fig13_rss_attack.dir/fig13_rss_attack.cpp.o"
+  "CMakeFiles/fig13_rss_attack.dir/fig13_rss_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_rss_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

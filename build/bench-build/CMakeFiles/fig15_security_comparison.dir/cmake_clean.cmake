@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_security_comparison"
+  "../bench/fig15_security_comparison.pdb"
+  "CMakeFiles/fig15_security_comparison.dir/fig15_security_comparison.cpp.o"
+  "CMakeFiles/fig15_security_comparison.dir/fig15_security_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_security_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_performance"
+  "../bench/fig16_performance.pdb"
+  "CMakeFiles/fig16_performance.dir/fig16_performance.cpp.o"
+  "CMakeFiles/fig16_performance.dir/fig16_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

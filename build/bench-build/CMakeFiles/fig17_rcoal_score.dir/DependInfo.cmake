@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig17_rcoal_score.cpp" "bench-build/CMakeFiles/fig17_rcoal_score.dir/fig17_rcoal_score.cpp.o" "gcc" "bench-build/CMakeFiles/fig17_rcoal_score.dir/fig17_rcoal_score.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/rcoal_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/rcoal_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rcoal_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rcoal_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcoal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcoal/CMakeFiles/rcoal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/rcoal_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rcoal_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_rcoal_score"
+  "../bench/fig17_rcoal_score.pdb"
+  "CMakeFiles/fig17_rcoal_score.dir/fig17_rcoal_score.cpp.o"
+  "CMakeFiles/fig17_rcoal_score.dir/fig17_rcoal_score.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_rcoal_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

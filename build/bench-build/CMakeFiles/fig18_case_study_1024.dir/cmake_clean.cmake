@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_case_study_1024"
+  "../bench/fig18_case_study_1024.pdb"
+  "CMakeFiles/fig18_case_study_1024.dir/fig18_case_study_1024.cpp.o"
+  "CMakeFiles/fig18_case_study_1024.dir/fig18_case_study_1024.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_case_study_1024.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_case_study_1024.
+# This may be replaced when dependencies are built.

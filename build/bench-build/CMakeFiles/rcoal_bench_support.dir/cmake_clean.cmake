@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_bench_support.dir/support/bench_support.cpp.o"
+  "CMakeFiles/rcoal_bench_support.dir/support/bench_support.cpp.o.d"
+  "librcoal_bench_support.a"
+  "librcoal_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

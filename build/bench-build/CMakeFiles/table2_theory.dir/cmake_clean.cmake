@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_theory"
+  "../bench/table2_theory.pdb"
+  "CMakeFiles/table2_theory.dir/table2_theory.cpp.o"
+  "CMakeFiles/table2_theory.dir/table2_theory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

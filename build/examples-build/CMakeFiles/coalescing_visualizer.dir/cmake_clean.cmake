@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/coalescing_visualizer"
+  "../examples/coalescing_visualizer.pdb"
+  "CMakeFiles/coalescing_visualizer.dir/coalescing_visualizer.cpp.o"
+  "CMakeFiles/coalescing_visualizer.dir/coalescing_visualizer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalescing_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

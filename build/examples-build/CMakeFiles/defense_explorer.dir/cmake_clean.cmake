@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/defense_explorer"
+  "../examples/defense_explorer.pdb"
+  "CMakeFiles/defense_explorer.dir/defense_explorer.cpp.o"
+  "CMakeFiles/defense_explorer.dir/defense_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sweep_to_csv"
+  "../examples/sweep_to_csv.pdb"
+  "CMakeFiles/sweep_to_csv.dir/sweep_to_csv.cpp.o"
+  "CMakeFiles/sweep_to_csv.dir/sweep_to_csv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_to_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/theory_calculator"
+  "../examples/theory_calculator.pdb"
+  "CMakeFiles/theory_calculator.dir/theory_calculator.cpp.o"
+  "CMakeFiles/theory_calculator.dir/theory_calculator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

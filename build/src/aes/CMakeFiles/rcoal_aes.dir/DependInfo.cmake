@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aes/aes.cpp" "src/aes/CMakeFiles/rcoal_aes.dir/aes.cpp.o" "gcc" "src/aes/CMakeFiles/rcoal_aes.dir/aes.cpp.o.d"
+  "/root/repo/src/aes/galois.cpp" "src/aes/CMakeFiles/rcoal_aes.dir/galois.cpp.o" "gcc" "src/aes/CMakeFiles/rcoal_aes.dir/galois.cpp.o.d"
+  "/root/repo/src/aes/key_schedule.cpp" "src/aes/CMakeFiles/rcoal_aes.dir/key_schedule.cpp.o" "gcc" "src/aes/CMakeFiles/rcoal_aes.dir/key_schedule.cpp.o.d"
+  "/root/repo/src/aes/sbox.cpp" "src/aes/CMakeFiles/rcoal_aes.dir/sbox.cpp.o" "gcc" "src/aes/CMakeFiles/rcoal_aes.dir/sbox.cpp.o.d"
+  "/root/repo/src/aes/ttable.cpp" "src/aes/CMakeFiles/rcoal_aes.dir/ttable.cpp.o" "gcc" "src/aes/CMakeFiles/rcoal_aes.dir/ttable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

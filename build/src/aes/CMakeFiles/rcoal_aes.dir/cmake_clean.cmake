@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_aes.dir/aes.cpp.o"
+  "CMakeFiles/rcoal_aes.dir/aes.cpp.o.d"
+  "CMakeFiles/rcoal_aes.dir/galois.cpp.o"
+  "CMakeFiles/rcoal_aes.dir/galois.cpp.o.d"
+  "CMakeFiles/rcoal_aes.dir/key_schedule.cpp.o"
+  "CMakeFiles/rcoal_aes.dir/key_schedule.cpp.o.d"
+  "CMakeFiles/rcoal_aes.dir/sbox.cpp.o"
+  "CMakeFiles/rcoal_aes.dir/sbox.cpp.o.d"
+  "CMakeFiles/rcoal_aes.dir/ttable.cpp.o"
+  "CMakeFiles/rcoal_aes.dir/ttable.cpp.o.d"
+  "librcoal_aes.a"
+  "librcoal_aes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_aes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/correlation_attack.cpp" "src/attack/CMakeFiles/rcoal_attack.dir/correlation_attack.cpp.o" "gcc" "src/attack/CMakeFiles/rcoal_attack.dir/correlation_attack.cpp.o.d"
+  "/root/repo/src/attack/encryption_service.cpp" "src/attack/CMakeFiles/rcoal_attack.dir/encryption_service.cpp.o" "gcc" "src/attack/CMakeFiles/rcoal_attack.dir/encryption_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rcoal_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcoal/CMakeFiles/rcoal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcoal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rcoal_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_attack.dir/correlation_attack.cpp.o"
+  "CMakeFiles/rcoal_attack.dir/correlation_attack.cpp.o.d"
+  "CMakeFiles/rcoal_attack.dir/encryption_service.cpp.o"
+  "CMakeFiles/rcoal_attack.dir/encryption_service.cpp.o.d"
+  "librcoal_attack.a"
+  "librcoal_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_common.dir/csv.cpp.o"
+  "CMakeFiles/rcoal_common.dir/csv.cpp.o.d"
+  "CMakeFiles/rcoal_common.dir/histogram.cpp.o"
+  "CMakeFiles/rcoal_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/rcoal_common.dir/logging.cpp.o"
+  "CMakeFiles/rcoal_common.dir/logging.cpp.o.d"
+  "CMakeFiles/rcoal_common.dir/rng.cpp.o"
+  "CMakeFiles/rcoal_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rcoal_common.dir/stats.cpp.o"
+  "CMakeFiles/rcoal_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rcoal_common.dir/table_printer.cpp.o"
+  "CMakeFiles/rcoal_common.dir/table_printer.cpp.o.d"
+  "librcoal_common.a"
+  "librcoal_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/big_rational.cpp" "src/numeric/CMakeFiles/rcoal_numeric.dir/big_rational.cpp.o" "gcc" "src/numeric/CMakeFiles/rcoal_numeric.dir/big_rational.cpp.o.d"
+  "/root/repo/src/numeric/big_uint.cpp" "src/numeric/CMakeFiles/rcoal_numeric.dir/big_uint.cpp.o" "gcc" "src/numeric/CMakeFiles/rcoal_numeric.dir/big_uint.cpp.o.d"
+  "/root/repo/src/numeric/combinatorics.cpp" "src/numeric/CMakeFiles/rcoal_numeric.dir/combinatorics.cpp.o" "gcc" "src/numeric/CMakeFiles/rcoal_numeric.dir/combinatorics.cpp.o.d"
+  "/root/repo/src/numeric/partitions.cpp" "src/numeric/CMakeFiles/rcoal_numeric.dir/partitions.cpp.o" "gcc" "src/numeric/CMakeFiles/rcoal_numeric.dir/partitions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_numeric.dir/big_rational.cpp.o"
+  "CMakeFiles/rcoal_numeric.dir/big_rational.cpp.o.d"
+  "CMakeFiles/rcoal_numeric.dir/big_uint.cpp.o"
+  "CMakeFiles/rcoal_numeric.dir/big_uint.cpp.o.d"
+  "CMakeFiles/rcoal_numeric.dir/combinatorics.cpp.o"
+  "CMakeFiles/rcoal_numeric.dir/combinatorics.cpp.o.d"
+  "CMakeFiles/rcoal_numeric.dir/partitions.cpp.o"
+  "CMakeFiles/rcoal_numeric.dir/partitions.cpp.o.d"
+  "librcoal_numeric.a"
+  "librcoal_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

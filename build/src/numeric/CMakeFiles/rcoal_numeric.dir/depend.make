@@ -1,0 +1,2 @@
+# Empty dependencies file for rcoal_numeric.
+# This may be replaced when dependencies are built.

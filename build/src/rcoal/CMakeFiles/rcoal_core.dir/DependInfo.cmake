@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rcoal/coalescer.cpp" "src/rcoal/CMakeFiles/rcoal_core.dir/coalescer.cpp.o" "gcc" "src/rcoal/CMakeFiles/rcoal_core.dir/coalescer.cpp.o.d"
+  "/root/repo/src/rcoal/partitioner.cpp" "src/rcoal/CMakeFiles/rcoal_core.dir/partitioner.cpp.o" "gcc" "src/rcoal/CMakeFiles/rcoal_core.dir/partitioner.cpp.o.d"
+  "/root/repo/src/rcoal/pending_request_table.cpp" "src/rcoal/CMakeFiles/rcoal_core.dir/pending_request_table.cpp.o" "gcc" "src/rcoal/CMakeFiles/rcoal_core.dir/pending_request_table.cpp.o.d"
+  "/root/repo/src/rcoal/policy.cpp" "src/rcoal/CMakeFiles/rcoal_core.dir/policy.cpp.o" "gcc" "src/rcoal/CMakeFiles/rcoal_core.dir/policy.cpp.o.d"
+  "/root/repo/src/rcoal/rcoal_score.cpp" "src/rcoal/CMakeFiles/rcoal_core.dir/rcoal_score.cpp.o" "gcc" "src/rcoal/CMakeFiles/rcoal_core.dir/rcoal_score.cpp.o.d"
+  "/root/repo/src/rcoal/subwarp.cpp" "src/rcoal/CMakeFiles/rcoal_core.dir/subwarp.cpp.o" "gcc" "src/rcoal/CMakeFiles/rcoal_core.dir/subwarp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_core.dir/coalescer.cpp.o"
+  "CMakeFiles/rcoal_core.dir/coalescer.cpp.o.d"
+  "CMakeFiles/rcoal_core.dir/partitioner.cpp.o"
+  "CMakeFiles/rcoal_core.dir/partitioner.cpp.o.d"
+  "CMakeFiles/rcoal_core.dir/pending_request_table.cpp.o"
+  "CMakeFiles/rcoal_core.dir/pending_request_table.cpp.o.d"
+  "CMakeFiles/rcoal_core.dir/policy.cpp.o"
+  "CMakeFiles/rcoal_core.dir/policy.cpp.o.d"
+  "CMakeFiles/rcoal_core.dir/rcoal_score.cpp.o"
+  "CMakeFiles/rcoal_core.dir/rcoal_score.cpp.o.d"
+  "CMakeFiles/rcoal_core.dir/subwarp.cpp.o"
+  "CMakeFiles/rcoal_core.dir/subwarp.cpp.o.d"
+  "librcoal_core.a"
+  "librcoal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

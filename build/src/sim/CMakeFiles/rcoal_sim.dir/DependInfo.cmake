@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/address_mapping.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/address_mapping.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/address_mapping.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/energy.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/energy.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/energy.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/interconnect.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/interconnect.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/interconnect.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/simt_stack.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/simt_stack.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/simt_stack.cpp.o.d"
+  "/root/repo/src/sim/sm.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/sm.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/sm.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/rcoal_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/rcoal_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcoal/CMakeFiles/rcoal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

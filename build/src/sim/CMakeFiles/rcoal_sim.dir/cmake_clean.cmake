@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_sim.dir/address_mapping.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/address_mapping.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/cache.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/config.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/config.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/dram.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/energy.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/gpu.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/interconnect.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/interconnect.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/kernel.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/simt_stack.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/simt_stack.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/sm.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/sm.cpp.o.d"
+  "CMakeFiles/rcoal_sim.dir/stats.cpp.o"
+  "CMakeFiles/rcoal_sim.dir/stats.cpp.o.d"
+  "librcoal_sim.a"
+  "librcoal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

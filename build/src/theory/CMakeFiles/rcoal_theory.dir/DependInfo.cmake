@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/coalesced_distribution.cpp" "src/theory/CMakeFiles/rcoal_theory.dir/coalesced_distribution.cpp.o" "gcc" "src/theory/CMakeFiles/rcoal_theory.dir/coalesced_distribution.cpp.o.d"
+  "/root/repo/src/theory/security_model.cpp" "src/theory/CMakeFiles/rcoal_theory.dir/security_model.cpp.o" "gcc" "src/theory/CMakeFiles/rcoal_theory.dir/security_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rcoal_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

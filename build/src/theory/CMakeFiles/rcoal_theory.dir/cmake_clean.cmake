@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_theory.dir/coalesced_distribution.cpp.o"
+  "CMakeFiles/rcoal_theory.dir/coalesced_distribution.cpp.o.d"
+  "CMakeFiles/rcoal_theory.dir/security_model.cpp.o"
+  "CMakeFiles/rcoal_theory.dir/security_model.cpp.o.d"
+  "librcoal_theory.a"
+  "librcoal_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aes_kernel.cpp" "src/workloads/CMakeFiles/rcoal_workloads.dir/aes_kernel.cpp.o" "gcc" "src/workloads/CMakeFiles/rcoal_workloads.dir/aes_kernel.cpp.o.d"
+  "/root/repo/src/workloads/micro_kernels.cpp" "src/workloads/CMakeFiles/rcoal_workloads.dir/micro_kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/rcoal_workloads.dir/micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rcoal_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcoal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcoal/CMakeFiles/rcoal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

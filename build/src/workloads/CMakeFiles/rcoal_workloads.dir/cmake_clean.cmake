@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcoal_workloads.dir/aes_kernel.cpp.o"
+  "CMakeFiles/rcoal_workloads.dir/aes_kernel.cpp.o.d"
+  "CMakeFiles/rcoal_workloads.dir/micro_kernels.cpp.o"
+  "CMakeFiles/rcoal_workloads.dir/micro_kernels.cpp.o.d"
+  "librcoal_workloads.a"
+  "librcoal_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcoal_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

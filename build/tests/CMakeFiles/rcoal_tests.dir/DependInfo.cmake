@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aes/test_aes.cpp" "tests/CMakeFiles/rcoal_tests.dir/aes/test_aes.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/aes/test_aes.cpp.o.d"
+  "/root/repo/tests/aes/test_galois.cpp" "tests/CMakeFiles/rcoal_tests.dir/aes/test_galois.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/aes/test_galois.cpp.o.d"
+  "/root/repo/tests/aes/test_key_schedule.cpp" "tests/CMakeFiles/rcoal_tests.dir/aes/test_key_schedule.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/aes/test_key_schedule.cpp.o.d"
+  "/root/repo/tests/aes/test_sbox.cpp" "tests/CMakeFiles/rcoal_tests.dir/aes/test_sbox.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/aes/test_sbox.cpp.o.d"
+  "/root/repo/tests/aes/test_ttable.cpp" "tests/CMakeFiles/rcoal_tests.dir/aes/test_ttable.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/aes/test_ttable.cpp.o.d"
+  "/root/repo/tests/attack/test_correlation_attack.cpp" "tests/CMakeFiles/rcoal_tests.dir/attack/test_correlation_attack.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/attack/test_correlation_attack.cpp.o.d"
+  "/root/repo/tests/attack/test_encryption_service.cpp" "tests/CMakeFiles/rcoal_tests.dir/attack/test_encryption_service.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/attack/test_encryption_service.cpp.o.d"
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/rcoal_tests.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/rcoal_tests.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_logging.cpp" "tests/CMakeFiles/rcoal_tests.dir/common/test_logging.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/common/test_logging.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/rcoal_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/rcoal_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table_printer.cpp" "tests/CMakeFiles/rcoal_tests.dir/common/test_table_printer.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/common/test_table_printer.cpp.o.d"
+  "/root/repo/tests/core/test_coalescer.cpp" "tests/CMakeFiles/rcoal_tests.dir/core/test_coalescer.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/core/test_coalescer.cpp.o.d"
+  "/root/repo/tests/core/test_coalescer_model.cpp" "tests/CMakeFiles/rcoal_tests.dir/core/test_coalescer_model.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/core/test_coalescer_model.cpp.o.d"
+  "/root/repo/tests/core/test_partitioner.cpp" "tests/CMakeFiles/rcoal_tests.dir/core/test_partitioner.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/core/test_partitioner.cpp.o.d"
+  "/root/repo/tests/core/test_pending_request_table.cpp" "tests/CMakeFiles/rcoal_tests.dir/core/test_pending_request_table.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/core/test_pending_request_table.cpp.o.d"
+  "/root/repo/tests/core/test_policy.cpp" "tests/CMakeFiles/rcoal_tests.dir/core/test_policy.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/core/test_policy.cpp.o.d"
+  "/root/repo/tests/core/test_rcoal_score.cpp" "tests/CMakeFiles/rcoal_tests.dir/core/test_rcoal_score.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/core/test_rcoal_score.cpp.o.d"
+  "/root/repo/tests/core/test_subwarp.cpp" "tests/CMakeFiles/rcoal_tests.dir/core/test_subwarp.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/core/test_subwarp.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/rcoal_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/numeric/test_big_rational.cpp" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_big_rational.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_big_rational.cpp.o.d"
+  "/root/repo/tests/numeric/test_big_uint.cpp" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_big_uint.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_big_uint.cpp.o.d"
+  "/root/repo/tests/numeric/test_combinatorics.cpp" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_combinatorics.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_combinatorics.cpp.o.d"
+  "/root/repo/tests/numeric/test_partitions.cpp" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_partitions.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/numeric/test_partitions.cpp.o.d"
+  "/root/repo/tests/sim/test_address_mapping.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_address_mapping.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_address_mapping.cpp.o.d"
+  "/root/repo/tests/sim/test_cache.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_cache.cpp.o.d"
+  "/root/repo/tests/sim/test_clock_domains.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_clock_domains.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_clock_domains.cpp.o.d"
+  "/root/repo/tests/sim/test_config.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_config.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_config.cpp.o.d"
+  "/root/repo/tests/sim/test_dram.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_dram.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_dram.cpp.o.d"
+  "/root/repo/tests/sim/test_energy.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_energy.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_energy.cpp.o.d"
+  "/root/repo/tests/sim/test_gpu.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_gpu.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_gpu.cpp.o.d"
+  "/root/repo/tests/sim/test_interconnect.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_interconnect.cpp.o.d"
+  "/root/repo/tests/sim/test_kernel.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_kernel.cpp.o.d"
+  "/root/repo/tests/sim/test_scheduler_refresh.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_scheduler_refresh.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_scheduler_refresh.cpp.o.d"
+  "/root/repo/tests/sim/test_selective_rcoal.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_selective_rcoal.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_selective_rcoal.cpp.o.d"
+  "/root/repo/tests/sim/test_simt_stack.cpp" "tests/CMakeFiles/rcoal_tests.dir/sim/test_simt_stack.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/sim/test_simt_stack.cpp.o.d"
+  "/root/repo/tests/theory/test_coalesced_distribution.cpp" "tests/CMakeFiles/rcoal_tests.dir/theory/test_coalesced_distribution.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/theory/test_coalesced_distribution.cpp.o.d"
+  "/root/repo/tests/theory/test_model_properties.cpp" "tests/CMakeFiles/rcoal_tests.dir/theory/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/theory/test_model_properties.cpp.o.d"
+  "/root/repo/tests/theory/test_security_model.cpp" "tests/CMakeFiles/rcoal_tests.dir/theory/test_security_model.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/theory/test_security_model.cpp.o.d"
+  "/root/repo/tests/workloads/test_aes_kernel.cpp" "tests/CMakeFiles/rcoal_tests.dir/workloads/test_aes_kernel.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/workloads/test_aes_kernel.cpp.o.d"
+  "/root/repo/tests/workloads/test_divergent_kernel.cpp" "tests/CMakeFiles/rcoal_tests.dir/workloads/test_divergent_kernel.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/workloads/test_divergent_kernel.cpp.o.d"
+  "/root/repo/tests/workloads/test_micro_kernels.cpp" "tests/CMakeFiles/rcoal_tests.dir/workloads/test_micro_kernels.cpp.o" "gcc" "tests/CMakeFiles/rcoal_tests.dir/workloads/test_micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/rcoal_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rcoal_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/aes/CMakeFiles/rcoal_aes.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcoal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rcoal/CMakeFiles/rcoal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/rcoal_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rcoal_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rcoal_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
