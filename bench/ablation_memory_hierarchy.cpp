@@ -6,6 +6,7 @@
  * encryption and flattens the DRAM-side timing channel.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "support/bench_support.hpp"
@@ -23,9 +24,16 @@ evaluateWithHierarchy(const rcoal::core::CoalescingPolicy &policy,
     cfg.l1Enabled = l1;
     cfg.l2Enabled = l2;
     cfg.mshrEnabled = mshr;
-    attack::EncryptionService service(cfg, bench::victimKey());
-    Rng rng(7);
-    const auto observations = service.collectSamples(samples, 32, rng);
+    const auto t_collect = std::chrono::steady_clock::now();
+    const auto observations =
+        attack::EncryptionService::collectSamplesParallel(
+            cfg, bench::victimKey(), samples, 32, 7,
+            &bench::benchPool());
+    bench::engineReport().record(
+        "collect", samples,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_collect)
+            .count());
 
     bench::PolicyEvaluation eval;
     eval.policy = policy;
@@ -44,8 +52,9 @@ evaluateWithHierarchy(const rcoal::core::CoalescingPolicy &policy,
     attack::AttackConfig attack_cfg;
     attack_cfg.assumedPolicy = policy;
     attack::CorrelationAttack attacker(attack_cfg);
-    eval.attackResult =
-        attacker.attackKey(observations, service.lastRoundKey());
+    attack::EncryptionService reference(cfg, bench::victimKey());
+    eval.attackResult = attacker.attackKey(
+        observations, reference.lastRoundKey(), &bench::benchPool());
     return eval;
 }
 
@@ -91,5 +100,6 @@ main(int argc, char **argv)
                 "than DRAM state, and why Section VII calls for "
                 "randomization at every level of the\nhierarchy rather "
                 "than relying on caches.\n");
+    bench::writeEngineReport();
     return 0;
 }

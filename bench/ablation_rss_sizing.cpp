@@ -51,5 +51,6 @@ main(int argc, char **argv)
                 "FSS (sizes concentrate at N/M); skewed sizing produces "
                 "large\nsubwarps that recover coalescing (fewer accesses, "
                 "less time) while keeping the size channel random.\n");
+    bench::writeEngineReport();
     return 0;
 }

@@ -6,6 +6,7 @@
  * should hold while the performance cost shrinks dramatically.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "support/bench_support.hpp"
@@ -22,9 +23,16 @@ evaluateSelective(const rcoal::core::CoalescingPolicy &policy,
     cfg.policy = policy;
     cfg.selectiveRCoal = selective;
     cfg.protectedTagMask = mask;
-    attack::EncryptionService service(cfg, bench::victimKey());
-    Rng rng(7);
-    const auto observations = service.collectSamples(samples, 32, rng);
+    const auto t_collect = std::chrono::steady_clock::now();
+    const auto observations =
+        attack::EncryptionService::collectSamplesParallel(
+            cfg, bench::victimKey(), samples, 32, 7,
+            &bench::benchPool());
+    bench::engineReport().record(
+        "collect", samples,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_collect)
+            .count());
 
     bench::PolicyEvaluation eval;
     eval.policy = policy;
@@ -38,8 +46,9 @@ evaluateSelective(const rcoal::core::CoalescingPolicy &policy,
     attack::AttackConfig attack_cfg;
     attack_cfg.assumedPolicy = policy;
     attack::CorrelationAttack attacker(attack_cfg);
-    eval.attackResult =
-        attacker.attackKey(observations, service.lastRoundKey());
+    attack::EncryptionService reference(cfg, bench::victimKey());
+    eval.attackResult = attacker.attackKey(
+        observations, reference.lastRoundKey(), &bench::benchPool());
     return eval;
 }
 
@@ -94,5 +103,6 @@ main(int argc, char **argv)
                 "coalescing - the hardware/software co-design the paper "
                 "sketches as future work. The residual\ncost is the "
                 "last-round access inflation only.\n");
+    bench::writeEngineReport();
     return 0;
 }

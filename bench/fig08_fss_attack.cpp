@@ -47,5 +47,6 @@ main(int argc, char **argv)
                 "is constant\n(512) and the correlation drops to 0, i.e. "
                 "standalone FSS only helps at the price of fully "
                 "disabled coalescing.\n");
+    bench::writeEngineReport();
     return 0;
 }

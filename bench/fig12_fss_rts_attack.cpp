@@ -22,5 +22,6 @@ main(int argc, char **argv)
                 "thread allocation keeps the correct guess buried as M "
                 "grows;\nsecurity improves monotonically with "
                 "num-subwarp.\n");
+    bench::writeEngineReport();
     return 0;
 }

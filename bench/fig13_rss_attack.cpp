@@ -22,5 +22,6 @@ main(int argc, char **argv)
                 "byte no longer has the highest correlation - random "
                 "sizing alone\n(without RTS) already defeats the "
                 "size-aware attacker.\n");
+    bench::writeEngineReport();
     return 0;
 }

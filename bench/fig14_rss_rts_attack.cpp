@@ -20,5 +20,6 @@ main(int argc, char **argv)
     std::printf("\nPaper claims: combining size and thread-allocation "
                 "randomness is very difficult to replicate in the "
                 "attack; recovery\nfails for num-subwarp > 2.\n");
+    bench::writeEngineReport();
     return 0;
 }

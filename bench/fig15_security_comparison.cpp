@@ -42,5 +42,6 @@ main(int argc, char **argv)
                 "RSS+RTS\ncollapse the correlation into the noise floor, "
                 "with RSS+RTS strongest at M = 2 and 4 and FSS+RTS at "
                 "M = 8 and 16\n(cf. Table II).\n");
+    bench::writeEngineReport();
     return 0;
 }

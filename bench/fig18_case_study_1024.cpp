@@ -78,5 +78,6 @@ main(int argc, char **argv)
                 "the\ncorrelation down for num-subwarp > 1, and RSS-based "
                 "mechanisms stay cheaper than FSS-based ones (paper: "
                 "29-76%%\noverhead for RSS+RTS at M = 2..8).\n");
+    bench::writeEngineReport();
     return 0;
 }

@@ -6,11 +6,139 @@
 #include "bench_support.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "rcoal/common/logging.hpp"
 
 namespace rcoal::bench {
+
+namespace {
+
+/** Seconds elapsed since @p start (steady clock). */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+ThreadPool &
+benchPool()
+{
+    return globalThreadPool();
+}
+
+EngineReport::Phase &
+EngineReport::phaseFor(const std::string &name)
+{
+    for (auto &phase : phases) {
+        if (phase.name == name)
+            return phase;
+    }
+    phases.push_back({name, 0, {}});
+    return phases.back();
+}
+
+void
+EngineReport::record(const std::string &phase, std::uint64_t items,
+                     double wall_seconds)
+{
+    Phase &p = phaseFor(phase);
+    p.items += items;
+    p.wallSeconds.push(wall_seconds);
+}
+
+void
+EngineReport::merge(const std::string &phase, std::uint64_t items,
+                    const RunningStats &wall_seconds)
+{
+    Phase &p = phaseFor(phase);
+    p.items += items;
+    p.wallSeconds.merge(wall_seconds);
+}
+
+void
+EngineReport::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write engine report to '%s'", path.c_str());
+
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"rcoal-engine-report-v1\",\n");
+    std::fprintf(f, "  \"threads\": %u,\n", benchPool().size());
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"phases\": {\n");
+    double total_wall = 0.0;
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+        const Phase &p = phases[i];
+        const double wall = p.wallSeconds.sum();
+        total_wall += wall;
+        std::fprintf(
+            f,
+            "    \"%s\": {\"calls\": %zu, \"items\": %llu, "
+            "\"wall_seconds\": %.6f, \"mean_call_seconds\": %.6f, "
+            "\"min_call_seconds\": %.6f, \"max_call_seconds\": %.6f, "
+            "\"items_per_second\": %.3f}%s\n",
+            p.name.c_str(), p.wallSeconds.count(),
+            static_cast<unsigned long long>(p.items), wall,
+            p.wallSeconds.mean(),
+            p.wallSeconds.count() ? p.wallSeconds.min() : 0.0,
+            p.wallSeconds.count() ? p.wallSeconds.max() : 0.0,
+            wall > 0.0 ? static_cast<double>(p.items) / wall : 0.0,
+            i + 1 < phases.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_wall);
+
+    // Per-worker engine totals: how evenly the sweep spread. Folding
+    // them through RunningStats keeps the report robust to any worker
+    // count (including the serial 1-thread engine).
+    RunningStats tasks_per_worker;
+    RunningStats busy_per_worker;
+    std::fprintf(f, "  \"workers\": [\n");
+    const auto workers = benchPool().workerStats();
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+        tasks_per_worker.push(static_cast<double>(workers[w].tasks));
+        busy_per_worker.push(workers[w].busySeconds);
+        std::fprintf(f,
+                     "    {\"tasks\": %llu, \"busy_seconds\": %.6f}%s\n",
+                     static_cast<unsigned long long>(workers[w].tasks),
+                     workers[w].busySeconds,
+                     w + 1 < workers.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"worker_tasks\": {\"mean\": %.1f, \"min\": %.0f, "
+                 "\"max\": %.0f},\n",
+                 tasks_per_worker.mean(),
+                 tasks_per_worker.count() ? tasks_per_worker.min() : 0.0,
+                 tasks_per_worker.count() ? tasks_per_worker.max() : 0.0);
+    std::fprintf(f, "  \"worker_busy_seconds_total\": %.6f\n",
+                 busy_per_worker.sum());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+}
+
+EngineReport &
+engineReport()
+{
+    static EngineReport report;
+    return report;
+}
+
+void
+writeEngineReport(const std::string &path)
+{
+    engineReport().writeJson(path);
+    std::printf("\n[engine] %u thread(s); wrote %s\n", benchPool().size(),
+                path.c_str());
+}
 
 const std::array<std::uint8_t, 16> &
 victimKey()
@@ -51,9 +179,11 @@ collectObservations(const core::CoalescingPolicy &policy,
     sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
     cfg.seed = victim_seed;
     cfg.policy = policy;
-    attack::EncryptionService service(cfg, victimKey());
-    Rng rng(plaintext_seed);
-    return service.collectSamples(samples, lines, rng);
+    const auto start = std::chrono::steady_clock::now();
+    auto observations = attack::EncryptionService::collectSamplesParallel(
+        cfg, victimKey(), samples, lines, plaintext_seed, &benchPool());
+    engineReport().record("collect", samples, secondsSince(start));
+    return observations;
 }
 
 PolicyEvaluation
@@ -89,8 +219,10 @@ evaluatePolicy(const core::CoalescingPolicy &policy, unsigned samples,
     sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
     cfg.policy = policy;
     attack::EncryptionService reference(cfg, victimKey());
-    eval.attackResult =
-        attacker.attackKey(observations, reference.lastRoundKey());
+    const auto start = std::chrono::steady_clock::now();
+    eval.attackResult = attacker.attackKey(
+        observations, reference.lastRoundKey(), &benchPool());
+    engineReport().record("attack", 16 * 256, secondsSince(start));
     return eval;
 }
 

@@ -16,9 +16,66 @@
 #include <vector>
 
 #include "rcoal/attack/correlation_attack.hpp"
+#include "rcoal/common/stats.hpp"
 #include "rcoal/common/table_printer.hpp"
+#include "rcoal/common/thread_pool.hpp"
 
 namespace rcoal::bench {
+
+/**
+ * The experiment engine's pool, shared by every bench driver. Sized by
+ * RCOAL_THREADS (default: hardware concurrency). Thanks to the
+ * counter-based RNG streams, all bench output is identical for every
+ * worker count.
+ */
+ThreadPool &benchPool();
+
+/**
+ * Wall-clock / throughput bookkeeping for the engine, grouped into
+ * named phases ("collect", "attack", ...). Per-call wall times
+ * accumulate into one RunningStats per phase (and merge() lets callers
+ * fold in their own accumulators); writeEngineReport() serializes the
+ * lot so the perf trajectory is tracked across PRs.
+ */
+class EngineReport
+{
+  public:
+    /** Record one timed call of @p phase covering @p items work items. */
+    void record(const std::string &phase, std::uint64_t items,
+                double wall_seconds);
+
+    /** Fold an externally accumulated timing series into @p phase. */
+    void merge(const std::string &phase, std::uint64_t items,
+               const RunningStats &wall_seconds);
+
+    /**
+     * Write the machine-readable report (BENCH_engine.json schema):
+     * engine sizing, per-phase wall-clock stats and throughput, and
+     * the pool's per-worker task/busy totals.
+     */
+    void writeJson(const std::string &path) const;
+
+  private:
+    struct Phase
+    {
+        std::string name;
+        std::uint64_t items = 0;
+        RunningStats wallSeconds;
+    };
+
+    Phase &phaseFor(const std::string &name);
+
+    std::vector<Phase> phases; // small; insertion order = report order
+};
+
+/** The process-wide report every driver appends to. */
+EngineReport &engineReport();
+
+/**
+ * Emit BENCH_engine.json (or @p path) and print a one-line summary.
+ * Call at the end of a driver's main().
+ */
+void writeEngineReport(const std::string &path = "BENCH_engine.json");
 
 /** The fixed AES-128 key every experiment's victim uses. */
 const std::array<std::uint8_t, 16> &victimKey();
@@ -62,6 +119,9 @@ struct PolicyEvaluation
  * of @p lines-line plaintexts under @p policy, then run the
  * corresponding attack (the attacker assumes the same policy,
  * Section IV-E) against @p measurement.
+ *
+ * Both phases run on benchPool() with per-trial RNG streams and are
+ * timed into engineReport(); output is independent of RCOAL_THREADS.
  */
 PolicyEvaluation evaluatePolicy(
     const core::CoalescingPolicy &policy, unsigned samples,
@@ -70,7 +130,7 @@ PolicyEvaluation evaluatePolicy(
         attack::MeasurementVector::LastRoundTime,
     std::uint64_t victim_seed = 42, std::uint64_t plaintext_seed = 7);
 
-/** Collect observations only (no attack). */
+/** Collect observations only (no attack), on benchPool(). */
 std::vector<attack::EncryptionObservation>
 collectObservations(const core::CoalescingPolicy &policy,
                     unsigned samples, unsigned lines = 32,

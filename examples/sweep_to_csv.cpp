@@ -5,9 +5,15 @@
  * attack's correlation, the Eq. 4 sample estimate, timing, data
  * movement and modeled energy.
  *
+ * The sweep runs on the parallel experiment engine (RCOAL_THREADS
+ * workers, deterministic per-trial RNG streams, so the CSV is
+ * bit-identical for any worker count) and records engine throughput in
+ * BENCH_engine.json.
+ *
  * Usage: sweep_to_csv [output.csv] [samples]
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +21,7 @@
 #include "rcoal/attack/correlation_attack.hpp"
 #include "rcoal/common/csv.hpp"
 #include "rcoal/sim/energy.hpp"
+#include "support/bench_support.hpp"
 
 namespace {
 
@@ -39,16 +46,19 @@ runPoint(const core::CoalescingPolicy &policy, unsigned samples,
     sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
     cfg.seed = 42;
     cfg.policy = policy;
-    attack::EncryptionService service(cfg, key);
-    Rng rng(7);
 
-    std::vector<attack::EncryptionObservation> observations;
-    for (unsigned s = 0; s < samples; ++s) {
-        const auto plaintext = workloads::randomPlaintext(32, rng);
-        observations.push_back(service.encrypt(plaintext));
-        row.meanTime += observations.back().totalTime;
-        row.meanAccesses +=
-            static_cast<double>(observations.back().totalAccesses);
+    const auto t_collect = std::chrono::steady_clock::now();
+    const auto observations =
+        attack::EncryptionService::collectSamplesParallel(
+            cfg, key, samples, 32, 7, &bench::benchPool());
+    bench::engineReport().record(
+        "collect", samples,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_collect)
+            .count());
+    for (const auto &obs : observations) {
+        row.meanTime += obs.totalTime;
+        row.meanAccesses += static_cast<double>(obs.totalAccesses);
     }
     row.meanTime /= samples;
     row.meanAccesses /= samples;
@@ -68,8 +78,15 @@ runPoint(const core::CoalescingPolicy &policy, unsigned samples,
     attack::AttackConfig attack_cfg;
     attack_cfg.assumedPolicy = policy;
     attack::CorrelationAttack attacker(attack_cfg);
-    row.attackResult =
-        attacker.attackKey(observations, service.lastRoundKey());
+    attack::EncryptionService reference(cfg, key);
+    const auto t_attack = std::chrono::steady_clock::now();
+    row.attackResult = attacker.attackKey(
+        observations, reference.lastRoundKey(), &bench::benchPool());
+    bench::engineReport().record(
+        "attack", 16 * 256,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_attack)
+            .count());
     return row;
 }
 
@@ -126,5 +143,6 @@ main(int argc, char **argv)
     }
     csv.writeFile(path);
     std::printf("wrote %zu rows to %s\n", csv.rowCount(), path.c_str());
+    bench::writeEngineReport();
     return 0;
 }

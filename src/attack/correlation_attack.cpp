@@ -85,27 +85,60 @@ CorrelationAttack::estimateLastRoundAccesses(
     return total / cfg.drawsPerEstimate;
 }
 
+double
+CorrelationAttack::guessCorrelation(
+    std::span<const EncryptionObservation> observations,
+    std::span<const double> measured, unsigned j, unsigned m) const
+{
+    // Counter-based attacker RNG per (byte, guess) task: per the
+    // paper's attack the per-plaintext randomization is simulated
+    // independently of the guess, and the stream derivation makes the
+    // task independent of scheduling, so serial and pooled recovery
+    // produce identical correlation tables.
+    Rng rng = Rng::stream(cfg.seed, j * 256ull + m);
+    std::vector<double> estimated;
+    estimated.reserve(observations.size());
+    for (const auto &obs : observations) {
+        estimated.push_back(estimateLastRoundAccesses(
+            obs.ciphertext, j, static_cast<std::uint8_t>(m), rng));
+    }
+    return pearsonCorrelation(estimated, measured);
+}
+
+void
+CorrelationAttack::evaluateByte(ByteAttackResult &byte_result,
+                                std::uint8_t truth)
+{
+    byte_result.correctGuessCorrelation = byte_result.correlation[truth];
+    unsigned rank = 0;
+    for (unsigned m = 0; m < 256; ++m) {
+        if (m != truth &&
+            byte_result.correlation[m] > byte_result.correlation[truth])
+            ++rank;
+    }
+    byte_result.rankOfCorrect =
+        static_cast<std::uint8_t>(std::min(rank, 255u));
+}
+
 ByteAttackResult
 CorrelationAttack::attackByte(
-    std::span<const EncryptionObservation> observations, unsigned j) const
+    std::span<const EncryptionObservation> observations, unsigned j,
+    ThreadPool *pool) const
 {
     RCOAL_ASSERT(!observations.empty(), "no observations to attack");
     const std::vector<double> measured =
         measurementSeries(observations, cfg.measurement);
 
     ByteAttackResult result;
-    // One attacker RNG per byte, deterministic across guesses: per the
-    // paper's attack the per-plaintext randomization is simulated
-    // independently of the guess, so re-seed per guess for parity.
-    for (unsigned m = 0; m < 256; ++m) {
-        Rng rng(cfg.seed + 0x9e37 * (j + 1) + m * 0x85eb);
-        std::vector<double> estimated;
-        estimated.reserve(observations.size());
-        for (const auto &obs : observations) {
-            estimated.push_back(estimateLastRoundAccesses(
-                obs.ciphertext, j, static_cast<std::uint8_t>(m), rng));
-        }
-        result.correlation[m] = pearsonCorrelation(estimated, measured);
+    const auto guess_task = [&](std::size_t m) {
+        result.correlation[m] = guessCorrelation(
+            observations, measured, j, static_cast<unsigned>(m));
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(256, guess_task);
+    } else {
+        for (std::size_t m = 0; m < 256; ++m)
+            guess_task(m);
     }
 
     const auto best = std::max_element(result.correlation.begin(),
@@ -119,30 +152,42 @@ CorrelationAttack::attackByte(
 KeyAttackResult
 CorrelationAttack::attackKey(
     std::span<const EncryptionObservation> observations,
-    const aes::Block &true_last_round_key) const
+    const aes::Block &true_last_round_key, ThreadPool *pool) const
 {
+    RCOAL_ASSERT(!observations.empty(), "no observations to attack");
+    const std::vector<double> measured =
+        measurementSeries(observations, cfg.measurement);
+
+    // Flatten all 16 bytes x 256 guesses into one task list so a pool
+    // sees maximum width (per-byte batches would leave workers idle at
+    // every byte boundary).
     KeyAttackResult result;
+    const auto guess_task = [&](std::size_t idx) {
+        const auto j = static_cast<unsigned>(idx / 256);
+        const auto m = static_cast<unsigned>(idx % 256);
+        result.bytes[j].correlation[m] =
+            guessCorrelation(observations, measured, j, m);
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(16 * 256, guess_task);
+    } else {
+        for (std::size_t idx = 0; idx < 16 * 256; ++idx)
+            guess_task(idx);
+    }
+
     double corr_sum = 0.0;
     for (unsigned j = 0; j < 16; ++j) {
-        ByteAttackResult byte_result = attackByte(observations, j);
-        const std::uint8_t truth = true_last_round_key[j];
-        byte_result.correctGuessCorrelation =
-            byte_result.correlation[truth];
-        unsigned rank = 0;
-        for (unsigned m = 0; m < 256; ++m) {
-            if (m != truth &&
-                byte_result.correlation[m] >
-                    byte_result.correlation[truth]) {
-                ++rank;
-            }
-        }
-        byte_result.rankOfCorrect = static_cast<std::uint8_t>(
-            std::min(rank, 255u));
+        ByteAttackResult &byte_result = result.bytes[j];
+        const auto best = std::max_element(byte_result.correlation.begin(),
+                                           byte_result.correlation.end());
+        byte_result.bestGuess = static_cast<std::uint8_t>(
+            best - byte_result.correlation.begin());
+        byte_result.bestCorrelation = *best;
+        evaluateByte(byte_result, true_last_round_key[j]);
         result.recoveredLastRoundKey[j] = byte_result.bestGuess;
-        if (byte_result.bestGuess == truth)
+        if (byte_result.bestGuess == true_last_round_key[j])
             ++result.bytesRecovered;
         corr_sum += byte_result.correctGuessCorrelation;
-        result.bytes[j] = std::move(byte_result);
     }
     result.avgCorrectCorrelation = corr_sum / 16.0;
     return result;

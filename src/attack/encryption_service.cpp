@@ -49,6 +49,35 @@ EncryptionService::collectSamples(unsigned samples, unsigned lines,
     return out;
 }
 
+std::vector<EncryptionObservation>
+EncryptionService::collectSamplesParallel(const sim::GpuConfig &config,
+                                          std::span<const std::uint8_t> key,
+                                          unsigned samples, unsigned lines,
+                                          std::uint64_t plaintext_seed,
+                                          ThreadPool *pool)
+{
+    const auto run_trial = [&](std::size_t trial) {
+        // Fresh GPU-sim instance per trial: the launch-counter state of
+        // a shared Gpu would make trial i depend on how many trials its
+        // worker ran before it. Seed index is trial + 1 so the trial-0
+        // GPU stream is not the root stream itself.
+        sim::GpuConfig trial_config = config;
+        trial_config.seed = Rng::deriveSeed(config.seed, trial + 1);
+        EncryptionService service(trial_config, key);
+        Rng rng = Rng::stream(plaintext_seed, trial);
+        return service.encrypt(workloads::randomPlaintext(lines, rng));
+    };
+
+    if (pool != nullptr)
+        return pool->parallelMap(samples, run_trial);
+
+    std::vector<EncryptionObservation> out;
+    out.reserve(samples);
+    for (unsigned s = 0; s < samples; ++s)
+        out.push_back(run_trial(s));
+    return out;
+}
+
 aes::Block
 EncryptionService::lastRoundKey() const
 {

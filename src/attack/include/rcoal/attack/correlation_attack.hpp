@@ -105,19 +105,38 @@ class CorrelationAttack
 
     /**
      * Attack key byte @p j given the collected observations.
+     *
+     * The 256 candidate guesses are independent: each draws its
+     * attacker RNG as Rng::stream(cfg.seed, j * 256 + guess), so the
+     * per-guess correlations are identical whether the guesses run
+     * serially or spread over @p pool (nullptr = serial).
      */
     ByteAttackResult
     attackByte(std::span<const EncryptionObservation> observations,
-               unsigned j) const;
+               unsigned j, ThreadPool *pool = nullptr) const;
 
     /**
      * Attack all 16 bytes and evaluate against the true last round key.
+     *
+     * With a @p pool, all 16 x 256 (byte, guess) correlation tasks are
+     * flattened into one parallel loop; the result is bit-identical to
+     * the serial run (same per-task RNG stream derivation).
      */
     KeyAttackResult
     attackKey(std::span<const EncryptionObservation> observations,
-              const aes::Block &true_last_round_key) const;
+              const aes::Block &true_last_round_key,
+              ThreadPool *pool = nullptr) const;
 
   private:
+    /** Correlation of guess @p m for byte @p j against @p measured. */
+    double guessCorrelation(
+        std::span<const EncryptionObservation> observations,
+        std::span<const double> measured, unsigned j, unsigned m) const;
+
+    /** Rank/recovery bookkeeping shared by the serial/parallel paths. */
+    static void evaluateByte(ByteAttackResult &byte_result,
+                             std::uint8_t truth);
+
     AttackConfig cfg;
     core::SubwarpPartitioner partitioner;
     /** Cached partition for deterministic attack models. */

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "rcoal/aes/key_schedule.hpp"
+#include "rcoal/common/thread_pool.hpp"
 #include "rcoal/sim/gpu.hpp"
 #include "rcoal/workloads/aes_kernel.hpp"
 
@@ -63,9 +64,40 @@ class EncryptionService
     /**
      * Encrypt @p samples random plaintexts of @p lines lines each,
      * drawn from @p rng.
+     *
+     * Sequential semantics: one shared plaintext stream and one GPU
+     * whose launch counter advances across samples, so sample i
+     * depends on i-1 having run. collectSamplesParallel() is the
+     * order-free equivalent.
      */
     std::vector<EncryptionObservation>
     collectSamples(unsigned samples, unsigned lines, Rng &rng);
+
+    /**
+     * Batch collection with per-trial deterministic randomness,
+     * optionally spread over a thread pool.
+     *
+     * Trial i derives its own plaintext stream
+     * Rng::stream(@p plaintext_seed, i) and its own GPU-sim instance
+     * seeded Rng::deriveSeed(config.seed, i + 1), so every observation
+     * is a pure function of (config, key, lines, plaintext_seed, i).
+     * The result is bit-identical for any worker count, including the
+     * serial @p pool == nullptr path — enforced by the determinism
+     * cross-check test.
+     *
+     * Note the per-trial GPU means trial streams differ from the
+     * sequential collectSamples() run at the same seeds; the two APIs
+     * define different (each internally reproducible) experiments.
+     *
+     * @param pool worker pool to spread trials over; nullptr runs
+     *        serially on the caller.
+     */
+    static std::vector<EncryptionObservation>
+    collectSamplesParallel(const sim::GpuConfig &config,
+                           std::span<const std::uint8_t> key,
+                           unsigned samples, unsigned lines,
+                           std::uint64_t plaintext_seed,
+                           ThreadPool *pool = nullptr);
 
     /** Ground truth: the last round key (for evaluating attacks). */
     aes::Block lastRoundKey() const;

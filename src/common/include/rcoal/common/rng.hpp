@@ -56,10 +56,36 @@ class Rng
 
     /**
      * Derive an independent child stream. Children with distinct tags are
-     * statistically independent of the parent and of each other; used to
-     * give each simulated hardware unit its own stream.
+     * statistically independent of the parent and of each other.
+     *
+     * @warning fork() advances the parent, so the child stream depends
+     * on how many values (and forks) the parent produced before the
+     * call: `p.fork(1); p.fork(2)` yields a different second child than
+     * `p.fork(2)` alone. That order-dependence makes fork() unsuitable
+     * for parallel work division — use the counter-based stream()
+     * derivation instead, which depends only on (root_seed, index).
      */
     Rng fork(std::uint64_t stream_tag);
+
+    /**
+     * Counter-based stream derivation: the RNG for sub-experiment
+     * @p stream_index of the experiment rooted at @p root_seed.
+     *
+     * Pure function of its arguments — no parent state, no ordering.
+     * Trial i receives the same stream whether trials run serially,
+     * out of order, or on many threads, which is what makes parallel
+     * sweeps bit-reproducible. Distinct (root_seed, stream_index)
+     * pairs give statistically independent streams.
+     */
+    static Rng stream(std::uint64_t root_seed, std::uint64_t stream_index);
+
+    /**
+     * The 64-bit seed stream() would construct its Rng from; exposed
+     * so nested experiments can re-root (e.g. derive a per-trial GPU
+     * seed, then per-launch streams below it).
+     */
+    static std::uint64_t deriveSeed(std::uint64_t root_seed,
+                                    std::uint64_t stream_index);
 
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~result_type{0}; }

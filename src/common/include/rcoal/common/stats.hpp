@@ -84,8 +84,30 @@ double covariancePopulation(std::span<const double> x,
 /** Arithmetic mean of a series (0 when empty). */
 double meanOf(std::span<const double> x);
 
-/** Population standard deviation of a series. */
-double stddevOf(std::span<const double> x);
+/**
+ * Population standard deviation of a series (divides by n, matching
+ * RunningStats::stddevPopulation); 0 when empty. pearsonCorrelation
+ * divides covariancePopulation by this, keeping both on the same
+ * divide-by-n convention so the n's cancel exactly.
+ */
+double stddevPopulationOf(std::span<const double> x);
+
+/**
+ * Sample standard deviation (divides by n - 1, matching
+ * RunningStats::stddevSample); 0 when fewer than two elements.
+ */
+double stddevSampleOf(std::span<const double> x);
+
+/**
+ * Historical alias for stddevPopulationOf(). It used to guard
+ * `size() < 2` like a sample statistic while dividing by n like a
+ * population one; the convention is now explicit in the name above.
+ */
+inline double
+stddevOf(std::span<const double> x)
+{
+    return stddevPopulationOf(x);
+}
 
 /**
  * Expected number of samples for a successful correlation attack with

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Parallel experiment engine: a small persistent thread pool with
+ * parallelFor / parallelMap primitives.
+ *
+ * Every result in the paper is a Monte-Carlo sweep of independent
+ * trials (thousands of simulated encryptions per defense config), so
+ * the evaluation is embarrassingly parallel as long as each trial owns
+ * its randomness. The pool provides the scheduling half of that
+ * bargain; Rng::stream() provides the determinism half (trial i draws
+ * the same stream no matter which worker runs it, so serial and
+ * parallel runs are bit-identical).
+ *
+ * Sizing: an explicit worker count wins; otherwise the RCOAL_THREADS
+ * environment variable; otherwise std::thread::hardware_concurrency().
+ */
+
+#ifndef RCOAL_COMMON_THREAD_POOL_HPP
+#define RCOAL_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rcoal {
+
+/**
+ * Worker count used when a ThreadPool is built with `threads == 0`:
+ * the RCOAL_THREADS environment variable when set to a positive
+ * integer, else std::thread::hardware_concurrency(), never below 1.
+ * Read on every call (not cached) so tests can vary the environment.
+ */
+unsigned defaultThreadCount();
+
+/** Work done by one pool worker, for throughput reporting. */
+struct WorkerStats
+{
+    std::uint64_t tasks = 0;   ///< parallelFor indices executed.
+    double busySeconds = 0.0;  ///< Wall time spent inside task bodies.
+};
+
+/**
+ * Fixed-size pool of persistent worker threads.
+ *
+ * Only the parallelFor / parallelMap entry points are exposed: all
+ * known workloads are index-driven sweeps, and restricting the API
+ * keeps the scheduling (and therefore the reproducibility story)
+ * trivial to reason about. Exceptions thrown by a task body are
+ * captured and the first one is rethrown on the calling thread once
+ * the loop has drained. Calls from inside a worker (nested
+ * parallelism) degrade to inline serial execution instead of
+ * deadlocking the queue.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means defaultThreadCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins all workers; outstanding loops must have completed. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers.size()); }
+
+    /**
+     * Run body(i) for every i in [0, n), distributed over the workers,
+     * and block until all iterations finished. The caller thread does
+     * not execute iterations (except in the serial fallbacks below);
+     * iteration-to-worker assignment is dynamic, so bodies must not
+     * depend on which thread runs them.
+     *
+     * Serial fallbacks (body runs inline on the caller, in index
+     * order): a single-worker pool, n <= 1, or a call from inside a
+     * pool worker.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Parallel map: out[i] = fn(i) for i in [0, n), with the output
+     * order fixed by the index regardless of scheduling. The result
+     * type must be default-constructible.
+     */
+    template <typename Fn>
+    auto
+    parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        std::vector<std::invoke_result_t<Fn &, std::size_t>> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * Per-worker execution totals since construction. Snapshot is
+     * consistent only while no loop is in flight.
+     */
+    std::vector<WorkerStats> workerStats() const;
+
+    /** True when called from inside one of *any* pool's workers. */
+    static bool insideWorker();
+
+  private:
+    struct Batch;
+
+    void workerLoop(unsigned worker_id);
+
+    std::vector<std::thread> workers;
+    std::vector<WorkerStats> stats; // one slot per worker
+
+    mutable std::mutex mtx;
+    std::condition_variable workReady; ///< Workers wait here for a batch.
+    std::condition_variable workDone;  ///< parallelFor waits here.
+    Batch *active = nullptr;           ///< Currently running batch.
+    std::uint64_t generation = 0;      ///< Bumped per batch; wakes workers.
+    bool shutdown = false;
+};
+
+/**
+ * Process-wide pool sized by defaultThreadCount() on first use; the
+ * bench drivers and batch APIs share it so one RCOAL_THREADS setting
+ * governs the whole binary.
+ */
+ThreadPool &globalThreadPool();
+
+} // namespace rcoal
+
+#endif // RCOAL_COMMON_THREAD_POOL_HPP

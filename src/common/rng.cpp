@@ -50,10 +50,32 @@ Rng
 Rng::fork(std::uint64_t stream_tag)
 {
     // Mix the tag with fresh output so children with distinct tags get
-    // unrelated SplitMix64 seeds.
+    // unrelated SplitMix64 seeds. Note this consumes parent output:
+    // the child depends on the parent's position, not just the tag
+    // (see the header warning; stream() is the order-free alternative).
     const std::uint64_t child_seed =
         next64() ^ (stream_tag * 0x9e3779b97f4a7c15ull + 0x1234'5678'9abc'def0ull);
     return Rng(child_seed);
+}
+
+std::uint64_t
+Rng::deriveSeed(std::uint64_t root_seed, std::uint64_t stream_index)
+{
+    // Two chained SplitMix64 scrambles of (root, index). The first is
+    // an O(1) jump to output `stream_index` of the SplitMix64 sequence
+    // rooted at root_seed (its state advances by the golden-ratio gamma
+    // per draw); the second decorrelates that value from the direct
+    // SplitMix64 expansion Rng(root_seed) uses for its own state.
+    SplitMix64 jump(root_seed +
+                    stream_index * 0x9e3779b97f4a7c15ull);
+    SplitMix64 scramble(jump.next() ^ 0xd1b54a32d192ed03ull);
+    return scramble.next();
+}
+
+Rng
+Rng::stream(std::uint64_t root_seed, std::uint64_t stream_index)
+{
+    return Rng(deriveSeed(root_seed, stream_index));
 }
 
 std::uint64_t

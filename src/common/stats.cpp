@@ -102,16 +102,40 @@ meanOf(std::span<const double> x)
     return s / static_cast<double>(x.size());
 }
 
+namespace {
+
+/** Sum of squared deviations from the mean. */
 double
-stddevOf(std::span<const double> x)
+sumSquaredDeviations(std::span<const double> x)
 {
-    if (x.size() < 2)
-        return 0.0;
     const double mu = meanOf(x);
     double s = 0.0;
     for (double v : x)
         s += (v - mu) * (v - mu);
-    return std::sqrt(s / static_cast<double>(x.size()));
+    return s;
+}
+
+} // namespace
+
+double
+stddevPopulationOf(std::span<const double> x)
+{
+    // Population statistic: defined for any non-empty series (a
+    // single observation has zero spread), divisor n.
+    if (x.empty())
+        return 0.0;
+    return std::sqrt(sumSquaredDeviations(x) /
+                     static_cast<double>(x.size()));
+}
+
+double
+stddevSampleOf(std::span<const double> x)
+{
+    // Sample statistic: needs at least two observations, divisor n-1.
+    if (x.size() < 2)
+        return 0.0;
+    return std::sqrt(sumSquaredDeviations(x) /
+                     static_cast<double>(x.size() - 1));
 }
 
 double
@@ -138,8 +162,12 @@ pearsonCorrelation(std::span<const double> x, std::span<const double> y)
                  x.size(), y.size());
     if (x.size() < 2)
         return 0.0;
-    const double sx = stddevOf(x);
-    const double sy = stddevOf(y);
+    // Population moments throughout: cov_n / (sigma_n * sigma_n), so
+    // the 1/n factors cancel and the ratio equals the textbook r for
+    // any divisor convention. Mixing population covariance with sample
+    // stddevs would shrink |r| by (n-1)/n.
+    const double sx = stddevPopulationOf(x);
+    const double sy = stddevPopulationOf(y);
     if (sx == 0.0 || sy == 0.0)
         return 0.0;
     return covariancePopulation(x, y) / (sx * sy);

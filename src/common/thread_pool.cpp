@@ -1,0 +1,180 @@
+/**
+ * @file
+ * ThreadPool implementation.
+ *
+ * One Batch at a time: parallelFor publishes a Batch under the pool
+ * mutex, bumps the generation counter and wakes every worker. Workers
+ * claim indices from a shared atomic cursor, so load-balancing is
+ * dynamic while the set of executed indices is exact. A batch is
+ * complete once every worker has checked in (even those that claimed
+ * zero indices), which also guarantees the stack-allocated Batch
+ * outlives all references to it.
+ */
+
+#include "rcoal/common/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal {
+
+namespace {
+
+thread_local bool inside_worker = false;
+
+} // namespace
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("RCOAL_THREADS")) {
+        char *end = nullptr;
+        const unsigned long parsed = std::strtoul(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<unsigned>(parsed);
+        warn("ignoring invalid RCOAL_THREADS value '%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+struct ThreadPool::Batch
+{
+    std::size_t n = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::atomic<std::size_t> next{0};
+    unsigned workersRemaining = 0;
+    std::exception_ptr error; ///< First failure; guarded by pool mtx.
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = threads > 0 ? threads : defaultThreadCount();
+    stats.resize(count);
+    workers.reserve(count);
+    for (unsigned id = 0; id < count; ++id)
+        workers.emplace_back([this, id] { workerLoop(id); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mtx);
+        shutdown = true;
+    }
+    workReady.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return inside_worker;
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    // Serial fallbacks: trivial loops, single-worker pools (the queue
+    // would only add latency), and nested calls from a worker (waiting
+    // for the pool from inside the pool would deadlock it).
+    if (n == 1 || size() <= 1 || inside_worker) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    Batch batch;
+    batch.n = n;
+    batch.body = &body;
+    batch.workersRemaining = size();
+
+    std::unique_lock lock(mtx);
+    RCOAL_ASSERT(active == nullptr,
+                 "concurrent parallelFor calls on one ThreadPool");
+    active = &batch;
+    ++generation;
+    workReady.notify_all();
+    workDone.wait(lock, [&] { return batch.workersRemaining == 0; });
+    active = nullptr;
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+void
+ThreadPool::workerLoop(unsigned worker_id)
+{
+    inside_worker = true;
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        Batch *batch = nullptr;
+        {
+            std::unique_lock lock(mtx);
+            workReady.wait(lock, [&] {
+                return shutdown ||
+                       (active != nullptr && generation != seen_generation);
+            });
+            if (shutdown)
+                return;
+            batch = active;
+            seen_generation = generation;
+        }
+
+        std::uint64_t executed = 0;
+        double busy = 0.0;
+        for (;;) {
+            const std::size_t i =
+                batch->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch->n)
+                break;
+            const auto start = std::chrono::steady_clock::now();
+            try {
+                (*batch->body)(i);
+            } catch (...) {
+                std::lock_guard lock(mtx);
+                if (!batch->error)
+                    batch->error = std::current_exception();
+                // Fail fast: park the cursor past the end so other
+                // workers stop claiming new iterations.
+                batch->next.store(batch->n, std::memory_order_relaxed);
+            }
+            busy += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+            ++executed;
+        }
+
+        bool last = false;
+        {
+            std::lock_guard lock(mtx);
+            stats[worker_id].tasks += executed;
+            stats[worker_id].busySeconds += busy;
+            last = --batch->workersRemaining == 0;
+        }
+        if (last)
+            workDone.notify_all();
+    }
+}
+
+std::vector<WorkerStats>
+ThreadPool::workerStats() const
+{
+    std::lock_guard lock(mtx);
+    return stats;
+}
+
+ThreadPool &
+globalThreadPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace rcoal

@@ -16,9 +16,7 @@
 namespace rcoal::sim {
 
 Gpu::Gpu(GpuConfig config)
-    : cfg(std::move(config)),
-      partitioner(cfg.policy, cfg.warpSize),
-      masterRng(cfg.seed)
+    : cfg(std::move(config)), partitioner(cfg.policy, cfg.warpSize)
 {
     cfg.validate();
 }
@@ -63,7 +61,10 @@ Gpu::launch(const KernelSource &kernel)
 
     // Per-launch randomness: partitions are drawn once per warp at
     // launch time and stay fixed for the launch (Section IV-D).
-    Rng launch_rng = masterRng.fork(++launches);
+    // Counter-based derivation: launch k of a Gpu seeded s draws the
+    // same stream regardless of any other RNG activity, so identically
+    // configured GPUs replay identical launch sequences.
+    Rng launch_rng = Rng::stream(cfg.seed, ++launches);
     const unsigned num_warps = kernel.numWarps();
     RCOAL_ASSERT(num_warps > 0, "kernel has no warps");
     RCOAL_ASSERT(num_warps <= cfg.numSms * cfg.maxWarpsPerSm,

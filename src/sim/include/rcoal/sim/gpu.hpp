@@ -42,7 +42,7 @@ class Gpu
   private:
     GpuConfig cfg;
     core::SubwarpPartitioner partitioner;
-    Rng masterRng;
+    /** Per-launch RNG streams derive from (cfg.seed, launch index). */
     std::uint64_t launches = 0;
 
     /** Hard cap to catch simulator deadlock; far above any real run. */

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Serial vs. parallel determinism cross-checks for the experiment
+ * engine: the same root seeds must produce byte-identical
+ * observations, correlation tables and recovered keys for any worker
+ * count. This is the contract that makes RCOAL_THREADS a pure
+ * performance knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/attack/correlation_attack.hpp"
+
+namespace rcoal::attack {
+namespace {
+
+sim::GpuConfig
+testConfig(const core::CoalescingPolicy &policy)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.seed = 42;
+    cfg.policy = policy;
+    return cfg;
+}
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+void
+expectIdentical(const std::vector<EncryptionObservation> &a,
+                const std::vector<EncryptionObservation> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].ciphertext.size(), b[i].ciphertext.size());
+        for (std::size_t line = 0; line < a[i].ciphertext.size(); ++line)
+            EXPECT_EQ(a[i].ciphertext[line], b[i].ciphertext[line])
+                << "sample " << i << " line " << line;
+        EXPECT_EQ(a[i].totalTime, b[i].totalTime) << "sample " << i;
+        EXPECT_EQ(a[i].lastRoundTime, b[i].lastRoundTime)
+            << "sample " << i;
+        EXPECT_EQ(a[i].lastRoundAccesses, b[i].lastRoundAccesses)
+            << "sample " << i;
+        EXPECT_EQ(a[i].totalAccesses, b[i].totalAccesses)
+            << "sample " << i;
+    }
+}
+
+TEST(ParallelDeterminism, CollectSamplesMatchesSerialForRandomizedPolicy)
+{
+    // RSS+RTS exercises every random draw in the pipeline.
+    const auto cfg = testConfig(core::CoalescingPolicy::rss(4, true));
+    const auto serial = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 12, 32, 7, nullptr);
+    ThreadPool pool(4);
+    const auto parallel = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 12, 32, 7, &pool);
+    expectIdentical(serial, parallel);
+}
+
+TEST(ParallelDeterminism, CollectSamplesIndependentOfWorkerCount)
+{
+    const auto cfg = testConfig(core::CoalescingPolicy::fss(8, true));
+    ThreadPool one(1);
+    ThreadPool three(3);
+    const auto a = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 9, 32, 123, &one);
+    const auto b = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 9, 32, 123, &three);
+    expectIdentical(a, b);
+}
+
+TEST(ParallelDeterminism, DifferentSeedsDiffer)
+{
+    const auto cfg = testConfig(core::CoalescingPolicy::baseline());
+    const auto a = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 2, 32, 7, nullptr);
+    const auto b = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 2, 32, 8, nullptr);
+    EXPECT_NE(a[0].ciphertext, b[0].ciphertext);
+}
+
+TEST(ParallelDeterminism, AttackKeyMatchesSerialBitForBit)
+{
+    const auto cfg = testConfig(core::CoalescingPolicy::rss(4, true));
+    const auto observations = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 16, 32, 7, nullptr);
+
+    AttackConfig attack_cfg;
+    attack_cfg.assumedPolicy = cfg.policy;
+    CorrelationAttack attacker(attack_cfg);
+    EncryptionService reference(cfg, kKey);
+    const aes::Block truth = reference.lastRoundKey();
+
+    const auto serial = attacker.attackKey(observations, truth, nullptr);
+    ThreadPool pool(4);
+    const auto parallel = attacker.attackKey(observations, truth, &pool);
+
+    EXPECT_EQ(serial.recoveredLastRoundKey,
+              parallel.recoveredLastRoundKey);
+    EXPECT_EQ(serial.bytesRecovered, parallel.bytesRecovered);
+    EXPECT_EQ(serial.avgCorrectCorrelation,
+              parallel.avgCorrectCorrelation);
+    for (unsigned j = 0; j < 16; ++j) {
+        for (unsigned m = 0; m < 256; ++m) {
+            // Bit-identical, not just close: the parallel engine must
+            // not reorder any floating-point reduction.
+            EXPECT_EQ(serial.bytes[j].correlation[m],
+                      parallel.bytes[j].correlation[m])
+                << "byte " << j << " guess " << m;
+        }
+        EXPECT_EQ(serial.bytes[j].bestGuess, parallel.bytes[j].bestGuess);
+        EXPECT_EQ(serial.bytes[j].rankOfCorrect,
+                  parallel.bytes[j].rankOfCorrect);
+    }
+}
+
+TEST(ParallelDeterminism, AttackByteMatchesAttackKeyColumn)
+{
+    // attackByte and attackKey share per-(byte, guess) RNG streams, so
+    // the standalone byte attack must reproduce the key attack's
+    // column exactly.
+    const auto cfg = testConfig(core::CoalescingPolicy::fss(4, true));
+    const auto observations = EncryptionService::collectSamplesParallel(
+        cfg, kKey, 10, 32, 7, nullptr);
+
+    AttackConfig attack_cfg;
+    attack_cfg.assumedPolicy = cfg.policy;
+    CorrelationAttack attacker(attack_cfg);
+    EncryptionService reference(cfg, kKey);
+
+    const auto key_result = attacker.attackKey(
+        observations, reference.lastRoundKey(), nullptr);
+    ThreadPool pool(2);
+    const auto byte_result = attacker.attackByte(observations, 5, &pool);
+    for (unsigned m = 0; m < 256; ++m) {
+        EXPECT_EQ(byte_result.correlation[m],
+                  key_result.bytes[5].correlation[m]);
+    }
+}
+
+} // namespace
+} // namespace rcoal::attack

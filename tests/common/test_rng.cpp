@@ -211,5 +211,72 @@ TEST(Rng, ForkIsDeterministicGivenParentState)
         EXPECT_EQ(c1.next64(), c2.next64());
 }
 
+TEST(Rng, ForkIsOrderDependentByDesign)
+{
+    // Documented hazard: forking advances the parent, so the same tag
+    // yields a different child depending on what the parent did first.
+    // Order-free derivation is what stream() is for.
+    Rng fresh(47);
+    Rng warmed(47);
+    warmed.fork(1); // consumes parent output
+    Rng from_fresh = fresh.fork(2);
+    Rng from_warmed = warmed.fork(2);
+    EXPECT_NE(from_fresh.next64(), from_warmed.next64());
+}
+
+TEST(Rng, StreamIsPureFunctionOfSeedAndIndex)
+{
+    // No shared parent: any derivation order gives the same streams.
+    Rng forward_first = Rng::stream(99, 0);
+    Rng backward_second = Rng::stream(99, 1);
+    Rng backward_first = Rng::stream(99, 1);
+    Rng forward_second = Rng::stream(99, 0);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(forward_first.next64(), forward_second.next64());
+        EXPECT_EQ(backward_first.next64(), backward_second.next64());
+    }
+}
+
+TEST(Rng, StreamMatchesDeriveSeed)
+{
+    Rng direct = Rng::stream(5, 17);
+    Rng via_seed(Rng::deriveSeed(5, 17));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(direct.next64(), via_seed.next64());
+}
+
+TEST(Rng, StreamsAreMutuallyIndependent)
+{
+    // Distinct indices (and distinct roots at one index) should agree
+    // on essentially no outputs.
+    Rng a = Rng::stream(7, 1);
+    Rng b = Rng::stream(7, 2);
+    Rng c = Rng::stream(8, 1);
+    int same_ab = 0;
+    int same_ac = 0;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t va = a.next64();
+        if (va == b.next64())
+            ++same_ab;
+        if (va == c.next64())
+            ++same_ac;
+    }
+    EXPECT_LT(same_ab, 2);
+    EXPECT_LT(same_ac, 2);
+}
+
+TEST(Rng, StreamDiffersFromRootExpansion)
+{
+    // stream(root, i) must not collide with Rng(root) itself.
+    Rng root(123);
+    Rng derived = Rng::stream(123, 0);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (root.next64() == derived.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
 } // namespace
 } // namespace rcoal

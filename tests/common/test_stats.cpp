@@ -168,6 +168,41 @@ TEST(MeanStddev, BasicSeries)
     EXPECT_EQ(meanOf({}), 0.0);
 }
 
+TEST(MeanStddev, DivisorConventionsAreExplicit)
+{
+    // Regression for the divisor bug: stddevOf guarded size() < 2 like
+    // a sample statistic while dividing by n like a population one.
+    // The conventions are now split and must match RunningStats.
+    const std::vector<double> x{2, 4};
+    EXPECT_DOUBLE_EQ(stddevPopulationOf(x), 1.0);          // /n
+    EXPECT_DOUBLE_EQ(stddevSampleOf(x), std::sqrt(2.0));   // /(n-1)
+    EXPECT_DOUBLE_EQ(stddevOf(x), stddevPopulationOf(x));  // alias
+
+    RunningStats rs;
+    rs.push(2);
+    rs.push(4);
+    EXPECT_DOUBLE_EQ(stddevPopulationOf(x), rs.stddevPopulation());
+    EXPECT_DOUBLE_EQ(stddevSampleOf(x), rs.stddevSample());
+
+    // Population stddev is defined (zero) for one observation; the
+    // sample form needs two.
+    const std::vector<double> one{5};
+    EXPECT_DOUBLE_EQ(stddevPopulationOf(one), 0.0);
+    EXPECT_DOUBLE_EQ(stddevSampleOf(one), 0.0);
+    EXPECT_DOUBLE_EQ(stddevPopulationOf({}), 0.0);
+}
+
+TEST(Correlation, PopulationMomentsKeepPerfectCorrelationAtOne)
+{
+    // cov_n / (sigma_n sigma_n) must be exactly +-1 for linear series;
+    // mixing divisor conventions would shrink it by (n-1)/n.
+    const std::vector<double> x{1, 2};
+    const std::vector<double> y{2, 4};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(x, y), 1.0);
+    const std::vector<double> neg{-2, -4};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(x, neg), -1.0);
+}
+
 TEST(NormalQuantile, StandardValues)
 {
     EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);

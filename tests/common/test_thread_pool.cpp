@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the parallel experiment engine's thread pool:
+ * coverage, ordering guarantees, worker-count edge cases, exception
+ * propagation, nested calls, and the RCOAL_THREADS sizing override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "rcoal/common/thread_pool.hpp"
+
+namespace rcoal {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop)
+{
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleIterationRunsInlineOnCaller)
+{
+    ThreadPool pool(4);
+    const auto caller = std::this_thread::get_id();
+    std::thread::id executed;
+    pool.parallelFor(1, [&](std::size_t) {
+        executed = std::this_thread::get_id();
+    });
+    EXPECT_EQ(executed, caller);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsInIndexOrder)
+{
+    ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallelFor(16, [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expected(16);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ZeroRequestsDefaultSizing)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_EQ(pool.size(), defaultThreadCount());
+}
+
+TEST(ThreadPool, ManyMoreWorkersThanItemsStillCompletes)
+{
+    ThreadPool pool(8);
+    std::atomic<int> sum{0};
+    pool.parallelFor(3, [&](std::size_t i) {
+        sum += static_cast<int>(i) + 1;
+    });
+    EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("trial failed");
+                         }),
+        std::runtime_error);
+    // The pool survives a failed batch and stays usable.
+    std::atomic<int> count{0};
+    pool.parallelFor(10, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionInSerialFallbackPropagates)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     4, [](std::size_t) { throw std::logic_error("x"); }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner_total{0};
+    pool.parallelFor(4, [&](std::size_t) {
+        EXPECT_TRUE(ThreadPool::insideWorker());
+        // A nested call must not wait on the (busy) pool.
+        pool.parallelFor(8, [&](std::size_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap(
+        257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, WorkerStatsAccountForAllIterations)
+{
+    ThreadPool pool(3);
+    pool.parallelFor(50, [](std::size_t) {});
+    std::uint64_t total = 0;
+    for (const auto &w : pool.workerStats())
+        total += w.tasks;
+    EXPECT_EQ(total, 50u);
+}
+
+TEST(ThreadPool, InsideWorkerIsFalseOnCaller)
+{
+    EXPECT_FALSE(ThreadPool::insideWorker());
+}
+
+TEST(DefaultThreadCount, HonorsEnvOverride)
+{
+    ASSERT_EQ(setenv("RCOAL_THREADS", "3", 1), 0);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    ASSERT_EQ(setenv("RCOAL_THREADS", "0", 1), 0);
+    EXPECT_GE(defaultThreadCount(), 1u); // invalid -> fallback
+    ASSERT_EQ(setenv("RCOAL_THREADS", "lots", 1), 0);
+    EXPECT_GE(defaultThreadCount(), 1u);
+    ASSERT_EQ(unsetenv("RCOAL_THREADS"), 0);
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+} // namespace
+} // namespace rcoal
