@@ -64,7 +64,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
 
     printBanner("Ablation: L1/L2/MSHR interaction (Section VII)");
     TablePrinter table({"policy", "hierarchy", "mean cycles",

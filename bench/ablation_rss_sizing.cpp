@@ -14,7 +14,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
 
     printBanner("Ablation: RSS sizing distribution (skewed vs normal)");
     const auto baseline = bench::evaluatePolicy(

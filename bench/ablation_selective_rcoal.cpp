@@ -58,7 +58,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
     constexpr std::uint32_t kLastRoundOnly =
         1u << static_cast<unsigned>(sim::AccessTag::LastRoundLookup);
 

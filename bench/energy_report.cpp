@@ -13,7 +13,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv, 10);
+    const unsigned samples = bench::parseBenchArgs(argc, argv, 10).samples;
 
     printBanner("Energy per 32-line AES encryption (first-order model)");
     const sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();

@@ -17,7 +17,7 @@ main(int argc, char **argv)
     // Byte-level recovery at paper-scale samples is marginal in our
     // noisier DRAM model; 400 samples makes Fig. 6a unambiguous (see
     // EXPERIMENTS.md).
-    const unsigned samples = bench::samplesFromArgs(argc, argv, 400);
+    const unsigned samples = bench::parseBenchArgs(argc, argv, 400).samples;
 
     printBanner("Fig. 6a: coalescing ENABLED - baseline attack, key byte 0");
     const auto enabled = bench::evaluatePolicy(

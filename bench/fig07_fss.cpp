@@ -13,7 +13,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
 
     printBanner("Fig. 7: FSS vs num-subwarp (baseline attack)");
     TablePrinter table({"num-subwarp", "exec time (cycles)",

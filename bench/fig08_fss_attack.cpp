@@ -14,7 +14,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
 
     printBanner("Fig. 8: FSS defense vs FSS attack (key byte 0 scatter)");
     const auto true_key = [&] {

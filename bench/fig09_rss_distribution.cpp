@@ -31,7 +31,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned draws = bench::samplesFromArgs(argc, argv, 1000);
+    const unsigned draws = bench::parseBenchArgs(argc, argv, 1000).samples;
 
     printBanner("Fig. 9: RSS subwarp-size distributions (M = 4, N = 32)");
 

@@ -40,8 +40,9 @@ show(const char *label, const core::SubwarpPartition &partition)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    rcoal::bench::parseBenchArgs(argc, argv, 1);
     printBanner("Fig. 2: effect of subwarps on memory coalescing");
     show("Case 1: num-subwarp = 1", core::SubwarpPartition::single(4));
     show("Case 2: num-subwarp = 2",

@@ -13,7 +13,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
     bench::runScatterFigure(
         "Fig. 12: FSS+RTS defense vs FSS+RTS attack",
         [](unsigned m) { return core::CoalescingPolicy::fss(m, true); },

@@ -13,7 +13,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
     bench::runScatterFigure(
         "Fig. 13: RSS defense vs RSS attack",
         [](unsigned m) { return core::CoalescingPolicy::rss(m); },

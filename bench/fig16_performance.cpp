@@ -13,7 +13,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv, 20);
+    const unsigned samples = bench::parseBenchArgs(argc, argv, 20).samples;
 
     const auto baseline = bench::evaluatePolicy(
         core::CoalescingPolicy::baseline(), samples);

@@ -16,7 +16,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::samplesFromArgs(argc, argv);
+    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
 
     const auto baseline = bench::evaluatePolicy(
         core::CoalescingPolicy::baseline(), samples);

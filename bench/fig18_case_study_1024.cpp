@@ -17,7 +17,7 @@ main(int argc, char **argv)
     using namespace rcoal;
     // 1024-line launches are ~30x costlier than 32-line ones; default
     // to 60 samples (override with --samples).
-    const unsigned samples = bench::samplesFromArgs(argc, argv, 60);
+    const unsigned samples = bench::parseBenchArgs(argc, argv, 60).samples;
     constexpr unsigned kLines = 1024;
 
     std::printf("Fig. 18: simulating %u x 1024-line encryptions per "

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The correlation attack, re-mounted against the rcoal::serve frontend
+ * under background load.
+ *
+ * The paper's attacker enjoys a dedicated device: every probe runs
+ * alone, so the measured last-round window is exactly the probe's own.
+ * A production encryption service looks different — probes are batched
+ * with co-tenant requests and their kernels share the machine with
+ * co-resident kernels. This driver quantifies how much that serving
+ * structure alone (no RCoal, baseline coalescing) dilutes the timing
+ * channel, per batching policy and background-load level, next to the
+ * latency/throughput cost the operator pays.
+ *
+ * Each (policy, load) scenario is an independent single-threaded
+ * simulation; scenarios spread over the bench pool, and every number
+ * printed is byte-identical for any RCOAL_THREADS.
+ */
+
+#include <cstdio>
+
+#include "rcoal/attack/served_attack.hpp"
+#include "support/bench_support.hpp"
+
+namespace {
+
+using namespace rcoal;
+
+/** One (batching policy, background load) cell of the sweep. */
+struct Scenario
+{
+    serve::BatchPolicy policy;
+    const char *loadName;
+    double meanGapCycles; ///< 0 = no background traffic.
+    std::vector<unsigned> lineChoices; ///< Background request sizes.
+};
+
+/**
+ * The two offered-load levels above zero. Light traffic is sparse and
+ * small (probes are occasionally batched with, or co-resident with, a
+ * one-warp tenant); heavy traffic saturates the queue with mixed sizes.
+ */
+const std::vector<unsigned> kLightSizes = {32};
+const std::vector<unsigned> kHeavySizes = {32, 64, 96, 128};
+
+/** A scenario's results: the operator's view and the attacker's. */
+struct ScenarioResult
+{
+    Scenario scenario;
+    serve::ServeReport report;
+    attack::KeyAttackResult attack;
+    double serveSeconds = 0.0;
+    double attackSeconds = 0.0;
+};
+
+ScenarioResult
+runScenario(const Scenario &scenario, std::size_t index,
+            unsigned probe_samples, std::uint64_t root_seed)
+{
+    // Everything below derives from (root_seed, index) only, so the
+    // scenario is a pure function of its cell regardless of which
+    // worker runs it.
+    sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+    gpu.seed = Rng::deriveSeed(root_seed, index + 1);
+
+    serve::ServeConfig cfg;
+    cfg.batchPolicy = scenario.policy;
+    cfg.queueCapacity = 64;
+    cfg.maxBatchRequests = 4;
+    cfg.batchTimeoutCycles = 3000;
+    cfg.smsPerKernel = 5;
+
+    serve::WorkloadSpec spec;
+    spec.probeSamples = probe_samples;
+    spec.probeLines = 32;
+    // Probe plaintext stream root = the solo harness's plaintext seed,
+    // so the attacker submits the same probe sequence in both worlds.
+    spec.probeSeed = 7;
+    spec.probeThinkCycles = 200;
+    spec.backgroundMeanGapCycles = scenario.meanGapCycles;
+    spec.backgroundLineChoices = scenario.lineChoices;
+    spec.backgroundSeed = Rng::deriveSeed(root_seed, 1000 + index);
+
+    ScenarioResult result;
+    result.scenario = scenario;
+
+    auto start = std::chrono::steady_clock::now();
+    auto set = attack::collectSamplesServed(gpu, cfg, bench::victimKey(),
+                                            spec);
+    result.serveSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    // The strong attacker clamps wildly slow probes (those that hit
+    // co-tenant traffic) before correlating; see winsorizeObservations.
+    attack::winsorizeObservations(set.observations,
+                                  attack::MeasurementVector::LastRoundTime);
+
+    attack::AttackConfig attack_cfg;
+    attack_cfg.assumedPolicy = gpu.policy; // Baseline coalescing.
+    attack_cfg.measurement = attack::MeasurementVector::LastRoundTime;
+    const attack::CorrelationAttack attacker(attack_cfg);
+    attack::EncryptionService reference(gpu, bench::victimKey());
+
+    start = std::chrono::steady_clock::now();
+    // Serial attack: the scenarios themselves are the parallel axis.
+    result.attack =
+        attacker.attackKey(set.observations, reference.lastRoundKey());
+    result.attackSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    result.report = std::move(set.report);
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = rcoal::bench::parseBenchArgs(argc, argv, 48);
+
+    printBanner("Serve: correlation attack under background load");
+    std::printf(
+        "victim: baseline coalescing, AES-128, %u probe samples; "
+        "probes batched with open-loop background traffic\n\n",
+        opts.samples);
+
+    const std::vector<Scenario> scenarios = {
+        {serve::BatchPolicy::Fcfs, "none", 0.0, {}},
+        {serve::BatchPolicy::Fcfs, "light", 20000.0, kLightSizes},
+        {serve::BatchPolicy::Fcfs, "heavy", 1500.0, kHeavySizes},
+        {serve::BatchPolicy::BatchFill, "none", 0.0, {}},
+        {serve::BatchPolicy::BatchFill, "light", 20000.0, kLightSizes},
+        {serve::BatchPolicy::BatchFill, "heavy", 1500.0, kHeavySizes},
+        {serve::BatchPolicy::Sjf, "none", 0.0, {}},
+        {serve::BatchPolicy::Sjf, "light", 20000.0, kLightSizes},
+        {serve::BatchPolicy::Sjf, "heavy", 1500.0, kHeavySizes},
+    };
+
+    const auto results = rcoal::bench::benchPool().parallelMap(
+        scenarios.size(), [&](std::size_t i) {
+            return runScenario(scenarios[i], i, opts.samples, opts.seed);
+        });
+
+    rcoal::TablePrinter table(
+        {"policy", "load", "probe p50", "p95", "p99", "req/s",
+         "queue", "SM%", "rej", "req/batch", "avg corr", "bytes"});
+    for (const auto &r : results) {
+        const auto &probe = r.report.probeLatency;
+        table.addRow(
+            {serve::batchPolicyName(r.scenario.policy),
+             r.scenario.loadName,
+             rcoal::TablePrinter::num(probe.p50, 0),
+             rcoal::TablePrinter::num(probe.p95, 0),
+             rcoal::TablePrinter::num(probe.p99, 0),
+             rcoal::TablePrinter::num(r.report.throughputReqPerSec, 0),
+             rcoal::TablePrinter::num(r.report.meanQueueDepth, 2),
+             rcoal::TablePrinter::num(r.report.smOccupancy * 100.0, 1),
+             rcoal::TablePrinter::num(
+                 static_cast<std::int64_t>(r.report.rejected)),
+             rcoal::TablePrinter::num(r.report.meanBatchRequests, 2),
+             rcoal::TablePrinter::num(
+                 r.attack.avgCorrectCorrelation, 4),
+             rcoal::TablePrinter::num(r.attack.bytesRecovered) + "/16"});
+    }
+    table.print();
+
+    // The security claim this driver exists to check: more background
+    // load never helps the attacker. Scenarios are grouped per policy
+    // in load order (none, light, heavy).
+    std::printf("\nleakage vs load (avg correct-guess correlation):\n");
+    bool monotone = true;
+    for (std::size_t base = 0; base < results.size(); base += 3) {
+        const auto &policy_name = serve::batchPolicyName(
+            results[base].scenario.policy);
+        double previous = results[base].attack.avgCorrectCorrelation;
+        std::printf("  %-9s %+0.4f", policy_name, previous);
+        for (std::size_t i = base + 1; i < base + 3; ++i) {
+            const double corr =
+                results[i].attack.avgCorrectCorrelation;
+            std::printf(" -> %+0.4f", corr);
+            if (corr > previous)
+                monotone = false;
+            previous = corr;
+        }
+        std::printf("\n");
+    }
+    std::printf("  correlation non-increasing with load: %s\n",
+                monotone ? "yes" : "NO");
+
+    for (const auto &r : results) {
+        rcoal::bench::engineReport().record(
+            "serve", r.report.completed.size(), r.serveSeconds);
+        rcoal::bench::engineReport().record("attack", 16 * 256,
+                                            r.attackSeconds);
+    }
+    rcoal::bench::writeEngineReport();
+    return 0;
+}

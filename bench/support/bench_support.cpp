@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
 #include "rcoal/common/logging.hpp"
 
@@ -22,6 +25,48 @@ secondsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Existing per-driver entries of a v2 report file, in file order. Each
+ * entry is the single JSON-object line the driver wrote. Older schemas
+ * (and unreadable files) yield an empty list — their layout predates
+ * per-driver keying, so there is nothing mergeable to preserve.
+ */
+std::vector<std::pair<std::string, std::string>>
+readDriverEntries(const std::string &path)
+{
+    std::vector<std::pair<std::string, std::string>> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    if (text.find("\"rcoal-engine-report-v2\"") == std::string::npos)
+        return entries;
+
+    // Entries are written one per line as:  "<driver>": {...},
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto quote = line.find("    \"");
+        if (quote != 0)
+            continue;
+        const auto name_end = line.find('"', 5);
+        if (name_end == std::string::npos)
+            continue;
+        const auto brace = line.find('{', name_end);
+        if (brace == std::string::npos)
+            continue;
+        auto object_end = line.find_last_of('}');
+        if (object_end == std::string::npos || object_end < brace)
+            continue;
+        entries.emplace_back(
+            line.substr(5, name_end - 5),
+            line.substr(brace, object_end - brace + 1));
+    }
+    return entries;
 }
 
 } // namespace
@@ -62,65 +107,81 @@ EngineReport::merge(const std::string &phase, std::uint64_t items,
 }
 
 void
-EngineReport::writeJson(const std::string &path) const
+EngineReport::writeJson(const std::string &path,
+                        const std::string &driver) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        fatal("cannot write engine report to '%s'", path.c_str());
+    // Assemble this driver's entry as one line so the merge below can
+    // treat the file as a line-per-driver key/value store.
+    std::string entry = strprintf(
+        "{\"threads\": %u, \"hardware_concurrency\": %u, ",
+        benchPool().size(), std::thread::hardware_concurrency());
 
-    std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema\": \"rcoal-engine-report-v1\",\n");
-    std::fprintf(f, "  \"threads\": %u,\n", benchPool().size());
-    std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"phases\": {\n");
+    entry += "\"phases\": {";
     double total_wall = 0.0;
     for (std::size_t i = 0; i < phases.size(); ++i) {
         const Phase &p = phases[i];
         const double wall = p.wallSeconds.sum();
         total_wall += wall;
-        std::fprintf(
-            f,
-            "    \"%s\": {\"calls\": %zu, \"items\": %llu, "
+        entry += strprintf(
+            "\"%s\": {\"calls\": %zu, \"items\": %llu, "
             "\"wall_seconds\": %.6f, \"mean_call_seconds\": %.6f, "
             "\"min_call_seconds\": %.6f, \"max_call_seconds\": %.6f, "
-            "\"items_per_second\": %.3f}%s\n",
+            "\"items_per_second\": %.3f}%s",
             p.name.c_str(), p.wallSeconds.count(),
             static_cast<unsigned long long>(p.items), wall,
             p.wallSeconds.mean(),
             p.wallSeconds.count() ? p.wallSeconds.min() : 0.0,
             p.wallSeconds.count() ? p.wallSeconds.max() : 0.0,
             wall > 0.0 ? static_cast<double>(p.items) / wall : 0.0,
-            i + 1 < phases.size() ? "," : "");
+            i + 1 < phases.size() ? ", " : "");
     }
-    std::fprintf(f, "  },\n");
-    std::fprintf(f, "  \"total_wall_seconds\": %.6f,\n", total_wall);
+    entry += strprintf("}, \"total_wall_seconds\": %.6f, ", total_wall);
 
-    // Per-worker engine totals: how evenly the sweep spread. Folding
-    // them through RunningStats keeps the report robust to any worker
-    // count (including the serial 1-thread engine).
+    // Per-worker engine totals summarized: how evenly the sweep
+    // spread. Folding them through RunningStats keeps the report
+    // robust to any worker count (including the serial 1-thread
+    // engine).
     RunningStats tasks_per_worker;
     RunningStats busy_per_worker;
-    std::fprintf(f, "  \"workers\": [\n");
-    const auto workers = benchPool().workerStats();
-    for (std::size_t w = 0; w < workers.size(); ++w) {
-        tasks_per_worker.push(static_cast<double>(workers[w].tasks));
-        busy_per_worker.push(workers[w].busySeconds);
-        std::fprintf(f,
-                     "    {\"tasks\": %llu, \"busy_seconds\": %.6f}%s\n",
-                     static_cast<unsigned long long>(workers[w].tasks),
-                     workers[w].busySeconds,
-                     w + 1 < workers.size() ? "," : "");
+    for (const auto &worker : benchPool().workerStats()) {
+        tasks_per_worker.push(static_cast<double>(worker.tasks));
+        busy_per_worker.push(worker.busySeconds);
     }
-    std::fprintf(f, "  ],\n");
-    std::fprintf(f,
-                 "  \"worker_tasks\": {\"mean\": %.1f, \"min\": %.0f, "
-                 "\"max\": %.0f},\n",
-                 tasks_per_worker.mean(),
-                 tasks_per_worker.count() ? tasks_per_worker.min() : 0.0,
-                 tasks_per_worker.count() ? tasks_per_worker.max() : 0.0);
-    std::fprintf(f, "  \"worker_busy_seconds_total\": %.6f\n",
-                 busy_per_worker.sum());
+    entry += strprintf(
+        "\"workers\": %zu, "
+        "\"worker_tasks\": {\"mean\": %.1f, \"min\": %.0f, "
+        "\"max\": %.0f}, "
+        "\"worker_busy_seconds_total\": %.6f}",
+        tasks_per_worker.count(), tasks_per_worker.mean(),
+        tasks_per_worker.count() ? tasks_per_worker.min() : 0.0,
+        tasks_per_worker.count() ? tasks_per_worker.max() : 0.0,
+        busy_per_worker.sum());
+
+    // Merge: replace (or append) only this driver's entry.
+    auto entries = readDriverEntries(path);
+    bool replaced = false;
+    for (auto &existing : entries) {
+        if (existing.first == driver) {
+            existing.second = entry;
+            replaced = true;
+            break;
+        }
+    }
+    if (!replaced)
+        entries.emplace_back(driver, entry);
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write engine report to '%s'", path.c_str());
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema\": \"rcoal-engine-report-v2\",\n");
+    std::fprintf(f, "  \"drivers\": {\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::fprintf(f, "    \"%s\": %s%s\n", entries[i].first.c_str(),
+                     entries[i].second.c_str(),
+                     i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
 }
@@ -135,9 +196,10 @@ engineReport()
 void
 writeEngineReport(const std::string &path)
 {
-    engineReport().writeJson(path);
-    std::printf("\n[engine] %u thread(s); wrote %s\n", benchPool().size(),
-                path.c_str());
+    engineReport().writeJson(path, benchDriverName());
+    std::printf("\n[engine] %u thread(s); wrote %s entry '%s'\n",
+                benchPool().size(), path.c_str(),
+                benchDriverName().c_str());
 }
 
 const std::array<std::uint8_t, 16> &
@@ -156,18 +218,6 @@ paperSubwarpCounts()
 {
     static const std::vector<unsigned> counts = {1, 2, 4, 8, 16, 32};
     return counts;
-}
-
-unsigned
-samplesFromArgs(int argc, char **argv, unsigned fallback)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc)
-            return static_cast<unsigned>(std::atoi(argv[i + 1]));
-    }
-    if (argc >= 2 && std::atoi(argv[1]) > 0)
-        return static_cast<unsigned>(std::atoi(argv[1]));
-    return fallback;
 }
 
 std::vector<attack::EncryptionObservation>

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "rcoal/attack/correlation_attack.hpp"
 #include "rcoal/common/stats.hpp"
 #include "rcoal/common/table_printer.hpp"
@@ -49,11 +50,16 @@ class EngineReport
                const RunningStats &wall_seconds);
 
     /**
-     * Write the machine-readable report (BENCH_engine.json schema):
-     * engine sizing, per-phase wall-clock stats and throughput, and
-     * the pool's per-worker task/busy totals.
+     * Write the machine-readable report (BENCH_engine.json, schema
+     * rcoal-engine-report-v2): engine sizing, per-phase wall-clock
+     * stats and throughput, and worker-balance summaries.
+     *
+     * The file keys one entry per driver under "drivers" and is merged
+     * on write: this run replaces only its own @p driver entry, so
+     * running fig05 no longer clobbers fig08's record.
      */
-    void writeJson(const std::string &path) const;
+    void writeJson(const std::string &path,
+                   const std::string &driver) const;
 
   private:
     struct Phase
@@ -72,8 +78,9 @@ class EngineReport
 EngineReport &engineReport();
 
 /**
- * Emit BENCH_engine.json (or @p path) and print a one-line summary.
- * Call at the end of a driver's main().
+ * Emit this driver's entry into BENCH_engine.json (or @p path) and
+ * print a one-line summary. Call at the end of a driver's main(); the
+ * entry is keyed by benchDriverName() (recorded by parseBenchArgs()).
  */
 void writeEngineReport(const std::string &path = "BENCH_engine.json");
 
@@ -86,9 +93,12 @@ const std::vector<unsigned> &paperSubwarpCounts();
 /** Default sample count (the paper demonstrates with 100 plaintexts). */
 inline constexpr unsigned kDefaultSamples = 100;
 
-/** Parse "--samples N" / first positional argument, else fallback. */
-unsigned samplesFromArgs(int argc, char **argv,
-                         unsigned fallback = kDefaultSamples);
+/** parseBenchArgs() with the standard default sample count. */
+inline CliOptions
+parseBenchArgs(int argc, char **argv)
+{
+    return parseBenchArgs(argc, argv, kDefaultSamples);
+}
 
 /** Aggregate result of evaluating one policy under its attack. */
 struct PolicyEvaluation
@@ -128,13 +138,14 @@ PolicyEvaluation evaluatePolicy(
     unsigned lines = 32,
     attack::MeasurementVector measurement =
         attack::MeasurementVector::LastRoundTime,
-    std::uint64_t victim_seed = 42, std::uint64_t plaintext_seed = 7);
+    std::uint64_t victim_seed = benchSeed(),
+    std::uint64_t plaintext_seed = 7);
 
 /** Collect observations only (no attack), on benchPool(). */
 std::vector<attack::EncryptionObservation>
 collectObservations(const core::CoalescingPolicy &policy,
                     unsigned samples, unsigned lines = 32,
-                    std::uint64_t victim_seed = 42,
+                    std::uint64_t victim_seed = benchSeed(),
                     std::uint64_t plaintext_seed = 7);
 
 /**

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bench CLI implementation.
+ */
+
+#include "cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::bench {
+
+namespace {
+
+std::uint64_t current_seed = 42;
+std::string current_driver = "bench";
+
+/** basename without directories (no libgen dependency). */
+std::string
+baseName(const char *argv0)
+{
+    std::string name = argv0 != nullptr ? argv0 : "bench";
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name.empty() ? "bench" : name;
+}
+
+[[noreturn]] void
+printUsage(const std::string &driver, unsigned default_samples)
+{
+    std::printf("usage: %s [N | --samples N] [--seed S] [--threads T]\n"
+                "  --samples N   sample count (default %u)\n"
+                "  --seed S      victim GPU seed (default 42)\n"
+                "  --threads T   engine worker count "
+                "(default: RCOAL_THREADS or hardware)\n",
+                driver.c_str(), default_samples);
+    std::exit(0);
+}
+
+/** Parse the numeric value of flag @p flag or die with context. */
+std::uint64_t
+numericValue(const char *flag, const char *value)
+{
+    if (value == nullptr)
+        fatal("%s requires a value", flag);
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        fatal("%s expects a number, got '%s'", flag, value);
+    return parsed;
+}
+
+} // namespace
+
+CliOptions
+parseBenchArgs(int argc, char **argv, unsigned default_samples)
+{
+    CliOptions opts;
+    opts.driver = baseName(argc > 0 ? argv[0] : nullptr);
+    opts.samples = default_samples;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            printUsage(opts.driver, default_samples);
+        } else if (std::strcmp(arg, "--samples") == 0) {
+            opts.samples =
+                static_cast<unsigned>(numericValue(arg, value));
+            ++i;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opts.seed = numericValue(arg, value);
+            ++i;
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            opts.threads =
+                static_cast<unsigned>(numericValue(arg, value));
+            if (opts.threads == 0)
+                fatal("--threads must be positive");
+            ++i;
+        } else if (i == 1 && arg[0] != '-' && std::atoi(arg) > 0) {
+            // Historical form: first positional argument = samples.
+            opts.samples = static_cast<unsigned>(std::atoi(arg));
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg);
+        }
+    }
+
+    if (opts.samples == 0)
+        fatal("--samples must be positive");
+    if (opts.threads > 0) {
+        // The global pool reads RCOAL_THREADS lazily on first use, so
+        // exporting here (before any pool call) is race-free.
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%u", opts.threads);
+        setenv("RCOAL_THREADS", buf, 1);
+    }
+
+    current_seed = opts.seed;
+    current_driver = opts.driver;
+    return opts;
+}
+
+std::uint64_t
+benchSeed()
+{
+    return current_seed;
+}
+
+const std::string &
+benchDriverName()
+{
+    return current_driver;
+}
+
+} // namespace rcoal::bench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared command-line handling for the bench drivers.
+ *
+ * Every driver accepts the same small flag set:
+ *
+ *   --samples N   sample count (also accepted as the first positional
+ *                 argument, the historical form)
+ *   --seed S      victim GPU seed (default 42, the fixed seed every
+ *                 figure has always used)
+ *   --threads T   engine worker count (sets RCOAL_THREADS; must come
+ *                 before the pool spins up, which parseBenchArgs
+ *                 guarantees when called first thing in main())
+ *   --help        usage
+ *
+ * Parsing also records the driver's name (basename of argv[0]) so the
+ * engine report can key its entry per driver instead of clobbering the
+ * whole file.
+ */
+
+#ifndef RCOAL_BENCH_CLI_HPP
+#define RCOAL_BENCH_CLI_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace rcoal::bench {
+
+/** Parsed common options. */
+struct CliOptions
+{
+    std::string driver; ///< basename(argv[0]).
+    unsigned samples = 0;
+    std::uint64_t seed = 42;
+    unsigned threads = 0; ///< 0 = RCOAL_THREADS / hardware default.
+};
+
+/**
+ * Parse the shared flags; fatal()s on malformed or unknown arguments,
+ * prints usage and exits 0 on --help. @p default_samples seeds the
+ * samples field when neither --samples nor a positional count is given.
+ *
+ * Side effects: exports --threads into RCOAL_THREADS (before the lazy
+ * global pool is created) and records driver/seed for benchSeed() and
+ * the engine report.
+ */
+CliOptions parseBenchArgs(int argc, char **argv,
+                          unsigned default_samples);
+
+/**
+ * The victim seed of the current run: --seed if given, else 42.
+ * evaluatePolicy()/collectObservations() default to it.
+ */
+std::uint64_t benchSeed();
+
+/** Driver name recorded by parseBenchArgs(); "bench" before that. */
+const std::string &benchDriverName();
+
+} // namespace rcoal::bench
+
+#endif // RCOAL_BENCH_CLI_HPP

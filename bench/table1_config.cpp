@@ -11,9 +11,11 @@
 #include "support/bench_support.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rcoal;
+
+    bench::parseBenchArgs(argc, argv, 1);
 
     printBanner("Table I: simulated GPU configuration");
     const sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();

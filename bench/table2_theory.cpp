@@ -10,11 +10,14 @@
 
 #include "rcoal/common/table_printer.hpp"
 #include "rcoal/theory/security_model.hpp"
+#include "support/bench_support.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rcoal;
+
+    bench::parseBenchArgs(argc, argv, 1);
 
     printBanner("Table II: theoretical security analysis (N=32, R=16)");
 

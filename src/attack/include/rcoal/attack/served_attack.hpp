@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The attack, mounted against the serving frontend instead of a
+ * dedicated GPU.
+ *
+ * In the one-shot harness (EncryptionService) every attacker probe runs
+ * alone on a cold device, so the measured last-round window is exactly
+ * the probe's own. Behind rcoal::serve the probe is batched with
+ * co-tenant requests and its kernel contends with co-resident kernels
+ * for DRAM and the interconnect — both dilute the timing channel. These
+ * helpers run the served experiment and convert its probe completions
+ * into the observation format the correlation attack consumes, so the
+ * identical attack code evaluates both worlds.
+ */
+
+#ifndef RCOAL_ATTACK_SERVED_ATTACK_HPP
+#define RCOAL_ATTACK_SERVED_ATTACK_HPP
+
+#include <span>
+#include <vector>
+
+#include "rcoal/attack/encryption_service.hpp"
+#include "rcoal/serve/server.hpp"
+
+namespace rcoal::attack {
+
+/**
+ * Observations of the probe requests in @p report, ordered by probe
+ * request id — i.e. by plaintext stream index, matching the solo
+ * harness's observation order.
+ */
+std::vector<EncryptionObservation>
+probeObservations(const serve::ServeReport &report);
+
+/** One served attack experiment: the attacker's view plus the
+ * operator's view of the same run. */
+struct ServedSampleSet
+{
+    std::vector<EncryptionObservation> observations;
+    serve::ServeReport report;
+};
+
+/**
+ * Run the serving scenario (@p gpu, @p serve_config, @p spec) with
+ * secret @p key and collect the probe observations. Single-threaded
+ * and deterministic; parallelize across scenarios, not within one.
+ */
+ServedSampleSet
+collectSamplesServed(const sim::GpuConfig &gpu,
+                     const serve::ServeConfig &serve_config,
+                     std::span<const std::uint8_t> key,
+                     const serve::WorkloadSpec &spec);
+
+/**
+ * The strong attacker's outlier control: clamp (winsorize) the
+ * @p which series of @p observations to median +- @p k_mad median
+ * absolute deviations.
+ *
+ * Against a serving frontend a minority of probes come back wildly
+ * slow — they were batched with, or ran beside, a co-tenant — and a
+ * single such measurement carries enough leverage to drown the
+ * correlation an attacker could still extract from the clean majority.
+ * Clamping restores that residual channel, so leakage-under-load
+ * numbers measure the dilution itself rather than Pearson's outlier
+ * sensitivity. Under saturation the median itself is contaminated and
+ * clamping recovers nothing; no-load series are nearly untouched (only
+ * genuine signal tails graze the bound).
+ */
+void winsorizeObservations(std::vector<EncryptionObservation> &observations,
+                           MeasurementVector which, double k_mad = 3.0);
+
+} // namespace rcoal::attack
+
+#endif // RCOAL_ATTACK_SERVED_ATTACK_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Served-attack helpers.
+ */
+
+#include "rcoal/attack/served_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcoal::attack {
+
+std::vector<EncryptionObservation>
+probeObservations(const serve::ServeReport &report)
+{
+    std::vector<const serve::CompletedRequest *> probes;
+    for (const serve::CompletedRequest &done : report.completed) {
+        if (done.isProbe)
+            probes.push_back(&done);
+    }
+    // Completion order can differ from submission order (a later probe
+    // may ride a faster batch); the attack pairs observation i with
+    // plaintext stream i, so order by id.
+    std::sort(probes.begin(), probes.end(),
+              [](const auto *a, const auto *b) { return a->id < b->id; });
+
+    std::vector<EncryptionObservation> out;
+    out.reserve(probes.size());
+    for (const serve::CompletedRequest *done : probes) {
+        EncryptionObservation obs;
+        obs.ciphertext = done->ciphertext;
+        obs.totalTime = done->kernelTotalTime;
+        obs.lastRoundTime = done->kernelLastRoundTime;
+        obs.lastRoundAccesses = done->kernelLastRoundAccesses;
+        obs.totalAccesses = done->kernelTotalAccesses;
+        out.push_back(std::move(obs));
+    }
+    return out;
+}
+
+namespace {
+
+/** Median of @p values (copied; non-empty). */
+double
+medianOf(std::vector<double> values)
+{
+    const auto mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    const double upper = values[mid];
+    if (values.size() % 2 == 1)
+        return upper;
+    std::nth_element(values.begin(), values.begin() + mid - 1,
+                     values.begin() + mid);
+    return (values[mid - 1] + upper) / 2.0;
+}
+
+} // namespace
+
+void
+winsorizeObservations(std::vector<EncryptionObservation> &observations,
+                      MeasurementVector which, double k_mad)
+{
+    if (observations.size() < 3)
+        return;
+    const std::vector<double> series =
+        measurementSeries(observations, which);
+    const double median = medianOf(series);
+    std::vector<double> deviations;
+    deviations.reserve(series.size());
+    for (double v : series)
+        deviations.push_back(std::abs(v - median));
+    const double mad = medianOf(std::move(deviations));
+    if (mad <= 0.0)
+        return; // Degenerate series; nothing to bound against.
+
+    const double lo = median - k_mad * mad;
+    const double hi = median + k_mad * mad;
+    for (std::size_t i = 0; i < observations.size(); ++i) {
+        const double clamped = std::clamp(series[i], lo, hi);
+        switch (which) {
+          case MeasurementVector::TotalTime:
+            observations[i].totalTime = clamped;
+            break;
+          case MeasurementVector::LastRoundTime:
+            observations[i].lastRoundTime = clamped;
+            break;
+          case MeasurementVector::ObservedLastRoundAccesses:
+            observations[i].lastRoundAccesses =
+                static_cast<std::uint64_t>(clamped);
+            break;
+        }
+    }
+}
+
+ServedSampleSet
+collectSamplesServed(const sim::GpuConfig &gpu,
+                     const serve::ServeConfig &serve_config,
+                     std::span<const std::uint8_t> key,
+                     const serve::WorkloadSpec &spec)
+{
+    const serve::EncryptionServer server(gpu, serve_config, key);
+    ServedSampleSet set;
+    set.report = server.run(spec);
+    set.observations = probeObservations(set.report);
+    return set;
+}
+
+} // namespace rcoal::attack

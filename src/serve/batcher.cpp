@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Batcher implementation.
+ */
+
+#include "rcoal/serve/batcher.hpp"
+
+namespace rcoal::serve {
+
+Batcher::Batcher(const ServeConfig &config)
+    : policy(config.batchPolicy),
+      maxRequests(config.maxBatchRequests),
+      timeoutCycles(config.batchTimeoutCycles)
+{
+}
+
+std::vector<Request>
+Batcher::popOldest(RequestQueue &queue) const
+{
+    std::vector<Request> batch;
+    while (!queue.empty() && batch.size() < maxRequests)
+        batch.push_back(queue.popFront());
+    return batch;
+}
+
+std::vector<Request>
+Batcher::popSmallest(RequestQueue &queue) const
+{
+    std::vector<Request> batch;
+    while (!queue.empty() && batch.size() < maxRequests) {
+        // Scan for the fewest-lines request; the first (oldest) wins
+        // ties, which keeps the selection deterministic and starvation
+        // bounded by the line-count distribution rather than arrival
+        // interleaving.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < queue.size(); ++i) {
+            if (queue.peek(i).lines() < queue.peek(best).lines())
+                best = i;
+        }
+        batch.push_back(queue.popAt(best));
+    }
+    return batch;
+}
+
+std::vector<Request>
+Batcher::formBatch(RequestQueue &queue, Cycle now) const
+{
+    if (queue.empty())
+        return {};
+    switch (policy) {
+      case BatchPolicy::Fcfs:
+        return popOldest(queue);
+      case BatchPolicy::BatchFill:
+        // Launch a partial batch only once its oldest member has aged
+        // past the deadline; otherwise hold out for a full one.
+        if (queue.size() < maxRequests &&
+            now - queue.oldestArrival() < timeoutCycles) {
+            return {};
+        }
+        return popOldest(queue);
+      case BatchPolicy::Sjf:
+        return popSmallest(queue);
+    }
+    return {};
+}
+
+} // namespace rcoal::serve

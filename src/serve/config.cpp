@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ServeConfig validation and description.
+ */
+
+#include "rcoal/serve/config.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::serve {
+
+const char *
+batchPolicyName(BatchPolicy policy)
+{
+    switch (policy) {
+      case BatchPolicy::Fcfs:
+        return "FCFS";
+      case BatchPolicy::BatchFill:
+        return "BatchFill";
+      case BatchPolicy::Sjf:
+        return "SJF";
+    }
+    return "?";
+}
+
+void
+ServeConfig::validate(const sim::GpuConfig &gpu) const
+{
+    if (queueCapacity == 0) {
+        fatal("serve queueCapacity must be positive (got 0): a service "
+              "with no queue slots rejects every request");
+    }
+    if (maxBatchRequests == 0) {
+        fatal("serve maxBatchRequests must be positive (got 0): a batch "
+              "must hold at least one request");
+    }
+    if (smsPerKernel == 0) {
+        fatal("serve smsPerKernel must be positive (got 0): a kernel "
+              "gang needs at least one SM");
+    }
+    if (smsPerKernel > gpu.numSms) {
+        fatal("serve smsPerKernel (%u) exceeds the GPU's %u SMs; no "
+              "kernel gang would fit",
+              smsPerKernel, gpu.numSms);
+    }
+    if (batchPolicy == BatchPolicy::BatchFill && batchTimeoutCycles == 0) {
+        fatal("serve batchTimeoutCycles must be positive under the "
+              "BatchFill policy (got 0): a zero deadline degenerates to "
+              "FCFS; use BatchPolicy::Fcfs explicitly instead");
+    }
+    if (maxSimCycles == 0)
+        fatal("serve maxSimCycles must be positive (got 0)");
+}
+
+std::string
+ServeConfig::describe(const sim::GpuConfig &gpu) const
+{
+    return strprintf(
+        "serve: queue %zu, policy %s (batch<=%u, timeout %llu), "
+        "%u gangs x %u SMs",
+        queueCapacity, batchPolicyName(batchPolicy), maxBatchRequests,
+        static_cast<unsigned long long>(batchTimeoutCycles), numGangs(gpu),
+        smsPerKernel);
+}
+
+} // namespace rcoal::serve

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plaintext batcher: turns queued requests into kernel-sized batches
+ * under a pluggable policy (FCFS, BatchFill with a timeout deadline,
+ * size-aware SJF). Pure virtual-time logic; the scheduler decides when
+ * a gang is free to actually launch the batch.
+ */
+
+#ifndef RCOAL_SERVE_BATCHER_HPP
+#define RCOAL_SERVE_BATCHER_HPP
+
+#include <vector>
+
+#include "rcoal/serve/config.hpp"
+#include "rcoal/serve/request_queue.hpp"
+
+namespace rcoal::serve {
+
+/**
+ * Stateless batch-forming logic over a RequestQueue.
+ */
+class Batcher
+{
+  public:
+    explicit Batcher(const ServeConfig &config);
+
+    /**
+     * Form the next batch at cycle @p now, removing its requests from
+     * @p queue; an empty result means the policy prefers to wait (or
+     * nothing is pending). Deterministic: ties are broken by queue age.
+     */
+    std::vector<Request> formBatch(RequestQueue &queue, Cycle now) const;
+
+  private:
+    std::vector<Request> popOldest(RequestQueue &queue) const;
+    std::vector<Request> popSmallest(RequestQueue &queue) const;
+
+    BatchPolicy policy;
+    unsigned maxRequests;
+    Cycle timeoutCycles;
+};
+
+} // namespace rcoal::serve
+
+#endif // RCOAL_SERVE_BATCHER_HPP

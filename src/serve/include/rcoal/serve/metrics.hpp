@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Serving metrics: per-request latency percentiles, throughput, queue
+ * depth and SM occupancy — the numbers a capacity planner reads next to
+ * the attacker correlation the security analyst reads.
+ */
+
+#ifndef RCOAL_SERVE_METRICS_HPP
+#define RCOAL_SERVE_METRICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "rcoal/serve/request.hpp"
+
+namespace rcoal::serve {
+
+/**
+ * Order statistics of a latency sample (cycles).
+ */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+
+    /** Summarize @p values (copied; empty input gives all zeros). */
+    static LatencySummary of(std::vector<double> values);
+};
+
+/**
+ * Nearest-rank percentile of @p sorted_values (ascending, non-empty).
+ */
+double percentile(const std::vector<double> &sorted_values, double p);
+
+/**
+ * Everything one serve simulation produced.
+ */
+struct ServeReport
+{
+    /** Every request that completed, in completion order. */
+    std::vector<CompletedRequest> completed;
+
+    LatencySummary probeLatency; ///< End-to-end, probe requests.
+    LatencySummary allLatency;   ///< End-to-end, every request.
+
+    Cycle totalCycles = 0;          ///< Simulated wall time.
+    double throughputReqPerSec = 0; ///< Completions per wall second.
+
+    double meanQueueDepth = 0.0;
+    std::size_t maxQueueDepth = 0;
+
+    double meanBusySms = 0.0; ///< Average SMs running a kernel.
+    unsigned maxBusySms = 0;
+    double smOccupancy = 0.0; ///< meanBusySms / numSms.
+
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t kernelsLaunched = 0;
+    double meanBatchRequests = 0.0; ///< Requests per kernel launch.
+
+    /** Multi-line human-readable dump. */
+    std::string describe() const;
+};
+
+} // namespace rcoal::serve
+
+#endif // RCOAL_SERVE_METRICS_HPP

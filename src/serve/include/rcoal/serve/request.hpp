@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The unit of work the serving frontend moves around: an encryption
+ * request (a set of 16-byte plaintext lines) and its completed form
+ * carrying the timing a client — or an attacker — can observe.
+ */
+
+#ifndef RCOAL_SERVE_REQUEST_HPP
+#define RCOAL_SERVE_REQUEST_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "rcoal/aes/aes.hpp"
+#include "rcoal/common/types.hpp"
+
+namespace rcoal::serve {
+
+/** One encryption request waiting in (or travelling toward) the queue. */
+struct Request
+{
+    std::uint64_t id = 0;
+    Cycle arrival = 0; ///< Cycle the request reached the frontend.
+    std::vector<aes::Block> plaintext;
+    bool isProbe = false; ///< Attacker probe vs. background tenant.
+    int clientId = -1;    ///< Closed-loop client index; -1 = open loop.
+
+    unsigned lines() const
+    {
+        return static_cast<unsigned>(plaintext.size());
+    }
+};
+
+/** A request after its batch's kernel retired. */
+struct CompletedRequest
+{
+    std::uint64_t id = 0;
+    bool isProbe = false;
+    int clientId = -1;
+    unsigned lines = 0;
+
+    Cycle arrival = 0;   ///< Admission into the queue.
+    Cycle launched = 0;  ///< Its batch's kernel launch cycle.
+    Cycle completed = 0; ///< Its batch's kernel retirement cycle.
+
+    /** This request's ciphertext lines (its slice of the batch). */
+    std::vector<aes::Block> ciphertext;
+
+    // Kernel-level observables of the batch that served the request
+    // (shared by every request in the batch): what the paper's strong
+    // attacker measures, now inclusive of co-tenant lines in the batch
+    // and memory contention from co-resident kernels.
+    double kernelTotalTime = 0.0;      ///< Kernel cycles.
+    double kernelLastRoundTime = 0.0;  ///< Last-round window, cycles.
+    std::uint64_t kernelLastRoundAccesses = 0;
+    std::uint64_t kernelTotalAccesses = 0;
+    unsigned batchRequests = 0; ///< Requests merged into the kernel.
+
+    Cycle queueWaitCycles() const { return launched - arrival; }
+    Cycle serviceCycles() const { return completed - launched; }
+    Cycle latencyCycles() const { return completed - arrival; }
+};
+
+} // namespace rcoal::serve
+
+#endif // RCOAL_SERVE_REQUEST_HPP

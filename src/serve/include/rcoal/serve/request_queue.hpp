@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bounded admission queue in front of the batcher.
+ *
+ * Capacity is the admission-control knob: a request arriving at a full
+ * queue is rejected (counted, and the client may retry) instead of
+ * growing an unbounded backlog. The queue is age-ordered; the batching
+ * policies either consume from the front (FCFS/BatchFill) or scan and
+ * remove by index (SJF).
+ */
+
+#ifndef RCOAL_SERVE_REQUEST_QUEUE_HPP
+#define RCOAL_SERVE_REQUEST_QUEUE_HPP
+
+#include <deque>
+
+#include "rcoal/serve/request.hpp"
+
+namespace rcoal::serve {
+
+/**
+ * Bounded FIFO of pending requests with admission statistics.
+ */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t capacity);
+
+    /**
+     * Admit @p request, or reject it (return false) when full. On
+     * rejection the request is left untouched, so the caller can hand
+     * it back to a retrying client.
+     */
+    bool tryPush(Request &&request);
+
+    /** Pending requests. */
+    std::size_t size() const { return pending.size(); }
+
+    bool empty() const { return pending.empty(); }
+
+    std::size_t capacity() const { return cap; }
+
+    /** Peek the @p index-th oldest pending request. */
+    const Request &peek(std::size_t index) const;
+
+    /** Remove and return the oldest request. */
+    Request popFront();
+
+    /** Remove and return the @p index-th oldest request (for SJF). */
+    Request popAt(std::size_t index);
+
+    /** Arrival cycle of the oldest pending request (queue non-empty). */
+    Cycle oldestArrival() const;
+
+    /** Requests admitted since construction. */
+    std::uint64_t admitted() const { return admittedCount; }
+
+    /** Requests rejected at a full queue since construction. */
+    std::uint64_t rejected() const { return rejectedCount; }
+
+  private:
+    std::deque<Request> pending;
+    std::size_t cap;
+    std::uint64_t admittedCount = 0;
+    std::uint64_t rejectedCount = 0;
+};
+
+} // namespace rcoal::serve
+
+#endif // RCOAL_SERVE_REQUEST_QUEUE_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The encryption server: one virtual-time event loop wiring the request
+ * queue, batcher, load generators and concurrent-kernel scheduler into
+ * a serving system, measured end to end.
+ *
+ * The loop is strictly single-threaded and advances in core cycles, so
+ * a scenario's result is a pure function of (GpuConfig, ServeConfig,
+ * WorkloadSpec). Parallelism belongs one level up: run independent
+ * scenarios on a thread pool; each is bit-reproducible on its own.
+ */
+
+#ifndef RCOAL_SERVE_SERVER_HPP
+#define RCOAL_SERVE_SERVER_HPP
+
+#include <span>
+#include <vector>
+
+#include "rcoal/serve/config.hpp"
+#include "rcoal/serve/metrics.hpp"
+#include "rcoal/sim/config.hpp"
+
+namespace rcoal::serve {
+
+/**
+ * Traffic offered to the server: a closed-loop probe client (the
+ * attacker, whose request i draws its plaintext from
+ * Rng::stream(probeSeed, i) — the same derivation the one-shot attack
+ * harness uses) plus optional open-loop background tenants.
+ */
+struct WorkloadSpec
+{
+    /** Run until this many probe requests completed. */
+    unsigned probeSamples = 64;
+
+    /** Plaintext lines per probe (32 = one warp in the paper). */
+    unsigned probeLines = 32;
+
+    /** Root of the probe plaintext streams. */
+    std::uint64_t probeSeed = 2024;
+
+    /** Probe client think time between completions. */
+    Cycle probeThinkCycles = 200;
+
+    /**
+     * Mean exponential interarrival gap of background requests in core
+     * cycles; <= 0 offers no background load at all.
+     */
+    double backgroundMeanGapCycles = 0.0;
+
+    /** Background request sizes (plaintext lines), drawn uniformly. */
+    std::vector<unsigned> backgroundLineChoices = {32, 64, 96, 128};
+
+    /** Root of the background randomness streams. */
+    std::uint64_t backgroundSeed = 777;
+};
+
+/**
+ * Runs one serving scenario to completion.
+ */
+class EncryptionServer
+{
+  public:
+    /**
+     * @param gpu the simulated device.
+     * @param serve frontend knobs (validated against @p gpu).
+     * @param key the service's secret AES key.
+     */
+    EncryptionServer(const sim::GpuConfig &gpu, const ServeConfig &serve,
+                     std::span<const std::uint8_t> key);
+
+    /**
+     * Simulate until @p spec.probeSamples probe requests completed and
+     * return everything measured along the way. fatal()s if the
+     * simulation passes ServeConfig::maxSimCycles.
+     */
+    ServeReport run(const WorkloadSpec &spec) const;
+
+  private:
+    sim::GpuConfig gpuConfig;
+    ServeConfig serveConfig;
+    std::vector<std::uint8_t> secretKey;
+};
+
+} // namespace rcoal::serve
+
+#endif // RCOAL_SERVE_SERVER_HPP

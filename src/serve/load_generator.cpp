@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Load generator implementations.
+ */
+
+#include "rcoal/serve/load_generator.hpp"
+
+#include <cmath>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::serve {
+
+namespace {
+
+/**
+ * Exponential interarrival gap (whole cycles, at least 1) from the
+ * first uniform draw of @p rng.
+ */
+Cycle
+exponentialGap(Rng &rng, double mean_gap)
+{
+    const double u = rng.uniform01();
+    const double gap = -mean_gap * std::log1p(-u);
+    return static_cast<Cycle>(std::max(1.0, std::floor(gap + 0.5)));
+}
+
+} // namespace
+
+OpenLoopGenerator::OpenLoopGenerator(double mean_gap_cycles,
+                                     std::vector<unsigned> line_choices,
+                                     std::uint64_t generator_seed,
+                                     std::uint64_t first_id)
+    : meanGap(mean_gap_cycles),
+      lineChoices(std::move(line_choices)),
+      seed(generator_seed),
+      nextId(first_id),
+      enabled(mean_gap_cycles > 0.0)
+{
+    RCOAL_ASSERT(!enabled || !lineChoices.empty(),
+                 "open-loop generator enabled without request sizes");
+}
+
+void
+OpenLoopGenerator::poll(Cycle now, std::vector<Request> &out)
+{
+    if (!enabled)
+        return;
+    if (!primed) {
+        Rng rng = Rng::stream(seed, issuedCount);
+        nextArrival = exponentialGap(rng, meanGap);
+        primed = true;
+    }
+    while (nextArrival <= now) {
+        // Request k owns stream (seed, k): the first draw is its
+        // interarrival gap (already consumed above / below), the rest
+        // its size and plaintext.
+        Rng rng = Rng::stream(seed, issuedCount);
+        (void)rng.uniform01(); // The gap draw.
+        const unsigned lines = lineChoices[static_cast<std::size_t>(
+            rng.below(lineChoices.size()))];
+
+        Request request;
+        request.id = nextId++;
+        request.arrival = now;
+        request.plaintext = workloads::randomPlaintext(lines, rng);
+        request.isProbe = false;
+        request.clientId = -1;
+        out.push_back(std::move(request));
+        ++issuedCount;
+
+        Rng next_rng = Rng::stream(seed, issuedCount);
+        nextArrival += exponentialGap(next_rng, meanGap);
+    }
+}
+
+ClosedLoopGenerator::ClosedLoopGenerator(unsigned clients,
+                                         Cycle think_cycles,
+                                         unsigned lines,
+                                         std::uint64_t generator_seed,
+                                         std::uint64_t first_id,
+                                         bool probes)
+    : thinkCycles(think_cycles),
+      linesPerRequest(lines),
+      seed(generator_seed),
+      nextId(first_id),
+      probeRequests(probes),
+      clientsState(clients)
+{
+    RCOAL_ASSERT(clients > 0, "closed loop needs at least one client");
+    RCOAL_ASSERT(lines > 0, "closed-loop requests need plaintext lines");
+}
+
+void
+ClosedLoopGenerator::poll(Cycle now, std::vector<Request> &out)
+{
+    for (std::size_t c = 0; c < clientsState.size(); ++c) {
+        Client &client = clientsState[c];
+        if (client.waiting || client.nextSubmitAt > now)
+            continue;
+
+        Request request;
+        request.arrival = now;
+        request.isProbe = probeRequests;
+        request.clientId = static_cast<int>(c);
+        if (!client.retryPlaintext.empty()) {
+            // Resubmit the rejected request verbatim: same id, same
+            // plaintext, so observation i always corresponds to
+            // plaintext stream (seed, i).
+            request.id = client.retryId;
+            request.plaintext = std::move(client.retryPlaintext);
+            client.retryPlaintext.clear();
+        } else {
+            request.id = nextId++;
+            Rng rng = Rng::stream(seed, issuedCount);
+            request.plaintext =
+                workloads::randomPlaintext(linesPerRequest, rng);
+            ++issuedCount;
+        }
+        client.waiting = true;
+        out.push_back(std::move(request));
+    }
+}
+
+void
+ClosedLoopGenerator::onCompletion(int client_id, Cycle now)
+{
+    RCOAL_ASSERT(client_id >= 0 &&
+                     static_cast<std::size_t>(client_id) <
+                         clientsState.size(),
+                 "completion for unknown client %d", client_id);
+    Client &client = clientsState[static_cast<std::size_t>(client_id)];
+    RCOAL_ASSERT(client.waiting, "client %d completed while idle",
+                 client_id);
+    client.waiting = false;
+    client.nextSubmitAt = now + thinkCycles;
+}
+
+void
+ClosedLoopGenerator::onRejection(int client_id, Request request,
+                                 Cycle now)
+{
+    RCOAL_ASSERT(client_id >= 0 &&
+                     static_cast<std::size_t>(client_id) <
+                         clientsState.size(),
+                 "rejection for unknown client %d", client_id);
+    Client &client = clientsState[static_cast<std::size_t>(client_id)];
+    RCOAL_ASSERT(client.waiting, "client %d rejected while idle",
+                 client_id);
+    client.waiting = false;
+    client.nextSubmitAt = now + thinkCycles;
+    client.retryId = request.id;
+    client.retryPlaintext = std::move(request.plaintext);
+}
+
+} // namespace rcoal::serve

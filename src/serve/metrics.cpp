@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Serving metrics implementation.
+ */
+
+#include "rcoal/serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::serve {
+
+double
+percentile(const std::vector<double> &sorted_values, double p)
+{
+    RCOAL_ASSERT(!sorted_values.empty(), "percentile of empty sample");
+    RCOAL_ASSERT(p > 0.0 && p <= 100.0, "percentile %g out of range", p);
+    // Nearest-rank definition: the smallest value with at least p% of
+    // the sample at or below it.
+    const auto n = sorted_values.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    rank = std::min(std::max<std::size_t>(rank, 1), n);
+    return sorted_values[rank - 1];
+}
+
+LatencySummary
+LatencySummary::of(std::vector<double> values)
+{
+    LatencySummary summary;
+    summary.count = values.size();
+    if (values.empty())
+        return summary;
+    std::sort(values.begin(), values.end());
+    summary.p50 = percentile(values, 50.0);
+    summary.p95 = percentile(values, 95.0);
+    summary.p99 = percentile(values, 99.0);
+    summary.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+                   static_cast<double>(values.size());
+    summary.max = values.back();
+    return summary;
+}
+
+std::string
+ServeReport::describe() const
+{
+    std::string out;
+    out += strprintf("completed %zu requests in %llu cycles "
+                     "(%.1f req/s)\n",
+                     completed.size(),
+                     static_cast<unsigned long long>(totalCycles),
+                     throughputReqPerSec);
+    out += strprintf("  latency all   p50 %.0f p95 %.0f p99 %.0f "
+                     "mean %.0f max %.0f cycles (n=%zu)\n",
+                     allLatency.p50, allLatency.p95, allLatency.p99,
+                     allLatency.mean, allLatency.max, allLatency.count);
+    out += strprintf("  latency probe p50 %.0f p95 %.0f p99 %.0f "
+                     "mean %.0f max %.0f cycles (n=%zu)\n",
+                     probeLatency.p50, probeLatency.p95,
+                     probeLatency.p99, probeLatency.mean,
+                     probeLatency.max, probeLatency.count);
+    out += strprintf("  queue depth mean %.2f max %zu; admitted %llu "
+                     "rejected %llu\n",
+                     meanQueueDepth, maxQueueDepth,
+                     static_cast<unsigned long long>(admitted),
+                     static_cast<unsigned long long>(rejected));
+    out += strprintf("  kernels %llu (%.2f req/batch); SM busy mean "
+                     "%.2f max %u (occupancy %.1f%%)\n",
+                     static_cast<unsigned long long>(kernelsLaunched),
+                     meanBatchRequests, meanBusySms, maxBusySms,
+                     smOccupancy * 100.0);
+    return out;
+}
+
+} // namespace rcoal::serve

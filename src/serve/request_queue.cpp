@@ -1,0 +1,64 @@
+/**
+ * @file
+ * RequestQueue implementation.
+ */
+
+#include "rcoal/serve/request_queue.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : cap(capacity)
+{
+    RCOAL_ASSERT(cap > 0, "request queue needs positive capacity");
+}
+
+bool
+RequestQueue::tryPush(Request &&request)
+{
+    if (pending.size() >= cap) {
+        ++rejectedCount;
+        return false;
+    }
+    ++admittedCount;
+    pending.push_back(std::move(request));
+    return true;
+}
+
+const Request &
+RequestQueue::peek(std::size_t index) const
+{
+    RCOAL_ASSERT(index < pending.size(), "peek %zu of %zu pending", index,
+                 pending.size());
+    return pending[index];
+}
+
+Request
+RequestQueue::popFront()
+{
+    RCOAL_ASSERT(!pending.empty(), "pop from empty request queue");
+    Request request = std::move(pending.front());
+    pending.pop_front();
+    return request;
+}
+
+Request
+RequestQueue::popAt(std::size_t index)
+{
+    RCOAL_ASSERT(index < pending.size(), "pop %zu of %zu pending", index,
+                 pending.size());
+    Request request = std::move(pending[index]);
+    pending.erase(pending.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+    return request;
+}
+
+Cycle
+RequestQueue::oldestArrival() const
+{
+    RCOAL_ASSERT(!pending.empty(), "oldestArrival of empty queue");
+    return pending.front().arrival;
+}
+
+} // namespace rcoal::serve

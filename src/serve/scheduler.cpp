@@ -1,0 +1,128 @@
+/**
+ * @file
+ * KernelScheduler implementation.
+ */
+
+#include "rcoal/serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::serve {
+
+KernelScheduler::KernelScheduler(const sim::GpuConfig &gpu,
+                                 const ServeConfig &serve,
+                                 std::span<const std::uint8_t> key)
+    : machine(gpu),
+      secretKey(key.begin(), key.end()),
+      smsPerKernel(serve.smsPerKernel),
+      gangBusy(serve.numGangs(gpu), false)
+{
+    serve.validate(gpu);
+    if (secretKey.size() != 16 && secretKey.size() != 24 &&
+        secretKey.size() != 32) {
+        fatal("AES key must be 16, 24 or 32 bytes, got %zu",
+              secretKey.size());
+    }
+}
+
+sim::SmRange
+KernelScheduler::gangRange(unsigned gang) const
+{
+    return sim::SmRange{gang * smsPerKernel, smsPerKernel};
+}
+
+bool
+KernelScheduler::gangFree() const
+{
+    return std::find(gangBusy.begin(), gangBusy.end(), false) !=
+           gangBusy.end();
+}
+
+unsigned
+KernelScheduler::busyGangs() const
+{
+    return static_cast<unsigned>(
+        std::count(gangBusy.begin(), gangBusy.end(), true));
+}
+
+void
+KernelScheduler::launchBatch(std::vector<Request> batch, Cycle now)
+{
+    RCOAL_ASSERT(!batch.empty(), "launching an empty batch");
+
+    unsigned gang = 0;
+    while (gang < gangBusy.size() && gangBusy[gang])
+        ++gang;
+    RCOAL_ASSERT(gang < gangBusy.size(),
+                 "launchBatch with every gang busy");
+
+    ResidentBatch entry;
+    entry.gang = gang;
+    entry.launchedAt = now;
+    entry.lineOffsets.reserve(batch.size());
+
+    std::vector<aes::Block> plaintext;
+    unsigned offset = 0;
+    for (const Request &request : batch) {
+        entry.lineOffsets.push_back(offset);
+        offset += request.lines();
+        plaintext.insert(plaintext.end(), request.plaintext.begin(),
+                         request.plaintext.end());
+    }
+
+    entry.kernel = std::make_unique<workloads::AesGpuKernel>(
+        plaintext, secretKey, machine.config().warpSize);
+    entry.id = machine.launch(*entry.kernel, gangRange(gang));
+    entry.requests = std::move(batch);
+
+    gangBusy[gang] = true;
+    ++launchedCount;
+    batchedCount += entry.requests.size();
+    resident.push_back(std::move(entry));
+}
+
+std::vector<CompletedRequest>
+KernelScheduler::collectCompleted(Cycle now)
+{
+    std::vector<CompletedRequest> out;
+    for (auto it = resident.begin(); it != resident.end();) {
+        if (!machine.done(it->id)) {
+            ++it;
+            continue;
+        }
+        const sim::KernelStats stats = machine.take(it->id);
+        const auto &cipher = it->kernel->ciphertext();
+        const auto batch_size =
+            static_cast<unsigned>(it->requests.size());
+
+        for (std::size_t r = 0; r < it->requests.size(); ++r) {
+            Request &request = it->requests[r];
+            CompletedRequest done;
+            done.id = request.id;
+            done.isProbe = request.isProbe;
+            done.clientId = request.clientId;
+            done.lines = request.lines();
+            done.arrival = request.arrival;
+            done.launched = it->launchedAt;
+            done.completed = now;
+            const unsigned first = it->lineOffsets[r];
+            done.ciphertext.assign(cipher.begin() + first,
+                                   cipher.begin() + first + done.lines);
+            done.kernelTotalTime = static_cast<double>(stats.cycles);
+            done.kernelLastRoundTime =
+                static_cast<double>(stats.lastRoundCycles());
+            done.kernelLastRoundAccesses = stats.lastRoundAccesses();
+            done.kernelTotalAccesses = stats.coalescedAccesses;
+            done.batchRequests = batch_size;
+            out.push_back(std::move(done));
+        }
+
+        gangBusy[it->gang] = false;
+        it = resident.erase(it);
+    }
+    return out;
+}
+
+} // namespace rcoal::serve

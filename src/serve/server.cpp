@@ -1,0 +1,147 @@
+/**
+ * @file
+ * EncryptionServer implementation.
+ */
+
+#include "rcoal/serve/server.hpp"
+
+#include <algorithm>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/serve/batcher.hpp"
+#include "rcoal/serve/load_generator.hpp"
+#include "rcoal/serve/request_queue.hpp"
+#include "rcoal/serve/scheduler.hpp"
+
+namespace rcoal::serve {
+
+namespace {
+
+/** Background requests get ids far above any probe id. */
+constexpr std::uint64_t kBackgroundFirstId = 1'000'000'000;
+
+} // namespace
+
+EncryptionServer::EncryptionServer(const sim::GpuConfig &gpu,
+                                   const ServeConfig &serve,
+                                   std::span<const std::uint8_t> key)
+    : gpuConfig(gpu),
+      serveConfig(serve),
+      secretKey(key.begin(), key.end())
+{
+    serveConfig.validate(gpuConfig);
+}
+
+ServeReport
+EncryptionServer::run(const WorkloadSpec &spec) const
+{
+    RCOAL_ASSERT(spec.probeSamples > 0, "workload without probes");
+
+    RequestQueue queue(serveConfig.queueCapacity);
+    Batcher batcher(serveConfig);
+    KernelScheduler scheduler(gpuConfig, serveConfig, secretKey);
+    ClosedLoopGenerator probes(/*clients=*/1, spec.probeThinkCycles,
+                               spec.probeLines, spec.probeSeed,
+                               /*first_id=*/0, /*probes=*/true);
+    OpenLoopGenerator background(spec.backgroundMeanGapCycles,
+                                 spec.backgroundLineChoices,
+                                 spec.backgroundSeed,
+                                 kBackgroundFirstId);
+
+    ServeReport report;
+    unsigned probe_completions = 0;
+    std::uint64_t depth_sum = 0;
+    std::uint64_t busy_sum = 0;
+    std::vector<Request> arrivals;
+
+    Cycle now = 0;
+    while (true) {
+        // 1. Retire finished batches and notify closed-loop clients.
+        for (CompletedRequest &done : scheduler.collectCompleted(now)) {
+            if (done.isProbe) {
+                probes.onCompletion(done.clientId, now);
+                ++probe_completions;
+            }
+            report.completed.push_back(std::move(done));
+        }
+        if (probe_completions >= spec.probeSamples)
+            break;
+
+        // 2. New arrivals pass admission control.
+        arrivals.clear();
+        probes.poll(now, arrivals);
+        background.poll(now, arrivals);
+        for (Request &request : arrivals) {
+            const bool is_probe = request.isProbe;
+            const int client = request.clientId;
+            if (!queue.tryPush(std::move(request)) && is_probe) {
+                // tryPush leaves a rejected request intact.
+                probes.onRejection(client, std::move(request), now);
+            }
+        }
+
+        // 3. Launch batches while gangs are free and the batcher is
+        //    willing to form one.
+        while (scheduler.gangFree()) {
+            std::vector<Request> batch = batcher.formBatch(queue, now);
+            if (batch.empty())
+                break;
+            scheduler.launchBatch(std::move(batch), now);
+        }
+
+        // 4. Sample occupancy, then advance the machine.
+        depth_sum += queue.size();
+        report.maxQueueDepth =
+            std::max(report.maxQueueDepth, queue.size());
+        const unsigned busy = scheduler.busySms();
+        busy_sum += busy;
+        report.maxBusySms = std::max(report.maxBusySms, busy);
+
+        scheduler.tick();
+        ++now;
+        if (now > serveConfig.maxSimCycles) {
+            fatal("serve simulation still running after %llu cycles "
+                  "(%u/%u probes done) — livelocked workload?",
+                  static_cast<unsigned long long>(now),
+                  probe_completions, spec.probeSamples);
+        }
+    }
+
+    report.totalCycles = now;
+    report.admitted = queue.admitted();
+    report.rejected = queue.rejected();
+    report.kernelsLaunched = scheduler.kernelsLaunched();
+    report.meanBatchRequests =
+        scheduler.kernelsLaunched() == 0
+            ? 0.0
+            : static_cast<double>(scheduler.batchedRequests()) /
+                  static_cast<double>(scheduler.kernelsLaunched());
+    if (now > 0) {
+        report.meanQueueDepth = static_cast<double>(depth_sum) /
+                                static_cast<double>(now);
+        report.meanBusySms = static_cast<double>(busy_sum) /
+                             static_cast<double>(now);
+        report.smOccupancy =
+            report.meanBusySms / static_cast<double>(gpuConfig.numSms);
+        const double seconds = static_cast<double>(now) /
+                               (gpuConfig.coreClockMhz * 1e6);
+        report.throughputReqPerSec =
+            static_cast<double>(report.completed.size()) / seconds;
+    }
+
+    std::vector<double> all_latency;
+    std::vector<double> probe_latency;
+    all_latency.reserve(report.completed.size());
+    for (const CompletedRequest &done : report.completed) {
+        const auto latency =
+            static_cast<double>(done.latencyCycles());
+        all_latency.push_back(latency);
+        if (done.isProbe)
+            probe_latency.push_back(latency);
+    }
+    report.allLatency = LatencySummary::of(std::move(all_latency));
+    report.probeLatency = LatencySummary::of(std::move(probe_latency));
+    return report;
+}
+
+} // namespace rcoal::serve

@@ -20,8 +20,16 @@ GpuConfig::paperBaseline()
 void
 GpuConfig::validate() const
 {
-    if (numSms == 0 || warpSize == 0 || numPartitions == 0)
-        fatal("numSms, warpSize and numPartitions must be positive");
+    if (numSms == 0 || warpSize == 0 || numPartitions == 0) {
+        fatal("numSms, warpSize and numPartitions must be positive "
+              "(got %u, %u, %u)",
+              numSms, warpSize, numPartitions);
+    }
+    if ((warpSize & (warpSize - 1)) != 0) {
+        fatal("warpSize must be a power of two (got %u): the subwarp "
+              "partitioners split warps into power-of-two lane groups",
+              warpSize);
+    }
     if (issueWidth == 0 || issueWidth > 8)
         fatal("issueWidth must be in [1, 8]");
     if ((coalesceBlockBytes & (coalesceBlockBytes - 1)) != 0)

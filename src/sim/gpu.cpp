@@ -1,204 +1,41 @@
 /**
  * @file
- * Gpu implementation: construction, clocking and the launch loop.
+ * Gpu implementation: the one-shot launch path over GpuMachine.
  */
 
 #include "rcoal/sim/gpu.hpp"
 
-#include <deque>
-
-#include "rcoal/common/logging.hpp"
-#include "rcoal/sim/cache.hpp"
-#include "rcoal/sim/dram.hpp"
-#include "rcoal/sim/interconnect.hpp"
-#include "rcoal/sim/sm.hpp"
+#include "rcoal/sim/gpu_machine.hpp"
 
 namespace rcoal::sim {
 
-Gpu::Gpu(GpuConfig config)
-    : cfg(std::move(config)), partitioner(cfg.policy, cfg.warpSize)
+Gpu::Gpu(GpuConfig config) : cfg(std::move(config))
 {
     cfg.validate();
 }
 
-namespace {
-
-/** Per-partition L2 front-end state (only used when L2 is enabled). */
-struct L2Frontend
-{
-    std::unique_ptr<Cache> cache;
-    /** Hit responses waiting out the L2 latency (readyAt ascending). */
-    std::deque<std::pair<Cycle, MemoryAccess>> pendingHits;
-};
-
-} // namespace
-
 KernelStats
 Gpu::launch(const KernelSource &kernel)
 {
-    KernelStats stats;
-    std::uint64_t access_ids = 0;
+    // Fresh machine per launch: cold caches, empty queues, and launch k
+    // of a Gpu seeded s draws stream (s, k) regardless of any other RNG
+    // activity, so identically configured GPUs replay identical launch
+    // sequences.
+    GpuMachine machine(cfg);
+    const auto id = machine.launchStream(
+        kernel, SmRange{0, cfg.numSms}, ++launches);
+    machine.runUntilDone(id);
+    KernelStats stats = machine.take(id);
 
-    const AddressMapping mapping(cfg);
-    Crossbar req_xbar(cfg.numSms, cfg.numPartitions, cfg.icnLatency,
-                      cfg.icnQueueDepth);
-    Crossbar resp_xbar(cfg.numPartitions, cfg.numSms, cfg.icnLatency,
-                       cfg.icnQueueDepth);
-
-    std::vector<StreamingMultiprocessor> sms;
-    sms.reserve(cfg.numSms);
-    for (unsigned s = 0; s < cfg.numSms; ++s)
-        sms.emplace_back(cfg, s, &stats, &req_xbar, &mapping, &access_ids);
-
-    std::vector<DramPartition> drams;
-    drams.reserve(cfg.numPartitions);
-    for (unsigned p = 0; p < cfg.numPartitions; ++p)
-        drams.emplace_back(cfg, p, &stats);
-
-    std::vector<L2Frontend> l2(cfg.l2Enabled ? cfg.numPartitions : 0);
-    for (auto &front : l2)
-        front.cache = std::make_unique<Cache>(cfg.l2);
-
-    // Per-launch randomness: partitions are drawn once per warp at
-    // launch time and stay fixed for the launch (Section IV-D).
-    // Counter-based derivation: launch k of a Gpu seeded s draws the
-    // same stream regardless of any other RNG activity, so identically
-    // configured GPUs replay identical launch sequences.
-    Rng launch_rng = Rng::stream(cfg.seed, ++launches);
-    const unsigned num_warps = kernel.numWarps();
-    RCOAL_ASSERT(num_warps > 0, "kernel has no warps");
-    RCOAL_ASSERT(num_warps <= cfg.numSms * cfg.maxWarpsPerSm,
-                 "kernel needs %u warps, GPU fits %u", num_warps,
-                 cfg.numSms * cfg.maxWarpsPerSm);
-    for (WarpId w = 0; w < num_warps; ++w) {
-        sms[w % cfg.numSms].assignWarp(w, &kernel.trace(w),
-                                       partitioner.draw(launch_rng));
-    }
-
-    // Responses the DRAM finished but the response crossbar could not
-    // yet take (bounded injection ports).
-    std::vector<std::deque<MemoryAccess>> resp_backlog(cfg.numPartitions);
-
-    Cycle now = 0;
-    Cycle mem_cycle = 0;
-    double mem_accum = 0.0;
-
-    const auto machine_idle = [&] {
-        if (!req_xbar.idle() || !resp_xbar.idle())
-            return false;
-        for (const auto &dram : drams) {
-            if (!dram.idle())
-                return false;
-        }
-        for (const auto &backlog : resp_backlog) {
-            if (!backlog.empty())
-                return false;
-        }
-        for (const auto &front : l2) {
-            if (!front.pendingHits.empty())
-                return false;
-        }
-        for (const auto &sm : sms) {
-            if (!sm.done(now))
-                return false;
-        }
-        return true;
-    };
-
-    while (!machine_idle()) {
-        ++now;
-        RCOAL_ASSERT(now < kMaxCycles, "simulator deadlock suspected");
-
-        // 1. Cores issue and inject.
-        for (auto &sm : sms)
-            sm.tick(now);
-
-        // 2. Interconnect moves packets (core clock domain).
-        req_xbar.tick(now);
-        resp_xbar.tick(now);
-
-        // 3. Request-crossbar ejection into L2/DRAM.
-        for (unsigned p = 0; p < cfg.numPartitions; ++p) {
-            while (req_xbar.outputReady(p)) {
-                if (cfg.l2Enabled) {
-                    // Peek is unnecessary: decide before popping via
-                    // DRAM capacity, since misses and writes go there.
-                    if (!drams[p].canAccept())
-                        break;
-                    MemoryAccess access = req_xbar.popOutput(p);
-                    if (!access.isWrite &&
-                        l2[p].cache->access(access.blockAddr)) {
-                        ++stats.l2Hits;
-                        l2[p].pendingHits.emplace_back(
-                            now + cfg.l2.hitLatency, std::move(access));
-                        continue;
-                    }
-                    if (!access.isWrite)
-                        ++stats.l2Misses;
-                    drams[p].enqueue(access,
-                                     mapping.decode(access.blockAddr),
-                                     mem_cycle);
-                } else {
-                    if (!drams[p].canAccept())
-                        break;
-                    MemoryAccess access = req_xbar.popOutput(p);
-                    drams[p].enqueue(access,
-                                     mapping.decode(access.blockAddr),
-                                     mem_cycle);
-                }
-            }
-        }
-
-        // 4. Memory clock domain: tick DRAM whenever the memory clock
-        // crosses a core-cycle boundary (a faster-than-core memory
-        // clock ticks multiple times per core cycle).
-        mem_accum += cfg.memClockMhz;
-        while (mem_accum >= cfg.coreClockMhz) {
-            mem_accum -= cfg.coreClockMhz;
-            ++mem_cycle;
-            for (auto &dram : drams)
-                dram.tick(mem_cycle);
-        }
-
-        // 5. DRAM completions and L2 hit responses feed the response
-        // crossbar (or retire immediately for writes).
-        for (unsigned p = 0; p < cfg.numPartitions; ++p) {
-            while (drams[p].hasCompleted(mem_cycle)) {
-                MemoryAccess access = drams[p].popCompleted(mem_cycle);
-                if (cfg.l2Enabled && !access.isWrite)
-                    l2[p].cache->fill(access.blockAddr);
-                if (access.isWrite) {
-                    TagStats &tag_stats = stats.tagStats(access.tag);
-                    tag_stats.lastComplete =
-                        std::max(tag_stats.lastComplete, now);
-                    continue;
-                }
-                resp_backlog[p].push_back(std::move(access));
-            }
-            if (cfg.l2Enabled) {
-                auto &pending = l2[p].pendingHits;
-                while (!pending.empty() && pending.front().first <= now) {
-                    resp_backlog[p].push_back(
-                        std::move(pending.front().second));
-                    pending.pop_front();
-                }
-            }
-            while (!resp_backlog[p].empty() && resp_xbar.canInject(p)) {
-                MemoryAccess access = std::move(resp_backlog[p].front());
-                resp_backlog[p].pop_front();
-                const unsigned dest = access.smId;
-                resp_xbar.inject(p, dest, std::move(access), now);
-            }
-        }
-
-        // 6. Deliver responses to the SMs.
-        for (unsigned s = 0; s < cfg.numSms; ++s) {
-            while (resp_xbar.outputReady(s))
-                sms[s].deliverResponse(resp_xbar.popOutput(s), now);
-        }
-    }
-
-    stats.cycles = now;
+    // Single-tenant machine: every DRAM event belongs to this launch,
+    // so fold the machine-level memory counters into its statistics
+    // (preserving the historical one-shot report shape).
+    const KernelStats &mem = machine.memoryStats();
+    stats.dramRowHits = mem.dramRowHits;
+    stats.dramRowMisses = mem.dramRowMisses;
+    stats.dramActivates = mem.dramActivates;
+    stats.dramPrecharges = mem.dramPrecharges;
+    stats.dramRefreshes = mem.dramRefreshes;
     return stats;
 }
 

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * GpuMachine implementation: persistent machine state, ranged launches
+ * and the shared-memory-system cycle loop.
+ */
+
+#include "rcoal/sim/gpu_machine.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::sim {
+
+namespace {
+
+/** Run the config's own validation before any component consumes it. */
+GpuConfig
+validated(GpuConfig config)
+{
+    config.validate();
+    return config;
+}
+
+} // namespace
+
+GpuMachine::GpuMachine(GpuConfig config)
+    : cfg(validated(std::move(config))),
+      partitioner(cfg.policy, cfg.warpSize),
+      mapping(cfg),
+      reqXbar(cfg.numSms, cfg.numPartitions, cfg.icnLatency,
+              cfg.icnQueueDepth),
+      respXbar(cfg.numPartitions, cfg.numSms, cfg.icnLatency,
+               cfg.icnQueueDepth),
+      respBacklog(cfg.numPartitions),
+      smBusy(cfg.numSms, false)
+{
+    sms.reserve(cfg.numSms);
+    for (unsigned s = 0; s < cfg.numSms; ++s) {
+        sms.push_back(std::make_unique<StreamingMultiprocessor>(
+            cfg, s, &reqXbar, &mapping, &accessIds));
+    }
+    drams.reserve(cfg.numPartitions);
+    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+        drams.push_back(
+            std::make_unique<DramPartition>(cfg, p, &memStats));
+    }
+    if (cfg.l2Enabled) {
+        l2.resize(cfg.numPartitions);
+        for (auto &front : l2)
+            front.cache = std::make_unique<Cache>(cfg.l2);
+    }
+}
+
+bool
+GpuMachine::rangeFree(SmRange range) const
+{
+    if (range.count == 0 || range.first + range.count > cfg.numSms)
+        return false;
+    for (unsigned s = range.first; s < range.first + range.count; ++s) {
+        if (smBusy[s])
+            return false;
+    }
+    return true;
+}
+
+unsigned
+GpuMachine::busySms() const
+{
+    unsigned busy = 0;
+    for (bool b : smBusy)
+        busy += b ? 1 : 0;
+    return busy;
+}
+
+KernelStats *
+GpuMachine::statsForSlot(std::uint32_t slot)
+{
+    const auto it = active.find(slot);
+    return it == active.end() ? nullptr : it->second.stats.get();
+}
+
+GpuMachine::LaunchId
+GpuMachine::launchStream(const KernelSource &kernel, SmRange range,
+                         std::uint64_t rng_stream_index)
+{
+    RCOAL_ASSERT(rangeFree(range),
+                 "launch range [%u, %u) invalid or occupied", range.first,
+                 range.first + range.count);
+    ++launchCounter;
+    const LaunchId id = launchCounter;
+    RCOAL_ASSERT(id <= ~std::uint32_t{0}, "launch slot space exhausted");
+    const auto slot = static_cast<std::uint32_t>(id);
+
+    LaunchState &launch = active[slot];
+    launch.id = id;
+    launch.range = range;
+    launch.stats = std::make_unique<KernelStats>();
+    launch.startCycle = nowCycle;
+
+    for (unsigned s = range.first; s < range.first + range.count; ++s) {
+        smBusy[s] = true;
+        sms[s]->beginLaunch(launch.stats.get(), slot,
+                            &launch.pendingWrites);
+    }
+
+    // Per-launch randomness: partitions are drawn once per warp at
+    // launch time and stay fixed for the launch (Section IV-D).
+    // Counter-based derivation: stream index k of a machine seeded s
+    // draws the same partitions regardless of any other RNG activity,
+    // so identically configured machines replay identical launches.
+    Rng launch_rng = Rng::stream(cfg.seed, rng_stream_index);
+    const unsigned num_warps = kernel.numWarps();
+    RCOAL_ASSERT(num_warps > 0, "kernel has no warps");
+    RCOAL_ASSERT(num_warps <= range.count * cfg.maxWarpsPerSm,
+                 "kernel needs %u warps, its %u-SM range fits %u",
+                 num_warps, range.count, range.count * cfg.maxWarpsPerSm);
+    for (WarpId w = 0; w < num_warps; ++w) {
+        sms[range.first + (w % range.count)]->assignWarp(
+            w, &kernel.trace(w), partitioner.draw(launch_rng));
+    }
+
+    // Degenerate kernels (all-empty traces) retire immediately, matching
+    // the old single-kernel loop that checked for idleness up front.
+    checkCompletion(launch);
+    return id;
+}
+
+GpuMachine::LaunchId
+GpuMachine::launch(const KernelSource &kernel, SmRange range)
+{
+    return launchStream(kernel, range, launchCounter + 1);
+}
+
+void
+GpuMachine::checkCompletion(LaunchState &launch)
+{
+    if (launch.completed)
+        return;
+    if (launch.pendingWrites > 0)
+        return;
+    for (unsigned s = launch.range.first;
+         s < launch.range.first + launch.range.count; ++s) {
+        if (!sms[s]->done(nowCycle))
+            return;
+    }
+    launch.completed = true;
+    launch.stats->cycles = nowCycle - launch.startCycle;
+}
+
+void
+GpuMachine::tick()
+{
+    ++nowCycle;
+    RCOAL_ASSERT(nowCycle < kMaxCycles, "simulator deadlock suspected");
+
+    // 1. Cores issue and inject.
+    for (auto &sm : sms)
+        sm->tick(nowCycle);
+
+    // 2. Interconnect moves packets (core clock domain).
+    reqXbar.tick(nowCycle);
+    respXbar.tick(nowCycle);
+
+    // 3. Request-crossbar ejection into L2/DRAM.
+    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+        while (reqXbar.outputReady(p)) {
+            // Peek is unnecessary: decide before popping via DRAM
+            // capacity, since misses and writes go there.
+            if (!drams[p]->canAccept())
+                break;
+            MemoryAccess access = reqXbar.popOutput(p);
+            if (cfg.l2Enabled) {
+                KernelStats *owner = statsForSlot(access.launchSlot);
+                if (!access.isWrite &&
+                    l2[p].cache->access(access.blockAddr)) {
+                    if (owner != nullptr)
+                        ++owner->l2Hits;
+                    l2[p].pendingHits.emplace_back(
+                        nowCycle + cfg.l2.hitLatency, std::move(access));
+                    continue;
+                }
+                if (!access.isWrite && owner != nullptr)
+                    ++owner->l2Misses;
+            }
+            drams[p]->enqueue(access, mapping.decode(access.blockAddr),
+                              memCycle);
+        }
+    }
+
+    // 4. Memory clock domain: tick DRAM whenever the memory clock
+    // crosses a core-cycle boundary (a faster-than-core memory clock
+    // ticks multiple times per core cycle).
+    memAccum += cfg.memClockMhz;
+    while (memAccum >= cfg.coreClockMhz) {
+        memAccum -= cfg.coreClockMhz;
+        ++memCycle;
+        for (auto &dram : drams)
+            dram->tick(memCycle);
+    }
+
+    // 5. DRAM completions and L2 hit responses feed the response
+    // crossbar (or retire immediately for writes).
+    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+        while (drams[p]->hasCompleted(memCycle)) {
+            MemoryAccess access = drams[p]->popCompleted(memCycle);
+            if (cfg.l2Enabled && !access.isWrite)
+                l2[p].cache->fill(access.blockAddr);
+            if (access.isWrite) {
+                const auto it = active.find(access.launchSlot);
+                if (it != active.end()) {
+                    LaunchState &launch = it->second;
+                    RCOAL_ASSERT(launch.pendingWrites > 0,
+                                 "store retired twice for launch %llu",
+                                 static_cast<unsigned long long>(
+                                     launch.id));
+                    --launch.pendingWrites;
+                    TagStats &tag_stats =
+                        launch.stats->tagStats(access.tag);
+                    tag_stats.lastComplete =
+                        std::max(tag_stats.lastComplete, nowCycle);
+                }
+                continue;
+            }
+            respBacklog[p].push_back(std::move(access));
+        }
+        if (cfg.l2Enabled) {
+            auto &pending = l2[p].pendingHits;
+            while (!pending.empty() && pending.front().first <= nowCycle) {
+                respBacklog[p].push_back(
+                    std::move(pending.front().second));
+                pending.pop_front();
+            }
+        }
+        while (!respBacklog[p].empty() && respXbar.canInject(p)) {
+            MemoryAccess access = std::move(respBacklog[p].front());
+            respBacklog[p].pop_front();
+            const unsigned dest = access.smId;
+            respXbar.inject(p, dest, std::move(access), nowCycle);
+        }
+    }
+
+    // 6. Deliver responses to the SMs.
+    for (unsigned s = 0; s < cfg.numSms; ++s) {
+        while (respXbar.outputReady(s))
+            sms[s]->deliverResponse(respXbar.popOutput(s), nowCycle);
+    }
+
+    // 7. Retire launches whose work has fully drained.
+    for (auto &[slot, launch] : active)
+        checkCompletion(launch);
+}
+
+bool
+GpuMachine::done(LaunchId id) const
+{
+    const auto it = active.find(static_cast<std::uint32_t>(id));
+    RCOAL_ASSERT(it != active.end(), "unknown launch %llu",
+                 static_cast<unsigned long long>(id));
+    return it->second.completed;
+}
+
+void
+GpuMachine::runUntilDone(LaunchId id)
+{
+    while (!done(id))
+        tick();
+}
+
+KernelStats
+GpuMachine::take(LaunchId id)
+{
+    const auto it = active.find(static_cast<std::uint32_t>(id));
+    RCOAL_ASSERT(it != active.end(), "unknown launch %llu",
+                 static_cast<unsigned long long>(id));
+    LaunchState &launch = it->second;
+    RCOAL_ASSERT(launch.completed, "launch %llu taken before completion",
+                 static_cast<unsigned long long>(id));
+    KernelStats stats = *launch.stats;
+    for (unsigned s = launch.range.first;
+         s < launch.range.first + launch.range.count; ++s) {
+        sms[s]->reset();
+        smBusy[s] = false;
+    }
+    active.erase(it);
+    return stats;
+}
+
+} // namespace rcoal::sim

@@ -6,12 +6,6 @@
 #ifndef RCOAL_SIM_GPU_HPP
 #define RCOAL_SIM_GPU_HPP
 
-#include <memory>
-#include <vector>
-
-#include "rcoal/common/rng.hpp"
-#include "rcoal/core/partitioner.hpp"
-#include "rcoal/sim/address_mapping.hpp"
 #include "rcoal/sim/config.hpp"
 #include "rcoal/sim/kernel.hpp"
 #include "rcoal/sim/stats.hpp"
@@ -19,11 +13,16 @@
 namespace rcoal::sim {
 
 /**
- * The simulated GPU. Construct once per configuration; every launch()
- * builds a fresh machine state (cold caches, empty queues), draws new
- * subwarp partitions per warp (Section IV-D: the sid<->tid mapping is
- * fixed at the beginning of each application execution), runs the kernel
- * to completion, and returns its statistics.
+ * The simulated GPU, one-shot flavour. Construct once per configuration;
+ * every launch() builds a fresh machine state (cold caches, empty
+ * queues), draws new subwarp partitions per warp (Section IV-D: the
+ * sid<->tid mapping is fixed at the beginning of each application
+ * execution), runs the kernel to completion over all SMs, and returns
+ * its statistics.
+ *
+ * This is a single-tenant convenience over GpuMachine, which is the
+ * actual timing model and additionally supports several co-resident
+ * kernels on disjoint SM ranges (see gpu_machine.hpp and rcoal::serve).
  */
 class Gpu
 {
@@ -41,12 +40,8 @@ class Gpu
 
   private:
     GpuConfig cfg;
-    core::SubwarpPartitioner partitioner;
     /** Per-launch RNG streams derive from (cfg.seed, launch index). */
     std::uint64_t launches = 0;
-
-    /** Hard cap to catch simulator deadlock; far above any real run. */
-    static constexpr Cycle kMaxCycles = 2'000'000'000;
 };
 
 } // namespace rcoal::sim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Persistent GPU machine with concurrent-kernel residency.
+ *
+ * Gpu::launch() models the paper's one-shot victim: one kernel, a cold
+ * machine, run to completion. A serving system needs the opposite shape:
+ * a machine that stays up, hosts several kernels at once on disjoint SM
+ * subsets, and lets them contend for the shared interconnect and DRAM
+ * partitions — the contention is simulated, not approximated. GpuMachine
+ * is that machine; Gpu::launch() is now a thin single-tenant wrapper over
+ * it, so both paths share one timing model.
+ *
+ * Usage: launch() kernels on free SM ranges, tick() the machine one core
+ * cycle at a time, poll done(), then take() the per-launch statistics
+ * (which also frees the launch's SMs for the next kernel).
+ */
+
+#ifndef RCOAL_SIM_GPU_MACHINE_HPP
+#define RCOAL_SIM_GPU_MACHINE_HPP
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "rcoal/common/rng.hpp"
+#include "rcoal/core/partitioner.hpp"
+#include "rcoal/sim/address_mapping.hpp"
+#include "rcoal/sim/cache.hpp"
+#include "rcoal/sim/config.hpp"
+#include "rcoal/sim/dram.hpp"
+#include "rcoal/sim/interconnect.hpp"
+#include "rcoal/sim/kernel.hpp"
+#include "rcoal/sim/sm.hpp"
+#include "rcoal/sim/stats.hpp"
+
+namespace rcoal::sim {
+
+/** A contiguous range of SMs a launch runs on. */
+struct SmRange
+{
+    unsigned first = 0;
+    unsigned count = 0;
+};
+
+/**
+ * The persistent multi-kernel GPU.
+ */
+class GpuMachine
+{
+  public:
+    using LaunchId = std::uint64_t;
+
+    explicit GpuMachine(GpuConfig config);
+
+    /** The active configuration. */
+    const GpuConfig &config() const { return cfg; }
+
+    /** Current core cycle. */
+    Cycle now() const { return nowCycle; }
+
+    /** True when @p range is valid and none of its SMs host a kernel. */
+    bool rangeFree(SmRange range) const;
+
+    /** SMs currently allocated to resident kernels. */
+    unsigned busySms() const;
+
+    /**
+     * Make @p kernel resident on @p range (which must be free) and
+     * return its launch id. The kernel draws its per-warp subwarp
+     * partitions from Rng::stream(config.seed, @p rng_stream_index), so
+     * a launch's randomness is a pure function of (config, index)
+     * regardless of machine history. @p kernel must stay alive until the
+     * launch completes (the SMs execute its traces in place).
+     */
+    LaunchId launchStream(const KernelSource &kernel, SmRange range,
+                          std::uint64_t rng_stream_index);
+
+    /** launchStream() with the machine's own launch counter as index. */
+    LaunchId launch(const KernelSource &kernel, SmRange range);
+
+    /** Advance the whole machine one core cycle. */
+    void tick();
+
+    /** True when @p id has retired (all warps done, stores drained). */
+    bool done(LaunchId id) const;
+
+    /** tick() until @p id completes. */
+    void runUntilDone(LaunchId id);
+
+    /**
+     * Collect the statistics of completed launch @p id and free its SM
+     * range for reuse. cycles counts from launch to completion.
+     */
+    KernelStats take(LaunchId id);
+
+    /**
+     * Machine-level memory-system counters (DRAM row behaviour,
+     * refreshes). Shared structures cannot be attributed to a single
+     * tenant, so they accumulate here across all launches.
+     */
+    const KernelStats &memoryStats() const { return memStats; }
+
+    /** Number of launches started so far. */
+    std::uint64_t launchCount() const { return launchCounter; }
+
+    /** True while any launch is resident. */
+    bool anyResident() const { return !active.empty(); }
+
+  private:
+    /** Book-keeping for one resident (or completed-but-untaken) launch. */
+    struct LaunchState
+    {
+        LaunchId id = 0;
+        SmRange range;
+        std::unique_ptr<KernelStats> stats; ///< Stable per-launch sink.
+        std::uint64_t pendingWrites = 0;    ///< Stores not yet retired.
+        Cycle startCycle = 0;
+        bool completed = false;
+    };
+
+    /** Per-partition L2 front end (only populated when L2 is enabled). */
+    struct L2Frontend
+    {
+        std::unique_ptr<Cache> cache;
+        /** Hit responses waiting out the hit latency (ready ascending). */
+        std::deque<std::pair<Cycle, MemoryAccess>> pendingHits;
+    };
+
+    /** Stats sink for @p slot; nullptr once the launch was taken. */
+    KernelStats *statsForSlot(std::uint32_t slot);
+
+    /** Mark @p launch completed if all of its work has drained. */
+    void checkCompletion(LaunchState &launch);
+
+    GpuConfig cfg;
+    core::SubwarpPartitioner partitioner;
+    AddressMapping mapping;
+    Crossbar reqXbar;
+    Crossbar respXbar;
+    std::vector<std::unique_ptr<StreamingMultiprocessor>> sms;
+    std::vector<std::unique_ptr<DramPartition>> drams;
+    std::vector<L2Frontend> l2;
+    /** DRAM completions the response crossbar could not yet take. */
+    std::vector<std::deque<MemoryAccess>> respBacklog;
+
+    KernelStats memStats; ///< Machine-level DRAM counters.
+    std::unordered_map<std::uint32_t, LaunchState> active;
+    std::vector<bool> smBusy; ///< SM -> allocated to a launch.
+
+    std::uint64_t launchCounter = 0;
+    std::uint64_t accessIds = 0;
+    Cycle nowCycle = 0;
+    Cycle memCycle = 0;
+    double memAccum = 0.0;
+
+    /** Hard cap to catch simulator deadlock; far above any real run. */
+    static constexpr Cycle kMaxCycles = 2'000'000'000;
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_GPU_MACHINE_HPP

@@ -47,6 +47,12 @@ struct MemoryAccess
     AccessTag tag = AccessTag::Generic;
 
     unsigned smId = 0;        ///< Originating SM.
+    /**
+     * Originating launch slot on the machine. Lets the shared memory
+     * system (DRAM write completions, L2 hit/miss counters) attribute
+     * statistics to the right kernel when several are co-resident.
+     */
+    std::uint32_t launchSlot = 0;
     WarpId warpId = 0;        ///< Originating warp (global id).
     SubwarpId sid = 0;        ///< Subwarp that generated the access.
     std::vector<std::size_t> prtIndices; ///< PRT entries to release.

@@ -37,15 +37,39 @@ class StreamingMultiprocessor
     /**
      * @param config GPU configuration.
      * @param sm_id this SM's index (also its crossbar port).
-     * @param stats kernel statistics sink.
      * @param request_xbar SM -> partition crossbar.
      * @param mapping address decoder (for routing).
      * @param access_id_counter shared unique-id source for accesses.
+     *
+     * The statistics sink is bound per launch via beginLaunch(); an SM
+     * belongs to exactly one resident kernel at a time, so the machine
+     * rebinds it whenever it allocates the SM to a new launch.
      */
     StreamingMultiprocessor(const GpuConfig &config, unsigned sm_id,
-                            KernelStats *stats, Crossbar *request_xbar,
+                            Crossbar *request_xbar,
                             const AddressMapping *mapping,
                             std::uint64_t *access_id_counter);
+
+    /**
+     * Allocate this SM to a launch: bind its statistics sink, the
+     * machine-visible launch slot stamped on every access it emits, and
+     * the launch's outstanding-store counter (stores are fire-and-forget
+     * from the SM's perspective; the machine decrements the counter when
+     * the DRAM retires them, which is what lets it declare a launch
+     * complete only once its writes drained).
+     *
+     * Requires the previous launch to have been reset().
+     */
+    void beginLaunch(KernelStats *launch_stats, std::uint32_t launch_slot,
+                     std::uint64_t *pending_writes);
+
+    /**
+     * Return the SM to the free pool after its launch retired: all warps
+     * finished and every queue drained (asserted). Scheduling state is
+     * cleared so the next beginLaunch() starts from a cold core, matching
+     * the one-launch-per-Gpu semantics the single-kernel path always had.
+     */
+    void reset();
 
     /** Make a warp resident with its per-launch subwarp partition. */
     void assignWarp(WarpId warp_id,
@@ -111,7 +135,9 @@ class StreamingMultiprocessor
 
     const GpuConfig &cfg;
     unsigned id;
-    KernelStats *stats;
+    KernelStats *stats = nullptr;          ///< Bound by beginLaunch().
+    std::uint32_t launchSlot = 0;          ///< Stamped on every access.
+    std::uint64_t *pendingWrites = nullptr; ///< Launch's in-flight stores.
     Crossbar *reqXbar;
     const AddressMapping *map;
     std::uint64_t *nextAccessId;

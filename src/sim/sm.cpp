@@ -12,12 +12,10 @@
 namespace rcoal::sim {
 
 StreamingMultiprocessor::StreamingMultiprocessor(
-    const GpuConfig &config, unsigned sm_id, KernelStats *kernel_stats,
-    Crossbar *request_xbar, const AddressMapping *mapping,
-    std::uint64_t *access_id_counter)
+    const GpuConfig &config, unsigned sm_id, Crossbar *request_xbar,
+    const AddressMapping *mapping, std::uint64_t *access_id_counter)
     : cfg(config),
       id(sm_id),
-      stats(kernel_stats),
       reqXbar(request_xbar),
       map(mapping),
       nextAccessId(access_id_counter),
@@ -27,7 +25,7 @@ StreamingMultiprocessor::StreamingMultiprocessor(
       ldstQueueCapacity(4 * config.warpSize),
       rrPointer(config.issueWidth, 0)
 {
-    RCOAL_ASSERT(stats && reqXbar && map && nextAccessId,
+    RCOAL_ASSERT(reqXbar && map && nextAccessId,
                  "SM wired without its collaborators");
     if (cfg.l1Enabled)
         l1 = std::make_unique<Cache>(cfg.l1);
@@ -36,10 +34,41 @@ StreamingMultiprocessor::StreamingMultiprocessor(
 }
 
 void
+StreamingMultiprocessor::beginLaunch(KernelStats *launch_stats,
+                                     std::uint32_t launch_slot,
+                                     std::uint64_t *pending_writes)
+{
+    RCOAL_ASSERT(launch_stats != nullptr && pending_writes != nullptr,
+                 "SM %u launch needs a stats sink and store counter", id);
+    RCOAL_ASSERT(warps.empty(), "SM %u still hosts a previous launch", id);
+    stats = launch_stats;
+    launchSlot = launch_slot;
+    pendingWrites = pending_writes;
+}
+
+void
+StreamingMultiprocessor::reset()
+{
+    RCOAL_ASSERT(unfinishedWarps == 0 && ldstQueue.empty() &&
+                     localResponses.empty() &&
+                     (!mshr || mshr->occupancy() == 0),
+                 "SM %u reset while work is in flight", id);
+    warps.clear();
+    warpIndex.clear();
+    std::fill(rrPointer.begin(), rrPointer.end(), 0);
+    busyUntil = 0;
+    stats = nullptr;
+    launchSlot = 0;
+    pendingWrites = nullptr;
+}
+
+void
 StreamingMultiprocessor::assignWarp(
     WarpId warp_id, const std::vector<WarpInstruction> *warp_trace,
     core::SubwarpPartition partition)
 {
+    RCOAL_ASSERT(stats != nullptr,
+                 "SM %u assigned a warp before beginLaunch", id);
     RCOAL_ASSERT(warps.size() < cfg.maxWarpsPerSm,
                  "SM %u over its warp limit", id);
     warpIndex[warp_id] = warps.size();
@@ -121,6 +150,7 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
         access.isWrite = !is_load;
         access.tag = instr.tag;
         access.smId = id;
+        access.launchSlot = launchSlot;
         access.warpId = warp.id;
         access.sid = coalesced.sid;
         access.issueCycle = now;
@@ -145,6 +175,8 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
                 access.prtIndices.push_back(*entry);
             }
             ++warp.outstandingLoads;
+        } else {
+            ++*pendingWrites;
         }
         ldstQueue.push_back(std::move(access));
     }

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the pluggable batching policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/serve/batcher.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+Request
+makeRequest(std::uint64_t id, Cycle arrival, unsigned lines = 32)
+{
+    Request request;
+    request.id = id;
+    request.arrival = arrival;
+    request.plaintext.resize(lines, aes::Block{});
+    return request;
+}
+
+ServeConfig
+configFor(BatchPolicy policy, unsigned max_batch = 4,
+          Cycle timeout = 1000)
+{
+    ServeConfig cfg;
+    cfg.batchPolicy = policy;
+    cfg.maxBatchRequests = max_batch;
+    cfg.batchTimeoutCycles = timeout;
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+ids(const std::vector<Request> &batch)
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &request : batch)
+        out.push_back(request.id);
+    return out;
+}
+
+TEST(Batcher, EmptyQueueFormsNoBatch)
+{
+    for (auto policy :
+         {BatchPolicy::Fcfs, BatchPolicy::BatchFill, BatchPolicy::Sjf}) {
+        Batcher batcher(configFor(policy));
+        RequestQueue queue(8);
+        EXPECT_TRUE(batcher.formBatch(queue, 500).empty());
+    }
+}
+
+TEST(Batcher, FcfsLaunchesImmediatelyOldestFirst)
+{
+    Batcher batcher(configFor(BatchPolicy::Fcfs, 4));
+    RequestQueue queue(8);
+    for (std::uint64_t i = 0; i < 6; ++i)
+        queue.tryPush(makeRequest(i, 100 + i));
+
+    // Even a single pending request launches; no waiting.
+    EXPECT_EQ(ids(batcher.formBatch(queue, 106)),
+              (std::vector<std::uint64_t>{0, 1, 2, 3}));
+    EXPECT_EQ(ids(batcher.formBatch(queue, 106)),
+              (std::vector<std::uint64_t>{4, 5}));
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(Batcher, BatchFillWaitsUntilFullOrTimeout)
+{
+    Batcher batcher(configFor(BatchPolicy::BatchFill, 4, 1000));
+    RequestQueue queue(8);
+    queue.tryPush(makeRequest(1, 100));
+    queue.tryPush(makeRequest(2, 150));
+
+    // Two of four queued, oldest only 500 cycles old: hold.
+    EXPECT_TRUE(batcher.formBatch(queue, 600).empty());
+    EXPECT_EQ(queue.size(), 2u);
+
+    // Oldest hits the deadline: launch the partial batch.
+    EXPECT_EQ(ids(batcher.formBatch(queue, 1100)),
+              (std::vector<std::uint64_t>{1, 2}));
+
+    // A full batch launches without waiting for the deadline.
+    for (std::uint64_t i = 10; i < 14; ++i)
+        queue.tryPush(makeRequest(i, 2000));
+    EXPECT_EQ(ids(batcher.formBatch(queue, 2000)),
+              (std::vector<std::uint64_t>{10, 11, 12, 13}));
+}
+
+TEST(Batcher, SjfPicksSmallestWithAgeTiebreak)
+{
+    Batcher batcher(configFor(BatchPolicy::Sjf, 2));
+    RequestQueue queue(8);
+    queue.tryPush(makeRequest(1, 10, 96));
+    queue.tryPush(makeRequest(2, 20, 32));
+    queue.tryPush(makeRequest(3, 30, 64));
+    queue.tryPush(makeRequest(4, 40, 32));
+
+    // Smallest first; the older of the two 32-line requests wins the tie.
+    EXPECT_EQ(ids(batcher.formBatch(queue, 50)),
+              (std::vector<std::uint64_t>{2, 4}));
+    EXPECT_EQ(ids(batcher.formBatch(queue, 50)),
+              (std::vector<std::uint64_t>{3, 1}));
+    EXPECT_TRUE(queue.empty());
+}
+
+} // namespace
+} // namespace rcoal::serve

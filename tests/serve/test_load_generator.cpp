@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the deterministic load generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/common/rng.hpp"
+#include "rcoal/serve/load_generator.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+/** Drain @p generator over @p cycles cycles, one poll per cycle. */
+std::vector<Request>
+drain(OpenLoopGenerator &generator, Cycle cycles)
+{
+    std::vector<Request> out;
+    for (Cycle now = 0; now <= cycles; ++now)
+        generator.poll(now, out);
+    return out;
+}
+
+TEST(LoadGenerator, OpenLoopDisabledAtNonPositiveGap)
+{
+    OpenLoopGenerator generator(0.0, {}, 1, 0);
+    const auto requests = drain(generator, 100'000);
+    EXPECT_TRUE(requests.empty());
+    EXPECT_EQ(generator.issued(), 0u);
+}
+
+TEST(LoadGenerator, OpenLoopIsDeterministicPerSeed)
+{
+    const std::vector<unsigned> sizes = {32, 64};
+    OpenLoopGenerator a(500.0, sizes, 99, 1000);
+    OpenLoopGenerator b(500.0, sizes, 99, 1000);
+    const auto ra = drain(a, 20'000);
+    const auto rb = drain(b, 20'000);
+
+    ASSERT_FALSE(ra.empty());
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].id, rb[i].id);
+        EXPECT_EQ(ra[i].arrival, rb[i].arrival);
+        EXPECT_EQ(ra[i].plaintext, rb[i].plaintext);
+        EXPECT_FALSE(ra[i].isProbe);
+        EXPECT_EQ(ra[i].clientId, -1);
+    }
+    // Ids are dense from first_id, arrivals non-decreasing, and sizes
+    // come from the choice list.
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].id, 1000 + i);
+        if (i > 0)
+            EXPECT_GE(ra[i].arrival, ra[i - 1].arrival);
+        EXPECT_TRUE(ra[i].lines() == 32 || ra[i].lines() == 64);
+    }
+    EXPECT_EQ(a.issued(), ra.size());
+
+    // A different seed produces a different schedule.
+    OpenLoopGenerator c(500.0, sizes, 100, 1000);
+    const auto rc = drain(c, 20'000);
+    ASSERT_FALSE(rc.empty());
+    EXPECT_TRUE(rc.size() != ra.size() ||
+                rc[0].arrival != ra[0].arrival ||
+                rc[0].plaintext != ra[0].plaintext);
+}
+
+TEST(LoadGenerator, OpenLoopMeanGapRoughlyMatches)
+{
+    OpenLoopGenerator generator(200.0, {32}, 7, 0);
+    const Cycle horizon = 200'000;
+    const auto requests = drain(generator, horizon);
+    ASSERT_GT(requests.size(), 100u);
+    const double mean_gap =
+        static_cast<double>(requests.back().arrival) /
+        static_cast<double>(requests.size());
+    EXPECT_GT(mean_gap, 140.0);
+    EXPECT_LT(mean_gap, 280.0);
+}
+
+TEST(LoadGenerator, ClosedLoopKeepsOneRequestInFlightPerClient)
+{
+    ClosedLoopGenerator generator(2, 100, 32, 5, 0, true);
+    std::vector<Request> out;
+    generator.poll(0, out);
+    ASSERT_EQ(out.size(), 2u); // Both clients submit at once.
+    EXPECT_EQ(out[0].clientId, 0);
+    EXPECT_EQ(out[1].clientId, 1);
+    EXPECT_TRUE(out[0].isProbe);
+    EXPECT_EQ(generator.issued(), 2u);
+
+    // While in flight, nothing new is submitted.
+    out.clear();
+    for (Cycle now = 1; now < 500; ++now)
+        generator.poll(now, out);
+    EXPECT_TRUE(out.empty());
+
+    // Completion at cycle 500 schedules the next submission at 600.
+    generator.onCompletion(0, 500);
+    for (Cycle now = 500; now < 600; ++now)
+        generator.poll(now, out);
+    EXPECT_TRUE(out.empty());
+    generator.poll(600, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].clientId, 0);
+    EXPECT_EQ(out[0].id, 2u); // Fresh id after the two initial ones.
+    EXPECT_EQ(generator.issued(), 3u);
+}
+
+TEST(LoadGenerator, ClosedLoopRetryReusesIdAndPlaintext)
+{
+    ClosedLoopGenerator generator(1, 50, 32, 5, 0, true);
+    std::vector<Request> out;
+    generator.poll(0, out);
+    ASSERT_EQ(out.size(), 1u);
+    const auto original_id = out[0].id;
+    const auto original_plaintext = out[0].plaintext;
+
+    // Admission control bounced the request; the client retries it
+    // verbatim after a think time, keeping observation order aligned
+    // with the plaintext stream index.
+    generator.onRejection(0, std::move(out[0]), 10);
+    out.clear();
+    generator.poll(60, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].id, original_id);
+    EXPECT_EQ(out[0].plaintext, original_plaintext);
+    EXPECT_EQ(generator.issued(), 1u); // Retries are not re-counted.
+}
+
+TEST(LoadGenerator, ClosedLoopPlaintextMatchesStreamDerivation)
+{
+    // Request i draws its plaintext from Rng::stream(seed, i): the
+    // contract that lets probe plaintexts match the one-shot harness.
+    const std::uint64_t seed = 7;
+    ClosedLoopGenerator generator(1, 10, 32, seed, 0, true);
+    std::vector<Request> out;
+    generator.poll(0, out);
+    ASSERT_EQ(out.size(), 1u);
+    Rng rng = Rng::stream(seed, 0);
+    EXPECT_EQ(out[0].plaintext, workloads::randomPlaintext(32, rng));
+
+    generator.onCompletion(0, 5);
+    out.clear();
+    generator.poll(15, out);
+    ASSERT_EQ(out.size(), 1u);
+    Rng rng1 = Rng::stream(seed, 1);
+    EXPECT_EQ(out[0].plaintext, workloads::randomPlaintext(32, rng1));
+}
+
+} // namespace
+} // namespace rcoal::serve

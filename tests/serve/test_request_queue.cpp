@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the bounded admission queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/serve/request_queue.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+Request
+makeRequest(std::uint64_t id, Cycle arrival, unsigned lines = 32)
+{
+    Request request;
+    request.id = id;
+    request.arrival = arrival;
+    request.plaintext.resize(lines, aes::Block{});
+    return request;
+}
+
+TEST(RequestQueue, AdmitsUpToCapacityThenRejects)
+{
+    RequestQueue queue(2);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.capacity(), 2u);
+
+    EXPECT_TRUE(queue.tryPush(makeRequest(1, 10)));
+    EXPECT_TRUE(queue.tryPush(makeRequest(2, 11)));
+    EXPECT_EQ(queue.size(), 2u);
+
+    Request overflow = makeRequest(3, 12, 64);
+    EXPECT_FALSE(queue.tryPush(std::move(overflow)));
+    // Rejection must leave the request intact so the client can retry
+    // the identical payload.
+    EXPECT_EQ(overflow.id, 3u);
+    EXPECT_EQ(overflow.lines(), 64u);
+
+    EXPECT_EQ(queue.admitted(), 2u);
+    EXPECT_EQ(queue.rejected(), 1u);
+}
+
+TEST(RequestQueue, PopFrontIsOldestFirst)
+{
+    RequestQueue queue(4);
+    queue.tryPush(makeRequest(7, 100));
+    queue.tryPush(makeRequest(8, 105));
+    queue.tryPush(makeRequest(9, 110));
+
+    EXPECT_EQ(queue.oldestArrival(), 100u);
+    EXPECT_EQ(queue.popFront().id, 7u);
+    EXPECT_EQ(queue.oldestArrival(), 105u);
+    EXPECT_EQ(queue.popFront().id, 8u);
+    EXPECT_EQ(queue.popFront().id, 9u);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(RequestQueue, PopAtRemovesByAgeIndex)
+{
+    RequestQueue queue(4);
+    queue.tryPush(makeRequest(1, 10, 96));
+    queue.tryPush(makeRequest(2, 20, 32));
+    queue.tryPush(makeRequest(3, 30, 64));
+
+    EXPECT_EQ(queue.peek(0).id, 1u);
+    EXPECT_EQ(queue.peek(1).id, 2u);
+    EXPECT_EQ(queue.popAt(1).id, 2u); // Middle removal.
+    EXPECT_EQ(queue.size(), 2u);
+    EXPECT_EQ(queue.peek(0).id, 1u);
+    EXPECT_EQ(queue.peek(1).id, 3u);
+    // Freed a slot: admission works again at the bound.
+    queue.tryPush(makeRequest(4, 40));
+    queue.tryPush(makeRequest(5, 50));
+    EXPECT_EQ(queue.size(), 4u);
+    EXPECT_EQ(queue.rejected(), 0u);
+}
+
+} // namespace
+} // namespace rcoal::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for ServeConfig validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/serve/config.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+TEST(ServeConfig, DefaultsValidateAgainstPaperBaseline)
+{
+    const sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+    const ServeConfig cfg;
+    cfg.validate(gpu);
+    // 15 SMs at 5 SMs per kernel = 3 concurrent kernel gangs.
+    EXPECT_EQ(cfg.numGangs(gpu), 3u);
+}
+
+TEST(ServeConfig, PolicyNames)
+{
+    EXPECT_STREQ(batchPolicyName(BatchPolicy::Fcfs), "FCFS");
+    EXPECT_STREQ(batchPolicyName(BatchPolicy::BatchFill), "BatchFill");
+    EXPECT_STREQ(batchPolicyName(BatchPolicy::Sjf), "SJF");
+}
+
+TEST(ServeConfig, DescribeMentionsKeyKnobs)
+{
+    const sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+    ServeConfig cfg;
+    cfg.batchPolicy = BatchPolicy::BatchFill;
+    const std::string text = cfg.describe(gpu);
+    for (const char *needle : {"queue 64", "BatchFill", "3 gangs"}) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing: " << needle;
+    }
+}
+
+TEST(ServeConfigDeathTest, RejectsBadKnobsWithActionableMessages)
+{
+    const sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+
+    ServeConfig cfg;
+    cfg.queueCapacity = 0;
+    EXPECT_EXIT(cfg.validate(gpu), testing::ExitedWithCode(1),
+                "queueCapacity must be positive");
+
+    cfg = ServeConfig{};
+    cfg.maxBatchRequests = 0;
+    EXPECT_EXIT(cfg.validate(gpu), testing::ExitedWithCode(1),
+                "maxBatchRequests must be positive");
+
+    cfg = ServeConfig{};
+    cfg.smsPerKernel = 0;
+    EXPECT_EXIT(cfg.validate(gpu), testing::ExitedWithCode(1),
+                "smsPerKernel must be positive");
+
+    cfg = ServeConfig{};
+    cfg.smsPerKernel = gpu.numSms + 1;
+    EXPECT_EXIT(cfg.validate(gpu), testing::ExitedWithCode(1),
+                "exceeds the GPU's 15 SMs");
+
+    cfg = ServeConfig{};
+    cfg.batchPolicy = BatchPolicy::BatchFill;
+    cfg.batchTimeoutCycles = 0;
+    EXPECT_EXIT(cfg.validate(gpu), testing::ExitedWithCode(1),
+                "batchTimeoutCycles must be positive");
+
+    cfg = ServeConfig{};
+    cfg.maxSimCycles = 0;
+    EXPECT_EXIT(cfg.validate(gpu), testing::ExitedWithCode(1),
+                "maxSimCycles must be positive");
+}
+
+TEST(ServeConfig, ZeroTimeoutLegalOutsideBatchFill)
+{
+    const sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+    ServeConfig cfg;
+    cfg.batchPolicy = BatchPolicy::Fcfs;
+    cfg.batchTimeoutCycles = 0; // Unused by FCFS.
+    cfg.validate(gpu);
+}
+
+} // namespace
+} // namespace rcoal::serve

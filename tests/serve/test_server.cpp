@@ -1,0 +1,214 @@
+/**
+ * @file
+ * End-to-end tests of the encryption server: functional correctness
+ * (served ciphertexts match library AES), serving invariants, and the
+ * bit-reproducibility contract that lets scenarios spread over the
+ * bench thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/aes/aes.hpp"
+#include "rcoal/common/rng.hpp"
+#include "rcoal/common/thread_pool.hpp"
+#include "rcoal/serve/server.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+sim::GpuConfig
+smallGpu(std::uint64_t seed = 42)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.numSms = 4;
+    cfg.seed = seed;
+    return cfg;
+}
+
+ServeConfig
+smallServe(BatchPolicy policy = BatchPolicy::Fcfs)
+{
+    ServeConfig cfg;
+    cfg.batchPolicy = policy;
+    cfg.queueCapacity = 16;
+    cfg.maxBatchRequests = 2;
+    cfg.batchTimeoutCycles = 2000;
+    cfg.smsPerKernel = 2; // Two gangs on the 4-SM device.
+    return cfg;
+}
+
+WorkloadSpec
+probeOnlySpec(unsigned samples = 4)
+{
+    WorkloadSpec spec;
+    spec.probeSamples = samples;
+    spec.probeLines = 32;
+    spec.probeSeed = 7;
+    spec.probeThinkCycles = 100;
+    spec.backgroundMeanGapCycles = 0.0; // No background tenants.
+    return spec;
+}
+
+void
+expectIdenticalReports(const ServeReport &a, const ServeReport &b)
+{
+    ASSERT_EQ(a.completed.size(), b.completed.size());
+    for (std::size_t i = 0; i < a.completed.size(); ++i) {
+        const auto &ca = a.completed[i];
+        const auto &cb = b.completed[i];
+        EXPECT_EQ(ca.id, cb.id) << "completion " << i;
+        EXPECT_EQ(ca.arrival, cb.arrival) << "completion " << i;
+        EXPECT_EQ(ca.launched, cb.launched) << "completion " << i;
+        EXPECT_EQ(ca.completed, cb.completed) << "completion " << i;
+        EXPECT_EQ(ca.ciphertext, cb.ciphertext) << "completion " << i;
+        EXPECT_EQ(ca.kernelTotalTime, cb.kernelTotalTime)
+            << "completion " << i;
+        EXPECT_EQ(ca.kernelLastRoundTime, cb.kernelLastRoundTime)
+            << "completion " << i;
+        EXPECT_EQ(ca.kernelLastRoundAccesses, cb.kernelLastRoundAccesses)
+            << "completion " << i;
+        EXPECT_EQ(ca.batchRequests, cb.batchRequests)
+            << "completion " << i;
+    }
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.kernelsLaunched, b.kernelsLaunched);
+    EXPECT_EQ(a.probeLatency.p50, b.probeLatency.p50);
+    EXPECT_EQ(a.probeLatency.p99, b.probeLatency.p99);
+}
+
+TEST(EncryptionServer, ServesCorrectCiphertexts)
+{
+    const WorkloadSpec spec = probeOnlySpec(4);
+    const EncryptionServer server(smallGpu(), smallServe(), kKey);
+    const ServeReport report = server.run(spec);
+
+    // Every probe completed, and probe request i carries the ciphertext
+    // of plaintext stream (probeSeed, i) — the ground truth the library
+    // AES computes directly.
+    const aes::Aes aes(kKey);
+    unsigned probes = 0;
+    for (const auto &done : report.completed) {
+        if (!done.isProbe)
+            continue;
+        ++probes;
+        ASSERT_LT(done.id, spec.probeSamples);
+        Rng rng = Rng::stream(spec.probeSeed, done.id);
+        const auto plaintext =
+            workloads::randomPlaintext(spec.probeLines, rng);
+        EXPECT_EQ(done.ciphertext, aes.encryptEcb(plaintext))
+            << "probe " << done.id;
+    }
+    EXPECT_EQ(probes, spec.probeSamples);
+}
+
+TEST(EncryptionServer, ReportsConsistentServingInvariants)
+{
+    const WorkloadSpec spec = probeOnlySpec(5);
+    const EncryptionServer server(smallGpu(), smallServe(), kKey);
+    const ServeReport report = server.run(spec);
+
+    EXPECT_GE(report.admitted, report.completed.size());
+    EXPECT_GT(report.kernelsLaunched, 0u);
+    EXPECT_GT(report.totalCycles, 0u);
+    EXPECT_GT(report.throughputReqPerSec, 0.0);
+    EXPECT_GT(report.meanBusySms, 0.0);
+    EXPECT_LE(report.smOccupancy, 1.0);
+    for (const auto &done : report.completed) {
+        EXPECT_LE(done.arrival, done.launched);
+        EXPECT_LT(done.launched, done.completed);
+        EXPECT_GT(done.kernelTotalTime, 0.0);
+        EXPECT_GT(done.kernelLastRoundTime, 0.0);
+        EXPECT_GE(done.batchRequests, 1u);
+        EXPECT_LE(done.batchRequests, 2u); // maxBatchRequests.
+    }
+    // The single-client probe loop keeps one request in flight, so
+    // probe latency stats cover exactly probeSamples completions.
+    EXPECT_EQ(report.probeLatency.count, spec.probeSamples);
+    EXPECT_GT(report.probeLatency.p50, 0.0);
+    EXPECT_LE(report.probeLatency.p50, report.probeLatency.p99);
+    EXPECT_LE(report.probeLatency.p99, report.probeLatency.max);
+}
+
+TEST(EncryptionServer, BackgroundLoadFlowsThroughTheSameMachine)
+{
+    WorkloadSpec spec = probeOnlySpec(4);
+    spec.backgroundMeanGapCycles = 2000.0;
+    spec.backgroundLineChoices = {32, 64};
+    spec.backgroundSeed = 1234;
+
+    const EncryptionServer server(smallGpu(), smallServe(), kKey);
+    const ServeReport report = server.run(spec);
+
+    unsigned probes = 0;
+    unsigned tenants = 0;
+    const aes::Aes aes(kKey);
+    for (const auto &done : report.completed) {
+        if (done.isProbe) {
+            ++probes;
+            continue;
+        }
+        ++tenants;
+        // Background ciphertexts are real encryptions too.
+        Rng rng = Rng::stream(spec.backgroundSeed, done.id - 1'000'000'000);
+        (void)rng.uniform01(); // The interarrival gap draw.
+        (void)rng.below(2);    // The size draw.
+        EXPECT_EQ(done.ciphertext,
+                  aes.encryptEcb(workloads::randomPlaintext(
+                      done.lines, rng)))
+            << "tenant " << done.id;
+    }
+    EXPECT_EQ(probes, spec.probeSamples);
+    EXPECT_GT(tenants, 0u);
+}
+
+TEST(ServeParallelDeterminism, RerunsAreBitIdentical)
+{
+    WorkloadSpec spec = probeOnlySpec(4);
+    spec.backgroundMeanGapCycles = 3000.0;
+    spec.backgroundLineChoices = {32};
+
+    const EncryptionServer server(smallGpu(), smallServe(), kKey);
+    const ServeReport first = server.run(spec);
+    const ServeReport second = server.run(spec);
+    expectIdenticalReports(first, second);
+}
+
+TEST(ServeParallelDeterminism, ScenariosIndependentOfWorkerCount)
+{
+    // The parallel axis of the serve experiments is scenarios, not
+    // cycles; a scenario's report must not depend on which worker (or
+    // how many siblings) ran it.
+    const std::vector<BatchPolicy> policies = {
+        BatchPolicy::Fcfs, BatchPolicy::BatchFill, BatchPolicy::Sjf};
+    auto run_one = [&](std::size_t i) {
+        WorkloadSpec spec = probeOnlySpec(3);
+        spec.backgroundMeanGapCycles = 4000.0;
+        spec.backgroundLineChoices = {32};
+        spec.backgroundSeed = 100 + i;
+        const EncryptionServer server(
+            smallGpu(7 + i), smallServe(policies[i]), kKey);
+        return server.run(spec);
+    };
+
+    std::vector<ServeReport> serial;
+    for (std::size_t i = 0; i < policies.size(); ++i)
+        serial.push_back(run_one(i));
+
+    ThreadPool pool(3);
+    const auto parallel =
+        pool.parallelMap(policies.size(), run_one);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdenticalReports(serial[i], parallel[i]);
+}
+
+} // namespace
+} // namespace rcoal::serve

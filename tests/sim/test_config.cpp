@@ -83,6 +83,31 @@ TEST(GpuConfigDeathTest, RejectsBadGeometry)
                 "num-subwarp");
 }
 
+TEST(GpuConfigDeathTest, RejectsZeroSmsWithActionableMessage)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.numSms = 0;
+    // The message must name the field and echo the offending value.
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "numSms.*positive.*got 0");
+}
+
+TEST(GpuConfigDeathTest, RejectsZeroPartitionsWithActionableMessage)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.numPartitions = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "numPartitions.*positive");
+}
+
+TEST(GpuConfigDeathTest, RejectsNonPowerOfTwoWarpSize)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.warpSize = 24;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "warpSize must be a power of two \\(got 24\\)");
+}
+
 TEST(GpuConfigDeathTest, RejectsTooManyBanks)
 {
     GpuConfig cfg = GpuConfig::paperBaseline();
