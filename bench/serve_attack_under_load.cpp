@@ -20,6 +20,8 @@
 #include <cstdio>
 
 #include "rcoal/attack/served_attack.hpp"
+#include "rcoal/trace/chrome_trace.hpp"
+#include "rcoal/trace/tracer.hpp"
 #include "support/bench_support.hpp"
 
 namespace {
@@ -53,33 +55,52 @@ struct ScenarioResult
     double attackSeconds = 0.0;
 };
 
-ScenarioResult
-runScenario(const Scenario &scenario, std::size_t index,
-            unsigned probe_samples, std::uint64_t root_seed)
+/** The full deterministic configuration of one scenario cell. */
+struct ScenarioSetup
+{
+    sim::GpuConfig gpu;
+    serve::ServeConfig cfg;
+    serve::WorkloadSpec spec;
+};
+
+ScenarioSetup
+makeScenarioSetup(const Scenario &scenario, std::size_t index,
+                  unsigned probe_samples, std::uint64_t root_seed)
 {
     // Everything below derives from (root_seed, index) only, so the
     // scenario is a pure function of its cell regardless of which
     // worker runs it.
-    sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
-    gpu.seed = Rng::deriveSeed(root_seed, index + 1);
+    ScenarioSetup setup;
+    setup.gpu = sim::GpuConfig::paperBaseline();
+    setup.gpu.seed = Rng::deriveSeed(root_seed, index + 1);
 
-    serve::ServeConfig cfg;
-    cfg.batchPolicy = scenario.policy;
-    cfg.queueCapacity = 64;
-    cfg.maxBatchRequests = 4;
-    cfg.batchTimeoutCycles = 3000;
-    cfg.smsPerKernel = 5;
+    setup.cfg.batchPolicy = scenario.policy;
+    setup.cfg.queueCapacity = 64;
+    setup.cfg.maxBatchRequests = 4;
+    setup.cfg.batchTimeoutCycles = 3000;
+    setup.cfg.smsPerKernel = 5;
 
-    serve::WorkloadSpec spec;
-    spec.probeSamples = probe_samples;
-    spec.probeLines = 32;
+    setup.spec.probeSamples = probe_samples;
+    setup.spec.probeLines = 32;
     // Probe plaintext stream root = the solo harness's plaintext seed,
     // so the attacker submits the same probe sequence in both worlds.
-    spec.probeSeed = 7;
-    spec.probeThinkCycles = 200;
-    spec.backgroundMeanGapCycles = scenario.meanGapCycles;
-    spec.backgroundLineChoices = scenario.lineChoices;
-    spec.backgroundSeed = Rng::deriveSeed(root_seed, 1000 + index);
+    setup.spec.probeSeed = 7;
+    setup.spec.probeThinkCycles = 200;
+    setup.spec.backgroundMeanGapCycles = scenario.meanGapCycles;
+    setup.spec.backgroundLineChoices = scenario.lineChoices;
+    setup.spec.backgroundSeed = Rng::deriveSeed(root_seed, 1000 + index);
+    return setup;
+}
+
+ScenarioResult
+runScenario(const Scenario &scenario, std::size_t index,
+            unsigned probe_samples, std::uint64_t root_seed)
+{
+    const ScenarioSetup setup =
+        makeScenarioSetup(scenario, index, probe_samples, root_seed);
+    const sim::GpuConfig &gpu = setup.gpu;
+    const serve::ServeConfig &cfg = setup.cfg;
+    const serve::WorkloadSpec &spec = setup.spec;
 
     ScenarioResult result;
     result.scenario = scenario;
@@ -198,6 +219,62 @@ main(int argc, char **argv)
         rcoal::bench::engineReport().record("attack", 16 * 256,
                                             r.attackSeconds);
     }
+
+    // Roll the per-kernel counter snapshots up into the engine report:
+    // the numbers a perf regression in the machine itself would move
+    // first, independent of the latency percentiles above.
+    std::uint64_t kernels = 0;
+    std::uint64_t kernel_cycles = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t prt_stalls = 0;
+    std::uint64_t icn_stalls = 0;
+    for (const auto &r : results) {
+        kernels += r.report.kernels.size();
+        for (const auto &snap : r.report.kernels) {
+            kernel_cycles += snap.cycles;
+            coalesced += snap.coalescedAccesses;
+            prt_stalls += snap.prtStallCycles;
+            icn_stalls += snap.icnStallCycles;
+        }
+    }
+    auto &engine = rcoal::bench::engineReport();
+    engine.setExtra("kernels_retired",
+                    std::to_string(kernels));
+    engine.setExtra("mean_kernel_cycles",
+                    kernels == 0
+                        ? "0"
+                        : std::to_string(kernel_cycles / kernels));
+    engine.setExtra("coalesced_accesses", std::to_string(coalesced));
+    engine.setExtra("prt_stall_cycles", std::to_string(prt_stalls));
+    engine.setExtra("icn_stall_cycles", std::to_string(icn_stalls));
+
+    // --trace FILE: re-run one representative scenario (FCFS, heavy
+    // load) with the tracer attached and export a Chrome/Perfetto
+    // timeline of the whole serving stack.
+    if (!opts.tracePath.empty()) {
+        const std::size_t traced_index = 2; // {Fcfs, "heavy", ...}.
+        const ScenarioSetup setup = makeScenarioSetup(
+            scenarios[traced_index], traced_index, opts.samples,
+            opts.seed);
+        rcoal::trace::Tracer tracer;
+        const serve::EncryptionServer server(setup.gpu, setup.cfg,
+                                             rcoal::bench::victimKey());
+        (void)server.run(setup.spec, &tracer);
+        rcoal::trace::writeChromeTrace(opts.tracePath, tracer,
+                                       setup.gpu.burstCycles);
+        std::printf("\n[trace] wrote %s (%llu events recorded, "
+                    "%llu dropped)%s\n",
+                    opts.tracePath.c_str(),
+                    static_cast<unsigned long long>(
+                        tracer.totalRecorded()),
+                    static_cast<unsigned long long>(
+                        tracer.totalDropped()),
+                    tracer.totalRecorded() == 0
+                        ? " — build with -DRCOAL_TRACE=ON to record "
+                          "events"
+                        : "");
+    }
+
     rcoal::bench::writeEngineReport();
     return 0;
 }

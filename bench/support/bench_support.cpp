@@ -107,6 +107,18 @@ EngineReport::merge(const std::string &phase, std::uint64_t items,
 }
 
 void
+EngineReport::setExtra(const std::string &key, const std::string &value)
+{
+    for (auto &existing : extras) {
+        if (existing.first == key) {
+            existing.second = value;
+            return;
+        }
+    }
+    extras.emplace_back(key, value);
+}
+
+void
 EngineReport::writeJson(const std::string &path,
                         const std::string &driver) const
 {
@@ -151,11 +163,21 @@ EngineReport::writeJson(const std::string &path,
         "\"workers\": %zu, "
         "\"worker_tasks\": {\"mean\": %.1f, \"min\": %.0f, "
         "\"max\": %.0f}, "
-        "\"worker_busy_seconds_total\": %.6f}",
+        "\"worker_busy_seconds_total\": %.6f",
         tasks_per_worker.count(), tasks_per_worker.mean(),
         tasks_per_worker.count() ? tasks_per_worker.min() : 0.0,
         tasks_per_worker.count() ? tasks_per_worker.max() : 0.0,
         busy_per_worker.sum());
+    if (!extras.empty()) {
+        entry += ", \"extras\": {";
+        for (std::size_t i = 0; i < extras.size(); ++i) {
+            entry += strprintf("\"%s\": %s%s", extras[i].first.c_str(),
+                               extras[i].second.c_str(),
+                               i + 1 < extras.size() ? ", " : "");
+        }
+        entry += "}";
+    }
+    entry += "}";
 
     // Merge: replace (or append) only this driver's entry.
     auto entries = readDriverEntries(path);

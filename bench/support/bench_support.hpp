@@ -13,6 +13,7 @@
 #include <array>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli.hpp"
@@ -50,6 +51,15 @@ class EngineReport
                const RunningStats &wall_seconds);
 
     /**
+     * Attach a driver-specific counter to the report entry. @p value is
+     * a JSON value literal ("12", "3.5", "\"text\"", or a nested
+     * object); it lands under "extras" in this driver's entry. Setting
+     * an existing key overwrites it. Per-kernel counter roll-ups from
+     * the serve drivers arrive through here.
+     */
+    void setExtra(const std::string &key, const std::string &value);
+
+    /**
      * Write the machine-readable report (BENCH_engine.json, schema
      * rcoal-engine-report-v2): engine sizing, per-phase wall-clock
      * stats and throughput, and worker-balance summaries.
@@ -72,6 +82,8 @@ class EngineReport
     Phase &phaseFor(const std::string &name);
 
     std::vector<Phase> phases; // small; insertion order = report order
+    /// Driver-specific key -> JSON value literal, insertion-ordered.
+    std::vector<std::pair<std::string, std::string>> extras;
 };
 
 /** The process-wide report every driver appends to. */

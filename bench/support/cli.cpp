@@ -32,11 +32,16 @@ baseName(const char *argv0)
 [[noreturn]] void
 printUsage(const std::string &driver, unsigned default_samples)
 {
-    std::printf("usage: %s [N | --samples N] [--seed S] [--threads T]\n"
+    std::printf("usage: %s [N | --samples N] [--seed S] [--threads T] "
+                "[--trace FILE]\n"
                 "  --samples N   sample count (default %u)\n"
                 "  --seed S      victim GPU seed (default 42)\n"
                 "  --threads T   engine worker count "
-                "(default: RCOAL_THREADS or hardware)\n",
+                "(default: RCOAL_THREADS or hardware)\n"
+                "  --trace FILE  export a Chrome/Perfetto trace of one "
+                "representative run\n"
+                "                (event recording needs a "
+                "-DRCOAL_TRACE=ON build)\n",
                 driver.c_str(), default_samples);
     std::exit(0);
 }
@@ -81,6 +86,11 @@ parseBenchArgs(int argc, char **argv, unsigned default_samples)
                 static_cast<unsigned>(numericValue(arg, value));
             if (opts.threads == 0)
                 fatal("--threads must be positive");
+            ++i;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (value == nullptr || value[0] == '\0')
+                fatal("--trace requires a file path");
+            opts.tracePath = value;
             ++i;
         } else if (i == 1 && arg[0] != '-' && std::atoi(arg) > 0) {
             // Historical form: first positional argument = samples.

@@ -11,6 +11,9 @@
  *   --threads T   engine worker count (sets RCOAL_THREADS; must come
  *                 before the pool spins up, which parseBenchArgs
  *                 guarantees when called first thing in main())
+ *   --trace FILE  write a Chrome/Perfetto trace of one representative
+ *                 run to FILE (drivers that support it; event recording
+ *                 needs the RCOAL_TRACE build option)
  *   --help        usage
  *
  * Parsing also records the driver's name (basename of argv[0]) so the
@@ -33,6 +36,7 @@ struct CliOptions
     unsigned samples = 0;
     std::uint64_t seed = 42;
     unsigned threads = 0; ///< 0 = RCOAL_THREADS / hardware default.
+    std::string tracePath; ///< --trace FILE; empty = no trace export.
 };
 
 /**

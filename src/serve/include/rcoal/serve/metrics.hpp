@@ -32,9 +32,29 @@ struct LatencySummary
 };
 
 /**
- * Nearest-rank percentile of @p sorted_values (ascending, non-empty).
+ * Nearest-rank percentile of @p sorted_values (sorted ascending).
+ * @p p must be in [0, 100]; p=0 gives the minimum, p=100 the maximum.
+ * An empty sample yields NaN (there is no order statistic to report).
  */
 double percentile(const std::vector<double> &sorted_values, double p);
+
+/**
+ * Counter snapshot of one retired kernel (batch) launch: the per-kernel
+ * view the engine report embeds next to the aggregate percentiles.
+ */
+struct KernelSnapshot
+{
+    std::uint64_t launchId = 0;
+    unsigned gang = 0;
+    unsigned batchRequests = 0;
+    Cycle launchedAt = 0;
+    Cycle finishedAt = 0;
+    Cycle cycles = 0; ///< finishedAt - launch on the machine clock.
+    std::uint64_t coalescedAccesses = 0;
+    std::uint64_t lastRoundAccesses = 0;
+    std::uint64_t prtStallCycles = 0;
+    std::uint64_t icnStallCycles = 0;
+};
 
 /**
  * Everything one serve simulation produced.
@@ -43,6 +63,9 @@ struct ServeReport
 {
     /** Every request that completed, in completion order. */
     std::vector<CompletedRequest> completed;
+
+    /** One counter snapshot per retired kernel, in retire order. */
+    std::vector<KernelSnapshot> kernels;
 
     LatencySummary probeLatency; ///< End-to-end, probe requests.
     LatencySummary allLatency;   ///< End-to-end, every request.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "rcoal/serve/config.hpp"
+#include "rcoal/serve/metrics.hpp"
 #include "rcoal/serve/request.hpp"
 #include "rcoal/sim/gpu_machine.hpp"
 #include "rcoal/workloads/aes_kernel.hpp"
@@ -71,8 +72,21 @@ class KernelScheduler
     /** Sum of batch sizes (requests) over all launches. */
     std::uint64_t batchedRequests() const { return batchedCount; }
 
+    /** Drain the per-kernel counter snapshots gathered at retire time. */
+    std::vector<KernelSnapshot> takeKernelSnapshots()
+    {
+        return std::move(snapshots);
+    }
+
     /** True while any kernel is resident. */
     bool anyResident() const { return machine.anyResident(); }
+
+    /** The underlying machine (to attach tracing or DRAM checking). */
+    sim::GpuMachine &gpu() { return machine; }
+    const sim::GpuMachine &gpu() const { return machine; }
+
+    /** Attach a sink for serve launch/complete events (core domain). */
+    void setTraceSink(trace::TraceSink *s) { traceSink = s; }
 
   private:
     struct ResidentBatch
@@ -94,8 +108,10 @@ class KernelScheduler
     unsigned smsPerKernel;
     std::vector<bool> gangBusy;
     std::vector<ResidentBatch> resident;
+    std::vector<KernelSnapshot> snapshots;
     std::uint64_t launchedCount = 0;
     std::uint64_t batchedCount = 0;
+    trace::TraceSink *traceSink = nullptr;
 };
 
 } // namespace rcoal::serve

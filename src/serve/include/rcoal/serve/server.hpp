@@ -20,6 +20,10 @@
 #include "rcoal/serve/metrics.hpp"
 #include "rcoal/sim/config.hpp"
 
+namespace rcoal::trace {
+class Tracer;
+} // namespace rcoal::trace
+
 namespace rcoal::serve {
 
 /**
@@ -73,8 +77,13 @@ class EncryptionServer
      * Simulate until @p spec.probeSamples probe requests completed and
      * return everything measured along the way. fatal()s if the
      * simulation passes ServeConfig::maxSimCycles.
+     *
+     * An optional @p tracer is wired through the whole stack (machine
+     * components plus a "serve" sink for admit/reject/batch events);
+     * event recording additionally needs the RCOAL_TRACE build option.
      */
-    ServeReport run(const WorkloadSpec &spec) const;
+    ServeReport run(const WorkloadSpec &spec,
+                    trace::Tracer *tracer = nullptr) const;
 
   private:
     sim::GpuConfig gpuConfig;

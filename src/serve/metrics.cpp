@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "rcoal/common/logging.hpp"
@@ -16,10 +17,11 @@ namespace rcoal::serve {
 double
 percentile(const std::vector<double> &sorted_values, double p)
 {
-    RCOAL_ASSERT(!sorted_values.empty(), "percentile of empty sample");
-    RCOAL_ASSERT(p > 0.0 && p <= 100.0, "percentile %g out of range", p);
+    RCOAL_ASSERT(p >= 0.0 && p <= 100.0, "percentile %g out of range", p);
+    if (sorted_values.empty())
+        return std::numeric_limits<double>::quiet_NaN();
     // Nearest-rank definition: the smallest value with at least p% of
-    // the sample at or below it.
+    // the sample at or below it. p=0 degenerates to the minimum.
     const auto n = sorted_values.size();
     auto rank = static_cast<std::size_t>(
         std::ceil(p / 100.0 * static_cast<double>(n)));
@@ -44,6 +46,22 @@ LatencySummary::of(std::vector<double> values)
     return summary;
 }
 
+namespace {
+
+/** One "latency" line; an empty series says so instead of fake zeros. */
+std::string
+latencyLine(const char *label, const LatencySummary &summary)
+{
+    if (summary.count == 0)
+        return strprintf("  latency %s no samples\n", label);
+    return strprintf("  latency %s p50 %.0f p95 %.0f p99 %.0f "
+                     "mean %.0f max %.0f cycles (n=%zu)\n",
+                     label, summary.p50, summary.p95, summary.p99,
+                     summary.mean, summary.max, summary.count);
+}
+
+} // namespace
+
 std::string
 ServeReport::describe() const
 {
@@ -53,15 +71,8 @@ ServeReport::describe() const
                      completed.size(),
                      static_cast<unsigned long long>(totalCycles),
                      throughputReqPerSec);
-    out += strprintf("  latency all   p50 %.0f p95 %.0f p99 %.0f "
-                     "mean %.0f max %.0f cycles (n=%zu)\n",
-                     allLatency.p50, allLatency.p95, allLatency.p99,
-                     allLatency.mean, allLatency.max, allLatency.count);
-    out += strprintf("  latency probe p50 %.0f p95 %.0f p99 %.0f "
-                     "mean %.0f max %.0f cycles (n=%zu)\n",
-                     probeLatency.p50, probeLatency.p95,
-                     probeLatency.p99, probeLatency.mean,
-                     probeLatency.max, probeLatency.count);
+    out += latencyLine("all  ", allLatency);
+    out += latencyLine("probe", probeLatency);
     out += strprintf("  queue depth mean %.2f max %zu; admitted %llu "
                      "rejected %llu\n",
                      meanQueueDepth, maxQueueDepth,

@@ -80,6 +80,8 @@ KernelScheduler::launchBatch(std::vector<Request> batch, Cycle now)
     gangBusy[gang] = true;
     ++launchedCount;
     batchedCount += entry.requests.size();
+    RCOAL_TRACE(traceSink, ServeLaunch, now, entry.id, gang,
+                entry.requests.size());
     resident.push_back(std::move(entry));
 }
 
@@ -92,10 +94,32 @@ KernelScheduler::collectCompleted(Cycle now)
             ++it;
             continue;
         }
+        // The kernel's true finish cycle, not the poll cycle: the serve
+        // loop polls at kernelPollInterval granularity, and stamping the
+        // poll cycle quantized (and inflated) every latency percentile.
+        const Cycle finished = machine.finishCycle(it->id);
+        RCOAL_ASSERT(finished <= now,
+                     "launch %llu finished at %llu, after poll cycle %llu",
+                     static_cast<unsigned long long>(it->id),
+                     static_cast<unsigned long long>(finished),
+                     static_cast<unsigned long long>(now));
         const sim::KernelStats stats = machine.take(it->id);
         const auto &cipher = it->kernel->ciphertext();
         const auto batch_size =
             static_cast<unsigned>(it->requests.size());
+
+        KernelSnapshot snap;
+        snap.launchId = it->id;
+        snap.gang = it->gang;
+        snap.batchRequests = batch_size;
+        snap.launchedAt = it->launchedAt;
+        snap.finishedAt = finished;
+        snap.cycles = stats.cycles;
+        snap.coalescedAccesses = stats.coalescedAccesses;
+        snap.lastRoundAccesses = stats.lastRoundAccesses();
+        snap.prtStallCycles = stats.prtStallCycles;
+        snap.icnStallCycles = stats.icnStallCycles;
+        snapshots.push_back(snap);
 
         for (std::size_t r = 0; r < it->requests.size(); ++r) {
             Request &request = it->requests[r];
@@ -106,7 +130,7 @@ KernelScheduler::collectCompleted(Cycle now)
             done.lines = request.lines();
             done.arrival = request.arrival;
             done.launched = it->launchedAt;
-            done.completed = now;
+            done.completed = finished;
             const unsigned first = it->lineOffsets[r];
             done.ciphertext.assign(cipher.begin() + first,
                                    cipher.begin() + first + done.lines);
@@ -116,6 +140,8 @@ KernelScheduler::collectCompleted(Cycle now)
             done.kernelLastRoundAccesses = stats.lastRoundAccesses();
             done.kernelTotalAccesses = stats.coalescedAccesses;
             done.batchRequests = batch_size;
+            RCOAL_TRACE(traceSink, ServeComplete, finished, done.id,
+                        finished - done.arrival, it->gang);
             out.push_back(std::move(done));
         }
 

@@ -12,6 +12,7 @@
 #include "rcoal/serve/load_generator.hpp"
 #include "rcoal/serve/request_queue.hpp"
 #include "rcoal/serve/scheduler.hpp"
+#include "rcoal/trace/tracer.hpp"
 
 namespace rcoal::serve {
 
@@ -33,13 +34,20 @@ EncryptionServer::EncryptionServer(const sim::GpuConfig &gpu,
 }
 
 ServeReport
-EncryptionServer::run(const WorkloadSpec &spec) const
+EncryptionServer::run(const WorkloadSpec &spec,
+                      trace::Tracer *tracer) const
 {
     RCOAL_ASSERT(spec.probeSamples > 0, "workload without probes");
 
     RequestQueue queue(serveConfig.queueCapacity);
     Batcher batcher(serveConfig);
     KernelScheduler scheduler(gpuConfig, serveConfig, secretKey);
+    [[maybe_unused]] trace::TraceSink *serve_sink = nullptr;
+    if (tracer != nullptr) {
+        scheduler.gpu().setTracer(tracer);
+        serve_sink = &tracer->sink("serve", trace::ClockDomain::Core);
+        scheduler.setTraceSink(serve_sink);
+    }
     ClosedLoopGenerator probes(/*clients=*/1, spec.probeThinkCycles,
                                spec.probeLines, spec.probeSeed,
                                /*first_id=*/0, /*probes=*/true);
@@ -74,10 +82,18 @@ EncryptionServer::run(const WorkloadSpec &spec) const
         for (Request &request : arrivals) {
             const bool is_probe = request.isProbe;
             const int client = request.clientId;
-            if (!queue.tryPush(std::move(request)) && is_probe) {
-                // tryPush leaves a rejected request intact.
-                probes.onRejection(client, std::move(request), now);
+            [[maybe_unused]] const std::uint64_t rid = request.id;
+            [[maybe_unused]] const unsigned req_lines = request.lines();
+            if (queue.tryPush(std::move(request))) {
+                RCOAL_TRACE(serve_sink, ServeAdmit, now, rid, req_lines,
+                            is_probe ? 1 : 0);
+                continue;
             }
+            RCOAL_TRACE(serve_sink, ServeReject, now, rid, req_lines,
+                        is_probe ? 1 : 0);
+            // tryPush leaves a rejected request intact.
+            if (is_probe)
+                probes.onRejection(client, std::move(request), now);
         }
 
         // 3. Launch batches while gangs are free and the batcher is
@@ -86,6 +102,14 @@ EncryptionServer::run(const WorkloadSpec &spec) const
             std::vector<Request> batch = batcher.formBatch(queue, now);
             if (batch.empty())
                 break;
+            RCOAL_TRACE(serve_sink, ServeBatch, now, batch.size(),
+                        [&batch] {
+                            unsigned lines = 0;
+                            for (const Request &r : batch)
+                                lines += r.lines();
+                            return lines;
+                        }(),
+                        0);
             scheduler.launchBatch(std::move(batch), now);
         }
 
@@ -108,6 +132,7 @@ EncryptionServer::run(const WorkloadSpec &spec) const
     }
 
     report.totalCycles = now;
+    report.kernels = scheduler.takeKernelSnapshots();
     report.admitted = queue.admitted();
     report.rejected = queue.rejected();
     report.kernelsLaunched = scheduler.kernelsLaunched();

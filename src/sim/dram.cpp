@@ -8,6 +8,8 @@
 #include <algorithm>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/trace/dram_checker.hpp"
+#include "rcoal/trace/sink.hpp"
 
 namespace rcoal::sim {
 
@@ -25,17 +27,38 @@ DramPartition::DramPartition(const GpuConfig &config, unsigned partition_id,
     RCOAL_ASSERT(stats != nullptr, "DramPartition requires a stats sink");
 }
 
+bool
+DramPartition::refreshDue(Cycle now) const
+{
+    return refreshEnabled && now >= nextRefreshAt;
+}
+
 void
 DramPartition::maybeRefresh(Cycle now)
 {
-    if (!refreshEnabled || now < nextRefreshAt)
+    if (!refreshDue(now))
         return;
+    if (!legacyTiming) {
+        // A due refresh waits until the partition is quiescent: the data
+        // bus drained and every open bank past tRAS (closing a row
+        // earlier would violate it). The wait is bounded because a due
+        // refresh also blocks new ACT and column commands.
+        if (now < busFreeAt)
+            return;
+        for (const Bank &bank : banks) {
+            if (bank.openRow != -1 && now < bank.prechargeAllowed)
+                return;
+        }
+    }
+    if (checker != nullptr)
+        checker->onRefresh(now);
+    RCOAL_TRACE(traceSink, DramRefresh, now, timing.tRFC, 0, 0);
     // All-bank refresh: precharge everything and lock the banks for
     // tRFC memory cycles.
     for (Bank &bank : banks) {
         bank.openRow = -1;
-        bank.nextActivate = std::max(bank.nextActivate, now + timing.tRFC);
-        bank.nextRead = std::max(bank.nextRead, now + timing.tRFC);
+        raiseTo(bank.nextActivate, now + timing.tRFC);
+        raiseTo(bank.nextRead, now + timing.tRFC);
     }
     nextRefreshAt += timing.tREFI;
     ++stats->dramRefreshes;
@@ -60,6 +83,11 @@ DramPartition::enqueue(MemoryAccess access, const DramLocation &loc,
 bool
 DramPartition::tryIssueColumn(Cycle now)
 {
+    // A due refresh owns the command slot: no new column commands until
+    // it has fired (the pre-fix model kept issuing and the refresh then
+    // tore down in-flight state).
+    if (!legacyTiming && refreshDue(now))
+        return false;
     // FR-FCFS: the oldest request whose row is open and whose bank/bus
     // constraints are satisfied wins.
     for (Request &req : queue) {
@@ -75,7 +103,22 @@ DramPartition::tryIssueColumn(Cycle now)
         const Cycle burst_start = std::max(now + timing.tCL, busFreeAt);
         busFreeAt = burst_start + burstCycles;
         req.completion = burst_start + burstCycles;
-        bank.nextRead = now + timing.tCCD;
+        if (checker != nullptr) {
+            checker->onRead(req.loc.bank, req.loc.row, now, burst_start,
+                            burstCycles);
+        }
+        RCOAL_TRACE(traceSink, DramRead, now, req.loc.bank, req.loc.row,
+                    burst_start);
+        if (legacyTiming) {
+            // Pre-fix: plain assignment, and nothing keeps the row open
+            // until the burst drains.
+            bank.nextRead = now + timing.tCCD;
+        } else {
+            raiseTo(bank.nextRead, now + timing.tCCD);
+            // Read-to-precharge: the row must stay open (and refresh
+            // must hold off) until the data burst has drained.
+            raiseTo(bank.prechargeAllowed, burst_start + burstCycles);
+        }
         if (req.neededActivate)
             ++stats->dramRowMisses;
         else
@@ -90,6 +133,10 @@ DramPartition::tryIssueActivate(Cycle now)
 {
     if (now < nextActivateAny)
         return false;
+    // A due refresh is about to close every row; opening a new one now
+    // would immediately violate tRAS when it fires.
+    if (!legacyTiming && refreshDue(now))
+        return false;
     for (Request &req : queue) {
         if (req.completion != kInvalidCycle)
             continue;
@@ -98,11 +145,23 @@ DramPartition::tryIssueActivate(Cycle now)
             continue;
         if (now < bank.nextActivate)
             continue;
+        if (checker != nullptr)
+            checker->onActivate(req.loc.bank, req.loc.row, now);
+        RCOAL_TRACE(traceSink, DramActivate, now, req.loc.bank, req.loc.row,
+                    0);
         bank.openRow = static_cast<std::int64_t>(req.loc.row);
-        bank.nextRead = std::max(bank.nextRead, now + timing.tRCD);
-        bank.prechargeAllowed = now + timing.tRAS;
-        bank.nextActivate = now + timing.tRC;
-        nextActivateAny = now + timing.tRRD;
+        if (legacyTiming) {
+            // Pre-fix: only nextRead was monotone.
+            bank.nextRead = std::max(bank.nextRead, now + timing.tRCD);
+            bank.prechargeAllowed = now + timing.tRAS;
+            bank.nextActivate = now + timing.tRC;
+            nextActivateAny = now + timing.tRRD;
+        } else {
+            raiseTo(bank.nextRead, now + timing.tRCD);
+            raiseTo(bank.prechargeAllowed, now + timing.tRAS);
+            raiseTo(bank.nextActivate, now + timing.tRC);
+            raiseTo(nextActivateAny, now + timing.tRRD);
+        }
         ++stats->dramActivates;
         // Row-hit accounting: only the request this ACT was issued for
         // counts as a miss; younger same-row requests will read from
@@ -140,8 +199,15 @@ DramPartition::tryIssuePrecharge(Cycle now)
         // services those first anyway).
         if (open_row_wanted & (std::uint64_t{1} << req.loc.bank))
             continue;
+        if (checker != nullptr) {
+            checker->onPrecharge(req.loc.bank,
+                                 static_cast<std::uint64_t>(bank.openRow),
+                                 now);
+        }
+        RCOAL_TRACE(traceSink, DramPrecharge, now, req.loc.bank,
+                    bank.openRow, 0);
         bank.openRow = -1;
-        bank.nextActivate = std::max(bank.nextActivate, now + timing.tRP);
+        raiseTo(bank.nextActivate, now + timing.tRP);
         ++stats->dramPrecharges;
         return true;
     }

@@ -50,6 +50,58 @@ GpuMachine::GpuMachine(GpuConfig config)
     }
 }
 
+void
+GpuMachine::setTracer(trace::Tracer *t)
+{
+    if (t == nullptr) {
+        for (auto &sm : sms)
+            sm->setTraceSink(nullptr);
+        reqXbar.setTraceSink(nullptr);
+        respXbar.setTraceSink(nullptr);
+        for (auto &dram : drams)
+            dram->setTraceSink(nullptr);
+        machineSink = nullptr;
+        return;
+    }
+    t->setCoreCyclesPerMemCycle(cfg.coreClockMhz / cfg.memClockMhz);
+    for (unsigned s = 0; s < cfg.numSms; ++s) {
+        sms[s]->setTraceSink(&t->sink(strprintf("sm%u", s),
+                                      trace::ClockDomain::Core,
+                                      static_cast<std::uint16_t>(s)));
+    }
+    reqXbar.setTraceSink(&t->sink("xbar.req", trace::ClockDomain::Core));
+    respXbar.setTraceSink(&t->sink("xbar.resp", trace::ClockDomain::Core));
+    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+        drams[p]->setTraceSink(&t->sink(strprintf("dram%u", p),
+                                        trace::ClockDomain::Memory,
+                                        static_cast<std::uint16_t>(p)));
+    }
+    machineSink = &t->sink("machine", trace::ClockDomain::Core);
+}
+
+void
+GpuMachine::enableDramChecking(trace::DramProtocolChecker::Mode mode)
+{
+    trace::DramProtocolChecker::Params params;
+    params.banks = cfg.banksPerPartition;
+    params.tCL = cfg.timing.tCL;
+    params.tRP = cfg.timing.tRP;
+    params.tRC = cfg.timing.tRC;
+    params.tRAS = cfg.timing.tRAS;
+    params.tCCD = cfg.timing.tCCD;
+    params.tRCD = cfg.timing.tRCD;
+    params.tRRD = cfg.timing.tRRD;
+    params.tRFC = cfg.timing.tRFC;
+    params.burstCycles = cfg.burstCycles;
+    checkers.clear();
+    checkers.reserve(drams.size());
+    for (auto &dram : drams) {
+        checkers.push_back(
+            std::make_unique<trace::DramProtocolChecker>(params, mode));
+        dram->setChecker(checkers.back().get());
+    }
+}
+
 bool
 GpuMachine::rangeFree(SmRange range) const
 {
@@ -118,6 +170,9 @@ GpuMachine::launchStream(const KernelSource &kernel, SmRange range,
             w, &kernel.trace(w), partitioner.draw(launch_rng));
     }
 
+    RCOAL_TRACE(machineSink, KernelLaunch, nowCycle, id, range.first,
+                range.count);
+
     // Degenerate kernels (all-empty traces) retire immediately, matching
     // the old single-kernel loop that checked for idleness up front.
     checkCompletion(launch);
@@ -143,7 +198,10 @@ GpuMachine::checkCompletion(LaunchState &launch)
             return;
     }
     launch.completed = true;
+    launch.endCycle = nowCycle;
     launch.stats->cycles = nowCycle - launch.startCycle;
+    RCOAL_TRACE(machineSink, KernelRetire, nowCycle, launch.id,
+                launch.stats->cycles, 0);
 }
 
 void
@@ -256,6 +314,18 @@ GpuMachine::done(LaunchId id) const
     RCOAL_ASSERT(it != active.end(), "unknown launch %llu",
                  static_cast<unsigned long long>(id));
     return it->second.completed;
+}
+
+Cycle
+GpuMachine::finishCycle(LaunchId id) const
+{
+    const auto it = active.find(static_cast<std::uint32_t>(id));
+    RCOAL_ASSERT(it != active.end(), "unknown launch %llu",
+                 static_cast<unsigned long long>(id));
+    RCOAL_ASSERT(it->second.completed,
+                 "finishCycle for still-running launch %llu",
+                 static_cast<unsigned long long>(id));
+    return it->second.endCycle;
 }
 
 void

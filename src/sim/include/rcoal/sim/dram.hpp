@@ -13,12 +13,18 @@
 #ifndef RCOAL_SIM_DRAM_HPP
 #define RCOAL_SIM_DRAM_HPP
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
 #include "rcoal/sim/address_mapping.hpp"
 #include "rcoal/sim/memory_access.hpp"
 #include "rcoal/sim/stats.hpp"
+
+namespace rcoal::trace {
+class DramProtocolChecker;
+class TraceSink;
+} // namespace rcoal::trace
 
 namespace rcoal::sim {
 
@@ -60,6 +66,24 @@ class DramPartition
     /** Number of queued (unserviced) requests. */
     std::size_t queuedRequests() const { return queue.size(); }
 
+    /**
+     * Attach a protocol checker; every subsequent ACT/RD/PRE/REF is
+     * validated as it issues. Null detaches. Not gated by RCOAL_TRACE:
+     * checking is a test-mode feature of every build.
+     */
+    void setChecker(trace::DramProtocolChecker *c) { checker = c; }
+
+    /** Attach a sink for ACT/PRE/RD/REF trace events (memory domain). */
+    void setTraceSink(trace::TraceSink *s) { traceSink = s; }
+
+    /**
+     * Test-only: reproduce the pre-fix timing bookkeeping (plain
+     * `nextRead` assignment, no read-to-precharge protection, refresh
+     * that fires regardless of tRAS or in-flight bursts) so regression
+     * tests can demonstrate the protocol checker catches it.
+     */
+    void enableLegacyTimingForTest() { legacyTiming = true; }
+
   private:
     struct Request
     {
@@ -82,6 +106,17 @@ class DramPartition
     bool tryIssueActivate(Cycle now);
     bool tryIssuePrecharge(Cycle now);
     void maybeRefresh(Cycle now);
+    bool refreshDue(Cycle now) const;
+
+    /**
+     * Monotone deadline update: a bank timing deadline may only move
+     * forward. Plain assignment here is how the pre-fix rewind slipped
+     * in (see enableLegacyTimingForTest()).
+     */
+    static void raiseTo(Cycle &deadline, Cycle candidate)
+    {
+        deadline = std::max(deadline, candidate);
+    }
 
     unsigned id;
     DramTiming timing;
@@ -96,6 +131,10 @@ class DramPartition
     Cycle nextActivateAny = 0;        ///< tRRD across banks.
     bool refreshEnabled = false;
     Cycle nextRefreshAt = 0;          ///< Next all-bank refresh.
+
+    trace::DramProtocolChecker *checker = nullptr; ///< Optional referee.
+    trace::TraceSink *traceSink = nullptr;         ///< Optional recorder.
+    bool legacyTiming = false; ///< Test seam: pre-fix bookkeeping.
 };
 
 } // namespace rcoal::sim

@@ -33,6 +33,8 @@
 #include "rcoal/sim/kernel.hpp"
 #include "rcoal/sim/sm.hpp"
 #include "rcoal/sim/stats.hpp"
+#include "rcoal/trace/dram_checker.hpp"
+#include "rcoal/trace/tracer.hpp"
 
 namespace rcoal::sim {
 
@@ -85,6 +87,12 @@ class GpuMachine
     /** True when @p id has retired (all warps done, stores drained). */
     bool done(LaunchId id) const;
 
+    /**
+     * The core cycle completed launch @p id actually finished at (not
+     * the cycle a caller happened to poll done()). Valid until take().
+     */
+    Cycle finishCycle(LaunchId id) const;
+
     /** tick() until @p id completes. */
     void runUntilDone(LaunchId id);
 
@@ -107,6 +115,29 @@ class GpuMachine
     /** True while any launch is resident. */
     bool anyResident() const { return !active.empty(); }
 
+    /**
+     * Attach (or with nullptr detach) a tracer: creates per-component
+     * sinks ("sm0..", "xbar.req", "xbar.resp", "dram0..", "machine"),
+     * sets the tracer's clock ratio, and wires every component. The
+     * tracer must outlive the machine or be detached first.
+     */
+    void setTracer(trace::Tracer *t);
+
+    /**
+     * Create one protocol checker per DRAM partition and validate every
+     * command as it issues. Independent of RCOAL_TRACE: checking is a
+     * test-mode feature of every build.
+     */
+    void enableDramChecking(trace::DramProtocolChecker::Mode mode =
+                                trace::DramProtocolChecker::Mode::Panic);
+
+    /** The per-partition checkers (empty until enableDramChecking()). */
+    const std::vector<std::unique_ptr<trace::DramProtocolChecker>> &
+    dramCheckers() const
+    {
+        return checkers;
+    }
+
   private:
     /** Book-keeping for one resident (or completed-but-untaken) launch. */
     struct LaunchState
@@ -116,6 +147,7 @@ class GpuMachine
         std::unique_ptr<KernelStats> stats; ///< Stable per-launch sink.
         std::uint64_t pendingWrites = 0;    ///< Stores not yet retired.
         Cycle startCycle = 0;
+        Cycle endCycle = 0; ///< Cycle the work drained (once completed).
         bool completed = false;
     };
 
@@ -147,6 +179,9 @@ class GpuMachine
     KernelStats memStats; ///< Machine-level DRAM counters.
     std::unordered_map<std::uint32_t, LaunchState> active;
     std::vector<bool> smBusy; ///< SM -> allocated to a launch.
+
+    std::vector<std::unique_ptr<trace::DramProtocolChecker>> checkers;
+    trace::TraceSink *machineSink = nullptr; ///< Launch/retire events.
 
     std::uint64_t launchCounter = 0;
     std::uint64_t accessIds = 0;

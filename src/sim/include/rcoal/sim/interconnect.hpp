@@ -16,6 +16,10 @@
 
 #include "rcoal/sim/memory_access.hpp"
 
+namespace rcoal::trace {
+class TraceSink;
+} // namespace rcoal::trace
+
 namespace rcoal::sim {
 
 /**
@@ -59,6 +63,9 @@ class Crossbar
     /** Total packets moved input -> output so far. */
     std::uint64_t packetsTransferred() const { return transferred; }
 
+    /** Attach a sink for inject/grant trace events (core domain). */
+    void setTraceSink(trace::TraceSink *s) { traceSink = s; }
+
   private:
     struct Packet
     {
@@ -73,8 +80,9 @@ class Crossbar
     std::size_t queueDepth;
     std::vector<std::deque<Packet>> inputQueues;
     std::vector<std::deque<MemoryAccess>> outputQueues;
-    std::vector<unsigned> rrPointer; ///< Rotating input priority.
+    unsigned rrPointer = 0; ///< Rotating input priority.
     std::uint64_t transferred = 0;
+    trace::TraceSink *traceSink = nullptr;
 };
 
 } // namespace rcoal::sim

@@ -93,6 +93,9 @@ class StreamingMultiprocessor
 
     const Cache *l1Cache() const { return l1.get(); }
 
+    /** Attach a sink for issue/stall/coalesce events (core domain). */
+    void setTraceSink(trace::TraceSink *s) { traceSink = s; }
+
   private:
     struct WarpContext
     {
@@ -160,6 +163,7 @@ class StreamingMultiprocessor
     std::size_t unfinishedWarps = 0;    ///< Cached for O(1) done().
     Cycle busyUntil = 0;                ///< Max readyAt across warps.
     std::vector<int> laneScratch;       ///< tid -> lane index scratch.
+    trace::TraceSink *traceSink = nullptr;
 };
 
 } // namespace rcoal::sim

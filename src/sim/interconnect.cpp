@@ -6,6 +6,7 @@
 #include "rcoal/sim/interconnect.hpp"
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/trace/sink.hpp"
 
 namespace rcoal::sim {
 
@@ -16,8 +17,7 @@ Crossbar::Crossbar(unsigned num_inputs, unsigned num_outputs,
       latency(traversal_latency),
       queueDepth(queue_depth),
       inputQueues(num_inputs),
-      outputQueues(num_outputs),
-      rrPointer(1, 0)
+      outputQueues(num_outputs)
 {
     RCOAL_ASSERT(num_inputs > 0 && num_outputs > 0 && queue_depth > 0,
                  "crossbar needs ports and queue space");
@@ -38,6 +38,7 @@ Crossbar::inject(unsigned input, unsigned output, MemoryAccess access,
     RCOAL_ASSERT(canInject(input), "inject on full input port %u", input);
     RCOAL_ASSERT(output < numOutputs, "output port %u out of range",
                  output);
+    RCOAL_TRACE(traceSink, XbarInject, now, input, output, access.id);
     inputQueues[input].push_back(
         {std::move(access), output, now + latency});
 }
@@ -53,8 +54,7 @@ Crossbar::tick(Cycle now)
     RCOAL_ASSERT(numOutputs <= 64, "grant mask limited to 64 outputs");
     unsigned moved = 0;
     for (unsigned k = 0; k < numInputs && moved < numOutputs; ++k) {
-        const unsigned in =
-            static_cast<unsigned>((rrPointer[0] + k) % numInputs);
+        const unsigned in = (rrPointer + k) % numInputs;
         auto &q = inputQueues[in];
         if (q.empty())
             continue;
@@ -67,12 +67,13 @@ Crossbar::tick(Cycle now)
         if (outputQueues[out].size() >= queueDepth)
             continue;
         granted_mask |= std::uint64_t{1} << out;
+        RCOAL_TRACE(traceSink, XbarGrant, now, in, out, head.access.id);
         outputQueues[out].push_back(std::move(head.access));
         q.pop_front();
         ++transferred;
         ++moved;
     }
-    rrPointer[0] = (rrPointer[0] + 1) % numInputs;
+    rrPointer = (rrPointer + 1) % numInputs;
 }
 
 bool

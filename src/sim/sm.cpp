@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/trace/sink.hpp"
 
 namespace rcoal::sim {
 
@@ -92,8 +93,11 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
             !cfg.selectiveRCoal ||
             (cfg.protectedTagMask &
              (1u << static_cast<unsigned>(instr.tag)));
-        warp.pendingCoalesce = coalescer.coalesce(
-            instr.lanes, protect ? warp.partition : baselinePartition);
+        const core::SubwarpPartition &used =
+            protect ? warp.partition : baselinePartition;
+        warp.pendingCoalesce = coalescer.coalesce(instr.lanes, used);
+        RCOAL_TRACE(traceSink, McuCoalesce, now, warp.id,
+                    warp.pendingCoalesce.size(), used.numSubwarps());
         warp.pendingPc = warp.pc;
         warp.pendingActiveLanes = 0;
         for (const auto &lane : instr.lanes) {
@@ -118,6 +122,7 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
         return false;
     if (is_load && prt.freeEntries() < warp.pendingPrtEntries) {
         ++stats->prtStallCycles;
+        RCOAL_TRACE(traceSink, SmStall, now, 0, warp.id, 0);
         return false;
     }
 
@@ -195,6 +200,7 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, Cycle now)
       case WarpInstruction::Op::Alu:
         if (instr.waitAllLoads && warp.outstandingLoads > 0)
             return false;
+        RCOAL_TRACE(traceSink, SmIssue, now, warp.id, warp.pc, 0);
         warp.readyAt = now + std::max(1u, instr.latency);
         busyUntil = std::max(busyUntil, warp.readyAt);
         ++warp.pc;
@@ -208,6 +214,8 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, Cycle now)
       case WarpInstruction::Op::Store:
         if (!issueMemory(warp, instr, now))
             return false;
+        RCOAL_TRACE(traceSink, SmIssue, now, warp.id, warp.pc,
+                    instr.op == WarpInstruction::Op::Load ? 1 : 2);
         warp.readyAt = now + 1;
         ++warp.pc;
         ++stats->warpInstructions;
@@ -255,6 +263,7 @@ StreamingMultiprocessor::drainLdst(Cycle now)
                 return; // Structural stall; retry next cycle.
             if (!reqXbar->canInject(id)) {
                 ++stats->icnStallCycles;
+                RCOAL_TRACE(traceSink, SmStall, now, 1, head.warpId, 0);
                 return;
             }
             MemoryAccess copy = head;
@@ -269,6 +278,7 @@ StreamingMultiprocessor::drainLdst(Cycle now)
 
     if (!reqXbar->canInject(id)) {
         ++stats->icnStallCycles;
+        RCOAL_TRACE(traceSink, SmStall, now, 1, head.warpId, 0);
         return;
     }
     const unsigned dest = map->partitionOf(head.blockAddr);

@@ -1,0 +1,107 @@
+#include "rcoal/trace/chrome_trace.hpp"
+
+#include <fstream>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/trace/tracer.hpp"
+
+namespace rcoal::trace {
+
+namespace {
+
+/// Trace timestamp (µs) of @p cycle in @p domain on the core timeline.
+double
+toTraceTime(Cycle cycle, ClockDomain domain, double core_per_mem)
+{
+    const auto c = static_cast<double>(cycle);
+    return domain == ClockDomain::Memory ? c * core_per_mem : c;
+}
+
+void
+writeEvent(std::ofstream &out, bool &first, const std::string &json)
+{
+    if (!first)
+        out << ",\n";
+    first = false;
+    out << "  " << json;
+}
+
+} // namespace
+
+void
+writeChromeTrace(const std::string &path, const Tracer &tracer,
+                 unsigned dram_burst_cycles)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace output file '%s'", path.c_str());
+
+    const double ratio = tracer.coreCyclesPerMemCycle();
+
+    out << "{\n\"traceEvents\": [\n";
+    bool first = true;
+
+    // Thread-name metadata: one trace thread per sink, all in pid 1.
+    int tid = 1;
+    for (const auto &sink : tracer.sinks()) {
+        writeEvent(out, first,
+                   strprintf("{\"name\": \"thread_name\", \"ph\": \"M\", "
+                             "\"pid\": 1, \"tid\": %d, \"args\": "
+                             "{\"name\": \"%s\"}}",
+                             tid, sink->name().c_str()));
+        ++tid;
+    }
+
+    tid = 1;
+    for (const auto &sink : tracer.sinks()) {
+        const ClockDomain domain = sink->domain();
+        for (const TraceEvent &e : sink->snapshot()) {
+            const char *name = eventKindName(e.kind);
+            const double ts = toTraceTime(e.cycle, domain, ratio);
+            const std::string args = strprintf(
+                "{\"a\": %llu, \"b\": %llu, \"c\": %llu, "
+                "\"component\": %u}",
+                static_cast<unsigned long long>(e.a),
+                static_cast<unsigned long long>(e.b),
+                static_cast<unsigned long long>(e.c),
+                static_cast<unsigned>(e.component));
+
+            if (e.kind == EventKind::DramRead && dram_burst_cycles > 0) {
+                // Span the data burst: starts at the burst cycle (arg c),
+                // runs for the configured burst length.
+                const double start = toTraceTime(e.c, domain, ratio);
+                const double dur =
+                    toTraceTime(dram_burst_cycles, domain, ratio);
+                writeEvent(out, first,
+                           strprintf("{\"name\": \"%s\", \"ph\": \"X\", "
+                                     "\"pid\": 1, \"tid\": %d, "
+                                     "\"ts\": %.3f, \"dur\": %.3f, "
+                                     "\"args\": %s}",
+                                     name, tid, start, dur, args.c_str()));
+            } else if (e.kind == EventKind::DramRefresh) {
+                // Span the tRFC window recorded in arg a.
+                const double dur = toTraceTime(e.a, domain, ratio);
+                writeEvent(out, first,
+                           strprintf("{\"name\": \"%s\", \"ph\": \"X\", "
+                                     "\"pid\": 1, \"tid\": %d, "
+                                     "\"ts\": %.3f, \"dur\": %.3f, "
+                                     "\"args\": %s}",
+                                     name, tid, ts, dur, args.c_str()));
+            } else {
+                writeEvent(out, first,
+                           strprintf("{\"name\": \"%s\", \"ph\": \"i\", "
+                                     "\"pid\": 1, \"tid\": %d, "
+                                     "\"ts\": %.3f, \"s\": \"t\", "
+                                     "\"args\": %s}",
+                                     name, tid, ts, args.c_str()));
+            }
+        }
+        ++tid;
+    }
+
+    out << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+    if (!out)
+        fatal("failed writing trace output file '%s'", path.c_str());
+}
+
+} // namespace rcoal::trace

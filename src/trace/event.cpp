@@ -1,0 +1,48 @@
+#include "rcoal/trace/event.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::trace {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::SmIssue:
+        return "sm.issue";
+      case EventKind::SmStall:
+        return "sm.stall";
+      case EventKind::McuCoalesce:
+        return "mcu.coalesce";
+      case EventKind::XbarInject:
+        return "xbar.inject";
+      case EventKind::XbarGrant:
+        return "xbar.grant";
+      case EventKind::DramActivate:
+        return "dram.act";
+      case EventKind::DramPrecharge:
+        return "dram.pre";
+      case EventKind::DramRead:
+        return "dram.rd";
+      case EventKind::DramRefresh:
+        return "dram.ref";
+      case EventKind::KernelLaunch:
+        return "kernel.launch";
+      case EventKind::KernelRetire:
+        return "kernel.retire";
+      case EventKind::ServeAdmit:
+        return "serve.admit";
+      case EventKind::ServeReject:
+        return "serve.reject";
+      case EventKind::ServeBatch:
+        return "serve.batch";
+      case EventKind::ServeLaunch:
+        return "serve.launch";
+      case EventKind::ServeComplete:
+        return "serve.complete";
+    }
+    panic("eventKindName: unknown EventKind %u",
+          static_cast<unsigned>(kind));
+}
+
+} // namespace rcoal::trace

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter.
+ *
+ * Serializes a Tracer's retained events into the Chrome trace-event
+ * format (the JSON-array flavour), loadable directly in Perfetto
+ * (ui.perfetto.dev) or chrome://tracing. Mapping:
+ *
+ *  - one trace "thread" per sink, named after it;
+ *  - 1 core cycle = 1 microsecond of trace time; memory-domain sinks
+ *    are placed on the same timeline via the tracer's
+ *    coreCyclesPerMemCycle ratio;
+ *  - DramRead and DramRefresh become duration ("X") events spanning
+ *    the data burst / tRFC window; everything else is an instant ("i").
+ */
+
+#ifndef RCOAL_TRACE_CHROME_TRACE_HPP
+#define RCOAL_TRACE_CHROME_TRACE_HPP
+
+#include <string>
+
+namespace rcoal::trace {
+
+class Tracer;
+
+/**
+ * Write @p tracer's events to @p path as Chrome trace-event JSON.
+ *
+ * @param dram_burst_cycles duration given to DramRead span events
+ *        (memory cycles); 0 renders reads as instants.
+ *
+ * Calls fatal() when the file cannot be written.
+ */
+void writeChromeTrace(const std::string &path, const Tracer &tracer,
+                      unsigned dram_burst_cycles = 0);
+
+} // namespace rcoal::trace
+
+#endif // RCOAL_TRACE_CHROME_TRACE_HPP

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Structured trace events: the fixed-size records every instrumented
+ * component (SM, MCU/coalescer, crossbar, DRAM, serve frontend) drops
+ * into its ring-buffer sink.
+ *
+ * The schema is deliberately flat — one kind tag, a component index, a
+ * cycle stamp and three kind-specific integer arguments — so recording
+ * is a handful of stores and the exporter/checker can consume events
+ * without any per-kind allocation.
+ */
+
+#ifndef RCOAL_TRACE_EVENT_HPP
+#define RCOAL_TRACE_EVENT_HPP
+
+#include <cstdint>
+
+#include "rcoal/common/types.hpp"
+
+namespace rcoal::trace {
+
+/**
+ * What happened. Argument meaning per kind (a, b, c):
+ *
+ *  - SmIssue:        warp id, pc, op (0 = ALU, 1 = load, 2 = store)
+ *  - SmStall:        reason (0 = PRT full, 1 = ICN backpressure), warp id
+ *  - McuCoalesce:    warp id, coalesced accesses, subwarps (M)
+ *  - XbarInject:     input port, output port, access id
+ *  - XbarGrant:      input port, output port, access id
+ *  - DramActivate:   bank, row
+ *  - DramPrecharge:  bank, row being closed
+ *  - DramRead:       bank, row, burst start cycle
+ *  - DramRefresh:    tRFC duration
+ *  - KernelLaunch:   launch id, first SM, SM count
+ *  - KernelRetire:   launch id, total cycles
+ *  - ServeAdmit:     request id, lines, is-probe
+ *  - ServeReject:    request id, lines
+ *  - ServeBatch:     requests in batch, total lines
+ *  - ServeLaunch:    launch id, gang, requests in batch
+ *  - ServeComplete:  request id, latency cycles, gang
+ */
+enum class EventKind : std::uint8_t
+{
+    SmIssue = 0,
+    SmStall,
+    McuCoalesce,
+    XbarInject,
+    XbarGrant,
+    DramActivate,
+    DramPrecharge,
+    DramRead,
+    DramRefresh,
+    KernelLaunch,
+    KernelRetire,
+    ServeAdmit,
+    ServeReject,
+    ServeBatch,
+    ServeLaunch,
+    ServeComplete,
+};
+
+/** Number of distinct EventKind values. */
+inline constexpr std::size_t kNumEventKinds = 16;
+
+/** Short stable name for @p kind ("dram.act", "serve.admit", ...). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One recorded event. `cycle` is in the emitting component's clock
+ * domain (core or memory — the owning sink knows which).
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    EventKind kind = EventKind::SmIssue;
+    std::uint16_t component = 0; ///< SM / partition / port index.
+};
+
+} // namespace rcoal::trace
+
+/**
+ * Compile-time gate for the hot-path trace hooks. Off by default: the
+ * macro expands to nothing, so an untraced build pays zero cost (no
+ * branch, no sink pointer test). Configure with -DRCOAL_TRACE=ON (CMake
+ * option) to compile the hooks in; recording then happens only when a
+ * sink is attached (one pointer test otherwise).
+ */
+#ifndef RCOAL_TRACE_ENABLED
+#define RCOAL_TRACE_ENABLED 0
+#endif
+
+#if RCOAL_TRACE_ENABLED
+#define RCOAL_TRACE(sink, kind_, cycle_, a_, b_, c_)                         \
+    do {                                                                     \
+        auto *rcoal_trace_sink_ = (sink);                                    \
+        if (rcoal_trace_sink_ != nullptr) {                                  \
+            rcoal_trace_sink_->record(                                       \
+                ::rcoal::trace::EventKind::kind_,                            \
+                static_cast<::rcoal::Cycle>(cycle_),                         \
+                static_cast<std::uint64_t>(a_),                              \
+                static_cast<std::uint64_t>(b_),                              \
+                static_cast<std::uint64_t>(c_));                             \
+        }                                                                    \
+    } while (0)
+#else
+#define RCOAL_TRACE(sink, kind_, cycle_, a_, b_, c_)                         \
+    do {                                                                     \
+    } while (0)
+#endif
+
+#endif // RCOAL_TRACE_EVENT_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-component ring-buffer trace sink.
+ *
+ * A sink is a fixed-capacity ring: recording never allocates after
+ * construction and never blocks the simulation — when the ring is full
+ * the oldest events are overwritten (and counted as dropped), keeping
+ * the most recent window, which is the part a timeline viewer or a
+ * post-mortem wants.
+ */
+
+#ifndef RCOAL_TRACE_SINK_HPP
+#define RCOAL_TRACE_SINK_HPP
+
+#include <string>
+#include <vector>
+
+#include "rcoal/trace/event.hpp"
+
+namespace rcoal::trace {
+
+/** Clock domain a sink's cycle stamps are expressed in. */
+enum class ClockDomain
+{
+    Core,   ///< Core/interconnect clock.
+    Memory, ///< DRAM command clock.
+};
+
+/**
+ * One component's event ring.
+ */
+class TraceSink
+{
+  public:
+    /**
+     * @param name exporter-visible component name ("sm3", "dram0", ...).
+     * @param domain clock domain of the recorded cycle stamps.
+     * @param capacity ring size in events (must be > 0).
+     */
+    TraceSink(std::string name, ClockDomain domain, std::size_t capacity);
+
+    /** Record one event (overwrites the oldest when full). */
+    void record(EventKind kind, Cycle cycle, std::uint64_t a,
+                std::uint64_t b, std::uint64_t c)
+    {
+        TraceEvent &slot = ring[next];
+        slot.cycle = cycle;
+        slot.a = a;
+        slot.b = b;
+        slot.c = c;
+        slot.kind = kind;
+        slot.component = componentId;
+        next = next + 1 == ring.size() ? 0 : next + 1;
+        ++recorded;
+    }
+
+    /** Component index stamped on every event this sink records. */
+    void setComponentId(std::uint16_t id) { componentId = id; }
+
+    const std::string &name() const { return sinkName; }
+    ClockDomain domain() const { return clockDomain; }
+    std::size_t capacity() const { return ring.size(); }
+
+    /** Events currently held (min(recorded, capacity)). */
+    std::size_t size() const;
+
+    /** Total events ever recorded (including overwritten ones). */
+    std::uint64_t totalRecorded() const { return recorded; }
+
+    /** Events lost to ring overwrite. */
+    std::uint64_t dropped() const;
+
+    /** Chronological copy of the retained events (oldest first). */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Forget everything recorded so far. */
+    void clear();
+
+  private:
+    std::string sinkName;
+    ClockDomain clockDomain;
+    std::vector<TraceEvent> ring;
+    std::size_t next = 0;        ///< Next write position.
+    std::uint64_t recorded = 0;
+    std::uint16_t componentId = 0;
+};
+
+} // namespace rcoal::trace
+
+#endif // RCOAL_TRACE_SINK_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tracer: the registry of a machine's trace sinks.
+ *
+ * One Tracer serves one simulated machine (plus its serving frontend).
+ * Components own only a raw TraceSink pointer — null means untraced —
+ * so the simulator has no tracer dependency on its hot path; the
+ * machine wires sinks in when tracing is enabled.
+ *
+ * Not thread-safe by design: a Tracer belongs to one single-threaded
+ * simulation, matching the engine's scenario-per-worker parallelism.
+ */
+
+#ifndef RCOAL_TRACE_TRACER_HPP
+#define RCOAL_TRACE_TRACER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcoal/trace/sink.hpp"
+
+namespace rcoal::trace {
+
+/**
+ * Owns the sinks of one traced machine.
+ */
+class Tracer
+{
+  public:
+    /** @param capacity_per_sink ring size of every sink it creates. */
+    explicit Tracer(std::size_t capacity_per_sink = 1 << 16);
+
+    /**
+     * The sink named @p name, created on first use with @p domain and
+     * component id @p component. Returned references stay valid for the
+     * tracer's lifetime.
+     */
+    TraceSink &sink(const std::string &name,
+                    ClockDomain domain = ClockDomain::Core,
+                    std::uint16_t component = 0);
+
+    /** Sink named @p name, or nullptr when never created. */
+    const TraceSink *find(const std::string &name) const;
+
+    /** All sinks, in creation order. */
+    const std::vector<std::unique_ptr<TraceSink>> &sinks() const
+    {
+        return all;
+    }
+
+    /**
+     * Core cycles per memory cycle; the exporter uses it to place
+     * memory-domain events on the core-cycle timeline.
+     */
+    void setCoreCyclesPerMemCycle(double ratio);
+    double coreCyclesPerMemCycle() const { return memRatio; }
+
+    /** Total events recorded across all sinks. */
+    std::uint64_t totalRecorded() const;
+
+    /** Total events lost to ring overwrite across all sinks. */
+    std::uint64_t totalDropped() const;
+
+  private:
+    std::size_t capacity;
+    double memRatio = 1.0;
+    std::vector<std::unique_ptr<TraceSink>> all;
+};
+
+} // namespace rcoal::trace
+
+#endif // RCOAL_TRACE_TRACER_HPP

@@ -1,0 +1,52 @@
+#include "rcoal/trace/sink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::trace {
+
+TraceSink::TraceSink(std::string name, ClockDomain domain,
+                     std::size_t capacity)
+    : sinkName(std::move(name)), clockDomain(domain), ring(capacity)
+{
+    RCOAL_ASSERT(capacity > 0, "trace sink '%s' needs a non-empty ring",
+                 sinkName.c_str());
+}
+
+std::size_t
+TraceSink::size() const
+{
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(recorded, ring.size()));
+}
+
+std::uint64_t
+TraceSink::dropped() const
+{
+    return recorded - size();
+}
+
+std::vector<TraceEvent>
+TraceSink::snapshot() const
+{
+    // Oldest retained event sits at `next` once the ring has wrapped,
+    // at 0 before that.
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    const std::size_t start = recorded > ring.size() ? next : 0;
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    return out;
+}
+
+void
+TraceSink::clear()
+{
+    next = 0;
+    recorded = 0;
+}
+
+} // namespace rcoal::trace

@@ -1,0 +1,60 @@
+#include "rcoal/trace/tracer.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::trace {
+
+Tracer::Tracer(std::size_t capacity_per_sink) : capacity(capacity_per_sink)
+{
+    RCOAL_ASSERT(capacity > 0, "tracer sinks need a non-empty ring");
+}
+
+TraceSink &
+Tracer::sink(const std::string &name, ClockDomain domain,
+             std::uint16_t component)
+{
+    for (const auto &existing : all) {
+        if (existing->name() == name)
+            return *existing;
+    }
+    all.push_back(std::make_unique<TraceSink>(name, domain, capacity));
+    all.back()->setComponentId(component);
+    return *all.back();
+}
+
+const TraceSink *
+Tracer::find(const std::string &name) const
+{
+    for (const auto &existing : all) {
+        if (existing->name() == name)
+            return existing.get();
+    }
+    return nullptr;
+}
+
+void
+Tracer::setCoreCyclesPerMemCycle(double ratio)
+{
+    RCOAL_ASSERT(ratio > 0.0, "clock ratio must be positive, got %f", ratio);
+    memRatio = ratio;
+}
+
+std::uint64_t
+Tracer::totalRecorded() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : all)
+        total += s->totalRecorded();
+    return total;
+}
+
+std::uint64_t
+Tracer::totalDropped() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : all)
+        total += s->dropped();
+    return total;
+}
+
+} // namespace rcoal::trace

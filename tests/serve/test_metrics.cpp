@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for serving metrics: nearest-rank percentile edge cases
+ * (empty sample, p = 0 and p = 100), LatencySummary on degenerate
+ * inputs, and the describe() rendering of empty series.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/serve/metrics.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+TEST(Percentile, EmptySampleYieldsNan)
+{
+    const std::vector<double> empty;
+    EXPECT_TRUE(std::isnan(percentile(empty, 0.0)));
+    EXPECT_TRUE(std::isnan(percentile(empty, 50.0)));
+    EXPECT_TRUE(std::isnan(percentile(empty, 100.0)));
+}
+
+TEST(Percentile, ZeroIsMinimumAndHundredIsMaximum)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_EQ(percentile(v, 100.0), 4.0);
+}
+
+TEST(Percentile, NearestRankOnSmallSamples)
+{
+    const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_EQ(percentile(v, 25.0), 10.0); // ceil(1.0) = rank 1.
+    EXPECT_EQ(percentile(v, 50.0), 20.0); // ceil(2.0) = rank 2.
+    EXPECT_EQ(percentile(v, 75.0), 30.0);
+    EXPECT_EQ(percentile(v, 99.0), 40.0); // ceil(3.96) = rank 4.
+
+    const std::vector<double> one = {7.0};
+    EXPECT_EQ(percentile(one, 0.0), 7.0);
+    EXPECT_EQ(percentile(one, 50.0), 7.0);
+    EXPECT_EQ(percentile(one, 100.0), 7.0);
+}
+
+TEST(PercentileDeathTest, OutOfRangePanics)
+{
+    const std::vector<double> v = {1.0};
+    EXPECT_DEATH((void)percentile(v, -0.5), "out of range");
+    EXPECT_DEATH((void)percentile(v, 100.5), "out of range");
+}
+
+TEST(LatencySummaryTest, EmptyInputIsAllZerosWithZeroCount)
+{
+    const LatencySummary summary = LatencySummary::of({});
+    EXPECT_EQ(summary.count, 0u);
+    EXPECT_EQ(summary.p50, 0.0);
+    EXPECT_EQ(summary.p99, 0.0);
+    EXPECT_EQ(summary.mean, 0.0);
+    EXPECT_EQ(summary.max, 0.0);
+}
+
+TEST(LatencySummaryTest, SingleSampleIsItsOwnEveryPercentile)
+{
+    const LatencySummary summary = LatencySummary::of({42.0});
+    EXPECT_EQ(summary.count, 1u);
+    EXPECT_EQ(summary.p50, 42.0);
+    EXPECT_EQ(summary.p95, 42.0);
+    EXPECT_EQ(summary.p99, 42.0);
+    EXPECT_EQ(summary.mean, 42.0);
+    EXPECT_EQ(summary.max, 42.0);
+}
+
+TEST(LatencySummaryTest, UnsortedInputIsHandled)
+{
+    const LatencySummary summary =
+        LatencySummary::of({30.0, 10.0, 20.0, 40.0});
+    EXPECT_EQ(summary.p50, 20.0);
+    EXPECT_EQ(summary.max, 40.0);
+    EXPECT_EQ(summary.mean, 25.0);
+}
+
+TEST(ServeReportDescribe, EmptySeriesSaysNoSamplesInsteadOfZeros)
+{
+    const ServeReport report; // Nothing completed.
+    const std::string text = report.describe();
+    EXPECT_NE(text.find("no samples"), std::string::npos);
+    EXPECT_EQ(text.find("p50 0"), std::string::npos);
+}
+
+TEST(ServeReportDescribe, PopulatedSeriesShowsPercentiles)
+{
+    ServeReport report;
+    report.allLatency = LatencySummary::of({100.0, 200.0, 300.0});
+    report.probeLatency = LatencySummary::of({150.0});
+    const std::string text = report.describe();
+    EXPECT_NE(text.find("p50"), std::string::npos);
+    EXPECT_EQ(text.find("no samples"), std::string::npos);
+}
+
+} // namespace
+} // namespace rcoal::serve

@@ -11,6 +11,7 @@
 #include "rcoal/aes/aes.hpp"
 #include "rcoal/common/rng.hpp"
 #include "rcoal/common/thread_pool.hpp"
+#include "rcoal/serve/scheduler.hpp"
 #include "rcoal/serve/server.hpp"
 #include "rcoal/workloads/aes_kernel.hpp"
 
@@ -208,6 +209,49 @@ TEST(ServeParallelDeterminism, ScenariosIndependentOfWorkerCount)
     ASSERT_EQ(serial.size(), parallel.size());
     for (std::size_t i = 0; i < serial.size(); ++i)
         expectIdenticalReports(serial[i], parallel[i]);
+}
+
+TEST(KernelSchedulerLatency, CompletionStampIsPollIntervalInvariant)
+{
+    // Regression: collectCompleted used to stamp the *poll* cycle as the
+    // completion cycle, so coarser polling silently inflated (and
+    // quantized) every latency number. The stamp must be the kernel's
+    // true finish cycle regardless of how often the caller polls.
+    auto run_with_poll = [](Cycle poll_interval) {
+        KernelScheduler scheduler(smallGpu(), smallServe(), kKey);
+        Rng rng = Rng::stream(7, 0);
+        Request request;
+        request.id = 0;
+        request.arrival = 0;
+        request.isProbe = true;
+        request.clientId = 0;
+        request.plaintext = workloads::randomPlaintext(32, rng);
+        std::vector<Request> batch;
+        batch.push_back(std::move(request));
+        scheduler.launchBatch(std::move(batch), 0);
+
+        for (Cycle now = 0; now <= 500000; ++now) {
+            if (now % poll_interval == 0) {
+                auto done = scheduler.collectCompleted(now);
+                if (!done.empty()) {
+                    EXPECT_EQ(done.size(), 1u);
+                    const auto snaps = scheduler.takeKernelSnapshots();
+                    EXPECT_EQ(snaps.size(), 1u);
+                    EXPECT_EQ(snaps.front().finishedAt,
+                              done.front().completed);
+                    return done.front().completed;
+                }
+            }
+            scheduler.tick();
+        }
+        ADD_FAILURE() << "kernel never completed";
+        return Cycle{0};
+    };
+
+    const Cycle fine = run_with_poll(1);
+    ASSERT_GT(fine, 0u);
+    EXPECT_EQ(run_with_poll(64), fine);
+    EXPECT_EQ(run_with_poll(1000), fine);
 }
 
 } // namespace

@@ -126,6 +126,37 @@ TEST(Crossbar, ArbitrationIsFairUnderContention)
     EXPECT_GT(delivered[1], 50u);
 }
 
+TEST(Crossbar, RoundRobinSharesOneOutputEvenly)
+{
+    // Four saturated inputs into one output: the (scalar) round-robin
+    // pointer must hand out grants evenly, not favour low input ids.
+    constexpr unsigned kInputs = 4;
+    constexpr unsigned kRounds = 400;
+    Crossbar xbar(kInputs, 1, 1, 4);
+    std::array<unsigned, kInputs> delivered{};
+    Cycle now = 0;
+    for (unsigned round = 0; round < kRounds; ++round) {
+        ++now;
+        for (unsigned in = 0; in < kInputs; ++in) {
+            if (xbar.canInject(in))
+                xbar.inject(in, 0, accessWithId(in), now);
+        }
+        xbar.tick(now);
+        while (xbar.outputReady(0))
+            ++delivered[xbar.popOutput(0).id];
+    }
+    unsigned total = 0;
+    for (unsigned in = 0; in < kInputs; ++in)
+        total += delivered[in];
+    // One grant per cycle, so ~kRounds packets split four ways; allow
+    // slack for pipeline fill but not for starvation or heavy skew.
+    EXPECT_GE(total, kRounds - 2 * kInputs);
+    for (unsigned in = 0; in < kInputs; ++in) {
+        EXPECT_GE(delivered[in], kRounds / kInputs - 5) << "input " << in;
+        EXPECT_LE(delivered[in], kRounds / kInputs + 5) << "input " << in;
+    }
+}
+
 TEST(Crossbar, PacketCountTracksTransfers)
 {
     Crossbar xbar(1, 1, 1, 8);

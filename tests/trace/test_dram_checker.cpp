@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the DRAM protocol checker: a legal command stream is
+ * clean, and each timing rule trips on the minimal violating stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/trace/dram_checker.hpp"
+
+namespace rcoal::trace {
+namespace {
+
+DramProtocolChecker::Params
+params()
+{
+    DramProtocolChecker::Params p;
+    p.banks = 4;
+    p.tCL = 12;
+    p.tRP = 12;
+    p.tRC = 40;
+    p.tRAS = 28;
+    p.tCCD = 2;
+    p.tRCD = 12;
+    p.tRRD = 6;
+    p.tRFC = 83;
+    p.burstCycles = 2;
+    return p;
+}
+
+DramProtocolChecker
+collect()
+{
+    return DramProtocolChecker(params(),
+                               DramProtocolChecker::Mode::Collect);
+}
+
+/** The single rule that tripped, or "" when clean / multiple. */
+std::string
+soleRule(const DramProtocolChecker &checker)
+{
+    if (checker.violations().size() != 1)
+        return "";
+    return checker.violations().front().rule;
+}
+
+TEST(DramChecker, LegalOpenReadPrechargeSequenceIsClean)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onRead(0, 5, 12, 24, 2);  // tRCD met, burst at now + tCL.
+    checker.onRead(0, 5, 14, 26, 2);  // tCCD met, bus back-to-back.
+    checker.onPrecharge(0, 5, 28);    // tRAS met, bursts drained.
+    checker.onActivate(0, 9, 40);     // tRP and tRC met.
+    EXPECT_TRUE(checker.clean()) << checker.violations().front().detail;
+    EXPECT_EQ(checker.commandsChecked(), 5u);
+}
+
+TEST(DramChecker, ReadBeforeTrcdTrips)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onRead(0, 5, 11, 23, 2); // One cycle early.
+    EXPECT_EQ(soleRule(checker), "tRCD");
+}
+
+TEST(DramChecker, ReadToClosedOrWrongRowTrips)
+{
+    auto checker = collect();
+    checker.onRead(1, 3, 50, 62, 2);
+    EXPECT_EQ(soleRule(checker), "rd-closed-bank");
+
+    auto checker2 = collect();
+    checker2.onActivate(0, 5, 0);
+    checker2.onRead(0, 6, 12, 24, 2);
+    EXPECT_EQ(soleRule(checker2), "rd-row-mismatch");
+}
+
+TEST(DramChecker, BackToBackReadsBeforeTccdTrip)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onRead(0, 5, 12, 24, 2);
+    checker.onRead(0, 5, 13, 26, 2); // tCCD = 2, only 1 elapsed.
+    EXPECT_EQ(soleRule(checker), "tCCD");
+}
+
+TEST(DramChecker, OverlappingBurstsOnTheSharedBusTrip)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onActivate(1, 7, 6); // tRRD met.
+    checker.onRead(0, 5, 12, 30, 2); // Burst [30, 32), after tCL: legal.
+    checker.onRead(1, 7, 18, 31, 2); // Starts inside the first burst.
+    EXPECT_EQ(soleRule(checker), "bus-overlap");
+}
+
+TEST(DramChecker, BurstBeforeCasLatencyTrips)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onRead(0, 5, 12, 23, 2); // Burst 1 cycle before now + tCL.
+    EXPECT_EQ(soleRule(checker), "tCL");
+}
+
+TEST(DramChecker, PrechargeBeforeTrasTrips)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onPrecharge(0, 5, 27); // tRAS = 28.
+    EXPECT_EQ(soleRule(checker), "tRAS");
+}
+
+TEST(DramChecker, PrechargeWhileBurstInFlightTrips)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onRead(0, 5, 20, 32, 2); // Burst runs [32, 34).
+    checker.onPrecharge(0, 5, 33);   // tRAS fine, burst not drained.
+    EXPECT_EQ(soleRule(checker), "rd-to-pre");
+}
+
+TEST(DramChecker, ActivateBeforeTrpTrips)
+{
+    // PRE late enough (40) that tRC (40 from the ACT at 0) is met well
+    // before tRP (40 + 12), isolating the tRP rule.
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onPrecharge(0, 5, 40);
+    checker.onActivate(0, 6, 45); // tRP wants 52.
+    EXPECT_EQ(soleRule(checker), "tRP");
+}
+
+TEST(DramChecker, ActivateAtExactTrcAndTrpBoundaryIsLegal)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onPrecharge(0, 5, 28);
+    checker.onActivate(0, 6, 40); // Exactly tRC and PRE + tRP.
+    EXPECT_TRUE(checker.clean());
+}
+
+TEST(DramChecker, ActivatesInDifferentBanksRespectTrrd)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onActivate(1, 5, 5); // tRRD = 6.
+    EXPECT_EQ(soleRule(checker), "tRRD");
+}
+
+TEST(DramChecker, CommandsInsideRefreshWindowTrip)
+{
+    auto checker = collect();
+    checker.onRefresh(100);
+    checker.onActivate(0, 5, 150); // tRFC = 83 -> earliest 183.
+    ASSERT_EQ(checker.violations().size(), 1u);
+    EXPECT_EQ(checker.violations().front().rule, "tRFC");
+    checker.onActivate(1, 5, 183); // Legal again.
+    EXPECT_EQ(checker.violations().size(), 1u);
+}
+
+TEST(DramChecker, RefreshWhileBankInsideTrasTrips)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onRefresh(20); // Bank 0 open, only 20 < tRAS elapsed.
+    EXPECT_EQ(soleRule(checker), "ref-tRAS");
+}
+
+TEST(DramChecker, RefreshWhileBusBusyTrips)
+{
+    auto checker = collect();
+    checker.onActivate(0, 5, 0);
+    checker.onRead(0, 5, 12, 24, 2);
+    checker.onPrecharge(0, 5, 28);
+    checker.onRefresh(25); // Mid-burst ([24, 26)).
+    ASSERT_FALSE(checker.clean());
+    EXPECT_EQ(checker.violations().front().rule, "ref-bus-busy");
+}
+
+TEST(DramChecker, ReplayValidatesRecordedEvents)
+{
+    std::vector<TraceEvent> events;
+    TraceEvent act;
+    act.kind = EventKind::DramActivate;
+    act.cycle = 0;
+    act.a = 0;
+    act.b = 5;
+    events.push_back(act);
+    TraceEvent rd;
+    rd.kind = EventKind::DramRead;
+    rd.cycle = 11; // tRCD violation.
+    rd.a = 0;
+    rd.b = 5;
+    rd.c = 23;
+    events.push_back(rd);
+    TraceEvent other; // Non-DRAM events are skipped.
+    other.kind = EventKind::SmIssue;
+    events.push_back(other);
+
+    auto checker = collect();
+    checker.replay(events);
+    EXPECT_EQ(checker.commandsChecked(), 2u);
+    EXPECT_EQ(soleRule(checker), "tRCD");
+}
+
+TEST(DramCheckerDeathTest, PanicModeAborts)
+{
+    DramProtocolChecker checker(params(),
+                                DramProtocolChecker::Mode::Panic);
+    checker.onActivate(0, 5, 0);
+    EXPECT_DEATH(checker.onRead(0, 5, 3, 15, 2), "tRCD");
+}
+
+} // namespace
+} // namespace rcoal::trace

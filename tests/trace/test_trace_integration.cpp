@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Integration test: the tracer wired through a full serve run. The
+ * sink registry and kernel snapshots work in every build; hot-path
+ * event recording additionally needs the RCOAL_TRACE build option, so
+ * the expectations on recorded volume flip with it.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/serve/server.hpp"
+#include "rcoal/trace/chrome_trace.hpp"
+#include "rcoal/trace/sink.hpp"
+#include "rcoal/trace/tracer.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+TEST(TraceIntegration, ServeRunWiresSinksAndExportsChromeTrace)
+{
+    sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+    gpu.numSms = 4;
+    ServeConfig serve;
+    serve.queueCapacity = 16;
+    serve.maxBatchRequests = 2;
+    serve.batchTimeoutCycles = 2000;
+    serve.smsPerKernel = 2;
+    WorkloadSpec spec;
+    spec.probeSamples = 3;
+    spec.probeLines = 32;
+    spec.probeThinkCycles = 100;
+    spec.backgroundMeanGapCycles = 0.0;
+
+    trace::Tracer tracer(/*capacity_per_sink=*/1 << 14);
+    const EncryptionServer server(gpu, serve, kKey);
+    const ServeReport report = server.run(spec, &tracer);
+
+    // The machine registered its component sinks plus the serve sink.
+    ASSERT_NE(tracer.find("serve"), nullptr);
+    ASSERT_NE(tracer.find("sm0"), nullptr);
+    ASSERT_NE(tracer.find("xbar.req"), nullptr);
+    ASSERT_NE(tracer.find("dram0"), nullptr);
+    EXPECT_EQ(tracer.find("dram0")->domain(),
+              trace::ClockDomain::Memory);
+
+    // Per-kernel counter snapshots ride along in every build.
+    ASSERT_FALSE(report.kernels.empty());
+    for (const KernelSnapshot &snap : report.kernels) {
+        EXPECT_GT(snap.batchRequests, 0u);
+        EXPECT_GT(snap.finishedAt, snap.launchedAt);
+        EXPECT_GT(snap.cycles, 0u);
+        EXPECT_GT(snap.coalescedAccesses, 0u);
+    }
+
+#if RCOAL_TRACE_ENABLED
+    // Hooks compiled in: the run must have recorded real events on the
+    // serve timeline and inside the machine.
+    EXPECT_GT(tracer.totalRecorded(), 0u);
+    EXPECT_GT(tracer.find("serve")->totalRecorded(), 0u);
+#else
+    // Hooks compiled out: the sinks exist but stay empty for free.
+    EXPECT_EQ(tracer.totalRecorded(), 0u);
+#endif
+
+    // The exporter produces a Chrome/Perfetto-loadable file either way
+    // (metadata-only when no events were recorded).
+    const std::string path =
+        testing::TempDir() + "rcoal_serve_trace_test.json";
+    writeChromeTrace(path, tracer, gpu.burstCycles);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::remove(path.c_str());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve\""), std::string::npos);
+#if RCOAL_TRACE_ENABLED
+    EXPECT_NE(json.find("\"serve.launch\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve.complete\""), std::string::npos);
+#endif
+}
+
+TEST(TraceIntegration, TracedRunIsDeterministicallyIdenticalToUntraced)
+{
+    // Attaching a tracer must be observationally free: same completions,
+    // same cycle counts, traced or not.
+    sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+    gpu.numSms = 4;
+    ServeConfig serve;
+    serve.queueCapacity = 16;
+    serve.maxBatchRequests = 2;
+    serve.batchTimeoutCycles = 2000;
+    serve.smsPerKernel = 2;
+    WorkloadSpec spec;
+    spec.probeSamples = 3;
+    spec.probeThinkCycles = 100;
+
+    const EncryptionServer server(gpu, serve, kKey);
+    const ServeReport untraced = server.run(spec);
+    trace::Tracer tracer(1 << 12);
+    const ServeReport traced = server.run(spec, &tracer);
+
+    ASSERT_EQ(untraced.completed.size(), traced.completed.size());
+    for (std::size_t i = 0; i < untraced.completed.size(); ++i) {
+        EXPECT_EQ(untraced.completed[i].completed,
+                  traced.completed[i].completed);
+        EXPECT_EQ(untraced.completed[i].ciphertext,
+                  traced.completed[i].ciphertext);
+    }
+    EXPECT_EQ(untraced.totalCycles, traced.totalCycles);
+}
+
+} // namespace
+} // namespace rcoal::serve
