@@ -1,11 +1,15 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the core components: coalescer,
- * partition sampling, T-table AES, DRAM model, attack estimation, and
- * a full 32-line kernel launch.
+ * partition sampling, T-table AES, DRAM model, attack estimation, a
+ * full 32-line kernel launch, and GpuMachine tick throughput (idle /
+ * PRT-saturated / DRAM-saturated, with and without cycle skipping).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
 
 #include "rcoal/aes/ttable.hpp"
 #include "rcoal/attack/correlation_attack.hpp"
@@ -13,6 +17,7 @@
 #include "rcoal/core/partitioner.hpp"
 #include "rcoal/sim/dram.hpp"
 #include "rcoal/sim/gpu.hpp"
+#include "rcoal/sim/gpu_machine.hpp"
 #include "rcoal/workloads/aes_kernel.hpp"
 #include "support/bench_support.hpp"
 
@@ -134,6 +139,85 @@ BM_AttackEstimate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_AttackEstimate);
+
+/**
+ * Simulated core cycles per wall second on an idle machine: the floor
+ * cost of the main loop. Arg(0) steps every cycle; Arg(1) fast-forwards
+ * in nextEventCycle()-bounded strides like runUntilDone does (clamped
+ * to 4096-cycle hops so one benchmark iteration stays bounded).
+ */
+void
+BM_MachineTickIdle(benchmark::State &state)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.cycleSkipping = state.range(0) != 0;
+    auto machine = std::make_unique<sim::GpuMachine>(cfg);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        if (machine->now() > 1'000'000'000) {
+            // Stay far away from the machine's deadlock cycle cap.
+            state.PauseTiming();
+            machine = std::make_unique<sim::GpuMachine>(cfg);
+            state.ResumeTiming();
+        }
+        const Cycle before = machine->now();
+        machine->tick();
+        if (machine->cycleSkippingEnabled()) {
+            const Cycle target = std::min(machine->nextEventCycle(),
+                                          machine->now() + 4096);
+            if (target > machine->now() + 1)
+                machine->skipTo(target);
+        }
+        cycles += machine->now() - before;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_MachineTickIdle)->Arg(0)->Arg(1);
+
+/**
+ * Shared body of the saturated-machine benchmarks: run the 32-line AES
+ * kernel to completion per iteration and report simulated cycles per
+ * second. Arg toggles cycle skipping.
+ */
+void
+runSaturatedMachineBench(benchmark::State &state, sim::GpuConfig cfg)
+{
+    cfg.cycleSkipping = state.range(0) != 0;
+    cfg.seed = 11;
+    sim::Gpu gpu(cfg);
+    Rng rng(12);
+    const auto plaintext = workloads::randomPlaintext(32, rng);
+    const workloads::AesGpuKernel kernel(plaintext, bench::victimKey(),
+                                         cfg.warpSize);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const sim::KernelStats stats = gpu.launch(kernel);
+        cycles += stats.cycles;
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+
+/** PRT-starved machine: every divergent load stalls on PRT capacity. */
+void
+BM_MachinePrtSaturated(benchmark::State &state)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.prtEntries = cfg.warpSize;
+    cfg.policy = core::CoalescingPolicy::rss(8, true);
+    runSaturatedMachineBench(state, cfg);
+}
+BENCHMARK(BM_MachinePrtSaturated)->Arg(0)->Arg(1);
+
+/** One memory partition: all traffic contends on a single controller. */
+void
+BM_MachineDramSaturated(benchmark::State &state)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.numPartitions = 1;
+    runSaturatedMachineBench(state, cfg);
+}
+BENCHMARK(BM_MachineDramSaturated)->Arg(0)->Arg(1);
 
 void
 BM_AesKernelLaunch32Lines(benchmark::State &state)

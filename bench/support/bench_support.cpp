@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/sim/config.hpp"
+#include "rcoal/sim/gpu_machine.hpp"
 
 namespace rcoal::bench {
 
@@ -168,16 +170,38 @@ EngineReport::writeJson(const std::string &path,
         tasks_per_worker.count() ? tasks_per_worker.min() : 0.0,
         tasks_per_worker.count() ? tasks_per_worker.max() : 0.0,
         busy_per_worker.sum());
-    if (!extras.empty()) {
-        entry += ", \"extras\": {";
-        for (std::size_t i = 0; i < extras.size(); ++i) {
-            entry += strprintf("\"%s\": %s%s", extras[i].first.c_str(),
-                               extras[i].second.c_str(),
-                               i + 1 < extras.size() ? ", " : "");
-        }
-        entry += "}";
+    // Simulator-cycle throughput: every GpuMachine retired in this
+    // process folded its counters into the global accumulator, so the
+    // ratio against the phase wall clock is the end-to-end simulation
+    // rate the event-driven core achieves for this driver.
+    auto all_extras = extras;
+    const sim::SimCycleCounters &cycles = sim::simCycleCounters();
+    const auto simulated =
+        cycles.simulated.load(std::memory_order_relaxed);
+    all_extras.emplace_back(
+        "sim_cycles",
+        strprintf("%llu", static_cast<unsigned long long>(simulated)));
+    all_extras.emplace_back(
+        "sim_cycles_per_second",
+        strprintf("%.1f", total_wall > 0.0
+                              ? static_cast<double>(simulated) /
+                                    total_wall
+                              : 0.0));
+    if (sim::resolveCycleSkipping(true)) {
+        all_extras.emplace_back(
+            "skipped_cycles",
+            strprintf("%llu",
+                      static_cast<unsigned long long>(
+                          cycles.skipped.load(
+                              std::memory_order_relaxed))));
     }
-    entry += "}";
+    entry += ", \"extras\": {";
+    for (std::size_t i = 0; i < all_extras.size(); ++i) {
+        entry += strprintf("\"%s\": %s%s", all_extras[i].first.c_str(),
+                           all_extras[i].second.c_str(),
+                           i + 1 < all_extras.size() ? ", " : "");
+    }
+    entry += "}}";
 
     // Merge: replace (or append) only this driver's entry.
     auto entries = readDriverEntries(path);

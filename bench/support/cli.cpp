@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/sim/config.hpp"
 
 namespace rcoal::bench {
 
@@ -33,7 +34,7 @@ baseName(const char *argv0)
 printUsage(const std::string &driver, unsigned default_samples)
 {
     std::printf("usage: %s [N | --samples N] [--seed S] [--threads T] "
-                "[--trace FILE]\n"
+                "[--trace FILE] [--no-cycle-skipping]\n"
                 "  --samples N   sample count (default %u)\n"
                 "  --seed S      victim GPU seed (default 42)\n"
                 "  --threads T   engine worker count "
@@ -41,7 +42,11 @@ printUsage(const std::string &driver, unsigned default_samples)
                 "  --trace FILE  export a Chrome/Perfetto trace of one "
                 "representative run\n"
                 "                (event recording needs a "
-                "-DRCOAL_TRACE=ON build)\n",
+                "-DRCOAL_TRACE=ON build)\n"
+                "  --no-cycle-skipping\n"
+                "                force the legacy per-cycle simulation "
+                "loop (identical\n"
+                "                output, lower simulator throughput)\n",
                 driver.c_str(), default_samples);
     std::exit(0);
 }
@@ -92,6 +97,8 @@ parseBenchArgs(int argc, char **argv, unsigned default_samples)
                 fatal("--trace requires a file path");
             opts.tracePath = value;
             ++i;
+        } else if (std::strcmp(arg, "--no-cycle-skipping") == 0) {
+            sim::setCycleSkippingOverride(0);
         } else if (i == 1 && arg[0] != '-' && std::atoi(arg) > 0) {
             // Historical form: first positional argument = samples.
             opts.samples = static_cast<unsigned>(std::atoi(arg));

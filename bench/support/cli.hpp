@@ -14,6 +14,11 @@
  *   --trace FILE  write a Chrome/Perfetto trace of one representative
  *                 run to FILE (drivers that support it; event recording
  *                 needs the RCOAL_TRACE build option)
+ *   --no-cycle-skipping
+ *                 force the legacy per-cycle simulation loop (disables
+ *                 GpuConfig::cycleSkipping process-wide; equivalent to
+ *                 RCOAL_CYCLE_SKIPPING=0). Output is identical either
+ *                 way — this only trades simulator throughput.
  *   --help        usage
  *
  * Parsing also records the driver's name (basename of argv[0]) so the

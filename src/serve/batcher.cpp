@@ -5,6 +5,8 @@
 
 #include "rcoal/serve/batcher.hpp"
 
+#include <algorithm>
+
 namespace rcoal::serve {
 
 Batcher::Batcher(const ServeConfig &config)
@@ -62,6 +64,18 @@ Batcher::formBatch(RequestQueue &queue, Cycle now) const
         return popSmallest(queue);
     }
     return {};
+}
+
+Cycle
+Batcher::earliestLaunch(const RequestQueue &queue, Cycle now) const
+{
+    if (queue.empty())
+        return kInvalidCycle;
+    if (policy == BatchPolicy::BatchFill && queue.size() < maxRequests) {
+        // A held partial batch fires once its oldest member ages out.
+        return std::max(now + 1, queue.oldestArrival() + timeoutCycles);
+    }
+    return now + 1;
 }
 
 } // namespace rcoal::serve

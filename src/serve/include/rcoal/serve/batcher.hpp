@@ -31,6 +31,16 @@ class Batcher
      */
     std::vector<Request> formBatch(RequestQueue &queue, Cycle now) const;
 
+    /**
+     * Earliest cycle (>= now + 1) at which formBatch() over the current
+     * @p queue contents could return a batch it would not return now:
+     * the BatchFill deadline of a held partial batch, now + 1 when work
+     * is pending (the policy would fire immediately), kInvalidCycle on
+     * an empty queue. Used by the serving loop to sleep to the next
+     * event instead of polling every cycle.
+     */
+    Cycle earliestLaunch(const RequestQueue &queue, Cycle now) const;
+
   private:
     std::vector<Request> popOldest(RequestQueue &queue) const;
     std::vector<Request> popSmallest(RequestQueue &queue) const;

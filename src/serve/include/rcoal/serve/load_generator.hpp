@@ -48,6 +48,13 @@ class OpenLoopGenerator
     /** Append every request arriving at exactly cycle @p now. */
     void poll(Cycle now, std::vector<Request> &out);
 
+    /**
+     * Cycle of the next arrival (kInvalidCycle when disabled). Primes
+     * the lazily drawn first gap exactly as poll() would, so consulting
+     * the bound never perturbs the arrival sequence.
+     */
+    Cycle nextEventCycle();
+
     /** Requests emitted so far. */
     std::uint64_t issued() const { return issuedCount; }
 
@@ -89,6 +96,13 @@ class ClosedLoopGenerator
 
     /** Append every request due at cycle @p now. */
     void poll(Cycle now, std::vector<Request> &out);
+
+    /**
+     * Earliest submission cycle over clients without a request in
+     * flight (kInvalidCycle when every client is waiting — the next
+     * submission then hinges on a completion, not on time).
+     */
+    Cycle nextEventCycle() const;
 
     /** A request of client @p client_id completed at @p now. */
     void onCompletion(int client_id, Cycle now);

@@ -5,6 +5,7 @@
 
 #include "rcoal/serve/load_generator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "rcoal/common/logging.hpp"
@@ -75,6 +76,19 @@ OpenLoopGenerator::poll(Cycle now, std::vector<Request> &out)
     }
 }
 
+Cycle
+OpenLoopGenerator::nextEventCycle()
+{
+    if (!enabled)
+        return kInvalidCycle;
+    if (!primed) {
+        Rng rng = Rng::stream(seed, issuedCount);
+        nextArrival = exponentialGap(rng, meanGap);
+        primed = true;
+    }
+    return nextArrival;
+}
+
 ClosedLoopGenerator::ClosedLoopGenerator(unsigned clients,
                                          Cycle think_cycles,
                                          unsigned lines,
@@ -121,6 +135,17 @@ ClosedLoopGenerator::poll(Cycle now, std::vector<Request> &out)
         client.waiting = true;
         out.push_back(std::move(request));
     }
+}
+
+Cycle
+ClosedLoopGenerator::nextEventCycle() const
+{
+    Cycle bound = kInvalidCycle;
+    for (const Client &client : clientsState) {
+        if (!client.waiting)
+            bound = std::min(bound, client.nextSubmitAt);
+    }
+    return bound;
 }
 
 void

@@ -129,6 +129,38 @@ EncryptionServer::run(const WorkloadSpec &spec,
                   static_cast<unsigned long long>(now),
                   probe_completions, spec.probeSamples);
         }
+
+        // 5. Event-driven sleep: when nothing can happen before the
+        //    next machine / arrival / batch-deadline event, fast-forward
+        //    instead of polling every cycle. A completed-but-uncollected
+        //    kernel pins per-cycle stepping because step 1 consumes it
+        //    at this exact loop cycle (probe think times key off it).
+        //    The skipped iterations are provably identical no-ops except
+        //    for the occupancy sampling, which is applied in bulk.
+        sim::GpuMachine &machine = scheduler.gpu();
+        if (machine.cycleSkippingEnabled()) {
+            // The machine bound is checked first: on event-dense
+            // stretches it pins to now + 1 after one component check,
+            // and the dearer frontend bounds are never computed.
+            Cycle target = machine.nextEventCycle();
+            if (target > now + 1 && !machine.anyCompletedUntaken()) {
+                target = std::min(target, probes.nextEventCycle());
+                target = std::min(target, background.nextEventCycle());
+                if (scheduler.gangFree()) {
+                    target = std::min(
+                        target, batcher.earliestLaunch(queue, now));
+                }
+                // Keep the livelock backstop: never jump past the cycle
+                // the fatal above would have fired at.
+                target = std::min(target, serveConfig.maxSimCycles + 1);
+                if (target > now + 1) {
+                    const Cycle skipped = machine.skipTo(target);
+                    depth_sum += queue.size() * skipped;
+                    busy_sum += scheduler.busySms() * skipped;
+                    now += skipped;
+                }
+            }
+        }
     }
 
     report.totalCycles = now;

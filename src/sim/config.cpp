@@ -5,9 +5,13 @@
 
 #include "rcoal/sim/config.hpp"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/sim/memory_access.hpp"
 
 namespace rcoal::sim {
 
@@ -51,7 +55,42 @@ GpuConfig::validate() const
         fatal("clock frequencies must be positive");
     if (prtEntries < warpSize)
         fatal("PRT must hold at least one entry per warp lane");
+    if (warpSize > PrtIndexList::kCapacity) {
+        fatal("warpSize %u exceeds the inline PRT index capacity %zu "
+              "(raise PrtIndexList::kCapacity)",
+              warpSize, PrtIndexList::kCapacity);
+    }
     policy.validate(warpSize);
+}
+
+namespace {
+
+/// -1: no override; 0/1: forced off/on (set by --no-cycle-skipping etc).
+std::atomic<int> cycleSkippingOverride{-1};
+
+} // namespace
+
+void
+setCycleSkippingOverride(int forced)
+{
+    cycleSkippingOverride.store(forced < 0 ? -1 : (forced != 0 ? 1 : 0),
+                                std::memory_order_relaxed);
+}
+
+bool
+resolveCycleSkipping(bool config_flag)
+{
+    const int forced =
+        cycleSkippingOverride.load(std::memory_order_relaxed);
+    if (forced >= 0)
+        return forced != 0;
+    if (const char *env = std::getenv("RCOAL_CYCLE_SKIPPING")) {
+        if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+            std::strcmp(env, "false") == 0) {
+            return false;
+        }
+    }
+    return config_flag;
 }
 
 std::string

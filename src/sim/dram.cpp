@@ -235,6 +235,75 @@ DramPartition::tick(Cycle now)
     tryIssuePrecharge(now);
 }
 
+Cycle
+DramPartition::nextEventCycle(Cycle now) const
+{
+    if (queue.empty() && completed.empty() && !refreshEnabled)
+        return kInvalidCycle;
+    if (legacyTiming)
+        return now + 1; // Test seam: no skipping guarantees.
+
+    Cycle bound = kInvalidCycle;
+    const auto consider = [&](Cycle candidate) {
+        bound = std::min(bound, std::max(candidate, now + 1));
+    };
+
+    if (refreshEnabled) {
+        if (refreshDue(now)) {
+            // A pending refresh fires once the data bus drains and every
+            // open bank clears tRAS; both horizons are frozen until then
+            // because a due refresh also blocks column/ACT issue.
+            Cycle fire = busFreeAt;
+            for (const Bank &bank : banks) {
+                if (bank.openRow != -1)
+                    fire = std::max(fire, bank.prechargeAllowed);
+            }
+            consider(fire);
+        } else {
+            // Becoming due is itself a state change: it starts blocking
+            // column/ACT issue and may fire the refresh.
+            consider(nextRefreshAt);
+        }
+    }
+
+    // The machine drains `completed` on every one of its ticks, so a
+    // non-empty backlog means externally visible state next cycle.
+    if (!completed.empty())
+        consider(now + 1);
+
+    const bool commands_blocked = refreshDue(now);
+    std::uint64_t open_row_wanted = 0; // Same mask tryIssuePrecharge uses.
+    for (const Request &req : queue) {
+        if (req.completion != kInvalidCycle)
+            continue;
+        const Bank &bank = banks[req.loc.bank];
+        if (bank.openRow == static_cast<std::int64_t>(req.loc.row))
+            open_row_wanted |= std::uint64_t{1} << req.loc.bank;
+    }
+    for (const Request &req : queue) {
+        if (req.completion != kInvalidCycle) {
+            consider(req.completion); // Burst retirement.
+            continue;
+        }
+        const Bank &bank = banks[req.loc.bank];
+        if (bank.openRow == static_cast<std::int64_t>(req.loc.row)) {
+            if (!commands_blocked)
+                consider(bank.nextRead);
+        } else if (bank.openRow == -1) {
+            if (!commands_blocked)
+                consider(std::max(bank.nextActivate, nextActivateAny));
+        } else if (!(open_row_wanted &
+                     (std::uint64_t{1} << req.loc.bank))) {
+            // Conflicting open row nobody still wants: a precharge (not
+            // blocked by a due refresh) is this request's next step.
+            // When the row IS still wanted, the wanting requests' column
+            // candidates above bound the state change instead.
+            consider(bank.prechargeAllowed);
+        }
+    }
+    return bound;
+}
+
 bool
 DramPartition::hasCompleted(Cycle now) const
 {

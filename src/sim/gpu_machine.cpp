@@ -6,6 +6,8 @@
 
 #include "rcoal/sim/gpu_machine.hpp"
 
+#include <algorithm>
+
 #include "rcoal/common/logging.hpp"
 
 namespace rcoal::sim {
@@ -21,6 +23,13 @@ validated(GpuConfig config)
 }
 
 } // namespace
+
+SimCycleCounters &
+simCycleCounters()
+{
+    static SimCycleCounters counters;
+    return counters;
+}
 
 GpuMachine::GpuMachine(GpuConfig config)
     : cfg(validated(std::move(config))),
@@ -48,6 +57,15 @@ GpuMachine::GpuMachine(GpuConfig config)
         for (auto &front : l2)
             front.cache = std::make_unique<Cache>(cfg.l2);
     }
+    skipEnabled = resolveCycleSkipping(cfg.cycleSkipping);
+}
+
+GpuMachine::~GpuMachine()
+{
+    simCycleCounters().simulated.fetch_add(nowCycle,
+                                           std::memory_order_relaxed);
+    simCycleCounters().skipped.fetch_add(skippedTotal,
+                                         std::memory_order_relaxed);
 }
 
 void
@@ -307,6 +325,97 @@ GpuMachine::tick()
         checkCompletion(launch);
 }
 
+Cycle
+GpuMachine::nextEventCycle() const
+{
+    // A busy machine is pinned to now + 1 by its first active
+    // component; bail out of the sweep as soon as the bound cannot
+    // drop further, so the per-tick cost of consulting the bound stays
+    // negligible on event-dense stretches.
+    const Cycle pinned = nowCycle + 1;
+    Cycle bound = kInvalidCycle;
+    for (const auto &sm : sms) {
+        bound = std::min(bound, sm->nextEventCycle(nowCycle));
+        if (bound <= pinned)
+            return bound;
+    }
+    bound = std::min(bound, reqXbar.nextEventCycle(nowCycle));
+    if (bound <= pinned)
+        return bound;
+    bound = std::min(bound, respXbar.nextEventCycle(nowCycle));
+    if (bound <= pinned)
+        return bound;
+    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+        // Pending machine-level movement next tick: a request-crossbar
+        // ejection the DRAM can take, or a backlogged response the
+        // response crossbar can take.
+        if (reqXbar.outputReady(p) && drams[p]->canAccept())
+            return nowCycle + 1;
+        if (!respBacklog[p].empty() && respXbar.canInject(p))
+            return nowCycle + 1;
+        if (cfg.l2Enabled && !l2[p].pendingHits.empty()) {
+            bound = std::min(bound,
+                             std::max(l2[p].pendingHits.front().first,
+                                      nowCycle + 1));
+        }
+    }
+    return bound;
+}
+
+Cycle
+GpuMachine::skipTo(Cycle target)
+{
+    // The DRAMs run in the memory-clock domain: find the first memory
+    // cycle at which any partition could change state, then advance
+    // core cycles only while their memory-clock crossings stay below
+    // it. The accumulator arithmetic replays tick()'s exact per-cycle
+    // operation sequence (peek, then commit) so the clock-domain state
+    // is bit-identical to stepping.
+    Cycle mem_target = kInvalidCycle;
+    for (const auto &dram : drams)
+        mem_target = std::min(mem_target, dram->nextEventCycle(memCycle));
+
+    Cycle new_now = nowCycle;
+    Cycle new_mem = memCycle;
+    double new_accum = memAccum;
+    while (new_now + 1 < target) {
+        double acc = new_accum + cfg.memClockMhz;
+        Cycle mc = new_mem;
+        while (acc >= cfg.coreClockMhz) {
+            acc -= cfg.coreClockMhz;
+            ++mc;
+        }
+        if (mc >= mem_target)
+            break; // This core cycle must really tick the DRAMs.
+        ++new_now;
+        new_mem = mc;
+        new_accum = acc;
+    }
+
+    const Cycle skipped = new_now - nowCycle;
+    if (skipped == 0)
+        return 0;
+    nowCycle = new_now;
+    memCycle = new_mem;
+    memAccum = new_accum;
+    for (auto &sm : sms)
+        sm->applySkippedCycles(skipped);
+    reqXbar.advanceIdleCycles(skipped);
+    respXbar.advanceIdleCycles(skipped);
+    skippedTotal += skipped;
+    return skipped;
+}
+
+bool
+GpuMachine::anyCompletedUntaken() const
+{
+    for (const auto &[slot, launch] : active) {
+        if (launch.completed)
+            return true;
+    }
+    return false;
+}
+
 bool
 GpuMachine::done(LaunchId id) const
 {
@@ -331,8 +440,17 @@ GpuMachine::finishCycle(LaunchId id) const
 void
 GpuMachine::runUntilDone(LaunchId id)
 {
-    while (!done(id))
+    while (!done(id)) {
         tick();
+        if (!skipEnabled || done(id))
+            continue;
+        // A kInvalidCycle core bound means only DRAM-side events remain;
+        // clamp to the deadlock cap so skipTo()'s mem-domain cutoff (or,
+        // on true deadlock, the tick() assertion) still binds.
+        const Cycle target = std::min(nextEventCycle(), kMaxCycles);
+        if (target > nowCycle + 1)
+            skipTo(target);
+    }
 }
 
 KernelStats

@@ -119,6 +119,18 @@ struct GpuConfig
     /** Bit i protects AccessTag i (default: last-round lookups only). */
     std::uint32_t protectedTagMask = 1u << 3; // LastRoundLookup
 
+    /**
+     * Event-driven idle-cycle skipping. When on, GpuMachine::runUntilDone
+     * consults each component's nextEventCycle() lower bound and
+     * fast-forwards over provably idle stretches instead of ticking every
+     * core cycle. Timing is exact either way — cross-check tests enforce
+     * byte-identical KernelStats/traces/attack results — so this is purely
+     * a simulator-throughput switch. Force the legacy per-cycle loop with
+     * cycleSkipping=false, RCOAL_CYCLE_SKIPPING=0, or a bench driver's
+     * --no-cycle-skipping flag.
+     */
+    bool cycleSkipping = true;
+
     /** Master seed for all simulator randomness. */
     std::uint64_t seed = 1;
 
@@ -131,6 +143,21 @@ struct GpuConfig
     /** Multi-line human-readable dump (used by the Table I bench). */
     std::string describe() const;
 };
+
+/**
+ * Process-wide override for GpuConfig::cycleSkipping: 0 forces the legacy
+ * per-cycle loop, 1 forces skipping, -1 (default) clears the override.
+ * Bench CLIs set this from --no-cycle-skipping.
+ */
+void setCycleSkippingOverride(int forced);
+
+/**
+ * Resolve the effective cycle-skipping setting for a machine being
+ * constructed: the process-wide override wins, then the
+ * RCOAL_CYCLE_SKIPPING environment variable (0/off/false disables),
+ * then @p config_flag.
+ */
+bool resolveCycleSkipping(bool config_flag);
 
 } // namespace rcoal::sim
 

@@ -52,6 +52,16 @@ class DramPartition
     void tick(Cycle now);
 
     /**
+     * Conservative lower bound (>= now + 1, memory-clock domain) on the
+     * next cycle at which a tick() could change partition state: burst
+     * retirement, a column/ACT/PRE issue becoming legal, or a refresh
+     * becoming due/unblocked. kInvalidCycle when the partition is idle
+     * and refresh is off. Under the legacy-timing test seam the bound
+     * degenerates to now + 1 (no skipping guarantees).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
      * True when a serviced access is ready to be picked up at memory
      * cycle @p now.
      */

@@ -18,6 +18,7 @@
 #ifndef RCOAL_SIM_GPU_MACHINE_HPP
 #define RCOAL_SIM_GPU_MACHINE_HPP
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <unordered_map>
@@ -46,6 +47,21 @@ struct SmRange
 };
 
 /**
+ * Process-wide simulator throughput counters, accumulated by every
+ * GpuMachine on destruction. Benches report them (sim_cycles,
+ * skipped_cycles, sim_cycles_per_second) in BENCH_engine.json so the
+ * perf trajectory is tracked across PRs.
+ */
+struct SimCycleCounters
+{
+    std::atomic<std::uint64_t> simulated{0}; ///< Core cycles advanced.
+    std::atomic<std::uint64_t> skipped{0};   ///< Of those, fast-forwarded.
+};
+
+/** The process-wide counter instance. */
+SimCycleCounters &simCycleCounters();
+
+/**
  * The persistent multi-kernel GPU.
  */
 class GpuMachine
@@ -54,6 +70,12 @@ class GpuMachine
     using LaunchId = std::uint64_t;
 
     explicit GpuMachine(GpuConfig config);
+
+    /** Folds this machine's cycle totals into simCycleCounters(). */
+    ~GpuMachine();
+
+    GpuMachine(const GpuMachine &) = delete;
+    GpuMachine &operator=(const GpuMachine &) = delete;
 
     /** The active configuration. */
     const GpuConfig &config() const { return cfg; }
@@ -83,6 +105,37 @@ class GpuMachine
 
     /** Advance the whole machine one core cycle. */
     void tick();
+
+    /**
+     * Conservative lower bound (> now()) on the next core cycle at
+     * which any core-clock component — SM, crossbar, L2 hit queue,
+     * response backlog — could change state, evaluated right after a
+     * tick(). kInvalidCycle when only DRAM-side (memory-clock) events
+     * remain; skipTo() enforces that bound itself, so callers pass the
+     * core bound (clamped to a finite ceiling) straight in.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Fast-forward the machine so the next tick() executes core cycle
+     * @p target — or an earlier cycle if a DRAM memory-clock event
+     * intervenes. Only legal when the cycles jumped over are provably
+     * uneventful, i.e. @p target must not exceed nextEventCycle(). The
+     * clock-domain state (memCycle/memAccum) is advanced by replaying
+     * the exact per-cycle accumulator arithmetic of tick(), and frozen
+     * per-cycle effects (SM stall counters, crossbar arbitration
+     * rotation) are applied in bulk. Returns the cycles skipped.
+     */
+    Cycle skipTo(Cycle target);
+
+    /** True when cycle skipping resolved on for this machine. */
+    bool cycleSkippingEnabled() const { return skipEnabled; }
+
+    /** Core cycles fast-forwarded so far (a subset of now()). */
+    Cycle skippedCycles() const { return skippedTotal; }
+
+    /** True when some completed launch still awaits take(). */
+    bool anyCompletedUntaken() const;
 
     /** True when @p id has retired (all warps done, stores drained). */
     bool done(LaunchId id) const;
@@ -188,6 +241,8 @@ class GpuMachine
     Cycle nowCycle = 0;
     Cycle memCycle = 0;
     double memAccum = 0.0;
+    bool skipEnabled = true;  ///< resolveCycleSkipping() at construction.
+    Cycle skippedTotal = 0;   ///< Core cycles fast-forwarded.
 
     /** Hard cap to catch simulator deadlock; far above any real run. */
     static constexpr Cycle kMaxCycles = 2'000'000'000;

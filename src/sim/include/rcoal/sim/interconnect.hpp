@@ -51,6 +51,22 @@ class Crossbar
      */
     void tick(Cycle now);
 
+    /**
+     * Conservative lower bound on the next cycle (>= now + 1) at which a
+     * tick() could move a packet: the earliest readyAt among input-queue
+     * heads whose destination has queue space. kInvalidCycle when no
+     * tick can ever move anything from the current state. Ejections and
+     * injections are driven by the machine/SMs, so they need no bound
+     * here; only the state `tick` itself mutates counts.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account for @p cycles skipped ticks during which (provably) no
+     * packet could move: only the rotating arbitration pointer advances.
+     */
+    void advanceIdleCycles(Cycle cycles);
+
     /** True when output port @p output has a packet to eject. */
     bool outputReady(unsigned output) const;
 

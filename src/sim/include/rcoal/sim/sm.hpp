@@ -79,6 +79,28 @@ class StreamingMultiprocessor
     /** Advance one core cycle: drain LD/ST, then issue instructions. */
     void tick(Cycle now);
 
+    /**
+     * Conservative lower bound (>= now + 1) on the next core cycle at
+     * which a tick() could change SM state, evaluated after this cycle's
+     * tick and response deliveries. now + 1 whenever this cycle was
+     * eventful (issue, queue movement, response) or the LD/ST head could
+     * inject next cycle; otherwise the earliest warp wake-up / local
+     * response / trailing-ALU horizon. kInvalidCycle for an idle SM.
+     *
+     * Stall counters are the one per-cycle side effect a frozen window
+     * repeats; the machine replays them via applySkippedCycles(), so
+     * they do not pin the bound (except under an attached trace sink,
+     * where the per-cycle SmStall events must really be emitted).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account for @p cycles skipped ticks during which the SM state was
+     * frozen: replay this tick's stall-counter deltas once per skipped
+     * cycle (each stepped cycle would have repeated them exactly).
+     */
+    void applySkippedCycles(Cycle cycles);
+
     /** A load response arrived from the memory system. */
     void deliverResponse(MemoryAccess access, Cycle now);
 
@@ -133,6 +155,9 @@ class StreamingMultiprocessor
     /** Advance the LD/ST queue head toward the memory system. */
     void drainLdst(Cycle now);
 
+    /** Run the per-scheduler issue scan and refresh scanGate/scanWake. */
+    void scanWarps(Cycle now);
+
     /** Finish one load access: free PRT, wake warp, record stats. */
     void finalizeLoad(const MemoryAccess &access, Cycle now);
 
@@ -162,6 +187,31 @@ class StreamingMultiprocessor
     std::vector<std::size_t> rrPointer; ///< Per-scheduler round robin.
     std::size_t unfinishedWarps = 0;    ///< Cached for O(1) done().
     Cycle busyUntil = 0;                ///< Max readyAt across warps.
+
+    /**
+     * Issue-scan gate: the next cycle the per-scheduler warp scan must
+     * run under per-cycle stepping. A scan with side effects (an issue
+     * or a stall counter bump) re-arms it to now + 1; a quiet scan arms
+     * it to the earliest warp wake-up (kInvalidCycle when every pending
+     * warp is event-blocked). Every event that could unblock a silent
+     * issue failure — a queue pop, a load completion, a new warp —
+     * resets it to 0 so the next tick rescans.
+     */
+    Cycle scanGate = 0;
+    /**
+     * Earliest time-blocked warp wake-up as of the last scan: the
+     * state-change lower bound nextEventCycle() uses. Deliberately NOT
+     * scanGate — a stalling scan re-arms scanGate to now + 1 every
+     * cycle, but its only effect is the stall counters, which skipping
+     * replays in bulk.
+     */
+    Cycle scanWake = 0;
+    bool tickChanged = false;       ///< This tick moved/issued something.
+    bool responseSinceTick = false; ///< Delivery since this tick started.
+    bool scanIssued = false;        ///< This tick's scan issued a warp.
+    std::uint64_t prtStallBase = 0; ///< prtStallCycles at tick start.
+    std::uint64_t icnStallBase = 0; ///< icnStallCycles at tick start.
+
     std::vector<int> laneScratch;       ///< tid -> lane index scratch.
     trace::TraceSink *traceSink = nullptr;
 };

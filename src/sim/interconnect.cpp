@@ -5,6 +5,8 @@
 
 #include "rcoal/sim/interconnect.hpp"
 
+#include <algorithm>
+
 #include "rcoal/common/logging.hpp"
 #include "rcoal/trace/sink.hpp"
 
@@ -74,6 +76,31 @@ Crossbar::tick(Cycle now)
         ++moved;
     }
     rrPointer = (rrPointer + 1) % numInputs;
+}
+
+Cycle
+Crossbar::nextEventCycle(Cycle now) const
+{
+    Cycle bound = kInvalidCycle;
+    for (const auto &q : inputQueues) {
+        if (q.empty())
+            continue;
+        const Packet &head = q.front();
+        if (outputQueues[head.dest].size() >= queueDepth)
+            continue; // Backpressured; unblocking needs an ejection.
+        const Cycle candidate = std::max(head.readyAt, now + 1);
+        if (candidate <= now + 1)
+            return candidate; // Pinned; no lower bound possible.
+        bound = std::min(bound, candidate);
+    }
+    return bound;
+}
+
+void
+Crossbar::advanceIdleCycles(Cycle cycles)
+{
+    rrPointer = static_cast<unsigned>(
+        (rrPointer + cycles % numInputs) % numInputs);
 }
 
 bool

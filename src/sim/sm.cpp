@@ -58,6 +58,10 @@ StreamingMultiprocessor::reset()
     warpIndex.clear();
     std::fill(rrPointer.begin(), rrPointer.end(), 0);
     busyUntil = 0;
+    scanGate = 0;
+    scanWake = 0;
+    tickChanged = false;
+    responseSinceTick = false;
     stats = nullptr;
     launchSlot = 0;
     pendingWrites = nullptr;
@@ -78,6 +82,7 @@ StreamingMultiprocessor::assignWarp(
                     {}, ~std::size_t{0}, 0, 0});
     if (!warps.back().finished())
         ++unfinishedWarps;
+    scanGate = 0; // New issue candidate: rescan next tick.
 }
 
 bool
@@ -209,6 +214,8 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, Cycle now)
             RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
             --unfinishedWarps;
         }
+        scanIssued = true;
+        tickChanged = true;
         return true;
       case WarpInstruction::Op::Load:
       case WarpInstruction::Op::Store:
@@ -223,6 +230,8 @@ StreamingMultiprocessor::tryIssue(WarpContext &warp, Cycle now)
             RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
             --unfinishedWarps;
         }
+        scanIssued = true;
+        tickChanged = true;
         return true;
     }
     panic("invalid warp instruction opcode");
@@ -235,6 +244,7 @@ StreamingMultiprocessor::drainLdst(Cycle now)
     while (!localResponses.empty() && localResponses.front().first <= now) {
         finalizeLoad(localResponses.front().second, now);
         localResponses.pop_front();
+        tickChanged = true;
     }
 
     if (ldstQueue.empty())
@@ -249,6 +259,8 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             localResponses.emplace_back(now + l1->hitLatency(),
                                         std::move(head));
             ldstQueue.pop_front();
+            tickChanged = true;
+            scanGate = 0; // Queue space freed: rescan.
             return;
         }
         ++stats->l1Misses;
@@ -257,6 +269,8 @@ StreamingMultiprocessor::drainLdst(Cycle now)
                 mshr->merge(head.blockAddr, std::move(head));
                 ++stats->mshrMerges;
                 ldstQueue.pop_front();
+                tickChanged = true;
+                scanGate = 0; // Queue space freed: rescan.
                 return;
             }
             if (!mshr->canAllocate())
@@ -269,6 +283,8 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             MemoryAccess copy = head;
             mshr->allocate(head.blockAddr, std::move(head));
             ldstQueue.pop_front();
+            tickChanged = true;
+            scanGate = 0; // Queue space freed: rescan.
             const unsigned dest = map->partitionOf(copy.blockAddr);
             copy.prtIndices.clear(); // PRT freed via the MSHR entry.
             reqXbar->inject(id, dest, std::move(copy), now);
@@ -284,15 +300,36 @@ StreamingMultiprocessor::drainLdst(Cycle now)
     const unsigned dest = map->partitionOf(head.blockAddr);
     reqXbar->inject(id, dest, std::move(head), now);
     ldstQueue.pop_front();
+    tickChanged = true;
+    scanGate = 0; // Queue space freed: rescan.
 }
 
 void
 StreamingMultiprocessor::tick(Cycle now)
 {
+    tickChanged = false;
+    responseSinceTick = false;
+    scanIssued = false;
     if (warps.empty())
         return;
+    prtStallBase = stats->prtStallCycles;
+    icnStallBase = stats->icnStallCycles;
 
     drainLdst(now);
+
+    // The issue scan is pure when it fails: it either issues, bumps a
+    // stall counter, or provably does nothing. scanGate tracks the next
+    // cycle it could do otherwise, so quiet stretches skip the
+    // per-scheduler warp walk entirely (and any event that could
+    // unblock a silent failure resets the gate to 0).
+    if (now >= scanGate)
+        scanWarps(now);
+}
+
+void
+StreamingMultiprocessor::scanWarps(Cycle now)
+{
+    const std::uint64_t prt_before = stats->prtStallCycles;
 
     // One issue slot per scheduler; warp slot w belongs to scheduler
     // w % issueWidth (the 16x2 SIMT organization of Table I).
@@ -327,6 +364,64 @@ StreamingMultiprocessor::tick(Cycle now)
             }
         }
     }
+
+    // Earliest wake-up among time-blocked warps. Warps blocked on
+    // events (queue space, PRT entries, outstanding loads) do not
+    // contribute: the events that free them reset scanGate themselves.
+    Cycle wake = kInvalidCycle;
+    for (const WarpContext &warp : warps) {
+        if (warp.pc < warp.trace->size() && warp.readyAt > now)
+            wake = std::min(wake, warp.readyAt);
+    }
+    const bool side_effects =
+        scanIssued || stats->prtStallCycles != prt_before;
+    scanGate = side_effects ? now + 1 : wake;
+    scanWake = wake;
+}
+
+Cycle
+StreamingMultiprocessor::nextEventCycle(Cycle now) const
+{
+    if (warps.empty())
+        return kInvalidCycle;
+    if (tickChanged || responseSinceTick)
+        return now + 1;
+#if RCOAL_TRACE_ENABLED
+    // Stall counting emits one SmStall trace event per stalled cycle;
+    // bulk-replaying the counters would drop those events, so a live
+    // sink pins a stalling SM to per-cycle stepping.
+    if (traceSink != nullptr &&
+        (stats->prtStallCycles != prtStallBase ||
+         stats->icnStallCycles != icnStallBase)) {
+        return now + 1;
+    }
+#endif
+    if (l1 && !ldstQueue.empty())
+        return now + 1; // The L1 retry path mutates cache state per try.
+    if (!ldstQueue.empty() && reqXbar->canInject(id))
+        return now + 1; // Head injects next cycle.
+    Cycle bound = scanWake;
+    if (!localResponses.empty())
+        bound = std::min(bound, localResponses.front().first);
+    if (busyUntil > now) {
+        // Trailing ALU latency: done() flips exactly at busyUntil, and
+        // the machine must observe that cycle to stamp completion.
+        bound = std::min(bound, busyUntil);
+    }
+    return std::max(bound, now + 1);
+}
+
+void
+StreamingMultiprocessor::applySkippedCycles(Cycle cycles)
+{
+    if (warps.empty() || cycles == 0)
+        return;
+    // A skipped window repeats this tick verbatim: the only side effect
+    // a frozen SM produces per cycle is its stall counting.
+    const std::uint64_t prt_delta = stats->prtStallCycles - prtStallBase;
+    const std::uint64_t icn_delta = stats->icnStallCycles - icnStallBase;
+    stats->prtStallCycles += prt_delta * cycles;
+    stats->icnStallCycles += icn_delta * cycles;
 }
 
 void
@@ -347,12 +442,15 @@ StreamingMultiprocessor::finalizeLoad(const MemoryAccess &access, Cycle now)
     }
     TagStats &tag_stats = stats->tagStats(access.tag);
     tag_stats.lastComplete = std::max(tag_stats.lastComplete, now);
+    scanGate = 0; // Freed PRT entries / woke a waiting warp: rescan.
 }
 
 void
 StreamingMultiprocessor::deliverResponse(MemoryAccess access, Cycle now)
 {
     RCOAL_ASSERT(!access.isWrite, "write response delivered to SM %u", id);
+    responseSinceTick = true;
+    scanGate = 0;
     if (l1)
         l1->fill(access.blockAddr);
     if (mshr) {

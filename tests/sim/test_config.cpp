@@ -108,6 +108,17 @@ TEST(GpuConfigDeathTest, RejectsNonPowerOfTwoWarpSize)
                 "warpSize must be a power of two \\(got 24\\)");
 }
 
+TEST(GpuConfigDeathTest, RejectsWarpSizeBeyondInlinePrtCapacity)
+{
+    // MemoryAccess carries its PRT release indices in a fixed inline
+    // array sized for one lane per warp thread; a wider warp must be
+    // rejected up front rather than overflowing on the hot path.
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.warpSize = 64;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "inline PRT index capacity");
+}
+
 TEST(GpuConfigDeathTest, RejectsTooManyBanks)
 {
     GpuConfig cfg = GpuConfig::paperBaseline();
