@@ -10,16 +10,30 @@
  * co-resident kernels. This driver quantifies how much that serving
  * structure alone (no RCoal, baseline coalescing) dilutes the timing
  * channel, per batching policy and background-load level, next to the
- * latency/throughput cost the operator pays.
+ * latency/throughput cost the operator pays — and contrasts it with an
+ * RSS+RTS(M=8) deployment, where the channel is gone at the source.
  *
- * Each (policy, load) scenario is an independent single-threaded
- * simulation; scenarios spread over the bench pool, and every number
- * printed is byte-identical for any RCOAL_THREADS.
+ * Every scenario also runs with live telemetry attached: a per-scenario
+ * metric registry, a skip-safe periodic sampler, and the online
+ * LeakageAuditor whose correlation gauge is the leakage SLO. The BASE
+ * scenarios are expected to trip the alert; the RSS+RTS scenarios must
+ * stay quiet. --telemetry-out DIR additionally writes one Prometheus
+ * text-exposition snapshot per scenario (lint-checked before writing).
+ *
+ * Each (coalescing, policy, load) scenario is an independent
+ * single-threaded simulation; scenarios spread over the bench pool, and
+ * every number printed is byte-identical for any RCOAL_THREADS.
  */
 
+#include <cctype>
 #include <cstdio>
+#include <memory>
 
 #include "rcoal/attack/served_attack.hpp"
+#include "rcoal/common/logging.hpp"
+#include "rcoal/telemetry/leakage_auditor.hpp"
+#include "rcoal/telemetry/prometheus.hpp"
+#include "rcoal/telemetry/sampler.hpp"
 #include "rcoal/trace/chrome_trace.hpp"
 #include "rcoal/trace/tracer.hpp"
 #include "support/bench_support.hpp"
@@ -28,9 +42,12 @@ namespace {
 
 using namespace rcoal;
 
-/** One (batching policy, background load) cell of the sweep. */
+/** One (coalescing policy, batching policy, load) cell of the sweep. */
 struct Scenario
 {
+    const char *coalescingName;  ///< "BASE" or "RSS+RTS" (table/labels).
+    const char *coalescingToken; ///< Filename-safe form.
+    core::CoalescingPolicy gpuPolicy;
     serve::BatchPolicy policy;
     const char *loadName;
     double meanGapCycles; ///< 0 = no background traffic.
@@ -53,6 +70,10 @@ struct ScenarioResult
     attack::KeyAttackResult attack;
     double serveSeconds = 0.0;
     double attackSeconds = 0.0;
+    /** Live-telemetry state; outlives the run for rendering. */
+    std::unique_ptr<telemetry::MetricRegistry> registry;
+    std::unique_ptr<telemetry::TelemetrySampler> sampler;
+    std::unique_ptr<telemetry::LeakageAuditor> auditor;
 };
 
 /** The full deterministic configuration of one scenario cell. */
@@ -73,6 +94,7 @@ makeScenarioSetup(const Scenario &scenario, std::size_t index,
     ScenarioSetup setup;
     setup.gpu = sim::GpuConfig::paperBaseline();
     setup.gpu.seed = Rng::deriveSeed(root_seed, index + 1);
+    setup.gpu.policy = scenario.gpuPolicy;
 
     setup.cfg.batchPolicy = scenario.policy;
     setup.cfg.queueCapacity = 64;
@@ -94,7 +116,8 @@ makeScenarioSetup(const Scenario &scenario, std::size_t index,
 
 ScenarioResult
 runScenario(const Scenario &scenario, std::size_t index,
-            unsigned probe_samples, std::uint64_t root_seed)
+            unsigned probe_samples, std::uint64_t root_seed,
+            Cycle telemetry_interval)
 {
     const ScenarioSetup setup =
         makeScenarioSetup(scenario, index, probe_samples, root_seed);
@@ -105,9 +128,22 @@ runScenario(const Scenario &scenario, std::size_t index,
     ScenarioResult result;
     result.scenario = scenario;
 
+    // Per-scenario telemetry: own registry (exposition independent of
+    // RCOAL_THREADS), skip-safe sampler, and the leakage SLO auditor.
+    result.registry = std::make_unique<telemetry::MetricRegistry>();
+    result.sampler = std::make_unique<telemetry::TelemetrySampler>(
+        *result.registry, telemetry_interval);
+    result.auditor = std::make_unique<telemetry::LeakageAuditor>(
+        *result.registry, telemetry::LeakageAuditor::Config{},
+        telemetry::MetricRegistry::Labels{
+            {"policy", scenario.coalescingName}});
+    serve::ServeTelemetry hooks;
+    hooks.sampler = result.sampler.get();
+    hooks.auditor = result.auditor.get();
+
     auto start = std::chrono::steady_clock::now();
     auto set = attack::collectSamplesServed(gpu, cfg, bench::victimKey(),
-                                            spec);
+                                            spec, &hooks);
     result.serveSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -119,7 +155,7 @@ runScenario(const Scenario &scenario, std::size_t index,
                                   attack::MeasurementVector::LastRoundTime);
 
     attack::AttackConfig attack_cfg;
-    attack_cfg.assumedPolicy = gpu.policy; // Baseline coalescing.
+    attack_cfg.assumedPolicy = gpu.policy; // Attacker knows the defense.
     attack_cfg.measurement = attack::MeasurementVector::LastRoundTime;
     const attack::CorrelationAttack attacker(attack_cfg);
     attack::EncryptionService reference(gpu, bench::victimKey());
@@ -137,6 +173,37 @@ runScenario(const Scenario &scenario, std::size_t index,
     return result;
 }
 
+/** Lowercased copy for snapshot filenames. */
+std::string
+lowered(const char *s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** Lint-checked Prometheus snapshot of one scenario's registry. */
+void
+writeSnapshot(const std::string &dir, const ScenarioResult &r)
+{
+    const std::string path =
+        dir + "/" + lowered(r.scenario.coalescingToken) + "_" +
+        lowered(serve::batchPolicyName(r.scenario.policy)) + "_" +
+        lowered(r.scenario.loadName) + ".prom";
+    const std::string text = telemetry::renderPrometheus(*r.registry);
+    if (const auto lint = telemetry::lintPrometheus(text)) {
+        fatal("telemetry exposition failed lint for %s: %s",
+              path.c_str(), lint->c_str());
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write telemetry snapshot %s", path.c_str());
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+}
+
 } // namespace
 
 int
@@ -146,34 +213,53 @@ main(int argc, char **argv)
 
     printBanner("Serve: correlation attack under background load");
     std::printf(
-        "victim: baseline coalescing, AES-128, %u probe samples; "
-        "probes batched with open-loop background traffic\n\n",
+        "victim: AES-128, %u probe samples; probes batched with "
+        "open-loop background traffic\n"
+        "coalescing: BASE (attackable baseline) vs RSS+RTS(M=8)\n\n",
         opts.samples);
 
+    const auto base = core::CoalescingPolicy::baseline();
+    const auto rcoal_policy = core::CoalescingPolicy::rss(8, true);
     const std::vector<Scenario> scenarios = {
-        {serve::BatchPolicy::Fcfs, "none", 0.0, {}},
-        {serve::BatchPolicy::Fcfs, "light", 20000.0, kLightSizes},
-        {serve::BatchPolicy::Fcfs, "heavy", 1500.0, kHeavySizes},
-        {serve::BatchPolicy::BatchFill, "none", 0.0, {}},
-        {serve::BatchPolicy::BatchFill, "light", 20000.0, kLightSizes},
-        {serve::BatchPolicy::BatchFill, "heavy", 1500.0, kHeavySizes},
-        {serve::BatchPolicy::Sjf, "none", 0.0, {}},
-        {serve::BatchPolicy::Sjf, "light", 20000.0, kLightSizes},
-        {serve::BatchPolicy::Sjf, "heavy", 1500.0, kHeavySizes},
+        {"BASE", "base", base, serve::BatchPolicy::Fcfs, "none", 0.0, {}},
+        {"BASE", "base", base, serve::BatchPolicy::Fcfs, "light",
+         20000.0, kLightSizes},
+        {"BASE", "base", base, serve::BatchPolicy::Fcfs, "heavy", 1500.0,
+         kHeavySizes},
+        {"BASE", "base", base, serve::BatchPolicy::BatchFill, "none", 0.0,
+         {}},
+        {"BASE", "base", base, serve::BatchPolicy::BatchFill, "light",
+         20000.0, kLightSizes},
+        {"BASE", "base", base, serve::BatchPolicy::BatchFill, "heavy",
+         1500.0, kHeavySizes},
+        {"BASE", "base", base, serve::BatchPolicy::Sjf, "none", 0.0, {}},
+        {"BASE", "base", base, serve::BatchPolicy::Sjf, "light", 20000.0,
+         kLightSizes},
+        {"BASE", "base", base, serve::BatchPolicy::Sjf, "heavy", 1500.0,
+         kHeavySizes},
+        {"RSS+RTS", "rss_rts", rcoal_policy, serve::BatchPolicy::Fcfs,
+         "none", 0.0, {}},
+        {"RSS+RTS", "rss_rts", rcoal_policy, serve::BatchPolicy::Fcfs,
+         "light", 20000.0, kLightSizes},
+        {"RSS+RTS", "rss_rts", rcoal_policy, serve::BatchPolicy::Fcfs,
+         "heavy", 1500.0, kHeavySizes},
     };
 
     const auto results = rcoal::bench::benchPool().parallelMap(
         scenarios.size(), [&](std::size_t i) {
-            return runScenario(scenarios[i], i, opts.samples, opts.seed);
+            return runScenario(scenarios[i], i, opts.samples, opts.seed,
+                               opts.telemetryInterval);
         });
 
     rcoal::TablePrinter table(
-        {"policy", "load", "probe p50", "p95", "p99", "req/s",
-         "queue", "SM%", "rej", "req/batch", "avg corr", "bytes"});
+        {"coalesce", "policy", "load", "probe p50", "p95", "p99",
+         "req/s", "queue", "SM%", "rej", "req/batch", "avg corr",
+         "bytes"});
     for (const auto &r : results) {
         const auto &probe = r.report.probeLatency;
         table.addRow(
-            {serve::batchPolicyName(r.scenario.policy),
+            {r.scenario.coalescingName,
+             serve::batchPolicyName(r.scenario.policy),
              r.scenario.loadName,
              rcoal::TablePrinter::num(probe.p50, 0),
              rcoal::TablePrinter::num(probe.p95, 0),
@@ -191,16 +277,17 @@ main(int argc, char **argv)
     table.print();
 
     // The security claim this driver exists to check: more background
-    // load never helps the attacker. Scenarios are grouped per policy
-    // in load order (none, light, heavy).
+    // load never helps the attacker. Scenarios are grouped per
+    // (coalescing, batch policy) in load order (none, light, heavy).
     std::printf("\nleakage vs load (avg correct-guess correlation):\n");
     bool monotone = true;
-    for (std::size_t base = 0; base < results.size(); base += 3) {
-        const auto &policy_name = serve::batchPolicyName(
-            results[base].scenario.policy);
-        double previous = results[base].attack.avgCorrectCorrelation;
-        std::printf("  %-9s %+0.4f", policy_name, previous);
-        for (std::size_t i = base + 1; i < base + 3; ++i) {
+    for (std::size_t group = 0; group < results.size(); group += 3) {
+        const auto &head = results[group];
+        double previous = head.attack.avgCorrectCorrelation;
+        std::printf("  %-8s %-9s %+0.4f", head.scenario.coalescingName,
+                    serve::batchPolicyName(head.scenario.policy),
+                    previous);
+        for (std::size_t i = group + 1; i < group + 3; ++i) {
             const double corr =
                 results[i].attack.avgCorrectCorrelation;
             std::printf(" -> %+0.4f", corr);
@@ -212,6 +299,43 @@ main(int argc, char **argv)
     }
     std::printf("  correlation non-increasing with load: %s\n",
                 monotone ? "yes" : "NO");
+
+    // The live leakage SLO: the online auditor watched every scenario
+    // while it ran. BASE deployments must trip the alert; RSS+RTS must
+    // stay quiet — if either fails, the gauge is not a usable SLO.
+    std::printf("\nleakage SLO (online auditor, |corr| >= %.2f "
+                "after %zu probes):\n",
+                results[0].auditor->alertThreshold(),
+                telemetry::LeakageAuditor::Config{}.minSamples);
+    bool slo_base_trips = true;
+    bool slo_rcoal_quiet = true;
+    for (const auto &r : results) {
+        const bool alert = r.auditor->alerting();
+        std::printf("  %-8s %-9s %-5s corr=%+0.4f  alert=%s\n",
+                    r.scenario.coalescingName,
+                    serve::batchPolicyName(r.scenario.policy),
+                    r.scenario.loadName, r.auditor->correlation(),
+                    alert ? "FIRING" : "quiet");
+        const bool is_base = r.scenario.gpuPolicy ==
+                             core::CoalescingPolicy::baseline();
+        // Loaded BASE cells genuinely dilute the channel (the point of
+        // this driver); the SLO promise is that an *unloaded* BASE
+        // service is caught, while RSS+RTS stays quiet at every load.
+        if (is_base && r.scenario.meanGapCycles == 0.0 && !alert)
+            slo_base_trips = false;
+        if (!is_base && alert)
+            slo_rcoal_quiet = false;
+    }
+    std::printf("  SLO separates BASE (firing) from RSS+RTS (quiet): "
+                "%s\n",
+                slo_base_trips && slo_rcoal_quiet ? "yes" : "NO");
+
+    if (!opts.telemetryDir.empty()) {
+        std::printf("\ntelemetry snapshots (%s):\n",
+                    opts.telemetryDir.c_str());
+        for (const auto &r : results)
+            writeSnapshot(opts.telemetryDir, r);
+    }
 
     for (const auto &r : results) {
         rcoal::bench::engineReport().record(
@@ -248,11 +372,38 @@ main(int argc, char **argv)
     engine.setExtra("prt_stall_cycles", std::to_string(prt_stalls));
     engine.setExtra("icn_stall_cycles", std::to_string(icn_stalls));
 
-    // --trace FILE: re-run one representative scenario (FCFS, heavy
-    // load) with the tracer attached and export a Chrome/Perfetto
+    // Live-telemetry roll-up: the sampler's recorded time series for
+    // the two saturated FCFS cells (one per coalescing policy) and the
+    // final SLO gauge of every cell, so the engine report carries the
+    // leakage trajectory next to the perf trajectory.
+    engine.setExtra("telemetry_interval_cycles",
+                    std::to_string(opts.telemetryInterval));
+    std::string slo_json = "{";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        slo_json += strprintf(
+            "%s\"%s/%s/%s\":%.6f", i == 0 ? "" : ",",
+            r.scenario.coalescingName,
+            serve::batchPolicyName(r.scenario.policy),
+            r.scenario.loadName, r.auditor->correlation());
+    }
+    slo_json += "}";
+    engine.setExtra("leakage_correlation", slo_json);
+    for (const auto &r : results) {
+        if (r.scenario.policy != serve::BatchPolicy::Fcfs ||
+            r.scenario.meanGapCycles != 1500.0) {
+            continue;
+        }
+        engine.setExtra(std::string("telemetry_series_") +
+                            r.scenario.coalescingToken + "_fcfs_heavy",
+                        r.sampler->seriesJson());
+    }
+
+    // --trace FILE: re-run one representative scenario (BASE, FCFS,
+    // heavy load) with the tracer attached and export a Chrome/Perfetto
     // timeline of the whole serving stack.
     if (!opts.tracePath.empty()) {
-        const std::size_t traced_index = 2; // {Fcfs, "heavy", ...}.
+        const std::size_t traced_index = 2; // {BASE, Fcfs, "heavy"}.
         const ScenarioSetup setup = makeScenarioSetup(
             scenarios[traced_index], traced_index, opts.samples,
             opts.seed);

@@ -34,7 +34,9 @@ baseName(const char *argv0)
 printUsage(const std::string &driver, unsigned default_samples)
 {
     std::printf("usage: %s [N | --samples N] [--seed S] [--threads T] "
-                "[--trace FILE] [--no-cycle-skipping]\n"
+                "[--trace FILE] [--telemetry-out DIR]\n"
+                "       [--telemetry-interval N] "
+                "[--no-cycle-skipping]\n"
                 "  --samples N   sample count (default %u)\n"
                 "  --seed S      victim GPU seed (default 42)\n"
                 "  --threads T   engine worker count "
@@ -43,6 +45,14 @@ printUsage(const std::string &driver, unsigned default_samples)
                 "representative run\n"
                 "                (event recording needs a "
                 "-DRCOAL_TRACE=ON build)\n"
+                "  --telemetry-out DIR\n"
+                "                write one Prometheus snapshot per "
+                "scenario into DIR\n"
+                "                (drivers with live telemetry; DIR must "
+                "exist)\n"
+                "  --telemetry-interval N\n"
+                "                cycles between telemetry samples "
+                "(default 5000)\n"
                 "  --no-cycle-skipping\n"
                 "                force the legacy per-cycle simulation "
                 "loop (identical\n"
@@ -96,6 +106,16 @@ parseBenchArgs(int argc, char **argv, unsigned default_samples)
             if (value == nullptr || value[0] == '\0')
                 fatal("--trace requires a file path");
             opts.tracePath = value;
+            ++i;
+        } else if (std::strcmp(arg, "--telemetry-out") == 0) {
+            if (value == nullptr || value[0] == '\0')
+                fatal("--telemetry-out requires a directory path");
+            opts.telemetryDir = value;
+            ++i;
+        } else if (std::strcmp(arg, "--telemetry-interval") == 0) {
+            opts.telemetryInterval = numericValue(arg, value);
+            if (opts.telemetryInterval == 0)
+                fatal("--telemetry-interval must be positive");
             ++i;
         } else if (std::strcmp(arg, "--no-cycle-skipping") == 0) {
             sim::setCycleSkippingOverride(0);

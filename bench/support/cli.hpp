@@ -14,6 +14,12 @@
  *   --trace FILE  write a Chrome/Perfetto trace of one representative
  *                 run to FILE (drivers that support it; event recording
  *                 needs the RCOAL_TRACE build option)
+ *   --telemetry-out DIR
+ *                 write one Prometheus text-exposition snapshot per
+ *                 scenario into DIR (drivers that support live
+ *                 telemetry; DIR must already exist)
+ *   --telemetry-interval N
+ *                 cycles between telemetry samples (default 5000)
  *   --no-cycle-skipping
  *                 force the legacy per-cycle simulation loop (disables
  *                 GpuConfig::cycleSkipping process-wide; equivalent to
@@ -42,6 +48,8 @@ struct CliOptions
     std::uint64_t seed = 42;
     unsigned threads = 0; ///< 0 = RCOAL_THREADS / hardware default.
     std::string tracePath; ///< --trace FILE; empty = no trace export.
+    std::string telemetryDir; ///< --telemetry-out DIR; empty = off.
+    std::uint64_t telemetryInterval = 5000; ///< --telemetry-interval.
 };
 
 /**

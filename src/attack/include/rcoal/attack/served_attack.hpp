@@ -44,12 +44,15 @@ struct ServedSampleSet
  * Run the serving scenario (@p gpu, @p serve_config, @p spec) with
  * secret @p key and collect the probe observations. Single-threaded
  * and deterministic; parallelize across scenarios, not within one.
+ * An optional @p telemetry hook is forwarded to the server (see
+ * serve::ServeTelemetry) so benches can watch the run live.
  */
 ServedSampleSet
 collectSamplesServed(const sim::GpuConfig &gpu,
                      const serve::ServeConfig &serve_config,
                      std::span<const std::uint8_t> key,
-                     const serve::WorkloadSpec &spec);
+                     const serve::WorkloadSpec &spec,
+                     const serve::ServeTelemetry *telemetry = nullptr);
 
 /**
  * The strong attacker's outlier control: clamp (winsorize) the

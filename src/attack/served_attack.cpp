@@ -96,11 +96,12 @@ ServedSampleSet
 collectSamplesServed(const sim::GpuConfig &gpu,
                      const serve::ServeConfig &serve_config,
                      std::span<const std::uint8_t> key,
-                     const serve::WorkloadSpec &spec)
+                     const serve::WorkloadSpec &spec,
+                     const serve::ServeTelemetry *telemetry)
 {
     const serve::EncryptionServer server(gpu, serve_config, key);
     ServedSampleSet set;
-    set.report = server.run(spec);
+    set.report = server.run(spec, /*tracer=*/nullptr, telemetry);
     set.observations = probeObservations(set.report);
     return set;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "rcoal/serve/request.hpp"
+#include "rcoal/telemetry/metric.hpp"
 
 namespace rcoal::serve {
 
@@ -29,6 +30,42 @@ struct LatencySummary
 
     /** Summarize @p values (copied; empty input gives all zeros). */
     static LatencySummary of(std::vector<double> values);
+};
+
+/**
+ * Streaming latency accumulator: O(1) per observation, bounded memory.
+ *
+ * Small samples (up to the exact cutoff) are retained verbatim, so
+ * their summary is bit-identical to the historical copy-and-sort path.
+ * Once the cutoff is crossed the retained values are released and
+ * percentiles come from a log-linear histogram, bounding p50/p95/p99
+ * relative error at 1/16 (6.25%) while mean/max/count stay exact.
+ * Latencies are cycle counts; fractional inputs are rounded for the
+ * histogram (the exact path keeps them as-is).
+ */
+class StreamingLatency
+{
+  public:
+    static constexpr std::size_t kExactCutoff = 4096;
+
+    explicit StreamingLatency(std::size_t exact_cutoff = kExactCutoff);
+
+    void observe(double latency_cycles);
+
+    LatencySummary summary() const;
+
+    std::size_t count() const { return observations; }
+
+    /** True once the exact values were released to the histogram. */
+    bool streaming() const { return exact.empty() && observations > 0; }
+
+  private:
+    std::size_t exactCutoff;
+    std::size_t observations = 0;
+    double sum = 0.0;
+    double maxSeen = 0.0;
+    std::vector<double> exact;
+    telemetry::LogHistogram hist;
 };
 
 /**
@@ -52,6 +89,8 @@ struct KernelSnapshot
     Cycle cycles = 0; ///< finishedAt - launch on the machine clock.
     std::uint64_t coalescedAccesses = 0;
     std::uint64_t lastRoundAccesses = 0;
+    /** Baseline-predicted last-round accesses (see CompletedRequest). */
+    std::uint64_t predictedLastRoundAccesses = 0;
     std::uint64_t prtStallCycles = 0;
     std::uint64_t icnStallCycles = 0;
 };

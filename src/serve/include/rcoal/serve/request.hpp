@@ -54,6 +54,23 @@ struct CompletedRequest
     double kernelLastRoundTime = 0.0;  ///< Last-round window, cycles.
     std::uint64_t kernelLastRoundAccesses = 0;
     std::uint64_t kernelTotalAccesses = 0;
+
+    /**
+     * Last-round coalesced accesses THIS request's own lines would
+     * produce under baseline (single-subwarp) coalescing — a pure
+     * function of the request's plaintext and the key, computed at
+     * launch from the kernel trace and sliced to the warps this
+     * request's lines occupy.  This is the leakage auditor's X series:
+     * its correlation with the kernel's last-round time is the
+     * attacker's signal.  Under BASE a solo request's predicted count
+     * equals the count the hardware performs, so the correlation
+     * approaches 1; co-tenant lines and RSS/RTS randomization both
+     * decouple the two.  Deliberately per-request, not per-batch: the
+     * whole batch's predicted count scales with batch size — as does
+     * kernel time under every policy — which would make the auditor
+     * fire on load rather than on leakage.
+     */
+    std::uint64_t kernelPredictedLastRoundAccesses = 0;
     unsigned batchRequests = 0; ///< Requests merged into the kernel.
 
     Cycle queueWaitCycles() const { return launched - arrival; }

@@ -99,7 +99,21 @@ class KernelScheduler
         std::vector<Request> requests;
         /** Line offset of each request inside the batch plaintext. */
         std::vector<unsigned> lineOffsets;
+        /** Whole-kernel baseline last-round access count. */
+        std::uint64_t predictedLastRound = 0;
+        /** Same quantity split per warp (see request.hpp). */
+        std::vector<std::uint64_t> predictedPerWarp;
     };
+
+    /**
+     * Count the last-round coalesced accesses each warp of @p kernel
+     * would produce under the baseline single-subwarp partition — the
+     * data-determined quantity the leakage auditor correlates against
+     * time.  Per warp so retire time can attribute the count to the
+     * individual requests whose lines the warp covers.
+     */
+    std::vector<std::uint64_t>
+    predictedBaselineLastRound(const workloads::AesGpuKernel &kernel) const;
 
     sim::SmRange gangRange(unsigned gang) const;
 

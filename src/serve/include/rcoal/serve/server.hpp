@@ -24,6 +24,11 @@ namespace rcoal::trace {
 class Tracer;
 } // namespace rcoal::trace
 
+namespace rcoal::telemetry {
+class LeakageAuditor;
+class TelemetrySampler;
+} // namespace rcoal::telemetry
+
 namespace rcoal::serve {
 
 /**
@@ -60,6 +65,22 @@ struct WorkloadSpec
 };
 
 /**
+ * Live observability hooks for one serving run.  The sampler (whose
+ * registry holds every instrument) is required; the auditor is
+ * optional.  Both must outlive run(): the server registers serve-layer
+ * instruments and collectors, drives the sampler from the machine's
+ * event loop (skip-safe), feeds the auditor one observation per
+ * completed probe, and detaches every run-local callback before
+ * returning — so afterwards the registry and recorded series can be
+ * rendered at leisure.
+ */
+struct ServeTelemetry
+{
+    telemetry::TelemetrySampler *sampler = nullptr;
+    telemetry::LeakageAuditor *auditor = nullptr;
+};
+
+/**
  * Runs one serving scenario to completion.
  */
 class EncryptionServer
@@ -81,9 +102,15 @@ class EncryptionServer
      * An optional @p tracer is wired through the whole stack (machine
      * components plus a "serve" sink for admit/reject/batch events);
      * event recording additionally needs the RCOAL_TRACE build option.
+     *
+     * Optional @p telemetry attaches live metrics (see ServeTelemetry).
+     * When a tracer is also attached, every sink's recorded/dropped
+     * counters are re-exported through the registry so silent trace
+     * loss is visible in exposition output.
      */
     ServeReport run(const WorkloadSpec &spec,
-                    trace::Tracer *tracer = nullptr) const;
+                    trace::Tracer *tracer = nullptr,
+                    const ServeTelemetry *telemetry = nullptr) const;
 
   private:
     sim::GpuConfig gpuConfig;

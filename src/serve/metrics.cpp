@@ -32,18 +32,67 @@ percentile(const std::vector<double> &sorted_values, double p)
 LatencySummary
 LatencySummary::of(std::vector<double> values)
 {
-    LatencySummary summary;
-    summary.count = values.size();
-    if (values.empty())
-        return summary;
-    std::sort(values.begin(), values.end());
-    summary.p50 = percentile(values, 50.0);
-    summary.p95 = percentile(values, 95.0);
-    summary.p99 = percentile(values, 99.0);
-    summary.mean = std::accumulate(values.begin(), values.end(), 0.0) /
-                   static_cast<double>(values.size());
-    summary.max = values.back();
-    return summary;
+    // Streaming path with an unreachable cutoff would defeat the
+    // point: size the accumulator so the behaviour (exact vs.
+    // histogram) matches what a server feeding values one at a time
+    // would have produced for the same sample size.
+    StreamingLatency streaming;
+    for (double v : values)
+        streaming.observe(v);
+    return streaming.summary();
+}
+
+StreamingLatency::StreamingLatency(std::size_t exact_cutoff)
+    : exactCutoff(exact_cutoff)
+{
+    exact.reserve(std::min<std::size_t>(exactCutoff, 64));
+}
+
+void
+StreamingLatency::observe(double latency_cycles)
+{
+    RCOAL_ASSERT(latency_cycles >= 0.0 &&
+                     std::isfinite(latency_cycles),
+                 "latency %f is not a non-negative finite cycle count",
+                 latency_cycles);
+    ++observations;
+    sum += latency_cycles;
+    maxSeen = std::max(maxSeen, latency_cycles);
+    hist.observe(static_cast<std::uint64_t>(
+        std::llround(latency_cycles)));
+    if (observations <= exactCutoff) {
+        exact.push_back(latency_cycles);
+        return;
+    }
+    if (!exact.empty()) {
+        // Cutoff crossed: release the retained values for good; the
+        // histogram (which saw every observation) takes over.
+        exact.clear();
+        exact.shrink_to_fit();
+    }
+}
+
+LatencySummary
+StreamingLatency::summary() const
+{
+    LatencySummary out;
+    out.count = observations;
+    if (observations == 0)
+        return out;
+    out.mean = sum / static_cast<double>(observations);
+    out.max = maxSeen;
+    if (!exact.empty()) {
+        std::vector<double> sorted = exact;
+        std::sort(sorted.begin(), sorted.end());
+        out.p50 = percentile(sorted, 50.0);
+        out.p95 = percentile(sorted, 95.0);
+        out.p99 = percentile(sorted, 99.0);
+        return out;
+    }
+    out.p50 = hist.quantile(0.50);
+    out.p95 = hist.quantile(0.95);
+    out.p99 = hist.quantile(0.99);
+    return out;
 }
 
 namespace {

@@ -8,6 +8,8 @@
 #include <algorithm>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/core/coalescer.hpp"
+#include "rcoal/core/subwarp.hpp"
 
 namespace rcoal::serve {
 
@@ -31,6 +33,27 @@ sim::SmRange
 KernelScheduler::gangRange(unsigned gang) const
 {
     return sim::SmRange{gang * smsPerKernel, smsPerKernel};
+}
+
+std::vector<std::uint64_t>
+KernelScheduler::predictedBaselineLastRound(
+    const workloads::AesGpuKernel &kernel) const
+{
+    const sim::GpuConfig &cfg = machine.config();
+    core::Coalescer coalescer(cfg.coalesceBlockBytes);
+    const core::SubwarpPartition baseline =
+        core::SubwarpPartition::single(cfg.warpSize);
+    std::vector<std::uint64_t> per_warp(kernel.numWarps(), 0);
+    for (unsigned w = 0; w < kernel.numWarps(); ++w) {
+        for (const sim::WarpInstruction &instr : kernel.trace(w)) {
+            if (instr.op != sim::WarpInstruction::Op::Load ||
+                instr.tag != sim::AccessTag::LastRoundLookup) {
+                continue;
+            }
+            per_warp[w] += coalescer.countAccesses(instr.lanes, baseline);
+        }
+    }
+    return per_warp;
 }
 
 bool
@@ -74,6 +97,10 @@ KernelScheduler::launchBatch(std::vector<Request> batch, Cycle now)
 
     entry.kernel = std::make_unique<workloads::AesGpuKernel>(
         plaintext, secretKey, machine.config().warpSize);
+    entry.predictedPerWarp = predictedBaselineLastRound(*entry.kernel);
+    entry.predictedLastRound = 0;
+    for (std::uint64_t w : entry.predictedPerWarp)
+        entry.predictedLastRound += w;
     entry.id = machine.launch(*entry.kernel, gangRange(gang));
     entry.requests = std::move(batch);
 
@@ -117,6 +144,7 @@ KernelScheduler::collectCompleted(Cycle now)
         snap.cycles = stats.cycles;
         snap.coalescedAccesses = stats.coalescedAccesses;
         snap.lastRoundAccesses = stats.lastRoundAccesses();
+        snap.predictedLastRoundAccesses = it->predictedLastRound;
         snap.prtStallCycles = stats.prtStallCycles;
         snap.icnStallCycles = stats.icnStallCycles;
         snapshots.push_back(snap);
@@ -139,6 +167,21 @@ KernelScheduler::collectCompleted(Cycle now)
                 static_cast<double>(stats.lastRoundCycles());
             done.kernelLastRoundAccesses = stats.lastRoundAccesses();
             done.kernelTotalAccesses = stats.coalescedAccesses;
+            // This request's own slice of the predicted count: the
+            // warps whose lines it contributed. Requests are padded to
+            // warp multiples in practice; a shared boundary warp is
+            // attributed to every request overlapping it.
+            {
+                const unsigned warp_size = machine.config().warpSize;
+                const unsigned first_warp = first / warp_size;
+                const unsigned end_warp = std::min(
+                    static_cast<unsigned>(it->predictedPerWarp.size()),
+                    (first + done.lines + warp_size - 1) / warp_size);
+                std::uint64_t own = 0;
+                for (unsigned w = first_warp; w < end_warp; ++w)
+                    own += it->predictedPerWarp[w];
+                done.kernelPredictedLastRoundAccesses = own;
+            }
             done.batchRequests = batch_size;
             RCOAL_TRACE(traceSink, ServeComplete, finished, done.id,
                         finished - done.arrival, it->gang);

@@ -6,12 +6,15 @@
 #include "rcoal/serve/server.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "rcoal/common/logging.hpp"
 #include "rcoal/serve/batcher.hpp"
 #include "rcoal/serve/load_generator.hpp"
 #include "rcoal/serve/request_queue.hpp"
 #include "rcoal/serve/scheduler.hpp"
+#include "rcoal/telemetry/leakage_auditor.hpp"
+#include "rcoal/telemetry/sampler.hpp"
 #include "rcoal/trace/tracer.hpp"
 
 namespace rcoal::serve {
@@ -20,6 +23,25 @@ namespace {
 
 /** Background requests get ids far above any probe id. */
 constexpr std::uint64_t kBackgroundFirstId = 1'000'000'000;
+
+/** Serve-layer instruments; null when telemetry is off. */
+struct ServeCells
+{
+    telemetry::Gauge *queueDepth = nullptr;
+    telemetry::Gauge *busyGangs = nullptr;
+    telemetry::Counter *admitted = nullptr;
+    telemetry::Counter *rejected = nullptr;
+    telemetry::Counter *completed = nullptr;
+    telemetry::Counter *probeCompleted = nullptr;
+    telemetry::Counter *kernelsLaunched = nullptr;
+    telemetry::LogHistogram *batchRequests = nullptr;
+    telemetry::LogHistogram *latencyAll = nullptr;
+    telemetry::LogHistogram *latencyProbe = nullptr;
+    /** (sink, recorded counter, dropped counter) triples. */
+    std::vector<std::tuple<const trace::TraceSink *,
+                           telemetry::Counter *, telemetry::Counter *>>
+        sinks;
+};
 
 } // namespace
 
@@ -35,7 +57,8 @@ EncryptionServer::EncryptionServer(const sim::GpuConfig &gpu,
 
 ServeReport
 EncryptionServer::run(const WorkloadSpec &spec,
-                      trace::Tracer *tracer) const
+                      trace::Tracer *tracer,
+                      const ServeTelemetry *telemetry) const
 {
     RCOAL_ASSERT(spec.probeSamples > 0, "workload without probes");
 
@@ -58,15 +81,118 @@ EncryptionServer::run(const WorkloadSpec &spec,
 
     ServeReport report;
     unsigned probe_completions = 0;
+    std::uint64_t completed_count = 0;
     std::uint64_t depth_sum = 0;
     std::uint64_t busy_sum = 0;
     std::vector<Request> arrivals;
+    StreamingLatency all_latency;
+    StreamingLatency probe_latency;
+
+    ServeCells cells;
+    telemetry::TelemetrySampler *sampler =
+        telemetry != nullptr ? telemetry->sampler : nullptr;
+    telemetry::LeakageAuditor *auditor =
+        telemetry != nullptr ? telemetry->auditor : nullptr;
+    if (sampler != nullptr) {
+        telemetry::MetricRegistry &reg = sampler->registry();
+        // Machine instruments first: setTelemetry also re-anchors the
+        // sampler and folds its bound into nextEventCycle().
+        scheduler.gpu().setTelemetry(sampler);
+        cells.queueDepth =
+            &reg.gauge("rcoal_serve_queue_depth",
+                       "Requests waiting in the admission queue");
+        cells.busyGangs =
+            &reg.gauge("rcoal_serve_busy_gangs",
+                       "SM gangs currently running a batch kernel");
+        cells.admitted =
+            &reg.counter("rcoal_serve_admitted_total",
+                         "Requests accepted by admission control");
+        cells.rejected =
+            &reg.counter("rcoal_serve_rejected_total",
+                         "Requests rejected by admission control");
+        cells.completed =
+            &reg.counter("rcoal_serve_completed_total",
+                         "Requests completed end to end");
+        cells.probeCompleted =
+            &reg.counter("rcoal_serve_probe_completed_total",
+                         "Probe (attacker) requests completed");
+        cells.kernelsLaunched =
+            &reg.counter("rcoal_serve_kernels_launched_total",
+                         "Batch kernels launched");
+        cells.batchRequests =
+            &reg.histogram("rcoal_serve_batch_requests",
+                           "Requests per launched batch kernel", {},
+                           /*value_bits=*/16);
+        cells.latencyAll = &reg.histogram(
+            "rcoal_serve_request_latency_cycles",
+            "End-to-end request latency in core cycles",
+            {{"scope", "all"}});
+        cells.latencyProbe = &reg.histogram(
+            "rcoal_serve_request_latency_cycles",
+            "End-to-end request latency in core cycles",
+            {{"scope", "probe"}});
+        if (tracer != nullptr) {
+            for (const auto &sink : tracer->sinks()) {
+                const telemetry::MetricRegistry::Labels sink_labels = {
+                    {"sink", std::string(sink->name())}};
+                cells.sinks.emplace_back(
+                    sink.get(),
+                    &reg.counter("rcoal_trace_recorded_total",
+                                 "Trace events recorded, per sink",
+                                 sink_labels),
+                    &reg.counter("rcoal_trace_dropped_total",
+                                 "Trace events dropped (ring full), "
+                                 "per sink",
+                                 sink_labels));
+            }
+        }
+        sampler->addCollector([&](Cycle) {
+            cells.queueDepth->set(static_cast<double>(queue.size()));
+            cells.busyGangs->set(
+                static_cast<double>(scheduler.busyGangs()));
+            cells.admitted->set(queue.admitted());
+            cells.rejected->set(queue.rejected());
+            cells.completed->set(completed_count);
+            cells.probeCompleted->set(probe_completions);
+            cells.kernelsLaunched->set(scheduler.kernelsLaunched());
+            for (auto &[sink, recorded, dropped] : cells.sinks) {
+                recorded->set(sink->totalRecorded());
+                dropped->set(sink->dropped());
+            }
+        });
+        sampler->track("serve_queue_depth", [&queue] {
+            return static_cast<double>(queue.size());
+        });
+        sampler->track("busy_sms", [&scheduler] {
+            return static_cast<double>(scheduler.busySms());
+        });
+        if (auditor != nullptr) {
+            sampler->track("leakage_correlation", [auditor] {
+                return auditor->correlation();
+            });
+        }
+    }
 
     Cycle now = 0;
     while (true) {
         // 1. Retire finished batches and notify closed-loop clients.
         for (CompletedRequest &done : scheduler.collectCompleted(now)) {
+            const auto latency =
+                static_cast<double>(done.latencyCycles());
+            all_latency.observe(latency);
+            ++completed_count;
+            if (cells.latencyAll != nullptr)
+                cells.latencyAll->observe(done.latencyCycles());
             if (done.isProbe) {
+                probe_latency.observe(latency);
+                if (cells.latencyProbe != nullptr)
+                    cells.latencyProbe->observe(done.latencyCycles());
+                if (auditor != nullptr) {
+                    auditor->observe(
+                        static_cast<double>(
+                            done.kernelPredictedLastRoundAccesses),
+                        done.kernelLastRoundTime);
+                }
                 probes.onCompletion(done.clientId, now);
                 ++probe_completions;
             }
@@ -110,6 +236,8 @@ EncryptionServer::run(const WorkloadSpec &spec,
                             return lines;
                         }(),
                         0);
+            if (cells.batchRequests != nullptr)
+                cells.batchRequests->observe(batch.size());
             scheduler.launchBatch(std::move(batch), now);
         }
 
@@ -186,18 +314,17 @@ EncryptionServer::run(const WorkloadSpec &spec,
             static_cast<double>(report.completed.size()) / seconds;
     }
 
-    std::vector<double> all_latency;
-    std::vector<double> probe_latency;
-    all_latency.reserve(report.completed.size());
-    for (const CompletedRequest &done : report.completed) {
-        const auto latency =
-            static_cast<double>(done.latencyCycles());
-        all_latency.push_back(latency);
-        if (done.isProbe)
-            probe_latency.push_back(latency);
+    report.allLatency = all_latency.summary();
+    report.probeLatency = probe_latency.summary();
+
+    if (sampler != nullptr) {
+        // Final refresh so the exposition snapshot reflects the end
+        // state, then drop every run-local callback: the sampled
+        // objects die with this frame, the registry and series do not.
+        sampler->collect(now);
+        sampler->detachSources();
+        scheduler.gpu().setTelemetry(nullptr);
     }
-    report.allLatency = LatencySummary::of(std::move(all_latency));
-    report.probeLatency = LatencySummary::of(std::move(probe_latency));
     return report;
 }
 

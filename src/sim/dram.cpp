@@ -21,6 +21,7 @@ DramPartition::DramPartition(const GpuConfig &config, unsigned partition_id,
       queueDepth(config.dramQueueDepth),
       stats(kernel_stats),
       banks(config.banksPerPartition),
+      bankStats(config.banksPerPartition),
       refreshEnabled(config.refreshEnabled),
       nextRefreshAt(config.timing.tREFI)
 {
@@ -62,6 +63,7 @@ DramPartition::maybeRefresh(Cycle now)
     }
     nextRefreshAt += timing.tREFI;
     ++stats->dramRefreshes;
+    ++refreshCount;
 }
 
 void
@@ -119,10 +121,13 @@ DramPartition::tryIssueColumn(Cycle now)
             // must hold off) until the data burst has drained.
             raiseTo(bank.prechargeAllowed, burst_start + burstCycles);
         }
-        if (req.neededActivate)
+        if (req.neededActivate) {
             ++stats->dramRowMisses;
-        else
+            ++bankStats[req.loc.bank].rowMisses;
+        } else {
             ++stats->dramRowHits;
+            ++bankStats[req.loc.bank].rowHits;
+        }
         return true;
     }
     return false;
@@ -163,6 +168,7 @@ DramPartition::tryIssueActivate(Cycle now)
             raiseTo(nextActivateAny, now + timing.tRRD);
         }
         ++stats->dramActivates;
+        ++bankStats[req.loc.bank].activates;
         // Row-hit accounting: only the request this ACT was issued for
         // counts as a miss; younger same-row requests will read from
         // the now-open row and count as hits.
@@ -209,6 +215,7 @@ DramPartition::tryIssuePrecharge(Cycle now)
         bank.openRow = -1;
         raiseTo(bank.nextActivate, now + timing.tRP);
         ++stats->dramPrecharges;
+        ++bankStats[req.loc.bank].precharges;
         return true;
     }
     return false;

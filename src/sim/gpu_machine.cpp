@@ -7,8 +7,10 @@
 #include "rcoal/sim/gpu_machine.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/telemetry/sampler.hpp"
 
 namespace rcoal::sim {
 
@@ -118,6 +120,202 @@ GpuMachine::enableDramChecking(trace::DramProtocolChecker::Mode mode)
             std::make_unique<trace::DramProtocolChecker>(params, mode));
         dram->setChecker(checkers.back().get());
     }
+}
+
+KernelStats
+GpuMachine::cumulativeStats() const
+{
+    KernelStats totals = retiredTotals;
+    // Iteration order over the hash map is irrelevant: the fold is a
+    // plain commutative sum, so the result is deterministic.
+    for (const auto &[slot, launch] : active)
+        totals.accumulate(*launch.stats);
+    return totals;
+}
+
+std::size_t
+GpuMachine::prtOccupancy() const
+{
+    std::size_t fill = 0;
+    for (const auto &sm : sms)
+        fill += sm->prtOccupancy();
+    return fill;
+}
+
+namespace {
+
+/** Pre-resolved instrument pointers for the machine's pull collector. */
+struct MachineCells
+{
+    telemetry::Counter *simCycles = nullptr;
+    telemetry::Counter *kernelsLaunched = nullptr;
+    telemetry::Counter *kernelsRetired = nullptr;
+    telemetry::Counter *warpInstructions = nullptr;
+    telemetry::Counter *memInstructions = nullptr;
+    telemetry::Counter *coalescedAccesses = nullptr;
+    telemetry::Counter *prtStalls = nullptr;
+    telemetry::Counter *icnStalls = nullptr;
+    telemetry::Gauge *busySms = nullptr;
+    telemetry::Gauge *residentKernels = nullptr;
+    telemetry::Gauge *prtFill = nullptr;
+    telemetry::Counter *reqPackets = nullptr;
+    telemetry::Counter *respPackets = nullptr;
+    telemetry::Gauge *reqQueued = nullptr;
+    telemetry::Gauge *respQueued = nullptr;
+
+    struct Partition
+    {
+        telemetry::Gauge *queueDepth = nullptr;
+        telemetry::Counter *refreshes = nullptr;
+        telemetry::Counter *violations = nullptr; ///< Checker-gated.
+        /** Per bank: row hits, row misses, activates, precharges. */
+        std::vector<std::array<telemetry::Counter *, 4>> banks;
+    };
+    std::vector<Partition> partitions;
+};
+
+} // namespace
+
+void
+GpuMachine::setTelemetry(telemetry::TelemetrySampler *sampler)
+{
+    telemetrySampler = sampler;
+    if (sampler == nullptr)
+        return;
+    sampler->alignAfter(nowCycle);
+
+    telemetry::MetricRegistry &reg = sampler->registry();
+    auto cells = std::make_shared<MachineCells>();
+    cells->simCycles = &reg.counter("rcoal_sim_cycles_total",
+                                    "Core cycles simulated");
+    cells->kernelsLaunched = &reg.counter(
+        "rcoal_kernels_launched_total", "Kernel launches started");
+    cells->kernelsRetired = &reg.counter(
+        "rcoal_kernels_retired_total",
+        "Kernel launches completed and taken");
+    cells->residentKernels = &reg.gauge(
+        "rcoal_kernels_resident",
+        "Launches currently resident (incl. completed-but-untaken)");
+    cells->busySms = &reg.gauge(
+        "rcoal_sm_busy", "SMs currently allocated to a launch");
+    reg.gauge("rcoal_sm_total", "SMs in the machine")
+        .set(static_cast<double>(cfg.numSms));
+    cells->warpInstructions = &reg.counter(
+        "rcoal_warp_instructions_total",
+        "Warp instructions issued across all launches");
+    cells->memInstructions = &reg.counter(
+        "rcoal_mem_instructions_total",
+        "Memory warp instructions issued across all launches");
+    cells->coalescedAccesses = &reg.counter(
+        "rcoal_coalesced_accesses_total",
+        "Coalesced memory accesses generated (loads + stores)");
+    cells->prtStalls = &reg.counter(
+        "rcoal_sm_prt_stall_cycles_total",
+        "Cycles memory issue stalled on a full PRT");
+    cells->icnStalls = &reg.counter(
+        "rcoal_sm_icn_stall_cycles_total",
+        "Cycles the LD/ST head stalled on interconnect backpressure");
+    cells->prtFill = &reg.gauge(
+        "rcoal_prt_occupancy",
+        "Live pending-request-table entries, summed over SMs");
+    reg.gauge("rcoal_prt_capacity",
+              "Pending-request-table entries, summed over SMs")
+        .set(static_cast<double>(cfg.prtEntries) *
+             static_cast<double>(cfg.numSms));
+
+    const telemetry::MetricRegistry::Labels req_labels{{"xbar", "req"}};
+    const telemetry::MetricRegistry::Labels resp_labels{
+        {"xbar", "resp"}};
+    cells->reqPackets = &reg.counter(
+        "rcoal_xbar_packets_total",
+        "Packets transferred through a crossbar", req_labels);
+    cells->respPackets = &reg.counter(
+        "rcoal_xbar_packets_total",
+        "Packets transferred through a crossbar", resp_labels);
+    cells->reqQueued = &reg.gauge(
+        "rcoal_xbar_queued_packets",
+        "Packets resident in a crossbar's port queues", req_labels);
+    cells->respQueued = &reg.gauge(
+        "rcoal_xbar_queued_packets",
+        "Packets resident in a crossbar's port queues", resp_labels);
+
+    cells->partitions.resize(cfg.numPartitions);
+    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+        const std::string part = strprintf("%u", p);
+        const telemetry::MetricRegistry::Labels part_labels{
+            {"partition", part}};
+        MachineCells::Partition &pc = cells->partitions[p];
+        pc.queueDepth = &reg.gauge(
+            "rcoal_dram_queue_depth",
+            "Unserviced requests queued at a DRAM partition",
+            part_labels);
+        pc.refreshes = &reg.counter(
+            "rcoal_dram_refreshes_total",
+            "All-bank refreshes issued by a DRAM partition",
+            part_labels);
+        if (p < checkers.size() && checkers[p] != nullptr) {
+            pc.violations = &reg.counter(
+                "rcoal_dram_protocol_violations_total",
+                "DRAM protocol violations collected by the checker",
+                part_labels);
+        }
+        pc.banks.resize(cfg.banksPerPartition);
+        for (unsigned b = 0; b < cfg.banksPerPartition; ++b) {
+            const telemetry::MetricRegistry::Labels bank_labels{
+                {"partition", part}, {"bank", strprintf("%u", b)}};
+            pc.banks[b] = {
+                &reg.counter("rcoal_dram_row_hits_total",
+                             "Row-buffer hits per DRAM bank",
+                             bank_labels),
+                &reg.counter("rcoal_dram_row_misses_total",
+                             "Row-buffer misses per DRAM bank",
+                             bank_labels),
+                &reg.counter("rcoal_dram_activates_total",
+                             "ACT commands per DRAM bank", bank_labels),
+                &reg.counter("rcoal_dram_precharges_total",
+                             "PRE commands per DRAM bank", bank_labels),
+            };
+        }
+    }
+
+    sampler->addCollector([this, cells](Cycle) {
+        cells->simCycles->set(nowCycle);
+        cells->kernelsLaunched->set(launchCounter);
+        cells->kernelsRetired->set(retiredLaunches);
+        cells->residentKernels->set(
+            static_cast<double>(active.size()));
+        cells->busySms->set(static_cast<double>(busySms()));
+        const KernelStats totals = cumulativeStats();
+        cells->warpInstructions->set(totals.warpInstructions);
+        cells->memInstructions->set(totals.memInstructions);
+        cells->coalescedAccesses->set(totals.coalescedAccesses);
+        cells->prtStalls->set(totals.prtStallCycles);
+        cells->icnStalls->set(totals.icnStallCycles);
+        cells->prtFill->set(static_cast<double>(prtOccupancy()));
+        cells->reqPackets->set(reqXbar.packetsTransferred());
+        cells->respPackets->set(respXbar.packetsTransferred());
+        cells->reqQueued->set(
+            static_cast<double>(reqXbar.queuedPackets()));
+        cells->respQueued->set(
+            static_cast<double>(respXbar.queuedPackets()));
+        for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+            MachineCells::Partition &pc = cells->partitions[p];
+            pc.queueDepth->set(
+                static_cast<double>(drams[p]->queuedRequests()));
+            pc.refreshes->set(drams[p]->refreshes());
+            if (pc.violations != nullptr) {
+                pc.violations->set(
+                    checkers[p]->violations().size());
+            }
+            const auto &bank_counters = drams[p]->bankCounters();
+            for (unsigned b = 0; b < cfg.banksPerPartition; ++b) {
+                pc.banks[b][0]->set(bank_counters[b].rowHits);
+                pc.banks[b][1]->set(bank_counters[b].rowMisses);
+                pc.banks[b][2]->set(bank_counters[b].activates);
+                pc.banks[b][3]->set(bank_counters[b].precharges);
+            }
+        }
+    });
 }
 
 bool
@@ -323,6 +521,15 @@ GpuMachine::tick()
     // 7. Retire launches whose work has fully drained.
     for (auto &[slot, launch] : active)
         checkCompletion(launch);
+
+    // 8. Telemetry sampling, post-tick so a sample sees this cycle's
+    // final state. nextEventCycle() never exceeds the sampler bound, so
+    // stepped and skipping execution both arrive here with nowCycle
+    // exactly equal to the due sample cycle (sampleAt asserts it).
+    if (telemetrySampler != nullptr &&
+        nowCycle >= telemetrySampler->nextSampleCycle()) {
+        telemetrySampler->sampleAt(nowCycle);
+    }
 }
 
 Cycle
@@ -334,6 +541,13 @@ GpuMachine::nextEventCycle() const
     // negligible on event-dense stretches.
     const Cycle pinned = nowCycle + 1;
     Cycle bound = kInvalidCycle;
+    // The sampler bound comes first: folding it in here is what makes
+    // every skip path sample-safe without those paths knowing telemetry
+    // exists.
+    if (telemetrySampler != nullptr)
+        bound = telemetrySampler->nextSampleCycle();
+    if (bound <= pinned)
+        return bound;
     for (const auto &sm : sms) {
         bound = std::min(bound, sm->nextEventCycle(nowCycle));
         if (bound <= pinned)
@@ -463,6 +677,8 @@ GpuMachine::take(LaunchId id)
     RCOAL_ASSERT(launch.completed, "launch %llu taken before completion",
                  static_cast<unsigned long long>(id));
     KernelStats stats = *launch.stats;
+    retiredTotals.accumulate(stats);
+    ++retiredLaunches;
     for (unsigned s = launch.range.first;
          s < launch.range.first + launch.range.count; ++s) {
         sms[s]->reset();

@@ -77,6 +77,28 @@ class DramPartition
     std::size_t queuedRequests() const { return queue.size(); }
 
     /**
+     * Per-bank command counters, telemetry-grade: unlike the KernelStats
+     * sink (machine-wide, per-launch attribution impossible for shared
+     * structures), these resolve row behaviour to the individual bank.
+     */
+    struct BankCounters
+    {
+        std::uint64_t rowHits = 0;
+        std::uint64_t rowMisses = 0;
+        std::uint64_t activates = 0;
+        std::uint64_t precharges = 0;
+    };
+
+    /** Counters for each of this partition's banks. */
+    const std::vector<BankCounters> &bankCounters() const
+    {
+        return bankStats;
+    }
+
+    /** All-bank refreshes issued by this partition. */
+    std::uint64_t refreshes() const { return refreshCount; }
+
+    /**
      * Attach a protocol checker; every subsequent ACT/RD/PRE/REF is
      * validated as it issues. Null detaches. Not gated by RCOAL_TRACE:
      * checking is a test-mode feature of every build.
@@ -137,6 +159,8 @@ class DramPartition
     std::deque<Request> queue;        ///< Age-ordered, oldest first.
     std::vector<Request> completed;   ///< Serviced, awaiting pickup.
     std::vector<Bank> banks;
+    std::vector<BankCounters> bankStats; ///< Parallel to `banks`.
+    std::uint64_t refreshCount = 0;
     Cycle busFreeAt = 0;              ///< Data bus reservation horizon.
     Cycle nextActivateAny = 0;        ///< tRRD across banks.
     bool refreshEnabled = false;

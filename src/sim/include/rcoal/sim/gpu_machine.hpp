@@ -37,6 +37,10 @@
 #include "rcoal/trace/dram_checker.hpp"
 #include "rcoal/trace/tracer.hpp"
 
+namespace rcoal::telemetry {
+class TelemetrySampler;
+} // namespace rcoal::telemetry
+
 namespace rcoal::sim {
 
 /** A contiguous range of SMs a launch runs on. */
@@ -191,6 +195,39 @@ class GpuMachine
         return checkers;
     }
 
+    /**
+     * Attach (or with nullptr detach) a telemetry sampler.  The machine
+     * registers its instruments (cycle/launch counters, SM stall and
+     * PRT-fill gauges, crossbar contention, per-bank DRAM counters) in
+     * the sampler's registry with a pull collector, re-anchors the
+     * sampler after now(), and from then on:
+     *  - tick() fires the sampler exactly at each due sample cycle;
+     *  - nextEventCycle() never exceeds nextSampleCycle(), so no
+     *    cycle-skip path can jump over a sample point.
+     * Together these make sampled telemetry land on identical cycles —
+     * and identical values — with cycle skipping on or off.
+     *
+     * Cycle-skipping throughput counters (skippedCycles) are deliberately
+     * NOT exported: they are the one machine quantity that legitimately
+     * differs between the two modes.
+     *
+     * The sampler must outlive the machine or be detached first.
+     */
+    void setTelemetry(telemetry::TelemetrySampler *sampler);
+
+    /**
+     * Counter totals accumulated across launches: retired launches'
+     * stats plus the live stats of still-resident ones. Monotone over
+     * time, which is what the telemetry counters require.
+     */
+    KernelStats cumulativeStats() const;
+
+    /** Launches retired (taken) so far. */
+    std::uint64_t retiredLaunchCount() const { return retiredLaunches; }
+
+    /** Sum of live PRT occupancy across all SMs. */
+    std::size_t prtOccupancy() const;
+
   private:
     /** Book-keeping for one resident (or completed-but-untaken) launch. */
     struct LaunchState
@@ -235,6 +272,9 @@ class GpuMachine
 
     std::vector<std::unique_ptr<trace::DramProtocolChecker>> checkers;
     trace::TraceSink *machineSink = nullptr; ///< Launch/retire events.
+    telemetry::TelemetrySampler *telemetrySampler = nullptr;
+    KernelStats retiredTotals; ///< Sum of all taken launches' stats.
+    std::uint64_t retiredLaunches = 0;
 
     std::uint64_t launchCounter = 0;
     std::uint64_t accessIds = 0;

@@ -79,6 +79,9 @@ class Crossbar
     /** Total packets moved input -> output so far. */
     std::uint64_t packetsTransferred() const { return transferred; }
 
+    /** Packets currently resident in input + output queues. */
+    std::size_t queuedPackets() const;
+
     /** Attach a sink for inject/grant trace events (core domain). */
     void setTraceSink(trace::TraceSink *s) { traceSink = s; }
 

@@ -113,6 +113,12 @@ class StreamingMultiprocessor
     /** Number of resident warps. */
     std::size_t residentWarps() const { return warps.size(); }
 
+    /** Live PRT fill (entries holding an in-flight or pending lane). */
+    std::size_t prtOccupancy() const { return prt.occupancy(); }
+
+    /** PRT capacity (config.prtEntries). */
+    std::size_t prtCapacity() const { return prt.capacity(); }
+
     const Cache *l1Cache() const { return l1.get(); }
 
     /** Attach a sink for issue/stall/coalesce events (core domain). */
@@ -209,8 +215,15 @@ class StreamingMultiprocessor
     bool tickChanged = false;       ///< This tick moved/issued something.
     bool responseSinceTick = false; ///< Delivery since this tick started.
     bool scanIssued = false;        ///< This tick's scan issued a warp.
-    std::uint64_t prtStallBase = 0; ///< prtStallCycles at tick start.
-    std::uint64_t icnStallBase = 0; ///< icnStallCycles at tick start.
+    /**
+     * Stalls THIS SM recorded during the current tick. KernelStats is
+     * shared by every SM in a launch, so replaying a skipped window
+     * from a counter diff would fold sibling SMs' stalls (and earlier
+     * siblings' replays) into this SM's delta; per-SM tick counts are
+     * the only safe basis for bulk replay.
+     */
+    std::uint64_t prtStallsTick = 0;
+    std::uint64_t icnStallsTick = 0;
 
     std::vector<int> laneScratch;       ///< tid -> lane index scratch.
     trace::TraceSink *traceSink = nullptr;

@@ -87,6 +87,13 @@ struct KernelStats
         return tagStats(AccessTag::LastRoundLookup).window();
     }
 
+    /**
+     * Fold @p other into this, counter-wise: plain sums for counts and
+     * cycles, min/max for per-tag issue/complete horizons. Used to keep
+     * machine-cumulative telemetry totals across retired launches.
+     */
+    void accumulate(const KernelStats &other);
+
     /** Multi-line human-readable dump. */
     std::string describe() const;
 };

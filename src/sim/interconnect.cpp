@@ -121,6 +121,17 @@ Crossbar::popOutput(unsigned output)
     return access;
 }
 
+std::size_t
+Crossbar::queuedPackets() const
+{
+    std::size_t queued = 0;
+    for (const auto &q : inputQueues)
+        queued += q.size();
+    for (const auto &q : outputQueues)
+        queued += q.size();
+    return queued;
+}
+
 bool
 Crossbar::idle() const
 {

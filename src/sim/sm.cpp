@@ -127,6 +127,7 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
         return false;
     if (is_load && prt.freeEntries() < warp.pendingPrtEntries) {
         ++stats->prtStallCycles;
+        ++prtStallsTick;
         RCOAL_TRACE(traceSink, SmStall, now, 0, warp.id, 0);
         return false;
     }
@@ -277,6 +278,7 @@ StreamingMultiprocessor::drainLdst(Cycle now)
                 return; // Structural stall; retry next cycle.
             if (!reqXbar->canInject(id)) {
                 ++stats->icnStallCycles;
+                ++icnStallsTick;
                 RCOAL_TRACE(traceSink, SmStall, now, 1, head.warpId, 0);
                 return;
             }
@@ -294,6 +296,7 @@ StreamingMultiprocessor::drainLdst(Cycle now)
 
     if (!reqXbar->canInject(id)) {
         ++stats->icnStallCycles;
+        ++icnStallsTick;
         RCOAL_TRACE(traceSink, SmStall, now, 1, head.warpId, 0);
         return;
     }
@@ -312,8 +315,8 @@ StreamingMultiprocessor::tick(Cycle now)
     scanIssued = false;
     if (warps.empty())
         return;
-    prtStallBase = stats->prtStallCycles;
-    icnStallBase = stats->icnStallCycles;
+    prtStallsTick = 0;
+    icnStallsTick = 0;
 
     drainLdst(now);
 
@@ -329,7 +332,7 @@ StreamingMultiprocessor::tick(Cycle now)
 void
 StreamingMultiprocessor::scanWarps(Cycle now)
 {
-    const std::uint64_t prt_before = stats->prtStallCycles;
+    const std::uint64_t prt_before = prtStallsTick;
 
     // One issue slot per scheduler; warp slot w belongs to scheduler
     // w % issueWidth (the 16x2 SIMT organization of Table I).
@@ -373,8 +376,7 @@ StreamingMultiprocessor::scanWarps(Cycle now)
         if (warp.pc < warp.trace->size() && warp.readyAt > now)
             wake = std::min(wake, warp.readyAt);
     }
-    const bool side_effects =
-        scanIssued || stats->prtStallCycles != prt_before;
+    const bool side_effects = scanIssued || prtStallsTick != prt_before;
     scanGate = side_effects ? now + 1 : wake;
     scanWake = wake;
 }
@@ -391,8 +393,7 @@ StreamingMultiprocessor::nextEventCycle(Cycle now) const
     // bulk-replaying the counters would drop those events, so a live
     // sink pins a stalling SM to per-cycle stepping.
     if (traceSink != nullptr &&
-        (stats->prtStallCycles != prtStallBase ||
-         stats->icnStallCycles != icnStallBase)) {
+        (prtStallsTick != 0 || icnStallsTick != 0)) {
         return now + 1;
     }
 #endif
@@ -418,10 +419,8 @@ StreamingMultiprocessor::applySkippedCycles(Cycle cycles)
         return;
     // A skipped window repeats this tick verbatim: the only side effect
     // a frozen SM produces per cycle is its stall counting.
-    const std::uint64_t prt_delta = stats->prtStallCycles - prtStallBase;
-    const std::uint64_t icn_delta = stats->icnStallCycles - icnStallBase;
-    stats->prtStallCycles += prt_delta * cycles;
-    stats->icnStallCycles += icn_delta * cycles;
+    stats->prtStallCycles += prtStallsTick * cycles;
+    stats->icnStallCycles += icnStallsTick * cycles;
 }
 
 void

@@ -75,4 +75,36 @@ KernelStats::describe() const
     return out.str();
 }
 
+void
+KernelStats::accumulate(const KernelStats &other)
+{
+    cycles += other.cycles;
+    warpInstructions += other.warpInstructions;
+    memInstructions += other.memInstructions;
+    coalescedAccesses += other.coalescedAccesses;
+    loadAccesses += other.loadAccesses;
+    storeAccesses += other.storeAccesses;
+    for (std::size_t i = 0; i < perTag.size(); ++i) {
+        TagStats &mine = perTag[i];
+        const TagStats &theirs = other.perTag[i];
+        mine.accesses += theirs.accesses;
+        mine.laneRequests += theirs.laneRequests;
+        mine.firstIssue = std::min(mine.firstIssue, theirs.firstIssue);
+        mine.lastComplete =
+            std::max(mine.lastComplete, theirs.lastComplete);
+    }
+    dramRowHits += other.dramRowHits;
+    dramRowMisses += other.dramRowMisses;
+    dramActivates += other.dramActivates;
+    dramPrecharges += other.dramPrecharges;
+    dramRefreshes += other.dramRefreshes;
+    l1Hits += other.l1Hits;
+    l1Misses += other.l1Misses;
+    l2Hits += other.l2Hits;
+    l2Misses += other.l2Misses;
+    mshrMerges += other.mshrMerges;
+    prtStallCycles += other.prtStallCycles;
+    icnStallCycles += other.icnStallCycles;
+}
+
 } // namespace rcoal::sim

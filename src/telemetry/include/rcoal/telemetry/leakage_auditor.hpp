@@ -1,0 +1,85 @@
+/**
+ * @file
+ * LeakageAuditor: the paper's leakage statistic as a live SLO gauge.
+ *
+ * RCoal's security argument reduces to one number: the correlation
+ * between the number of coalesced accesses a request's data *should*
+ * produce under baseline coalescing and the time the kernel's last
+ * AES round actually took.  Under BASE the two agree and the
+ * correlation approaches 1 (the attacker's signal); under RSS/RTS the
+ * subwarp randomization decouples them and the correlation collapses
+ * toward 0 (paper §6, Fig. 5).
+ *
+ * The auditor computes that statistic online with Welford-style
+ * streaming co-moments — O(1) state, no retained samples — and
+ * publishes it as gauges plus an alert bit, so a serving deployment
+ * watches information leakage the same way it watches p99.
+ *
+ * The X series must be the *model-predicted baseline* access count
+ * (a pure function of request data), NOT the count the hardware
+ * actually performed: actual accesses correlate with time under every
+ * policy, predicted ones only when the policy leaks.
+ */
+
+#ifndef RCOAL_TELEMETRY_LEAKAGE_AUDITOR_HPP
+#define RCOAL_TELEMETRY_LEAKAGE_AUDITOR_HPP
+
+#include <cstddef>
+
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::telemetry {
+
+class LeakageAuditor
+{
+  public:
+    struct Config {
+        /** |correlation| at or above this raises the alert. */
+        double alertThreshold = 0.35;
+        /** Observations needed before the alert may assert. */
+        std::size_t minSamples = 8;
+    };
+
+    /**
+     * Registers the auditor's instruments in @p registry under the
+     * given label set (benches label per coalescing policy).
+     */
+    LeakageAuditor(MetricRegistry &registry, const Config &config,
+                   const MetricRegistry::Labels &labels = {});
+
+    /**
+     * Feed one completed request: @p predicted_accesses is the
+     * baseline-coalescing access count predicted from the request
+     * data; @p measured_time is the attacker-visible last-round
+     * duration (memory-clock cycles).
+     */
+    void observe(double predicted_accesses, double measured_time);
+
+    /** Streaming Pearson correlation; 0 when degenerate or n < 2. */
+    double correlation() const;
+
+    /** True when |correlation| >= threshold with enough samples. */
+    bool alerting() const;
+
+    std::size_t samples() const { return n; }
+    double alertThreshold() const { return cfg.alertThreshold; }
+
+  private:
+    void publish();
+
+    Config cfg;
+    std::size_t n = 0;
+    double meanX = 0.0, meanY = 0.0;
+    double m2x = 0.0, m2y = 0.0, cxy = 0.0;
+    bool alertState = false;
+
+    Counter &observations;
+    Counter &alertTransitions;
+    Gauge &correlationGauge;
+    Gauge &alertGauge;
+    Gauge &thresholdGauge;
+};
+
+} // namespace rcoal::telemetry
+
+#endif // RCOAL_TELEMETRY_LEAKAGE_AUDITOR_HPP

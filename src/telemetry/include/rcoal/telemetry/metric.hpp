@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Telemetry instrument types: Counter, Gauge, LogHistogram.
+ *
+ * All three are allocation-free on the hot path: a LogHistogram
+ * allocates its (fixed) bucket array once at construction, and
+ * observe()/inc()/set() are plain arithmetic afterwards.  Instruments
+ * are owned by a MetricRegistry and handed out by reference; callers
+ * keep the reference and mutate it directly.
+ */
+
+#ifndef RCOAL_TELEMETRY_METRIC_HPP
+#define RCOAL_TELEMETRY_METRIC_HPP
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "rcoal/common/histogram.hpp"
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::telemetry {
+
+/** What a registry slot holds; fixed at registration time. */
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/** Human-readable kind name for diagnostics. */
+const char *metricKindName(MetricKind kind);
+
+/**
+ * Monotonically non-decreasing unsigned counter.
+ *
+ * Two update styles are supported: event-sourced increments via inc(),
+ * and collector-style refresh via set(), which asserts monotonicity so
+ * a collector wired to a non-cumulative source fails loudly.
+ */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { total += delta; }
+
+    /** Refresh from a cumulative source; must never decrease. */
+    void set(std::uint64_t v)
+    {
+        RCOAL_ASSERT(v >= total,
+                     "counter went backwards (%llu -> %llu)",
+                     static_cast<unsigned long long>(total),
+                     static_cast<unsigned long long>(v));
+        total = v;
+    }
+
+    std::uint64_t value() const { return total; }
+
+  private:
+    std::uint64_t total = 0;
+};
+
+/** Point-in-time value; may go up or down. */
+class Gauge
+{
+  public:
+    void set(double v) { current = v; }
+    double value() const { return current; }
+
+  private:
+    double current = 0.0;
+};
+
+/**
+ * Fixed-bucket log-linear histogram over unsigned 64-bit values
+ * (HDR-histogram bucketing).
+ *
+ * Values below 16 get exact single-value buckets; above that, each
+ * power-of-two range is split into 16 sub-buckets, bounding the
+ * relative quantile error at 1/16 (6.25%).  The bucket array is sized
+ * at construction from @p value_bits (largest representable exponent);
+ * larger values clamp into the final bucket (sum/min/max stay exact).
+ *
+ * The sparse rcoal::Histogram stays the tool for exact small-domain
+ * distributions (subwarp sizes, access counts); toHistogram() bridges
+ * into it so its ASCII rendering and moment helpers are reusable.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr unsigned kSubBits = 4;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+    static constexpr unsigned kDefaultValueBits = 40;
+
+    explicit LogHistogram(unsigned value_bits = kDefaultValueBits);
+
+    void observe(std::uint64_t v)
+    {
+        ++buckets[bucketIndex(v)];
+        ++total;
+        sumValues += v;
+        minV = std::min(minV, v);
+        maxV = std::max(maxV, v);
+    }
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t sum() const { return sumValues; }
+    bool empty() const { return total == 0; }
+
+    /** Smallest / largest observed value; require non-empty. */
+    std::uint64_t minValue() const;
+    std::uint64_t maxValue() const;
+
+    double mean() const;
+
+    std::size_t bucketCount() const { return buckets.size(); }
+    std::uint64_t bucketCountAt(std::size_t i) const
+    {
+        return buckets[i];
+    }
+
+    /** Largest value mapping into bucket @p i (inclusive). */
+    std::uint64_t bucketUpperBound(std::size_t i) const;
+
+    /**
+     * Nearest-rank quantile, resolved to the selected bucket's upper
+     * bound and clamped to the observed min/max (so quantile(0) and
+     * quantile(1) are exact).  Requires non-empty.
+     */
+    std::uint64_t quantileValue(double p) const;
+    double quantile(double p) const
+    {
+        return static_cast<double>(quantileValue(p));
+    }
+
+    /** Densify into the sparse histogram (bucket upper bound, count). */
+    Histogram toHistogram() const;
+
+    std::size_t bucketIndex(std::uint64_t v) const
+    {
+        if (v < kSubBuckets)
+            return static_cast<std::size_t>(v);
+        const unsigned e = 63u - static_cast<unsigned>(
+            std::countl_zero(v));
+        if (e >= valueBits)
+            return buckets.size() - 1;
+        const auto sub = static_cast<std::size_t>(
+            (v >> (e - kSubBits)) & (kSubBuckets - 1));
+        return kSubBuckets +
+               static_cast<std::size_t>(e - kSubBits) * kSubBuckets +
+               sub;
+    }
+
+  private:
+    unsigned valueBits;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t total = 0;
+    std::uint64_t sumValues = 0;
+    std::uint64_t minV = ~std::uint64_t{0};
+    std::uint64_t maxV = 0;
+};
+
+} // namespace rcoal::telemetry
+
+#endif // RCOAL_TELEMETRY_METRIC_HPP

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Prometheus text-exposition rendering, parsing, and linting.
+ *
+ * renderPrometheus() emits format version 0.0.4 text; the output is a
+ * pure function of registry contents, so it is byte-identical across
+ * runs that produce the same metric values (the telemetry determinism
+ * guarantee).  parsePrometheus()/lintPrometheus() close the loop: CI
+ * round-trips every exposition file the benches write, so a format
+ * regression fails a test instead of a scrape.
+ */
+
+#ifndef RCOAL_TELEMETRY_PROMETHEUS_HPP
+#define RCOAL_TELEMETRY_PROMETHEUS_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::telemetry {
+
+/** Render the whole registry as Prometheus text exposition. */
+std::string renderPrometheus(const MetricRegistry &reg);
+
+/**
+ * Format a sample value the way renderPrometheus does: integers
+ * exactly, everything else via %.17g (round-trippable through strtod).
+ */
+std::string formatMetricValue(double v);
+
+/** One parsed sample line. */
+struct PromSample {
+    std::string name;
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+};
+
+/** A parsed exposition document. */
+struct PromExposition {
+    std::vector<PromSample> samples;
+    std::map<std::string, std::string> type; ///< family -> TYPE
+    std::map<std::string, std::string> help; ///< family -> HELP
+};
+
+/**
+ * Parse exposition text.  Returns std::nullopt and fills @p error on
+ * any syntax error (bad name, malformed labels, trailing garbage).
+ */
+std::optional<PromExposition>
+parsePrometheus(std::string_view text, std::string *error = nullptr);
+
+/**
+ * Parse plus semantic validation: every sample's family must carry a
+ * TYPE, histogram series must be complete (_bucket/_sum/_count, `le`
+ * labels, cumulative bucket counts, +Inf == _count), counters must be
+ * non-negative integers, and no duplicate samples may appear.
+ * Returns std::nullopt when the document is clean, else the first
+ * problem found.
+ */
+std::optional<std::string> lintPrometheus(std::string_view text);
+
+} // namespace rcoal::telemetry
+
+#endif // RCOAL_TELEMETRY_PROMETHEUS_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * MetricRegistry: named, labelled instrument storage.
+ *
+ * A registry is single-threaded by design — the serving loop and the
+ * simulator are single-threaded, and parallel benches give each
+ * scenario its own registry so exposition output is independent of
+ * RCOAL_THREADS.  Registration order is preserved and is the
+ * exposition order, which keeps rendered output byte-stable.
+ */
+
+#ifndef RCOAL_TELEMETRY_REGISTRY_HPP
+#define RCOAL_TELEMETRY_REGISTRY_HPP
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "rcoal/telemetry/metric.hpp"
+
+namespace rcoal::telemetry {
+
+class MetricRegistry
+{
+  public:
+    /** Label set in caller-chosen (stable) order. */
+    using Labels = std::vector<std::pair<std::string, std::string>>;
+
+    /**
+     * One instrument within a family.  Exactly one of the three
+     * pointers is non-null, matching the family kind.
+     */
+    struct Cell {
+        std::string labelText; ///< Rendered `{k="v",...}`, "" if unlabelled.
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LogHistogram> histogram;
+    };
+
+    /** All instruments sharing a metric name. */
+    struct Family {
+        std::string name;
+        std::string help;
+        MetricKind kind;
+        std::vector<Cell> cells; ///< In registration order.
+    };
+
+    /**
+     * Register (or look up) an instrument.  Re-registering the same
+     * (name, labels) returns the existing instrument; a kind or help
+     * mismatch on the same name is a fatal configuration error.
+     */
+    Counter &counter(std::string_view name, std::string_view help,
+                     const Labels &labels = {});
+    Gauge &gauge(std::string_view name, std::string_view help,
+                 const Labels &labels = {});
+    LogHistogram &
+    histogram(std::string_view name, std::string_view help,
+              const Labels &labels = {},
+              unsigned value_bits = LogHistogram::kDefaultValueBits);
+
+    /** Families in registration order (exposition order). */
+    const std::deque<Family> &families() const { return fams; }
+
+    /** Lookup helpers for tests and report code; null when absent. */
+    const Counter *findCounter(std::string_view name,
+                               const Labels &labels = {}) const;
+    const Gauge *findGauge(std::string_view name,
+                           const Labels &labels = {}) const;
+    const LogHistogram *findHistogram(std::string_view name,
+                                      const Labels &labels = {}) const;
+
+    /** Counter or gauge value; fatal when the instrument is absent. */
+    double readValue(std::string_view name,
+                     const Labels &labels = {}) const;
+
+    /** Total instrument count across all families. */
+    std::size_t instrumentCount() const;
+
+    /** Render labels as `{k="v",...}` with Prometheus escaping. */
+    static std::string renderLabels(const Labels &labels);
+
+  private:
+    Family &family(std::string_view name, std::string_view help,
+                   MetricKind kind);
+    Cell &cell(std::string_view name, std::string_view help,
+               MetricKind kind, const Labels &labels);
+    const Cell *findCell(std::string_view name, MetricKind kind,
+                         const Labels &labels) const;
+
+    std::deque<Family> fams;
+    std::unordered_map<std::string, std::size_t> index;
+};
+
+} // namespace rcoal::telemetry
+
+#endif // RCOAL_TELEMETRY_REGISTRY_HPP

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * TelemetrySampler: periodic, skip-safe metric collection.
+ *
+ * The sampler is driven from the GpuMachine's cycle loop.  Skip-safety
+ * works by contract, not by polling: nextSampleCycle() is folded into
+ * GpuMachine::nextEventCycle(), so no cycle-skip fast-forward can ever
+ * jump over a sample point, and samples land on exactly the same
+ * cycles whether skipping is enabled or not.  That makes the recorded
+ * time series — and the final exposition snapshot — byte-identical
+ * across the two modes, which CI enforces.
+ *
+ * Collection is pull-based: components register collector callbacks
+ * that refresh registry instruments from live component state, so the
+ * simulation hot path pays nothing between samples.  Push-style
+ * instruments (event histograms, the leakage auditor) bypass the
+ * sampler and update their cells directly.
+ */
+
+#ifndef RCOAL_TELEMETRY_SAMPLER_HPP
+#define RCOAL_TELEMETRY_SAMPLER_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcoal/common/types.hpp"
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::telemetry {
+
+class TelemetrySampler
+{
+  public:
+    static constexpr Cycle kDefaultIntervalCycles = 5000;
+    static constexpr std::size_t kDefaultMaxPoints = 512;
+
+    explicit TelemetrySampler(MetricRegistry &registry,
+                              Cycle interval_cycles =
+                                  kDefaultIntervalCycles,
+                              std::size_t max_points =
+                                  kDefaultMaxPoints);
+
+    MetricRegistry &registry() { return reg; }
+    Cycle intervalCycles() const { return interval; }
+
+    /** The next cycle a sample must land on (a nextEventCycle bound). */
+    Cycle nextSampleCycle() const { return next; }
+
+    /** Re-anchor after attaching to a machine already past cycle 0. */
+    void alignAfter(Cycle now);
+
+    /** Register a pull collector; runs on every sample and collect(). */
+    void addCollector(std::function<void(Cycle)> fn);
+
+    /**
+     * Record @p key as a time series: @p read is evaluated at every
+     * sample point (after collectors run) and the values are kept for
+     * seriesJson().  Keys appear in registration order.
+     */
+    void track(std::string key, std::function<double()> read);
+
+    /**
+     * Take the sample due at @p now.  Asserts now == nextSampleCycle()
+     * — a violation means some skip path ignored the sampler bound.
+     */
+    void sampleAt(Cycle now);
+
+    /** Refresh instruments without recording a series point. */
+    void collect(Cycle now);
+
+    /**
+     * Drop collector and track callbacks (which usually capture
+     * run-local state) while keeping every recorded series point and
+     * all registry values.  Call before the sampled objects die.
+     */
+    void detachSources();
+
+    std::uint64_t samplesTaken() const { return sampleCount; }
+    std::size_t pointCount() const { return cycles.size(); }
+
+    /**
+     * The recorded series as a JSON object literal:
+     * {"interval_cycles":..,"stride":..,"cycles":[..],"series":{..}}.
+     */
+    std::string seriesJson() const;
+
+  private:
+    struct Track {
+        std::string key;
+        std::function<double()> read;
+    };
+
+    MetricRegistry &reg;
+    Cycle interval;
+    Cycle next;
+    std::uint64_t stride = 1;
+    std::size_t maxPoints;
+    std::uint64_t sampleCount = 0;
+    std::vector<std::function<void(Cycle)>> collectors;
+    std::vector<Track> tracks;
+    std::vector<Cycle> cycles;
+    std::vector<std::vector<double>> seriesValues; ///< Parallel to tracks.
+};
+
+} // namespace rcoal::telemetry
+
+#endif // RCOAL_TELEMETRY_SAMPLER_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * LeakageAuditor implementation.
+ */
+
+#include "rcoal/telemetry/leakage_auditor.hpp"
+
+#include <cmath>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::telemetry {
+
+LeakageAuditor::LeakageAuditor(MetricRegistry &registry,
+                               const Config &config,
+                               const MetricRegistry::Labels &labels)
+    : cfg(config),
+      observations(registry.counter(
+          "rcoal_leakage_observations_total",
+          "Completed requests fed to the leakage auditor", labels)),
+      alertTransitions(registry.counter(
+          "rcoal_leakage_alert_transitions_total",
+          "Times the leakage alert flipped from clear to firing",
+          labels)),
+      correlationGauge(registry.gauge(
+          "rcoal_leakage_correlation",
+          "Streaming Pearson correlation between baseline-predicted "
+          "last-round coalesced accesses and measured last-round time",
+          labels)),
+      alertGauge(registry.gauge(
+          "rcoal_leakage_alert",
+          "1 when |rcoal_leakage_correlation| is at or above the "
+          "alert threshold with enough samples",
+          labels)),
+      thresholdGauge(registry.gauge(
+          "rcoal_leakage_alert_threshold",
+          "Configured |correlation| alert threshold", labels))
+{
+    RCOAL_ASSERT(cfg.alertThreshold > 0.0 && cfg.alertThreshold < 1.0,
+                 "leakage alert threshold %f outside (0, 1)",
+                 cfg.alertThreshold);
+    RCOAL_ASSERT(cfg.minSamples >= 2,
+                 "correlation needs at least 2 samples");
+    thresholdGauge.set(cfg.alertThreshold);
+    publish();
+}
+
+void
+LeakageAuditor::observe(double predicted_accesses,
+                        double measured_time)
+{
+    ++n;
+    const double count = static_cast<double>(n);
+    const double dx = predicted_accesses - meanX;
+    meanX += dx / count;
+    const double dy = measured_time - meanY;
+    meanY += dy / count;
+    const double dx2 = predicted_accesses - meanX;
+    const double dy2 = measured_time - meanY;
+    m2x += dx * dx2;
+    m2y += dy * dy2;
+    cxy += dx * dy2;
+
+    observations.inc();
+    const bool firing = alerting();
+    if (firing && !alertState)
+        alertTransitions.inc();
+    alertState = firing;
+    publish();
+}
+
+double
+LeakageAuditor::correlation() const
+{
+    if (n < 2 || m2x <= 0.0 || m2y <= 0.0)
+        return 0.0;
+    return cxy / std::sqrt(m2x * m2y);
+}
+
+bool
+LeakageAuditor::alerting() const
+{
+    return n >= cfg.minSamples &&
+           std::fabs(correlation()) >= cfg.alertThreshold;
+}
+
+void
+LeakageAuditor::publish()
+{
+    correlationGauge.set(correlation());
+    alertGauge.set(alertState ? 1.0 : 0.0);
+}
+
+} // namespace rcoal::telemetry

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * LogHistogram cold-path implementation.
+ */
+
+#include "rcoal/telemetry/metric.hpp"
+
+#include <cmath>
+
+namespace rcoal::telemetry {
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+    case MetricKind::Counter:
+        return "counter";
+    case MetricKind::Gauge:
+        return "gauge";
+    case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+LogHistogram::LogHistogram(unsigned value_bits)
+    : valueBits(value_bits)
+{
+    RCOAL_ASSERT(value_bits > kSubBits && value_bits <= 64,
+                 "log histogram needs value_bits in (%u, 64], got %u",
+                 kSubBits, value_bits);
+    buckets.assign(
+        kSubBuckets +
+            static_cast<std::size_t>(valueBits - kSubBits) * kSubBuckets,
+        0);
+}
+
+std::uint64_t
+LogHistogram::minValue() const
+{
+    RCOAL_ASSERT(total > 0, "min of empty histogram");
+    return minV;
+}
+
+std::uint64_t
+LogHistogram::maxValue() const
+{
+    RCOAL_ASSERT(total > 0, "max of empty histogram");
+    return maxV;
+}
+
+double
+LogHistogram::mean() const
+{
+    return total == 0 ? 0.0
+                      : static_cast<double>(sumValues) /
+                            static_cast<double>(total);
+}
+
+std::uint64_t
+LogHistogram::bucketUpperBound(std::size_t i) const
+{
+    RCOAL_ASSERT(i < buckets.size(), "bucket index %zu out of range", i);
+    if (i < kSubBuckets)
+        return i;
+    const std::size_t k = i - kSubBuckets;
+    const unsigned e =
+        static_cast<unsigned>(k / kSubBuckets) + kSubBits;
+    const std::uint64_t sub = k % kSubBuckets;
+    return ((kSubBuckets + sub + 1) << (e - kSubBits)) - 1;
+}
+
+std::uint64_t
+LogHistogram::quantileValue(double p) const
+{
+    RCOAL_ASSERT(total > 0, "quantile of empty histogram");
+    RCOAL_ASSERT(p >= 0.0 && p <= 1.0, "quantile %f out of [0,1]", p);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total)));
+    const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= target)
+            return std::clamp(bucketUpperBound(i), minV, maxV);
+    }
+    return maxV;
+}
+
+Histogram
+LogHistogram::toHistogram() const
+{
+    Histogram dense;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] != 0) {
+            dense.add(static_cast<std::int64_t>(bucketUpperBound(i)),
+                      buckets[i]);
+        }
+    }
+    return dense;
+}
+
+} // namespace rcoal::telemetry

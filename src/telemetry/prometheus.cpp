@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Prometheus text exposition: render / parse / lint.
+ */
+
+#include "rcoal/telemetry/prometheus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::telemetry {
+
+namespace {
+
+/** Escape a HELP string (backslash and newline only, per the spec). */
+std::string
+escapeHelp(std::string_view help)
+{
+    std::string out;
+    out.reserve(help.size());
+    for (char c : help) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Insert an extra label into an already-rendered label block. */
+std::string
+labelsWith(const std::string &rendered, const std::string &key,
+           const std::string &value)
+{
+    if (rendered.empty())
+        return "{" + key + "=\"" + value + "\"}";
+    std::string out = rendered.substr(0, rendered.size() - 1);
+    out += "," + key + "=\"" + value + "\"}";
+    return out;
+}
+
+std::string
+u64Text(std::uint64_t v)
+{
+    return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+void
+renderHistogramCell(std::string &out, const std::string &name,
+                    const MetricRegistry::Cell &cell)
+{
+    const LogHistogram &h = *cell.histogram;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+        if (h.bucketCountAt(i) == 0)
+            continue;
+        cumulative += h.bucketCountAt(i);
+        out += name + "_bucket" +
+               labelsWith(cell.labelText, "le",
+                          u64Text(h.bucketUpperBound(i))) +
+               " " + u64Text(cumulative) + "\n";
+    }
+    out += name + "_bucket" +
+           labelsWith(cell.labelText, "le", "+Inf") + " " +
+           u64Text(h.count()) + "\n";
+    out += name + "_sum" + cell.labelText + " " + u64Text(h.sum()) +
+           "\n";
+    out += name + "_count" + cell.labelText + " " +
+           u64Text(h.count()) + "\n";
+}
+
+} // namespace
+
+std::string
+formatMetricValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    if (v == std::rint(v) && std::fabs(v) < 1e15)
+        return strprintf("%.0f", v);
+    return strprintf("%.17g", v);
+}
+
+std::string
+renderPrometheus(const MetricRegistry &reg)
+{
+    std::string out;
+    for (const MetricRegistry::Family &fam : reg.families()) {
+        out += "# HELP " + fam.name + " " + escapeHelp(fam.help) +
+               "\n";
+        out += "# TYPE " + fam.name + " ";
+        out += metricKindName(fam.kind);
+        out += "\n";
+        for (const MetricRegistry::Cell &cell : fam.cells) {
+            switch (fam.kind) {
+            case MetricKind::Counter:
+                out += fam.name + cell.labelText + " " +
+                       u64Text(cell.counter->value()) + "\n";
+                break;
+            case MetricKind::Gauge:
+                out += fam.name + cell.labelText + " " +
+                       formatMetricValue(cell.gauge->value()) + "\n";
+                break;
+            case MetricKind::Histogram:
+                renderHistogramCell(out, fam.name, cell);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Incremental cursor over one exposition line. */
+struct LineParser {
+    std::string_view line;
+    std::size_t pos = 0;
+
+    bool done() const { return pos >= line.size(); }
+    char peek() const { return line[pos]; }
+
+    void skipSpaces()
+    {
+        while (!done() && (peek() == ' ' || peek() == '\t'))
+            ++pos;
+    }
+
+    std::string_view token()
+    {
+        const std::size_t start = pos;
+        while (!done() && peek() != ' ' && peek() != '\t' &&
+               peek() != '{') {
+            ++pos;
+        }
+        return line.substr(start, pos - start);
+    }
+};
+
+bool
+isValidName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_' ||
+                           c == ':';
+        const bool digit = c >= '0' && c <= '9';
+        if (!(alpha || (digit && i > 0)))
+            return false;
+    }
+    return true;
+}
+
+bool
+parseLabels(LineParser &p, std::map<std::string, std::string> &labels,
+            std::string *error)
+{
+    ++p.pos; // consume '{'
+    while (true) {
+        p.skipSpaces();
+        if (p.done()) {
+            *error = "unterminated label block";
+            return false;
+        }
+        if (p.peek() == '}') {
+            ++p.pos;
+            return true;
+        }
+        std::size_t start = p.pos;
+        while (!p.done() && p.peek() != '=')
+            ++p.pos;
+        if (p.done()) {
+            *error = "label without '='";
+            return false;
+        }
+        std::string key(p.line.substr(start, p.pos - start));
+        ++p.pos; // '='
+        if (p.done() || p.peek() != '"') {
+            *error = "label value must be quoted";
+            return false;
+        }
+        ++p.pos; // opening quote
+        std::string value;
+        bool closed = false;
+        while (!p.done()) {
+            char c = p.line[p.pos++];
+            if (c == '\\') {
+                if (p.done()) {
+                    *error = "dangling escape in label value";
+                    return false;
+                }
+                const char esc = p.line[p.pos++];
+                if (esc == 'n')
+                    value += '\n';
+                else if (esc == '\\' || esc == '"')
+                    value += esc;
+                else {
+                    *error = "bad escape in label value";
+                    return false;
+                }
+            } else if (c == '"') {
+                closed = true;
+                break;
+            } else {
+                value += c;
+            }
+        }
+        if (!closed) {
+            *error = "unterminated label value";
+            return false;
+        }
+        if (labels.contains(key)) {
+            *error = "duplicate label '" + key + "'";
+            return false;
+        }
+        labels.emplace(std::move(key), std::move(value));
+        if (!p.done() && p.peek() == ',')
+            ++p.pos;
+    }
+}
+
+} // namespace
+
+std::optional<PromExposition>
+parsePrometheus(std::string_view text, std::string *error)
+{
+    std::string scratch;
+    if (error == nullptr)
+        error = &scratch;
+    PromExposition doc;
+
+    std::size_t line_no = 0;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t end = text.find('\n', begin);
+        std::string_view line =
+            text.substr(begin,
+                        end == std::string_view::npos ? std::string_view::npos
+                                                      : end - begin);
+        begin = end == std::string_view::npos ? text.size() + 1 : end + 1;
+        ++line_no;
+        if (line.empty())
+            continue;
+
+        auto fail = [&](const std::string &what) {
+            *error = strprintf("line %zu: %s", line_no, what.c_str());
+            return std::nullopt;
+        };
+
+        if (line.front() == '#') {
+            LineParser p{line, 1};
+            p.skipSpaces();
+            const std::string_view keyword = p.token();
+            if (keyword != "HELP" && keyword != "TYPE")
+                continue; // free-form comment
+            p.skipSpaces();
+            const std::string name(p.token());
+            if (!isValidName(name))
+                return fail("invalid metric name in # " +
+                            std::string(keyword));
+            p.skipSpaces();
+            const std::string rest(line.substr(p.pos));
+            if (keyword == "HELP") {
+                doc.help[name] = rest;
+            } else {
+                if (rest != "counter" && rest != "gauge" &&
+                    rest != "histogram" && rest != "summary" &&
+                    rest != "untyped") {
+                    return fail("unknown TYPE '" + rest + "'");
+                }
+                if (doc.type.contains(name))
+                    return fail("duplicate TYPE for '" + name + "'");
+                doc.type[name] = rest;
+            }
+            continue;
+        }
+
+        LineParser p{line, 0};
+        PromSample sample;
+        sample.name = std::string(p.token());
+        if (!isValidName(sample.name))
+            return fail("invalid sample name");
+        if (!p.done() && p.peek() == '{') {
+            std::string label_error;
+            if (!parseLabels(p, sample.labels, &label_error))
+                return fail(label_error);
+        }
+        p.skipSpaces();
+        if (p.done())
+            return fail("sample without value");
+        const std::string value_text(line.substr(p.pos));
+        char *value_end = nullptr;
+        sample.value = std::strtod(value_text.c_str(), &value_end);
+        if (value_end == value_text.c_str())
+            return fail("unparseable sample value '" + value_text +
+                        "'");
+        for (const char *c = value_end; *c != '\0'; ++c) {
+            if (*c != ' ' && *c != '\t')
+                return fail("trailing garbage after sample value");
+        }
+        doc.samples.push_back(std::move(sample));
+    }
+    return doc;
+}
+
+namespace {
+
+/** Family a sample belongs to, honouring histogram suffixes. */
+std::string
+sampleFamily(const PromExposition &doc, const std::string &name)
+{
+    if (doc.type.contains(name))
+        return name;
+    for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string_view sv(suffix);
+        if (name.size() > sv.size() && name.ends_with(sv)) {
+            const std::string base =
+                name.substr(0, name.size() - sv.size());
+            const auto it = doc.type.find(base);
+            if (it != doc.type.end() && it->second == "histogram")
+                return base;
+        }
+    }
+    return "";
+}
+
+std::string
+labelKey(const std::map<std::string, std::string> &labels,
+         bool drop_le)
+{
+    std::string key;
+    for (const auto &[k, v] : labels) {
+        if (drop_le && k == "le")
+            continue;
+        key += k + "=" + v + ";";
+    }
+    return key;
+}
+
+bool
+isCountValue(double v)
+{
+    return v >= 0.0 && v == std::rint(v);
+}
+
+} // namespace
+
+std::optional<std::string>
+lintPrometheus(std::string_view text)
+{
+    std::string error;
+    const auto doc = parsePrometheus(text, &error);
+    if (!doc.has_value())
+        return error;
+
+    struct HistogramSeries {
+        std::vector<std::pair<double, double>> buckets; ///< (le, cum)
+        double sum = 0.0;
+        double count = 0.0;
+        bool hasSum = false, hasCount = false, hasInf = false;
+    };
+    std::map<std::string, HistogramSeries> histograms;
+    std::set<std::string> seen;
+
+    for (const PromSample &s : doc->samples) {
+        const std::string family = sampleFamily(*doc, s.name);
+        if (family.empty())
+            return "sample '" + s.name + "' has no # TYPE declaration";
+        const std::string &type = doc->type.at(family);
+
+        const std::string dedup =
+            s.name + "|" + labelKey(s.labels, /*drop_le=*/false);
+        if (!seen.insert(dedup).second)
+            return "duplicate sample '" + s.name + "'";
+
+        if (type == "counter" && !isCountValue(s.value)) {
+            return "counter '" + s.name +
+                   "' has a negative or non-integral value";
+        }
+        if (type != "histogram")
+            continue;
+
+        const std::string series_key =
+            family + "|" + labelKey(s.labels, /*drop_le=*/true);
+        HistogramSeries &series = histograms[series_key];
+        if (s.name == family + "_sum") {
+            series.sum = s.value;
+            series.hasSum = true;
+        } else if (s.name == family + "_count") {
+            if (!isCountValue(s.value))
+                return "histogram count '" + s.name +
+                       "' is not a count";
+            series.count = s.value;
+            series.hasCount = true;
+        } else {
+            const auto le = s.labels.find("le");
+            if (le == s.labels.end())
+                return "histogram bucket of '" + family +
+                       "' lacks an 'le' label";
+            if (!isCountValue(s.value))
+                return "histogram bucket of '" + family +
+                       "' is not a count";
+            double bound = 0.0;
+            if (le->second == "+Inf") {
+                bound = std::numeric_limits<double>::infinity();
+                series.hasInf = true;
+            } else {
+                char *end = nullptr;
+                bound = std::strtod(le->second.c_str(), &end);
+                if (end == le->second.c_str() || *end != '\0')
+                    return "histogram 'le' bound '" + le->second +
+                           "' is not a number";
+            }
+            series.buckets.emplace_back(bound, s.value);
+        }
+    }
+
+    for (const auto &[key, series] : histograms) {
+        const std::string family = key.substr(0, key.find('|'));
+        if (!series.hasSum || !series.hasCount || !series.hasInf) {
+            return "histogram '" + family +
+                   "' is missing _sum, _count, or a +Inf bucket";
+        }
+        auto sorted = series.buckets;
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        double prev = -1.0;
+        for (const auto &[bound, cum] : sorted) {
+            if (cum < prev) {
+                return "histogram '" + family +
+                       "' has non-cumulative bucket counts";
+            }
+            prev = cum;
+        }
+        if (!sorted.empty() &&
+            sorted.back().second != series.count) {
+            return "histogram '" + family +
+                   "' +Inf bucket disagrees with _count";
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace rcoal::telemetry

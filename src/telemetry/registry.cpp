@@ -1,0 +1,236 @@
+/**
+ * @file
+ * MetricRegistry implementation.
+ */
+
+#include "rcoal/telemetry/registry.hpp"
+
+#include <cctype>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::telemetry {
+
+namespace {
+
+bool
+validMetricName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+               c == '_' || c == ':';
+    };
+    auto rest = [&head](char c) {
+        return head(c) ||
+               std::isdigit(static_cast<unsigned char>(c)) != 0;
+    };
+    if (!head(name.front()))
+        return false;
+    for (char c : name.substr(1)) {
+        if (!rest(c))
+            return false;
+    }
+    return true;
+}
+
+bool
+validLabelName(std::string_view name)
+{
+    if (name.empty() || name.starts_with("__"))
+        return false;
+    auto head = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+               c == '_';
+    };
+    if (!head(name.front()))
+        return false;
+    for (char c : name.substr(1)) {
+        if (!head(c) &&
+            std::isdigit(static_cast<unsigned char>(c)) == 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+appendEscaped(std::string &out, std::string_view value)
+{
+    for (char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+MetricRegistry::renderLabels(const Labels &labels)
+{
+    if (labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!validLabelName(key))
+            fatal("invalid metric label name '%s'", key.c_str());
+        if (!first)
+            out += ",";
+        first = false;
+        out += key;
+        out += "=\"";
+        appendEscaped(out, value);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+MetricRegistry::Family &
+MetricRegistry::family(std::string_view name, std::string_view help,
+                       MetricKind kind)
+{
+    const std::string key(name);
+    if (auto it = index.find(key); it != index.end()) {
+        Family &existing = fams[it->second];
+        if (existing.kind != kind) {
+            fatal("metric '%s' re-registered as %s (was %s)",
+                  key.c_str(), metricKindName(kind),
+                  metricKindName(existing.kind));
+        }
+        if (existing.help != help) {
+            fatal("metric '%s' re-registered with different help text",
+                  key.c_str());
+        }
+        return existing;
+    }
+    if (!validMetricName(name))
+        fatal("invalid metric name '%s'", key.c_str());
+    index.emplace(key, fams.size());
+    fams.push_back(Family{key, std::string(help), kind, {}});
+    return fams.back();
+}
+
+MetricRegistry::Cell &
+MetricRegistry::cell(std::string_view name, std::string_view help,
+                     MetricKind kind, const Labels &labels)
+{
+    Family &fam = family(name, help, kind);
+    std::string rendered = renderLabels(labels);
+    for (Cell &existing : fam.cells) {
+        if (existing.labelText == rendered)
+            return existing;
+    }
+    Cell fresh;
+    fresh.labelText = std::move(rendered);
+    fam.cells.push_back(std::move(fresh));
+    return fam.cells.back();
+}
+
+Counter &
+MetricRegistry::counter(std::string_view name, std::string_view help,
+                        const Labels &labels)
+{
+    Cell &slot = cell(name, help, MetricKind::Counter, labels);
+    if (slot.counter == nullptr)
+        slot.counter = std::make_unique<Counter>();
+    return *slot.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(std::string_view name, std::string_view help,
+                      const Labels &labels)
+{
+    Cell &slot = cell(name, help, MetricKind::Gauge, labels);
+    if (slot.gauge == nullptr)
+        slot.gauge = std::make_unique<Gauge>();
+    return *slot.gauge;
+}
+
+LogHistogram &
+MetricRegistry::histogram(std::string_view name, std::string_view help,
+                          const Labels &labels, unsigned value_bits)
+{
+    Cell &slot = cell(name, help, MetricKind::Histogram, labels);
+    if (slot.histogram == nullptr)
+        slot.histogram = std::make_unique<LogHistogram>(value_bits);
+    return *slot.histogram;
+}
+
+const MetricRegistry::Cell *
+MetricRegistry::findCell(std::string_view name, MetricKind kind,
+                         const Labels &labels) const
+{
+    const auto it = index.find(std::string(name));
+    if (it == index.end())
+        return nullptr;
+    const Family &fam = fams[it->second];
+    if (fam.kind != kind)
+        return nullptr;
+    const std::string rendered = renderLabels(labels);
+    for (const Cell &slot : fam.cells) {
+        if (slot.labelText == rendered)
+            return &slot;
+    }
+    return nullptr;
+}
+
+const Counter *
+MetricRegistry::findCounter(std::string_view name,
+                            const Labels &labels) const
+{
+    const Cell *slot = findCell(name, MetricKind::Counter, labels);
+    return slot != nullptr ? slot->counter.get() : nullptr;
+}
+
+const Gauge *
+MetricRegistry::findGauge(std::string_view name,
+                          const Labels &labels) const
+{
+    const Cell *slot = findCell(name, MetricKind::Gauge, labels);
+    return slot != nullptr ? slot->gauge.get() : nullptr;
+}
+
+const LogHistogram *
+MetricRegistry::findHistogram(std::string_view name,
+                              const Labels &labels) const
+{
+    const Cell *slot = findCell(name, MetricKind::Histogram, labels);
+    return slot != nullptr ? slot->histogram.get() : nullptr;
+}
+
+double
+MetricRegistry::readValue(std::string_view name,
+                          const Labels &labels) const
+{
+    if (const Counter *c = findCounter(name, labels); c != nullptr)
+        return static_cast<double>(c->value());
+    if (const Gauge *g = findGauge(name, labels); g != nullptr)
+        return g->value();
+    fatal("no counter/gauge named '%s' with the given labels",
+          std::string(name).c_str());
+}
+
+std::size_t
+MetricRegistry::instrumentCount() const
+{
+    std::size_t n = 0;
+    for (const Family &fam : fams)
+        n += fam.cells.size();
+    return n;
+}
+
+} // namespace rcoal::telemetry

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * TelemetrySampler implementation.
+ */
+
+#include "rcoal/telemetry/sampler.hpp"
+
+#include <cmath>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/telemetry/prometheus.hpp"
+
+namespace rcoal::telemetry {
+
+TelemetrySampler::TelemetrySampler(MetricRegistry &registry,
+                                   Cycle interval_cycles,
+                                   std::size_t max_points)
+    : reg(registry),
+      interval(interval_cycles),
+      next(interval_cycles),
+      maxPoints(max_points)
+{
+    RCOAL_ASSERT(interval > 0, "telemetry interval must be positive");
+    RCOAL_ASSERT(maxPoints >= 2, "telemetry needs >= 2 series points");
+}
+
+void
+TelemetrySampler::alignAfter(Cycle now)
+{
+    RCOAL_ASSERT(cycles.empty(),
+                 "cannot re-anchor a sampler that already recorded");
+    next = ((now / (interval * stride)) + 1) * (interval * stride);
+}
+
+void
+TelemetrySampler::addCollector(std::function<void(Cycle)> fn)
+{
+    collectors.push_back(std::move(fn));
+}
+
+void
+TelemetrySampler::track(std::string key, std::function<double()> read)
+{
+    RCOAL_ASSERT(cycles.empty(),
+                 "series '%s' tracked after sampling started",
+                 key.c_str());
+    tracks.push_back(Track{std::move(key), std::move(read)});
+    seriesValues.emplace_back();
+}
+
+void
+TelemetrySampler::collect(Cycle now)
+{
+    for (const auto &fn : collectors)
+        fn(now);
+}
+
+void
+TelemetrySampler::sampleAt(Cycle now)
+{
+    RCOAL_ASSERT(now == next,
+                 "sample at cycle %llu but %llu was due — a skip path "
+                 "ignored the sampler bound",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(next));
+    collect(now);
+    cycles.push_back(now);
+    for (std::size_t i = 0; i < tracks.size(); ++i)
+        seriesValues[i].push_back(tracks[i].read());
+    ++sampleCount;
+
+    // Bounded retention: on overflow, drop every other point and
+    // double the sampling stride.  Purely cycle-driven, hence
+    // deterministic and identical across skip modes.
+    if (cycles.size() >= maxPoints) {
+        auto thin = [](auto &v) {
+            std::size_t kept = 0;
+            for (std::size_t i = 0; i < v.size(); i += 2)
+                v[kept++] = v[i];
+            v.resize(kept);
+        };
+        thin(cycles);
+        for (auto &series : seriesValues)
+            thin(series);
+        stride *= 2;
+    }
+    next = now + interval * stride;
+}
+
+void
+TelemetrySampler::detachSources()
+{
+    collectors.clear();
+    for (Track &t : tracks)
+        t.read = nullptr;
+    next = kInvalidCycle;
+}
+
+std::string
+TelemetrySampler::seriesJson() const
+{
+    std::string out = "{";
+    out += strprintf("\"interval_cycles\": %llu, \"stride\": %llu, "
+                     "\"points\": %zu, \"cycles\": [",
+                     static_cast<unsigned long long>(interval),
+                     static_cast<unsigned long long>(stride),
+                     cycles.size());
+    for (std::size_t i = 0; i < cycles.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += strprintf("%llu",
+                         static_cast<unsigned long long>(cycles[i]));
+    }
+    out += "], \"series\": {";
+    for (std::size_t t = 0; t < tracks.size(); ++t) {
+        if (t > 0)
+            out += ", ";
+        out += "\"" + tracks[t].key + "\": [";
+        for (std::size_t i = 0; i < seriesValues[t].size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            const double v = seriesValues[t][i];
+            // JSON has no Inf/NaN literals; clamp to null.
+            if (std::isfinite(v))
+                out += formatMetricValue(v);
+            else
+                out += "null";
+        }
+        out += "]";
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace rcoal::telemetry

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * StreamingLatency regression tests: the streaming accumulator must
+ * reproduce the historical copy-and-sort LatencySummary exactly below
+ * the retention cutoff, and bound the p50/p95/p99 error (while keeping
+ * count/mean/max exact) once it switches to the histogram path.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/serve/metrics.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+/** The historical implementation, kept verbatim as the oracle. */
+LatencySummary
+sortedOracle(std::vector<double> values)
+{
+    LatencySummary out;
+    out.count = values.size();
+    if (values.empty())
+        return out;
+    std::sort(values.begin(), values.end());
+    out.p50 = percentile(values, 50.0);
+    out.p95 = percentile(values, 95.0);
+    out.p99 = percentile(values, 99.0);
+    out.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+               static_cast<double>(values.size());
+    out.max = values.back();
+    return out;
+}
+
+std::vector<double>
+lcgLatencies(std::size_t n, std::uint64_t seed)
+{
+    std::vector<double> values;
+    values.reserve(n);
+    std::uint64_t x = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        values.push_back(
+            static_cast<double>((x >> 33) % 2'000'000 + 50));
+    }
+    return values;
+}
+
+TEST(StreamingLatencyTest, SmallSamplesMatchTheSortOracleExactly)
+{
+    for (std::size_t n : {std::size_t{1}, std::size_t{2},
+                          std::size_t{17}, std::size_t{1000}}) {
+        const std::vector<double> values = lcgLatencies(n, 11 + n);
+        const LatencySummary streamed = LatencySummary::of(values);
+        const LatencySummary oracle = sortedOracle(values);
+        ASSERT_EQ(streamed.count, oracle.count) << "n=" << n;
+        EXPECT_EQ(streamed.p50, oracle.p50) << "n=" << n;
+        EXPECT_EQ(streamed.p95, oracle.p95) << "n=" << n;
+        EXPECT_EQ(streamed.p99, oracle.p99) << "n=" << n;
+        EXPECT_EQ(streamed.mean, oracle.mean) << "n=" << n;
+        EXPECT_EQ(streamed.max, oracle.max) << "n=" << n;
+    }
+}
+
+TEST(StreamingLatencyTest, EmptySummaryIsAllZeros)
+{
+    StreamingLatency s;
+    const LatencySummary summary = s.summary();
+    EXPECT_EQ(summary.count, 0u);
+    EXPECT_EQ(summary.p50, 0.0);
+    EXPECT_EQ(summary.mean, 0.0);
+    EXPECT_EQ(summary.max, 0.0);
+    EXPECT_FALSE(s.streaming());
+}
+
+TEST(StreamingLatencyTest, CrossingTheCutoffReleasesExactValues)
+{
+    StreamingLatency s(/*exact_cutoff=*/8);
+    for (int i = 0; i < 8; ++i)
+        s.observe(100.0 + i);
+    EXPECT_FALSE(s.streaming());
+    s.observe(200.0);
+    EXPECT_TRUE(s.streaming());
+    EXPECT_EQ(s.count(), 9u);
+}
+
+TEST(StreamingLatencyTest, LargeSamplesBoundPercentileError)
+{
+    const std::vector<double> values =
+        lcgLatencies(StreamingLatency::kExactCutoff * 4, 3);
+    StreamingLatency s;
+    for (double v : values)
+        s.observe(v);
+    EXPECT_TRUE(s.streaming());
+
+    const LatencySummary streamed = s.summary();
+    const LatencySummary oracle = sortedOracle(values);
+
+    EXPECT_EQ(streamed.count, oracle.count);
+    EXPECT_EQ(streamed.mean, oracle.mean); // Sum stays exact.
+    EXPECT_EQ(streamed.max, oracle.max);   // Max stays exact.
+    // HDR bucketing bounds relative quantile error at 1/16 = 6.25%;
+    // allow 6.5% for the integer rounding of fractional inputs.
+    EXPECT_NEAR(streamed.p50, oracle.p50, oracle.p50 * 0.065);
+    EXPECT_NEAR(streamed.p95, oracle.p95, oracle.p95 * 0.065);
+    EXPECT_NEAR(streamed.p99, oracle.p99, oracle.p99 * 0.065);
+}
+
+TEST(StreamingLatencyTest, OfMatchesIncrementalObservation)
+{
+    const std::vector<double> values = lcgLatencies(300, 5);
+    StreamingLatency incremental;
+    for (double v : values)
+        incremental.observe(v);
+    const LatencySummary a = incremental.summary();
+    const LatencySummary b = LatencySummary::of(values);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p95, b.p95);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.max, b.max);
+}
+
+} // namespace
+} // namespace rcoal::serve

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * LeakageAuditor tests: the streaming Pearson correlation must agree
+ * with the offline batch statistic to floating-point noise, the alert
+ * must respect the minimum-sample gate and count its clear->firing
+ * transitions, and degenerate inputs must read as zero correlation
+ * rather than NaN.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/common/stats.hpp"
+#include "rcoal/telemetry/leakage_auditor.hpp"
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::telemetry {
+namespace {
+
+TEST(TelemetryLeakageAuditor, MatchesOfflinePearsonCorrelation)
+{
+    MetricRegistry reg;
+    LeakageAuditor auditor(reg, LeakageAuditor::Config{});
+
+    // A noisy linear relationship, deterministic LCG noise.
+    std::vector<double> xs, ys;
+    std::uint64_t state = 99;
+    for (int i = 0; i < 500; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const double noise =
+            static_cast<double>(state >> 40) / double{1 << 24};
+        const double x = 100.0 + (i % 37);
+        const double y = 3.0 * x + 40.0 * noise;
+        xs.push_back(x);
+        ys.push_back(y);
+        auditor.observe(x, y);
+    }
+    const double offline = pearsonCorrelation(xs, ys);
+    EXPECT_NEAR(auditor.correlation(), offline, 1e-12);
+    EXPECT_EQ(auditor.samples(), xs.size());
+    EXPECT_EQ(reg.readValue("rcoal_leakage_observations_total"),
+              static_cast<double>(xs.size()));
+    EXPECT_NEAR(reg.readValue("rcoal_leakage_correlation"), offline,
+                1e-12);
+}
+
+TEST(TelemetryLeakageAuditor, AlertRespectsMinimumSamples)
+{
+    MetricRegistry reg;
+    LeakageAuditor::Config cfg;
+    cfg.alertThreshold = 0.5;
+    cfg.minSamples = 8;
+    LeakageAuditor auditor(reg, cfg);
+
+    // Perfectly correlated, but below the sample gate.
+    for (int i = 1; i <= 7; ++i) {
+        auditor.observe(i, 2.0 * i);
+        EXPECT_FALSE(auditor.alerting()) << "n=" << i;
+    }
+    EXPECT_EQ(reg.readValue("rcoal_leakage_alert"), 0.0);
+
+    auditor.observe(8.0, 16.0); // Crosses the gate; corr == 1.
+    EXPECT_TRUE(auditor.alerting());
+    EXPECT_EQ(reg.readValue("rcoal_leakage_alert"), 1.0);
+    EXPECT_EQ(reg.readValue("rcoal_leakage_alert_transitions_total"),
+              1.0);
+    EXPECT_EQ(reg.readValue("rcoal_leakage_alert_threshold"), 0.5);
+
+    // Staying in alert is one transition, not one per observation.
+    auditor.observe(9.0, 18.0);
+    EXPECT_EQ(reg.readValue("rcoal_leakage_alert_transitions_total"),
+              1.0);
+}
+
+TEST(TelemetryLeakageAuditor, AntiCorrelationAlsoAlerts)
+{
+    MetricRegistry reg;
+    LeakageAuditor::Config cfg;
+    cfg.alertThreshold = 0.9;
+    cfg.minSamples = 4;
+    LeakageAuditor auditor(reg, cfg);
+    for (int i = 0; i < 16; ++i)
+        auditor.observe(i, -3.0 * i);
+    EXPECT_NEAR(auditor.correlation(), -1.0, 1e-12);
+    EXPECT_TRUE(auditor.alerting());
+}
+
+TEST(TelemetryLeakageAuditor, DegenerateSeriesReadAsZero)
+{
+    MetricRegistry reg;
+    LeakageAuditor auditor(reg, LeakageAuditor::Config{});
+    EXPECT_EQ(auditor.correlation(), 0.0); // No samples.
+
+    auditor.observe(5.0, 10.0);
+    EXPECT_EQ(auditor.correlation(), 0.0); // One sample.
+
+    // Constant X (every request identical): no variance, no signal.
+    for (int i = 0; i < 20; ++i)
+        auditor.observe(5.0, 10.0 + i);
+    EXPECT_EQ(auditor.correlation(), 0.0);
+    EXPECT_FALSE(auditor.alerting());
+    EXPECT_FALSE(std::isnan(
+        reg.readValue("rcoal_leakage_correlation")));
+}
+
+TEST(TelemetryLeakageAuditorDeathTest, RejectsBadConfiguration)
+{
+    MetricRegistry reg;
+    LeakageAuditor::Config bad_threshold;
+    bad_threshold.alertThreshold = 1.5;
+    EXPECT_DEATH(LeakageAuditor(reg, bad_threshold), "threshold");
+
+    LeakageAuditor::Config bad_samples;
+    bad_samples.minSamples = 1;
+    EXPECT_DEATH(LeakageAuditor(reg, bad_samples), "samples");
+}
+
+} // namespace
+} // namespace rcoal::telemetry

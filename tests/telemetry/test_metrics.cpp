@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the telemetry instruments (Counter, Gauge,
+ * LogHistogram) and the MetricRegistry: monotonicity enforcement,
+ * log-linear bucket geometry and its quantile error bound, and the
+ * registration contract (idempotent lookup, fatal kind mismatch,
+ * stable exposition order).
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/telemetry/metric.hpp"
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::telemetry {
+namespace {
+
+TEST(TelemetryCounter, IncAndCumulativeSetAgree)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.set(42); // Equal refresh is allowed (no progress between samples).
+    c.set(100);
+    EXPECT_EQ(c.value(), 100u);
+}
+
+TEST(TelemetryCounterDeathTest, BackwardsSetPanics)
+{
+    Counter c;
+    c.set(10);
+    EXPECT_DEATH(c.set(9), "backwards");
+}
+
+TEST(TelemetryGauge, HoldsLastValueIncludingNegative)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-0.25);
+    EXPECT_EQ(g.value(), -0.25);
+}
+
+TEST(TelemetryLogHistogram, SmallValuesGetExactBuckets)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+        EXPECT_EQ(h.bucketIndex(v), v);
+        EXPECT_EQ(h.bucketUpperBound(v), v);
+    }
+    for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v)
+        h.observe(v);
+    // Every quantile of an exact-bucket population is exact.
+    EXPECT_EQ(h.quantileValue(0.0), 0u);
+    EXPECT_EQ(h.quantileValue(0.5), 7u);
+    EXPECT_EQ(h.quantileValue(1.0), 15u);
+}
+
+TEST(TelemetryLogHistogram, TracksCountSumMinMaxExactly)
+{
+    LogHistogram h;
+    EXPECT_TRUE(h.empty());
+    const std::vector<std::uint64_t> values = {3, 70'000, 12, 999, 3};
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values) {
+        h.observe(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), values.size());
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.minValue(), 3u);
+    EXPECT_EQ(h.maxValue(), 70'000u);
+    EXPECT_DOUBLE_EQ(h.mean(),
+                     static_cast<double>(sum) / values.size());
+}
+
+TEST(TelemetryLogHistogram, QuantileRelativeErrorIsBounded)
+{
+    // Deterministic LCG spread over several powers of two; the HDR
+    // bucketing promises <= 1/16 relative error against the true
+    // nearest-rank order statistic.
+    std::vector<std::uint64_t> values;
+    std::uint64_t x = 12345;
+    LogHistogram h;
+    for (int i = 0; i < 20'000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t v = (x >> 33) % 1'000'000;
+        values.push_back(v);
+        h.observe(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double p : {0.5, 0.95, 0.99}) {
+        const auto rank = static_cast<std::size_t>(
+            std::ceil(p * static_cast<double>(values.size())));
+        const double exact =
+            static_cast<double>(values[rank == 0 ? 0 : rank - 1]);
+        const double approx = h.quantile(p);
+        EXPECT_LE(std::fabs(approx - exact), exact / 16.0 + 1.0)
+            << "p=" << p;
+    }
+    EXPECT_EQ(h.quantileValue(0.0), h.minValue());
+    EXPECT_EQ(h.quantileValue(1.0), h.maxValue());
+}
+
+TEST(TelemetryLogHistogram, OverflowClampsIntoFinalBucket)
+{
+    LogHistogram h(/*value_bits=*/20);
+    const std::uint64_t huge = std::uint64_t{1} << 40;
+    h.observe(huge);
+    EXPECT_EQ(h.bucketIndex(huge), h.bucketCount() - 1);
+    EXPECT_EQ(h.maxValue(), huge); // min/max/sum stay exact.
+    EXPECT_EQ(h.sum(), huge);
+}
+
+TEST(TelemetryLogHistogram, ToHistogramPreservesTotalCount)
+{
+    LogHistogram h;
+    for (std::uint64_t v : {1u, 5u, 300u, 70'000u})
+        h.observe(v);
+    const Histogram dense = h.toHistogram();
+    EXPECT_EQ(dense.totalCount(), h.count());
+}
+
+TEST(TelemetryRegistry, ReRegistrationReturnsTheSameInstrument)
+{
+    MetricRegistry reg;
+    Counter &a = reg.counter("rcoal_test_total", "help");
+    a.inc(5);
+    Counter &b = reg.counter("rcoal_test_total", "help");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 5u);
+    EXPECT_EQ(reg.instrumentCount(), 1u);
+}
+
+TEST(TelemetryRegistry, LabelsDistinguishCellsWithinAFamily)
+{
+    MetricRegistry reg;
+    Counter &base = reg.counter("rcoal_xbar_packets_total", "pkts",
+                                {{"xbar", "req"}});
+    Counter &resp = reg.counter("rcoal_xbar_packets_total", "pkts",
+                                {{"xbar", "resp"}});
+    EXPECT_NE(&base, &resp);
+    base.inc(3);
+    EXPECT_EQ(reg.findCounter("rcoal_xbar_packets_total",
+                              {{"xbar", "req"}})
+                  ->value(),
+              3u);
+    EXPECT_EQ(reg.findCounter("rcoal_xbar_packets_total",
+                              {{"xbar", "resp"}})
+                  ->value(),
+              0u);
+    EXPECT_EQ(reg.findCounter("rcoal_xbar_packets_total",
+                              {{"xbar", "nope"}}),
+              nullptr);
+    EXPECT_EQ(reg.families().size(), 1u);
+    EXPECT_EQ(reg.instrumentCount(), 2u);
+}
+
+TEST(TelemetryRegistry, FamiliesKeepRegistrationOrder)
+{
+    MetricRegistry reg;
+    reg.gauge("z_last", "z");
+    reg.counter("a_first_total", "a");
+    reg.histogram("m_middle", "m");
+    ASSERT_EQ(reg.families().size(), 3u);
+    EXPECT_EQ(reg.families()[0].name, "z_last");
+    EXPECT_EQ(reg.families()[1].name, "a_first_total");
+    EXPECT_EQ(reg.families()[2].name, "m_middle");
+}
+
+TEST(TelemetryRegistryDeathTest, KindMismatchOnSameNamePanics)
+{
+    MetricRegistry reg;
+    reg.counter("rcoal_thing_total", "help");
+    EXPECT_DEATH((void)reg.gauge("rcoal_thing_total", "help"), "");
+}
+
+TEST(TelemetryRegistry, ReadValueSeesCountersAndGauges)
+{
+    MetricRegistry reg;
+    reg.counter("c_total", "c").inc(7);
+    reg.gauge("g", "g").set(2.5);
+    EXPECT_EQ(reg.readValue("c_total"), 7.0);
+    EXPECT_EQ(reg.readValue("g"), 2.5);
+}
+
+TEST(TelemetryRegistry, RenderLabelsEscapesQuotesAndBackslashes)
+{
+    const std::string text = MetricRegistry::renderLabels(
+        {{"k", "a\"b\\c\nd"}});
+    EXPECT_EQ(text, "{k=\"a\\\"b\\\\c\\nd\"}");
+    EXPECT_EQ(MetricRegistry::renderLabels({}), "");
+}
+
+} // namespace
+} // namespace rcoal::telemetry

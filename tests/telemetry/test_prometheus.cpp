@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Prometheus exposition round-trip tests: render -> lint clean ->
+ * parse -> values match the registry, plus rejection of malformed
+ * documents and the semantic checks the linter adds on top of the
+ * parser (TYPE coverage, histogram series completeness, duplicate
+ * detection).
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/telemetry/prometheus.hpp"
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::telemetry {
+namespace {
+
+MetricRegistry
+populatedRegistry()
+{
+    MetricRegistry reg;
+    reg.counter("rcoal_requests_total", "Requests served").inc(42);
+    reg.gauge("rcoal_queue_depth", "Waiting requests").set(3.0);
+    reg.gauge("rcoal_leakage_correlation", "Leakage statistic",
+              {{"policy", "BASE"}})
+        .set(0.973);
+    LogHistogram &h =
+        reg.histogram("rcoal_latency_cycles", "Request latency");
+    for (std::uint64_t v : {5u, 5u, 900u, 40'000u})
+        h.observe(v);
+    return reg;
+}
+
+TEST(TelemetryPrometheus, RenderLintParseRoundTrip)
+{
+    const MetricRegistry reg = populatedRegistry();
+    const std::string text = renderPrometheus(reg);
+
+    const auto lint = lintPrometheus(text);
+    EXPECT_FALSE(lint.has_value()) << *lint;
+
+    std::string error;
+    const auto doc = parsePrometheus(text, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+
+    EXPECT_EQ(doc->type.at("rcoal_requests_total"), "counter");
+    EXPECT_EQ(doc->type.at("rcoal_queue_depth"), "gauge");
+    EXPECT_EQ(doc->type.at("rcoal_latency_cycles"), "histogram");
+    EXPECT_EQ(doc->help.at("rcoal_requests_total"), "Requests served");
+
+    double requests = -1.0, correlation = -2.0, hist_count = -1.0;
+    double inf_bucket = -1.0;
+    for (const PromSample &s : doc->samples) {
+        if (s.name == "rcoal_requests_total")
+            requests = s.value;
+        if (s.name == "rcoal_leakage_correlation" &&
+            s.labels.at("policy") == "BASE") {
+            correlation = s.value;
+        }
+        if (s.name == "rcoal_latency_cycles_count")
+            hist_count = s.value;
+        if (s.name == "rcoal_latency_cycles_bucket" &&
+            s.labels.at("le") == "+Inf") {
+            inf_bucket = s.value;
+        }
+    }
+    EXPECT_EQ(requests, 42.0);
+    EXPECT_EQ(correlation, 0.973);
+    EXPECT_EQ(hist_count, 4.0);
+    EXPECT_EQ(inf_bucket, 4.0);
+}
+
+TEST(TelemetryPrometheus, RenderingIsDeterministic)
+{
+    const std::string a = renderPrometheus(populatedRegistry());
+    const std::string b = renderPrometheus(populatedRegistry());
+    EXPECT_EQ(a, b);
+}
+
+TEST(TelemetryPrometheus, FormatMetricValueRoundTrips)
+{
+    EXPECT_EQ(formatMetricValue(42.0), "42");
+    EXPECT_EQ(formatMetricValue(0.0), "0");
+    const std::string text = formatMetricValue(0.1);
+    EXPECT_EQ(std::stod(text), 0.1); // %.17g round-trips exactly.
+}
+
+TEST(TelemetryPrometheus, ParserRejectsMalformedDocuments)
+{
+    std::string error;
+    // Metric names cannot start with a digit.
+    EXPECT_FALSE(parsePrometheus("9bad_name 1\n", &error).has_value());
+    EXPECT_FALSE(error.empty());
+    // Unclosed label set.
+    EXPECT_FALSE(
+        parsePrometheus("name{l=\"v\" 1\n", &error).has_value());
+    // Trailing garbage after the value.
+    EXPECT_FALSE(
+        parsePrometheus("name 1 trailing junk here\n", &error)
+            .has_value());
+    // Non-numeric value.
+    EXPECT_FALSE(parsePrometheus("name fast\n", &error).has_value());
+}
+
+TEST(TelemetryPrometheus, LintFlagsSemanticProblems)
+{
+    // Parses fine but has no TYPE declaration.
+    EXPECT_TRUE(lintPrometheus("orphan_total 3\n").has_value());
+
+    // Duplicate sample (same name and labels twice).
+    const std::string dup = "# TYPE d gauge\nd 1\nd 2\n";
+    EXPECT_TRUE(lintPrometheus(dup).has_value());
+
+    // Histogram without its +Inf bucket / _count / _sum.
+    const std::string partial = "# TYPE h histogram\n"
+                                "h_bucket{le=\"10\"} 1\n";
+    EXPECT_TRUE(lintPrometheus(partial).has_value());
+
+    // Negative counter.
+    const std::string negative = "# TYPE c counter\nc -1\n";
+    EXPECT_TRUE(lintPrometheus(negative).has_value());
+}
+
+} // namespace
+} // namespace rcoal::telemetry

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * TelemetrySampler unit tests: sample cadence and the sampleAt
+ * contract, collector/track evaluation order, bounded retention via
+ * stride doubling, re-anchoring, and detachment semantics.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/telemetry/registry.hpp"
+#include "rcoal/telemetry/sampler.hpp"
+
+namespace rcoal::telemetry {
+namespace {
+
+TEST(TelemetrySampler, SamplesOnTheConfiguredCadence)
+{
+    MetricRegistry reg;
+    TelemetrySampler sampler(reg, /*interval_cycles=*/100);
+    EXPECT_EQ(sampler.nextSampleCycle(), 100u);
+
+    int collected = 0;
+    sampler.addCollector([&](Cycle) { ++collected; });
+    sampler.track("x", [&] { return static_cast<double>(collected); });
+
+    sampler.sampleAt(100);
+    EXPECT_EQ(sampler.nextSampleCycle(), 200u);
+    sampler.sampleAt(200);
+    EXPECT_EQ(sampler.samplesTaken(), 2u);
+    EXPECT_EQ(sampler.pointCount(), 2u);
+    EXPECT_EQ(collected, 2);
+
+    // Collectors run before tracks read, so the first point sees the
+    // refreshed value.
+    const std::string json = sampler.seriesJson();
+    EXPECT_NE(json.find("\"x\": [1, 2]"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cycles\": [100, 200]"), std::string::npos)
+        << json;
+}
+
+TEST(TelemetrySamplerDeathTest, OffScheduleSamplePanics)
+{
+    MetricRegistry reg;
+    TelemetrySampler sampler(reg, 100);
+    EXPECT_DEATH(sampler.sampleAt(150), "skip path");
+}
+
+TEST(TelemetrySampler, AlignAfterSkipsToTheNextGridPoint)
+{
+    MetricRegistry reg;
+    TelemetrySampler sampler(reg, 100);
+    sampler.alignAfter(350);
+    EXPECT_EQ(sampler.nextSampleCycle(), 400u);
+    sampler.alignAfter(400); // On-grid re-anchor moves past, not onto.
+    EXPECT_EQ(sampler.nextSampleCycle(), 500u);
+}
+
+TEST(TelemetrySampler, RetentionDoublesStrideInsteadOfGrowing)
+{
+    MetricRegistry reg;
+    TelemetrySampler sampler(reg, /*interval_cycles=*/10,
+                             /*max_points=*/4);
+    sampler.track("v", [] { return 1.0; });
+    Cycle now = 0;
+    for (int i = 0; i < 64; ++i) {
+        now = sampler.nextSampleCycle();
+        sampler.sampleAt(now);
+    }
+    EXPECT_EQ(sampler.samplesTaken(), 64u);
+    EXPECT_LT(sampler.pointCount(), 4u * 2u);
+    // Thinning keeps the series parallel to the cycle axis.
+    const std::string json = sampler.seriesJson();
+    EXPECT_NE(json.find("\"stride\""), std::string::npos);
+}
+
+TEST(TelemetrySampler, CollectRefreshesWithoutRecordingAPoint)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("g", "help");
+    TelemetrySampler sampler(reg, 100);
+    double live = 7.5;
+    sampler.addCollector([&](Cycle) { g.set(live); });
+
+    sampler.collect(42);
+    EXPECT_EQ(g.value(), 7.5);
+    EXPECT_EQ(sampler.pointCount(), 0u);
+    EXPECT_EQ(sampler.samplesTaken(), 0u);
+}
+
+TEST(TelemetrySampler, DetachSourcesKeepsSeriesAndValues)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("g", "help");
+    TelemetrySampler sampler(reg, 100);
+    double live = 1.0;
+    sampler.addCollector([&](Cycle) { g.set(live); });
+    sampler.track("g", [&] { return live; });
+
+    sampler.sampleAt(100);
+    live = 2.0;
+    sampler.sampleAt(200);
+
+    const std::string before = sampler.seriesJson();
+    sampler.detachSources();
+
+    // The run-local callbacks are gone, but history and registry
+    // values survive, and no sample is due anymore.
+    EXPECT_EQ(sampler.seriesJson(), before);
+    EXPECT_EQ(g.value(), 2.0);
+    EXPECT_EQ(sampler.nextSampleCycle(), kInvalidCycle);
+    sampler.collect(300); // No collectors left: a no-op, not a crash.
+}
+
+} // namespace
+} // namespace rcoal::telemetry

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Integration tests of the serve-path telemetry: the instrument set a
+ * telemetry-attached serve run exposes, agreement between registry
+ * values and the serve report, the leakage auditor's BASE-vs-RCoal
+ * separation on live traffic, and re-export of trace-sink and DRAM
+ * protocol-checker counters through the registry.
+ */
+
+#include <array>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/common/rng.hpp"
+#include "rcoal/serve/server.hpp"
+#include "rcoal/sim/gpu_machine.hpp"
+#include "rcoal/telemetry/leakage_auditor.hpp"
+#include "rcoal/telemetry/prometheus.hpp"
+#include "rcoal/telemetry/registry.hpp"
+#include "rcoal/telemetry/sampler.hpp"
+#include "rcoal/trace/dram_checker.hpp"
+#include "rcoal/trace/tracer.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::telemetry {
+namespace {
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+struct TelemetrizedRun {
+    MetricRegistry registry;
+    serve::ServeReport report;
+    double correlation = 0.0;
+    bool alerting = false;
+};
+
+/** Probe-only serve run under @p policy with telemetry attached. */
+TelemetrizedRun
+run(const core::CoalescingPolicy &policy, unsigned probes,
+    trace::Tracer *tracer = nullptr)
+{
+    sim::GpuConfig gpu = sim::GpuConfig::paperBaseline();
+    gpu.numSms = 4;
+    gpu.seed = 42;
+    gpu.policy = policy;
+
+    serve::ServeConfig cfg;
+    cfg.queueCapacity = 16;
+    cfg.maxBatchRequests = 2;
+    cfg.batchTimeoutCycles = 2000;
+    cfg.smsPerKernel = 2;
+
+    serve::WorkloadSpec spec;
+    spec.probeSamples = probes;
+    spec.probeLines = 32;
+    spec.probeSeed = 7;
+    spec.probeThinkCycles = 100;
+    spec.backgroundMeanGapCycles = 0.0; // Probe-only: clean channel.
+
+    TelemetrizedRun out;
+    TelemetrySampler sampler(out.registry, /*interval_cycles=*/1000);
+    LeakageAuditor auditor(out.registry, LeakageAuditor::Config{});
+    const serve::ServeTelemetry telemetry{&sampler, &auditor};
+    const serve::EncryptionServer server(gpu, cfg, kKey);
+    out.report = server.run(spec, tracer, &telemetry);
+    out.correlation = auditor.correlation();
+    out.alerting = auditor.alerting();
+    return out;
+}
+
+TEST(TelemetryServeIntegration, RegistryAgreesWithTheServeReport)
+{
+    const TelemetrizedRun r =
+        run(core::CoalescingPolicy::baseline(), 6);
+    const MetricRegistry &reg = r.registry;
+
+    EXPECT_EQ(reg.readValue("rcoal_serve_admitted_total"),
+              static_cast<double>(r.report.admitted));
+    EXPECT_EQ(reg.readValue("rcoal_serve_rejected_total"),
+              static_cast<double>(r.report.rejected));
+    EXPECT_EQ(reg.readValue("rcoal_serve_completed_total"),
+              static_cast<double>(r.report.completed.size()));
+    EXPECT_EQ(reg.readValue("rcoal_serve_kernels_launched_total"),
+              static_cast<double>(r.report.kernelsLaunched));
+    EXPECT_EQ(reg.readValue("rcoal_serve_probe_completed_total"), 6.0);
+    EXPECT_EQ(reg.readValue("rcoal_sim_cycles_total"),
+              static_cast<double>(r.report.totalCycles));
+    EXPECT_EQ(reg.readValue("rcoal_leakage_observations_total"), 6.0);
+
+    // The latency histograms carry every completion with exact
+    // count/sum (only quantiles are approximated).
+    const LogHistogram *all = reg.findHistogram(
+        "rcoal_serve_request_latency_cycles", {{"scope", "all"}});
+    ASSERT_NE(all, nullptr);
+    EXPECT_EQ(all->count(), r.report.completed.size());
+    const LogHistogram *probe = reg.findHistogram(
+        "rcoal_serve_request_latency_cycles", {{"scope", "probe"}});
+    ASSERT_NE(probe, nullptr);
+    EXPECT_EQ(probe->count(), 6u);
+    EXPECT_EQ(static_cast<double>(probe->maxValue()),
+              r.report.probeLatency.max);
+
+    // Machine-side families the collector must have populated.
+    EXPECT_GT(reg.readValue("rcoal_kernels_retired_total"), 0.0);
+    EXPECT_GT(reg.readValue("rcoal_coalesced_accesses_total"), 0.0);
+    ASSERT_NE(reg.findCounter("rcoal_dram_row_hits_total",
+                              {{"partition", "0"}, {"bank", "0"}}),
+              nullptr);
+    // The violations family is checker-gated; no checker, no metric.
+    EXPECT_EQ(reg.findCounter("rcoal_dram_protocol_violations_total",
+                              {{"partition", "0"}}),
+              nullptr);
+}
+
+TEST(TelemetryServeIntegration, ProtocolViolationCountersWhenChecking)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.numSms = 2;
+    sim::GpuMachine machine(cfg);
+    machine.enableDramChecking(
+        trace::DramProtocolChecker::Mode::Collect);
+
+    MetricRegistry registry;
+    TelemetrySampler sampler(registry, 1000);
+    machine.setTelemetry(&sampler);
+
+    Rng rng = Rng::stream(7, 0);
+    const auto plaintext = workloads::randomPlaintext(32, rng);
+    const workloads::AesGpuKernel kernel(plaintext, kKey, cfg.warpSize);
+    const auto id = machine.launchStream(kernel, sim::SmRange{0, 2},
+                                         /*rng_stream_index=*/1);
+    machine.runUntilDone(id);
+    (void)machine.take(id);
+    sampler.collect(machine.now());
+    sampler.detachSources();
+    machine.setTelemetry(nullptr);
+
+    ASSERT_EQ(machine.dramCheckers().size(),
+              static_cast<std::size_t>(cfg.numPartitions));
+    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+        const Counter *violations = registry.findCounter(
+            "rcoal_dram_protocol_violations_total",
+            {{"partition", strprintf("%u", p)}});
+        ASSERT_NE(violations, nullptr) << "partition " << p;
+        EXPECT_EQ(violations->value(),
+                  machine.dramCheckers()[p]->violations().size())
+            << "partition " << p;
+    }
+}
+
+TEST(TelemetryServeIntegration, AuditorSeparatesBaseFromRcoal)
+{
+    // The acceptance demo in miniature: on a clean probe-only channel
+    // the auditor must fire under BASE and stay quiet under RSS+RTS.
+    const TelemetrizedRun base =
+        run(core::CoalescingPolicy::baseline(), 24);
+    EXPECT_GT(base.correlation, 0.6);
+    EXPECT_TRUE(base.alerting);
+    EXPECT_EQ(base.registry.readValue("rcoal_leakage_alert"), 1.0);
+
+    const TelemetrizedRun rcoal =
+        run(core::CoalescingPolicy::rss(8, true), 24);
+    EXPECT_LT(std::abs(rcoal.correlation), 0.35);
+    EXPECT_FALSE(rcoal.alerting);
+    EXPECT_EQ(rcoal.registry.readValue("rcoal_leakage_alert"), 0.0);
+}
+
+TEST(TelemetryServeIntegration, TraceSinkCountersAreReExported)
+{
+    trace::Tracer tracer(1 << 12);
+    const TelemetrizedRun r =
+        run(core::CoalescingPolicy::baseline(), 4, &tracer);
+
+    // One recorded/dropped counter pair per sink, labelled by sink
+    // name, and consistent with the sink's own accounting.
+    ASSERT_FALSE(tracer.sinks().empty());
+    for (const auto &sink : tracer.sinks()) {
+        const Counter *recorded = r.registry.findCounter(
+            "rcoal_trace_recorded_total", {{"sink", sink->name()}});
+        ASSERT_NE(recorded, nullptr) << sink->name();
+        EXPECT_EQ(recorded->value(), sink->totalRecorded())
+            << sink->name();
+        const Counter *dropped = r.registry.findCounter(
+            "rcoal_trace_dropped_total", {{"sink", sink->name()}});
+        ASSERT_NE(dropped, nullptr) << sink->name();
+        EXPECT_EQ(dropped->value(), sink->dropped())
+            << sink->name();
+    }
+
+    const auto lint = lintPrometheus(renderPrometheus(r.registry));
+    EXPECT_FALSE(lint.has_value()) << *lint;
+}
+
+} // namespace
+} // namespace rcoal::telemetry
