@@ -32,6 +32,14 @@ namespace rcoal::attack {
 std::vector<EncryptionObservation>
 probeObservations(const serve::ServeReport &report);
 
+/**
+ * Same conversion over a raw completion list — the shape rcoal::fleet
+ * reports (FleetReport::completed), where probes from many replicas
+ * interleave in fleet completion order.
+ */
+std::vector<EncryptionObservation>
+probeObservations(const std::vector<serve::CompletedRequest> &completed);
+
 /** One served attack experiment: the attacker's view plus the
  * operator's view of the same run. */
 struct ServedSampleSet

@@ -13,8 +13,14 @@ namespace rcoal::attack {
 std::vector<EncryptionObservation>
 probeObservations(const serve::ServeReport &report)
 {
+    return probeObservations(report.completed);
+}
+
+std::vector<EncryptionObservation>
+probeObservations(const std::vector<serve::CompletedRequest> &completed)
+{
     std::vector<const serve::CompletedRequest *> probes;
-    for (const serve::CompletedRequest &done : report.completed) {
+    for (const serve::CompletedRequest &done : completed) {
         if (done.isProbe)
             probes.push_back(&done);
     }

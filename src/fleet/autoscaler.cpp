@@ -1,0 +1,77 @@
+/**
+ * @file
+ * QueueDepthAutoscaler implementation.
+ */
+
+#include "rcoal/fleet/autoscaler.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::fleet {
+
+QueueDepthAutoscaler::QueueDepthAutoscaler(
+    const AutoscalerConfig &config, telemetry::MetricRegistry &registry,
+    unsigned num_replicas)
+    : cfg(config),
+      reg(registry),
+      numReplicas(num_replicas),
+      nextEval(config.evalIntervalCycles),
+      sloGauge(registry.gauge(
+          "rcoal_fleet_autoscaler_depth_slo",
+          "Mean queue depth per active replica the fleet scales to")),
+      desiredGauge(registry.gauge(
+          "rcoal_fleet_autoscaler_desired_replicas",
+          "Active replica count the autoscaler last asked for"))
+{
+    RCOAL_ASSERT(cfg.enabled, "autoscaler constructed while disabled");
+    sloGauge.set(cfg.queueDepthSlo);
+    desiredGauge.set(0.0);
+}
+
+unsigned
+QueueDepthAutoscaler::evaluate(Cycle now, unsigned active_replicas)
+{
+    RCOAL_ASSERT(now == nextEval,
+                 "autoscaler evaluated at %llu, grid expected %llu",
+                 static_cast<unsigned long long>(now),
+                 static_cast<unsigned long long>(nextEval));
+    nextEval += cfg.evalIntervalCycles;
+    RCOAL_ASSERT(active_replicas >= 1, "autoscaler with empty fleet");
+
+    // The scaler's entire world view comes back out of the registry —
+    // the gauges the fleet published and the SLO an operator could
+    // retune live.
+    double depth_sum = 0.0;
+    for (unsigned r = 0; r < active_replicas; ++r) {
+        depth_sum += reg.readValue(
+            "rcoal_fleet_queue_depth",
+            {{"replica", std::to_string(r)}});
+    }
+    const double mean_depth =
+        depth_sum / static_cast<double>(active_replicas);
+    const double slo = reg.readValue("rcoal_fleet_autoscaler_depth_slo");
+
+    unsigned desired = active_replicas;
+    if (mean_depth > slo)
+        desired = std::min(active_replicas + 1, numReplicas);
+    else if (mean_depth < cfg.scaleDownQueueDepth)
+        desired = std::max(active_replicas - 1, cfg.minReplicas);
+
+    if (desired != active_replicas && actedYet &&
+        now - lastActionCycle < cfg.cooldownCycles) {
+        desired = active_replicas; // Cooling down.
+    }
+    if (desired != active_replicas) {
+        lastActionCycle = now;
+        actedYet = true;
+        log.push_back(AutoscalerAction{now, active_replicas, desired,
+                                       mean_depth});
+    }
+    desiredGauge.set(static_cast<double>(desired));
+    return desired;
+}
+
+} // namespace rcoal::fleet

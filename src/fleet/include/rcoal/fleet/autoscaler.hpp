@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Queue-depth autoscaler: sizes the active replica set from the same
+ * telemetry an operator's dashboard shows.
+ *
+ * Everything the scaler consumes goes through the MetricRegistry: the
+ * fleet publishes per-replica queue-depth gauges
+ * (rcoal_fleet_queue_depth{replica="i"}) before each evaluation, the
+ * SLO itself lives in the rcoal_fleet_autoscaler_depth_slo gauge, and
+ * evaluate() reads both back with MetricRegistry::readValue. Decisions
+ * land on a fixed virtual-time grid with a cooldown, so a fleet run's
+ * scaling history is exactly reproducible.
+ */
+
+#ifndef RCOAL_FLEET_AUTOSCALER_HPP
+#define RCOAL_FLEET_AUTOSCALER_HPP
+
+#include <vector>
+
+#include "rcoal/fleet/config.hpp"
+#include "rcoal/fleet/metrics.hpp"
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::fleet {
+
+class QueueDepthAutoscaler
+{
+  public:
+    /**
+     * Registers the SLO gauge (set from @p config.queueDepthSlo) and
+     * the desired-replicas gauge in @p registry. The per-replica depth
+     * gauges are the fleet's to publish; the scaler only reads them.
+     */
+    QueueDepthAutoscaler(const AutoscalerConfig &config,
+                         telemetry::MetricRegistry &registry,
+                         unsigned num_replicas);
+
+    /** The next evaluation-grid cycle (a skip bound for the fleet). */
+    Cycle nextEvalCycle() const { return nextEval; }
+
+    /**
+     * Evaluate at cycle @p now (must equal nextEvalCycle()): read the
+     * depth gauges of the @p active_replicas lowest-indexed replicas
+     * and the SLO gauge back from the registry, and return the desired
+     * active count in [minReplicas, num_replicas]. Applies the
+     * cooldown; logs an action whenever the desired count changes.
+     */
+    unsigned evaluate(Cycle now, unsigned active_replicas);
+
+    const std::vector<AutoscalerAction> &actions() const
+    {
+        return log;
+    }
+
+  private:
+    AutoscalerConfig cfg;
+    telemetry::MetricRegistry &reg;
+    unsigned numReplicas;
+    Cycle nextEval;
+    Cycle lastActionCycle = 0;
+    bool actedYet = false;
+    std::vector<AutoscalerAction> log;
+
+    telemetry::Gauge &sloGauge;
+    telemetry::Gauge &desiredGauge;
+};
+
+} // namespace rcoal::fleet
+
+#endif // RCOAL_FLEET_AUTOSCALER_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fleet-level reporting: per-replica summaries, the fleet aggregate,
+ * and the autoscaler's action log.
+ */
+
+#ifndef RCOAL_FLEET_METRICS_HPP
+#define RCOAL_FLEET_METRICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "rcoal/serve/metrics.hpp"
+
+namespace rcoal::fleet {
+
+/** One scaling decision the autoscaler took. */
+struct AutoscalerAction
+{
+    Cycle cycle = 0;
+    unsigned fromReplicas = 0;
+    unsigned toReplicas = 0;
+    /** Mean queue depth per active replica that triggered it. */
+    double meanQueueDepth = 0.0;
+};
+
+/** What one replica did over the run. */
+struct ReplicaReport
+{
+    unsigned replica = 0;
+    /** Lifecycle state at the end of the run. */
+    std::string finalState;
+
+    std::size_t completed = 0;
+    std::size_t probeCompleted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t kernelsLaunched = 0;
+
+    serve::LatencySummary allLatency;
+    serve::LatencySummary probeLatency;
+
+    double meanQueueDepth = 0.0;
+    std::size_t maxQueueDepth = 0;
+
+    /** Cycles the replica spent Active. */
+    Cycle activeCycles = 0;
+};
+
+/** Everything one fleet simulation produced. */
+struct FleetReport
+{
+    /** Every completed request fleet-wide, in completion order (ties
+     * broken by replica index). */
+    std::vector<serve::CompletedRequest> completed;
+
+    /** completedReplica[i] is the replica that served completed[i]. */
+    std::vector<unsigned> completedReplica;
+
+    std::vector<ReplicaReport> replicas;
+
+    serve::LatencySummary allLatency;   ///< Fleet-wide, every request.
+    serve::LatencySummary probeLatency; ///< Fleet-wide, probes only.
+
+    Cycle totalCycles = 0;
+    double throughputReqPerSec = 0.0;
+
+    std::uint64_t admitted = 0; ///< Summed over replicas.
+    std::uint64_t rejected = 0;
+
+    std::vector<AutoscalerAction> autoscalerActions;
+
+    /** Time-averaged number of Active replicas. */
+    double meanActiveReplicas = 0.0;
+
+    /** Multi-line human-readable dump (fleet line + one per replica). */
+    std::string describe() const;
+};
+
+} // namespace rcoal::fleet
+
+#endif // RCOAL_FLEET_METRICS_HPP

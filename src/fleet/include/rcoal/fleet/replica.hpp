@@ -1,0 +1,108 @@
+/**
+ * @file
+ * One serving replica inside the fleet: a GpuMachine wrapped by the
+ * serve-layer admission queue, batcher and kernel scheduler, plus the
+ * per-replica accounting the fleet report aggregates.
+ *
+ * The replica does not own a simulation loop — FleetServer drives every
+ * replica's machine on one shared virtual clock (see fleet.cpp), which
+ * is what keeps a multi-replica run bit-reproducible with cycle
+ * skipping on or off.
+ */
+
+#ifndef RCOAL_FLEET_REPLICA_HPP
+#define RCOAL_FLEET_REPLICA_HPP
+
+#include <span>
+
+#include "rcoal/fleet/metrics.hpp"
+#include "rcoal/serve/batcher.hpp"
+#include "rcoal/serve/request_queue.hpp"
+#include "rcoal/serve/scheduler.hpp"
+
+namespace rcoal::fleet {
+
+/** Lifecycle of a replica under the autoscaler. */
+enum class ReplicaState
+{
+    Active,   ///< Routable: receives new requests.
+    Draining, ///< Not routable; finishes its queue and resident work.
+    Idle,     ///< Empty and unplugged; ticks but serves nothing.
+};
+
+/** Short display name ("active", "draining", "idle"). */
+const char *replicaStateName(ReplicaState state);
+
+class Replica
+{
+  public:
+    /**
+     * @param index position in the fleet (stable identity).
+     * @param gpu the device config; its seed must already be derived
+     *        per replica by the caller (FleetServer does).
+     * @param serve per-replica frontend knobs.
+     * @param key the service's secret AES key.
+     * @param active start Active (routable) or Idle (warm standby the
+     *        autoscaler can grow into).
+     */
+    Replica(unsigned index, const sim::GpuConfig &gpu,
+            const serve::ServeConfig &serve,
+            std::span<const std::uint8_t> key, bool active = true);
+
+    unsigned index() const { return idx; }
+    ReplicaState state() const { return lifecycle; }
+
+    /** True when the router may send new requests here. */
+    bool routable() const { return lifecycle == ReplicaState::Active; }
+
+    /** True when the replica participates in serving at all. */
+    bool inService() const { return lifecycle != ReplicaState::Idle; }
+
+    /** Queue empty and no kernel resident — safe to go idle. */
+    bool drained() const
+    {
+        return queue_.empty() && !scheduler_.anyResident();
+    }
+
+    void activate(Cycle now);
+    void startDraining(Cycle now);
+    void setIdle(Cycle now);
+
+    serve::RequestQueue &queue() { return queue_; }
+    const serve::RequestQueue &queue() const { return queue_; }
+    serve::Batcher &batcher() { return batcher_; }
+    serve::KernelScheduler &scheduler() { return scheduler_; }
+    const serve::KernelScheduler &scheduler() const { return scheduler_; }
+
+    /** Fold @p cycles cycles of the current occupancy into the means
+     * (1 for a stepped cycle, the window length for a skipped one). */
+    void recordOccupancy(Cycle cycles);
+
+    /** Account one completed request served by this replica. */
+    void observeCompletion(const serve::CompletedRequest &done);
+
+    /** Cycles spent Active so far (advanced with recordOccupancy). */
+    Cycle activeCycles() const { return activeCycleCount; }
+
+    /** Snapshot the per-replica report after @p total_cycles. */
+    ReplicaReport report(Cycle total_cycles) const;
+
+  private:
+    unsigned idx;
+    ReplicaState lifecycle = ReplicaState::Active;
+    serve::RequestQueue queue_;
+    serve::Batcher batcher_;
+    serve::KernelScheduler scheduler_;
+
+    serve::StreamingLatency allLatency;
+    serve::StreamingLatency probeLatency;
+    std::size_t completedCount = 0;
+    std::size_t probeCompletedCount = 0;
+    std::uint64_t depthSum = 0;
+    std::size_t maxDepth = 0;
+    Cycle activeCycleCount = 0;
+};
+
+} // namespace rcoal::fleet
+
+#endif // RCOAL_FLEET_REPLICA_HPP

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * TenantLoadModel implementation.
+ */
+
+#include "rcoal/fleet/load_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/common/rng.hpp"
+#include "rcoal/serve/load_generator.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
+
+namespace rcoal::fleet {
+
+void
+TenantLoadConfig::validate() const
+{
+    if (tenants == 0)
+        return; // Disabled: nothing else matters.
+    if (baseMeanGapCycles <= 0.0) {
+        fatal("tenant load baseMeanGapCycles must be positive (got %g)",
+              baseMeanGapCycles);
+    }
+    if (zipfExponent < 0.0)
+        fatal("tenant load zipfExponent must be >= 0 (got %g)",
+              zipfExponent);
+    if (diurnalAmplitude < 0.0 || diurnalAmplitude >= 1.0) {
+        fatal("tenant load diurnalAmplitude must be in [0, 1) (got %g): "
+              "an amplitude of 1 stalls arrivals entirely at the trough",
+              diurnalAmplitude);
+    }
+    if (diurnalAmplitude > 0.0 && diurnalPeriodCycles == 0)
+        fatal("tenant load diurnalPeriodCycles must be positive");
+    if (burstProbability < 0.0 || burstProbability > 1.0) {
+        fatal("tenant load burstProbability must be in [0, 1] (got %g)",
+              burstProbability);
+    }
+    if (burstProbability > 0.0 &&
+        (burstLength == 0 || burstRateFactor <= 0.0)) {
+        fatal("tenant load bursts need burstLength > 0 and a positive "
+              "burstRateFactor");
+    }
+    if (lineChoices.empty())
+        fatal("tenant load needs at least one request size");
+    if (idStride == 0)
+        fatal("tenant load idStride must be positive (got 0)");
+}
+
+TenantLoadModel::TenantLoadModel(TenantLoadConfig config)
+    : cfg(std::move(config))
+{
+    cfg.validate();
+    tenantsState.resize(cfg.tenants);
+    for (unsigned rank = 0; rank < cfg.tenants; ++rank) {
+        Tenant &t = tenantsState[rank];
+        // Tenant 0 on the wire is reserved for probes/single-tenant
+        // traffic; background tenants are 1-based.
+        t.tenantId = rank + 1;
+        t.baseMeanGap = meanGapOfRank(rank);
+        t.seed = Rng::deriveSeed(cfg.seed, t.tenantId);
+    }
+}
+
+double
+TenantLoadModel::meanGapOfRank(unsigned rank) const
+{
+    return cfg.baseMeanGapCycles *
+           std::pow(static_cast<double>(rank + 1), cfg.zipfExponent);
+}
+
+double
+TenantLoadModel::diurnalMultiplier(Cycle at) const
+{
+    if (cfg.diurnalAmplitude <= 0.0)
+        return 1.0;
+    const double phase =
+        2.0 * std::numbers::pi *
+        (static_cast<double>(at % cfg.diurnalPeriodCycles) /
+         static_cast<double>(cfg.diurnalPeriodCycles));
+    return 1.0 + cfg.diurnalAmplitude * std::sin(phase);
+}
+
+void
+TenantLoadModel::scheduleNext(Tenant &t)
+{
+    // Request k of tenant t owns stream (tenant seed, k): draw 1 is the
+    // interarrival gap, draw 2 the burst trigger, draw 3 the size, the
+    // rest its plaintext. The diurnal multiplier is evaluated at the
+    // previous scheduled arrival — a pure function of the schedule, so
+    // the process is identical however coarsely it is polled.
+    Rng rng = Rng::stream(t.seed, t.nextIndex);
+    double mean = t.baseMeanGap / diurnalMultiplier(t.nextArrival);
+    if (t.burstLeft > 0)
+        mean /= cfg.burstRateFactor;
+    t.nextArrival += serve::detail::exponentialGap(rng.uniform01(), mean);
+}
+
+void
+TenantLoadModel::emitOne(Tenant &t, std::vector<serve::Request> &out)
+{
+    Rng rng = Rng::stream(t.seed, t.nextIndex);
+    (void)rng.uniform01(); // The gap draw.
+    const bool burst_trigger = rng.chance(cfg.burstProbability);
+    const unsigned lines = cfg.lineChoices[static_cast<std::size_t>(
+        rng.below(cfg.lineChoices.size()))];
+
+    serve::Request request;
+    request.id =
+        cfg.firstId + (t.tenantId - 1) * cfg.idStride + t.nextIndex;
+    request.arrival = t.nextArrival; // Scheduled, not polled.
+    request.tenant = t.tenantId;
+    request.plaintext = workloads::randomPlaintext(lines, rng);
+    request.isProbe = false;
+    request.clientId = -1;
+    out.push_back(std::move(request));
+    ++issuedCount;
+
+    // Burst bookkeeping precedes the next gap draw so an episode
+    // accelerates the gaps that follow its trigger.
+    if (t.burstLeft > 0)
+        --t.burstLeft;
+    else if (burst_trigger)
+        t.burstLeft = cfg.burstLength;
+    ++t.nextIndex;
+    scheduleNext(t);
+}
+
+void
+TenantLoadModel::poll(Cycle now, std::vector<serve::Request> &out)
+{
+    for (Tenant &t : tenantsState) {
+        if (!t.primed) {
+            scheduleNext(t);
+            t.primed = true;
+        }
+    }
+    // Merge across tenants in global arrival order (ties to the lowest
+    // tenant id): the emitted sequence — not just each tenant's own
+    // subsequence — must be identical however coarsely the model is
+    // polled, or downstream routing would depend on the poll interval.
+    while (true) {
+        Tenant *due = nullptr;
+        for (Tenant &t : tenantsState) {
+            if (t.nextArrival > now)
+                continue;
+            if (due == nullptr || t.nextArrival < due->nextArrival)
+                due = &t;
+        }
+        if (due == nullptr)
+            break;
+        emitOne(*due, out);
+    }
+}
+
+Cycle
+TenantLoadModel::nextEventCycle()
+{
+    Cycle bound = kInvalidCycle;
+    for (Tenant &t : tenantsState) {
+        if (!t.primed) {
+            scheduleNext(t);
+            t.primed = true;
+        }
+        bound = std::min(bound, t.nextArrival);
+    }
+    return bound;
+}
+
+} // namespace rcoal::fleet

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * FleetReport::describe.
+ */
+
+#include "rcoal/fleet/metrics.hpp"
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::fleet {
+
+namespace {
+
+/** One "latency" line; an empty series says so instead of fake zeros. */
+std::string
+latencyLine(const char *label, const serve::LatencySummary &summary)
+{
+    if (summary.count == 0)
+        return strprintf("  latency %s no samples\n", label);
+    return strprintf("  latency %s p50 %.0f p95 %.0f p99 %.0f "
+                     "p999 %.0f mean %.0f max %.0f cycles (n=%zu)\n",
+                     label, summary.p50, summary.p95, summary.p99,
+                     summary.p999, summary.mean, summary.max,
+                     summary.count);
+}
+
+} // namespace
+
+std::string
+FleetReport::describe() const
+{
+    std::string out;
+    out += strprintf("fleet completed %zu requests across %zu replicas "
+                     "in %llu cycles (%.1f req/s, %.2f active "
+                     "replicas avg)\n",
+                     completed.size(), replicas.size(),
+                     static_cast<unsigned long long>(totalCycles),
+                     throughputReqPerSec, meanActiveReplicas);
+    out += latencyLine("all  ", allLatency);
+    out += latencyLine("probe", probeLatency);
+    out += strprintf("  admitted %llu rejected %llu; autoscaler "
+                     "actions %zu\n",
+                     static_cast<unsigned long long>(admitted),
+                     static_cast<unsigned long long>(rejected),
+                     autoscalerActions.size());
+    for (const ReplicaReport &r : replicas) {
+        out += strprintf("  replica %u (%s): completed %zu "
+                         "(%zu probes), admitted %llu rejected %llu, "
+                         "kernels %llu, queue mean %.2f max %zu, "
+                         "active %llu cycles\n",
+                         r.replica, r.finalState.c_str(), r.completed,
+                         r.probeCompleted,
+                         static_cast<unsigned long long>(r.admitted),
+                         static_cast<unsigned long long>(r.rejected),
+                         static_cast<unsigned long long>(
+                             r.kernelsLaunched),
+                         r.meanQueueDepth, r.maxQueueDepth,
+                         static_cast<unsigned long long>(
+                             r.activeCycles));
+        out += latencyLine("  all  ", r.allLatency);
+    }
+    for (const AutoscalerAction &a : autoscalerActions) {
+        out += strprintf("  autoscale @%llu: %u -> %u replicas "
+                         "(mean depth %.2f)\n",
+                         static_cast<unsigned long long>(a.cycle),
+                         a.fromReplicas, a.toReplicas,
+                         a.meanQueueDepth);
+    }
+    return out;
+}
+
+} // namespace rcoal::fleet

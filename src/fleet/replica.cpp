@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Replica implementation.
+ */
+
+#include "rcoal/fleet/replica.hpp"
+
+#include <algorithm>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::fleet {
+
+const char *
+replicaStateName(ReplicaState state)
+{
+    switch (state) {
+      case ReplicaState::Active:
+        return "active";
+      case ReplicaState::Draining:
+        return "draining";
+      case ReplicaState::Idle:
+        return "idle";
+    }
+    return "?";
+}
+
+Replica::Replica(unsigned index, const sim::GpuConfig &gpu,
+                 const serve::ServeConfig &serve,
+                 std::span<const std::uint8_t> key, bool active)
+    : idx(index),
+      lifecycle(active ? ReplicaState::Active : ReplicaState::Idle),
+      queue_(serve.queueCapacity),
+      batcher_(serve),
+      scheduler_(gpu, serve, key)
+{
+}
+
+void
+Replica::activate([[maybe_unused]] Cycle now)
+{
+    RCOAL_ASSERT(lifecycle != ReplicaState::Active,
+                 "replica %u activated twice", idx);
+    lifecycle = ReplicaState::Active;
+}
+
+void
+Replica::startDraining([[maybe_unused]] Cycle now)
+{
+    RCOAL_ASSERT(lifecycle == ReplicaState::Active,
+                 "replica %u drained while %s", idx,
+                 replicaStateName(lifecycle));
+    lifecycle = ReplicaState::Draining;
+}
+
+void
+Replica::setIdle([[maybe_unused]] Cycle now)
+{
+    RCOAL_ASSERT(lifecycle == ReplicaState::Draining,
+                 "replica %u idled while %s", idx,
+                 replicaStateName(lifecycle));
+    RCOAL_ASSERT(drained(), "replica %u idled with work pending", idx);
+    lifecycle = ReplicaState::Idle;
+}
+
+void
+Replica::recordOccupancy(Cycle cycles)
+{
+    depthSum += queue_.size() * cycles;
+    maxDepth = std::max(maxDepth, queue_.size());
+    if (lifecycle == ReplicaState::Active)
+        activeCycleCount += cycles;
+}
+
+void
+Replica::observeCompletion(const serve::CompletedRequest &done)
+{
+    const auto latency = static_cast<double>(done.latencyCycles());
+    allLatency.observe(latency);
+    ++completedCount;
+    if (done.isProbe) {
+        probeLatency.observe(latency);
+        ++probeCompletedCount;
+    }
+}
+
+ReplicaReport
+Replica::report(Cycle total_cycles) const
+{
+    ReplicaReport out;
+    out.replica = idx;
+    out.finalState = replicaStateName(lifecycle);
+    out.completed = completedCount;
+    out.probeCompleted = probeCompletedCount;
+    out.admitted = queue_.admitted();
+    out.rejected = queue_.rejected();
+    out.kernelsLaunched = scheduler_.kernelsLaunched();
+    out.allLatency = allLatency.summary();
+    out.probeLatency = probeLatency.summary();
+    out.maxQueueDepth = maxDepth;
+    out.activeCycles = activeCycleCount;
+    if (total_cycles > 0) {
+        out.meanQueueDepth = static_cast<double>(depthSum) /
+                             static_cast<double>(total_cycles);
+    }
+    return out;
+}
+
+} // namespace rcoal::fleet

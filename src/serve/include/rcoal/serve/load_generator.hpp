@@ -26,6 +26,26 @@
 
 namespace rcoal::serve {
 
+namespace detail {
+
+/**
+ * Exponential interarrival gap (whole cycles, at least 1) for uniform
+ * draw @p u in [0, 1) and mean @p mean_gap > 0.
+ *
+ * Hardened against edge draws: @p u is clamped below 1 so log1p(-u)
+ * never reaches -inf (uniform01() cannot produce 1.0 today, but the
+ * gap must stay finite even if a future generator or a caller-supplied
+ * draw can), and the result is capped at kMaxGapCycles so the
+ * double-to-Cycle conversion is always in range. The returned gap is
+ * asserted finite.
+ */
+Cycle exponentialGap(double u, double mean_gap);
+
+/** Largest gap exponentialGap() returns (keeps the cast in range). */
+inline constexpr Cycle kMaxGapCycles = Cycle{1} << 62;
+
+} // namespace detail
+
 /**
  * Open-loop (arrival-rate driven) background traffic.
  */
@@ -45,7 +65,13 @@ class OpenLoopGenerator
                       std::vector<unsigned> line_choices,
                       std::uint64_t seed, std::uint64_t first_id);
 
-    /** Append every request arriving at exactly cycle @p now. */
+    /**
+     * Append every request with a scheduled arrival at or before cycle
+     * @p now. Each request is stamped with its *scheduled* arrival
+     * cycle, not the poll cycle: a caller polling coarsely (or resuming
+     * after a skipped window) must observe exactly the timestamps a
+     * per-cycle poller would, or queueing latency is under-counted.
+     */
     void poll(Cycle now, std::vector<Request> &out);
 
     /**
@@ -94,7 +120,11 @@ class ClosedLoopGenerator
                         unsigned lines, std::uint64_t seed,
                         std::uint64_t first_id, bool probes);
 
-    /** Append every request due at cycle @p now. */
+    /**
+     * Append every request due at or before cycle @p now, each stamped
+     * with the client's scheduled submission cycle (nextSubmitAt), not
+     * the poll cycle — see OpenLoopGenerator::poll.
+     */
     void poll(Cycle now, std::vector<Request> &out);
 
     /**

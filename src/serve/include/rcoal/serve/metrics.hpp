@@ -25,6 +25,7 @@ struct LatencySummary
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0; ///< Fleet SLOs are written against p999.
     double mean = 0.0;
     double max = 0.0;
 

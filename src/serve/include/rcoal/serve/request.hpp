@@ -25,6 +25,13 @@ struct Request
     bool isProbe = false; ///< Attacker probe vs. background tenant.
     int clientId = -1;    ///< Closed-loop client index; -1 = open loop.
 
+    /**
+     * Tenant identity for multi-tenant load and affinity routing
+     * (rcoal::fleet hashes it to pick a replica). 0 for single-tenant
+     * traffic and for attacker probes.
+     */
+    std::uint64_t tenant = 0;
+
     unsigned lines() const
     {
         return static_cast<unsigned>(plaintext.size());
@@ -37,6 +44,7 @@ struct CompletedRequest
     std::uint64_t id = 0;
     bool isProbe = false;
     int clientId = -1;
+    std::uint64_t tenant = 0; ///< Copied from the request (see above).
     unsigned lines = 0;
 
     Cycle arrival = 0;   ///< Admission into the queue.

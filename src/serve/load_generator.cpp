@@ -13,18 +13,45 @@
 
 namespace rcoal::serve {
 
+namespace detail {
+
+Cycle
+exponentialGap(double u, double mean_gap)
+{
+    RCOAL_ASSERT(mean_gap > 0.0 && std::isfinite(mean_gap),
+                 "exponential gap needs a positive finite mean, got %f",
+                 mean_gap);
+    RCOAL_ASSERT(u >= 0.0, "uniform draw %f below 0", u);
+    // uniform01() yields [0, 1) with 2^-53 granularity, so its largest
+    // draw is exactly 1 - 2^-53 — for which the clamp is a no-op and
+    // sequences are unchanged. The clamp only bites for draws at or
+    // beyond 1, where log1p(-u) would be -inf (or NaN past 1).
+    constexpr double kMaxU = 1.0 - 0x1p-53;
+    u = std::min(u, kMaxU);
+    const double gap = -mean_gap * std::log1p(-u);
+    RCOAL_ASSERT(std::isfinite(gap),
+                 "exponential gap is not finite (u=%f mean=%f)", u,
+                 mean_gap);
+    const double rounded = std::max(1.0, std::floor(gap + 0.5));
+    // Cap before converting: a double beyond the Cycle range would make
+    // the cast undefined (an absurd mean times the tail draw's ~36.7
+    // factor can exceed 2^63).
+    if (rounded >= static_cast<double>(kMaxGapCycles))
+        return kMaxGapCycles;
+    return static_cast<Cycle>(rounded);
+}
+
+} // namespace detail
+
 namespace {
 
 /**
- * Exponential interarrival gap (whole cycles, at least 1) from the
- * first uniform draw of @p rng.
+ * Exponential interarrival gap from the first uniform draw of @p rng.
  */
 Cycle
 exponentialGap(Rng &rng, double mean_gap)
 {
-    const double u = rng.uniform01();
-    const double gap = -mean_gap * std::log1p(-u);
-    return static_cast<Cycle>(std::max(1.0, std::floor(gap + 0.5)));
+    return detail::exponentialGap(rng.uniform01(), mean_gap);
 }
 
 } // namespace
@@ -64,7 +91,11 @@ OpenLoopGenerator::poll(Cycle now, std::vector<Request> &out)
 
         Request request;
         request.id = nextId++;
-        request.arrival = now;
+        // The *scheduled* arrival, not the poll cycle: an arrival that
+        // falls between polls (or inside a skipped window) must not
+        // inherit the later poll timestamp, or every queueing-latency
+        // number downstream is under-counted by the poll interval.
+        request.arrival = nextArrival;
         request.plaintext = workloads::randomPlaintext(lines, rng);
         request.isProbe = false;
         request.clientId = -1;
@@ -115,7 +146,9 @@ ClosedLoopGenerator::poll(Cycle now, std::vector<Request> &out)
             continue;
 
         Request request;
-        request.arrival = now;
+        // Same contract as the open-loop generator: the client submits
+        // at its scheduled cycle, regardless of when the caller polls.
+        request.arrival = client.nextSubmitAt;
         request.isProbe = probeRequests;
         request.clientId = static_cast<int>(c);
         if (!client.retryPlaintext.empty()) {

@@ -87,11 +87,13 @@ StreamingLatency::summary() const
         out.p50 = percentile(sorted, 50.0);
         out.p95 = percentile(sorted, 95.0);
         out.p99 = percentile(sorted, 99.0);
+        out.p999 = percentile(sorted, 99.9);
         return out;
     }
     out.p50 = hist.quantile(0.50);
     out.p95 = hist.quantile(0.95);
     out.p99 = hist.quantile(0.99);
+    out.p999 = hist.quantile(0.999);
     return out;
 }
 
@@ -104,9 +106,10 @@ latencyLine(const char *label, const LatencySummary &summary)
     if (summary.count == 0)
         return strprintf("  latency %s no samples\n", label);
     return strprintf("  latency %s p50 %.0f p95 %.0f p99 %.0f "
-                     "mean %.0f max %.0f cycles (n=%zu)\n",
+                     "p999 %.0f mean %.0f max %.0f cycles (n=%zu)\n",
                      label, summary.p50, summary.p95, summary.p99,
-                     summary.mean, summary.max, summary.count);
+                     summary.p999, summary.mean, summary.max,
+                     summary.count);
 }
 
 } // namespace

@@ -155,6 +155,7 @@ KernelScheduler::collectCompleted(Cycle now)
             done.id = request.id;
             done.isProbe = request.isProbe;
             done.clientId = request.clientId;
+            done.tenant = request.tenant;
             done.lines = request.lines();
             done.arrival = request.arrival;
             done.launched = it->launchedAt;

@@ -206,7 +206,7 @@ EncryptionServer::run(const WorkloadSpec &spec,
         probes.poll(now, arrivals);
         background.poll(now, arrivals);
         for (Request &request : arrivals) {
-            const bool is_probe = request.isProbe;
+            [[maybe_unused]] const bool is_probe = request.isProbe;
             const int client = request.clientId;
             [[maybe_unused]] const std::uint64_t rid = request.id;
             [[maybe_unused]] const unsigned req_lines = request.lines();
@@ -217,8 +217,12 @@ EncryptionServer::run(const WorkloadSpec &spec,
             }
             RCOAL_TRACE(serve_sink, ServeReject, now, rid, req_lines,
                         is_probe ? 1 : 0);
-            // tryPush leaves a rejected request intact.
-            if (is_probe)
+            // tryPush leaves a rejected request intact. Every rejected
+            // closed-loop client must be notified or it stays `waiting`
+            // forever (stuck-client livelock) — key off clientId, not
+            // isProbe, so the invariant holds for any future closed-loop
+            // traffic, not just the attacker.
+            if (client >= 0)
                 probes.onRejection(client, std::move(request), now);
         }
 

@@ -576,6 +576,56 @@ GpuMachine::nextEventCycle() const
     return bound;
 }
 
+namespace {
+
+/**
+ * Replay of tick()'s clock-domain arithmetic: advance core cycles from
+ * (@p now, @p mem, @p accum) toward @p target, stopping before the
+ * first core cycle whose memory-clock crossing reaches @p mem_target.
+ * Pure; both skipTo() and its const skipStopCycle() preview use it so
+ * the two can never disagree on where a skip stops.
+ */
+struct ClockDomainSkip
+{
+    Cycle now;
+    Cycle mem;
+    double accum;
+};
+
+ClockDomainSkip
+replaySkip(const GpuConfig &cfg, Cycle target, Cycle mem_target,
+           Cycle now, Cycle mem, double accum)
+{
+    ClockDomainSkip state{now, mem, accum};
+    while (state.now + 1 < target) {
+        double acc = state.accum + cfg.memClockMhz;
+        Cycle mc = state.mem;
+        while (acc >= cfg.coreClockMhz) {
+            acc -= cfg.coreClockMhz;
+            ++mc;
+        }
+        if (mc >= mem_target)
+            break; // This core cycle must really tick the DRAMs.
+        ++state.now;
+        state.mem = mc;
+        state.accum = acc;
+    }
+    return state;
+}
+
+} // namespace
+
+Cycle
+GpuMachine::skipStopCycle(Cycle target) const
+{
+    Cycle mem_target = kInvalidCycle;
+    for (const auto &dram : drams)
+        mem_target = std::min(mem_target, dram->nextEventCycle(memCycle));
+    return replaySkip(cfg, target, mem_target, nowCycle, memCycle,
+                      memAccum)
+        .now;
+}
+
 Cycle
 GpuMachine::skipTo(Cycle target)
 {
@@ -589,22 +639,11 @@ GpuMachine::skipTo(Cycle target)
     for (const auto &dram : drams)
         mem_target = std::min(mem_target, dram->nextEventCycle(memCycle));
 
-    Cycle new_now = nowCycle;
-    Cycle new_mem = memCycle;
-    double new_accum = memAccum;
-    while (new_now + 1 < target) {
-        double acc = new_accum + cfg.memClockMhz;
-        Cycle mc = new_mem;
-        while (acc >= cfg.coreClockMhz) {
-            acc -= cfg.coreClockMhz;
-            ++mc;
-        }
-        if (mc >= mem_target)
-            break; // This core cycle must really tick the DRAMs.
-        ++new_now;
-        new_mem = mc;
-        new_accum = acc;
-    }
+    const ClockDomainSkip state = replaySkip(
+        cfg, target, mem_target, nowCycle, memCycle, memAccum);
+    const Cycle new_now = state.now;
+    const Cycle new_mem = state.mem;
+    const double new_accum = state.accum;
 
     const Cycle skipped = new_now - nowCycle;
     if (skipped == 0)

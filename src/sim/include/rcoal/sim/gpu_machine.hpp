@@ -132,6 +132,16 @@ class GpuMachine
      */
     Cycle skipTo(Cycle target);
 
+    /**
+     * The core cycle skipTo(@p target) would stop at — its memory-clock
+     * cutoff applied — without mutating any state. A caller driving
+     * several machines on one clock (rcoal::fleet) queries every
+     * machine, takes the minimum, and then skips them all to exactly
+     * that common cycle, so no machine ever runs ahead of the shared
+     * clock. Returns now() when no cycle can be skipped.
+     */
+    Cycle skipStopCycle(Cycle target) const;
+
     /** True when cycle skipping resolved on for this machine. */
     bool cycleSkippingEnabled() const { return skipEnabled; }
 

@@ -25,6 +25,8 @@
 #define RCOAL_TELEMETRY_LEAKAGE_AUDITOR_HPP
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "rcoal/telemetry/registry.hpp"
 
@@ -78,6 +80,50 @@ class LeakageAuditor
     Gauge &correlationGauge;
     Gauge &alertGauge;
     Gauge &thresholdGauge;
+};
+
+/**
+ * Leakage auditing for a replicated deployment: one LeakageAuditor per
+ * replica (labelled replica="<i>") plus a fleet-wide aggregate
+ * (replica="fleet") that sees every observation.
+ *
+ * The split matters for the attack surface: an attacker pinned to one
+ * replica concentrates signal where that replica's auditor watches,
+ * while spraying probes across the fleet dilutes each per-replica
+ * series — but the aggregate still accumulates the full sample. A
+ * deployment alerts on either.
+ */
+class FleetLeakageAuditor
+{
+  public:
+    FleetLeakageAuditor(MetricRegistry &registry,
+                        const LeakageAuditor::Config &config,
+                        unsigned num_replicas);
+
+    /** Feed one completed probe served by @p replica. */
+    void observe(unsigned replica, double predicted_accesses,
+                 double measured_time);
+
+    /** Per-replica streaming correlation. */
+    double correlation(unsigned replica) const;
+
+    /** Correlation over every observation fleet-wide. */
+    double fleetCorrelation() const { return aggregate.correlation(); }
+
+    /** True when any per-replica or the aggregate auditor alerts. */
+    bool alerting() const;
+
+    std::size_t samples(unsigned replica) const;
+    std::size_t fleetSamples() const { return aggregate.samples(); }
+    unsigned replicas() const
+    {
+        return static_cast<unsigned>(perReplica.size());
+    }
+
+  private:
+    /** Auditors are not movable (reference members); box them. */
+    std::vector<std::unique_ptr<LeakageAuditor>> perReplica;
+    LeakageAuditor aggregate;
 };
 
 } // namespace rcoal::telemetry

@@ -6,6 +6,7 @@
 #include "rcoal/telemetry/leakage_auditor.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "rcoal/common/logging.hpp"
 
@@ -89,6 +90,60 @@ LeakageAuditor::publish()
 {
     correlationGauge.set(correlation());
     alertGauge.set(alertState ? 1.0 : 0.0);
+}
+
+FleetLeakageAuditor::FleetLeakageAuditor(
+    MetricRegistry &registry, const LeakageAuditor::Config &config,
+    unsigned num_replicas)
+    : aggregate(registry, config, {{"replica", "fleet"}})
+{
+    RCOAL_ASSERT(num_replicas > 0,
+                 "fleet auditor needs at least one replica");
+    perReplica.reserve(num_replicas);
+    for (unsigned r = 0; r < num_replicas; ++r) {
+        perReplica.push_back(std::make_unique<LeakageAuditor>(
+            registry, config,
+            MetricRegistry::Labels{{"replica", std::to_string(r)}}));
+    }
+}
+
+void
+FleetLeakageAuditor::observe(unsigned replica,
+                             double predicted_accesses,
+                             double measured_time)
+{
+    RCOAL_ASSERT(replica < perReplica.size(),
+                 "observation for unknown replica %u", replica);
+    perReplica[replica]->observe(predicted_accesses, measured_time);
+    aggregate.observe(predicted_accesses, measured_time);
+}
+
+double
+FleetLeakageAuditor::correlation(unsigned replica) const
+{
+    RCOAL_ASSERT(replica < perReplica.size(),
+                 "correlation for unknown replica %u", replica);
+    return perReplica[replica]->correlation();
+}
+
+bool
+FleetLeakageAuditor::alerting() const
+{
+    if (aggregate.alerting())
+        return true;
+    for (const auto &auditor : perReplica) {
+        if (auditor->alerting())
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+FleetLeakageAuditor::samples(unsigned replica) const
+{
+    RCOAL_ASSERT(replica < perReplica.size(),
+                 "samples for unknown replica %u", replica);
+    return perReplica[replica]->samples();
 }
 
 } // namespace rcoal::telemetry

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * QueueDepthAutoscaler: registry-driven decisions, hysteresis band,
+ * cooldown and the action log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rcoal/fleet/autoscaler.hpp"
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::fleet {
+namespace {
+
+constexpr unsigned kPool = 3;
+
+class FleetAutoscalerTest : public ::testing::Test
+{
+  protected:
+    FleetAutoscalerTest()
+    {
+        cfg.enabled = true;
+        cfg.evalIntervalCycles = 1000;
+        cfg.queueDepthSlo = 4.0;
+        cfg.scaleDownQueueDepth = 1.0;
+        cfg.cooldownCycles = 0;
+        cfg.minReplicas = 1;
+        for (unsigned r = 0; r < kPool; ++r) {
+            depth.push_back(&registry.gauge(
+                "rcoal_fleet_queue_depth", "pending requests",
+                {{"replica", std::to_string(r)}}));
+        }
+    }
+
+    void setDepths(std::initializer_list<double> values)
+    {
+        unsigned r = 0;
+        for (double v : values)
+            depth[r++]->set(v);
+    }
+
+    AutoscalerConfig cfg;
+    telemetry::MetricRegistry registry;
+    std::vector<telemetry::Gauge *> depth;
+};
+
+TEST_F(FleetAutoscalerTest, ScalesUpWhenMeanDepthExceedsSlo)
+{
+    QueueDepthAutoscaler scaler(cfg, registry, kPool);
+    EXPECT_EQ(scaler.nextEvalCycle(), Cycle{1000});
+    setDepths({6.0, 8.0, 0.0}); // Mean over 2 active = 7 > 4.
+    EXPECT_EQ(scaler.evaluate(1000, 2), 3u);
+    EXPECT_EQ(scaler.nextEvalCycle(), Cycle{2000});
+    ASSERT_EQ(scaler.actions().size(), 1u);
+    EXPECT_EQ(scaler.actions()[0].fromReplicas, 2u);
+    EXPECT_EQ(scaler.actions()[0].toReplicas, 3u);
+    EXPECT_DOUBLE_EQ(scaler.actions()[0].meanQueueDepth, 7.0);
+}
+
+TEST_F(FleetAutoscalerTest, ScaleUpIsCappedAtThePool)
+{
+    QueueDepthAutoscaler scaler(cfg, registry, kPool);
+    setDepths({9.0, 9.0, 9.0});
+    EXPECT_EQ(scaler.evaluate(1000, 3), 3u);
+    EXPECT_TRUE(scaler.actions().empty());
+}
+
+TEST_F(FleetAutoscalerTest, HoldsInsideTheHysteresisBand)
+{
+    QueueDepthAutoscaler scaler(cfg, registry, kPool);
+    setDepths({2.0, 3.0, 0.0}); // Mean 2.5 in [1, 4]: no action.
+    EXPECT_EQ(scaler.evaluate(1000, 2), 2u);
+    EXPECT_TRUE(scaler.actions().empty());
+}
+
+TEST_F(FleetAutoscalerTest, ScalesDownBelowTheLowerBoundToTheFloor)
+{
+    cfg.minReplicas = 2;
+    QueueDepthAutoscaler scaler(cfg, registry, kPool);
+    setDepths({0.0, 0.0, 0.0});
+    EXPECT_EQ(scaler.evaluate(1000, 3), 2u);
+    // Already at the floor: no further shrink, no action logged.
+    EXPECT_EQ(scaler.evaluate(2000, 2), 2u);
+    ASSERT_EQ(scaler.actions().size(), 1u);
+    EXPECT_EQ(scaler.actions()[0].toReplicas, 2u);
+}
+
+TEST_F(FleetAutoscalerTest, CooldownSuppressesBackToBackActions)
+{
+    cfg.cooldownCycles = 2500;
+    QueueDepthAutoscaler scaler(cfg, registry, kPool);
+    setDepths({9.0, 0.0, 0.0});
+    EXPECT_EQ(scaler.evaluate(1000, 1), 2u); // First action is free.
+    setDepths({9.0, 9.0, 0.0});
+    EXPECT_EQ(scaler.evaluate(2000, 2), 2u); // 1000 < 2500: held.
+    EXPECT_EQ(scaler.evaluate(3000, 2), 2u); // 2000 < 2500: held.
+    EXPECT_EQ(scaler.evaluate(4000, 2), 3u); // 3000 >= 2500: acts.
+    EXPECT_EQ(scaler.actions().size(), 2u);
+}
+
+TEST_F(FleetAutoscalerTest, SloIsReadBackFromTheRegistry)
+{
+    QueueDepthAutoscaler scaler(cfg, registry, kPool);
+    EXPECT_DOUBLE_EQ(
+        registry.readValue("rcoal_fleet_autoscaler_depth_slo"), 4.0);
+    setDepths({3.0, 3.0, 0.0}); // Mean 3 < 4: hold...
+    EXPECT_EQ(scaler.evaluate(1000, 2), 2u);
+    // ...but an operator retuning the SLO gauge changes the decision.
+    registry
+        .gauge("rcoal_fleet_autoscaler_depth_slo",
+               "Mean queue depth per active replica the fleet scales to")
+        .set(2.0);
+    EXPECT_EQ(scaler.evaluate(2000, 2), 3u);
+}
+
+TEST_F(FleetAutoscalerTest, PublishesDesiredReplicasGauge)
+{
+    QueueDepthAutoscaler scaler(cfg, registry, kPool);
+    setDepths({9.0, 0.0, 0.0});
+    (void)scaler.evaluate(1000, 1);
+    EXPECT_DOUBLE_EQ(
+        registry.readValue("rcoal_fleet_autoscaler_desired_replicas"),
+        2.0);
+}
+
+} // namespace
+} // namespace rcoal::fleet

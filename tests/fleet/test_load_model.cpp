@@ -1,0 +1,174 @@
+/**
+ * @file
+ * TenantLoadModel: poll-interval invariance (the scheduled-arrival
+ * stamping contract), rate skew, burst/diurnal shaping and id spaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "rcoal/fleet/load_model.hpp"
+
+namespace rcoal::fleet {
+namespace {
+
+TenantLoadConfig
+smallTenants()
+{
+    TenantLoadConfig cfg;
+    cfg.tenants = 3;
+    cfg.baseMeanGapCycles = 500.0;
+    cfg.zipfExponent = 1.0;
+    cfg.lineChoices = {32, 64};
+    cfg.seed = 2718;
+    return cfg;
+}
+
+std::vector<serve::Request>
+drainWithPoll(const TenantLoadConfig &cfg, Cycle horizon, Cycle interval)
+{
+    TenantLoadModel model(cfg);
+    std::vector<serve::Request> out;
+    for (Cycle now = 0; now <= horizon; now += interval)
+        model.poll(now, out);
+    model.poll(horizon, out); // Final poll: intervals need not divide.
+    return out;
+}
+
+TEST(FleetLoadModelTest, ArrivalStampsArePollIntervalInvariant)
+{
+    const TenantLoadConfig cfg = smallTenants();
+    const Cycle horizon = 60'000;
+    const auto fine = drainWithPoll(cfg, horizon, 1);
+    const auto coarse = drainWithPoll(cfg, horizon, 977);
+
+    ASSERT_FALSE(fine.empty());
+    ASSERT_EQ(fine.size(), coarse.size());
+    for (std::size_t i = 0; i < fine.size(); ++i) {
+        EXPECT_EQ(fine[i].id, coarse[i].id) << "request " << i;
+        EXPECT_EQ(fine[i].arrival, coarse[i].arrival)
+            << "request " << i
+            << ": arrival must be the scheduled cycle, not the poll "
+               "cycle";
+        EXPECT_EQ(fine[i].tenant, coarse[i].tenant) << "request " << i;
+        EXPECT_EQ(fine[i].plaintext, coarse[i].plaintext)
+            << "request " << i;
+    }
+}
+
+TEST(FleetLoadModelTest, NextEventCycleDoesNotPerturbArrivals)
+{
+    const TenantLoadConfig cfg = smallTenants();
+    TenantLoadModel probed(cfg);
+    // Consulting the bound repeatedly must not change what poll emits.
+    for (int i = 0; i < 5; ++i)
+        (void)probed.nextEventCycle();
+    std::vector<serve::Request> with_probe;
+    probed.poll(20'000, with_probe);
+
+    TenantLoadModel plain(cfg);
+    std::vector<serve::Request> without_probe;
+    plain.poll(20'000, without_probe);
+
+    ASSERT_EQ(with_probe.size(), without_probe.size());
+    for (std::size_t i = 0; i < with_probe.size(); ++i) {
+        EXPECT_EQ(with_probe[i].id, without_probe[i].id);
+        EXPECT_EQ(with_probe[i].arrival, without_probe[i].arrival);
+    }
+    const Cycle bound = plain.nextEventCycle();
+    EXPECT_GT(bound, Cycle{20'000});
+}
+
+TEST(FleetLoadModelTest, ZipfSkewsPerTenantRates)
+{
+    TenantLoadConfig cfg = smallTenants();
+    cfg.zipfExponent = 1.0;
+    const TenantLoadModel model(cfg);
+    EXPECT_DOUBLE_EQ(model.meanGapOfRank(0), 500.0);
+    EXPECT_DOUBLE_EQ(model.meanGapOfRank(1), 1000.0);
+    EXPECT_DOUBLE_EQ(model.meanGapOfRank(2), 1500.0);
+
+    // The heaviest tenant should dominate emitted traffic.
+    std::map<std::uint64_t, std::size_t> per_tenant;
+    const auto requests = drainWithPoll(cfg, 200'000, 1);
+    for (const auto &r : requests)
+        ++per_tenant[r.tenant];
+    EXPECT_GT(per_tenant[1], per_tenant[2]);
+    EXPECT_GT(per_tenant[2], per_tenant[3]);
+}
+
+TEST(FleetLoadModelTest, IdSpacesNeverCollideAcrossTenants)
+{
+    TenantLoadConfig cfg = smallTenants();
+    cfg.firstId = 1000;
+    cfg.idStride = 1'000'000;
+    const auto requests = drainWithPoll(cfg, 100'000, 1);
+    ASSERT_FALSE(requests.empty());
+    for (const auto &r : requests) {
+        ASSERT_GE(r.tenant, 1u);
+        const std::uint64_t base =
+            cfg.firstId + (r.tenant - 1) * cfg.idStride;
+        EXPECT_GE(r.id, base);
+        EXPECT_LT(r.id, base + cfg.idStride);
+        EXPECT_FALSE(r.isProbe);
+        EXPECT_EQ(r.clientId, -1);
+    }
+}
+
+TEST(FleetLoadModelTest, BurstsIncreaseArrivalCount)
+{
+    TenantLoadConfig calm = smallTenants();
+    calm.tenants = 1;
+    TenantLoadConfig bursty = calm;
+    bursty.burstProbability = 0.5;
+    bursty.burstLength = 8;
+    bursty.burstRateFactor = 8.0;
+
+    const auto calm_reqs = drainWithPoll(calm, 300'000, 1);
+    const auto bursty_reqs = drainWithPoll(bursty, 300'000, 1);
+    EXPECT_GT(bursty_reqs.size(), calm_reqs.size() * 2);
+}
+
+TEST(FleetLoadModelTest, DiurnalWaveIsDeterministic)
+{
+    TenantLoadConfig cfg = smallTenants();
+    cfg.diurnalAmplitude = 0.6;
+    cfg.diurnalPeriodCycles = 50'000;
+    const auto a = drainWithPoll(cfg, 150'000, 1);
+    const auto b = drainWithPoll(cfg, 150'000, 613);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].arrival, b[i].arrival) << "request " << i;
+}
+
+TEST(FleetLoadModelTest, ZeroTenantsOffersNoLoad)
+{
+    TenantLoadConfig cfg;
+    cfg.tenants = 0;
+    cfg.validate();
+    TenantLoadModel model(cfg);
+    std::vector<serve::Request> out;
+    model.poll(1'000'000, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(model.nextEventCycle(), kInvalidCycle);
+}
+
+TEST(FleetLoadModelDeathTest, RejectsBadAmplitude)
+{
+    TenantLoadConfig cfg = smallTenants();
+    cfg.diurnalAmplitude = 1.0;
+    EXPECT_DEATH(cfg.validate(), "diurnalAmplitude");
+}
+
+TEST(FleetLoadModelDeathTest, RejectsNonPositiveGap)
+{
+    TenantLoadConfig cfg = smallTenants();
+    cfg.baseMeanGapCycles = 0.0;
+    EXPECT_DEATH(cfg.validate(), "baseMeanGapCycles");
+}
+
+} // namespace
+} // namespace rcoal::fleet

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "rcoal/common/rng.hpp"
 #include "rcoal/serve/load_generator.hpp"
+#include "rcoal/serve/metrics.hpp"
 #include "rcoal/workloads/aes_kernel.hpp"
 
 namespace rcoal::serve {
@@ -127,6 +130,125 @@ TEST(LoadGenerator, ClosedLoopRetryReusesIdAndPlaintext)
     EXPECT_EQ(out[0].id, original_id);
     EXPECT_EQ(out[0].plaintext, original_plaintext);
     EXPECT_EQ(generator.issued(), 1u); // Retries are not re-counted.
+}
+
+TEST(LoadGenerator, OpenLoopArrivalStampIsPollIntervalInvariant)
+{
+    // Regression: poll() used to stamp request.arrival with the *poll*
+    // cycle, so every arrival falling between polls (or inside a
+    // skipped window) inherited a later timestamp and queueing latency
+    // was under-counted — the same poll-interval-dependence family as
+    // the scheduler's collectCompleted completion-stamp fix.
+    const std::vector<unsigned> sizes = {32, 64};
+    // 64'000 is divisible by every poll interval below, so all runs
+    // observe exactly the same arrival horizon.
+    const Cycle horizon = 64'000;
+    auto drain_with_poll = [&](Cycle interval) {
+        OpenLoopGenerator generator(400.0, sizes, 11, 0);
+        std::vector<Request> out;
+        for (Cycle now = 0; now <= horizon; now += interval)
+            generator.poll(now, out);
+        return out;
+    };
+
+    const auto fine = drain_with_poll(1);
+    ASSERT_GT(fine.size(), 50u);
+
+    // Latency summaries against a fixed completion schedule (the
+    // scheduler stamps true kernel-finish cycles, independent of
+    // polling) must be identical no matter how coarsely arrivals were
+    // polled: the arrival stamp is the only poll-sensitive input left.
+    auto summarize = [&](const std::vector<Request> &requests) {
+        std::vector<double> latencies;
+        latencies.reserve(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const double completion =
+                static_cast<double>(fine[i].arrival) + 700.0;
+            latencies.push_back(
+                completion - static_cast<double>(requests[i].arrival));
+        }
+        return LatencySummary::of(latencies);
+    };
+    const LatencySummary reference = summarize(fine);
+
+    for (const Cycle interval : {Cycle{64}, Cycle{1000}}) {
+        const auto coarse = drain_with_poll(interval);
+        ASSERT_EQ(coarse.size(), fine.size()) << "interval " << interval;
+        for (std::size_t i = 0; i < fine.size(); ++i) {
+            EXPECT_EQ(coarse[i].id, fine[i].id);
+            EXPECT_EQ(coarse[i].arrival, fine[i].arrival)
+                << "request " << i << " at poll interval " << interval;
+            EXPECT_EQ(coarse[i].plaintext, fine[i].plaintext);
+        }
+        const LatencySummary summary = summarize(coarse);
+        EXPECT_EQ(summary.count, reference.count);
+        EXPECT_EQ(summary.p50, reference.p50);
+        EXPECT_EQ(summary.p95, reference.p95);
+        EXPECT_EQ(summary.p99, reference.p99);
+        EXPECT_EQ(summary.p999, reference.p999);
+        EXPECT_EQ(summary.mean, reference.mean);
+        EXPECT_EQ(summary.max, reference.max);
+    }
+}
+
+TEST(LoadGenerator, ClosedLoopArrivalStampIsScheduledSubmitCycle)
+{
+    // The closed-loop twin of the open-loop stamp fix: a client's
+    // request arrives at its scheduled submission cycle, not at
+    // whatever later cycle the frontend happened to poll.
+    ClosedLoopGenerator generator(1, 100, 32, 5, 0, true);
+    std::vector<Request> out;
+
+    // First submission scheduled at 0, first polled at 37.
+    generator.poll(37, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].arrival, 0u);
+
+    // Completion at 500 schedules the next submission at 600; the poll
+    // lands late at 640 but the stamp must still read 600.
+    generator.onCompletion(0, 500);
+    out.clear();
+    generator.poll(640, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].arrival, 600u);
+
+    // Rejection at 700 schedules the retry at 800; polled at 1000.
+    generator.onRejection(0, std::move(out[0]), 700);
+    out.clear();
+    generator.poll(1000, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].arrival, 800u);
+}
+
+TEST(LoadGenerator, ExponentialGapEdgeDrawsStayFinite)
+{
+    // u = 0 is the smallest draw: a zero gap rounds up to the 1-cycle
+    // minimum.
+    EXPECT_EQ(detail::exponentialGap(0.0, 1000.0), 1u);
+
+    // The largest draw uniform01() can produce is exactly 1 - 2^-53;
+    // the gap is the distribution's deep tail but finite:
+    // -1000 * log(2^-53) = 1000 * 53 * ln 2 ~= 36'736 cycles.
+    const double max_u = 1.0 - 0x1p-53;
+    const Cycle tail = detail::exponentialGap(max_u, 1000.0);
+    EXPECT_GT(tail, 36'000u);
+    EXPECT_LT(tail, 38'000u);
+
+    // Draws at (or beyond) 1 would drive log1p(-u) to -inf; they are
+    // clamped to the largest representable draw instead of producing a
+    // non-finite gap.
+    EXPECT_EQ(detail::exponentialGap(1.0, 1000.0), tail);
+    EXPECT_EQ(detail::exponentialGap(std::nextafter(1.0, 2.0), 1000.0),
+              tail);
+
+    // An absurd mean times the ~36.7x tail factor exceeds the Cycle
+    // range; the result is capped so the double-to-integer conversion
+    // is never undefined.
+    EXPECT_EQ(detail::exponentialGap(max_u, 1e18),
+              detail::kMaxGapCycles);
+
+    // Tiny draws against a sub-cycle mean still advance time.
+    EXPECT_GE(detail::exponentialGap(1e-12, 0.001), 1u);
 }
 
 TEST(LoadGenerator, ClosedLoopPlaintextMatchesStreamDerivation)

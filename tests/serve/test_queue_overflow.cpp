@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Admission-overflow behaviour: rejected requests are counted in both
+ * the serve report and the telemetry registry, a rejected closed-loop
+ * client retries instead of waiting forever, and a workload that truly
+ * cannot finish dies on the livelock backstop instead of spinning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/serve/server.hpp"
+#include "rcoal/telemetry/registry.hpp"
+#include "rcoal/telemetry/sampler.hpp"
+
+namespace rcoal::serve {
+namespace {
+
+const std::array<std::uint8_t, 16> kKey = {
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+    0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+
+sim::GpuConfig
+smallGpu()
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.numSms = 4;
+    cfg.seed = 42;
+    return cfg;
+}
+
+/** A one-slot queue in front of a single gang: overload on purpose. */
+ServeConfig
+tinyQueueServe()
+{
+    ServeConfig cfg;
+    cfg.queueCapacity = 1;
+    cfg.maxBatchRequests = 1;
+    cfg.smsPerKernel = 4; // One gang: batches serialize.
+    return cfg;
+}
+
+/** Probe client plus aggressive background traffic. */
+WorkloadSpec
+overloadSpec(unsigned samples)
+{
+    WorkloadSpec spec;
+    spec.probeSamples = samples;
+    spec.probeLines = 32;
+    spec.probeSeed = 7;
+    spec.probeThinkCycles = 50;
+    spec.backgroundMeanGapCycles = 200.0;
+    spec.backgroundLineChoices = {32};
+    spec.backgroundSeed = 99;
+    return spec;
+}
+
+TEST(QueueOverflow, RejectionsAreCountedAndClientsRecover)
+{
+    // With a one-slot queue and background arrivals faster than the
+    // service rate, admission control must reject requests — including
+    // the closed-loop probe's. The run still finishing every probe
+    // sample is the recovery property: a rejected client is handed its
+    // request back and retries after a think time instead of staying
+    // `waiting` forever.
+    const WorkloadSpec spec = overloadSpec(12);
+    const EncryptionServer server(smallGpu(), tinyQueueServe(), kKey);
+    const ServeReport report = server.run(spec);
+
+    EXPECT_GT(report.rejected, 0u);
+    EXPECT_GE(report.admitted, report.completed.size());
+    unsigned probes = 0;
+    for (const auto &done : report.completed)
+        probes += done.isProbe ? 1 : 0;
+    EXPECT_EQ(probes, spec.probeSamples);
+}
+
+TEST(QueueOverflow, RejectionsReachTheTelemetryRegistry)
+{
+    const WorkloadSpec spec = overloadSpec(8);
+    const EncryptionServer server(smallGpu(), tinyQueueServe(), kKey);
+
+    telemetry::MetricRegistry registry;
+    telemetry::TelemetrySampler sampler(registry,
+                                        /*interval_cycles=*/1000);
+    ServeTelemetry telemetry;
+    telemetry.sampler = &sampler;
+    const ServeReport report =
+        server.run(spec, /*tracer=*/nullptr, &telemetry);
+
+    EXPECT_GT(report.rejected, 0u);
+    EXPECT_EQ(registry.readValue("rcoal_serve_rejected_total"),
+              static_cast<double>(report.rejected));
+    EXPECT_EQ(registry.readValue("rcoal_serve_admitted_total"),
+              static_cast<double>(report.admitted));
+}
+
+TEST(QueueOverflow, OverflowBehaviourIsCycleSkippingInvariant)
+{
+    // The retry path must not depend on how time advances: the same
+    // overloaded scenario with skipping disabled produces the same
+    // admission statistics and completion schedule.
+    const WorkloadSpec spec = overloadSpec(8);
+    const ServeConfig serve = tinyQueueServe();
+
+    sim::GpuConfig skipping = smallGpu();
+    sim::GpuConfig stepping = smallGpu();
+    stepping.cycleSkipping = false;
+
+    const ServeReport a =
+        EncryptionServer(skipping, serve, kKey).run(spec);
+    const ServeReport b =
+        EncryptionServer(stepping, serve, kKey).run(spec);
+
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.admitted, b.admitted);
+    EXPECT_EQ(a.rejected, b.rejected);
+    ASSERT_EQ(a.completed.size(), b.completed.size());
+    for (std::size_t i = 0; i < a.completed.size(); ++i) {
+        EXPECT_EQ(a.completed[i].id, b.completed[i].id);
+        EXPECT_EQ(a.completed[i].arrival, b.completed[i].arrival);
+        EXPECT_EQ(a.completed[i].completed, b.completed[i].completed);
+    }
+}
+
+TEST(QueueOverflowDeathTest, ImpossibleWorkloadDiesOnLivelockBackstop)
+{
+    // A workload that cannot finish before maxSimCycles must hit the
+    // fatal backstop — never spin silently. This is the "death" half of
+    // the death-or-recovery contract for queue-full serving.
+    WorkloadSpec spec = overloadSpec(8);
+    spec.probeThinkCycles = 100'000; // Far beyond the wall below.
+    ServeConfig serve = tinyQueueServe();
+    serve.maxSimCycles = 50'000;
+    const EncryptionServer server(smallGpu(), serve, kKey);
+    EXPECT_DEATH((void)server.run(spec), "livelocked");
+}
+
+} // namespace
+} // namespace rcoal::serve
