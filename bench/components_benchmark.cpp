@@ -15,6 +15,7 @@
 #include "rcoal/attack/correlation_attack.hpp"
 #include "rcoal/core/coalescer.hpp"
 #include "rcoal/core/partitioner.hpp"
+#include "rcoal/mem/sectored_cache.hpp"
 #include "rcoal/sim/dram.hpp"
 #include "rcoal/sim/gpu.hpp"
 #include "rcoal/sim/gpu_machine.hpp"
@@ -218,6 +219,41 @@ BM_MachineDramSaturated(benchmark::State &state)
     runSaturatedMachineBench(state, cfg);
 }
 BENCHMARK(BM_MachineDramSaturated)->Arg(0)->Arg(1);
+
+/**
+ * Raw tag-array throughput of the sectored cache on a mixed
+ * hit/sector-miss/line-miss stream. This is the structure whose inline
+ * age-counter LRU replaced the per-set std::list (which allocated on
+ * every fill); the machine-tick benchmarks below gate the end-to-end
+ * effect.
+ */
+void
+BM_SectoredCacheAccessFill(benchmark::State &state)
+{
+    mem::SectoredCache cache(sim::CacheGeometry{});
+    Rng rng(13);
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.below(4096) * 32;
+        if (cache.access(addr, 32) != mem::AccessOutcome::Hit)
+            cache.fill(addr, 32);
+        ++ops;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_SectoredCacheAccessFill);
+
+/** Caches + MSHRs on: the L1/L2 lookup path on every LD/ST drain. */
+void
+BM_MachineCacheSaturated(benchmark::State &state)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.l1Enabled = true;
+    cfg.l2Enabled = true;
+    cfg.mshrEnabled = true;
+    runSaturatedMachineBench(state, cfg);
+}
+BENCHMARK(BM_MachineCacheSaturated)->Arg(0)->Arg(1);
 
 void
 BM_AesKernelLaunch32Lines(benchmark::State &state)

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/mem/dram_backend.hpp"
 #include "rcoal/sim/config.hpp"
 
 namespace rcoal::bench {
@@ -36,7 +37,7 @@ printUsage(const std::string &driver, unsigned default_samples)
     std::printf("usage: %s [N | --samples N] [--seed S] [--threads T] "
                 "[--trace FILE] [--telemetry-out DIR]\n"
                 "       [--telemetry-interval N] "
-                "[--no-cycle-skipping]\n"
+                "[--no-cycle-skipping] [--dram-backend NAME]\n"
                 "  --samples N   sample count (default %u)\n"
                 "  --seed S      victim GPU seed (default 42)\n"
                 "  --threads T   engine worker count "
@@ -56,7 +57,12 @@ printUsage(const std::string &driver, unsigned default_samples)
                 "  --no-cycle-skipping\n"
                 "                force the legacy per-cycle simulation "
                 "loop (identical\n"
-                "                output, lower simulator throughput)\n",
+                "                output, lower simulator throughput)\n"
+                "  --dram-backend NAME\n"
+                "                DRAM personality: gddr5 (default), "
+                "gddr6 or hbm2;\n"
+                "                backend-sweep drivers treat it as a "
+                "filter\n",
                 driver.c_str(), default_samples);
     std::exit(0);
 }
@@ -119,6 +125,16 @@ parseBenchArgs(int argc, char **argv, unsigned default_samples)
             ++i;
         } else if (std::strcmp(arg, "--no-cycle-skipping") == 0) {
             sim::setCycleSkippingOverride(0);
+        } else if (std::strcmp(arg, "--dram-backend") == 0) {
+            sim::DramBackendKind kind;
+            if (value == nullptr ||
+                !mem::parseDramBackendKind(value, kind)) {
+                fatal("--dram-backend expects gddr5, gddr6 or hbm2 "
+                      "(got '%s')",
+                      value != nullptr ? value : "");
+            }
+            opts.dramBackend = value;
+            ++i;
         } else if (i == 1 && arg[0] != '-' && std::atoi(arg) > 0) {
             // Historical form: first positional argument = samples.
             opts.samples = static_cast<unsigned>(std::atoi(arg));

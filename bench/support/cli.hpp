@@ -25,6 +25,10 @@
  *                 GpuConfig::cycleSkipping process-wide; equivalent to
  *                 RCOAL_CYCLE_SKIPPING=0). Output is identical either
  *                 way — this only trades simulator throughput.
+ *   --dram-backend NAME
+ *                 DRAM device personality: gddr5 (default), gddr6 or
+ *                 hbm2 (see rcoal::mem::DramBackend). Drivers that
+ *                 sweep backends treat the flag as a filter.
  *   --help        usage
  *
  * Parsing also records the driver's name (basename of argv[0]) so the
@@ -50,6 +54,12 @@ struct CliOptions
     std::string tracePath; ///< --trace FILE; empty = no trace export.
     std::string telemetryDir; ///< --telemetry-out DIR; empty = off.
     std::uint64_t telemetryInterval = 5000; ///< --telemetry-interval.
+    /**
+     * --dram-backend NAME, validated at parse time; empty when the flag
+     * was not given (drivers fall back to the config default, and the
+     * backend-sweep drivers run every personality).
+     */
+    std::string dramBackend;
 };
 
 /**

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * DRAM backend personalities.
+ *
+ * The GDDR6/HBM2 timing sets are representative datasheet-class numbers
+ * expressed in command-clock cycles at the partition's memory clock —
+ * chosen to exercise the structural differences (long bank-group
+ * windows, pseudo-channels, bigger refresh) rather than to model one
+ * specific part. GDDR5 passes GpuConfig::timing through untouched so
+ * the default machine reproduces the paper's Table I model bit for bit.
+ */
+
+#include "rcoal/mem/dram_backend.hpp"
+
+#include <cstring>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::mem {
+
+BackendTiming
+Gddr5Backend::timing(const sim::GpuConfig &cfg) const
+{
+    BackendTiming t;
+    t.base = cfg.timing;
+    t.tCCDLong = cfg.timing.tCCD;
+    t.tRRDLong = cfg.timing.tRRD;
+    t.burstCycles = cfg.burstCycles;
+    t.bankGroups = cfg.bankGroups;
+    t.pseudoChannels = 1;
+    t.bankGroupAware = false;
+    return t;
+}
+
+BackendTiming
+Gddr6Backend::timing(const sim::GpuConfig &cfg) const
+{
+    BackendTiming t;
+    t.base.tCL = 16;
+    t.base.tRP = 14;
+    t.base.tRC = 48;
+    t.base.tRAS = 32;
+    t.base.tCCD = 2; // Short: different bank group.
+    t.base.tRCD = 14;
+    t.base.tRRD = 4; // Short: different bank group.
+    t.base.tREFI = 3900;
+    t.base.tRFC = 140;
+    t.tCCDLong = 4;
+    t.tRRDLong = 6;
+    t.burstCycles = 2;
+    t.bankGroups = cfg.bankGroups;
+    t.pseudoChannels = 1;
+    t.bankGroupAware = true;
+    return t;
+}
+
+BackendTiming
+Hbm2Backend::timing(const sim::GpuConfig &cfg) const
+{
+    BackendTiming t;
+    t.base.tCL = 14;
+    t.base.tRP = 14;
+    t.base.tRC = 45;
+    t.base.tRAS = 33;
+    t.base.tCCD = 2; // Short: different bank group.
+    t.base.tRCD = 14;
+    t.base.tRRD = 4; // Short: different bank group.
+    t.base.tREFI = 1950;
+    t.base.tRFC = 160; // Larger banks refresh longer.
+    t.tCCDLong = 3;
+    t.tRRDLong = 6;
+    t.burstCycles = 2;
+    t.bankGroups = cfg.bankGroups;
+    t.pseudoChannels = 2; // Legacy-mode pseudo-channel split.
+    t.bankGroupAware = true;
+    return t;
+}
+
+std::unique_ptr<DramBackend>
+makeDramBackend(sim::DramBackendKind kind)
+{
+    switch (kind) {
+      case sim::DramBackendKind::Gddr5:
+        return std::make_unique<Gddr5Backend>();
+      case sim::DramBackendKind::Gddr6:
+        return std::make_unique<Gddr6Backend>();
+      case sim::DramBackendKind::Hbm2:
+        return std::make_unique<Hbm2Backend>();
+    }
+    panic("unknown DramBackendKind %u", static_cast<unsigned>(kind));
+}
+
+const char *
+dramBackendKindName(sim::DramBackendKind kind)
+{
+    switch (kind) {
+      case sim::DramBackendKind::Gddr5:
+        return "gddr5";
+      case sim::DramBackendKind::Gddr6:
+        return "gddr6";
+      case sim::DramBackendKind::Hbm2:
+        return "hbm2";
+    }
+    return "unknown";
+}
+
+bool
+parseDramBackendKind(const char *text, sim::DramBackendKind &out)
+{
+    if (text == nullptr)
+        return false;
+    if (std::strcmp(text, "gddr5") == 0) {
+        out = sim::DramBackendKind::Gddr5;
+        return true;
+    }
+    if (std::strcmp(text, "gddr6") == 0) {
+        out = sim::DramBackendKind::Gddr6;
+        return true;
+    }
+    if (std::strcmp(text, "hbm2") == 0) {
+        out = sim::DramBackendKind::Hbm2;
+        return true;
+    }
+    return false;
+}
+
+trace::DramProtocolChecker::Params
+checkerParamsFor(const sim::GpuConfig &cfg)
+{
+    const auto backend = makeDramBackend(cfg.dramBackend);
+    const BackendTiming t = backend->timing(cfg);
+    trace::DramProtocolChecker::Params params;
+    params.banks = cfg.banksPerPartition;
+    params.tCL = t.base.tCL;
+    params.tRP = t.base.tRP;
+    params.tRC = t.base.tRC;
+    params.tRAS = t.base.tRAS;
+    params.tCCD = t.base.tCCD;
+    params.tRCD = t.base.tRCD;
+    params.tRRD = t.base.tRRD;
+    params.tRFC = t.base.tRFC;
+    params.burstCycles = t.burstCycles;
+    params.tCCDLong = t.tCCDLong;
+    params.tRRDLong = t.tRRDLong;
+    params.bankGroups = t.bankGroups;
+    params.pseudoChannels = t.pseudoChannels;
+    params.bankGroupAware = t.bankGroupAware;
+    return params;
+}
+
+} // namespace rcoal::mem

@@ -21,6 +21,58 @@ GpuConfig::paperBaseline()
     return GpuConfig{};
 }
 
+namespace {
+
+/**
+ * Cache-geometry consistency, checked for both levels whether or not
+ * the level is enabled (an ablation flips the enable bits at runtime;
+ * the geometry must already be sound).
+ */
+void
+validateCacheGeometry(const char *level, const CacheGeometry &geom,
+                      std::uint32_t coalesce_block_bytes)
+{
+    if (geom.ways == 0) {
+        fatal("%s associativity must be >= 1 (got %u ways)", level,
+              geom.ways);
+    }
+    if (geom.sectorBytes == 0 || geom.lineBytes == 0 ||
+        geom.lineBytes % geom.sectorBytes != 0) {
+        fatal("%s lineBytes (%u) must be a positive multiple of "
+              "sectorBytes (%u)",
+              level, geom.lineBytes, geom.sectorBytes);
+    }
+    if (geom.lineBytes / geom.sectorBytes > 32) {
+        fatal("%s has %u sectors per line; at most 32 supported "
+              "(sector validity is a 32-bit mask)",
+              level, geom.lineBytes / geom.sectorBytes);
+    }
+    if (geom.sizeBytes == 0 || geom.sizeBytes % geom.lineBytes != 0) {
+        fatal("%s sizeBytes (%u) must be a positive multiple of "
+              "lineBytes (%u)",
+              level, geom.sizeBytes, geom.lineBytes);
+    }
+    if (geom.sizeBytes / geom.lineBytes < geom.ways) {
+        fatal("%s too small for its associativity: %u lines < %u ways",
+              level, geom.sizeBytes / geom.lineBytes, geom.ways);
+    }
+    if (geom.lineBytes % coalesce_block_bytes != 0) {
+        fatal("%s lineBytes (%u) must be a multiple of "
+              "coalesceBlockBytes (%u) so a coalesced access never "
+              "straddles a line",
+              level, geom.lineBytes, coalesce_block_bytes);
+    }
+    if (geom.hitLatency == 0)
+        fatal("%s hitLatency must be >= 1 core cycle", level);
+    if (geom.streamingReservations == 0) {
+        fatal("%s streamingReservations must be >= 1 (bounds in-flight "
+              "allocate-on-fill misses)",
+              level);
+    }
+}
+
+} // namespace
+
 void
 GpuConfig::validate() const
 {
@@ -60,6 +112,14 @@ GpuConfig::validate() const
               "(raise PrtIndexList::kCapacity)",
               warpSize, PrtIndexList::kCapacity);
     }
+    validateCacheGeometry("L1", l1, coalesceBlockBytes);
+    validateCacheGeometry("L2", l2, coalesceBlockBytes);
+    if (l2.sizeBytes < l1.sizeBytes) {
+        fatal("L2 capacity (%u bytes) must be >= L1 capacity (%u bytes)",
+              l2.sizeBytes, l1.sizeBytes);
+    }
+    if (mshrEntries == 0 || l2MshrEntries == 0)
+        fatal("mshrEntries and l2MshrEntries must be positive");
     policy.validate(warpSize);
 }
 
@@ -93,6 +153,25 @@ resolveCycleSkipping(bool config_flag)
     return config_flag;
 }
 
+namespace {
+
+/// Display name for a DRAM backend (see rcoal::mem::DramBackend).
+const char *
+backendDisplayName(DramBackendKind kind)
+{
+    switch (kind) {
+      case DramBackendKind::Gddr5:
+        return "GDDR5";
+      case DramBackendKind::Gddr6:
+        return "GDDR6";
+      case DramBackendKind::Hbm2:
+        return "HBM2";
+    }
+    return "unknown";
+}
+
+} // namespace
+
 std::string
 GpuConfig::describe() const
 {
@@ -108,19 +187,30 @@ GpuConfig::describe() const
     out << strprintf("Interconnect: 1 crossbar/direction, %u-cycle "
                      "traversal, %zu-deep port queues, %.0f MHz\n",
                      icnLatency, icnQueueDepth, coreClockMhz);
-    out << strprintf("Memory: %u GDDR5 MCs (FR-FCFS), %u banks x %u "
+    const char *backend = backendDisplayName(dramBackend);
+    out << strprintf("Memory: %u %s MCs (FR-FCFS), %u banks x %u "
                      "bank-groups each, %.0f MHz, %u-byte interleave, "
                      "%u-byte rows\n",
-                     numPartitions, banksPerPartition / bankGroups,
-                     bankGroups, memClockMhz, partitionInterleaveBytes,
-                     rowBytes);
-    out << strprintf("GDDR5 timing: tCL=%u tRP=%u tRC=%u tRAS=%u tCCD=%u "
-                     "tRCD=%u tRRD=%u\n",
-                     timing.tCL, timing.tRP, timing.tRC, timing.tRAS,
-                     timing.tCCD, timing.tRCD, timing.tRRD);
-    out << strprintf("L1: %s, L2: %s, MSHR merging: %s "
+                     numPartitions, backend,
+                     banksPerPartition / bankGroups, bankGroups,
+                     memClockMhz, partitionInterleaveBytes, rowBytes);
+    if (dramBackend == DramBackendKind::Gddr5) {
+        out << strprintf("%s timing: tCL=%u tRP=%u tRC=%u tRAS=%u "
+                         "tCCD=%u tRCD=%u tRRD=%u\n",
+                         backend, timing.tCL, timing.tRP, timing.tRC,
+                         timing.tRAS, timing.tCCD, timing.tRCD,
+                         timing.tRRD);
+    } else {
+        out << strprintf("%s timing: backend-defined "
+                         "(see rcoal::mem::DramBackend)\n",
+                         backend);
+    }
+    out << strprintf("L1: %s (%u KiB, %u-byte lines, %u-byte sectors), "
+                     "L2: %s (%u KiB), MSHR merging: %s "
                      "(paper disables all three)\n",
-                     l1Enabled ? "on" : "off", l2Enabled ? "on" : "off",
+                     l1Enabled ? "on" : "off", l1.sizeBytes / 1024,
+                     l1.lineBytes, l1.sectorBytes,
+                     l2Enabled ? "on" : "off", l2.sizeBytes / 1024,
                      mshrEnabled ? "on" : "off");
     return out.str();
 }

@@ -16,16 +16,25 @@ namespace rcoal::sim {
 DramPartition::DramPartition(const GpuConfig &config, unsigned partition_id,
                              KernelStats *kernel_stats)
     : id(partition_id),
-      timing(config.timing),
-      burstCycles(config.burstCycles),
+      bt(mem::makeDramBackend(config.dramBackend)->timing(config)),
       queueDepth(config.dramQueueDepth),
       stats(kernel_stats),
       banks(config.banksPerPartition),
       bankStats(config.banksPerPartition),
       refreshEnabled(config.refreshEnabled),
-      nextRefreshAt(config.timing.tREFI)
+      nextRefreshAt(bt.base.tREFI)
 {
     RCOAL_ASSERT(stats != nullptr, "DramPartition requires a stats sink");
+    RCOAL_ASSERT(bt.bankGroups > 0 && bt.pseudoChannels > 0,
+                 "backend must report positive bankGroups/pseudoChannels");
+    RCOAL_ASSERT(config.banksPerPartition % bt.pseudoChannels == 0,
+                 "banks (%u) must split evenly across pseudo-channels (%u)",
+                 config.banksPerPartition, bt.pseudoChannels);
+    banksPerPc = config.banksPerPartition / bt.pseudoChannels;
+    busFreeAt.assign(bt.pseudoChannels, 0);
+    nextColumnGroup.assign(bt.bankGroups, 0);
+    nextActivateGroup.assign(bt.bankGroups, 0);
+    nextColumnAnyPc.assign(bt.pseudoChannels, 0);
 }
 
 bool
@@ -40,12 +49,14 @@ DramPartition::maybeRefresh(Cycle now)
     if (!refreshDue(now))
         return;
     if (!legacyTiming) {
-        // A due refresh waits until the partition is quiescent: the data
-        // bus drained and every open bank past tRAS (closing a row
+        // A due refresh waits until the partition is quiescent: every
+        // data bus drained and every open bank past tRAS (closing a row
         // earlier would violate it). The wait is bounded because a due
         // refresh also blocks new ACT and column commands.
-        if (now < busFreeAt)
-            return;
+        for (Cycle busy : busFreeAt) {
+            if (now < busy)
+                return;
+        }
         for (const Bank &bank : banks) {
             if (bank.openRow != -1 && now < bank.prechargeAllowed)
                 return;
@@ -53,15 +64,15 @@ DramPartition::maybeRefresh(Cycle now)
     }
     if (checker != nullptr)
         checker->onRefresh(now);
-    RCOAL_TRACE(traceSink, DramRefresh, now, timing.tRFC, 0, 0);
+    RCOAL_TRACE(traceSink, DramRefresh, now, bt.base.tRFC, 0, 0);
     // All-bank refresh: precharge everything and lock the banks for
     // tRFC memory cycles.
     for (Bank &bank : banks) {
         bank.openRow = -1;
-        raiseTo(bank.nextActivate, now + timing.tRFC);
-        raiseTo(bank.nextRead, now + timing.tRFC);
+        raiseTo(bank.nextActivate, now + bt.base.tRFC);
+        raiseTo(bank.nextRead, now + bt.base.tRFC);
     }
-    nextRefreshAt += timing.tREFI;
+    nextRefreshAt += bt.base.tREFI;
     ++stats->dramRefreshes;
     ++refreshCount;
 }
@@ -100,26 +111,36 @@ DramPartition::tryIssueColumn(Cycle now)
             continue;
         if (now < bank.nextRead)
             continue;
-        // Reserve the data bus: the burst begins after CAS latency, or
-        // when the bus frees up, whichever is later.
-        const Cycle burst_start = std::max(now + timing.tCL, busFreeAt);
-        busFreeAt = burst_start + burstCycles;
-        req.completion = burst_start + burstCycles;
+        const unsigned group = groupOf(req.loc.bank);
+        const unsigned pc = pcOf(req.loc.bank);
+        // Bank-group windows (zero unless the backend is group-aware).
+        if (now < nextColumnGroup[group] || now < nextColumnAnyPc[pc])
+            continue;
+        // Reserve the pseudo-channel's data bus: the burst begins after
+        // CAS latency, or when the bus frees up, whichever is later.
+        const Cycle burst_start =
+            std::max(now + bt.base.tCL, busFreeAt[pc]);
+        busFreeAt[pc] = burst_start + bt.burstCycles;
+        req.completion = burst_start + bt.burstCycles;
         if (checker != nullptr) {
             checker->onRead(req.loc.bank, req.loc.row, now, burst_start,
-                            burstCycles);
+                            bt.burstCycles);
         }
         RCOAL_TRACE(traceSink, DramRead, now, req.loc.bank, req.loc.row,
                     burst_start);
         if (legacyTiming) {
-            // Pre-fix: plain assignment, and nothing keeps the row open
-            // until the burst drains.
-            bank.nextRead = now + timing.tCCD;
+            // Pre-fix: plain assignment, nothing keeps the row open until
+            // the burst drains, and the bank-group windows go untracked.
+            bank.nextRead = now + bt.base.tCCD;
         } else {
-            raiseTo(bank.nextRead, now + timing.tCCD);
+            raiseTo(bank.nextRead, now + bt.base.tCCD);
             // Read-to-precharge: the row must stay open (and refresh
             // must hold off) until the data burst has drained.
-            raiseTo(bank.prechargeAllowed, burst_start + burstCycles);
+            raiseTo(bank.prechargeAllowed, burst_start + bt.burstCycles);
+            if (bt.bankGroupAware) {
+                raiseTo(nextColumnGroup[group], now + bt.tCCDLong);
+                raiseTo(nextColumnAnyPc[pc], now + bt.base.tCCD);
+            }
         }
         if (req.neededActivate) {
             ++stats->dramRowMisses;
@@ -150,6 +171,10 @@ DramPartition::tryIssueActivate(Cycle now)
             continue;
         if (now < bank.nextActivate)
             continue;
+        const unsigned group = groupOf(req.loc.bank);
+        // Long same-group ACT window (zero unless group-aware).
+        if (now < nextActivateGroup[group])
+            continue;
         if (checker != nullptr)
             checker->onActivate(req.loc.bank, req.loc.row, now);
         RCOAL_TRACE(traceSink, DramActivate, now, req.loc.bank, req.loc.row,
@@ -157,15 +182,17 @@ DramPartition::tryIssueActivate(Cycle now)
         bank.openRow = static_cast<std::int64_t>(req.loc.row);
         if (legacyTiming) {
             // Pre-fix: only nextRead was monotone.
-            bank.nextRead = std::max(bank.nextRead, now + timing.tRCD);
-            bank.prechargeAllowed = now + timing.tRAS;
-            bank.nextActivate = now + timing.tRC;
-            nextActivateAny = now + timing.tRRD;
+            bank.nextRead = std::max(bank.nextRead, now + bt.base.tRCD);
+            bank.prechargeAllowed = now + bt.base.tRAS;
+            bank.nextActivate = now + bt.base.tRC;
+            nextActivateAny = now + bt.base.tRRD;
         } else {
-            raiseTo(bank.nextRead, now + timing.tRCD);
-            raiseTo(bank.prechargeAllowed, now + timing.tRAS);
-            raiseTo(bank.nextActivate, now + timing.tRC);
-            raiseTo(nextActivateAny, now + timing.tRRD);
+            raiseTo(bank.nextRead, now + bt.base.tRCD);
+            raiseTo(bank.prechargeAllowed, now + bt.base.tRAS);
+            raiseTo(bank.nextActivate, now + bt.base.tRC);
+            raiseTo(nextActivateAny, now + bt.base.tRRD);
+            if (bt.bankGroupAware)
+                raiseTo(nextActivateGroup[group], now + bt.tRRDLong);
         }
         ++stats->dramActivates;
         ++bankStats[req.loc.bank].activates;
@@ -213,7 +240,7 @@ DramPartition::tryIssuePrecharge(Cycle now)
         RCOAL_TRACE(traceSink, DramPrecharge, now, req.loc.bank,
                     bank.openRow, 0);
         bank.openRow = -1;
-        raiseTo(bank.nextActivate, now + timing.tRP);
+        raiseTo(bank.nextActivate, now + bt.base.tRP);
         ++stats->dramPrecharges;
         ++bankStats[req.loc.bank].precharges;
         return true;
@@ -257,10 +284,13 @@ DramPartition::nextEventCycle(Cycle now) const
 
     if (refreshEnabled) {
         if (refreshDue(now)) {
-            // A pending refresh fires once the data bus drains and every
-            // open bank clears tRAS; both horizons are frozen until then
-            // because a due refresh also blocks column/ACT issue.
-            Cycle fire = busFreeAt;
+            // A pending refresh fires once every data bus drains and
+            // every open bank clears tRAS; both horizons are frozen
+            // until then because a due refresh also blocks column/ACT
+            // issue.
+            Cycle fire = 0;
+            for (Cycle busy : busFreeAt)
+                fire = std::max(fire, busy);
             for (const Bank &bank : banks) {
                 if (bank.openRow != -1)
                     fire = std::max(fire, bank.prechargeAllowed);
@@ -293,12 +323,17 @@ DramPartition::nextEventCycle(Cycle now) const
             continue;
         }
         const Bank &bank = banks[req.loc.bank];
+        const unsigned group = groupOf(req.loc.bank);
         if (bank.openRow == static_cast<std::int64_t>(req.loc.row)) {
-            if (!commands_blocked)
-                consider(bank.nextRead);
+            if (!commands_blocked) {
+                consider(std::max({bank.nextRead, nextColumnGroup[group],
+                                   nextColumnAnyPc[pcOf(req.loc.bank)]}));
+            }
         } else if (bank.openRow == -1) {
-            if (!commands_blocked)
-                consider(std::max(bank.nextActivate, nextActivateAny));
+            if (!commands_blocked) {
+                consider(std::max({bank.nextActivate, nextActivateAny,
+                                   nextActivateGroup[group]}));
+            }
         } else if (!(open_row_wanted &
                      (std::uint64_t{1} << req.loc.bank))) {
             // Conflicting open row nobody still wants: a precharge (not

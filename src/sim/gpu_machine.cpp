@@ -56,8 +56,13 @@ GpuMachine::GpuMachine(GpuConfig config)
     }
     if (cfg.l2Enabled) {
         l2.resize(cfg.numPartitions);
-        for (auto &front : l2)
-            front.cache = std::make_unique<Cache>(cfg.l2);
+        for (auto &front : l2) {
+            front.cache = std::make_unique<mem::SectoredCache>(cfg.l2);
+            if (cfg.mshrEnabled) {
+                front.mshr =
+                    std::make_unique<mem::MshrTable>(cfg.l2MshrEntries);
+            }
+        }
     }
     skipEnabled = resolveCycleSkipping(cfg.cycleSkipping);
 }
@@ -102,17 +107,11 @@ GpuMachine::setTracer(trace::Tracer *t)
 void
 GpuMachine::enableDramChecking(trace::DramProtocolChecker::Mode mode)
 {
-    trace::DramProtocolChecker::Params params;
-    params.banks = cfg.banksPerPartition;
-    params.tCL = cfg.timing.tCL;
-    params.tRP = cfg.timing.tRP;
-    params.tRC = cfg.timing.tRC;
-    params.tRAS = cfg.timing.tRAS;
-    params.tCCD = cfg.timing.tCCD;
-    params.tRCD = cfg.timing.tRCD;
-    params.tRRD = cfg.timing.tRRD;
-    params.tRFC = cfg.timing.tRFC;
-    params.burstCycles = cfg.burstCycles;
+    // The backend resolves its own timing set; the checker enforces the
+    // same numbers, including the bank-group/pseudo-channel rules of
+    // the GDDR6/HBM2 personalities.
+    const trace::DramProtocolChecker::Params params =
+        mem::checkerParamsFor(cfg);
     checkers.clear();
     checkers.reserve(drams.size());
     for (auto &dram : drams) {
@@ -162,6 +161,14 @@ struct MachineCells
     telemetry::Counter *respPackets = nullptr;
     telemetry::Gauge *reqQueued = nullptr;
     telemetry::Gauge *respQueued = nullptr;
+    telemetry::Counter *l1Hits = nullptr;
+    telemetry::Counter *l1Misses = nullptr;
+    telemetry::Counter *l1SectorMisses = nullptr;
+    telemetry::Counter *l1MshrMerges = nullptr;
+    telemetry::Counter *l2Hits = nullptr;
+    telemetry::Counter *l2Misses = nullptr;
+    telemetry::Counter *l2SectorMisses = nullptr;
+    telemetry::Counter *l2MshrMerges = nullptr;
 
     struct Partition
     {
@@ -222,6 +229,34 @@ GpuMachine::setTelemetry(telemetry::TelemetrySampler *sampler)
               "Pending-request-table entries, summed over SMs")
         .set(static_cast<double>(cfg.prtEntries) *
              static_cast<double>(cfg.numSms));
+
+    const telemetry::MetricRegistry::Labels l1_labels{{"level", "l1"}};
+    const telemetry::MetricRegistry::Labels l2_labels{{"level", "l2"}};
+    cells->l1Hits = &reg.counter("rcoal_cache_hits_total",
+                                 "Cache lookups that hit", l1_labels);
+    cells->l1Misses = &reg.counter("rcoal_cache_misses_total",
+                                   "Cache lookups that missed", l1_labels);
+    cells->l1SectorMisses = &reg.counter(
+        "rcoal_cache_sector_misses_total",
+        "Misses with the line resident but a sector invalid", l1_labels);
+    cells->l1MshrMerges = &reg.counter(
+        "rcoal_mshr_merges_total",
+        "Misses merged into an in-flight MSHR entry", l1_labels);
+    cells->l2Hits = &reg.counter("rcoal_cache_hits_total",
+                                 "Cache lookups that hit", l2_labels);
+    cells->l2Misses = &reg.counter("rcoal_cache_misses_total",
+                                   "Cache lookups that missed", l2_labels);
+    cells->l2SectorMisses = &reg.counter(
+        "rcoal_cache_sector_misses_total",
+        "Misses with the line resident but a sector invalid", l2_labels);
+    cells->l2MshrMerges = &reg.counter(
+        "rcoal_mshr_merges_total",
+        "Misses merged into an in-flight MSHR entry", l2_labels);
+    reg.gauge("rcoal_dram_backend_info",
+              "Active DRAM backend personality (value is always 1)",
+              telemetry::MetricRegistry::Labels{
+                  {"backend", mem::dramBackendKindName(cfg.dramBackend)}})
+        .set(1.0);
 
     const telemetry::MetricRegistry::Labels req_labels{{"xbar", "req"}};
     const telemetry::MetricRegistry::Labels resp_labels{
@@ -291,6 +326,14 @@ GpuMachine::setTelemetry(telemetry::TelemetrySampler *sampler)
         cells->coalescedAccesses->set(totals.coalescedAccesses);
         cells->prtStalls->set(totals.prtStallCycles);
         cells->icnStalls->set(totals.icnStallCycles);
+        cells->l1Hits->set(totals.l1Hits);
+        cells->l1Misses->set(totals.l1Misses);
+        cells->l1SectorMisses->set(totals.l1SectorMisses);
+        cells->l1MshrMerges->set(totals.mshrMerges);
+        cells->l2Hits->set(totals.l2Hits);
+        cells->l2Misses->set(totals.l2Misses);
+        cells->l2SectorMisses->set(totals.l2SectorMisses);
+        cells->l2MshrMerges->set(totals.l2MshrMerges);
         cells->prtFill->set(static_cast<double>(prtOccupancy()));
         cells->reqPackets->set(reqXbar.packetsTransferred());
         cells->respPackets->set(respXbar.packetsTransferred());
@@ -441,19 +484,50 @@ GpuMachine::tick()
             // capacity, since misses and writes go there.
             if (!drams[p]->canAccept())
                 break;
+            // A full L2 MSHR stalls ejection wholesale (the packet kind
+            // is unknown before popping); entries free as fills return.
+            if (cfg.l2Enabled && l2[p].mshr != nullptr &&
+                !l2[p].mshr->canAllocate()) {
+                break;
+            }
             MemoryAccess access = reqXbar.popOutput(p);
-            if (cfg.l2Enabled) {
+            if (cfg.l2Enabled && !access.isWrite) {
                 KernelStats *owner = statsForSlot(access.launchSlot);
-                if (!access.isWrite &&
-                    l2[p].cache->access(access.blockAddr)) {
+                const mem::AccessOutcome outcome =
+                    l2[p].cache->access(access.blockAddr, access.bytes);
+                RCOAL_TRACE(machineSink, CacheAccess, nowCycle, 2,
+                            static_cast<unsigned>(outcome), access.id);
+                if (outcome == mem::AccessOutcome::Hit) {
                     if (owner != nullptr)
                         ++owner->l2Hits;
                     l2[p].pendingHits.emplace_back(
                         nowCycle + cfg.l2.hitLatency, std::move(access));
                     continue;
                 }
-                if (!access.isWrite && owner != nullptr)
+                if (owner != nullptr) {
                     ++owner->l2Misses;
+                    if (outcome == mem::AccessOutcome::SectorMiss)
+                        ++owner->l2SectorMisses;
+                }
+                if (l2[p].mshr != nullptr) {
+                    if (l2[p].mshr->isPending(access.blockAddr)) {
+                        if (owner != nullptr)
+                            ++owner->l2MshrMerges;
+                        l2[p].mshr->merge(access.blockAddr,
+                                          std::move(access));
+                        continue;
+                    }
+                    // Allocate (space was checked before popping) and
+                    // send a courier copy to DRAM; the waiting requests
+                    // ride the MSHR entry until the fill returns.
+                    MemoryAccess copy = access;
+                    l2[p].mshr->allocate(access.blockAddr,
+                                         std::move(access));
+                    const DramLocation loc =
+                        mapping.decode(copy.blockAddr);
+                    drams[p]->enqueue(std::move(copy), loc, memCycle);
+                    continue;
+                }
             }
             drams[p]->enqueue(access, mapping.decode(access.blockAddr),
                               memCycle);
@@ -476,8 +550,19 @@ GpuMachine::tick()
     for (unsigned p = 0; p < cfg.numPartitions; ++p) {
         while (drams[p]->hasCompleted(memCycle)) {
             MemoryAccess access = drams[p]->popCompleted(memCycle);
-            if (cfg.l2Enabled && !access.isWrite)
-                l2[p].cache->fill(access.blockAddr);
+            if (cfg.l2Enabled && !access.isWrite) {
+                l2[p].cache->fill(access.blockAddr, access.bytes);
+                if (l2[p].mshr != nullptr &&
+                    l2[p].mshr->isPending(access.blockAddr)) {
+                    // The courier copy dissolves; the MSHR entry holds
+                    // the real requests (primary first).
+                    for (MemoryAccess &waiting :
+                         l2[p].mshr->complete(access.blockAddr)) {
+                        respBacklog[p].push_back(std::move(waiting));
+                    }
+                    continue;
+                }
+            }
             if (access.isWrite) {
                 const auto it = active.find(access.launchSlot);
                 if (it != active.end()) {

@@ -36,13 +36,33 @@ enum class SchedulerPolicy
     GreedyThenOldest, ///< Stick with the last warp; fall back to oldest.
 };
 
-/** Set-associative cache geometry (used when caches are enabled). */
+/**
+ * Which DRAM device personality the memory partitions run with.
+ * Gddr5 consumes GpuConfig::timing verbatim (the paper's Table I
+ * machine); Gddr6/Hbm2 bring their own timing sets plus bank-group /
+ * pseudo-channel structure (see rcoal::mem::DramBackend).
+ */
+enum class DramBackendKind : std::uint8_t
+{
+    Gddr5 = 0,
+    Gddr6,
+    Hbm2,
+};
+
+/**
+ * Sectored set-associative cache geometry (used when caches are
+ * enabled). Lines are divided into sectorBytes-sized sectors with
+ * per-sector validity; streamingReservations bounds the in-flight
+ * allocate-on-fill misses of a streaming L1 (ignored by the L2).
+ */
 struct CacheGeometry
 {
     std::uint32_t sizeBytes = 32 * 1024;
-    std::uint32_t lineBytes = 64;
+    std::uint32_t lineBytes = 128;
     std::uint32_t ways = 4;
     unsigned hitLatency = 4; ///< Core cycles.
+    std::uint32_t sectorBytes = 32;
+    std::uint32_t streamingReservations = 32;
 };
 
 /**
@@ -89,6 +109,13 @@ struct GpuConfig
     unsigned burstCycles = 2;     ///< Data-bus occupancy per access.
     DramTiming timing{};
     /**
+     * DRAM device personality (rcoal::mem::DramBackend). Gddr5 keeps
+     * the historical Table I model byte-identical; Gddr6/Hbm2 swap in
+     * their own timing and channel structure. Selectable per bench run
+     * via --dram-backend.
+     */
+    DramBackendKind dramBackend = DramBackendKind::Gddr5;
+    /**
      * Periodic all-bank refresh (tREFI/tRFC). Off by default: refresh
      * adds low-frequency timing noise that is irrelevant to the
      * coalescing channel and the paper's GPGPU-Sim configuration; turn
@@ -100,9 +127,10 @@ struct GpuConfig
     bool l1Enabled = false;
     bool l2Enabled = false;
     bool mshrEnabled = false;
-    std::size_t mshrEntries = 32;
+    std::size_t mshrEntries = 32;   ///< Per-SM L1 MSHR blocks.
+    std::size_t l2MshrEntries = 64; ///< Per-partition L2 MSHR blocks.
     CacheGeometry l1{};
-    CacheGeometry l2{128 * 1024, 64, 8, 8};
+    CacheGeometry l2{128 * 1024, 128, 8, 8};
 
     // The defense under evaluation.
     core::CoalescingPolicy policy{};

@@ -1,13 +1,17 @@
 /**
  * @file
- * GDDR5 memory partition model with FR-FCFS scheduling.
+ * Memory partition model with FR-FCFS scheduling.
  *
  * Each partition owns a request queue, per-bank row-buffer state, and a
- * shared data bus. Scheduling is First-Ready First-Come-First-Served:
- * row-buffer hits are serviced ahead of older row misses. Timing follows
- * the Hynix GDDR5 parameters of Table I (tCL, tRP, tRC, tRAS, tCCD,
- * tRCD, tRRD), expressed in memory-clock cycles; the GPU top level
- * converts between clock domains.
+ * data bus per pseudo-channel. Scheduling is First-Ready
+ * First-Come-First-Served: row-buffer hits are serviced ahead of older
+ * row misses. Timing comes from a pluggable rcoal::mem::DramBackend
+ * personality — GDDR5 (the Hynix parameters of Table I, the default),
+ * GDDR6, or HBM2 — expressed in memory-clock cycles; the GPU top level
+ * converts between clock domains. Bank-group-aware personalities add
+ * long same-group column/ACT windows (tCCD_L/tRRD_L) on top of the
+ * per-bank constraints, and HBM2 splits the banks across two
+ * pseudo-channels with independent data buses.
  */
 
 #ifndef RCOAL_SIM_DRAM_HPP
@@ -17,6 +21,7 @@
 #include <deque>
 #include <vector>
 
+#include "rcoal/mem/dram_backend.hpp"
 #include "rcoal/sim/address_mapping.hpp"
 #include "rcoal/sim/memory_access.hpp"
 #include "rcoal/sim/stats.hpp"
@@ -29,13 +34,13 @@ class TraceSink;
 namespace rcoal::sim {
 
 /**
- * One GDDR5 memory partition (memory controller + devices).
+ * One memory partition (memory controller + devices).
  */
 class DramPartition
 {
   public:
     /**
-     * @param config GPU configuration (timing, queue depth, banks).
+     * @param config GPU configuration (backend kind, queue depth, banks).
      * @param partition_id this partition's index.
      * @param stats kernel statistics sink (row hits/misses, ACT/PRE).
      */
@@ -98,6 +103,9 @@ class DramPartition
     /** All-bank refreshes issued by this partition. */
     std::uint64_t refreshes() const { return refreshCount; }
 
+    /** The backend timing personality this partition runs with. */
+    const mem::BackendTiming &backendTiming() const { return bt; }
+
     /**
      * Attach a protocol checker; every subsequent ACT/RD/PRE/REF is
      * validated as it issues. Null detaches. Not gated by RCOAL_TRACE:
@@ -110,9 +118,10 @@ class DramPartition
 
     /**
      * Test-only: reproduce the pre-fix timing bookkeeping (plain
-     * `nextRead` assignment, no read-to-precharge protection, refresh
-     * that fires regardless of tRAS or in-flight bursts) so regression
-     * tests can demonstrate the protocol checker catches it.
+     * `nextRead` assignment, no read-to-precharge protection, no
+     * bank-group window bookkeeping, refresh that fires regardless of
+     * tRAS or in-flight bursts) so regression tests can demonstrate the
+     * protocol checker catches it on every backend.
      */
     void enableLegacyTimingForTest() { legacyTiming = true; }
 
@@ -140,6 +149,9 @@ class DramPartition
     void maybeRefresh(Cycle now);
     bool refreshDue(Cycle now) const;
 
+    unsigned groupOf(unsigned bank) const { return bank % bt.bankGroups; }
+    unsigned pcOf(unsigned bank) const { return bank / banksPerPc; }
+
     /**
      * Monotone deadline update: a bank timing deadline may only move
      * forward. Plain assignment here is how the pre-fix rewind slipped
@@ -151,8 +163,7 @@ class DramPartition
     }
 
     unsigned id;
-    DramTiming timing;
-    unsigned burstCycles;
+    mem::BackendTiming bt;
     std::size_t queueDepth;
     KernelStats *stats;
 
@@ -161,8 +172,14 @@ class DramPartition
     std::vector<Bank> banks;
     std::vector<BankCounters> bankStats; ///< Parallel to `banks`.
     std::uint64_t refreshCount = 0;
-    Cycle busFreeAt = 0;              ///< Data bus reservation horizon.
+    unsigned banksPerPc = 0;          ///< Banks per pseudo-channel.
+    std::vector<Cycle> busFreeAt;     ///< Data-bus horizon per PC.
     Cycle nextActivateAny = 0;        ///< tRRD across banks.
+    /// Bank-group windows; stay 0 unless the backend is group-aware,
+    /// which keeps the GDDR5 path byte-identical to the scalar model.
+    std::vector<Cycle> nextColumnGroup;   ///< tCCD_L per bank group.
+    std::vector<Cycle> nextActivateGroup; ///< tRRD_L per bank group.
+    std::vector<Cycle> nextColumnAnyPc;   ///< tCCD_S per pseudo-channel.
     bool refreshEnabled = false;
     Cycle nextRefreshAt = 0;          ///< Next all-bank refresh.
 

@@ -26,8 +26,9 @@
 
 #include "rcoal/common/rng.hpp"
 #include "rcoal/core/partitioner.hpp"
+#include "rcoal/mem/mshr.hpp"
+#include "rcoal/mem/sectored_cache.hpp"
 #include "rcoal/sim/address_mapping.hpp"
-#include "rcoal/sim/cache.hpp"
 #include "rcoal/sim/config.hpp"
 #include "rcoal/sim/dram.hpp"
 #include "rcoal/sim/interconnect.hpp"
@@ -254,7 +255,9 @@ class GpuMachine
     /** Per-partition L2 front end (only populated when L2 is enabled). */
     struct L2Frontend
     {
-        std::unique_ptr<Cache> cache;
+        std::unique_ptr<mem::SectoredCache> cache;
+        /** L2 MSHRs (populated when MSHR merging is enabled). */
+        std::unique_ptr<mem::MshrTable> mshr;
         /** Hit responses waiting out the hit latency (ready ascending). */
         std::deque<std::pair<Cycle, MemoryAccess>> pendingHits;
     };

@@ -20,8 +20,9 @@
 #include "rcoal/core/coalescer.hpp"
 #include "rcoal/core/pending_request_table.hpp"
 #include "rcoal/core/subwarp.hpp"
+#include "rcoal/mem/mshr.hpp"
+#include "rcoal/mem/sectored_cache.hpp"
 #include "rcoal/sim/address_mapping.hpp"
-#include "rcoal/sim/cache.hpp"
 #include "rcoal/sim/interconnect.hpp"
 #include "rcoal/sim/kernel.hpp"
 #include "rcoal/sim/stats.hpp"
@@ -119,7 +120,7 @@ class StreamingMultiprocessor
     /** PRT capacity (config.prtEntries). */
     std::size_t prtCapacity() const { return prt.capacity(); }
 
-    const Cache *l1Cache() const { return l1.get(); }
+    const mem::SectoredCache *l1Cache() const { return l1.get(); }
 
     /** Attach a sink for issue/stall/coalesce events (core domain). */
     void setTraceSink(trace::TraceSink *s) { traceSink = s; }
@@ -183,10 +184,18 @@ class StreamingMultiprocessor
     std::deque<MemoryAccess> ldstQueue;
     std::size_t ldstQueueCapacity;
 
-    std::unique_ptr<Cache> l1;
-    std::unique_ptr<MshrTable> mshr;
+    std::unique_ptr<mem::SectoredCache> l1;
+    std::unique_ptr<mem::MshrTable> mshr;
     /** L1-hit responses waiting their hit latency (readyAt ascending). */
     std::deque<std::pair<Cycle, MemoryAccess>> localResponses;
+    /**
+     * Memoized L1 lookup for the LD/ST queue head: the tag probe (and
+     * its hit/miss accounting) runs once per access id, so structural
+     * stalls retrying the head — ICN backpressure, MSHR or reservation
+     * exhaustion — cannot inflate the miss counters or re-age the set.
+     */
+    std::uint64_t l1LookupId = ~std::uint64_t{0};
+    mem::AccessOutcome l1LookupOutcome = mem::AccessOutcome::Hit;
 
     std::vector<WarpContext> warps;
     std::unordered_map<WarpId, std::size_t> warpIndex;

@@ -51,12 +51,17 @@ struct KernelStats
     std::uint64_t dramPrecharges = 0;
     std::uint64_t dramRefreshes = 0;
 
-    // Optional hierarchy (all zero when disabled).
+    // Optional hierarchy (all zero when disabled). Sector misses are
+    // the subset of misses whose line was resident but lacked a valid
+    // sector; mshrMerges counts L1 merges, l2MshrMerges the L2's.
     std::uint64_t l1Hits = 0;
     std::uint64_t l1Misses = 0;
+    std::uint64_t l1SectorMisses = 0;
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0;
+    std::uint64_t l2SectorMisses = 0;
     std::uint64_t mshrMerges = 0;
+    std::uint64_t l2MshrMerges = 0;
 
     // Stall diagnostics.
     std::uint64_t prtStallCycles = 0;

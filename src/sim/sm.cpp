@@ -29,9 +29,12 @@ StreamingMultiprocessor::StreamingMultiprocessor(
     RCOAL_ASSERT(reqXbar && map && nextAccessId,
                  "SM wired without its collaborators");
     if (cfg.l1Enabled)
-        l1 = std::make_unique<Cache>(cfg.l1);
-    if (cfg.mshrEnabled)
-        mshr = std::make_unique<MshrTable>(cfg.mshrEntries);
+        l1 = std::make_unique<mem::SectoredCache>(cfg.l1);
+    // The SM-side MSHR sits in front of the L1 (misses merge on the
+    // block in flight); without an L1 every access travels to memory
+    // individually and only the L2's own MSHR applies.
+    if (cfg.mshrEnabled && cfg.l1Enabled)
+        mshr = std::make_unique<mem::MshrTable>(cfg.mshrEntries);
 }
 
 void
@@ -52,8 +55,10 @@ StreamingMultiprocessor::reset()
 {
     RCOAL_ASSERT(unfinishedWarps == 0 && ldstQueue.empty() &&
                      localResponses.empty() &&
-                     (!mshr || mshr->occupancy() == 0),
+                     (!mshr || mshr->occupancy() == 0) &&
+                     (!l1 || l1->reservedFills() == 0),
                  "SM %u reset while work is in flight", id);
+    l1LookupId = ~std::uint64_t{0};
     warps.clear();
     warpIndex.clear();
     std::fill(rrPointer.begin(), rrPointer.end(), 0);
@@ -255,8 +260,20 @@ StreamingMultiprocessor::drainLdst(Cycle now)
     // Loads may hit in the (optional) L1; writes are write-through,
     // no-allocate and always travel to memory.
     if (l1 && !head.isWrite) {
-        if (l1->access(head.blockAddr)) {
-            ++stats->l1Hits;
+        if (head.id != l1LookupId) {
+            l1LookupId = head.id;
+            l1LookupOutcome = l1->access(head.blockAddr, head.bytes);
+            RCOAL_TRACE(traceSink, CacheAccess, now, 1,
+                        static_cast<unsigned>(l1LookupOutcome), head.id);
+            if (l1LookupOutcome == mem::AccessOutcome::Hit) {
+                ++stats->l1Hits;
+            } else {
+                ++stats->l1Misses;
+                if (l1LookupOutcome == mem::AccessOutcome::SectorMiss)
+                    ++stats->l1SectorMisses;
+            }
+        }
+        if (l1LookupOutcome == mem::AccessOutcome::Hit) {
             localResponses.emplace_back(now + l1->hitLatency(),
                                         std::move(head));
             ldstQueue.pop_front();
@@ -264,9 +281,10 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             scanGate = 0; // Queue space freed: rescan.
             return;
         }
-        ++stats->l1Misses;
         if (mshr) {
             if (mshr->isPending(head.blockAddr)) {
+                // The merged load rides the in-flight fill's
+                // reservation; no extra one is taken.
                 mshr->merge(head.blockAddr, std::move(head));
                 ++stats->mshrMerges;
                 ldstQueue.pop_front();
@@ -276,6 +294,8 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             }
             if (!mshr->canAllocate())
                 return; // Structural stall; retry next cycle.
+            if (!l1->canReserve())
+                return; // Fill-buffer bound reached; retry next cycle.
             if (!reqXbar->canInject(id)) {
                 ++stats->icnStallCycles;
                 ++icnStallsTick;
@@ -284,6 +304,7 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             }
             MemoryAccess copy = head;
             mshr->allocate(head.blockAddr, std::move(head));
+            l1->reserve();
             ldstQueue.pop_front();
             tickChanged = true;
             scanGate = 0; // Queue space freed: rescan.
@@ -292,6 +313,8 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             reqXbar->inject(id, dest, std::move(copy), now);
             return;
         }
+        if (!l1->canReserve())
+            return; // Fill-buffer bound reached; retry next cycle.
     }
 
     if (!reqXbar->canInject(id)) {
@@ -300,6 +323,10 @@ StreamingMultiprocessor::drainLdst(Cycle now)
         RCOAL_TRACE(traceSink, SmStall, now, 1, head.warpId, 0);
         return;
     }
+    // An L1 read miss travelling to memory holds a fill reservation
+    // until its response returns (allocate-on-fill).
+    if (l1 && !head.isWrite)
+        l1->reserve();
     const unsigned dest = map->partitionOf(head.blockAddr);
     reqXbar->inject(id, dest, std::move(head), now);
     ldstQueue.pop_front();
@@ -397,8 +424,11 @@ StreamingMultiprocessor::nextEventCycle(Cycle now) const
         return now + 1;
     }
 #endif
-    if (l1 && !ldstQueue.empty())
-        return now + 1; // The L1 retry path mutates cache state per try.
+    if (l1 && !ldstQueue.empty()) {
+        // A stalled miss head (MSHR or fill-reservation exhaustion) has
+        // no event wiring to re-arm it; pin per-cycle stepping.
+        return now + 1;
+    }
     if (!ldstQueue.empty() && reqXbar->canInject(id))
         return now + 1; // Head injects next cycle.
     Cycle bound = scanWake;
@@ -450,8 +480,10 @@ StreamingMultiprocessor::deliverResponse(MemoryAccess access, Cycle now)
     RCOAL_ASSERT(!access.isWrite, "write response delivered to SM %u", id);
     responseSinceTick = true;
     scanGate = 0;
-    if (l1)
-        l1->fill(access.blockAddr);
+    if (l1) {
+        l1->release();
+        l1->fill(access.blockAddr, access.bytes);
+    }
     if (mshr) {
         for (MemoryAccess &waiting : mshr->complete(access.blockAddr))
             finalizeLoad(waiting, now);

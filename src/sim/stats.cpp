@@ -60,14 +60,19 @@ KernelStats::describe() const
                      static_cast<unsigned long long>(dramRowMisses),
                      static_cast<unsigned long long>(dramActivates),
                      static_cast<unsigned long long>(dramPrecharges));
-    if (l1Hits + l1Misses + l2Hits + l2Misses + mshrMerges) {
-        out << strprintf("hierarchy: L1 %llu/%llu, L2 %llu/%llu, "
-                         "MSHR merges %llu\n",
+    if (l1Hits + l1Misses + l2Hits + l2Misses + mshrMerges +
+        l2MshrMerges) {
+        out << strprintf("hierarchy: L1 %llu/%llu (%llu sector), "
+                         "L2 %llu/%llu (%llu sector), "
+                         "MSHR merges %llu L1 + %llu L2\n",
                          static_cast<unsigned long long>(l1Hits),
                          static_cast<unsigned long long>(l1Misses),
+                         static_cast<unsigned long long>(l1SectorMisses),
                          static_cast<unsigned long long>(l2Hits),
                          static_cast<unsigned long long>(l2Misses),
-                         static_cast<unsigned long long>(mshrMerges));
+                         static_cast<unsigned long long>(l2SectorMisses),
+                         static_cast<unsigned long long>(mshrMerges),
+                         static_cast<unsigned long long>(l2MshrMerges));
     }
     out << strprintf("stalls: %llu PRT, %llu interconnect\n",
                      static_cast<unsigned long long>(prtStallCycles),
@@ -100,9 +105,12 @@ KernelStats::accumulate(const KernelStats &other)
     dramRefreshes += other.dramRefreshes;
     l1Hits += other.l1Hits;
     l1Misses += other.l1Misses;
+    l1SectorMisses += other.l1SectorMisses;
     l2Hits += other.l2Hits;
     l2Misses += other.l2Misses;
+    l2SectorMisses += other.l2SectorMisses;
     mshrMerges += other.mshrMerges;
+    l2MshrMerges += other.l2MshrMerges;
     prtStallCycles += other.prtStallCycles;
     icnStallCycles += other.icnStallCycles;
 }

@@ -5,10 +5,19 @@
 namespace rcoal::trace {
 
 DramProtocolChecker::DramProtocolChecker(const Params &params, Mode mode)
-    : p(params), mode(mode), banks(params.banks)
+    : p(params), mode(mode), banks(params.banks),
+      busBusyUntil(params.pseudoChannels, 0),
+      lastActivateGroup(params.bankGroups, kInvalidCycle),
+      lastReadGroup(params.bankGroups, kInvalidCycle),
+      lastReadAnyPc(params.pseudoChannels, kInvalidCycle)
 {
     RCOAL_ASSERT(p.banks > 0, "checker needs at least one bank");
     RCOAL_ASSERT(p.burstCycles > 0, "checker needs a non-zero burst");
+    RCOAL_ASSERT(p.bankGroups > 0 && p.pseudoChannels > 0,
+                 "checker needs positive bankGroups/pseudoChannels");
+    RCOAL_ASSERT(p.banks % p.pseudoChannels == 0,
+                 "banks (%u) must split evenly across pseudo-channels (%u)",
+                 p.banks, p.pseudoChannels);
 }
 
 void
@@ -61,6 +70,16 @@ DramProtocolChecker::onActivate(unsigned bank, std::uint64_t row, Cycle now)
                                                          lastActivateAny),
                          p.tRRD));
     }
+    if (p.bankGroupAware &&
+        !elapsed(now, lastActivateGroup[groupOf(bank)], p.tRRDLong)) {
+        report("tRRD_L", now,
+               strprintf("ACT bank %u only %llu cycles after ACT in the "
+                         "same bank group (tRRD_L=%u)",
+                         bank,
+                         static_cast<unsigned long long>(
+                             now - lastActivateGroup[groupOf(bank)]),
+                         p.tRRDLong));
+    }
     if (!elapsed(now, lastRefresh, p.tRFC)) {
         report("tRFC", now,
                strprintf("ACT bank %u inside refresh window (tRFC=%u)", bank,
@@ -70,6 +89,7 @@ DramProtocolChecker::onActivate(unsigned bank, std::uint64_t row, Cycle now)
     b.openRow = static_cast<std::int64_t>(row);
     b.lastActivate = now;
     lastActivateAny = now;
+    lastActivateGroup[groupOf(bank)] = now;
 }
 
 void
@@ -107,6 +127,26 @@ DramProtocolChecker::onRead(unsigned bank, std::uint64_t row, Cycle now,
                          static_cast<unsigned long long>(now - b.lastRead),
                          p.tCCD));
     }
+    if (p.bankGroupAware) {
+        if (!elapsed(now, lastReadGroup[groupOf(bank)], p.tCCDLong)) {
+            report("tCCD_L", now,
+                   strprintf("RD bank %u only %llu cycles after RD in the "
+                             "same bank group (tCCD_L=%u)",
+                             bank,
+                             static_cast<unsigned long long>(
+                                 now - lastReadGroup[groupOf(bank)]),
+                             p.tCCDLong));
+        }
+        if (!elapsed(now, lastReadAnyPc[pcOf(bank)], p.tCCD)) {
+            report("tCCD_S", now,
+                   strprintf("RD bank %u only %llu cycles after any RD in "
+                             "its pseudo-channel (tCCD_S=%u)",
+                             bank,
+                             static_cast<unsigned long long>(
+                                 now - lastReadAnyPc[pcOf(bank)]),
+                             p.tCCD));
+        }
+    }
     if (burst_start < now + p.tCL) {
         report("tCL", now,
                strprintf("RD bank %u burst at %llu, before CAS latency "
@@ -114,12 +154,13 @@ DramProtocolChecker::onRead(unsigned bank, std::uint64_t row, Cycle now,
                          bank, static_cast<unsigned long long>(burst_start),
                          static_cast<unsigned long long>(now + p.tCL)));
     }
-    if (burst_start < busBusyUntil) {
+    if (burst_start < busBusyUntil[pcOf(bank)]) {
         report("bus-overlap", now,
                strprintf("RD bank %u burst at %llu overlaps data bus busy "
                          "until %llu",
                          bank, static_cast<unsigned long long>(burst_start),
-                         static_cast<unsigned long long>(busBusyUntil)));
+                         static_cast<unsigned long long>(
+                             busBusyUntil[pcOf(bank)])));
     }
     if (!elapsed(now, lastRefresh, p.tRFC)) {
         report("tRFC", now,
@@ -129,7 +170,10 @@ DramProtocolChecker::onRead(unsigned bank, std::uint64_t row, Cycle now,
 
     b.lastRead = now;
     b.burstEnd = std::max(b.burstEnd, burst_start + burst_cycles);
-    busBusyUntil = std::max(busBusyUntil, burst_start + burst_cycles);
+    busBusyUntil[pcOf(bank)] =
+        std::max(busBusyUntil[pcOf(bank)], burst_start + burst_cycles);
+    lastReadGroup[groupOf(bank)] = now;
+    lastReadAnyPc[pcOf(bank)] = now;
 }
 
 void
@@ -169,10 +213,12 @@ DramProtocolChecker::onRefresh(Cycle now)
 {
     ++checked;
 
-    if (now < busBusyUntil) {
-        report("ref-bus-busy", now,
-               strprintf("REF while data bus busy until %llu",
-                         static_cast<unsigned long long>(busBusyUntil)));
+    for (Cycle busy : busBusyUntil) {
+        if (now < busy) {
+            report("ref-bus-busy", now,
+                   strprintf("REF while data bus busy until %llu",
+                             static_cast<unsigned long long>(busy)));
+        }
     }
     if (!elapsed(now, lastRefresh, p.tRFC)) {
         report("tRFC", now, "REF inside the previous refresh window");

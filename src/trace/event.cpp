@@ -40,6 +40,8 @@ eventKindName(EventKind kind)
         return "serve.launch";
       case EventKind::ServeComplete:
         return "serve.complete";
+      case EventKind::CacheAccess:
+        return "cache.access";
     }
     panic("eventKindName: unknown EventKind %u",
           static_cast<unsigned>(kind));

@@ -48,7 +48,16 @@ struct DramProtocolViolation
 class DramProtocolChecker
 {
   public:
-    /** The timing rules to enforce (memory-clock cycles). */
+    /**
+     * The timing rules to enforce (memory-clock cycles). With
+     * bankGroupAware set (GDDR6/HBM2 personalities), tCCD/tRRD become
+     * the *short* different-bank-group windows and three extra rules
+     * apply: same-group column commands >= tCCDLong apart (tCCD_L),
+     * any two column commands in a pseudo-channel >= tCCD apart
+     * (tCCD_S), and same-group ACTs >= tRRDLong apart (tRRD_L). The
+     * data bus splits into pseudoChannels independent buses (banks are
+     * divided contiguously across them).
+     */
     struct Params
     {
         unsigned banks = 16;
@@ -61,6 +70,11 @@ class DramProtocolChecker
         unsigned tRRD = 6;
         unsigned tRFC = 83;
         unsigned burstCycles = 2;
+        unsigned tCCDLong = 2;
+        unsigned tRRDLong = 6;
+        unsigned bankGroups = 4;
+        unsigned pseudoChannels = 1;
+        bool bankGroupAware = false;
     };
 
     /** What to do on a violation. */
@@ -116,12 +130,21 @@ class DramProtocolChecker
         return past == kInvalidCycle || now >= past + window;
     }
 
+    unsigned groupOf(unsigned bank) const { return bank % p.bankGroups; }
+    unsigned pcOf(unsigned bank) const
+    {
+        return bank / (p.banks / p.pseudoChannels);
+    }
+
     Params p;
     Mode mode;
     std::vector<BankState> banks;
     Cycle lastActivateAny = kInvalidCycle;
     Cycle lastRefresh = kInvalidCycle;
-    Cycle busBusyUntil = 0; ///< Shared data bus horizon.
+    std::vector<Cycle> busBusyUntil;      ///< Data-bus horizon per PC.
+    std::vector<Cycle> lastActivateGroup; ///< Per bank group (aware).
+    std::vector<Cycle> lastReadGroup;     ///< Per bank group (aware).
+    std::vector<Cycle> lastReadAnyPc;     ///< Per pseudo-channel (aware).
     std::uint64_t checked = 0;
     std::vector<DramProtocolViolation> found;
 };

@@ -38,6 +38,8 @@ namespace rcoal::trace {
  *  - ServeBatch:     requests in batch, total lines
  *  - ServeLaunch:    launch id, gang, requests in batch
  *  - ServeComplete:  request id, latency cycles, gang
+ *  - CacheAccess:    level (1 = L1, 2 = L2), outcome (0 = hit,
+ *                    1 = sector miss, 2 = line miss), access id
  */
 enum class EventKind : std::uint8_t
 {
@@ -57,10 +59,11 @@ enum class EventKind : std::uint8_t
     ServeBatch,
     ServeLaunch,
     ServeComplete,
+    CacheAccess,
 };
 
 /** Number of distinct EventKind values. */
-inline constexpr std::size_t kNumEventKinds = 16;
+inline constexpr std::size_t kNumEventKinds = 17;
 
 /** Short stable name for @p kind ("dram.act", "serve.admit", ...). */
 const char *eventKindName(EventKind kind);

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the pluggable DRAM backends: factory/name/parse
+ * round-trips, the per-backend timing facts the partitions schedule
+ * against, and the protocol-checker parameterization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/mem/dram_backend.hpp"
+
+namespace rcoal::mem {
+namespace {
+
+const sim::DramBackendKind kAllKinds[] = {
+    sim::DramBackendKind::Gddr5,
+    sim::DramBackendKind::Gddr6,
+    sim::DramBackendKind::Hbm2,
+};
+
+TEST(DramBackend, FactoryNameParseRoundTrip)
+{
+    for (const auto kind : kAllKinds) {
+        const auto backend = makeDramBackend(kind);
+        ASSERT_NE(backend, nullptr);
+        EXPECT_EQ(backend->kind(), kind);
+        EXPECT_STREQ(backend->name(), dramBackendKindName(kind));
+
+        sim::DramBackendKind parsed;
+        ASSERT_TRUE(parseDramBackendKind(backend->name(), parsed));
+        EXPECT_EQ(parsed, kind);
+    }
+
+    sim::DramBackendKind parsed;
+    EXPECT_FALSE(parseDramBackendKind("ddr4", parsed));
+    EXPECT_FALSE(parseDramBackendKind("GDDR5", parsed)); // Case matters.
+    EXPECT_FALSE(parseDramBackendKind(nullptr, parsed));
+}
+
+TEST(DramBackend, Gddr5PassesConfigTimingVerbatim)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.timing.tCL = 99; // Any edit must flow through untouched.
+    cfg.burstCycles = 3;
+
+    const BackendTiming t = Gddr5Backend().timing(cfg);
+    EXPECT_EQ(t.base.tCL, 99u);
+    EXPECT_EQ(t.base.tRP, cfg.timing.tRP);
+    EXPECT_EQ(t.base.tRC, cfg.timing.tRC);
+    EXPECT_EQ(t.base.tRAS, cfg.timing.tRAS);
+    EXPECT_EQ(t.base.tCCD, cfg.timing.tCCD);
+    EXPECT_EQ(t.base.tRCD, cfg.timing.tRCD);
+    EXPECT_EQ(t.base.tRRD, cfg.timing.tRRD);
+    EXPECT_EQ(t.base.tREFI, cfg.timing.tREFI);
+    EXPECT_EQ(t.base.tRFC, cfg.timing.tRFC);
+    EXPECT_EQ(t.burstCycles, 3u);
+    // Flat channel: no bank-group windows, one data bus.
+    EXPECT_FALSE(t.bankGroupAware);
+    EXPECT_EQ(t.pseudoChannels, 1u);
+    EXPECT_EQ(t.tCCDLong, cfg.timing.tCCD);
+    EXPECT_EQ(t.tRRDLong, cfg.timing.tRRD);
+}
+
+TEST(DramBackend, Gddr6IgnoresConfigTimingAndIsGroupAware)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.timing.tCL = 99; // Must NOT leak into a self-timed backend.
+
+    const BackendTiming t = Gddr6Backend().timing(cfg);
+    EXPECT_EQ(t.base.tCL, 16u);
+    EXPECT_TRUE(t.bankGroupAware);
+    EXPECT_EQ(t.pseudoChannels, 1u);
+    EXPECT_EQ(t.bankGroups, cfg.bankGroups);
+    // The same-group windows must be at least the different-group ones.
+    EXPECT_GT(t.tCCDLong, t.base.tCCD);
+    EXPECT_GE(t.tRRDLong, t.base.tRRD);
+}
+
+TEST(DramBackend, Hbm2SplitsIntoPseudoChannels)
+{
+    const sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    const BackendTiming t = Hbm2Backend().timing(cfg);
+    EXPECT_TRUE(t.bankGroupAware);
+    EXPECT_EQ(t.pseudoChannels, 2u);
+    EXPECT_GT(t.tCCDLong, t.base.tCCD);
+    // Bigger banks refresh longer than the GDDR5 part.
+    EXPECT_GT(t.base.tRFC, cfg.timing.tRFC);
+}
+
+TEST(DramBackend, CheckerParamsMatchBackendTiming)
+{
+    for (const auto kind : kAllKinds) {
+        sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+        cfg.dramBackend = kind;
+        const BackendTiming t = makeDramBackend(kind)->timing(cfg);
+        const auto params = checkerParamsFor(cfg);
+
+        EXPECT_EQ(params.banks, cfg.banksPerPartition);
+        EXPECT_EQ(params.tCL, t.base.tCL);
+        EXPECT_EQ(params.tRP, t.base.tRP);
+        EXPECT_EQ(params.tRC, t.base.tRC);
+        EXPECT_EQ(params.tRAS, t.base.tRAS);
+        EXPECT_EQ(params.tCCD, t.base.tCCD);
+        EXPECT_EQ(params.tRCD, t.base.tRCD);
+        EXPECT_EQ(params.tRRD, t.base.tRRD);
+        EXPECT_EQ(params.tRFC, t.base.tRFC);
+        EXPECT_EQ(params.burstCycles, t.burstCycles);
+        EXPECT_EQ(params.tCCDLong, t.tCCDLong);
+        EXPECT_EQ(params.tRRDLong, t.tRRDLong);
+        EXPECT_EQ(params.bankGroups, t.bankGroups);
+        EXPECT_EQ(params.pseudoChannels, t.pseudoChannels);
+        EXPECT_EQ(params.bankGroupAware, t.bankGroupAware);
+    }
+}
+
+} // namespace
+} // namespace rcoal::mem

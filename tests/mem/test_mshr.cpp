@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the shared MSHR table (used by both the per-SM L1 and
+ * the per-partition L2 front ends).
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/mem/mshr.hpp"
+
+namespace rcoal::mem {
+namespace {
+
+sim::MemoryAccess
+makeAccess(std::uint64_t id, Addr block_addr)
+{
+    sim::MemoryAccess access;
+    access.id = id;
+    access.blockAddr = block_addr;
+    access.bytes = 64;
+    return access;
+}
+
+TEST(MemMshr, AllocateTracksPendingBlocks)
+{
+    MshrTable mshr(4);
+    EXPECT_FALSE(mshr.isPending(0x1000));
+    EXPECT_TRUE(mshr.canAllocate());
+
+    mshr.allocate(0x1000, makeAccess(1, 0x1000));
+    EXPECT_TRUE(mshr.isPending(0x1000));
+    EXPECT_FALSE(mshr.isPending(0x2000));
+    EXPECT_EQ(mshr.occupancy(), 1u);
+}
+
+TEST(MemMshr, MergeCountsWaitersAndBumpsMergeCounter)
+{
+    MshrTable mshr(4);
+    mshr.allocate(0x1000, makeAccess(1, 0x1000));
+    EXPECT_EQ(mshr.merge(0x1000, makeAccess(2, 0x1000)), 2u);
+    EXPECT_EQ(mshr.merge(0x1000, makeAccess(3, 0x1000)), 3u);
+    EXPECT_EQ(mshr.merges(), 2u);
+    EXPECT_EQ(mshr.occupancy(), 1u); // Merges share the entry.
+}
+
+TEST(MemMshr, CompleteReturnsPrimaryFirstAndFreesEntry)
+{
+    MshrTable mshr(4);
+    mshr.allocate(0x1000, makeAccess(1, 0x1000));
+    mshr.merge(0x1000, makeAccess(2, 0x1000));
+    mshr.merge(0x1000, makeAccess(3, 0x1000));
+
+    const auto waiting = mshr.complete(0x1000);
+    ASSERT_EQ(waiting.size(), 3u);
+    EXPECT_EQ(waiting[0].id, 1u);
+    EXPECT_EQ(waiting[1].id, 2u);
+    EXPECT_EQ(waiting[2].id, 3u);
+    EXPECT_FALSE(mshr.isPending(0x1000));
+    EXPECT_EQ(mshr.occupancy(), 0u);
+}
+
+TEST(MemMshr, CapacityBoundsDistinctBlocks)
+{
+    MshrTable mshr(2);
+    mshr.allocate(0x1000, makeAccess(1, 0x1000));
+    mshr.allocate(0x2000, makeAccess(2, 0x2000));
+    EXPECT_FALSE(mshr.canAllocate());
+
+    // Merges to pending blocks are still possible when full.
+    EXPECT_EQ(mshr.merge(0x1000, makeAccess(3, 0x1000)), 2u);
+
+    (void)mshr.complete(0x2000);
+    EXPECT_TRUE(mshr.canAllocate());
+}
+
+TEST(MemMshr, IndependentBlocksDoNotInteract)
+{
+    MshrTable mshr(4);
+    mshr.allocate(0x1000, makeAccess(1, 0x1000));
+    mshr.allocate(0x2000, makeAccess(2, 0x2000));
+    mshr.merge(0x2000, makeAccess(3, 0x2000));
+
+    const auto first = mshr.complete(0x1000);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].id, 1u);
+    EXPECT_TRUE(mshr.isPending(0x2000));
+
+    const auto second = mshr.complete(0x2000);
+    ASSERT_EQ(second.size(), 2u);
+    EXPECT_EQ(second[0].id, 2u);
+}
+
+} // namespace
+} // namespace rcoal::mem

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the sectored set-associative cache: per-sector
+ * validity, allocate-on-fill, inline age-counter LRU replacement, and
+ * the streaming-reservation bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rcoal/mem/sectored_cache.hpp"
+
+namespace rcoal::mem {
+namespace {
+
+/** 2 sets x 2 ways of 128 B lines (4 x 32 B sectors), 4 reservations. */
+sim::CacheGeometry
+tinyGeometry()
+{
+    sim::CacheGeometry g;
+    g.sizeBytes = 512;
+    g.lineBytes = 128;
+    g.ways = 2;
+    g.hitLatency = 4;
+    g.sectorBytes = 32;
+    g.streamingReservations = 4;
+    return g;
+}
+
+TEST(SectoredCache, GeometryDerivesSetsAndWays)
+{
+    SectoredCache cache(tinyGeometry());
+    EXPECT_EQ(cache.sets(), 2u);
+    EXPECT_EQ(cache.ways(), 2u);
+    EXPECT_EQ(cache.hitLatency(), 4u);
+}
+
+TEST(SectoredCache, LineMissThenFillHits)
+{
+    SectoredCache cache(tinyGeometry());
+    EXPECT_EQ(cache.access(0x1000, 32), AccessOutcome::LineMiss);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.sectorMisses(), 0u);
+    EXPECT_FALSE(cache.contains(0x1000, 32));
+
+    cache.fill(0x1000, 32);
+    EXPECT_EQ(cache.fills(), 1u);
+    EXPECT_TRUE(cache.contains(0x1000, 32));
+    EXPECT_EQ(cache.access(0x1000, 32), AccessOutcome::Hit);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(SectoredCache, ValidityIsSectorGranular)
+{
+    SectoredCache cache(tinyGeometry());
+    cache.fill(0x1000, 32); // Sector 0 of line 0x1000.
+
+    // Same line, different sector: resident tag but invalid sector.
+    EXPECT_EQ(cache.access(0x1020, 32), AccessOutcome::SectorMiss);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.sectorMisses(), 1u);
+
+    // A span is a hit only when EVERY touched sector is valid.
+    EXPECT_EQ(cache.access(0x1000, 64), AccessOutcome::SectorMiss);
+    cache.fill(0x1020, 32);
+    EXPECT_EQ(cache.access(0x1000, 64), AccessOutcome::Hit);
+    EXPECT_TRUE(cache.contains(0x1000, 64));
+    EXPECT_FALSE(cache.contains(0x1000, 128)); // Sectors 2/3 invalid.
+}
+
+TEST(SectoredCache, FillMergesSectorsIntoExistingLine)
+{
+    SectoredCache cache(tinyGeometry());
+    cache.fill(0x1000, 32);
+    cache.fill(0x1040, 32); // Same line: must not allocate a new way.
+    EXPECT_EQ(cache.fills(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_TRUE(cache.contains(0x1000, 32));
+    EXPECT_TRUE(cache.contains(0x1040, 32));
+
+    // The second way of the set is still free.
+    cache.fill(0x1100, 32); // Line tag 0x22 -> same set as 0x20.
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(SectoredCache, EvictsLeastRecentlyTouchedWay)
+{
+    SectoredCache cache(tinyGeometry());
+    // Lines with even tags land in set 0 (tag % 2): addrs 0, 256, 512.
+    const Addr a = 0x000, b = 0x100, c = 0x200;
+    cache.fill(a, 32);
+    cache.fill(b, 32);
+
+    // Touch a so b becomes LRU, then overflow the set.
+    EXPECT_EQ(cache.access(a, 32), AccessOutcome::Hit);
+    cache.fill(c, 32);
+
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.contains(a, 32));
+    EXPECT_FALSE(cache.contains(b, 32));
+    EXPECT_TRUE(cache.contains(c, 32));
+}
+
+TEST(SectoredCache, FillRefreshesAgeLikeATouch)
+{
+    SectoredCache cache(tinyGeometry());
+    const Addr a = 0x000, b = 0x100, c = 0x200;
+    cache.fill(a, 32);
+    cache.fill(b, 32);
+    cache.fill(a, 64); // Re-fill a: now b is LRU.
+    cache.fill(c, 32);
+    EXPECT_TRUE(cache.contains(a, 32));
+    EXPECT_FALSE(cache.contains(b, 32));
+}
+
+TEST(SectoredCache, MissesDoNotRefreshAge)
+{
+    SectoredCache cache(tinyGeometry());
+    const Addr a = 0x000, b = 0x100, c = 0x200;
+    cache.fill(a, 32);
+    cache.fill(b, 32);
+    // A sector miss on a must NOT promote it: a stays LRU.
+    EXPECT_EQ(cache.access(a, 128), AccessOutcome::SectorMiss);
+    cache.fill(c, 32);
+    EXPECT_FALSE(cache.contains(a, 32));
+    EXPECT_TRUE(cache.contains(b, 32));
+}
+
+TEST(SectoredCache, StreamingReservationsAreBounded)
+{
+    SectoredCache cache(tinyGeometry());
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(cache.canReserve()) << "reservation " << i;
+        cache.reserve();
+    }
+    EXPECT_FALSE(cache.canReserve());
+    EXPECT_EQ(cache.reservedFills(), 4u);
+
+    cache.release();
+    EXPECT_TRUE(cache.canReserve());
+    EXPECT_EQ(cache.reservedFills(), 3u);
+}
+
+TEST(SectoredCache, ClearInvalidatesLinesButKeepsBookkeeping)
+{
+    SectoredCache cache(tinyGeometry());
+    cache.fill(0x1000, 32);
+    cache.reserve();
+    const std::uint64_t fills_before = cache.fills();
+
+    cache.clear();
+    EXPECT_FALSE(cache.contains(0x1000, 32));
+    EXPECT_EQ(cache.fills(), fills_before); // Counters survive clear().
+    EXPECT_EQ(cache.reservedFills(), 1u);   // Reservations too.
+
+    // The cache is fully usable again after a clear.
+    cache.fill(0x1000, 32);
+    EXPECT_EQ(cache.access(0x1000, 32), AccessOutcome::Hit);
+    cache.release();
+}
+
+TEST(SectoredCache, PaperL2GeometryCounts)
+{
+    // The default L2: 128 KiB, 8-way, 128 B lines -> 128 sets.
+    sim::CacheGeometry g;
+    g.sizeBytes = 128 * 1024;
+    g.lineBytes = 128;
+    g.ways = 8;
+    g.hitLatency = 8;
+    SectoredCache cache(g);
+    EXPECT_EQ(cache.sets(), 128u);
+    EXPECT_EQ(cache.ways(), 8u);
+}
+
+} // namespace
+} // namespace rcoal::mem

@@ -127,5 +127,88 @@ TEST(GpuConfigDeathTest, RejectsTooManyBanks)
     EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "64 banks");
 }
 
+TEST(GpuConfigDeathTest, RejectsBadCacheGeometry)
+{
+    // Cache geometry is validated even while the caches are disabled,
+    // so a bad override fails at construction, not when a bench later
+    // flips l1Enabled. Each message names the offending level.
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.l1.ways = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "L1 associativity must be >= 1");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l2.sectorBytes = 48; // 128 B lines don't split into 48 B sectors.
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "L2 lineBytes \\(128\\) must be a positive multiple of "
+                "sectorBytes \\(48\\)");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l1.sectorBytes = 2; // 64 sectors per 128 B line.
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "at most 32 supported");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l1.sizeBytes = 1000; // Not line-aligned.
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "L1 sizeBytes \\(1000\\) must be a positive multiple");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l1.sizeBytes = 256; // 2 lines for 4 ways.
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "too small for its associativity");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l1.lineBytes = 32; // Smaller than the 64 B coalescing block.
+    cfg.l1.sectorBytes = 32;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "multiple of.*coalesceBlockBytes");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l2.hitLatency = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "L2 hitLatency must be >= 1");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l1.streamingReservations = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "streamingReservations must be >= 1");
+}
+
+TEST(GpuConfigDeathTest, RejectsInvertedCacheCapacities)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.l2.sizeBytes = 16 * 1024; // Below the 32 KiB L1.
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "L2 capacity.*must be >= L1 capacity");
+
+    cfg = GpuConfig::paperBaseline();
+    cfg.l2MshrEntries = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "l2MshrEntries must be positive");
+}
+
+TEST(GpuConfig, DescribeNamesTheDramBackend)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    EXPECT_NE(cfg.describe().find("GDDR5"), std::string::npos);
+    // The default backend prints the Table I timing line verbatim.
+    EXPECT_NE(cfg.describe().find("tCL=12"), std::string::npos);
+
+    cfg.dramBackend = DramBackendKind::Gddr6;
+    EXPECT_NE(cfg.describe().find("GDDR6"), std::string::npos);
+    cfg.dramBackend = DramBackendKind::Hbm2;
+    EXPECT_NE(cfg.describe().find("HBM2"), std::string::npos);
+}
+
+TEST(GpuConfig, DescribeMentionsCacheGeometry)
+{
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.l1Enabled = cfg.l2Enabled = true;
+    const std::string text = cfg.describe();
+    EXPECT_NE(text.find("32 KiB"), std::string::npos) << text;
+    EXPECT_NE(text.find("128 KiB"), std::string::npos) << text;
+}
+
 } // namespace
 } // namespace rcoal::sim

@@ -71,9 +71,12 @@ expectIdenticalStats(const KernelStats &a, const KernelStats &b,
     EXPECT_EQ(a.dramRefreshes, b.dramRefreshes) << label;
     EXPECT_EQ(a.l1Hits, b.l1Hits) << label;
     EXPECT_EQ(a.l1Misses, b.l1Misses) << label;
+    EXPECT_EQ(a.l1SectorMisses, b.l1SectorMisses) << label;
     EXPECT_EQ(a.l2Hits, b.l2Hits) << label;
     EXPECT_EQ(a.l2Misses, b.l2Misses) << label;
+    EXPECT_EQ(a.l2SectorMisses, b.l2SectorMisses) << label;
     EXPECT_EQ(a.mshrMerges, b.mshrMerges) << label;
+    EXPECT_EQ(a.l2MshrMerges, b.l2MshrMerges) << label;
     EXPECT_EQ(a.prtStallCycles, b.prtStallCycles) << label;
     EXPECT_EQ(a.icnStallCycles, b.icnStallCycles) << label;
 }

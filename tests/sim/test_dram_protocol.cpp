@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "rcoal/mem/dram_backend.hpp"
 #include "rcoal/sim/dram.hpp"
 #include "rcoal/sim/gpu_machine.hpp"
 #include "rcoal/trace/dram_checker.hpp"
@@ -26,21 +27,11 @@ struct DramProtocolFixture : public testing::Test
     GpuConfig cfg = GpuConfig::paperBaseline();
     KernelStats stats;
 
+    /** Referee parameterized exactly as the partition's backend. */
     trace::DramProtocolChecker::Params
     checkerParams() const
     {
-        trace::DramProtocolChecker::Params p;
-        p.banks = cfg.banksPerPartition;
-        p.tCL = cfg.timing.tCL;
-        p.tRP = cfg.timing.tRP;
-        p.tRC = cfg.timing.tRC;
-        p.tRAS = cfg.timing.tRAS;
-        p.tCCD = cfg.timing.tCCD;
-        p.tRCD = cfg.timing.tRCD;
-        p.tRRD = cfg.timing.tRRD;
-        p.tRFC = cfg.timing.tRFC;
-        p.burstCycles = cfg.burstCycles;
-        return p;
+        return mem::checkerParamsFor(cfg);
     }
 
     MemoryAccess
@@ -241,6 +232,105 @@ TEST_F(DramProtocolFixture, FixedRefreshDefersUntilQuiescent)
     EXPECT_GT(stats.dramRefreshes, 0u);
     EXPECT_TRUE(dram.idle()); // The deferral never starves the read.
 }
+
+// ---------------------------------------------------------------------
+// The same referee, parameterized over every DRAM backend personality:
+// the scheduler must satisfy whatever window set the backend declares,
+// and the legacy-timing seam must trip the backend-specific rules.
+
+struct DramBackendProtocol
+    : public DramProtocolFixture,
+      public testing::WithParamInterface<DramBackendKind>
+{
+    void SetUp() override { cfg.dramBackend = GetParam(); }
+
+    bool
+    groupAware() const
+    {
+        return mem::makeDramBackend(GetParam())->timing(cfg)
+            .bankGroupAware;
+    }
+};
+
+TEST_P(DramBackendProtocol, RandomTrafficNeverViolatesTheProtocol)
+{
+    for (std::uint64_t seed : {11u, 22u}) {
+        trace::DramProtocolChecker checker(
+            checkerParams(), trace::DramProtocolChecker::Mode::Collect);
+        DramPartition dram(cfg, 0, &stats);
+        dram.setChecker(&checker);
+        driveRandomTraffic(dram, seed, 4000);
+        EXPECT_TRUE(checker.clean())
+            << "seed " << seed << ": "
+            << checker.violations().front().rule << " — "
+            << checker.violations().front().detail;
+        EXPECT_GT(checker.commandsChecked(), 200u) << "seed " << seed;
+    }
+}
+
+TEST_P(DramBackendProtocol, RandomTrafficWithRefreshStaysClean)
+{
+    cfg.refreshEnabled = true;
+    cfg.timing.tREFI = 500; // GDDR5 only; the others bring their own.
+    trace::DramProtocolChecker checker(
+        checkerParams(), trace::DramProtocolChecker::Mode::Collect);
+    DramPartition dram(cfg, 0, &stats);
+    dram.setChecker(&checker);
+    driveRandomTraffic(dram, 66, 12000);
+    EXPECT_TRUE(checker.clean())
+        << checker.violations().front().rule << " — "
+        << checker.violations().front().detail;
+    EXPECT_GT(stats.dramRefreshes, 0u);
+}
+
+TEST_P(DramBackendProtocol, FixedTimingDrainsReadTrainCleanly)
+{
+    trace::DramProtocolChecker checker(
+        checkerParams(), trace::DramProtocolChecker::Mode::Collect);
+    DramPartition dram(cfg, 0, &stats);
+    dram.setChecker(&checker);
+    offerReadTrainWithConflict(*this, dram);
+    EXPECT_TRUE(checker.clean())
+        << checker.violations().front().rule << " — "
+        << checker.violations().front().detail;
+    EXPECT_TRUE(dram.idle());
+}
+
+TEST_P(DramBackendProtocol, LegacyTimingTripsTheBackendRules)
+{
+    // Legacy mode drops the burst-drain bookkeeping (every backend)
+    // and the bank-group/pseudo-channel window state (the aware ones):
+    // a same-bank read train must trip rd-to-pre everywhere and the
+    // long column window wherever the backend declares one.
+    trace::DramProtocolChecker checker(
+        checkerParams(), trace::DramProtocolChecker::Mode::Collect);
+    DramPartition dram(cfg, 0, &stats);
+    dram.setChecker(&checker);
+    dram.enableLegacyTimingForTest();
+    offerReadTrainWithConflict(*this, dram);
+
+    ASSERT_FALSE(checker.clean())
+        << "legacy timing should trip the checker";
+    bool saw_rd_to_pre = false;
+    bool saw_group_rule = false;
+    for (const auto &v : checker.violations()) {
+        saw_rd_to_pre |= v.rule == "rd-to-pre";
+        saw_group_rule |= v.rule == "tCCD_L" || v.rule == "tCCD_S" ||
+            v.rule == "tRRD_L";
+    }
+    EXPECT_TRUE(saw_rd_to_pre)
+        << "first violation: " << checker.violations().front().rule;
+    EXPECT_EQ(saw_group_rule, groupAware())
+        << "bank-group rules must fire exactly for aware backends";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, DramBackendProtocol,
+    testing::Values(DramBackendKind::Gddr5, DramBackendKind::Gddr6,
+                    DramBackendKind::Hbm2),
+    [](const testing::TestParamInfo<DramBackendKind> &info) {
+        return std::string(mem::dramBackendKindName(info.param));
+    });
 
 TEST(GpuMachineChecking, FullKernelRunsCleanUnderPanicCheckers)
 {

@@ -178,6 +178,79 @@ TEST(DramChecker, RefreshWhileBusBusyTrips)
     EXPECT_EQ(checker.violations().front().rule, "ref-bus-busy");
 }
 
+// ---------------------------------------------------------------------
+// Bank-group and pseudo-channel rules (group-aware backends only).
+
+/** 4 banks in 2 groups across 2 pseudo-channels, long windows on. */
+DramProtocolChecker::Params
+awareParams()
+{
+    DramProtocolChecker::Params p = params();
+    p.bankGroupAware = true;
+    p.tCCDLong = 4;
+    p.tRRDLong = 8;
+    p.bankGroups = 2;     // groupOf(bank) = bank % 2.
+    p.pseudoChannels = 2; // pcOf(bank) = bank / 2.
+    return p;
+}
+
+DramProtocolChecker
+collectAware()
+{
+    return DramProtocolChecker(awareParams(),
+                               DramProtocolChecker::Mode::Collect);
+}
+
+TEST(DramChecker, SameGroupReadsBeforeTccdLongTrip)
+{
+    auto checker = collectAware();
+    checker.onActivate(0, 5, 0);
+    checker.onRead(0, 5, 12, 24, 2);
+    checker.onRead(0, 5, 15, 27, 2); // Short tCCD met, long (4) not.
+    EXPECT_EQ(soleRule(checker), "tCCD_L");
+}
+
+TEST(DramChecker, DifferentGroupReadsNeedOnlyTheShortWindow)
+{
+    auto checker = collectAware();
+    checker.onActivate(0, 5, 0); // Group 0, PC 0.
+    checker.onActivate(1, 5, 6); // Group 1, PC 0: tRRD met.
+    checker.onRead(0, 5, 16, 28, 2); // Both reads after tRCD.
+    checker.onRead(1, 5, 18, 30, 2); // Cross-group: tCCD_S = 2 only.
+    EXPECT_TRUE(checker.clean()) << checker.violations().front().detail;
+}
+
+TEST(DramChecker, SameGroupActivatesBeforeTrrdLongTrip)
+{
+    auto checker = collectAware();
+    checker.onActivate(0, 5, 0);
+    checker.onActivate(2, 5, 7); // Same group: tRRD met, tRRD_L (8) not.
+    EXPECT_EQ(soleRule(checker), "tRRD_L");
+}
+
+TEST(DramChecker, SamePseudoChannelReadsBeforeTccdShortTrip)
+{
+    auto checker = collectAware();
+    checker.onActivate(0, 5, 0); // Group 0, PC 0.
+    checker.onActivate(1, 5, 6); // Group 1, PC 0.
+    checker.onRead(0, 5, 18, 30, 2);
+    checker.onRead(1, 5, 19, 32, 2); // Same PC one cycle later; the
+                                     // burst itself is pushed past the
+                                     // first so only tCCD_S trips.
+    EXPECT_EQ(soleRule(checker), "tCCD_S");
+}
+
+TEST(DramChecker, PseudoChannelBusesAreIndependent)
+{
+    auto checker = collectAware();
+    checker.onActivate(0, 5, 0); // Group 0, PC 0.
+    checker.onActivate(3, 5, 6); // Group 1, PC 1: tRRD met.
+    checker.onRead(0, 5, 17, 29, 2); // Burst [29, 31) on PC 0's bus.
+    checker.onRead(3, 5, 18, 30, 2); // [30, 32) on PC 1's: overlapping
+                                     // bursts are legal across PCs.
+    EXPECT_TRUE(checker.clean()) << checker.violations().front().detail;
+}
+
 TEST(DramChecker, ReplayValidatesRecordedEvents)
 {
     std::vector<TraceEvent> events;
