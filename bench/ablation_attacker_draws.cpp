@@ -18,7 +18,8 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
+    const unsigned samples =
+        bench::parseBenchArgsWarm(argc, argv).samples;
 
     printBanner("Ablation: attacker-side estimate averaging (FSS+RTS)");
     TablePrinter table({"num-subwarp", "draws/estimate", "avg corr",

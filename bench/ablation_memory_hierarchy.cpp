@@ -11,7 +11,6 @@
  * smoke-runs one backend per job).
  */
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -48,16 +47,8 @@ evaluateCell(const rcoal::core::CoalescingPolicy &policy,
     cfg.l1Enabled = cell.l1;
     cfg.l2Enabled = cell.l2;
     cfg.mshrEnabled = cell.l1 || cell.l2;
-    const auto t_collect = std::chrono::steady_clock::now();
     const auto observations =
-        attack::EncryptionService::collectSamplesParallel(
-            cfg, bench::victimKey(), samples, 32, 7,
-            &bench::benchPool());
-    bench::engineReport().record(
-        "collect", samples,
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_collect)
-            .count());
+        bench::collectObservationsFor(cfg, samples, 32, 7);
 
     bench::PolicyEvaluation eval;
     eval.policy = policy;
@@ -88,7 +79,7 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const auto opts = bench::parseBenchArgs(argc, argv);
+    const auto opts = bench::parseBenchArgsWarm(argc, argv);
     const unsigned samples = opts.samples;
 
     std::vector<sim::DramBackendKind> backends = {

@@ -14,7 +14,8 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
+    const unsigned samples =
+        bench::parseBenchArgsWarm(argc, argv).samples;
 
     printBanner("Ablation: RSS sizing distribution (skewed vs normal)");
     const auto baseline = bench::evaluatePolicy(

@@ -6,7 +6,6 @@
  * should hold while the performance cost shrinks dramatically.
  */
 
-#include <chrono>
 #include <cstdio>
 
 #include "support/bench_support.hpp"
@@ -23,16 +22,8 @@ evaluateSelective(const rcoal::core::CoalescingPolicy &policy,
     cfg.policy = policy;
     cfg.selectiveRCoal = selective;
     cfg.protectedTagMask = mask;
-    const auto t_collect = std::chrono::steady_clock::now();
     const auto observations =
-        attack::EncryptionService::collectSamplesParallel(
-            cfg, bench::victimKey(), samples, 32, 7,
-            &bench::benchPool());
-    bench::engineReport().record(
-        "collect", samples,
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t_collect)
-            .count());
+        bench::collectObservationsFor(cfg, samples, 32, 7);
 
     bench::PolicyEvaluation eval;
     eval.policy = policy;
@@ -58,7 +49,8 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
+    const unsigned samples =
+        bench::parseBenchArgsWarm(argc, argv).samples;
     constexpr std::uint32_t kLastRoundOnly =
         1u << static_cast<unsigned>(sim::AccessTag::LastRoundLookup);
 

@@ -14,7 +14,8 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
+    const unsigned samples =
+        bench::parseBenchArgsWarm(argc, argv).samples;
 
     printBanner("Fig. 8: FSS defense vs FSS attack (key byte 0 scatter)");
     const auto true_key = [&] {

@@ -13,7 +13,8 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
+    const unsigned samples =
+        bench::parseBenchArgsWarm(argc, argv).samples;
     bench::runScatterFigure(
         "Fig. 13: RSS defense vs RSS attack",
         [](unsigned m) { return core::CoalescingPolicy::rss(m); },

@@ -12,7 +12,8 @@ int
 main(int argc, char **argv)
 {
     using namespace rcoal;
-    const unsigned samples = bench::parseBenchArgs(argc, argv).samples;
+    const unsigned samples =
+        bench::parseBenchArgsWarm(argc, argv).samples;
     bench::runScatterFigure(
         "Fig. 14: RSS+RTS defense vs RSS+RTS attack",
         [](unsigned m) { return core::CoalescingPolicy::rss(m, true); },

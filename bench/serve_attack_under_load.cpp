@@ -27,6 +27,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <map>
 #include <memory>
 
 #include "rcoal/attack/served_attack.hpp"
@@ -101,6 +102,11 @@ makeScenarioSetup(const Scenario &scenario, std::size_t index,
     setup.cfg.maxBatchRequests = 4;
     setup.cfg.batchTimeoutCycles = 3000;
     setup.cfg.smsPerKernel = 5;
+    // Warm boot shares one machine prefix across the sweep; its
+    // randomness derives from warmBootSeed (the ServeConfig default),
+    // never the per-scenario gpu seed, so every cell with the same
+    // coalescing policy can fork the same snapshot.
+    setup.cfg.warmBootKernels = bench::benchWarmup();
 
     setup.spec.probeSamples = probe_samples;
     setup.spec.probeLines = 32;
@@ -117,7 +123,8 @@ makeScenarioSetup(const Scenario &scenario, std::size_t index,
 ScenarioResult
 runScenario(const Scenario &scenario, std::size_t index,
             unsigned probe_samples, std::uint64_t root_seed,
-            Cycle telemetry_interval)
+            Cycle telemetry_interval,
+            const sim::MachineSnapshot *warm_boot)
 {
     const ScenarioSetup setup =
         makeScenarioSetup(scenario, index, probe_samples, root_seed);
@@ -143,7 +150,7 @@ runScenario(const Scenario &scenario, std::size_t index,
 
     auto start = std::chrono::steady_clock::now();
     auto set = attack::collectSamplesServed(gpu, cfg, bench::victimKey(),
-                                            spec, &hooks);
+                                            spec, &hooks, warm_boot);
     result.serveSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -209,7 +216,7 @@ writeSnapshot(const std::string &dir, const ScenarioResult &r)
 int
 main(int argc, char **argv)
 {
-    const auto opts = rcoal::bench::parseBenchArgs(argc, argv, 48);
+    const auto opts = rcoal::bench::parseBenchArgsWarm(argc, argv, 48);
 
     printBanner("Serve: correlation attack under background load");
     std::printf(
@@ -245,10 +252,39 @@ main(int argc, char **argv)
          "heavy", 1500.0, kHeavySizes},
     };
 
+    // Fork mode: build one warm-boot snapshot per distinct gpu
+    // structure (here: per coalescing policy — scenario gpu configs
+    // within a policy differ only in the seed, which snapshot restore
+    // masks) and share it across the sweep. Replay mode leaves every
+    // scenario to re-simulate its boot launches, which must be
+    // byte-identical — the snapshot determinism tests and the CI
+    // fork-vs-replay diff enforce exactly that.
+    // std::map: node-based, so the snapshot addresses handed to warm[]
+    // stay valid as more policies are inserted.
+    std::map<std::string, sim::MachineSnapshot> boots;
+    std::vector<const sim::MachineSnapshot *> warm(scenarios.size(),
+                                                   nullptr);
+    if (rcoal::bench::benchWarmup() > 0 &&
+        rcoal::bench::benchCollectMode() == attack::CollectMode::Fork) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            const std::string token = scenarios[i].coalescingToken;
+            auto it = boots.find(token);
+            if (it == boots.end()) {
+                const ScenarioSetup setup = makeScenarioSetup(
+                    scenarios[i], i, opts.samples, opts.seed);
+                const serve::EncryptionServer server(
+                    setup.gpu, setup.cfg, rcoal::bench::victimKey());
+                it = boots.emplace(token, server.warmBootSnapshot())
+                         .first;
+            }
+            warm[i] = &it->second;
+        }
+    }
+
     const auto results = rcoal::bench::benchPool().parallelMap(
         scenarios.size(), [&](std::size_t i) {
             return runScenario(scenarios[i], i, opts.samples, opts.seed,
-                               opts.telemetryInterval);
+                               opts.telemetryInterval, warm[i]);
         });
 
     rcoal::TablePrinter table(

@@ -266,6 +266,64 @@ paperSubwarpCounts()
     return counts;
 }
 
+namespace {
+
+/**
+ * Byte-for-byte equality of two observations: every field is a
+ * deterministic function of the trial, so fork and replay must agree
+ * exactly (doubles included — they hold integer cycle counts).
+ */
+bool
+observationsIdentical(const attack::EncryptionObservation &a,
+                      const attack::EncryptionObservation &b)
+{
+    return a.ciphertext == b.ciphertext && a.totalTime == b.totalTime &&
+           a.lastRoundTime == b.lastRoundTime &&
+           a.lastRoundAccesses == b.lastRoundAccesses &&
+           a.totalAccesses == b.totalAccesses;
+}
+
+} // namespace
+
+std::vector<attack::EncryptionObservation>
+collectObservationsFor(const sim::GpuConfig &config, unsigned samples,
+                       unsigned lines, std::uint64_t plaintext_seed)
+{
+    const unsigned warmup = benchWarmup();
+    const attack::CollectMode mode = benchCollectMode();
+    const auto start = std::chrono::steady_clock::now();
+    auto observations = attack::EncryptionService::collectSamplesShared(
+        config, victimKey(), samples, lines, plaintext_seed, warmup,
+        mode, &benchPool());
+    engineReport().record("collect", samples, secondsSince(start));
+
+    if (warmup > 0 && mode == attack::CollectMode::Fork) {
+        // Fork-vs-replay cross-check on a bounded trial prefix: replay
+        // re-simulates the warm-up from a cold machine, so any state the
+        // snapshot failed to capture (or restore) shows up here as a
+        // byte mismatch. Timed separately — the collect_replay /
+        // collect items_per_second ratio is the recorded fork speedup.
+        const unsigned replayed = std::min(samples, 6u);
+        const auto replay_start = std::chrono::steady_clock::now();
+        const auto replayed_obs =
+            attack::EncryptionService::collectSamplesShared(
+                config, victimKey(), replayed, lines, plaintext_seed,
+                warmup, attack::CollectMode::Replay, &benchPool());
+        engineReport().record("collect_replay", replayed,
+                              secondsSince(replay_start));
+        for (unsigned i = 0; i < replayed; ++i) {
+            if (!observationsIdentical(observations[i],
+                                       replayed_obs[i])) {
+                fatal("fork-vs-replay divergence at trial %u "
+                      "(policy %s, warmup %u): snapshot restore lost "
+                      "machine state",
+                      i, config.policy.name().c_str(), warmup);
+            }
+        }
+    }
+    return observations;
+}
+
 std::vector<attack::EncryptionObservation>
 collectObservations(const core::CoalescingPolicy &policy,
                     unsigned samples, unsigned lines,
@@ -275,11 +333,7 @@ collectObservations(const core::CoalescingPolicy &policy,
     sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
     cfg.seed = victim_seed;
     cfg.policy = policy;
-    const auto start = std::chrono::steady_clock::now();
-    auto observations = attack::EncryptionService::collectSamplesParallel(
-        cfg, victimKey(), samples, lines, plaintext_seed, &benchPool());
-    engineReport().record("collect", samples, secondsSince(start));
-    return observations;
+    return collectObservationsFor(cfg, samples, lines, plaintext_seed);
 }
 
 PolicyEvaluation

@@ -105,11 +105,32 @@ const std::vector<unsigned> &paperSubwarpCounts();
 /** Default sample count (the paper demonstrates with 100 plaintexts). */
 inline constexpr unsigned kDefaultSamples = 100;
 
+/**
+ * Default warm-up prefix for the sweep drivers: two retired AES
+ * launches settle the DRAM/clock phase and (when the hierarchy is on)
+ * the caches before the measured launch, and make the snapshot-fork
+ * fast path the drivers' default.
+ */
+inline constexpr unsigned kDefaultWarmup = 2;
+
 /** parseBenchArgs() with the standard default sample count. */
 inline CliOptions
 parseBenchArgs(int argc, char **argv)
 {
     return parseBenchArgs(argc, argv, kDefaultSamples);
+}
+
+/**
+ * parseBenchArgs() for the sweep drivers (ablation_*, fig08/13/14,
+ * serve_attack_under_load): same flags, but collection defaults to a
+ * kDefaultWarmup-launch shared prefix forked per trial. --warmup 0
+ * restores the historical cold-start behaviour.
+ */
+inline CliOptions
+parseBenchArgsWarm(int argc, char **argv,
+                   unsigned default_samples = kDefaultSamples)
+{
+    return parseBenchArgs(argc, argv, default_samples, kDefaultWarmup);
 }
 
 /** Aggregate result of evaluating one policy under its attack. */
@@ -159,6 +180,19 @@ collectObservations(const core::CoalescingPolicy &policy,
                     unsigned samples, unsigned lines = 32,
                     std::uint64_t victim_seed = benchSeed(),
                     std::uint64_t plaintext_seed = 7);
+
+/**
+ * Collect on an explicit GPU config (the hierarchy/backend sweeps tune
+ * more than the policy). Honors --warmup/--collect-mode exactly like
+ * collectObservations(): warmup > 0 forks a warmed snapshot per trial,
+ * times the run into the "collect" phase, and (in fork mode)
+ * re-simulates a bounded trial prefix from cold machines into
+ * "collect_replay", fatal()ing on any byte divergence.
+ */
+std::vector<attack::EncryptionObservation>
+collectObservationsFor(const sim::GpuConfig &config, unsigned samples,
+                       unsigned lines = 32,
+                       std::uint64_t plaintext_seed = 7);
 
 /**
  * The four defense families of the paper's evaluation, at subwarp count

@@ -19,6 +19,8 @@ namespace {
 
 std::uint64_t current_seed = 42;
 std::string current_driver = "bench";
+unsigned current_warmup = 0;
+attack::CollectMode current_collect_mode = attack::CollectMode::Fork;
 
 /** basename without directories (no libgen dependency). */
 std::string
@@ -32,12 +34,14 @@ baseName(const char *argv0)
 }
 
 [[noreturn]] void
-printUsage(const std::string &driver, unsigned default_samples)
+printUsage(const std::string &driver, unsigned default_samples,
+           unsigned default_warmup)
 {
     std::printf("usage: %s [N | --samples N] [--seed S] [--threads T] "
                 "[--trace FILE] [--telemetry-out DIR]\n"
                 "       [--telemetry-interval N] "
                 "[--no-cycle-skipping] [--dram-backend NAME]\n"
+                "       [--warmup N] [--collect-mode fork|replay]\n"
                 "  --samples N   sample count (default %u)\n"
                 "  --seed S      victim GPU seed (default 42)\n"
                 "  --threads T   engine worker count "
@@ -62,8 +66,18 @@ printUsage(const std::string &driver, unsigned default_samples)
                 "                DRAM personality: gddr5 (default), "
                 "gddr6 or hbm2;\n"
                 "                backend-sweep drivers treat it as a "
-                "filter\n",
-                driver.c_str(), default_samples);
+                "filter\n"
+                "  --warmup N    shared-prefix warm-up launches per "
+                "sweep cell\n"
+                "                (default %u; 0 = historical cold-start "
+                "collection)\n"
+                "  --collect-mode fork|replay\n"
+                "                reuse the warm prefix by snapshot fork "
+                "(default) or\n"
+                "                by re-simulating it per trial "
+                "(byte-identical\n"
+                "                verification path)\n",
+                driver.c_str(), default_samples, default_warmup);
     std::exit(0);
 }
 
@@ -83,18 +97,20 @@ numericValue(const char *flag, const char *value)
 } // namespace
 
 CliOptions
-parseBenchArgs(int argc, char **argv, unsigned default_samples)
+parseBenchArgs(int argc, char **argv, unsigned default_samples,
+               unsigned default_warmup)
 {
     CliOptions opts;
     opts.driver = baseName(argc > 0 ? argv[0] : nullptr);
     opts.samples = default_samples;
+    opts.warmup = default_warmup;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         const char *value = i + 1 < argc ? argv[i + 1] : nullptr;
         if (std::strcmp(arg, "--help") == 0 ||
             std::strcmp(arg, "-h") == 0) {
-            printUsage(opts.driver, default_samples);
+            printUsage(opts.driver, default_samples, default_warmup);
         } else if (std::strcmp(arg, "--samples") == 0) {
             opts.samples =
                 static_cast<unsigned>(numericValue(arg, value));
@@ -135,6 +151,22 @@ parseBenchArgs(int argc, char **argv, unsigned default_samples)
             }
             opts.dramBackend = value;
             ++i;
+        } else if (std::strcmp(arg, "--warmup") == 0) {
+            opts.warmup =
+                static_cast<unsigned>(numericValue(arg, value));
+            ++i;
+        } else if (std::strcmp(arg, "--collect-mode") == 0) {
+            if (value != nullptr && std::strcmp(value, "fork") == 0) {
+                opts.collectMode = attack::CollectMode::Fork;
+            } else if (value != nullptr &&
+                       std::strcmp(value, "replay") == 0) {
+                opts.collectMode = attack::CollectMode::Replay;
+            } else {
+                fatal("--collect-mode expects fork or replay "
+                      "(got '%s')",
+                      value != nullptr ? value : "");
+            }
+            ++i;
         } else if (i == 1 && arg[0] != '-' && std::atoi(arg) > 0) {
             // Historical form: first positional argument = samples.
             opts.samples = static_cast<unsigned>(std::atoi(arg));
@@ -155,6 +187,8 @@ parseBenchArgs(int argc, char **argv, unsigned default_samples)
 
     current_seed = opts.seed;
     current_driver = opts.driver;
+    current_warmup = opts.warmup;
+    current_collect_mode = opts.collectMode;
     return opts;
 }
 
@@ -162,6 +196,18 @@ std::uint64_t
 benchSeed()
 {
     return current_seed;
+}
+
+unsigned
+benchWarmup()
+{
+    return current_warmup;
+}
+
+attack::CollectMode
+benchCollectMode()
+{
+    return current_collect_mode;
 }
 
 const std::string &

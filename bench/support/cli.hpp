@@ -29,6 +29,16 @@
  *                 DRAM device personality: gddr5 (default), gddr6 or
  *                 hbm2 (see rcoal::mem::DramBackend). Drivers that
  *                 sweep backends treat the flag as a filter.
+ *   --warmup N    shared-prefix warm-up launches per sweep cell
+ *                 (default: driver-specific). N > 0 snapshots a warmed
+ *                 machine once and forks it per trial
+ *                 (EncryptionService::collectSamplesShared); 0 keeps
+ *                 the historical cold-start collection.
+ *   --collect-mode fork|replay
+ *                 how the shared prefix is reused: fork restores each
+ *                 trial from the snapshot (fast path, default); replay
+ *                 re-simulates the warm-up per trial (byte-identical
+ *                 verification path). Ignored when warmup is 0.
  *   --help        usage
  *
  * Parsing also records the driver's name (basename of argv[0]) so the
@@ -41,6 +51,8 @@
 
 #include <cstdint>
 #include <string>
+
+#include "rcoal/attack/encryption_service.hpp"
 
 namespace rcoal::bench {
 
@@ -60,25 +72,40 @@ struct CliOptions
      * backend-sweep drivers run every personality).
      */
     std::string dramBackend;
+    /** --warmup N; seeded from parseBenchArgs' default_warmup. */
+    unsigned warmup = 0;
+    /** --collect-mode; how warm-prefix trials reuse the prefix. */
+    attack::CollectMode collectMode = attack::CollectMode::Fork;
 };
 
 /**
  * Parse the shared flags; fatal()s on malformed or unknown arguments,
  * prints usage and exits 0 on --help. @p default_samples seeds the
- * samples field when neither --samples nor a positional count is given.
+ * samples field when neither --samples nor a positional count is given;
+ * @p default_warmup likewise seeds warmup when --warmup is absent (the
+ * sweep drivers default to a small shared prefix, one-shot drivers to
+ * the historical cold start).
  *
  * Side effects: exports --threads into RCOAL_THREADS (before the lazy
- * global pool is created) and records driver/seed for benchSeed() and
- * the engine report.
+ * global pool is created) and records driver/seed/warmup/collect-mode
+ * for benchSeed()/benchWarmup()/benchCollectMode() and the engine
+ * report.
  */
 CliOptions parseBenchArgs(int argc, char **argv,
-                          unsigned default_samples);
+                          unsigned default_samples,
+                          unsigned default_warmup = 0);
 
 /**
  * The victim seed of the current run: --seed if given, else 42.
  * evaluatePolicy()/collectObservations() default to it.
  */
 std::uint64_t benchSeed();
+
+/** Warm-up launches recorded by parseBenchArgs(); 0 before that. */
+unsigned benchWarmup();
+
+/** Collect mode recorded by parseBenchArgs(); Fork before that. */
+attack::CollectMode benchCollectMode();
 
 /** Driver name recorded by parseBenchArgs(); "bench" before that. */
 const std::string &benchDriverName();

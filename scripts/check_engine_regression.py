@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Guard against large engine-throughput regressions.
+
+Compares the working-tree BENCH_engine.json (just refreshed by the CI
+smoke runs) against the committed baseline (``git show
+HEAD:BENCH_engine.json``) and fails only on *large* regressions:
+per-driver ``extras.sim_cycles_per_second`` and per-phase
+``items_per_second`` must stay above ``baseline / tolerance``.
+
+The tolerance is deliberately generous (default 10x): CI smoke runs use
+tiny sample counts on shared runners with different core counts than
+the machine that produced the committed numbers, so only an
+order-of-magnitude collapse — a serialized pool, an accidental
+per-trial re-simulation of the shared warm-up prefix, cycle skipping
+silently disabled — should trip it.
+
+When the baseline also recorded a forked ``collect`` phase next to its
+``collect_replay`` cross-check, the committed numbers themselves must
+show the fork path >= --min-fork-speedup x the replay path: that ratio
+is the reason the snapshot/fork machinery exists, and this keeps the
+committed report honest. (The ratio is only asserted on the committed
+baseline, not the smoke run — 3-sample smoke runs are too noisy.)
+
+Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 usage.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def load_baseline(ref):
+    """The committed report at *ref*, or None when it does not exist."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:BENCH_engine.json"],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--current",
+        default="BENCH_engine.json",
+        help="report produced by the smoke runs (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref holding the committed report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        help="allowed slowdown factor before failing (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--min-fork-speedup",
+        type=float,
+        default=2.0,
+        help="required committed collect/collect_replay throughput ratio "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args()
+    if args.tolerance <= 1.0:
+        print("--tolerance must be > 1", file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.current, encoding="utf-8") as fh:
+            current = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"cannot read {args.current}: {err}", file=sys.stderr)
+        return 2
+
+    baseline = load_baseline(args.baseline_ref)
+    if baseline is None:
+        print(
+            f"no BENCH_engine.json at {args.baseline_ref}; "
+            "nothing to compare against (first commit of the report)"
+        )
+        return 0
+
+    failures = []
+
+    def check(name, now, then):
+        floor = then / args.tolerance
+        verdict = "ok" if now >= floor else "REGRESSION"
+        print(
+            f"  {name}: {now:.1f}/s vs committed {then:.1f}/s "
+            f"(floor {floor:.1f}/s) {verdict}"
+        )
+        if now < floor:
+            failures.append(name)
+
+    current_drivers = current.get("drivers", {})
+    for driver, base_entry in sorted(baseline.get("drivers", {}).items()):
+        cur_entry = current_drivers.get(driver)
+        if cur_entry is None:
+            # The smoke suite does not exercise every driver; absent
+            # entries are untouched committed ones, not regressions.
+            print(f"{driver}: not refreshed by this run, skipped")
+            continue
+        print(f"{driver}:")
+        base_cps = base_entry.get("extras", {}).get("sim_cycles_per_second", 0)
+        cur_cps = cur_entry.get("extras", {}).get("sim_cycles_per_second", 0)
+        if base_cps > 0:
+            check(f"{driver}.sim_cycles_per_second", cur_cps, base_cps)
+        for phase, base_phase in sorted(base_entry.get("phases", {}).items()):
+            cur_phase = cur_entry.get("phases", {}).get(phase)
+            base_ips = base_phase.get("items_per_second", 0)
+            if cur_phase is None or base_ips <= 0:
+                continue
+            check(
+                f"{driver}.{phase}.items_per_second",
+                cur_phase.get("items_per_second", 0),
+                base_ips,
+            )
+
+    for driver, entry in sorted(baseline.get("drivers", {}).items()):
+        phases = entry.get("phases", {})
+        fork = phases.get("collect", {}).get("items_per_second", 0)
+        replay = phases.get("collect_replay", {}).get("items_per_second", 0)
+        if replay <= 0:
+            continue
+        ratio = fork / replay
+        verdict = "ok" if ratio >= args.min_fork_speedup else "REGRESSION"
+        print(
+            f"{driver}: committed fork/replay collect ratio "
+            f"{ratio:.2f}x (need >= {args.min_fork_speedup}x) {verdict}"
+        )
+        if ratio < args.min_fork_speedup:
+            failures.append(f"{driver}.fork_speedup")
+
+    if failures:
+        print(
+            "engine throughput regression: " + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("engine throughput within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

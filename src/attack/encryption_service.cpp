@@ -6,8 +6,81 @@
 #include "rcoal/attack/encryption_service.hpp"
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/sim/gpu_machine.hpp"
 
 namespace rcoal::attack {
+
+namespace {
+
+/**
+ * Stream tag separating warm-up plaintexts from trial plaintexts under
+ * one plaintext_seed root: warm-up launch w draws from
+ * Rng::stream(deriveSeed(plaintext_seed, tag), w), trial i from
+ * Rng::stream(plaintext_seed, i), so the two families never collide.
+ */
+constexpr std::uint64_t kWarmupPlaintextTag = 0x77a7'24d5'59c3'b001ull;
+
+/** The full SM range of @p machine. */
+sim::SmRange
+fullRange(const sim::GpuMachine &machine)
+{
+    return sim::SmRange{0, machine.config().numSms};
+}
+
+/**
+ * Run one measured AES launch on @p machine with launch RNG stream
+ * @p rng_stream_index and package the attacker-visible observation.
+ * Mirrors EncryptionService::encrypt(), whose Gpu::launch() path runs
+ * the same launchStream(kernel, full range, 1) on a fresh machine.
+ */
+EncryptionObservation
+encryptOnMachine(sim::GpuMachine &machine,
+                 std::span<const std::uint8_t> key,
+                 std::span<const aes::Block> plaintext_lines,
+                 std::uint64_t rng_stream_index)
+{
+    workloads::AesGpuKernel kernel(plaintext_lines, key,
+                                   machine.config().warpSize);
+    const auto id =
+        machine.launchStream(kernel, fullRange(machine), rng_stream_index);
+    machine.runUntilDone(id);
+    const sim::KernelStats stats = machine.take(id);
+
+    EncryptionObservation obs;
+    obs.ciphertext = kernel.ciphertext();
+    obs.totalTime = static_cast<double>(stats.cycles);
+    obs.lastRoundTime = static_cast<double>(stats.lastRoundCycles());
+    obs.lastRoundAccesses = stats.lastRoundAccesses();
+    obs.totalAccesses = stats.coalescedAccesses;
+    return obs;
+}
+
+/**
+ * The shared prefix: @p warmup AES launches on launch RNG streams
+ * 1..warmup, run to quiescence and retired. Deterministic given
+ * (machine config, key, lines, plaintext_seed, warmup), which is what
+ * makes fork-vs-replay byte-identical.
+ */
+void
+runWarmupLaunches(sim::GpuMachine &machine,
+                  std::span<const std::uint8_t> key, unsigned lines,
+                  std::uint64_t plaintext_seed, unsigned warmup)
+{
+    const std::uint64_t warm_root =
+        Rng::deriveSeed(plaintext_seed, kWarmupPlaintextTag);
+    for (unsigned w = 0; w < warmup; ++w) {
+        Rng rng = Rng::stream(warm_root, w);
+        const auto plaintext = workloads::randomPlaintext(lines, rng);
+        workloads::AesGpuKernel kernel(plaintext, key,
+                                       machine.config().warpSize);
+        const auto id =
+            machine.launchStream(kernel, fullRange(machine), w + 1);
+        machine.runUntilDone(id);
+        machine.take(id);
+    }
+}
+
+} // namespace
 
 EncryptionService::EncryptionService(const sim::GpuConfig &config,
                                      std::span<const std::uint8_t> key)
@@ -66,6 +139,67 @@ EncryptionService::collectSamplesParallel(const sim::GpuConfig &config,
         EncryptionService service(trial_config, key);
         Rng rng = Rng::stream(plaintext_seed, trial);
         return service.encrypt(workloads::randomPlaintext(lines, rng));
+    };
+
+    if (pool != nullptr)
+        return pool->parallelMap(samples, run_trial);
+
+    std::vector<EncryptionObservation> out;
+    out.reserve(samples);
+    for (unsigned s = 0; s < samples; ++s)
+        out.push_back(run_trial(s));
+    return out;
+}
+
+sim::MachineSnapshot
+EncryptionService::warmedSnapshot(const sim::GpuConfig &config,
+                                  std::span<const std::uint8_t> key,
+                                  unsigned lines,
+                                  std::uint64_t plaintext_seed,
+                                  unsigned warmup_launches)
+{
+    sim::GpuMachine machine(config);
+    runWarmupLaunches(machine, key, lines, plaintext_seed,
+                      warmup_launches);
+    return machine.snapshot();
+}
+
+std::vector<EncryptionObservation>
+EncryptionService::collectSamplesShared(const sim::GpuConfig &config,
+                                        std::span<const std::uint8_t> key,
+                                        unsigned samples, unsigned lines,
+                                        std::uint64_t plaintext_seed,
+                                        unsigned warmup_launches,
+                                        CollectMode mode, ThreadPool *pool)
+{
+    if (warmup_launches == 0) {
+        // No shared prefix: this is exactly the historical experiment.
+        return collectSamplesParallel(config, key, samples, lines,
+                                      plaintext_seed, pool);
+    }
+
+    sim::MachineSnapshot warmed;
+    if (mode == CollectMode::Fork) {
+        warmed = warmedSnapshot(config, key, lines, plaintext_seed,
+                                warmup_launches);
+    }
+
+    const auto run_trial = [&](std::size_t trial) {
+        // Trial randomness matches collectSamplesParallel(): GPU seed
+        // deriveSeed(config.seed, trial + 1), plaintext stream
+        // stream(plaintext_seed, trial), measured launch on stream 1.
+        Rng rng = Rng::stream(plaintext_seed, trial);
+        const auto plaintext = workloads::randomPlaintext(lines, rng);
+        std::unique_ptr<sim::GpuMachine> machine;
+        if (mode == CollectMode::Fork) {
+            machine = sim::GpuMachine::fork(warmed);
+        } else {
+            machine = std::make_unique<sim::GpuMachine>(config);
+            runWarmupLaunches(*machine, key, lines, plaintext_seed,
+                              warmup_launches);
+        }
+        machine->reseed(Rng::deriveSeed(config.seed, trial + 1));
+        return encryptOnMachine(*machine, key, plaintext, 1);
     };
 
     if (pool != nullptr)

@@ -20,6 +20,7 @@
 #include "rcoal/aes/key_schedule.hpp"
 #include "rcoal/common/thread_pool.hpp"
 #include "rcoal/sim/gpu.hpp"
+#include "rcoal/sim/snapshot.hpp"
 #include "rcoal/workloads/aes_kernel.hpp"
 
 namespace rcoal::attack {
@@ -40,6 +41,19 @@ enum class MeasurementVector
     TotalTime,
     LastRoundTime,
     ObservedLastRoundAccesses, ///< Noise-free (Fig. 18 methodology).
+};
+
+/**
+ * How collectSamplesShared() reuses the warmed-up machine prefix.
+ * Fork restores each trial's machine from one shared snapshot; Replay
+ * re-simulates the warm-up launches from a cold machine per trial.
+ * The two are byte-identical by construction — Replay is the
+ * verification (and CI cross-check) path, Fork the fast path.
+ */
+enum class CollectMode
+{
+    Fork,
+    Replay,
 };
 
 /**
@@ -98,6 +112,43 @@ class EncryptionService
                            unsigned samples, unsigned lines,
                            std::uint64_t plaintext_seed,
                            ThreadPool *pool = nullptr);
+
+    /**
+     * Prefix-shared batch collection: run @p warmup_launches AES
+     * kernels once on a machine seeded from @p config (plaintexts from
+     * a warm-up-tagged stream below @p plaintext_seed), snapshot the
+     * quiescent machine, then collect each trial on a fork of that
+     * snapshot reseeded Rng::deriveSeed(config.seed, trial + 1) with
+     * plaintext Rng::stream(plaintext_seed, trial). Trial randomness
+     * matches collectSamplesParallel(); the shared prefix adds warm
+     * cache/DRAM/clock-phase state every trial inherits identically.
+     *
+     * CollectMode::Replay produces byte-identical observations by
+     * re-simulating the warm-up prefix per trial instead of forking —
+     * the determinism cross-check. @p warmup_launches == 0 falls back
+     * to collectSamplesParallel() exactly (mode is then irrelevant).
+     *
+     * Deterministic for any worker count, like every collect API here.
+     */
+    static std::vector<EncryptionObservation>
+    collectSamplesShared(const sim::GpuConfig &config,
+                         std::span<const std::uint8_t> key,
+                         unsigned samples, unsigned lines,
+                         std::uint64_t plaintext_seed,
+                         unsigned warmup_launches,
+                         CollectMode mode = CollectMode::Fork,
+                         ThreadPool *pool = nullptr);
+
+    /**
+     * The warmed-up machine snapshot collectSamplesShared() forks:
+     * exposed so callers (benches, tests) can build it once and
+     * inspect or share it.
+     */
+    static sim::MachineSnapshot
+    warmedSnapshot(const sim::GpuConfig &config,
+                   std::span<const std::uint8_t> key, unsigned lines,
+                   std::uint64_t plaintext_seed,
+                   unsigned warmup_launches);
 
     /** Ground truth: the last round key (for evaluating attacks). */
     aes::Block lastRoundKey() const;

@@ -54,13 +54,19 @@ struct ServedSampleSet
  * and deterministic; parallelize across scenarios, not within one.
  * An optional @p telemetry hook is forwarded to the server (see
  * serve::ServeTelemetry) so benches can watch the run live.
+ *
+ * Optional @p warm_boot forwards a warm-boot snapshot to
+ * EncryptionServer::run (meaningful only when
+ * serve_config.warmBootKernels > 0): the scenario then starts from the
+ * restored machine instead of re-simulating the boot launches.
  */
 ServedSampleSet
 collectSamplesServed(const sim::GpuConfig &gpu,
                      const serve::ServeConfig &serve_config,
                      std::span<const std::uint8_t> key,
                      const serve::WorkloadSpec &spec,
-                     const serve::ServeTelemetry *telemetry = nullptr);
+                     const serve::ServeTelemetry *telemetry = nullptr,
+                     const sim::MachineSnapshot *warm_boot = nullptr);
 
 /**
  * The strong attacker's outlier control: clamp (winsorize) the

@@ -103,11 +103,13 @@ collectSamplesServed(const sim::GpuConfig &gpu,
                      const serve::ServeConfig &serve_config,
                      std::span<const std::uint8_t> key,
                      const serve::WorkloadSpec &spec,
-                     const serve::ServeTelemetry *telemetry)
+                     const serve::ServeTelemetry *telemetry,
+                     const sim::MachineSnapshot *warm_boot)
 {
     const serve::EncryptionServer server(gpu, serve_config, key);
     ServedSampleSet set;
-    set.report = server.run(spec, /*tracer=*/nullptr, telemetry);
+    set.report = server.run(spec, /*tracer=*/nullptr, telemetry,
+                            warm_boot);
     set.observations = probeObservations(set.report);
     return set;
 }

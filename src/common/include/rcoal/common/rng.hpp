@@ -55,19 +55,6 @@ class Rng
     void reseed(std::uint64_t seed);
 
     /**
-     * Derive an independent child stream. Children with distinct tags are
-     * statistically independent of the parent and of each other.
-     *
-     * @warning fork() advances the parent, so the child stream depends
-     * on how many values (and forks) the parent produced before the
-     * call: `p.fork(1); p.fork(2)` yields a different second child than
-     * `p.fork(2)` alone. That order-dependence makes fork() unsuitable
-     * for parallel work division — use the counter-based stream()
-     * derivation instead, which depends only on (root_seed, index).
-     */
-    Rng fork(std::uint64_t stream_tag);
-
-    /**
      * Counter-based stream derivation: the RNG for sub-experiment
      * @p stream_index of the experiment rooted at @p root_seed.
      *

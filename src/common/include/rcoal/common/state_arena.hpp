@@ -1,0 +1,168 @@
+/**
+ * @file
+ * StateArena: a relocatable, tagged byte buffer for machine snapshots.
+ *
+ * Snapshot/fork of the GPU machine works by serializing every mutable
+ * component field into one contiguous arena at a quiescent point (no
+ * resident kernels, every queue drained). A snapshot is then a single
+ * allocation that can be shared read-only between threads, a fork is a
+ * fresh machine restored from the arena, and byte equality of two
+ * arenas is exactly state equality of the machines that produced them
+ * (the reset-vs-fresh audit test relies on this).
+ *
+ * Layout is a flat sequence of regions, each framed as
+ *
+ *   [u32 tag][u64 payload size][payload bytes]
+ *
+ * with payloads written field-by-field (never whole structs with
+ * padding, so arena bytes are deterministic). ArenaWriter appends and
+ * back-patches region sizes; ArenaReader consumes with tag and size
+ * checking, so any drift between save and restore order panics instead
+ * of silently misreading.
+ */
+
+#ifndef RCOAL_COMMON_STATE_ARENA_HPP
+#define RCOAL_COMMON_STATE_ARENA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "rcoal/common/logging.hpp"
+
+namespace rcoal::common {
+
+/**
+ * The snapshot byte buffer. Immutable once written; share via
+ * std::shared_ptr<const StateArena>.
+ */
+class StateArena
+{
+  public:
+    std::size_t sizeBytes() const { return data.size(); }
+    const std::vector<std::byte> &bytes() const { return data; }
+
+    /** Exact byte equality (state equality of the saved machines). */
+    bool byteEqual(const StateArena &other) const
+    {
+        return data == other.data;
+    }
+
+  private:
+    friend class ArenaWriter;
+    friend class ArenaReader;
+    std::vector<std::byte> data;
+};
+
+/**
+ * Sequential writer. Regions may not nest.
+ */
+class ArenaWriter
+{
+  public:
+    explicit ArenaWriter(StateArena &arena);
+
+    /** Open a region with @p tag; close it with endRegion(). */
+    void beginRegion(std::uint32_t tag);
+
+    /** Close the current region, back-patching its payload size. */
+    void endRegion();
+
+    /** Append one trivially-copyable, padding-free value. */
+    template <typename T>
+    void
+    pod(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "arena pod() needs a trivially copyable type");
+        append(&value, sizeof(T));
+    }
+
+    /** Append a vector of padding-free PODs as [u64 count][raw]. */
+    template <typename T>
+    void
+    podVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "arena podVector() needs trivially copyable elements");
+        pod(static_cast<std::uint64_t>(v.size()));
+        if (!v.empty())
+            append(v.data(), v.size() * sizeof(T));
+    }
+
+    /** Append a string as [u64 length][bytes]. */
+    void string(const std::string &s);
+
+  private:
+    void append(const void *src, std::size_t n);
+
+    StateArena &arena;
+    std::size_t regionSizeAt; ///< Offset of the open region's size field.
+    bool regionOpen = false;
+};
+
+/**
+ * Sequential reader; mirrors the writer call-for-call.
+ */
+class ArenaReader
+{
+  public:
+    explicit ArenaReader(const StateArena &arena);
+
+    /** Open the next region, asserting its tag is @p tag. */
+    void beginRegion(std::uint32_t tag);
+
+    /** Close the region, asserting its payload was fully consumed. */
+    void endRegion();
+
+    template <typename T>
+    void
+    pod(T &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "arena pod() needs a trivially copyable type");
+        consume(&out, sizeof(T));
+    }
+
+    /** Read a pod() value by type (convenience for locals). */
+    template <typename T>
+    T
+    take()
+    {
+        T value{};
+        pod(value);
+        return value;
+    }
+
+    template <typename T>
+    void
+    podVector(std::vector<T> &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "arena podVector() needs trivially copyable elements");
+        const auto count = take<std::uint64_t>();
+        out.resize(static_cast<std::size_t>(count));
+        if (count > 0)
+            consume(out.data(), out.size() * sizeof(T));
+    }
+
+    void string(std::string &out);
+
+    /** True when every byte of the arena has been consumed. */
+    bool atEnd() const;
+
+  private:
+    void consume(void *dst, std::size_t n);
+
+    const StateArena &arena;
+    std::size_t cursor = 0;
+    std::size_t regionEnd = 0; ///< One past the open region's payload.
+    bool regionOpen = false;
+};
+
+} // namespace rcoal::common
+
+#endif // RCOAL_COMMON_STATE_ARENA_HPP

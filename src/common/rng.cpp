@@ -46,18 +46,6 @@ Rng::reseed(std::uint64_t seed)
         word = sm.next();
 }
 
-Rng
-Rng::fork(std::uint64_t stream_tag)
-{
-    // Mix the tag with fresh output so children with distinct tags get
-    // unrelated SplitMix64 seeds. Note this consumes parent output:
-    // the child depends on the parent's position, not just the tag
-    // (see the header warning; stream() is the order-free alternative).
-    const std::uint64_t child_seed =
-        next64() ^ (stream_tag * 0x9e3779b97f4a7c15ull + 0x1234'5678'9abc'def0ull);
-    return Rng(child_seed);
-}
-
 std::uint64_t
 Rng::deriveSeed(std::uint64_t root_seed, std::uint64_t stream_index)
 {

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * StateArena writer/reader implementation.
+ */
+
+#include "rcoal/common/state_arena.hpp"
+
+namespace rcoal::common {
+
+ArenaWriter::ArenaWriter(StateArena &arena_) : arena(arena_), regionSizeAt(0)
+{
+    RCOAL_ASSERT(arena.data.empty(),
+                 "an arena can be written exactly once");
+}
+
+void
+ArenaWriter::beginRegion(std::uint32_t tag)
+{
+    RCOAL_ASSERT(!regionOpen, "arena regions do not nest");
+    regionOpen = true;
+    append(&tag, sizeof(tag));
+    const std::uint64_t placeholder = 0;
+    regionSizeAt = arena.data.size();
+    append(&placeholder, sizeof(placeholder));
+}
+
+void
+ArenaWriter::endRegion()
+{
+    RCOAL_ASSERT(regionOpen, "endRegion() without beginRegion()");
+    regionOpen = false;
+    const std::uint64_t payload = static_cast<std::uint64_t>(
+        arena.data.size() - regionSizeAt - sizeof(std::uint64_t));
+    std::memcpy(arena.data.data() + regionSizeAt, &payload, sizeof(payload));
+}
+
+void
+ArenaWriter::string(const std::string &s)
+{
+    pod(static_cast<std::uint64_t>(s.size()));
+    if (!s.empty())
+        append(s.data(), s.size());
+}
+
+void
+ArenaWriter::append(const void *src, std::size_t n)
+{
+    const std::size_t at = arena.data.size();
+    arena.data.resize(at + n);
+    std::memcpy(arena.data.data() + at, src, n);
+}
+
+ArenaReader::ArenaReader(const StateArena &arena_) : arena(arena_) {}
+
+void
+ArenaReader::beginRegion(std::uint32_t tag)
+{
+    RCOAL_ASSERT(!regionOpen, "arena regions do not nest");
+    std::uint32_t found = 0;
+    std::uint64_t payload = 0;
+    // Frame fields live outside any region; read them raw.
+    RCOAL_ASSERT(cursor + sizeof(found) + sizeof(payload) <=
+                     arena.data.size(),
+                 "arena truncated at region header");
+    std::memcpy(&found, arena.data.data() + cursor, sizeof(found));
+    cursor += sizeof(found);
+    std::memcpy(&payload, arena.data.data() + cursor, sizeof(payload));
+    cursor += sizeof(payload);
+    RCOAL_ASSERT(found == tag,
+                 "arena region tag mismatch: expected %u, found %u",
+                 static_cast<unsigned>(tag), static_cast<unsigned>(found));
+    regionEnd = cursor + static_cast<std::size_t>(payload);
+    RCOAL_ASSERT(regionEnd <= arena.data.size(),
+                 "arena region overruns the buffer");
+    regionOpen = true;
+}
+
+void
+ArenaReader::endRegion()
+{
+    RCOAL_ASSERT(regionOpen, "endRegion() without beginRegion()");
+    RCOAL_ASSERT(cursor == regionEnd,
+                 "arena region not fully consumed: %zu bytes left",
+                 regionEnd - cursor);
+    regionOpen = false;
+}
+
+void
+ArenaReader::string(std::string &out)
+{
+    const auto len = take<std::uint64_t>();
+    out.resize(static_cast<std::size_t>(len));
+    if (len > 0)
+        consume(out.data(), out.size());
+}
+
+bool
+ArenaReader::atEnd() const
+{
+    return cursor == arena.data.size();
+}
+
+void
+ArenaReader::consume(void *dst, std::size_t n)
+{
+    RCOAL_ASSERT(regionOpen, "arena reads must happen inside a region");
+    RCOAL_ASSERT(cursor + n <= regionEnd,
+                 "arena read of %zu bytes overruns its region", n);
+    std::memcpy(dst, arena.data.data() + cursor, n);
+    cursor += n;
+}
+
+} // namespace rcoal::common

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rcoal/common/state_arena.hpp"
 #include "rcoal/common/types.hpp"
 #include "rcoal/sim/memory_access.hpp"
 
@@ -51,6 +52,19 @@ class MshrTable
 
     std::size_t occupancy() const { return table.size(); }
     std::uint64_t merges() const { return mergeCount; }
+
+    /**
+     * Return to the freshly-constructed state. Requires no outstanding
+     * entries (mergeCount is the only state that survives a drain —
+     * before the reset audit it leaked across machine resets).
+     */
+    void reset();
+
+    /** Serialize at quiescence (no outstanding entries). */
+    void saveState(common::ArenaWriter &w) const;
+
+    /** Restore state saved by saveState(). */
+    void restoreState(common::ArenaReader &r);
 
   private:
     std::size_t capacity;

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rcoal/common/state_arena.hpp"
 #include "rcoal/common/types.hpp"
 #include "rcoal/sim/config.hpp"
 
@@ -72,6 +73,20 @@ class SectoredCache
 
     /** Invalidate everything (reservations are unaffected). */
     void clear();
+
+    /**
+     * Return the cache to its freshly-constructed state: lines,
+     * per-set age stamps, reservations, and every counter. Unlike
+     * clear(), which deliberately keeps the counters and ages, this is
+     * the machine-reset path (reset-vs-fresh byte identity).
+     */
+    void resetAll();
+
+    /** Serialize lines, ages, reservations, and counters. */
+    void saveState(common::ArenaWriter &w) const;
+
+    /** Restore state saved by saveState(); geometry must match. */
+    void restoreState(common::ArenaReader &r);
 
     unsigned hitLatency() const { return geom.hitLatency; }
 

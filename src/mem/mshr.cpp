@@ -56,4 +56,28 @@ MshrTable::complete(Addr block_addr)
     return waiting;
 }
 
+void
+MshrTable::reset()
+{
+    RCOAL_ASSERT(table.empty(), "MSHR reset with %zu entries in flight",
+                 table.size());
+    mergeCount = 0;
+}
+
+void
+MshrTable::saveState(common::ArenaWriter &w) const
+{
+    RCOAL_ASSERT(table.empty(),
+                 "MSHR snapshot with %zu entries in flight", table.size());
+    w.pod(mergeCount);
+}
+
+void
+MshrTable::restoreState(common::ArenaReader &r)
+{
+    RCOAL_ASSERT(table.empty(),
+                 "MSHR restore with %zu entries in flight", table.size());
+    r.pod(mergeCount);
+}
+
 } // namespace rcoal::mem

@@ -154,4 +154,58 @@ SectoredCache::release()
     --outstandingFills;
 }
 
+void
+SectoredCache::resetAll()
+{
+    lines.assign(lines.size(), Line{});
+    setAge.assign(numSets, 1);
+    outstandingFills = 0;
+    hitCount = 0;
+    missCount = 0;
+    sectorMissCount = 0;
+    fillCount = 0;
+    evictionCount = 0;
+}
+
+void
+SectoredCache::saveState(common::ArenaWriter &w) const
+{
+    w.pod(static_cast<std::uint64_t>(lines.size()));
+    for (const Line &line : lines) {
+        w.pod(line.tag);
+        w.pod(line.sectorMask);
+        w.pod(line.age);
+    }
+    w.podVector(setAge);
+    w.pod(outstandingFills);
+    w.pod(hitCount);
+    w.pod(missCount);
+    w.pod(sectorMissCount);
+    w.pod(fillCount);
+    w.pod(evictionCount);
+}
+
+void
+SectoredCache::restoreState(common::ArenaReader &r)
+{
+    const auto count = r.take<std::uint64_t>();
+    RCOAL_ASSERT(count == lines.size(),
+                 "cache geometry mismatch: snapshot has %llu lines, "
+                 "cache has %zu",
+                 static_cast<unsigned long long>(count), lines.size());
+    for (Line &line : lines) {
+        r.pod(line.tag);
+        r.pod(line.sectorMask);
+        r.pod(line.age);
+    }
+    r.podVector(setAge);
+    RCOAL_ASSERT(setAge.size() == numSets, "set-age size mismatch");
+    r.pod(outstandingFills);
+    r.pod(hitCount);
+    r.pod(missCount);
+    r.pod(sectorMissCount);
+    r.pod(fillCount);
+    r.pod(evictionCount);
+}
+
 } // namespace rcoal::mem

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "rcoal/common/state_arena.hpp"
 #include "rcoal/common/types.hpp"
 
 namespace rcoal::core {
@@ -71,6 +72,21 @@ class PendingRequestTable
 
     /** Hardware cost of the sid field in bits (Section IV-D). */
     static std::size_t sidFieldBits(unsigned warp_size);
+
+    /**
+     * Return the table to its freshly-constructed state. Requires the
+     * table to be empty; rebuilds the pristine free-list order so a
+     * quiescent table is byte-identical to a new one (entry indices are
+     * pure IDs with no observable effect, so canonicalizing the LIFO
+     * order is behavior-preserving).
+     */
+    void reset();
+
+    /** Serialize the full table state (field-wise, padding-free). */
+    void saveState(common::ArenaWriter &w) const;
+
+    /** Restore state saved by saveState(); capacity must match. */
+    void restoreState(common::ArenaReader &r);
 
   private:
     std::vector<PrtEntry> table;

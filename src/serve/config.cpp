@@ -55,12 +55,15 @@ ServeConfig::validate(const sim::GpuConfig &gpu) const
 std::string
 ServeConfig::describe(const sim::GpuConfig &gpu) const
 {
-    return strprintf(
+    std::string text = strprintf(
         "serve: queue %zu, policy %s (batch<=%u, timeout %llu), "
         "%u gangs x %u SMs",
         queueCapacity, batchPolicyName(batchPolicy), maxBatchRequests,
         static_cast<unsigned long long>(batchTimeoutCycles), numGangs(gpu),
         smsPerKernel);
+    if (warmBootKernels > 0)
+        text += strprintf(", warm boot %u kernels", warmBootKernels);
+    return text;
 }
 
 } // namespace rcoal::serve

@@ -72,6 +72,19 @@ struct ServeConfig
     /** Hard wall for one serve simulation (deadlock/livelock guard). */
     Cycle maxSimCycles = 500'000'000;
 
+    /**
+     * Warm boot: AES launches retired on the machine before the serve
+     * loop starts (0 = historical cold boot). Their randomness derives
+     * from warmBootSeed, never the scenario GPU seed, so the booted
+     * state is one shared prefix across a seed sweep — callers can
+     * snapshot it once and pass the fork to every scenario
+     * (EncryptionServer::warmBootSnapshot / run(..., warm_boot)).
+     */
+    unsigned warmBootKernels = 0;
+
+    /** Root of the warm-boot launch/plaintext randomness. */
+    std::uint64_t warmBootSeed = 0x5eed'b007;
+
     /** Number of kernel gangs this config yields on @p gpu. */
     unsigned numGangs(const sim::GpuConfig &gpu) const
     {

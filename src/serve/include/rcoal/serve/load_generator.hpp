@@ -81,6 +81,15 @@ class OpenLoopGenerator
      */
     Cycle nextEventCycle();
 
+    /**
+     * Rebase the arrival process to begin at @p origin: the first gap
+     * extends from @p origin instead of cycle 0 (every later arrival
+     * shifts with it, gaps unchanged). Must precede the first
+     * poll()/nextEventCycle() — the serve loop calls it after a warm
+     * boot so the offered load is the cold-boot load, shifted.
+     */
+    void startAt(Cycle origin);
+
     /** Requests emitted so far. */
     std::uint64_t issued() const { return issuedCount; }
 
@@ -91,6 +100,7 @@ class OpenLoopGenerator
     std::uint64_t nextId;
     std::uint64_t issuedCount = 0;
     Cycle nextArrival = 0;
+    Cycle origin = 0; ///< startAt() rebase of the arrival process.
     bool enabled;
     bool primed = false; ///< First gap drawn lazily on first poll.
 };
@@ -144,6 +154,12 @@ class ClosedLoopGenerator
      * keeping the observation sequence aligned with request indices).
      */
     void onRejection(int client_id, Request request, Cycle now);
+
+    /**
+     * Rebase every client's first submission to @p origin (see
+     * OpenLoopGenerator::startAt). Must precede the first poll().
+     */
+    void startAt(Cycle origin);
 
     /** Requests submitted so far (retries are not re-counted). */
     std::uint64_t issued() const { return issuedCount; }

@@ -19,6 +19,7 @@
 #include "rcoal/serve/config.hpp"
 #include "rcoal/serve/metrics.hpp"
 #include "rcoal/sim/config.hpp"
+#include "rcoal/sim/snapshot.hpp"
 
 namespace rcoal::trace {
 class Tracer;
@@ -107,10 +108,28 @@ class EncryptionServer
      * When a tracer is also attached, every sink's recorded/dropped
      * counters are re-exported through the registry so silent trace
      * loss is visible in exposition output.
+     *
+     * With ServeConfig::warmBootKernels > 0 the machine is booted
+     * before the loop: either restored from @p warm_boot (a snapshot
+     * from warmBootSnapshot() on a structurally identical GpuConfig —
+     * the fast path when many scenarios share one gpu config) or, when
+     * @p warm_boot is null, by re-simulating the boot launches inline
+     * (the byte-identical replay path). The serve loop then runs in
+     * machine time rebased to the boot point, so every reported cycle
+     * count stays boot-invariant.
      */
     ServeReport run(const WorkloadSpec &spec,
                     trace::Tracer *tracer = nullptr,
-                    const ServeTelemetry *telemetry = nullptr) const;
+                    const ServeTelemetry *telemetry = nullptr,
+                    const sim::MachineSnapshot *warm_boot = nullptr) const;
+
+    /**
+     * Boot a fresh machine with ServeConfig::warmBootKernels launches
+     * and snapshot it at quiescence. The snapshot restores into any
+     * server whose GpuConfig differs at most in seed — build it once
+     * per gpu config and share it across a scenario sweep.
+     */
+    sim::MachineSnapshot warmBootSnapshot() const;
 
   private:
     sim::GpuConfig gpuConfig;

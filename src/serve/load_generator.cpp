@@ -71,13 +71,21 @@ OpenLoopGenerator::OpenLoopGenerator(double mean_gap_cycles,
 }
 
 void
+OpenLoopGenerator::startAt(Cycle start_origin)
+{
+    RCOAL_ASSERT(!primed && issuedCount == 0,
+                 "open-loop startAt() after traffic already began");
+    origin = start_origin;
+}
+
+void
 OpenLoopGenerator::poll(Cycle now, std::vector<Request> &out)
 {
     if (!enabled)
         return;
     if (!primed) {
         Rng rng = Rng::stream(seed, issuedCount);
-        nextArrival = exponentialGap(rng, meanGap);
+        nextArrival = origin + exponentialGap(rng, meanGap);
         primed = true;
     }
     while (nextArrival <= now) {
@@ -114,7 +122,7 @@ OpenLoopGenerator::nextEventCycle()
         return kInvalidCycle;
     if (!primed) {
         Rng rng = Rng::stream(seed, issuedCount);
-        nextArrival = exponentialGap(rng, meanGap);
+        nextArrival = origin + exponentialGap(rng, meanGap);
         primed = true;
     }
     return nextArrival;
@@ -193,6 +201,15 @@ ClosedLoopGenerator::onCompletion(int client_id, Cycle now)
                  client_id);
     client.waiting = false;
     client.nextSubmitAt = now + thinkCycles;
+}
+
+void
+ClosedLoopGenerator::startAt(Cycle origin)
+{
+    RCOAL_ASSERT(issuedCount == 0,
+                 "closed-loop startAt() after traffic already began");
+    for (Client &client : clientsState)
+        client.nextSubmitAt = origin;
 }
 
 void

@@ -16,6 +16,7 @@
 #include "rcoal/telemetry/leakage_auditor.hpp"
 #include "rcoal/telemetry/sampler.hpp"
 #include "rcoal/trace/tracer.hpp"
+#include "rcoal/workloads/aes_kernel.hpp"
 
 namespace rcoal::serve {
 
@@ -23,6 +24,40 @@ namespace {
 
 /** Background requests get ids far above any probe id. */
 constexpr std::uint64_t kBackgroundFirstId = 1'000'000'000;
+
+/** Stream tag separating warm-boot plaintexts from all serve traffic. */
+constexpr std::uint64_t kBootPlaintextTag = 0xb007'74b1'e5ee'd001ull;
+
+/** Plaintext lines per warm-boot kernel (one full warp). */
+constexpr unsigned kBootLines = 32;
+
+/**
+ * Retire ServeConfig::warmBootKernels AES launches on @p machine. All
+ * randomness (launch RNG streams 1..N under warmBootSeed, plaintexts
+ * from a boot-tagged stream) derives from warmBootSeed alone, so the
+ * booted state is independent of the scenario GPU seed — the caller
+ * reseeds back afterwards. Leaves the machine with cfg.seed ==
+ * warmBootSeed, exactly like restoring a warmBootSnapshot().
+ */
+void
+runBootLaunches(sim::GpuMachine &machine,
+                std::span<const std::uint8_t> key,
+                const ServeConfig &serve)
+{
+    machine.reseed(serve.warmBootSeed);
+    const std::uint64_t plaintext_root =
+        Rng::deriveSeed(serve.warmBootSeed, kBootPlaintextTag);
+    const sim::SmRange all{0, machine.config().numSms};
+    for (unsigned w = 0; w < serve.warmBootKernels; ++w) {
+        Rng rng = Rng::stream(plaintext_root, w);
+        const auto plaintext = workloads::randomPlaintext(kBootLines, rng);
+        workloads::AesGpuKernel kernel(plaintext, key,
+                                       machine.config().warpSize);
+        const auto id = machine.launchStream(kernel, all, w + 1);
+        machine.runUntilDone(id);
+        machine.take(id);
+    }
+}
 
 /** Serve-layer instruments; null when telemetry is off. */
 struct ServeCells
@@ -55,16 +90,40 @@ EncryptionServer::EncryptionServer(const sim::GpuConfig &gpu,
     serveConfig.validate(gpuConfig);
 }
 
+sim::MachineSnapshot
+EncryptionServer::warmBootSnapshot() const
+{
+    sim::GpuMachine machine(gpuConfig);
+    runBootLaunches(machine, secretKey, serveConfig);
+    return machine.snapshot();
+}
+
 ServeReport
 EncryptionServer::run(const WorkloadSpec &spec,
                       trace::Tracer *tracer,
-                      const ServeTelemetry *telemetry) const
+                      const ServeTelemetry *telemetry,
+                      const sim::MachineSnapshot *warm_boot) const
 {
     RCOAL_ASSERT(spec.probeSamples > 0, "workload without probes");
+    RCOAL_ASSERT(warm_boot == nullptr || serveConfig.warmBootKernels > 0,
+                 "warm-boot snapshot passed with warmBootKernels == 0");
 
     RequestQueue queue(serveConfig.queueCapacity);
     Batcher batcher(serveConfig);
     KernelScheduler scheduler(gpuConfig, serveConfig, secretKey);
+    if (serveConfig.warmBootKernels > 0) {
+        // Boot before any tracer/telemetry attaches: the boot prefix is
+        // shared machinery, not part of the measured scenario. restore()
+        // adopts the snapshot's seed (warmBootSeed) just like the inline
+        // replay, so reseeding back to the scenario seed makes the two
+        // paths byte-identical from here on.
+        sim::GpuMachine &machine = scheduler.gpu();
+        if (warm_boot != nullptr)
+            machine.restore(*warm_boot);
+        else
+            runBootLaunches(machine, secretKey, serveConfig);
+        machine.reseed(gpuConfig.seed);
+    }
     [[maybe_unused]] trace::TraceSink *serve_sink = nullptr;
     if (tracer != nullptr) {
         scheduler.gpu().setTracer(tracer);
@@ -173,7 +232,15 @@ EncryptionServer::run(const WorkloadSpec &spec,
         }
     }
 
-    Cycle now = 0;
+    // The loop runs in machine time rebased to the boot point: after a
+    // warm boot the machine clock is already past zero, and keeping
+    // now == machine.now() is what lets the skip path below pass
+    // machine-time targets through unchanged. All reported cycle
+    // counts subtract `start`, so they are boot-invariant.
+    const Cycle start = scheduler.gpu().now();
+    probes.startAt(start);
+    background.startAt(start);
+    Cycle now = start;
     while (true) {
         // 1. Retire finished batches and notify closed-loop clients.
         for (CompletedRequest &done : scheduler.collectCompleted(now)) {
@@ -255,10 +322,10 @@ EncryptionServer::run(const WorkloadSpec &spec,
 
         scheduler.tick();
         ++now;
-        if (now > serveConfig.maxSimCycles) {
+        if (now - start > serveConfig.maxSimCycles) {
             fatal("serve simulation still running after %llu cycles "
                   "(%u/%u probes done) — livelocked workload?",
-                  static_cast<unsigned long long>(now),
+                  static_cast<unsigned long long>(now - start),
                   probe_completions, spec.probeSamples);
         }
 
@@ -284,7 +351,8 @@ EncryptionServer::run(const WorkloadSpec &spec,
                 }
                 // Keep the livelock backstop: never jump past the cycle
                 // the fatal above would have fired at.
-                target = std::min(target, serveConfig.maxSimCycles + 1);
+                target = std::min(target,
+                                  start + serveConfig.maxSimCycles + 1);
                 if (target > now + 1) {
                     const Cycle skipped = machine.skipTo(target);
                     depth_sum += queue.size() * skipped;
@@ -295,7 +363,7 @@ EncryptionServer::run(const WorkloadSpec &spec,
         }
     }
 
-    report.totalCycles = now;
+    report.totalCycles = now - start;
     report.kernels = scheduler.takeKernelSnapshots();
     report.admitted = queue.admitted();
     report.rejected = queue.rejected();
@@ -305,15 +373,13 @@ EncryptionServer::run(const WorkloadSpec &spec,
             ? 0.0
             : static_cast<double>(scheduler.batchedRequests()) /
                   static_cast<double>(scheduler.kernelsLaunched());
-    if (now > 0) {
-        report.meanQueueDepth = static_cast<double>(depth_sum) /
-                                static_cast<double>(now);
-        report.meanBusySms = static_cast<double>(busy_sum) /
-                             static_cast<double>(now);
+    if (now > start) {
+        const auto elapsed = static_cast<double>(now - start);
+        report.meanQueueDepth = static_cast<double>(depth_sum) / elapsed;
+        report.meanBusySms = static_cast<double>(busy_sum) / elapsed;
         report.smOccupancy =
             report.meanBusySms / static_cast<double>(gpuConfig.numSms);
-        const double seconds = static_cast<double>(now) /
-                               (gpuConfig.coreClockMhz * 1e6);
+        const double seconds = elapsed / (gpuConfig.coreClockMhz * 1e6);
         report.throughputReqPerSec =
             static_cast<double>(report.completed.size()) / seconds;
     }

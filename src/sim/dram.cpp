@@ -369,4 +369,79 @@ DramPartition::popCompleted(Cycle now)
     panic("popCompleted with nothing completed (partition %u)", id);
 }
 
+void
+DramPartition::reset()
+{
+    RCOAL_ASSERT(idle(), "DRAM reset with requests in flight");
+    banks.assign(banks.size(), Bank{});
+    for (BankCounters &c : bankStats)
+        c = BankCounters{};
+    refreshCount = 0;
+    busFreeAt.assign(bt.pseudoChannels, 0);
+    nextActivateAny = 0;
+    nextColumnGroup.assign(bt.bankGroups, 0);
+    nextActivateGroup.assign(bt.bankGroups, 0);
+    nextColumnAnyPc.assign(bt.pseudoChannels, 0);
+    nextRefreshAt = bt.base.tREFI;
+}
+
+void
+DramPartition::saveState(common::ArenaWriter &w) const
+{
+    RCOAL_ASSERT(idle(), "DRAM snapshot with requests in flight");
+    w.pod(static_cast<std::uint64_t>(banks.size()));
+    for (const Bank &bank : banks) {
+        w.pod(bank.openRow);
+        w.pod(bank.nextRead);
+        w.pod(bank.nextActivate);
+        w.pod(bank.prechargeAllowed);
+    }
+    for (const BankCounters &c : bankStats) {
+        w.pod(c.rowHits);
+        w.pod(c.rowMisses);
+        w.pod(c.activates);
+        w.pod(c.precharges);
+    }
+    w.pod(refreshCount);
+    w.podVector(busFreeAt);
+    w.pod(nextActivateAny);
+    w.podVector(nextColumnGroup);
+    w.podVector(nextActivateGroup);
+    w.podVector(nextColumnAnyPc);
+    w.pod(nextRefreshAt);
+}
+
+void
+DramPartition::restoreState(common::ArenaReader &r)
+{
+    RCOAL_ASSERT(idle(), "DRAM restore with requests in flight");
+    const auto count = r.take<std::uint64_t>();
+    RCOAL_ASSERT(count == banks.size(),
+                 "DRAM bank-count mismatch: snapshot has %llu, "
+                 "partition has %zu",
+                 static_cast<unsigned long long>(count), banks.size());
+    for (Bank &bank : banks) {
+        r.pod(bank.openRow);
+        r.pod(bank.nextRead);
+        r.pod(bank.nextActivate);
+        r.pod(bank.prechargeAllowed);
+    }
+    for (BankCounters &c : bankStats) {
+        r.pod(c.rowHits);
+        r.pod(c.rowMisses);
+        r.pod(c.activates);
+        r.pod(c.precharges);
+    }
+    r.pod(refreshCount);
+    r.podVector(busFreeAt);
+    r.pod(nextActivateAny);
+    r.podVector(nextColumnGroup);
+    r.podVector(nextActivateGroup);
+    r.podVector(nextColumnAnyPc);
+    r.pod(nextRefreshAt);
+    RCOAL_ASSERT(busFreeAt.size() == bt.pseudoChannels &&
+                     nextColumnGroup.size() == bt.bankGroups,
+                 "DRAM backend structure mismatch on restore");
+}
+
 } // namespace rcoal::sim

@@ -24,6 +24,15 @@ validated(GpuConfig config)
     return config;
 }
 
+// Snapshot arena region tags. The reader checks each against the
+// writer's order, so a save/restore drift panics instead of misreading.
+constexpr std::uint32_t kTagMachine = 0x6d636831; // 'mch1'
+constexpr std::uint32_t kTagSm = 0x736d3031;      // 'sm01'
+constexpr std::uint32_t kTagXbar = 0x78626172;    // 'xbar'
+constexpr std::uint32_t kTagDram = 0x6472616d;    // 'dram'
+constexpr std::uint32_t kTagL2 = 0x6c322e30;      // 'l2.0'
+constexpr std::uint32_t kTagChecker = 0x63686b72; // 'chkr'
+
 } // namespace
 
 SimCycleCounters &
@@ -86,22 +95,30 @@ GpuMachine::setTracer(trace::Tracer *t)
         for (auto &dram : drams)
             dram->setTraceSink(nullptr);
         machineSink = nullptr;
+        attachedSinks.clear();
         return;
     }
     t->setCoreCyclesPerMemCycle(cfg.coreClockMhz / cfg.memClockMhz);
+    attachedSinks.clear();
+    const auto attach = [this](trace::TraceSink &sink) {
+        attachedSinks.push_back(&sink);
+        return &sink;
+    };
     for (unsigned s = 0; s < cfg.numSms; ++s) {
-        sms[s]->setTraceSink(&t->sink(strprintf("sm%u", s),
-                                      trace::ClockDomain::Core,
-                                      static_cast<std::uint16_t>(s)));
+        sms[s]->setTraceSink(attach(t->sink(
+            strprintf("sm%u", s), trace::ClockDomain::Core,
+            static_cast<std::uint16_t>(s))));
     }
-    reqXbar.setTraceSink(&t->sink("xbar.req", trace::ClockDomain::Core));
-    respXbar.setTraceSink(&t->sink("xbar.resp", trace::ClockDomain::Core));
+    reqXbar.setTraceSink(
+        attach(t->sink("xbar.req", trace::ClockDomain::Core)));
+    respXbar.setTraceSink(
+        attach(t->sink("xbar.resp", trace::ClockDomain::Core)));
     for (unsigned p = 0; p < cfg.numPartitions; ++p) {
-        drams[p]->setTraceSink(&t->sink(strprintf("dram%u", p),
-                                        trace::ClockDomain::Memory,
-                                        static_cast<std::uint16_t>(p)));
+        drams[p]->setTraceSink(attach(t->sink(
+            strprintf("dram%u", p), trace::ClockDomain::Memory,
+            static_cast<std::uint16_t>(p))));
     }
-    machineSink = &t->sink("machine", trace::ClockDomain::Core);
+    machineSink = attach(t->sink("machine", trace::ClockDomain::Core));
 }
 
 void
@@ -112,6 +129,7 @@ GpuMachine::enableDramChecking(trace::DramProtocolChecker::Mode mode)
     // the GDDR6/HBM2 personalities.
     const trace::DramProtocolChecker::Params params =
         mem::checkerParamsFor(cfg);
+    checkerMode = mode;
     checkers.clear();
     checkers.reserve(drams.size());
     for (auto &dram : drams) {
@@ -119,6 +137,232 @@ GpuMachine::enableDramChecking(trace::DramProtocolChecker::Mode mode)
             std::make_unique<trace::DramProtocolChecker>(params, mode));
         dram->setChecker(checkers.back().get());
     }
+}
+
+bool
+GpuMachine::quiescent() const
+{
+    if (!active.empty())
+        return false;
+    if (!reqXbar.idle() || !respXbar.idle())
+        return false;
+    for (const auto &dram : drams) {
+        if (!dram->idle())
+            return false;
+    }
+    for (const auto &sm : sms) {
+        if (sm->residentWarps() != 0)
+            return false;
+    }
+    for (const auto &front : l2) {
+        if (!front.pendingHits.empty())
+            return false;
+    }
+    for (const auto &backlog : respBacklog) {
+        if (!backlog.empty())
+            return false;
+    }
+    return true;
+}
+
+MachineSnapshot
+GpuMachine::snapshot() const
+{
+    RCOAL_ASSERT(quiescent(),
+                 "snapshot requires a quiescent machine (no resident "
+                 "kernels, all queues drained)");
+    static_assert(std::is_trivially_copyable_v<KernelStats>,
+                  "KernelStats must stay memcpy-serializable");
+    auto arena = std::make_shared<common::StateArena>();
+    common::ArenaWriter w(*arena);
+
+    w.beginRegion(kTagMachine);
+    w.pod(memStats);
+    w.pod(retiredTotals);
+    w.pod(retiredLaunches);
+    w.pod(launchCounter);
+    w.pod(accessIds);
+    w.pod(nowCycle);
+    w.pod(memCycle);
+    w.pod(memAccum);
+    w.pod(skippedTotal);
+    w.endRegion();
+
+    for (const auto &sm : sms) {
+        w.beginRegion(kTagSm);
+        sm->saveState(w);
+        w.endRegion();
+    }
+
+    w.beginRegion(kTagXbar);
+    reqXbar.saveState(w);
+    respXbar.saveState(w);
+    w.endRegion();
+
+    for (const auto &dram : drams) {
+        w.beginRegion(kTagDram);
+        dram->saveState(w);
+        w.endRegion();
+    }
+
+    w.beginRegion(kTagL2);
+    for (const auto &front : l2) {
+        front.cache->saveState(w);
+        w.pod(static_cast<std::uint8_t>(front.mshr != nullptr));
+        if (front.mshr)
+            front.mshr->saveState(w);
+    }
+    w.endRegion();
+
+    w.beginRegion(kTagChecker);
+    w.pod(static_cast<std::uint8_t>(!checkers.empty()));
+    if (!checkers.empty()) {
+        w.pod(static_cast<std::uint8_t>(checkerMode));
+        for (const auto &checker : checkers)
+            checker->saveState(w);
+    }
+    w.endRegion();
+
+    MachineSnapshot snap;
+    snap.config = cfg;
+    snap.arena = std::move(arena);
+    return snap;
+}
+
+void
+GpuMachine::restore(const MachineSnapshot &snap)
+{
+    RCOAL_ASSERT(snap.arena != nullptr, "restore from an empty snapshot");
+    GpuConfig structural = snap.config;
+    structural.seed = cfg.seed;
+    RCOAL_ASSERT(structural == cfg,
+                 "restore into a structurally different machine");
+    RCOAL_ASSERT(quiescent(),
+                 "restore requires a quiescent machine");
+    RCOAL_ASSERT(telemetrySampler == nullptr,
+                 "restore before attaching telemetry");
+
+    // The cycles simulated so far would vanish from the process-wide
+    // throughput counters when overwritten; fold them in first, exactly
+    // as the destructor does.
+    simCycleCounters().simulated.fetch_add(nowCycle,
+                                           std::memory_order_relaxed);
+    simCycleCounters().skipped.fetch_add(skippedTotal,
+                                         std::memory_order_relaxed);
+
+    cfg.seed = snap.config.seed;
+
+    common::ArenaReader r(*snap.arena);
+
+    r.beginRegion(kTagMachine);
+    r.pod(memStats);
+    r.pod(retiredTotals);
+    r.pod(retiredLaunches);
+    r.pod(launchCounter);
+    r.pod(accessIds);
+    r.pod(nowCycle);
+    r.pod(memCycle);
+    r.pod(memAccum);
+    r.pod(skippedTotal);
+    r.endRegion();
+
+    for (auto &sm : sms) {
+        r.beginRegion(kTagSm);
+        sm->restoreState(r);
+        r.endRegion();
+    }
+
+    r.beginRegion(kTagXbar);
+    reqXbar.restoreState(r);
+    respXbar.restoreState(r);
+    r.endRegion();
+
+    for (auto &dram : drams) {
+        r.beginRegion(kTagDram);
+        dram->restoreState(r);
+        r.endRegion();
+    }
+
+    r.beginRegion(kTagL2);
+    for (auto &front : l2) {
+        front.cache->restoreState(r);
+        const bool had_mshr = r.take<std::uint8_t>() != 0;
+        RCOAL_ASSERT(had_mshr == (front.mshr != nullptr),
+                     "L2 MSHR presence mismatch on restore");
+        if (front.mshr)
+            front.mshr->restoreState(r);
+    }
+    r.endRegion();
+
+    r.beginRegion(kTagChecker);
+    const bool checking = r.take<std::uint8_t>() != 0;
+    if (checking) {
+        const auto mode = static_cast<trace::DramProtocolChecker::Mode>(
+            r.take<std::uint8_t>());
+        if (checkers.empty() || mode != checkerMode)
+            enableDramChecking(mode);
+        for (auto &checker : checkers)
+            checker->restoreState(r);
+    } else if (!checkers.empty()) {
+        for (auto &dram : drams)
+            dram->setChecker(nullptr);
+        checkers.clear();
+    }
+    r.endRegion();
+
+    RCOAL_ASSERT(r.atEnd(), "snapshot arena has trailing bytes");
+}
+
+std::unique_ptr<GpuMachine>
+GpuMachine::fork(const MachineSnapshot &snap)
+{
+    auto machine = std::make_unique<GpuMachine>(snap.config);
+    machine->restore(snap);
+    return machine;
+}
+
+void
+GpuMachine::reseed(std::uint64_t seed)
+{
+    cfg.seed = seed;
+}
+
+void
+GpuMachine::reset()
+{
+    RCOAL_ASSERT(quiescent(), "reset requires a quiescent machine");
+    simCycleCounters().simulated.fetch_add(nowCycle,
+                                           std::memory_order_relaxed);
+    simCycleCounters().skipped.fetch_add(skippedTotal,
+                                         std::memory_order_relaxed);
+
+    memStats = KernelStats{};
+    retiredTotals = KernelStats{};
+    retiredLaunches = 0;
+    launchCounter = 0;
+    accessIds = 0;
+    nowCycle = 0;
+    memCycle = 0;
+    memAccum = 0.0;
+    skippedTotal = 0;
+
+    for (auto &sm : sms)
+        sm->hardReset();
+    reqXbar.reset();
+    respXbar.reset();
+    for (auto &dram : drams)
+        dram->reset();
+    for (auto &front : l2) {
+        front.cache->resetAll();
+        if (front.mshr)
+            front.mshr->reset();
+    }
+    for (auto &checker : checkers)
+        checker->reset();
+    for (trace::TraceSink *sink : attachedSinks)
+        sink->clear();
+    if (telemetrySampler != nullptr)
+        telemetrySampler->reset();
 }
 
 KernelStats

@@ -27,6 +27,8 @@ struct DramTiming
     unsigned tRRD = 6;  ///< ACT to ACT, different banks.
     unsigned tREFI = 1755; ///< Refresh interval (all banks).
     unsigned tRFC = 83;    ///< Refresh cycle duration.
+
+    bool operator==(const DramTiming &other) const = default;
 };
 
 /** Warp scheduler selection policy. */
@@ -63,6 +65,8 @@ struct CacheGeometry
     unsigned hitLatency = 4; ///< Core cycles.
     std::uint32_t sectorBytes = 32;
     std::uint32_t streamingReservations = 32;
+
+    bool operator==(const CacheGeometry &other) const = default;
 };
 
 /**
@@ -161,6 +165,13 @@ struct GpuConfig
 
     /** Master seed for all simulator randomness. */
     std::uint64_t seed = 1;
+
+    /**
+     * Field-wise equality, seed included. Snapshot restore compares
+     * with the seed masked out: the seed is the one field a fork may
+     * legitimately change (GpuMachine::reseed).
+     */
+    bool operator==(const GpuConfig &other) const = default;
 
     /** The paper's baseline configuration. */
     static GpuConfig paperBaseline();

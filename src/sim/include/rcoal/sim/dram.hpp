@@ -21,6 +21,7 @@
 #include <deque>
 #include <vector>
 
+#include "rcoal/common/state_arena.hpp"
 #include "rcoal/mem/dram_backend.hpp"
 #include "rcoal/sim/address_mapping.hpp"
 #include "rcoal/sim/memory_access.hpp"
@@ -115,6 +116,20 @@ class DramPartition
 
     /** Attach a sink for ACT/PRE/RD/REF trace events (memory domain). */
     void setTraceSink(trace::TraceSink *s) { traceSink = s; }
+
+    /**
+     * Return to the freshly-constructed state (must be idle()): bank
+     * rows and timing deadlines, bank-group/pseudo-channel windows,
+     * the refresh schedule, and the per-bank counters. Before the
+     * reset audit none of this was restored between machine resets.
+     */
+    void reset();
+
+    /** Serialize the full timing state at quiescence (must be idle()). */
+    void saveState(common::ArenaWriter &w) const;
+
+    /** Restore state saved by saveState() (must be idle()). */
+    void restoreState(common::ArenaReader &r);
 
     /**
      * Test-only: reproduce the pre-fix timing bookkeeping (plain

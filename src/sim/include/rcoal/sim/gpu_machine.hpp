@@ -34,6 +34,7 @@
 #include "rcoal/sim/interconnect.hpp"
 #include "rcoal/sim/kernel.hpp"
 #include "rcoal/sim/sm.hpp"
+#include "rcoal/sim/snapshot.hpp"
 #include "rcoal/sim/stats.hpp"
 #include "rcoal/trace/dram_checker.hpp"
 #include "rcoal/trace/tracer.hpp"
@@ -239,6 +240,47 @@ class GpuMachine
     /** Sum of live PRT occupancy across all SMs. */
     std::size_t prtOccupancy() const;
 
+    /**
+     * True when no kernel is resident and every component has drained:
+     * the only machine states snapshot(), restore(), and reset()
+     * accept. Between launches a machine is always quiescent.
+     */
+    bool quiescent() const;
+
+    /**
+     * Serialize the full mutable state into a fresh arena. Requires
+     * quiescent(). The snapshot captures the warm memory hierarchy,
+     * DRAM timing horizons, clock-domain phase, counters, and the
+     * current seed — everything a fork needs to continue bit-exactly.
+     */
+    MachineSnapshot snapshot() const;
+
+    /**
+     * Overwrite this machine's state from @p snap. The machine must be
+     * quiescent, structurally identical to the snapshot's config (all
+     * fields except the seed), and have no telemetry sampler attached.
+     * Adopts the snapshot's seed; call reseed() afterwards to diverge.
+     */
+    void restore(const MachineSnapshot &snap);
+
+    /** Construct a new machine and restore() @p snap into it. */
+    static std::unique_ptr<GpuMachine> fork(const MachineSnapshot &snap);
+
+    /**
+     * Replace the master seed. Launch randomness is a pure function of
+     * (seed, launch stream index), so reseeding a forked machine gives
+     * it an independent stream while keeping the warmed-up state.
+     */
+    void reseed(std::uint64_t seed);
+
+    /**
+     * Return to the freshly-constructed state: counters, clocks, warm
+     * caches, DRAM timing, checkers, attached trace sinks, and an
+     * attached telemetry sampler's recording. Requires quiescent().
+     * Gated by the reset-vs-fresh byte-identity audit test.
+     */
+    void reset();
+
   private:
     /** Book-keeping for one resident (or completed-but-untaken) launch. */
     struct LaunchState
@@ -284,7 +326,11 @@ class GpuMachine
     std::vector<bool> smBusy; ///< SM -> allocated to a launch.
 
     std::vector<std::unique_ptr<trace::DramProtocolChecker>> checkers;
+    trace::DramProtocolChecker::Mode checkerMode =
+        trace::DramProtocolChecker::Mode::Panic;
     trace::TraceSink *machineSink = nullptr; ///< Launch/retire events.
+    /** Every sink setTracer() wired, so reset() can clear them. */
+    std::vector<trace::TraceSink *> attachedSinks;
     telemetry::TelemetrySampler *telemetrySampler = nullptr;
     KernelStats retiredTotals; ///< Sum of all taken launches' stats.
     std::uint64_t retiredLaunches = 0;

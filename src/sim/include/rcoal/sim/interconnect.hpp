@@ -14,6 +14,7 @@
 #include <deque>
 #include <vector>
 
+#include "rcoal/common/state_arena.hpp"
 #include "rcoal/sim/memory_access.hpp"
 
 namespace rcoal::trace {
@@ -84,6 +85,15 @@ class Crossbar
 
     /** Attach a sink for inject/grant trace events (core domain). */
     void setTraceSink(trace::TraceSink *s) { traceSink = s; }
+
+    /** Return to the freshly-constructed state (must be idle()). */
+    void reset();
+
+    /** Serialize at quiescence (must be idle()). */
+    void saveState(common::ArenaWriter &w) const;
+
+    /** Restore state saved by saveState() (must be idle()). */
+    void restoreState(common::ArenaReader &r);
 
   private:
     struct Packet

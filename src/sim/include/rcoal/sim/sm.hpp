@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rcoal/common/state_arena.hpp"
 #include "rcoal/core/coalescer.hpp"
 #include "rcoal/core/pending_request_table.hpp"
 #include "rcoal/core/subwarp.hpp"
@@ -71,6 +72,23 @@ class StreamingMultiprocessor
      * the one-launch-per-Gpu semantics the single-kernel path always had.
      */
     void reset();
+
+    /**
+     * Machine-level reset on top of reset(): additionally discard what
+     * deliberately survives launch retirement — the warm L1 and the
+     * MSHR merge counter — so the SM is byte-identical to a fresh one.
+     */
+    void hardReset();
+
+    /**
+     * Serialize all state that survives launch retirement (PRT, warm
+     * L1, MSHR counters, scheduler/scan residue). Only legal between
+     * launches (no resident warps, every queue drained).
+     */
+    void saveState(common::ArenaWriter &w) const;
+
+    /** Restore state saved by saveState(); configuration must match. */
+    void restoreState(common::ArenaReader &r);
 
     /** Make a warp resident with its per-launch subwarp partition. */
     void assignWarp(WarpId warp_id,

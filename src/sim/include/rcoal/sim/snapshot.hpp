@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MachineSnapshot: a quiescent GpuMachine's full mutable state.
+ *
+ * A snapshot pairs the machine's configuration with a StateArena
+ * holding every mutable field serialized at a quiescent point (no
+ * resident kernels, every queue and bus drained — in practice a
+ * cycle-skip quiescence point, where the live state is minimal). The
+ * arena is immutable and shared by reference count, so forking N
+ * machines from one warmed-up prefix costs one serialization plus N
+ * restores: copy-on-write at snapshot granularity. Prefix-shared
+ * sample collection (EncryptionService::collectSamplesShared) and the
+ * serve warm-boot path both build on this.
+ *
+ * Byte equality of two snapshots is state equality of the machines
+ * that produced them; the reset-vs-fresh audit test uses exactly that.
+ */
+
+#ifndef RCOAL_SIM_SNAPSHOT_HPP
+#define RCOAL_SIM_SNAPSHOT_HPP
+
+#include <memory>
+
+#include "rcoal/common/state_arena.hpp"
+#include "rcoal/sim/config.hpp"
+
+namespace rcoal::sim {
+
+/**
+ * One machine snapshot. Cheap to copy (the arena is shared) and safe
+ * to restore concurrently from many threads.
+ */
+struct MachineSnapshot
+{
+    GpuConfig config;
+    std::shared_ptr<const common::StateArena> arena;
+
+    /** Exact state equality with @p other (arena byte equality). */
+    bool
+    byteEqual(const MachineSnapshot &other) const
+    {
+        return arena != nullptr && other.arena != nullptr &&
+               arena->byteEqual(*other.arena);
+    }
+};
+
+} // namespace rcoal::sim
+
+#endif // RCOAL_SIM_SNAPSHOT_HPP

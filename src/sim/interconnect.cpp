@@ -146,4 +146,28 @@ Crossbar::idle() const
     return true;
 }
 
+void
+Crossbar::reset()
+{
+    RCOAL_ASSERT(idle(), "crossbar reset with packets in flight");
+    rrPointer = 0;
+    transferred = 0;
+}
+
+void
+Crossbar::saveState(common::ArenaWriter &w) const
+{
+    RCOAL_ASSERT(idle(), "crossbar snapshot with packets in flight");
+    w.pod(rrPointer);
+    w.pod(transferred);
+}
+
+void
+Crossbar::restoreState(common::ArenaReader &r)
+{
+    RCOAL_ASSERT(idle(), "crossbar restore with packets in flight");
+    r.pod(rrPointer);
+    r.pod(transferred);
+}
+
 } // namespace rcoal::sim

@@ -59,6 +59,7 @@ StreamingMultiprocessor::reset()
                      (!l1 || l1->reservedFills() == 0),
                  "SM %u reset while work is in flight", id);
     l1LookupId = ~std::uint64_t{0};
+    l1LookupOutcome = mem::AccessOutcome::Hit;
     warps.clear();
     warpIndex.clear();
     std::fill(rrPointer.begin(), rrPointer.end(), 0);
@@ -67,9 +68,92 @@ StreamingMultiprocessor::reset()
     scanWake = 0;
     tickChanged = false;
     responseSinceTick = false;
+    // Per-tick state that used to leak across launches: tick() zeroes
+    // the stall counters only after the warps.empty() early-return, so
+    // a skip window right after the next launch could replay the
+    // previous launch's final-tick stalls into the new launch's stats.
+    scanIssued = false;
+    prtStallsTick = 0;
+    icnStallsTick = 0;
+    laneScratch.clear();
+    // Canonicalize the PRT free-list: entry indices are pure IDs, so a
+    // drained table is behaviorally identical to a fresh one — making
+    // it byte-identical keeps quiescent snapshots canonical too.
+    prt.reset();
     stats = nullptr;
     launchSlot = 0;
     pendingWrites = nullptr;
+}
+
+void
+StreamingMultiprocessor::hardReset()
+{
+    RCOAL_ASSERT(warps.empty(),
+                 "SM %u hard reset while hosting a launch", id);
+    // reset() (run at every launch retirement) already restored the
+    // per-launch state; what survives it by design is the warm memory
+    // hierarchy, which a machine-level reset must also discard.
+    if (l1)
+        l1->resetAll();
+    if (mshr)
+        mshr->reset();
+}
+
+void
+StreamingMultiprocessor::saveState(common::ArenaWriter &w) const
+{
+    RCOAL_ASSERT(warps.empty() && ldstQueue.empty() &&
+                     localResponses.empty(),
+                 "SM %u snapshot while hosting a launch", id);
+    prt.saveState(w);
+    w.pod(l1LookupId);
+    w.pod(static_cast<std::uint8_t>(l1LookupOutcome));
+    w.pod(busyUntil);
+    w.pod(scanGate);
+    w.pod(scanWake);
+    w.pod(static_cast<std::uint8_t>(tickChanged));
+    w.pod(static_cast<std::uint8_t>(responseSinceTick));
+    w.pod(static_cast<std::uint8_t>(scanIssued));
+    w.pod(prtStallsTick);
+    w.pod(icnStallsTick);
+    w.pod(static_cast<std::uint64_t>(laneScratch.size()));
+    w.pod(static_cast<std::uint8_t>(l1 != nullptr));
+    if (l1)
+        l1->saveState(w);
+    w.pod(static_cast<std::uint8_t>(mshr != nullptr));
+    if (mshr)
+        mshr->saveState(w);
+}
+
+void
+StreamingMultiprocessor::restoreState(common::ArenaReader &r)
+{
+    RCOAL_ASSERT(warps.empty() && ldstQueue.empty() &&
+                     localResponses.empty(),
+                 "SM %u restore while hosting a launch", id);
+    prt.restoreState(r);
+    r.pod(l1LookupId);
+    l1LookupOutcome = static_cast<mem::AccessOutcome>(r.take<std::uint8_t>());
+    r.pod(busyUntil);
+    r.pod(scanGate);
+    r.pod(scanWake);
+    tickChanged = r.take<std::uint8_t>() != 0;
+    responseSinceTick = r.take<std::uint8_t>() != 0;
+    scanIssued = r.take<std::uint8_t>() != 0;
+    r.pod(prtStallsTick);
+    r.pod(icnStallsTick);
+    laneScratch.assign(static_cast<std::size_t>(r.take<std::uint64_t>()),
+                       0);
+    const bool had_l1 = r.take<std::uint8_t>() != 0;
+    RCOAL_ASSERT(had_l1 == (l1 != nullptr),
+                 "SM %u L1 presence mismatch on restore", id);
+    if (l1)
+        l1->restoreState(r);
+    const bool had_mshr = r.take<std::uint8_t>() != 0;
+    RCOAL_ASSERT(had_mshr == (mshr != nullptr),
+                 "SM %u MSHR presence mismatch on restore", id);
+    if (mshr)
+        mshr->restoreState(r);
 }
 
 void

@@ -76,6 +76,15 @@ class TelemetrySampler
      */
     void detachSources();
 
+    /**
+     * Drop every recorded point and re-arm as freshly constructed
+     * (stride, retention, and the next-sample anchor included) while
+     * keeping registered collectors and tracks. The machine-reset
+     * path: before the reset audit, stride decay and recorded points
+     * survived into the next run and skewed its sample cadence.
+     */
+    void reset();
+
     std::uint64_t samplesTaken() const { return sampleCount; }
     std::size_t pointCount() const { return cycles.size(); }
 

@@ -96,6 +96,17 @@ TelemetrySampler::detachSources()
     next = kInvalidCycle;
 }
 
+void
+TelemetrySampler::reset()
+{
+    stride = 1;
+    sampleCount = 0;
+    cycles.clear();
+    for (auto &series : seriesValues)
+        series.clear();
+    next = interval;
+}
+
 std::string
 TelemetrySampler::seriesJson() const
 {

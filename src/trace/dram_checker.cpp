@@ -274,4 +274,74 @@ DramProtocolChecker::replay(std::span<const TraceEvent> events)
     }
 }
 
+void
+DramProtocolChecker::reset()
+{
+    banks.assign(p.banks, BankState{});
+    lastActivateAny = kInvalidCycle;
+    lastRefresh = kInvalidCycle;
+    busBusyUntil.assign(p.pseudoChannels, 0);
+    lastActivateGroup.assign(p.bankGroups, kInvalidCycle);
+    lastReadGroup.assign(p.bankGroups, kInvalidCycle);
+    lastReadAnyPc.assign(p.pseudoChannels, kInvalidCycle);
+    checked = 0;
+    found.clear();
+}
+
+void
+DramProtocolChecker::saveState(common::ArenaWriter &w) const
+{
+    w.pod(static_cast<std::uint64_t>(banks.size()));
+    for (const BankState &bank : banks) {
+        w.pod(bank.openRow);
+        w.pod(bank.lastActivate);
+        w.pod(bank.lastRead);
+        w.pod(bank.lastPrecharge);
+        w.pod(bank.burstEnd);
+    }
+    w.pod(lastActivateAny);
+    w.pod(lastRefresh);
+    w.podVector(busBusyUntil);
+    w.podVector(lastActivateGroup);
+    w.podVector(lastReadGroup);
+    w.podVector(lastReadAnyPc);
+    w.pod(checked);
+    w.pod(static_cast<std::uint64_t>(found.size()));
+    for (const DramProtocolViolation &v : found) {
+        w.string(v.rule);
+        w.string(v.detail);
+        w.pod(v.cycle);
+    }
+}
+
+void
+DramProtocolChecker::restoreState(common::ArenaReader &r)
+{
+    const auto count = r.take<std::uint64_t>();
+    RCOAL_ASSERT(count == banks.size(),
+                 "checker bank-count mismatch: snapshot has %llu, "
+                 "checker has %zu",
+                 static_cast<unsigned long long>(count), banks.size());
+    for (BankState &bank : banks) {
+        r.pod(bank.openRow);
+        r.pod(bank.lastActivate);
+        r.pod(bank.lastRead);
+        r.pod(bank.lastPrecharge);
+        r.pod(bank.burstEnd);
+    }
+    r.pod(lastActivateAny);
+    r.pod(lastRefresh);
+    r.podVector(busBusyUntil);
+    r.podVector(lastActivateGroup);
+    r.podVector(lastReadGroup);
+    r.podVector(lastReadAnyPc);
+    r.pod(checked);
+    found.resize(static_cast<std::size_t>(r.take<std::uint64_t>()));
+    for (DramProtocolViolation &v : found) {
+        r.string(v.rule);
+        r.string(v.detail);
+        r.pod(v.cycle);
+    }
+}
+
 } // namespace rcoal::trace

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "rcoal/common/state_arena.hpp"
 #include "rcoal/trace/event.hpp"
 
 namespace rcoal::trace {
@@ -111,6 +112,15 @@ class DramProtocolChecker
 
     /** True when no command has violated a constraint. */
     bool clean() const { return found.empty(); }
+
+    /** Return to the freshly-constructed state (same params/mode). */
+    void reset();
+
+    /** Serialize the full tracking state, verdicts included. */
+    void saveState(common::ArenaWriter &w) const;
+
+    /** Restore state saved by saveState(); params must match. */
+    void restoreState(common::ArenaReader &r);
 
   private:
     struct BankState

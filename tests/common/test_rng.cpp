@@ -188,11 +188,10 @@ TEST(Rng, SampleDistinctSortedEmpty)
     EXPECT_TRUE(rng.sampleDistinctSorted(0, 10).empty());
 }
 
-TEST(Rng, ForkedStreamsAreIndependent)
+TEST(Rng, StreamsWithDistinctIndicesAreIndependent)
 {
-    Rng parent(41);
-    Rng child_a = parent.fork(1);
-    Rng child_b = parent.fork(2);
+    Rng child_a = Rng::stream(41, 1);
+    Rng child_b = Rng::stream(41, 2);
     int same = 0;
     for (int i = 0; i < 64; ++i) {
         if (child_a.next64() == child_b.next64())
@@ -201,27 +200,30 @@ TEST(Rng, ForkedStreamsAreIndependent)
     EXPECT_LT(same, 2);
 }
 
-TEST(Rng, ForkIsDeterministicGivenParentState)
+TEST(Rng, StreamsWithDistinctRootsAreIndependent)
 {
-    Rng p1(43);
-    Rng p2(43);
-    Rng c1 = p1.fork(9);
-    Rng c2 = p2.fork(9);
-    for (int i = 0; i < 20; ++i)
-        EXPECT_EQ(c1.next64(), c2.next64());
+    Rng child_a = Rng::stream(43, 9);
+    Rng child_b = Rng::stream(44, 9);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (child_a.next64() == child_b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
 }
 
-TEST(Rng, ForkIsOrderDependentByDesign)
+TEST(Rng, StreamIgnoresUnrelatedDraws)
 {
-    // Documented hazard: forking advances the parent, so the same tag
-    // yields a different child depending on what the parent did first.
-    // Order-free derivation is what stream() is for.
-    Rng fresh(47);
-    Rng warmed(47);
-    warmed.fork(1); // consumes parent output
-    Rng from_fresh = fresh.fork(2);
-    Rng from_warmed = warmed.fork(2);
-    EXPECT_NE(from_fresh.next64(), from_warmed.next64());
+    // Unlike a parent-advancing fork, stream() is a pure function of
+    // (root, index): draws from sibling streams — or from an Rng seeded
+    // with the same root — cannot perturb a later derivation.
+    Rng warmup = Rng::stream(47, 1);
+    for (int i = 0; i < 16; ++i)
+        (void)warmup.next64();
+    Rng after_draws = Rng::stream(47, 2);
+    Rng untouched = Rng::stream(47, 2);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(after_draws.next64(), untouched.next64());
 }
 
 TEST(Rng, StreamIsPureFunctionOfSeedAndIndex)
