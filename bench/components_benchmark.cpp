@@ -221,6 +221,23 @@ BM_MachineDramSaturated(benchmark::State &state)
 BENCHMARK(BM_MachineDramSaturated)->Arg(0)->Arg(1);
 
 /**
+ * Crossbar-starved machine: two-deep ports into a single partition keep
+ * every input queue backed up, so the per-tick cost is dominated by the
+ * output-major headTargets arbitration and the backpressure rescans the
+ * SlotRing/slot-index rewrite targets.
+ */
+void
+BM_MachineXbarSaturated(benchmark::State &state)
+{
+    sim::GpuConfig cfg = sim::GpuConfig::paperBaseline();
+    cfg.numPartitions = 1;
+    cfg.icnQueueDepth = 2;
+    cfg.dramQueueDepth = 2;
+    runSaturatedMachineBench(state, cfg);
+}
+BENCHMARK(BM_MachineXbarSaturated)->Arg(0)->Arg(1);
+
+/**
  * Raw tag-array throughput of the sectored cache on a mixed
  * hit/sector-miss/line-miss stream. This is the structure whose inline
  * age-counter LRU replaced the per-set std::list (which allocated on

@@ -21,6 +21,14 @@ is the reason the snapshot/fork machinery exists, and this keeps the
 committed report honest. (The ratio is only asserted on the committed
 baseline, not the smoke run — 3-sample smoke runs are too noisy.)
 
+Drivers with a ``serve`` phase get a second, tighter guard: the serve
+loop is the hot path the SoA scoreboard / ring-buffer layout was built
+for, so its ``extras.sim_cycles_per_second`` is checked against
+``baseline / --serve-tolerance`` (default 4x, stricter than the
+generic guard) and must be *present* whenever the baseline recorded it
+— an engine that silently stops reporting serve throughput would
+otherwise retire the guard along with the number.
+
 Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 usage.
 """
 
@@ -61,6 +69,13 @@ def main():
         help="allowed slowdown factor before failing (default: %(default)s)",
     )
     parser.add_argument(
+        "--serve-tolerance",
+        type=float,
+        default=4.0,
+        help="allowed slowdown factor for serve-phase drivers' "
+        "sim_cycles_per_second (default: %(default)s)",
+    )
+    parser.add_argument(
         "--min-fork-speedup",
         type=float,
         default=2.0,
@@ -68,8 +83,8 @@ def main():
         "(default: %(default)s)",
     )
     args = parser.parse_args()
-    if args.tolerance <= 1.0:
-        print("--tolerance must be > 1", file=sys.stderr)
+    if args.tolerance <= 1.0 or args.serve_tolerance <= 1.0:
+        print("--tolerance/--serve-tolerance must be > 1", file=sys.stderr)
         return 2
 
     try:
@@ -89,8 +104,8 @@ def main():
 
     failures = []
 
-    def check(name, now, then):
-        floor = then / args.tolerance
+    def check(name, now, then, tolerance=None):
+        floor = then / (tolerance or args.tolerance)
         verdict = "ok" if now >= floor else "REGRESSION"
         print(
             f"  {name}: {now:.1f}/s vs committed {then:.1f}/s "
@@ -110,8 +125,26 @@ def main():
         print(f"{driver}:")
         base_cps = base_entry.get("extras", {}).get("sim_cycles_per_second", 0)
         cur_cps = cur_entry.get("extras", {}).get("sim_cycles_per_second", 0)
+        serves = "serve" in base_entry.get("phases", {})
         if base_cps > 0:
             check(f"{driver}.sim_cycles_per_second", cur_cps, base_cps)
+        if serves and base_cps > 0:
+            # The serve tick loop is the engine's hot path: guard its
+            # simulated-cycle throughput with the tighter tolerance,
+            # and refuse a smoke run that dropped the counter entirely.
+            if cur_cps <= 0:
+                print(
+                    f"  {driver}: serve driver stopped reporting "
+                    "sim_cycles_per_second REGRESSION"
+                )
+                failures.append(f"{driver}.serve_cps_missing")
+            else:
+                check(
+                    f"{driver}.serve.sim_cycles_per_second",
+                    cur_cps,
+                    base_cps,
+                    tolerance=args.serve_tolerance,
+                )
         for phase, base_phase in sorted(base_entry.get("phases", {}).items()):
             cur_phase = cur_entry.get("phases", {}).get(phase)
             base_ips = base_phase.get("items_per_second", 0)

@@ -23,10 +23,94 @@ std::vector<CoalescedAccess>
 Coalescer::coalesce(std::span<const LaneRequest> requests,
                     const SubwarpPartition &partition) const
 {
-    // Warp-sized inputs produce at most a few dozen accesses, so a
-    // linear scan over the output beats a map (no node allocations on
-    // the simulator's hottest path).
     std::vector<CoalescedAccess> out;
+    coalesceInto(requests, partition, out);
+    return out;
+}
+
+void
+Coalescer::coalesceInto(std::span<const LaneRequest> requests,
+                        const SubwarpPartition &partition,
+                        std::vector<CoalescedAccess> &out) const
+{
+    // Hot path: dedup against compact parallel key arrays instead of
+    // scanning CoalescedAccess structs (whose inline lane lists make
+    // each element span a cache line or more), sort 4-byte indices
+    // instead of whole structs, and write each output element exactly
+    // once in its final position. Fully divergent warps under
+    // saturation hit the worst case (one access per lane) millions of
+    // times per run.
+    constexpr std::size_t kMaxAccesses = 128;
+    constexpr std::size_t kMaxLanes = 256;
+    std::array<Addr, kMaxAccesses> keyBlock;
+    std::array<SubwarpId, kMaxAccesses> keySid;
+    std::array<std::uint32_t, kMaxLanes> laneAcc;
+    std::array<ThreadId, kMaxLanes> laneTid;
+    std::size_t n = 0;
+    std::size_t lanes = 0;
+    for (const LaneRequest &req : requests) {
+        if (!req.active)
+            continue;
+        const SubwarpId sid = partition.subwarpOf(req.tid);
+        RCOAL_ASSERT(req.size > 0, "zero-size request from tid %u",
+                     req.tid);
+        const Addr first = blockAlign(req.addr);
+        const Addr last = blockAlign(req.addr + req.size - 1);
+        for (Addr block = first; block <= last; block += blockBytes) {
+            std::size_t i = 0;
+            while (i < n && !(keySid[i] == sid && keyBlock[i] == block))
+                ++i;
+            if (i == n) {
+                if (n == kMaxAccesses || lanes == kMaxLanes) {
+                    coalesceSlow(requests, partition, out);
+                    return;
+                }
+                keyBlock[n] = block;
+                keySid[n] = sid;
+                ++n;
+            } else if (lanes == kMaxLanes) {
+                coalesceSlow(requests, partition, out);
+                return;
+            }
+            laneAcc[lanes] = static_cast<std::uint32_t>(i);
+            laneTid[lanes] = req.tid;
+            ++lanes;
+        }
+    }
+    // Hardware scans the PRT one subwarp at a time: emit grouped by sid,
+    // then by block address (also keeps output deterministic). Keys are
+    // unique, so the order is total.
+    std::array<std::uint32_t, kMaxAccesses> order;
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+    std::sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return std::tie(keySid[a], keyBlock[a]) <
+                         std::tie(keySid[b], keyBlock[b]);
+              });
+    std::array<std::uint32_t, kMaxAccesses> rank;
+    for (std::size_t k = 0; k < n; ++k)
+        rank[order[k]] = static_cast<std::uint32_t>(k);
+    out.clear();
+    out.reserve(n);
+    for (std::size_t k = 0; k < n; ++k)
+        out.push_back(CoalescedAccess{keyBlock[order[k]], keySid[order[k]],
+                                      {}});
+    // Lane entries were recorded in request order, so per-access lane
+    // lists come out in the same order the struct-scanning path built.
+    for (std::size_t j = 0; j < lanes; ++j)
+        out[rank[laneAcc[j]]].threads.push_back(laneTid[j]);
+}
+
+void
+Coalescer::coalesceSlow(std::span<const LaneRequest> requests,
+                        const SubwarpPartition &partition,
+                        std::vector<CoalescedAccess> &out) const
+{
+    // Unbounded fallback for inputs that overflow coalesceInto()'s
+    // inline scratch (many-block requests in stress tests); emits the
+    // identical access list.
+    out.clear();
     out.reserve(requests.size());
     for (const LaneRequest &req : requests) {
         if (!req.active)
@@ -51,14 +135,11 @@ Coalescer::coalesce(std::span<const LaneRequest> requests,
             slot->threads.push_back(req.tid);
         }
     }
-    // Hardware scans the PRT one subwarp at a time: emit grouped by sid,
-    // then by block address (also keeps output deterministic).
     std::sort(out.begin(), out.end(),
               [](const CoalescedAccess &a, const CoalescedAccess &b) {
                   return std::tie(a.sid, a.blockAddr) <
                          std::tie(b.sid, b.blockAddr);
               });
-    return out;
 }
 
 unsigned

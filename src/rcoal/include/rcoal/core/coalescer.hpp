@@ -10,6 +10,9 @@
 #ifndef RCOAL_CORE_COALESCER_HPP
 #define RCOAL_CORE_COALESCER_HPP
 
+#include <array>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -28,12 +31,36 @@ struct LaneRequest
     bool active = true;  ///< False for threads masked off by divergence.
 };
 
+/**
+ * Fixed-capacity inline lane list. A coalesced access serves at most
+ * one lane per warp thread, and the simulator caps the warp size at
+ * this capacity (GpuConfig::validate(), mirroring PrtIndexList), so
+ * the coalescing hot path never touches the heap.
+ */
+struct LaneList
+{
+    static constexpr std::size_t kCapacity = 32;
+
+    void push_back(ThreadId tid)
+    {
+        assert(count < kCapacity && "coalesced lane list overflow");
+        lanes[count++] = tid;
+    }
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    const ThreadId *begin() const { return lanes.data(); }
+    const ThreadId *end() const { return lanes.data() + count; }
+
+    std::array<ThreadId, kCapacity> lanes{};
+    std::uint32_t count = 0;
+};
+
 /** One coalesced memory access produced by the coalescer. */
 struct CoalescedAccess
 {
     Addr blockAddr = 0;  ///< Block-aligned base address.
     SubwarpId sid = 0;   ///< Subwarp that generated the access.
-    std::vector<ThreadId> threads; ///< Lanes served by this access.
+    LaneList threads;    ///< Lanes served by this access.
 };
 
 /**
@@ -65,11 +92,28 @@ class Coalescer
     coalesce(std::span<const LaneRequest> requests,
              const SubwarpPartition &partition) const;
 
+    /**
+     * As coalesce(), but reusing @p out (cleared first): a caller that
+     * keeps its output buffer alive pays no allocation once the buffer
+     * has grown to its working size.
+     */
+    void coalesceInto(std::span<const LaneRequest> requests,
+                      const SubwarpPartition &partition,
+                      std::vector<CoalescedAccess> &out) const;
+
     /** Count-only variant (faster; used by attack-side modeling). */
     unsigned countAccesses(std::span<const LaneRequest> requests,
                            const SubwarpPartition &partition) const;
 
   private:
+    /**
+     * Unbounded fallback for inputs overflowing coalesceInto()'s inline
+     * scratch; emits the identical access list via struct scanning.
+     */
+    void coalesceSlow(std::span<const LaneRequest> requests,
+                      const SubwarpPartition &partition,
+                      std::vector<CoalescedAccess> &out) const;
+
     std::uint32_t blockBytes;
 };
 

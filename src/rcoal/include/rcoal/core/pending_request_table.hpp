@@ -67,8 +67,26 @@ class PendingRequestTable
     /** Access an entry (must be valid). */
     const PrtEntry &entry(std::size_t index) const;
 
-    /** Indices of all valid entries with the given sid. */
+    /**
+     * Indices of all valid entries with the given sid, ascending.
+     * Allocates the result vector; hot paths use forEachOfSubwarp().
+     */
     std::vector<std::size_t> entriesOfSubwarp(SubwarpId sid) const;
+
+    /**
+     * Visit every valid entry with the given sid, allocation-free, via
+     * the per-sid intrusive list (most recently allocated first).
+     * @p fn is called as fn(std::size_t index, const PrtEntry &).
+     */
+    template <typename Fn>
+    void
+    forEachOfSubwarp(SubwarpId sid, Fn &&fn) const
+    {
+        if (sid >= sidHead.size())
+            return;
+        for (std::uint32_t i = sidHead[sid]; i != kNone; i = sidNext[i])
+            fn(static_cast<std::size_t>(i), table[i]);
+    }
 
     /** Hardware cost of the sid field in bits (Section IV-D). */
     static std::size_t sidFieldBits(unsigned warp_size);
@@ -89,9 +107,23 @@ class PendingRequestTable
     void restoreState(common::ArenaReader &r);
 
   private:
+    /** Unlink @p index from its sid's intrusive list. */
+    void unlinkFromSid(std::size_t index);
+
+    static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
     std::vector<PrtEntry> table;
     std::vector<std::size_t> freeList; ///< LIFO of free entry indices.
     std::size_t used = 0;
+    /**
+     * Per-sid doubly-linked intrusive lists over the table, so
+     * subwarp-scoped walks touch only that subwarp's entries instead of
+     * scanning the whole table. sidHead grows on demand with the
+     * largest sid seen; sidNext/sidPrev parallel the table.
+     */
+    std::vector<std::uint32_t> sidHead;
+    std::vector<std::uint32_t> sidNext;
+    std::vector<std::uint32_t> sidPrev;
 };
 
 } // namespace rcoal::core

@@ -5,6 +5,7 @@
 
 #include "rcoal/core/pending_request_table.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "rcoal/common/logging.hpp"
@@ -12,9 +13,10 @@
 namespace rcoal::core {
 
 PendingRequestTable::PendingRequestTable(std::size_t entries)
-    : table(entries)
+    : table(entries), sidNext(entries, kNone), sidPrev(entries, kNone)
 {
     RCOAL_ASSERT(entries > 0, "PRT must have at least one entry");
+    RCOAL_ASSERT(entries < kNone, "PRT too large for 32-bit links");
     freeList.reserve(entries);
     for (std::size_t i = entries; i-- > 0;)
         freeList.push_back(i);
@@ -32,6 +34,15 @@ PendingRequestTable::allocate(ThreadId tid, Addr base_addr,
     RCOAL_ASSERT(!table[i].valid, "free list returned a live entry");
     table[i] = {true, tid, base_addr, offset, size, sid, false};
     ++used;
+    // Link at the head of the sid's intrusive list (O(1)).
+    if (sid >= sidHead.size())
+        sidHead.resize(static_cast<std::size_t>(sid) + 1, kNone);
+    const std::uint32_t head = sidHead[sid];
+    sidNext[i] = head;
+    sidPrev[i] = kNone;
+    if (head != kNone)
+        sidPrev[head] = static_cast<std::uint32_t>(i);
+    sidHead[sid] = static_cast<std::uint32_t>(i);
     return i;
 }
 
@@ -44,10 +55,26 @@ PendingRequestTable::markPending(std::size_t index)
 }
 
 void
+PendingRequestTable::unlinkFromSid(std::size_t index)
+{
+    const std::uint32_t next = sidNext[index];
+    const std::uint32_t prev = sidPrev[index];
+    if (prev != kNone)
+        sidNext[prev] = next;
+    else
+        sidHead[table[index].sid] = next;
+    if (next != kNone)
+        sidPrev[next] = prev;
+    sidNext[index] = kNone;
+    sidPrev[index] = kNone;
+}
+
+void
 PendingRequestTable::release(std::size_t index)
 {
     RCOAL_ASSERT(index < table.size() && table[index].valid,
                  "release of invalid entry %zu", index);
+    unlinkFromSid(index);
     table[index] = PrtEntry{};
     freeList.push_back(index);
     --used;
@@ -65,10 +92,11 @@ std::vector<std::size_t>
 PendingRequestTable::entriesOfSubwarp(SubwarpId sid) const
 {
     std::vector<std::size_t> out;
-    for (std::size_t i = 0; i < table.size(); ++i) {
-        if (table[i].valid && table[i].sid == sid)
-            out.push_back(i);
-    }
+    forEachOfSubwarp(sid, [&out](std::size_t i, const PrtEntry &) {
+        out.push_back(i);
+    });
+    // The list is most-recent-first; callers expect table order.
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -80,6 +108,9 @@ PendingRequestTable::reset()
     freeList.clear();
     for (std::size_t i = table.size(); i-- > 0;)
         freeList.push_back(i);
+    sidHead.clear();
+    sidNext.assign(table.size(), kNone);
+    sidPrev.assign(table.size(), kNone);
 }
 
 void
@@ -97,6 +128,9 @@ PendingRequestTable::saveState(common::ArenaWriter &w) const
     }
     w.podVector(freeList);
     w.pod(static_cast<std::uint64_t>(used));
+    w.podVector(sidHead);
+    w.podVector(sidNext);
+    w.podVector(sidPrev);
 }
 
 void
@@ -117,6 +151,9 @@ PendingRequestTable::restoreState(common::ArenaReader &r)
     }
     r.podVector(freeList);
     used = static_cast<std::size_t>(r.take<std::uint64_t>());
+    r.podVector(sidHead);
+    r.podVector(sidNext);
+    r.podVector(sidPrev);
 }
 
 std::size_t

@@ -14,16 +14,23 @@
 namespace rcoal::sim {
 
 DramPartition::DramPartition(const GpuConfig &config, unsigned partition_id,
-                             KernelStats *kernel_stats)
+                             KernelStats *kernel_stats,
+                             AccessSlab *shared_slab)
     : id(partition_id),
       bt(mem::makeDramBackend(config.dramBackend)->timing(config)),
       queueDepth(config.dramQueueDepth),
       stats(kernel_stats),
+      slab(shared_slab),
+      queue(config.dramQueueDepth),
       banks(config.banksPerPartition),
       bankStats(config.banksPerPartition),
       refreshEnabled(config.refreshEnabled),
       nextRefreshAt(bt.base.tREFI)
 {
+    if (slab == nullptr) {
+        ownSlab = std::make_unique<AccessSlab>(2 * queueDepth);
+        slab = ownSlab.get();
+    }
     RCOAL_ASSERT(stats != nullptr, "DramPartition requires a stats sink");
     RCOAL_ASSERT(bt.bankGroups > 0 && bt.pseudoChannels > 0,
                  "backend must report positive bankGroups/pseudoChannels");
@@ -43,11 +50,11 @@ DramPartition::refreshDue(Cycle now) const
     return refreshEnabled && now >= nextRefreshAt;
 }
 
-void
+bool
 DramPartition::maybeRefresh(Cycle now)
 {
     if (!refreshDue(now))
-        return;
+        return false;
     if (!legacyTiming) {
         // A due refresh waits until the partition is quiescent: every
         // data bus drained and every open bank past tRAS (closing a row
@@ -55,11 +62,11 @@ DramPartition::maybeRefresh(Cycle now)
         // refresh also blocks new ACT and column commands.
         for (Cycle busy : busFreeAt) {
             if (now < busy)
-                return;
+                return false;
         }
         for (const Bank &bank : banks) {
             if (bank.openRow != -1 && now < bank.prechargeAllowed)
-                return;
+                return false;
         }
     }
     if (checker != nullptr)
@@ -75,11 +82,19 @@ DramPartition::maybeRefresh(Cycle now)
     nextRefreshAt += bt.base.tREFI;
     ++stats->dramRefreshes;
     ++refreshCount;
+    return true;
 }
 
 void
 DramPartition::enqueue(MemoryAccess access, const DramLocation &loc,
                        Cycle now)
+{
+    enqueueSlot(slab->allocate(std::move(access)), loc, now);
+}
+
+void
+DramPartition::enqueueSlot(std::uint32_t slot, const DramLocation &loc,
+                           Cycle now)
 {
     RCOAL_ASSERT(canAccept(), "enqueue on full DRAM queue (partition %u)",
                  id);
@@ -87,10 +102,52 @@ DramPartition::enqueue(MemoryAccess access, const DramLocation &loc,
                  "access for partition %u routed to partition %u",
                  loc.partition, id);
     Request req;
-    req.access = std::move(access);
+    req.slot = slot;
     req.loc = loc;
     req.arrival = now;
-    queue.push_back(std::move(req));
+    queue.push_back(req);
+    sleepUntil = 0; // New work: the no-op-tick proof no longer holds.
+}
+
+void
+DramPartition::issueColumnAt(Request &req, Cycle now)
+{
+    Bank &bank = banks[req.loc.bank];
+    const unsigned group = groupOf(req.loc.bank);
+    const unsigned pc = pcOf(req.loc.bank);
+    // Reserve the pseudo-channel's data bus: the burst begins after
+    // CAS latency, or when the bus frees up, whichever is later.
+    const Cycle burst_start = std::max(now + bt.base.tCL, busFreeAt[pc]);
+    busFreeAt[pc] = burst_start + bt.burstCycles;
+    req.completion = burst_start + bt.burstCycles;
+    earliestCompletion = std::min(earliestCompletion, req.completion);
+    if (checker != nullptr) {
+        checker->onRead(req.loc.bank, req.loc.row, now, burst_start,
+                        bt.burstCycles);
+    }
+    RCOAL_TRACE(traceSink, DramRead, now, req.loc.bank, req.loc.row,
+                burst_start);
+    if (legacyTiming) {
+        // Pre-fix: plain assignment, nothing keeps the row open until
+        // the burst drains, and the bank-group windows go untracked.
+        bank.nextRead = now + bt.base.tCCD;
+    } else {
+        raiseTo(bank.nextRead, now + bt.base.tCCD);
+        // Read-to-precharge: the row must stay open (and refresh
+        // must hold off) until the data burst has drained.
+        raiseTo(bank.prechargeAllowed, burst_start + bt.burstCycles);
+        if (bt.bankGroupAware) {
+            raiseTo(nextColumnGroup[group], now + bt.tCCDLong);
+            raiseTo(nextColumnAnyPc[pc], now + bt.base.tCCD);
+        }
+    }
+    if (req.neededActivate) {
+        ++stats->dramRowMisses;
+        ++bankStats[req.loc.bank].rowMisses;
+    } else {
+        ++stats->dramRowHits;
+        ++bankStats[req.loc.bank].rowHits;
+    }
 }
 
 bool
@@ -103,55 +160,73 @@ DramPartition::tryIssueColumn(Cycle now)
         return false;
     // FR-FCFS: the oldest request whose row is open and whose bank/bus
     // constraints are satisfied wins.
-    for (Request &req : queue) {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        Request &req = queue[i];
         if (req.completion != kInvalidCycle)
             continue;
-        Bank &bank = banks[req.loc.bank];
+        const Bank &bank = banks[req.loc.bank];
         if (bank.openRow != static_cast<std::int64_t>(req.loc.row))
             continue;
         if (now < bank.nextRead)
             continue;
-        const unsigned group = groupOf(req.loc.bank);
-        const unsigned pc = pcOf(req.loc.bank);
         // Bank-group windows (zero unless the backend is group-aware).
-        if (now < nextColumnGroup[group] || now < nextColumnAnyPc[pc])
+        if (now < nextColumnGroup[groupOf(req.loc.bank)] ||
+            now < nextColumnAnyPc[pcOf(req.loc.bank)]) {
             continue;
-        // Reserve the pseudo-channel's data bus: the burst begins after
-        // CAS latency, or when the bus frees up, whichever is later.
-        const Cycle burst_start =
-            std::max(now + bt.base.tCL, busFreeAt[pc]);
-        busFreeAt[pc] = burst_start + bt.burstCycles;
-        req.completion = burst_start + bt.burstCycles;
-        if (checker != nullptr) {
-            checker->onRead(req.loc.bank, req.loc.row, now, burst_start,
-                            bt.burstCycles);
         }
-        RCOAL_TRACE(traceSink, DramRead, now, req.loc.bank, req.loc.row,
-                    burst_start);
-        if (legacyTiming) {
-            // Pre-fix: plain assignment, nothing keeps the row open until
-            // the burst drains, and the bank-group windows go untracked.
-            bank.nextRead = now + bt.base.tCCD;
-        } else {
-            raiseTo(bank.nextRead, now + bt.base.tCCD);
-            // Read-to-precharge: the row must stay open (and refresh
-            // must hold off) until the data burst has drained.
-            raiseTo(bank.prechargeAllowed, burst_start + bt.burstCycles);
-            if (bt.bankGroupAware) {
-                raiseTo(nextColumnGroup[group], now + bt.tCCDLong);
-                raiseTo(nextColumnAnyPc[pc], now + bt.base.tCCD);
-            }
-        }
-        if (req.neededActivate) {
-            ++stats->dramRowMisses;
-            ++bankStats[req.loc.bank].rowMisses;
-        } else {
-            ++stats->dramRowHits;
-            ++bankStats[req.loc.bank].rowHits;
-        }
+        issueColumnAt(req, now);
         return true;
     }
     return false;
+}
+
+void
+DramPartition::issueActivateAt(Request &req, Cycle now)
+{
+    Bank &bank = banks[req.loc.bank];
+    const unsigned group = groupOf(req.loc.bank);
+    if (checker != nullptr)
+        checker->onActivate(req.loc.bank, req.loc.row, now);
+    RCOAL_TRACE(traceSink, DramActivate, now, req.loc.bank, req.loc.row,
+                0);
+    bank.openRow = static_cast<std::int64_t>(req.loc.row);
+    if (legacyTiming) {
+        // Pre-fix: only nextRead was monotone.
+        bank.nextRead = std::max(bank.nextRead, now + bt.base.tRCD);
+        bank.prechargeAllowed = now + bt.base.tRAS;
+        bank.nextActivate = now + bt.base.tRC;
+        nextActivateAny = now + bt.base.tRRD;
+    } else {
+        raiseTo(bank.nextRead, now + bt.base.tRCD);
+        raiseTo(bank.prechargeAllowed, now + bt.base.tRAS);
+        raiseTo(bank.nextActivate, now + bt.base.tRC);
+        raiseTo(nextActivateAny, now + bt.base.tRRD);
+        if (bt.bankGroupAware)
+            raiseTo(nextActivateGroup[group], now + bt.tRRDLong);
+    }
+    ++stats->dramActivates;
+    ++bankStats[req.loc.bank].activates;
+    // Row-hit accounting: only the request this ACT was issued for
+    // counts as a miss; younger same-row requests will read from
+    // the now-open row and count as hits.
+    req.neededActivate = true;
+}
+
+void
+DramPartition::issuePrechargeAt(Request &req, Cycle now)
+{
+    Bank &bank = banks[req.loc.bank];
+    if (checker != nullptr) {
+        checker->onPrecharge(req.loc.bank,
+                             static_cast<std::uint64_t>(bank.openRow),
+                             now);
+    }
+    RCOAL_TRACE(traceSink, DramPrecharge, now, req.loc.bank,
+                bank.openRow, 0);
+    bank.openRow = -1;
+    raiseTo(bank.nextActivate, now + bt.base.tRP);
+    ++stats->dramPrecharges;
+    ++bankStats[req.loc.bank].precharges;
 }
 
 bool
@@ -163,43 +238,19 @@ DramPartition::tryIssueActivate(Cycle now)
     // would immediately violate tRAS when it fires.
     if (!legacyTiming && refreshDue(now))
         return false;
-    for (Request &req : queue) {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        Request &req = queue[i];
         if (req.completion != kInvalidCycle)
             continue;
-        Bank &bank = banks[req.loc.bank];
+        const Bank &bank = banks[req.loc.bank];
         if (bank.openRow != -1)
             continue;
         if (now < bank.nextActivate)
             continue;
-        const unsigned group = groupOf(req.loc.bank);
         // Long same-group ACT window (zero unless group-aware).
-        if (now < nextActivateGroup[group])
+        if (now < nextActivateGroup[groupOf(req.loc.bank)])
             continue;
-        if (checker != nullptr)
-            checker->onActivate(req.loc.bank, req.loc.row, now);
-        RCOAL_TRACE(traceSink, DramActivate, now, req.loc.bank, req.loc.row,
-                    0);
-        bank.openRow = static_cast<std::int64_t>(req.loc.row);
-        if (legacyTiming) {
-            // Pre-fix: only nextRead was monotone.
-            bank.nextRead = std::max(bank.nextRead, now + bt.base.tRCD);
-            bank.prechargeAllowed = now + bt.base.tRAS;
-            bank.nextActivate = now + bt.base.tRC;
-            nextActivateAny = now + bt.base.tRRD;
-        } else {
-            raiseTo(bank.nextRead, now + bt.base.tRCD);
-            raiseTo(bank.prechargeAllowed, now + bt.base.tRAS);
-            raiseTo(bank.nextActivate, now + bt.base.tRC);
-            raiseTo(nextActivateAny, now + bt.base.tRRD);
-            if (bt.bankGroupAware)
-                raiseTo(nextActivateGroup[group], now + bt.tRRDLong);
-        }
-        ++stats->dramActivates;
-        ++bankStats[req.loc.bank].activates;
-        // Row-hit accounting: only the request this ACT was issued for
-        // counts as a miss; younger same-row requests will read from
-        // the now-open row and count as hits.
-        req.neededActivate = true;
+        issueActivateAt(req, now);
         return true;
     }
     return false;
@@ -211,17 +262,19 @@ DramPartition::tryIssuePrecharge(Cycle now)
     // One pass to find which banks still have pending work for their
     // open row (keeps the precharge scan linear in the queue length).
     std::uint64_t open_row_wanted = 0; // bit per bank
-    for (const Request &req : queue) {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
         if (req.completion != kInvalidCycle)
             continue;
         const Bank &bank = banks[req.loc.bank];
         if (bank.openRow == static_cast<std::int64_t>(req.loc.row))
             open_row_wanted |= std::uint64_t{1} << req.loc.bank;
     }
-    for (Request &req : queue) {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        Request &req = queue[i];
         if (req.completion != kInvalidCycle)
             continue;
-        Bank &bank = banks[req.loc.bank];
+        const Bank &bank = banks[req.loc.bank];
         if (bank.openRow == -1 ||
             bank.openRow == static_cast<std::int64_t>(req.loc.row)) {
             continue;
@@ -232,41 +285,172 @@ DramPartition::tryIssuePrecharge(Cycle now)
         // services those first anyway).
         if (open_row_wanted & (std::uint64_t{1} << req.loc.bank))
             continue;
-        if (checker != nullptr) {
-            checker->onPrecharge(req.loc.bank,
-                                 static_cast<std::uint64_t>(bank.openRow),
-                                 now);
-        }
-        RCOAL_TRACE(traceSink, DramPrecharge, now, req.loc.bank,
-                    bank.openRow, 0);
-        bank.openRow = -1;
-        raiseTo(bank.nextActivate, now + bt.base.tRP);
-        ++stats->dramPrecharges;
-        ++bankStats[req.loc.bank].precharges;
+        issuePrechargeAt(req, now);
         return true;
     }
     return false;
 }
 
-void
-DramPartition::tick(Cycle now)
+bool
+DramPartition::issueCommands(Cycle now)
 {
-    // Retire serviced requests whose burst finished.
-    for (auto it = queue.begin(); it != queue.end();) {
-        if (it->completion != kInvalidCycle && it->completion <= now) {
-            completed.push_back(std::move(*it));
-            it = queue.erase(it);
-        } else {
-            ++it;
+    // Fused FR-FCFS pass (non-legacy only): one walk in age order picks
+    // the same column and ACT winners as the per-class scans — proofs
+    // that the fusion is exact:
+    //   - The ACT winner is independent of the column issue: a column
+    //     issue changes no field the ACT scan reads (openRow,
+    //     nextActivate, the ACT windows), and the column winner itself
+    //     can never be an ACT candidate (its bank has an open row).
+    //   - No unserviced request older than a class's winner can target
+    //     the winner's bank: it would pass the identical per-bank
+    //     timing checks and have won instead.
+    // The precharge step still needs the post-issue view (mask and
+    // timing), reconstructed below without re-walking for it twice.
+    const bool blocked = refreshDue(now); // Holds column + ACT, not PRE.
+    const bool act_window_open = now >= nextActivateAny;
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t col_idx = npos;
+    std::size_t act_idx = npos;
+    std::size_t pre_first = npos; // First pre-issue precharge potential.
+    unsigned col_bank = 0;
+    unsigned act_bank = 0;
+    unsigned col_bank_peers = 0; // Younger requests sharing the column
+                                 // winner's (bank, open row).
+    std::uint64_t open_row_wanted = 0; // Pre-issue, bit per bank.
+
+    const std::size_t n = queue.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Request &req = queue[i];
+        if (req.completion != kInvalidCycle)
+            continue;
+        const Bank &bank = banks[req.loc.bank];
+        if (bank.openRow == static_cast<std::int64_t>(req.loc.row)) {
+            open_row_wanted |= std::uint64_t{1} << req.loc.bank;
+            if (col_idx != npos) {
+                col_bank_peers +=
+                    static_cast<unsigned>(req.loc.bank == col_bank);
+            } else if (!blocked && now >= bank.nextRead &&
+                       now >= nextColumnGroup[groupOf(req.loc.bank)] &&
+                       now >= nextColumnAnyPc[pcOf(req.loc.bank)]) {
+                col_idx = i;
+                col_bank = req.loc.bank;
+            }
+        } else if (bank.openRow == -1) {
+            if (act_idx == npos && !blocked && act_window_open &&
+                now >= bank.nextActivate &&
+                now >= nextActivateGroup[groupOf(req.loc.bank)]) {
+                act_idx = i;
+                act_bank = req.loc.bank;
+            }
+        } else if (pre_first == npos && now >= bank.prechargeAllowed) {
+            // Conflicting open row, timing already met pre-issue.
+            pre_first = i;
         }
     }
 
-    maybeRefresh(now);
+    bool issued = false;
+    if (col_idx != npos) {
+        issueColumnAt(queue[col_idx], now);
+        issued = true;
+    }
+    if (act_idx != npos) {
+        issueActivateAt(queue[act_idx], now);
+        issued = true;
+    }
+
+    if (pre_first != npos) {
+        // Post-issue wanted mask, patched instead of re-walked: the
+        // column winner left its bank's bit iff a younger request still
+        // wants the row; the ACT'd bank's bit is always set (the ACT
+        // winner itself now matches the row it just opened).
+        std::uint64_t wanted = open_row_wanted;
+        if (col_idx != npos && col_bank_peers == 0)
+            wanted &= ~(std::uint64_t{1} << col_bank);
+        if (act_idx != npos)
+            wanted |= std::uint64_t{1} << act_bank;
+        // No entry before pre_first can become a candidate post-issue:
+        // the only bank whose row state changed is the ACT'd one, and
+        // its fresh tRAS window blocks precharge this cycle (as does
+        // the column winner's read-to-precharge raise, both checked
+        // against live state below).
+        for (std::size_t i = pre_first; i < n; ++i) {
+            Request &req = queue[i];
+            if (req.completion != kInvalidCycle)
+                continue;
+            const Bank &bank = banks[req.loc.bank];
+            if (bank.openRow == -1 ||
+                bank.openRow == static_cast<std::int64_t>(req.loc.row)) {
+                continue;
+            }
+            if (now < bank.prechargeAllowed)
+                continue;
+            if (wanted & (std::uint64_t{1} << req.loc.bank))
+                continue;
+            issuePrechargeAt(req, now);
+            issued = true;
+            break;
+        }
+    }
+    return issued;
+}
+
+void
+DramPartition::tick(Cycle now)
+{
+    // Memo fast path: a previous no-op tick proved that nothing this
+    // function does (retire, refresh, command issue) can happen before
+    // sleepUntil, so the FR-FCFS queue scans can be skipped outright.
+    // The memo is invalidated whenever new work arrives (enqueueSlot)
+    // or the observable surface changes (restore, checker/sink attach).
+    if (now < sleepUntil)
+        return;
+
+    bool worked = false;
+
+    // Retire serviced requests whose burst finished. earliestCompletion
+    // is exact (the min completion among serviced queued requests), so
+    // the gate both skips the walk on no-retire ticks and guarantees at
+    // least one retirement when taken.
+    if (earliestCompletion <= now) {
+        Cycle next_retire = kInvalidCycle;
+        for (std::size_t i = 0; i < queue.size();) {
+            if (queue[i].completion != kInvalidCycle) {
+                if (queue[i].completion <= now) {
+                    completed.push_back(queue[i]);
+                    queue.removeAt(i);
+                    continue;
+                }
+                next_retire = std::min(next_retire, queue[i].completion);
+            }
+            ++i;
+        }
+        earliestCompletion = next_retire;
+        worked = true;
+    }
+
+    const bool refreshed = maybeRefresh(now);
+    worked |= refreshed;
+
+    if (legacyTiming) {
+        // The legacy seam keeps the historical per-class scans (and
+        // issues through a due refresh); no memo, no fusion.
+        tryIssueColumn(now);
+        tryIssueActivate(now);
+        tryIssuePrecharge(now);
+        return;
+    }
 
     // One command of each class per cycle approximates the command bus.
-    tryIssueColumn(now);
-    tryIssueActivate(now);
-    tryIssuePrecharge(now);
+    // A refresh that just fired closed every bank and pushed all their
+    // deadlines past now, so no command can legally issue this cycle.
+    if (!refreshed)
+        worked |= issueCommands(now);
+
+    // A tick that did nothing proves every tick before workBound() is a
+    // no-op too: every action above is gated on a deadline that only
+    // tick() itself advances.
+    if (!worked)
+        sleepUntil = workBound(now);
 }
 
 Cycle
@@ -277,6 +461,19 @@ DramPartition::nextEventCycle(Cycle now) const
     if (legacyTiming)
         return now + 1; // Test seam: no skipping guarantees.
 
+    Cycle bound = workBound(now);
+    // The machine drains `completed` on every one of its ticks, so a
+    // non-empty backlog means externally visible state next cycle. This
+    // term is deliberately absent from workBound(): draining is the
+    // machine's work, not tick()'s, so it must not shorten the memo.
+    if (!completed.empty())
+        bound = std::min(bound, now + 1);
+    return bound;
+}
+
+Cycle
+DramPartition::workBound(Cycle now) const
+{
     Cycle bound = kInvalidCycle;
     const auto consider = [&](Cycle candidate) {
         bound = std::min(bound, std::max(candidate, now + 1));
@@ -303,21 +500,18 @@ DramPartition::nextEventCycle(Cycle now) const
         }
     }
 
-    // The machine drains `completed` on every one of its ticks, so a
-    // non-empty backlog means externally visible state next cycle.
-    if (!completed.empty())
-        consider(now + 1);
-
     const bool commands_blocked = refreshDue(now);
     std::uint64_t open_row_wanted = 0; // Same mask tryIssuePrecharge uses.
-    for (const Request &req : queue) {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
         if (req.completion != kInvalidCycle)
             continue;
         const Bank &bank = banks[req.loc.bank];
         if (bank.openRow == static_cast<std::int64_t>(req.loc.row))
             open_row_wanted |= std::uint64_t{1} << req.loc.bank;
     }
-    for (const Request &req : queue) {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Request &req = queue[i];
         if (req.completion != kInvalidCycle) {
             consider(req.completion); // Burst retirement.
             continue;
@@ -359,11 +553,17 @@ DramPartition::hasCompleted(Cycle now) const
 MemoryAccess
 DramPartition::popCompleted(Cycle now)
 {
+    return slab->take(popCompletedSlot(now));
+}
+
+std::uint32_t
+DramPartition::popCompletedSlot(Cycle now)
+{
     for (auto it = completed.begin(); it != completed.end(); ++it) {
         if (it->completion <= now) {
-            MemoryAccess access = std::move(it->access);
+            const std::uint32_t slot = it->slot;
             completed.erase(it);
-            return access;
+            return slot;
         }
     }
     panic("popCompleted with nothing completed (partition %u)", id);
@@ -383,6 +583,8 @@ DramPartition::reset()
     nextActivateGroup.assign(bt.bankGroups, 0);
     nextColumnAnyPc.assign(bt.pseudoChannels, 0);
     nextRefreshAt = bt.base.tREFI;
+    sleepUntil = 0;
+    earliestCompletion = kInvalidCycle;
 }
 
 void
@@ -439,6 +641,8 @@ DramPartition::restoreState(common::ArenaReader &r)
     r.podVector(nextActivateGroup);
     r.podVector(nextColumnAnyPc);
     r.pod(nextRefreshAt);
+    sleepUntil = 0; // Derived memo; never part of a snapshot.
+    earliestCompletion = kInvalidCycle; // Idle: nothing serviced.
     RCOAL_ASSERT(busFreeAt.size() == bt.pseudoChannels &&
                      nextColumnGroup.size() == bt.bankGroups,
                  "DRAM backend structure mismatch on restore");

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
 #include "rcoal/common/logging.hpp"
 #include "rcoal/telemetry/sampler.hpp"
@@ -27,7 +28,7 @@ validated(GpuConfig config)
 // Snapshot arena region tags. The reader checks each against the
 // writer's order, so a save/restore drift panics instead of misreading.
 constexpr std::uint32_t kTagMachine = 0x6d636831; // 'mch1'
-constexpr std::uint32_t kTagSm = 0x736d3031;      // 'sm01'
+constexpr std::uint32_t kTagSm = 0x736d3032;      // 'sm02'
 constexpr std::uint32_t kTagXbar = 0x78626172;    // 'xbar'
 constexpr std::uint32_t kTagDram = 0x6472616d;    // 'dram'
 constexpr std::uint32_t kTagL2 = 0x6c322e30;      // 'l2.0'
@@ -46,22 +47,25 @@ GpuMachine::GpuMachine(GpuConfig config)
     : cfg(validated(std::move(config))),
       partitioner(cfg.policy, cfg.warpSize),
       mapping(cfg),
+      slab(cfg.numSms * 4 * cfg.warpSize +
+           (cfg.numSms + cfg.numPartitions) * 2 * cfg.icnQueueDepth +
+           cfg.numPartitions * 2 * cfg.dramQueueDepth),
       reqXbar(cfg.numSms, cfg.numPartitions, cfg.icnLatency,
-              cfg.icnQueueDepth),
+              cfg.icnQueueDepth, &slab),
       respXbar(cfg.numPartitions, cfg.numSms, cfg.icnLatency,
-               cfg.icnQueueDepth),
+               cfg.icnQueueDepth, &slab),
       respBacklog(cfg.numPartitions),
       smBusy(cfg.numSms, false)
 {
     sms.reserve(cfg.numSms);
     for (unsigned s = 0; s < cfg.numSms; ++s) {
         sms.push_back(std::make_unique<StreamingMultiprocessor>(
-            cfg, s, &reqXbar, &mapping, &accessIds));
+            cfg, s, &reqXbar, &mapping, &accessIds, &slab));
     }
     drams.reserve(cfg.numPartitions);
     for (unsigned p = 0; p < cfg.numPartitions; ++p) {
         drams.push_back(
-            std::make_unique<DramPartition>(cfg, p, &memStats));
+            std::make_unique<DramPartition>(cfg, p, &memStats, &slab));
     }
     if (cfg.l2Enabled) {
         l2.resize(cfg.numPartitions);
@@ -171,6 +175,9 @@ GpuMachine::snapshot() const
     RCOAL_ASSERT(quiescent(),
                  "snapshot requires a quiescent machine (no resident "
                  "kernels, all queues drained)");
+    RCOAL_ASSERT(slab.empty(),
+                 "quiescent machine leaked %zu slab slots",
+                 slab.liveCount());
     static_assert(std::is_trivially_copyable_v<KernelStats>,
                   "KernelStats must stay memcpy-serializable");
     auto arena = std::make_shared<common::StateArena>();
@@ -331,6 +338,9 @@ void
 GpuMachine::reset()
 {
     RCOAL_ASSERT(quiescent(), "reset requires a quiescent machine");
+    RCOAL_ASSERT(slab.empty(),
+                 "quiescent machine leaked %zu slab slots",
+                 slab.liveCount());
     simCycleCounters().simulated.fetch_add(nowCycle,
                                            std::memory_order_relaxed);
     simCycleCounters().skipped.fetch_add(skippedTotal,
@@ -721,8 +731,11 @@ GpuMachine::tick()
     reqXbar.tick(nowCycle);
     respXbar.tick(nowCycle);
 
-    // 3. Request-crossbar ejection into L2/DRAM.
-    for (unsigned p = 0; p < cfg.numPartitions; ++p) {
+    // 3. Request-crossbar ejection into L2/DRAM. Iterating the ready
+    // mask's set bits skips the (typically many) empty output ports.
+    for (std::uint64_t ready = reqXbar.outputsReadyMask(); ready != 0;
+         ready &= ready - 1) {
+        const auto p = static_cast<unsigned>(std::countr_zero(ready));
         while (reqXbar.outputReady(p)) {
             // Peek is unnecessary: decide before popping via DRAM
             // capacity, since misses and writes go there.
@@ -734,7 +747,8 @@ GpuMachine::tick()
                 !l2[p].mshr->canAllocate()) {
                 break;
             }
-            MemoryAccess access = reqXbar.popOutput(p);
+            const std::uint32_t pkt = reqXbar.popOutputSlot(p);
+            MemoryAccess &access = slab.at(pkt);
             if (cfg.l2Enabled && !access.isWrite) {
                 KernelStats *owner = statsForSlot(access.launchSlot);
                 const mem::AccessOutcome outcome =
@@ -745,7 +759,7 @@ GpuMachine::tick()
                     if (owner != nullptr)
                         ++owner->l2Hits;
                     l2[p].pendingHits.emplace_back(
-                        nowCycle + cfg.l2.hitLatency, std::move(access));
+                        nowCycle + cfg.l2.hitLatency, pkt);
                     continue;
                 }
                 if (owner != nullptr) {
@@ -757,24 +771,23 @@ GpuMachine::tick()
                     if (l2[p].mshr->isPending(access.blockAddr)) {
                         if (owner != nullptr)
                             ++owner->l2MshrMerges;
-                        l2[p].mshr->merge(access.blockAddr,
-                                          std::move(access));
+                        const Addr block = access.blockAddr;
+                        l2[p].mshr->merge(block, slab.take(pkt));
                         continue;
                     }
-                    // Allocate (space was checked before popping) and
-                    // send a courier copy to DRAM; the waiting requests
+                    // Allocate a copy (space was checked before
+                    // popping); the slab record stays the courier
+                    // travelling to DRAM while the waiting requests
                     // ride the MSHR entry until the fill returns.
-                    MemoryAccess copy = access;
-                    l2[p].mshr->allocate(access.blockAddr,
-                                         std::move(access));
+                    l2[p].mshr->allocate(access.blockAddr, access);
                     const DramLocation loc =
-                        mapping.decode(copy.blockAddr);
-                    drams[p]->enqueue(std::move(copy), loc, memCycle);
+                        mapping.decode(access.blockAddr);
+                    drams[p]->enqueueSlot(pkt, loc, memCycle);
                     continue;
                 }
             }
-            drams[p]->enqueue(access, mapping.decode(access.blockAddr),
-                              memCycle);
+            drams[p]->enqueueSlot(
+                pkt, mapping.decode(access.blockAddr), memCycle);
         }
     }
 
@@ -793,16 +806,20 @@ GpuMachine::tick()
     // crossbar (or retire immediately for writes).
     for (unsigned p = 0; p < cfg.numPartitions; ++p) {
         while (drams[p]->hasCompleted(memCycle)) {
-            MemoryAccess access = drams[p]->popCompleted(memCycle);
+            const std::uint32_t pkt = drams[p]->popCompletedSlot(memCycle);
+            MemoryAccess &access = slab.at(pkt);
             if (cfg.l2Enabled && !access.isWrite) {
                 l2[p].cache->fill(access.blockAddr, access.bytes);
                 if (l2[p].mshr != nullptr &&
                     l2[p].mshr->isPending(access.blockAddr)) {
-                    // The courier copy dissolves; the MSHR entry holds
-                    // the real requests (primary first).
+                    // The courier dissolves; the MSHR entry holds the
+                    // real requests (primary first).
+                    const Addr block = access.blockAddr;
+                    slab.free(pkt);
                     for (MemoryAccess &waiting :
-                         l2[p].mshr->complete(access.blockAddr)) {
-                        respBacklog[p].push_back(std::move(waiting));
+                         l2[p].mshr->complete(block)) {
+                        respBacklog[p].push_back(
+                            slab.allocate(std::move(waiting)));
                     }
                     continue;
                 }
@@ -821,30 +838,33 @@ GpuMachine::tick()
                     tag_stats.lastComplete =
                         std::max(tag_stats.lastComplete, nowCycle);
                 }
+                slab.free(pkt);
                 continue;
             }
-            respBacklog[p].push_back(std::move(access));
+            respBacklog[p].push_back(pkt);
         }
         if (cfg.l2Enabled) {
             auto &pending = l2[p].pendingHits;
             while (!pending.empty() && pending.front().first <= nowCycle) {
-                respBacklog[p].push_back(
-                    std::move(pending.front().second));
+                respBacklog[p].push_back(pending.front().second);
                 pending.pop_front();
             }
         }
         while (!respBacklog[p].empty() && respXbar.canInject(p)) {
-            MemoryAccess access = std::move(respBacklog[p].front());
+            const std::uint32_t pkt = respBacklog[p].front();
             respBacklog[p].pop_front();
-            const unsigned dest = access.smId;
-            respXbar.inject(p, dest, std::move(access), nowCycle);
+            respXbar.injectSlot(p, slab.at(pkt).smId, pkt, nowCycle);
         }
     }
 
-    // 6. Deliver responses to the SMs.
-    for (unsigned s = 0; s < cfg.numSms; ++s) {
-        while (respXbar.outputReady(s))
-            sms[s]->deliverResponse(respXbar.popOutput(s), nowCycle);
+    // 6. Deliver responses to the SMs (ready-mask iteration as above).
+    for (std::uint64_t ready = respXbar.outputsReadyMask(); ready != 0;
+         ready &= ready - 1) {
+        const auto s = static_cast<unsigned>(std::countr_zero(ready));
+        while (respXbar.outputReady(s)) {
+            sms[s]->deliverResponseSlot(respXbar.popOutputSlot(s),
+                                        nowCycle);
+        }
     }
 
     // 7. Retire launches whose work has fully drained.

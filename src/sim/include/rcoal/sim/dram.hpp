@@ -18,11 +18,12 @@
 #define RCOAL_SIM_DRAM_HPP
 
 #include <algorithm>
-#include <deque>
+#include <memory>
 #include <vector>
 
 #include "rcoal/common/state_arena.hpp"
 #include "rcoal/mem/dram_backend.hpp"
+#include "rcoal/sim/access_slab.hpp"
 #include "rcoal/sim/address_mapping.hpp"
 #include "rcoal/sim/memory_access.hpp"
 #include "rcoal/sim/stats.hpp"
@@ -44,15 +45,21 @@ class DramPartition
      * @param config GPU configuration (backend kind, queue depth, banks).
      * @param partition_id this partition's index.
      * @param stats kernel statistics sink (row hits/misses, ACT/PRE).
+     * @param slab shared packet storage; when null the partition owns a
+     *        private slab (standalone/test use via the value API).
      */
     DramPartition(const GpuConfig &config, unsigned partition_id,
-                  KernelStats *stats);
+                  KernelStats *stats, AccessSlab *slab = nullptr);
 
     /** True when the request queue has room. */
-    bool canAccept() const { return queue.size() < queueDepth; }
+    bool canAccept() const { return !queue.full(); }
 
     /** Enqueue an access (must canAccept()); @p now is the memory cycle. */
     void enqueue(MemoryAccess access, const DramLocation &loc, Cycle now);
+
+    /** Enqueue slab slot @p slot (must canAccept()). */
+    void enqueueSlot(std::uint32_t slot, const DramLocation &loc,
+                     Cycle now);
 
     /** Advance one memory cycle: issue up to one READ/WRITE, ACT, PRE. */
     void tick(Cycle now);
@@ -75,6 +82,9 @@ class DramPartition
 
     /** Pop one completed access (must hasCompleted()). */
     MemoryAccess popCompleted(Cycle now);
+
+    /** Pop one completed access's slab slot (must hasCompleted()). */
+    std::uint32_t popCompletedSlot(Cycle now);
 
     /** True when no requests are queued, in flight, or completed. */
     bool idle() const { return queue.empty() && completed.empty(); }
@@ -112,10 +122,18 @@ class DramPartition
      * validated as it issues. Null detaches. Not gated by RCOAL_TRACE:
      * checking is a test-mode feature of every build.
      */
-    void setChecker(trace::DramProtocolChecker *c) { checker = c; }
+    void setChecker(trace::DramProtocolChecker *c)
+    {
+        checker = c;
+        sleepUntil = 0;
+    }
 
     /** Attach a sink for ACT/PRE/RD/REF trace events (memory domain). */
-    void setTraceSink(trace::TraceSink *s) { traceSink = s; }
+    void setTraceSink(trace::TraceSink *s)
+    {
+        traceSink = s;
+        sleepUntil = 0;
+    }
 
     /**
      * Return to the freshly-constructed state (must be idle()): bank
@@ -138,12 +156,22 @@ class DramPartition
      * tRAS or in-flight bursts) so regression tests can demonstrate the
      * protocol checker catches it on every backend.
      */
-    void enableLegacyTimingForTest() { legacyTiming = true; }
+    void enableLegacyTimingForTest()
+    {
+        legacyTiming = true;
+        sleepUntil = 0;
+    }
 
   private:
+    /**
+     * One queued request: the access itself stays in the slab; the
+     * controller scans only this ~48-byte record, so the per-memory-cycle
+     * FR-FCFS walks touch a couple of contiguous cache lines instead of
+     * chasing a deque of ~200-byte structs.
+     */
     struct Request
     {
-        MemoryAccess access;
+        std::uint32_t slot = kInvalidSlot; ///< Slab slot of the access.
         DramLocation loc;
         Cycle arrival = 0;
         bool neededActivate = false; ///< Row was not open on arrival path.
@@ -158,11 +186,34 @@ class DramPartition
         Cycle prechargeAllowed = 0;  ///< tRAS from last ACT.
     };
 
+    void issueColumnAt(Request &req, Cycle now);
+    void issueActivateAt(Request &req, Cycle now);
+    void issuePrechargeAt(Request &req, Cycle now);
+    /**
+     * Fused FR-FCFS step (non-legacy hot path): one walk of the queue
+     * selects this cycle's column, ACT, and precharge winners — the
+     * same winners the three per-class scans pick, proven in the
+     * implementation. Returns true when any command issued.
+     */
+    bool issueCommands(Cycle now);
+    /// Per-class scans; retained as the legacy-timing seam's path and
+    /// as the readable specification the fused walk is checked against.
     bool tryIssueColumn(Cycle now);
     bool tryIssueActivate(Cycle now);
     bool tryIssuePrecharge(Cycle now);
-    void maybeRefresh(Cycle now);
+    bool maybeRefresh(Cycle now);
     bool refreshDue(Cycle now) const;
+
+    /**
+     * Conservative lower bound (>= now + 1) on the next memory cycle at
+     * which tick() itself could do work: retire a burst, fire a
+     * refresh, or legally issue a command. This is nextEventCycle()
+     * minus the completed-backlog term (draining `completed` is the
+     * machine's work, not tick()'s), and it is what the sleepUntil memo
+     * caches: a tick that did nothing proves every tick before the
+     * bound is a no-op, so their queue scans can be skipped outright.
+     */
+    Cycle workBound(Cycle now) const;
 
     unsigned groupOf(unsigned bank) const { return bank % bt.bankGroups; }
     unsigned pcOf(unsigned bank) const { return bank / banksPerPc; }
@@ -181,8 +232,10 @@ class DramPartition
     mem::BackendTiming bt;
     std::size_t queueDepth;
     KernelStats *stats;
+    AccessSlab *slab;                    ///< Shared or ownSlab.get().
+    std::unique_ptr<AccessSlab> ownSlab; ///< Fallback for the value API.
 
-    std::deque<Request> queue;        ///< Age-ordered, oldest first.
+    SlotRing<Request> queue;          ///< Age-ordered, oldest first.
     std::vector<Request> completed;   ///< Serviced, awaiting pickup.
     std::vector<Bank> banks;
     std::vector<BankCounters> bankStats; ///< Parallel to `banks`.
@@ -197,6 +250,21 @@ class DramPartition
     std::vector<Cycle> nextColumnAnyPc;   ///< tCCD_S per pseudo-channel.
     bool refreshEnabled = false;
     Cycle nextRefreshAt = 0;          ///< Next all-bank refresh.
+    /**
+     * Memo: tick() is a provable no-op before this memory cycle (see
+     * workBound()). Purely derived state — never serialized, reset to 0
+     * by anything that could create work or change observers (enqueue,
+     * restore, checker/sink attach, the legacy-timing seam, which also
+     * disables the memo entirely).
+     */
+    Cycle sleepUntil = 0;
+    /**
+     * Exact min completion among serviced queued requests
+     * (kInvalidCycle when none): gates the per-tick retire walk.
+     * Derived state — maintained at column issue, recomputed by the
+     * retire walk, never serialized (requires an idle partition).
+     */
+    Cycle earliestCompletion = kInvalidCycle;
 
     trace::DramProtocolChecker *checker = nullptr; ///< Optional referee.
     trace::TraceSink *traceSink = nullptr;         ///< Optional recorder.

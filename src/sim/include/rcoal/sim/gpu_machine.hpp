@@ -300,8 +300,8 @@ class GpuMachine
         std::unique_ptr<mem::SectoredCache> cache;
         /** L2 MSHRs (populated when MSHR merging is enabled). */
         std::unique_ptr<mem::MshrTable> mshr;
-        /** Hit responses waiting out the hit latency (ready ascending). */
-        std::deque<std::pair<Cycle, MemoryAccess>> pendingHits;
+        /** Hit responses' slab slots waiting out the hit latency. */
+        std::deque<std::pair<Cycle, std::uint32_t>> pendingHits;
     };
 
     /** Stats sink for @p slot; nullptr once the launch was taken. */
@@ -313,13 +313,21 @@ class GpuMachine
     GpuConfig cfg;
     core::SubwarpPartitioner partitioner;
     AddressMapping mapping;
+    /**
+     * The machine-wide packet store: every in-flight MemoryAccess lives
+     * here and moves between the SMs, both crossbars, the L2 front ends
+     * and the DRAM queues as a 32-bit slot index. Empty whenever the
+     * machine is quiescent (asserted at snapshot/reset), so it is never
+     * serialized.
+     */
+    AccessSlab slab;
     Crossbar reqXbar;
     Crossbar respXbar;
     std::vector<std::unique_ptr<StreamingMultiprocessor>> sms;
     std::vector<std::unique_ptr<DramPartition>> drams;
     std::vector<L2Frontend> l2;
     /** DRAM completions the response crossbar could not yet take. */
-    std::vector<std::deque<MemoryAccess>> respBacklog;
+    std::vector<std::deque<std::uint32_t>> respBacklog;
 
     KernelStats memStats; ///< Machine-level DRAM counters.
     std::unordered_map<std::uint32_t, LaunchState> active;

@@ -7,14 +7,22 @@
  * and owns the LD/ST path: the RCoal coalescer, the pending request
  * table with the sid field, the optional L1/MSHR, and the injection port
  * into the request crossbar.
+ *
+ * Warp state is split structure-of-arrays: the per-cycle issue scan
+ * reads only dense parallel arrays (readyAt, pc, trace length,
+ * memoized memory-instruction demand), with per-scheduler bitmasks of
+ * issuable slots so the scan is find-first-set over a word instead of a
+ * strided walk. The cold remainder (trace pointer, subwarp partition,
+ * cached coalesce result) lives in a side vector touched only when an
+ * instruction actually issues. In-flight accesses live in an
+ * AccessSlab and move between the LD/ST queue, the crossbar, and the
+ * local-response queue as 32-bit slot indices.
  */
 
 #ifndef RCOAL_SIM_SM_HPP
 #define RCOAL_SIM_SM_HPP
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "rcoal/common/state_arena.hpp"
@@ -23,6 +31,7 @@
 #include "rcoal/core/subwarp.hpp"
 #include "rcoal/mem/mshr.hpp"
 #include "rcoal/mem/sectored_cache.hpp"
+#include "rcoal/sim/access_slab.hpp"
 #include "rcoal/sim/address_mapping.hpp"
 #include "rcoal/sim/interconnect.hpp"
 #include "rcoal/sim/kernel.hpp"
@@ -42,6 +51,8 @@ class StreamingMultiprocessor
      * @param request_xbar SM -> partition crossbar.
      * @param mapping address decoder (for routing).
      * @param access_id_counter shared unique-id source for accesses.
+     * @param slab shared packet storage; when null the SM owns a
+     *        private slab (standalone/test use).
      *
      * The statistics sink is bound per launch via beginLaunch(); an SM
      * belongs to exactly one resident kernel at a time, so the machine
@@ -50,7 +61,8 @@ class StreamingMultiprocessor
     StreamingMultiprocessor(const GpuConfig &config, unsigned sm_id,
                             Crossbar *request_xbar,
                             const AddressMapping *mapping,
-                            std::uint64_t *access_id_counter);
+                            std::uint64_t *access_id_counter,
+                            AccessSlab *slab = nullptr);
 
     /**
      * Allocate this SM to a launch: bind its statistics sink, the
@@ -123,6 +135,9 @@ class StreamingMultiprocessor
     /** A load response arrived from the memory system. */
     void deliverResponse(MemoryAccess access, Cycle now);
 
+    /** A load response arrived as slab slot @p slot (freed here). */
+    void deliverResponseSlot(std::uint32_t slot, Cycle now);
+
     /**
      * True when every resident warp has retired (including the latency
      * of a trailing ALU batch) and all queues have drained.
@@ -130,7 +145,7 @@ class StreamingMultiprocessor
     bool done(Cycle now) const;
 
     /** Number of resident warps. */
-    std::size_t residentWarps() const { return warps.size(); }
+    std::size_t residentWarps() const { return warpsCold.size(); }
 
     /** Live PRT fill (entries holding an in-flight or pending lane). */
     std::size_t prtOccupancy() const { return prt.occupancy(); }
@@ -144,37 +159,58 @@ class StreamingMultiprocessor
     void setTraceSink(trace::TraceSink *s) { traceSink = s; }
 
   private:
-    struct WarpContext
+    /**
+     * Warp state not touched by the per-cycle issue scan: read when an
+     * instruction issues (or a memory instruction is first coalesced),
+     * which is orders of magnitude rarer than the scan's stalled
+     * retries in the saturated regime.
+     */
+    struct WarpCold
     {
-        WarpId id;
-        const std::vector<WarpInstruction> *trace;
+        WarpId id = 0;
+        const std::vector<WarpInstruction> *trace = nullptr;
         core::SubwarpPartition partition;
-        std::size_t pc;
-        Cycle readyAt;
-        unsigned outstandingLoads; ///< In-flight coalesced loads.
-
         /**
-         * Coalesce result and resource demand cached across stall
-         * retries of the current memory instruction (recomputing them
-         * every stalled cycle dominated the simulator profile).
+         * Coalesce result cached across stall retries of the current
+         * memory instruction (recomputing it every stalled cycle
+         * dominated the simulator profile). Valid iff pendingPc == pc.
          */
         std::vector<core::CoalescedAccess> pendingCoalesce;
         std::size_t pendingPc = ~std::size_t{0};
-        std::size_t pendingPrtEntries = 0;
         unsigned pendingActiveLanes = 0;
-
-        bool
-        finished() const
-        {
-            return pc >= trace->size() && outstandingLoads == 0;
-        }
     };
 
-    /** Try to issue one instruction from @p warp; true on success. */
-    bool tryIssue(WarpContext &warp, Cycle now);
+    struct LocalResponse
+    {
+        Cycle ready = 0;
+        std::uint32_t slot = kInvalidSlot;
+    };
+
+    bool warpFinished(std::size_t slot) const
+    {
+        return warpPc[slot] >= warpTraceLen[slot] &&
+               warpOutstanding[slot] == 0;
+    }
+
+    /** Clear warp @p slot's issuable bit once its trace is exhausted. */
+    void retireFromScan(std::size_t slot)
+    {
+        if (useMasks) {
+            issuableMask[slot % cfg.issueWidth] &=
+                ~(std::uint64_t{1} << (slot / cfg.issueWidth));
+        }
+    }
+
+    /**
+     * Try to issue one instruction from warp @p slot; true on success.
+     * The fast precheck rejects time-blocked warps and — via the
+     * memoized demand arrays — memory instructions whose resource
+     * stall persists, without touching the cold warp state or trace.
+     */
+    bool tryIssue(std::size_t slot, Cycle now);
 
     /** Issue a memory instruction; false when resources are exhausted. */
-    bool issueMemory(WarpContext &warp, const WarpInstruction &instr,
+    bool issueMemory(std::size_t slot, const WarpInstruction &instr,
                      Cycle now);
 
     /** Advance the LD/ST queue head toward the memory system. */
@@ -194,18 +230,20 @@ class StreamingMultiprocessor
     Crossbar *reqXbar;
     const AddressMapping *map;
     std::uint64_t *nextAccessId;
+    AccessSlab *slab;                    ///< Shared or ownSlab.get().
+    std::unique_ptr<AccessSlab> ownSlab; ///< Fallback for standalone use.
 
     core::Coalescer coalescer;
     core::PendingRequestTable prt;
     /** Partition used for unprotected instructions (selective RCoal). */
     core::SubwarpPartition baselinePartition;
-    std::deque<MemoryAccess> ldstQueue;
+    SlotRing<std::uint32_t> ldstQueue; ///< Slab slots awaiting injection.
     std::size_t ldstQueueCapacity;
 
     std::unique_ptr<mem::SectoredCache> l1;
     std::unique_ptr<mem::MshrTable> mshr;
-    /** L1-hit responses waiting their hit latency (readyAt ascending). */
-    std::deque<std::pair<Cycle, MemoryAccess>> localResponses;
+    /** L1-hit responses waiting their hit latency (ready ascending). */
+    SlotRing<LocalResponse> localResponses;
     /**
      * Memoized L1 lookup for the LD/ST queue head: the tag probe (and
      * its hit/miss accounting) runs once per access id, so structural
@@ -215,8 +253,39 @@ class StreamingMultiprocessor
     std::uint64_t l1LookupId = ~std::uint64_t{0};
     mem::AccessOutcome l1LookupOutcome = mem::AccessOutcome::Hit;
 
-    std::vector<WarpContext> warps;
-    std::unordered_map<WarpId, std::size_t> warpIndex;
+    /**
+     * Structure-of-arrays warp scoreboard, indexed by warp slot. The
+     * issue scan and response path read these; WarpCold holds the rest.
+     * pendingMem[slot] flags a memoized memory instruction parked at
+     * the current pc, with its demand mirrored in pendingCount (LD/ST
+     * queue entries), pendingPrt (PRT entries), pendingLoad — so the
+     * per-cycle stalled retry never leaves the arrays.
+     */
+    std::vector<Cycle> warpReadyAt;
+    std::vector<std::uint32_t> warpPc;
+    std::vector<std::uint32_t> warpTraceLen;
+    std::vector<std::uint32_t> warpOutstanding;
+    std::vector<WarpId> warpIds;
+    std::vector<std::uint8_t> pendingMem;
+    std::vector<std::uint8_t> pendingLoad;
+    std::vector<std::uint32_t> pendingCount;
+    std::vector<std::uint32_t> pendingPrt;
+    std::vector<WarpCold> warpsCold;
+
+    /**
+     * Bit k of issuableMask[sched] is set iff warp slot
+     * sched + k * issueWidth still has instructions to issue
+     * (pc < trace length). Maintained at assignWarp and at the issue
+     * that exhausts a trace; the scan iterates set bits instead of
+     * probing every slot. Usable while each scheduler owns at most 64
+     * slots (useMasks); the scalar walk remains as fallback.
+     */
+    std::vector<std::uint64_t> issuableMask;
+    bool useMasks;
+
+    /** Dense warp-id -> slot map (kNoSlot = not resident on this SM). */
+    static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+    std::vector<std::uint32_t> warpIndex;
     std::vector<std::size_t> rrPointer; ///< Per-scheduler round robin.
     std::size_t unfinishedWarps = 0;    ///< Cached for O(1) done().
     Cycle busyUntil = 0;                ///< Max readyAt across warps.

@@ -6,6 +6,7 @@
 #include "rcoal/sim/sm.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "rcoal/common/logging.hpp"
 #include "rcoal/trace/sink.hpp"
@@ -14,20 +15,34 @@ namespace rcoal::sim {
 
 StreamingMultiprocessor::StreamingMultiprocessor(
     const GpuConfig &config, unsigned sm_id, Crossbar *request_xbar,
-    const AddressMapping *mapping, std::uint64_t *access_id_counter)
+    const AddressMapping *mapping, std::uint64_t *access_id_counter,
+    AccessSlab *shared_slab)
     : cfg(config),
       id(sm_id),
       reqXbar(request_xbar),
       map(mapping),
       nextAccessId(access_id_counter),
+      slab(shared_slab),
       coalescer(config.coalesceBlockBytes),
       prt(config.prtEntries),
       baselinePartition(core::SubwarpPartition::single(config.warpSize)),
+      ldstQueue(4 * config.warpSize),
       ldstQueueCapacity(4 * config.warpSize),
+      issuableMask(config.issueWidth, 0),
+      useMasks((config.maxWarpsPerSm + config.issueWidth - 1) /
+                   config.issueWidth <=
+               64),
       rrPointer(config.issueWidth, 0)
 {
     RCOAL_ASSERT(reqXbar && map && nextAccessId,
                  "SM wired without its collaborators");
+    // A standalone SM owns a private slab; in a machine the shared slab
+    // must be the same one the request crossbar uses, since the LD/ST
+    // queue hands its slot indices straight to injectSlot().
+    if (slab == nullptr) {
+        ownSlab = std::make_unique<AccessSlab>(2 * ldstQueueCapacity);
+        slab = ownSlab.get();
+    }
     if (cfg.l1Enabled)
         l1 = std::make_unique<mem::SectoredCache>(cfg.l1);
     // The SM-side MSHR sits in front of the L1 (misses merge on the
@@ -35,6 +50,9 @@ StreamingMultiprocessor::StreamingMultiprocessor(
     // individually and only the L2's own MSHR applies.
     if (cfg.mshrEnabled && cfg.l1Enabled)
         mshr = std::make_unique<mem::MshrTable>(cfg.mshrEntries);
+    // One L1-hit push per tick and each entry retires after hitLatency
+    // cycles, so at most hitLatency + 1 can ever be resident.
+    localResponses.reset(l1 ? l1->hitLatency() + 2 : 1);
 }
 
 void
@@ -44,7 +62,8 @@ StreamingMultiprocessor::beginLaunch(KernelStats *launch_stats,
 {
     RCOAL_ASSERT(launch_stats != nullptr && pending_writes != nullptr,
                  "SM %u launch needs a stats sink and store counter", id);
-    RCOAL_ASSERT(warps.empty(), "SM %u still hosts a previous launch", id);
+    RCOAL_ASSERT(warpsCold.empty(),
+                 "SM %u still hosts a previous launch", id);
     stats = launch_stats;
     launchSlot = launch_slot;
     pendingWrites = pending_writes;
@@ -60,7 +79,17 @@ StreamingMultiprocessor::reset()
                  "SM %u reset while work is in flight", id);
     l1LookupId = ~std::uint64_t{0};
     l1LookupOutcome = mem::AccessOutcome::Hit;
-    warps.clear();
+    warpsCold.clear();
+    warpReadyAt.clear();
+    warpPc.clear();
+    warpTraceLen.clear();
+    warpOutstanding.clear();
+    warpIds.clear();
+    pendingMem.clear();
+    pendingLoad.clear();
+    pendingCount.clear();
+    pendingPrt.clear();
+    std::fill(issuableMask.begin(), issuableMask.end(), 0);
     warpIndex.clear();
     std::fill(rrPointer.begin(), rrPointer.end(), 0);
     busyUntil = 0;
@@ -69,7 +98,7 @@ StreamingMultiprocessor::reset()
     tickChanged = false;
     responseSinceTick = false;
     // Per-tick state that used to leak across launches: tick() zeroes
-    // the stall counters only after the warps.empty() early-return, so
+    // the stall counters only after the warps-empty early-return, so
     // a skip window right after the next launch could replay the
     // previous launch's final-tick stalls into the new launch's stats.
     scanIssued = false;
@@ -88,7 +117,7 @@ StreamingMultiprocessor::reset()
 void
 StreamingMultiprocessor::hardReset()
 {
-    RCOAL_ASSERT(warps.empty(),
+    RCOAL_ASSERT(warpsCold.empty(),
                  "SM %u hard reset while hosting a launch", id);
     // reset() (run at every launch retirement) already restored the
     // per-launch state; what survives it by design is the warm memory
@@ -102,7 +131,7 @@ StreamingMultiprocessor::hardReset()
 void
 StreamingMultiprocessor::saveState(common::ArenaWriter &w) const
 {
-    RCOAL_ASSERT(warps.empty() && ldstQueue.empty() &&
+    RCOAL_ASSERT(warpsCold.empty() && ldstQueue.empty() &&
                      localResponses.empty(),
                  "SM %u snapshot while hosting a launch", id);
     prt.saveState(w);
@@ -128,7 +157,7 @@ StreamingMultiprocessor::saveState(common::ArenaWriter &w) const
 void
 StreamingMultiprocessor::restoreState(common::ArenaReader &r)
 {
-    RCOAL_ASSERT(warps.empty() && ldstQueue.empty() &&
+    RCOAL_ASSERT(warpsCold.empty() && ldstQueue.empty() &&
                      localResponses.empty(),
                  "SM %u restore while hosting a launch", id);
     prt.restoreState(r);
@@ -163,24 +192,46 @@ StreamingMultiprocessor::assignWarp(
 {
     RCOAL_ASSERT(stats != nullptr,
                  "SM %u assigned a warp before beginLaunch", id);
-    RCOAL_ASSERT(warps.size() < cfg.maxWarpsPerSm,
+    RCOAL_ASSERT(warpsCold.size() < cfg.maxWarpsPerSm,
                  "SM %u over its warp limit", id);
-    warpIndex[warp_id] = warps.size();
-    warps.push_back(
-        WarpContext{warp_id, warp_trace, std::move(partition), 0, 0, 0,
-                    {}, ~std::size_t{0}, 0, 0});
-    if (!warps.back().finished())
+    RCOAL_ASSERT(warp_trace->size() < kNoSlot,
+                 "warp trace too long for the scoreboard");
+    const std::size_t slot = warpsCold.size();
+    if (warp_id >= warpIndex.size())
+        warpIndex.resize(static_cast<std::size_t>(warp_id) + 1, kNoSlot);
+    RCOAL_ASSERT(warpIndex[warp_id] == kNoSlot,
+                 "warp %u assigned twice to SM %u", warp_id, id);
+    warpIndex[warp_id] = static_cast<std::uint32_t>(slot);
+    warpsCold.push_back(
+        WarpCold{warp_id, warp_trace, std::move(partition), {},
+                 ~std::size_t{0}, 0});
+    warpReadyAt.push_back(0);
+    warpPc.push_back(0);
+    warpTraceLen.push_back(static_cast<std::uint32_t>(warp_trace->size()));
+    warpOutstanding.push_back(0);
+    warpIds.push_back(warp_id);
+    pendingMem.push_back(0);
+    pendingLoad.push_back(0);
+    pendingCount.push_back(0);
+    pendingPrt.push_back(0);
+    if (!warp_trace->empty()) {
         ++unfinishedWarps;
+        if (useMasks) {
+            issuableMask[slot % cfg.issueWidth] |=
+                std::uint64_t{1} << (slot / cfg.issueWidth);
+        }
+    }
     scanGate = 0; // New issue candidate: rescan next tick.
 }
 
 bool
-StreamingMultiprocessor::issueMemory(WarpContext &warp,
+StreamingMultiprocessor::issueMemory(std::size_t slot,
                                      const WarpInstruction &instr,
                                      Cycle now)
 {
     const bool is_load = instr.op == WarpInstruction::Op::Load;
-    if (warp.pendingPc != warp.pc) {
+    WarpCold &warp = warpsCold[slot];
+    if (warp.pendingPc != warpPc[slot]) {
         // Selective RCoal (Section VII): only instructions tagged as
         // vulnerable get the randomized partition.
         const bool protect =
@@ -189,10 +240,10 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
              (1u << static_cast<unsigned>(instr.tag)));
         const core::SubwarpPartition &used =
             protect ? warp.partition : baselinePartition;
-        warp.pendingCoalesce = coalescer.coalesce(instr.lanes, used);
+        coalescer.coalesceInto(instr.lanes, used, warp.pendingCoalesce);
         RCOAL_TRACE(traceSink, McuCoalesce, now, warp.id,
                     warp.pendingCoalesce.size(), used.numSubwarps());
-        warp.pendingPc = warp.pc;
+        warp.pendingPc = warpPc[slot];
         warp.pendingActiveLanes = 0;
         for (const auto &lane : instr.lanes) {
             if (lane.active)
@@ -200,21 +251,29 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
         }
         // A lane straddling a block boundary lands in several accesses
         // and needs one PRT entry per touched block, so reserve by the
-        // exact entry demand rather than the active-lane count.
-        warp.pendingPrtEntries = 0;
+        // exact entry demand rather than the active-lane count. The
+        // demand is mirrored into the hot arrays so stalled retries
+        // are decided there (see tryIssue).
+        std::size_t prt_entries = 0;
         for (const auto &coalesced : warp.pendingCoalesce)
-            warp.pendingPrtEntries += coalesced.threads.size();
+            prt_entries += coalesced.threads.size();
+        pendingMem[slot] = 1;
+        pendingLoad[slot] = is_load ? 1 : 0;
+        pendingCount[slot] =
+            static_cast<std::uint32_t>(warp.pendingCoalesce.size());
+        pendingPrt[slot] = static_cast<std::uint32_t>(prt_entries);
     }
     auto &accesses = warp.pendingCoalesce;
     if (accesses.empty()) {
         // All lanes inactive: the instruction is a no-op.
         warp.pendingPc = ~std::size_t{0};
+        pendingMem[slot] = 0;
         return true;
     }
     // Cheap resource checks first: these run every stalled retry.
     if (ldstQueue.size() + accesses.size() > ldstQueueCapacity)
         return false;
-    if (is_load && prt.freeEntries() < warp.pendingPrtEntries) {
+    if (is_load && prt.freeEntries() < pendingPrt[slot]) {
         ++stats->prtStallCycles;
         ++prtStallsTick;
         RCOAL_TRACE(traceSink, SmStall, now, 0, warp.id, 0);
@@ -274,51 +333,77 @@ StreamingMultiprocessor::issueMemory(WarpContext &warp,
                              "PRT full despite reservation check");
                 access.prtIndices.push_back(*entry);
             }
-            ++warp.outstandingLoads;
+            ++warpOutstanding[slot];
         } else {
             ++*pendingWrites;
         }
-        ldstQueue.push_back(std::move(access));
+        ldstQueue.push_back(slab->allocate(std::move(access)));
     }
     warp.pendingCoalesce.clear();
     warp.pendingPc = ~std::size_t{0};
+    pendingMem[slot] = 0;
     return true;
 }
 
 bool
-StreamingMultiprocessor::tryIssue(WarpContext &warp, Cycle now)
+StreamingMultiprocessor::tryIssue(std::size_t slot, Cycle now)
 {
-    if (warp.pc >= warp.trace->size() || warp.readyAt > now)
+    if (warpPc[slot] >= warpTraceLen[slot] || warpReadyAt[slot] > now)
         return false;
-    const WarpInstruction &instr = (*warp.trace)[warp.pc];
+    if (pendingMem[slot] != 0) {
+        // Stalled-retry fast path: the current memory instruction is
+        // already coalesced and its resource demand mirrored in the
+        // scoreboard arrays, so repeating yesterday's structural stall
+        // never touches the cold warp state or the trace. The checks
+        // (and their accounting) are exactly issueMemory's.
+        if (ldstQueue.size() + pendingCount[slot] > ldstQueueCapacity)
+            return false;
+        if (pendingLoad[slot] != 0 &&
+            prt.freeEntries() < pendingPrt[slot]) {
+            ++stats->prtStallCycles;
+            ++prtStallsTick;
+            RCOAL_TRACE(traceSink, SmStall, now, 0, warpIds[slot], 0);
+            return false;
+        }
+    }
+    WarpCold &warp = warpsCold[slot];
+    const WarpInstruction &instr = (*warp.trace)[warpPc[slot]];
     switch (instr.op) {
       case WarpInstruction::Op::Alu:
-        if (instr.waitAllLoads && warp.outstandingLoads > 0)
+        if (instr.waitAllLoads && warpOutstanding[slot] > 0)
             return false;
-        RCOAL_TRACE(traceSink, SmIssue, now, warp.id, warp.pc, 0);
-        warp.readyAt = now + std::max(1u, instr.latency);
-        busyUntil = std::max(busyUntil, warp.readyAt);
-        ++warp.pc;
+        RCOAL_TRACE(traceSink, SmIssue, now, warp.id, warpPc[slot], 0);
+        warpReadyAt[slot] = now + std::max(1u, instr.latency);
+        busyUntil = std::max(busyUntil, warpReadyAt[slot]);
+        ++warpPc[slot];
         ++stats->warpInstructions;
-        if (warp.finished()) {
-            RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
-            --unfinishedWarps;
+        if (warpPc[slot] >= warpTraceLen[slot]) {
+            retireFromScan(slot);
+            if (warpOutstanding[slot] == 0) {
+                RCOAL_ASSERT(unfinishedWarps > 0,
+                             "finished-warp underflow");
+                --unfinishedWarps;
+            }
         }
         scanIssued = true;
         tickChanged = true;
         return true;
       case WarpInstruction::Op::Load:
       case WarpInstruction::Op::Store:
-        if (!issueMemory(warp, instr, now))
+        if (!issueMemory(slot, instr, now))
             return false;
-        RCOAL_TRACE(traceSink, SmIssue, now, warp.id, warp.pc,
+        RCOAL_TRACE(traceSink, SmIssue, now, warp.id, warpPc[slot],
                     instr.op == WarpInstruction::Op::Load ? 1 : 2);
-        warp.readyAt = now + 1;
-        ++warp.pc;
+        warpReadyAt[slot] = now + 1;
+        ++warpPc[slot];
         ++stats->warpInstructions;
-        if (warp.finished()) {
-            RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
-            --unfinishedWarps;
+        if (warpPc[slot] >= warpTraceLen[slot]) {
+            retireFromScan(slot);
+            if (warpOutstanding[slot] == 0) {
+                RCOAL_ASSERT(unfinishedWarps > 0,
+                             "finished-warp underflow");
+                --unfinishedWarps;
+            }
         }
         scanIssued = true;
         tickChanged = true;
@@ -331,15 +416,18 @@ void
 StreamingMultiprocessor::drainLdst(Cycle now)
 {
     // Retire L1-hit responses whose latency elapsed.
-    while (!localResponses.empty() && localResponses.front().first <= now) {
-        finalizeLoad(localResponses.front().second, now);
+    while (!localResponses.empty() && localResponses.front().ready <= now) {
+        const std::uint32_t resp_slot = localResponses.front().slot;
+        finalizeLoad(slab->at(resp_slot), now);
+        slab->free(resp_slot);
         localResponses.pop_front();
         tickChanged = true;
     }
 
     if (ldstQueue.empty())
         return;
-    MemoryAccess &head = ldstQueue.front();
+    const std::uint32_t head_slot = ldstQueue.front();
+    MemoryAccess &head = slab->at(head_slot);
 
     // Loads may hit in the (optional) L1; writes are write-through,
     // no-allocate and always travel to memory.
@@ -358,8 +446,8 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             }
         }
         if (l1LookupOutcome == mem::AccessOutcome::Hit) {
-            localResponses.emplace_back(now + l1->hitLatency(),
-                                        std::move(head));
+            localResponses.push_back(
+                LocalResponse{now + l1->hitLatency(), head_slot});
             ldstQueue.pop_front();
             tickChanged = true;
             scanGate = 0; // Queue space freed: rescan.
@@ -369,7 +457,8 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             if (mshr->isPending(head.blockAddr)) {
                 // The merged load rides the in-flight fill's
                 // reservation; no extra one is taken.
-                mshr->merge(head.blockAddr, std::move(head));
+                const Addr block = head.blockAddr;
+                mshr->merge(block, slab->take(head_slot));
                 ++stats->mshrMerges;
                 ldstQueue.pop_front();
                 tickChanged = true;
@@ -386,15 +475,16 @@ StreamingMultiprocessor::drainLdst(Cycle now)
                 RCOAL_TRACE(traceSink, SmStall, now, 1, head.warpId, 0);
                 return;
             }
-            MemoryAccess copy = head;
-            mshr->allocate(head.blockAddr, std::move(head));
+            // The MSHR keeps a copy (with the PRT indices); the slab
+            // record becomes the courier travelling to memory.
+            mshr->allocate(head.blockAddr, head);
             l1->reserve();
             ldstQueue.pop_front();
             tickChanged = true;
             scanGate = 0; // Queue space freed: rescan.
-            const unsigned dest = map->partitionOf(copy.blockAddr);
-            copy.prtIndices.clear(); // PRT freed via the MSHR entry.
-            reqXbar->inject(id, dest, std::move(copy), now);
+            const unsigned dest = map->partitionOf(head.blockAddr);
+            head.prtIndices.clear(); // PRT freed via the MSHR entry.
+            reqXbar->injectSlot(id, dest, head_slot, now);
             return;
         }
         if (!l1->canReserve())
@@ -412,7 +502,7 @@ StreamingMultiprocessor::drainLdst(Cycle now)
     if (l1 && !head.isWrite)
         l1->reserve();
     const unsigned dest = map->partitionOf(head.blockAddr);
-    reqXbar->inject(id, dest, std::move(head), now);
+    reqXbar->injectSlot(id, dest, head_slot, now);
     ldstQueue.pop_front();
     tickChanged = true;
     scanGate = 0; // Queue space freed: rescan.
@@ -424,7 +514,7 @@ StreamingMultiprocessor::tick(Cycle now)
     tickChanged = false;
     responseSinceTick = false;
     scanIssued = false;
-    if (warps.empty())
+    if (warpsCold.empty())
         return;
     prtStallsTick = 0;
     icnStallsTick = 0;
@@ -444,37 +534,81 @@ void
 StreamingMultiprocessor::scanWarps(Cycle now)
 {
     const std::uint64_t prt_before = prtStallsTick;
+    const std::size_t nwarps = warpsCold.size();
 
     // One issue slot per scheduler; warp slot w belongs to scheduler
     // w % issueWidth (the 16x2 SIMT organization of Table I).
-    for (unsigned sched = 0; sched < cfg.issueWidth && sched < warps.size();
+    for (unsigned sched = 0; sched < cfg.issueWidth && sched < nwarps;
          ++sched) {
         // Slots sched, sched+issueWidth, ... belong to this scheduler.
         const std::size_t count =
-            (warps.size() - sched + cfg.issueWidth - 1) / cfg.issueWidth;
+            (nwarps - sched + cfg.issueWidth - 1) / cfg.issueWidth;
         if (cfg.scheduler == SchedulerPolicy::GreedyThenOldest) {
             // GTO: keep issuing from the last warp; when it cannot
             // issue, fall back to the oldest (lowest-slot) ready warp.
             const std::size_t greedy = rrPointer[sched] % count;
-            if (tryIssue(warps[sched + greedy * cfg.issueWidth], now))
+            if (tryIssue(sched + greedy * cfg.issueWidth, now))
                 continue;
-            for (std::size_t k = 0; k < count; ++k) {
-                if (k == greedy)
-                    continue;
-                if (tryIssue(warps[sched + k * cfg.issueWidth], now)) {
-                    rrPointer[sched] = k;
-                    break;
+            if (useMasks) {
+                // Finished warps fail tryIssue without side effects,
+                // so walking only the issuable bits (in the same
+                // ascending order) is exact.
+                std::uint64_t m = issuableMask[sched];
+                while (m != 0) {
+                    const auto k = static_cast<std::size_t>(
+                        std::countr_zero(m));
+                    m &= m - 1;
+                    if (k == greedy)
+                        continue;
+                    if (tryIssue(sched + k * cfg.issueWidth, now)) {
+                        rrPointer[sched] = k;
+                        break;
+                    }
+                }
+            } else {
+                for (std::size_t k = 0; k < count; ++k) {
+                    if (k == greedy)
+                        continue;
+                    if (tryIssue(sched + k * cfg.issueWidth, now)) {
+                        rrPointer[sched] = k;
+                        break;
+                    }
                 }
             }
             continue;
         }
-        // Loose round robin.
-        for (std::size_t k = 0; k < count; ++k) {
-            const std::size_t slot =
-                sched + ((rrPointer[sched] + k) % count) * cfg.issueWidth;
-            if (tryIssue(warps[slot], now)) {
-                rrPointer[sched] = (rrPointer[sched] + k + 1) % count;
-                break;
+        // Loose round robin: positions rr, rr+1, ... wrapping, which
+        // with the issuable mask is a find-first-set over the bits at
+        // or above rr, then the bits below it.
+        if (useMasks) {
+            const std::size_t rr = rrPointer[sched] % count;
+            const std::uint64_t m = issuableMask[sched];
+            const std::uint64_t ge_rr = ~std::uint64_t{0} << rr;
+            std::uint64_t passes[2] = {m & ge_rr, m & ~ge_rr};
+            bool issued = false;
+            for (std::uint64_t pass : passes) {
+                while (pass != 0) {
+                    const auto k = static_cast<std::size_t>(
+                        std::countr_zero(pass));
+                    pass &= pass - 1;
+                    if (tryIssue(sched + k * cfg.issueWidth, now)) {
+                        rrPointer[sched] = (k + 1) % count;
+                        issued = true;
+                        break;
+                    }
+                }
+                if (issued)
+                    break;
+            }
+        } else {
+            for (std::size_t k = 0; k < count; ++k) {
+                const std::size_t slot =
+                    sched +
+                    ((rrPointer[sched] + k) % count) * cfg.issueWidth;
+                if (tryIssue(slot, now)) {
+                    rrPointer[sched] = (rrPointer[sched] + k + 1) % count;
+                    break;
+                }
             }
         }
     }
@@ -483,9 +617,9 @@ StreamingMultiprocessor::scanWarps(Cycle now)
     // events (queue space, PRT entries, outstanding loads) do not
     // contribute: the events that free them reset scanGate themselves.
     Cycle wake = kInvalidCycle;
-    for (const WarpContext &warp : warps) {
-        if (warp.pc < warp.trace->size() && warp.readyAt > now)
-            wake = std::min(wake, warp.readyAt);
+    for (std::size_t i = 0; i < nwarps; ++i) {
+        if (warpPc[i] < warpTraceLen[i] && warpReadyAt[i] > now)
+            wake = std::min(wake, warpReadyAt[i]);
     }
     const bool side_effects = scanIssued || prtStallsTick != prt_before;
     scanGate = side_effects ? now + 1 : wake;
@@ -495,7 +629,7 @@ StreamingMultiprocessor::scanWarps(Cycle now)
 Cycle
 StreamingMultiprocessor::nextEventCycle(Cycle now) const
 {
-    if (warps.empty())
+    if (warpsCold.empty())
         return kInvalidCycle;
     if (tickChanged || responseSinceTick)
         return now + 1;
@@ -517,7 +651,7 @@ StreamingMultiprocessor::nextEventCycle(Cycle now) const
         return now + 1; // Head injects next cycle.
     Cycle bound = scanWake;
     if (!localResponses.empty())
-        bound = std::min(bound, localResponses.front().first);
+        bound = std::min(bound, localResponses.front().ready);
     if (busyUntil > now) {
         // Trailing ALU latency: done() flips exactly at busyUntil, and
         // the machine must observe that cycle to stamp completion.
@@ -529,7 +663,7 @@ StreamingMultiprocessor::nextEventCycle(Cycle now) const
 void
 StreamingMultiprocessor::applySkippedCycles(Cycle cycles)
 {
-    if (warps.empty() || cycles == 0)
+    if (warpsCold.empty() || cycles == 0)
         return;
     // A skipped window repeats this tick verbatim: the only side effect
     // a frozen SM produces per cycle is its stall counting.
@@ -542,14 +676,14 @@ StreamingMultiprocessor::finalizeLoad(const MemoryAccess &access, Cycle now)
 {
     for (std::size_t idx : access.prtIndices)
         prt.release(idx);
-    const auto it = warpIndex.find(access.warpId);
-    RCOAL_ASSERT(it != warpIndex.end(), "response for unknown warp %u",
-                 access.warpId);
-    WarpContext &warp = warps[it->second];
-    RCOAL_ASSERT(warp.outstandingLoads > 0,
+    RCOAL_ASSERT(access.warpId < warpIndex.size() &&
+                     warpIndex[access.warpId] != kNoSlot,
+                 "response for unknown warp %u", access.warpId);
+    const std::size_t slot = warpIndex[access.warpId];
+    RCOAL_ASSERT(warpOutstanding[slot] > 0,
                  "warp %u has no outstanding loads", access.warpId);
-    --warp.outstandingLoads;
-    if (warp.finished()) {
+    --warpOutstanding[slot];
+    if (warpOutstanding[slot] == 0 && warpPc[slot] >= warpTraceLen[slot]) {
         RCOAL_ASSERT(unfinishedWarps > 0, "finished-warp underflow");
         --unfinishedWarps;
     }
@@ -561,6 +695,13 @@ StreamingMultiprocessor::finalizeLoad(const MemoryAccess &access, Cycle now)
 void
 StreamingMultiprocessor::deliverResponse(MemoryAccess access, Cycle now)
 {
+    deliverResponseSlot(slab->allocate(std::move(access)), now);
+}
+
+void
+StreamingMultiprocessor::deliverResponseSlot(std::uint32_t slot, Cycle now)
+{
+    const MemoryAccess &access = slab->at(slot);
     RCOAL_ASSERT(!access.isWrite, "write response delivered to SM %u", id);
     responseSinceTick = true;
     scanGate = 0;
@@ -569,11 +710,14 @@ StreamingMultiprocessor::deliverResponse(MemoryAccess access, Cycle now)
         l1->fill(access.blockAddr, access.bytes);
     }
     if (mshr) {
-        for (MemoryAccess &waiting : mshr->complete(access.blockAddr))
+        const Addr block = access.blockAddr;
+        slab->free(slot);
+        for (MemoryAccess &waiting : mshr->complete(block))
             finalizeLoad(waiting, now);
         return;
     }
     finalizeLoad(access, now);
+    slab->free(slot);
 }
 
 bool

@@ -238,6 +238,52 @@ TEST(CycleSkipping, AttackObservationsIdentical)
     }
 }
 
+// ---------------------------------------------------------------------
+// Saturation-regime fixtures for the SoA scoreboard / ring-buffer hot
+// path: shrink one queue at a time until warps spend most cycles parked
+// on its backpressure, then require byte identity across skipping.
+// Names carry "Soa" so the fixtures run under the CI TSan filter.
+
+TEST(CycleSkipping, SoaSaturatedPrtIdenticalStats)
+{
+    // The minimum legal PRT (one entry per lane) keeps exactly one
+    // fully-diverged load in flight per SM: every other ready warp hits
+    // the PRT-stall fast path in tryIssue each scan, the regime the SoA
+    // pendingPrt memoization exists for.
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.numSms = 4;
+    cfg.prtEntries = cfg.warpSize;
+    cfg.policy = core::CoalescingPolicy::rss(4, true);
+
+    cfg.cycleSkipping = false;
+    const KernelStats stepped = launchAes(cfg);
+    cfg.cycleSkipping = true;
+    const KernelStats skipped = launchAes(cfg);
+
+    EXPECT_GT(stepped.prtStallCycles, 0u) << "fixture not saturating";
+    expectIdenticalStats(stepped, skipped, "saturated PRT");
+}
+
+TEST(CycleSkipping, SoaSaturatedQueuesIdenticalStats)
+{
+    // Two-deep crossbar ports and DRAM queues back the pressure up
+    // through the LD/ST ring into the issue stage: the ldst-capacity
+    // fast path and the crossbar headTargets rescan run every cycle.
+    GpuConfig cfg = GpuConfig::paperBaseline();
+    cfg.numSms = 4;
+    cfg.icnQueueDepth = 2;
+    cfg.dramQueueDepth = 2;
+    cfg.policy = core::CoalescingPolicy::rss(4, true);
+
+    cfg.cycleSkipping = false;
+    const KernelStats stepped = launchAes(cfg);
+    cfg.cycleSkipping = true;
+    const KernelStats skipped = launchAes(cfg);
+
+    EXPECT_GT(stepped.icnStallCycles, 0u) << "fixture not saturating";
+    expectIdenticalStats(stepped, skipped, "saturated queues");
+}
+
 TEST(CycleSkipping, DramProtocolHoldsUnderSkipping)
 {
     // Panic-mode checkers on every partition, with refresh enabled so

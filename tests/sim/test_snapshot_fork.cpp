@@ -245,6 +245,47 @@ TEST(SnapshotFork, ForkMatchesReplayAcrossHierarchyBackendSkipThreads)
     }
 }
 
+TEST(SnapshotFork, SoaSaturatedForkMatchesReplay)
+{
+    // Saturation-regime twin of ForkMatchesReplayStateAndStats: the
+    // minimum-size PRT plus two-deep interconnect/DRAM queues keep the
+    // SoA fast paths (pendingPrt stall, ldst backpressure) and the
+    // ring-buffer queue hops hot through the warm-up prefix, so the
+    // snapshot is taken from a machine that just drained a fully
+    // backed-up pipeline. Byte identity must still hold.
+    for (const bool skip : {true, false}) {
+        GpuConfig cfg = baseConfig();
+        cfg.prtEntries = cfg.warpSize;
+        cfg.icnQueueDepth = 2;
+        cfg.dramQueueDepth = 2;
+        cfg.policy = core::CoalescingPolicy::rss(4, true);
+        cfg.cycleSkipping = skip;
+
+        GpuMachine warm(cfg);
+        runTestWarmups(warm, /*plaintext_root=*/41, kWarmup);
+        const MachineSnapshot snap = warm.snapshot();
+
+        auto forked = GpuMachine::fork(snap);
+        GpuMachine replayed(cfg);
+        runTestWarmups(replayed, /*plaintext_root=*/41, kWarmup);
+        EXPECT_TRUE(replayed.snapshot().byteEqual(snap))
+            << "warm-up prefix diverged (skip " << skip << ")";
+
+        const KernelStats fork_stats = runMeasuredLaunch(*forked);
+        const KernelStats replay_stats = runMeasuredLaunch(replayed);
+        EXPECT_EQ(fork_stats.cycles, replay_stats.cycles);
+        EXPECT_GT(fork_stats.prtStallCycles, 0u)
+            << "fixture not saturating";
+        EXPECT_EQ(fork_stats.prtStallCycles,
+                  replay_stats.prtStallCycles);
+        EXPECT_EQ(fork_stats.icnStallCycles,
+                  replay_stats.icnStallCycles);
+        EXPECT_TRUE(forked->snapshot().byteEqual(replayed.snapshot()))
+            << "post-launch machine state diverged (skip " << skip
+            << ")";
+    }
+}
+
 TEST(SnapshotFork, ZeroWarmupForkFallsBackToParallelCollection)
 {
     const GpuConfig cfg = baseConfig();
