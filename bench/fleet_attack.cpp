@@ -189,7 +189,8 @@ main(int argc, char **argv)
          {std::pair{"BASE", base}, std::pair{"RSS+RTS", rcoal_policy}}) {
         for (fleet::RoutingPolicy routing :
              {fleet::RoutingPolicy::RoundRobin,
-              fleet::RoutingPolicy::JoinShortestQueue}) {
+              fleet::RoutingPolicy::JoinShortestQueue,
+              fleet::RoutingPolicy::TenantAffinity}) {
             for (bool pinned : {true, false}) {
                 scenarios.push_back(Scenario{coalescing.first,
                                              coalescing.second, routing,

@@ -76,7 +76,13 @@ printUsage(const std::string &driver, unsigned default_samples,
                 "(default) or\n"
                 "                by re-simulating it per trial "
                 "(byte-identical\n"
-                "                verification path)\n",
+                "                verification path)\n"
+                "  --span-sample-rate N\n"
+                "                keep every Nth request span (retained "
+                "iff spanId %% N == 0,\n"
+                "                deterministic, no RNG; default 1 = all; "
+                "span-tracing\n"
+                "                drivers only)\n",
                 driver.c_str(), default_samples, default_warmup);
     std::exit(0);
 }
@@ -166,6 +172,12 @@ parseBenchArgs(int argc, char **argv, unsigned default_samples,
                       "(got '%s')",
                       value != nullptr ? value : "");
             }
+            ++i;
+        } else if (std::strcmp(arg, "--span-sample-rate") == 0) {
+            opts.spanSampleRate =
+                static_cast<unsigned>(numericValue(arg, value));
+            if (opts.spanSampleRate == 0)
+                fatal("--span-sample-rate must be positive");
             ++i;
         } else if (i == 1 && arg[0] != '-' && std::atoi(arg) > 0) {
             // Historical form: first positional argument = samples.

@@ -39,6 +39,12 @@
  *                 trial from the snapshot (fast path, default); replay
  *                 re-simulates the warm-up per trial (byte-identical
  *                 verification path). Ignored when warmup is 0.
+ *   --span-sample-rate N
+ *                 keep every Nth request span (deterministic: a span is
+ *                 retained iff spanId %% N == 0, no RNG involved), so a
+ *                 sampled run's retained spans are byte-identical to the
+ *                 same subset of a full run. Default 1 = trace every
+ *                 request. Drivers with span tracing only.
  *   --help        usage
  *
  * Parsing also records the driver's name (basename of argv[0]) so the
@@ -76,6 +82,13 @@ struct CliOptions
     unsigned warmup = 0;
     /** --collect-mode; how warm-prefix trials reuse the prefix. */
     attack::CollectMode collectMode = attack::CollectMode::Fork;
+
+    /**
+     * --span-sample-rate N: deterministic span sampling modulus for
+     * drivers with span tracing (spans::SpanCollector::Config). 1 =
+     * every request traced.
+     */
+    unsigned spanSampleRate = 1;
 };
 
 /**

@@ -29,6 +29,14 @@ generic guard) and must be *present* whenever the baseline recorded it
 — an engine that silently stops reporting serve throughput would
 otherwise retire the guard along with the number.
 
+Span-tracing drivers (the leakage-attribution bench) get the same
+presence treatment for their span bookkeeping: when the committed
+baseline recorded ``extras.span_records_total > 0``, the smoke run
+must too — a pipeline that silently stops stamping spans would retire
+the attribution benchmark while leaving its entry green. The committed
+baseline itself must also satisfy
+``span_records_dropped <= span_records_total``.
+
 Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 usage.
 """
 
@@ -145,6 +153,34 @@ def main():
                     base_cps,
                     tolerance=args.serve_tolerance,
                 )
+        base_spans = int(
+            base_entry.get("extras", {}).get("span_records_total", 0)
+        )
+        if base_spans > 0:
+            # Span-tracing driver: the smoke run must still stamp spans
+            # (zero means the collector wiring regressed), and the
+            # committed bookkeeping must be internally consistent.
+            cur_spans = int(
+                cur_entry.get("extras", {}).get("span_records_total", 0)
+            )
+            if cur_spans <= 0:
+                print(
+                    f"  {driver}: span driver stopped reporting "
+                    "span_records_total REGRESSION"
+                )
+                failures.append(f"{driver}.span_records_missing")
+            else:
+                print(f"  {driver}.span_records_total: {cur_spans} ok")
+            base_drops = int(
+                base_entry.get("extras", {}).get("span_records_dropped", 0)
+            )
+            if base_drops > base_spans:
+                print(
+                    f"  {driver}: committed span_records_dropped "
+                    f"{base_drops} > span_records_total {base_spans} "
+                    "REGRESSION"
+                )
+                failures.append(f"{driver}.span_drop_accounting")
         for phase, base_phase in sorted(base_entry.get("phases", {}).items()):
             cur_phase = cur_entry.get("phases", {}).get(phase)
             base_ips = base_phase.get("items_per_second", 0)

@@ -15,6 +15,7 @@
 #include "rcoal/fleet/replica.hpp"
 #include "rcoal/fleet/router.hpp"
 #include "rcoal/serve/load_generator.hpp"
+#include "rcoal/spans/collector.hpp"
 #include "rcoal/telemetry/leakage_auditor.hpp"
 #include "rcoal/telemetry/sampler.hpp"
 
@@ -115,6 +116,17 @@ FleetServer::run(const FleetWorkloadSpec &spec,
         telemetry != nullptr ? telemetry->sampler : nullptr;
     telemetry::FleetLeakageAuditor *auditor =
         telemetry != nullptr ? telemetry->auditor : nullptr;
+    spans::SpanCollector *span_collector =
+        telemetry != nullptr ? telemetry->spans : nullptr;
+    if (span_collector != nullptr) {
+        // One collector for the whole fleet; the replica index is the
+        // launch-slot namespace, so co-numbered launches on different
+        // machines cannot collide.
+        for (auto &replica_ptr : replicas) {
+            replica_ptr->scheduler().setSpanCollector(
+                span_collector, replica_ptr->index());
+        }
+    }
     telemetry::MetricRegistry own_registry;
     telemetry::MetricRegistry &reg =
         sampler != nullptr ? sampler->registry() : own_registry;
@@ -253,8 +265,20 @@ FleetServer::run(const FleetWorkloadSpec &spec,
                              replicaStateName(target.state()),
                              target.index());
                 const int client = request.clientId;
+                if (span_collector != nullptr) {
+                    request.spanId = span_collector->openRequest();
+                    // Route stage: frontend arrival -> routed cycle,
+                    // component/detail = chosen replica.
+                    span_collector->stampRequest(
+                        request.spanId, spans::SpanStage::Route,
+                        request.arrival, now, target.index(),
+                        static_cast<std::uint16_t>(target.index()));
+                }
+                const std::uint32_t span_id = request.spanId;
                 if (target.queue().tryPush(std::move(request)))
                     continue;
+                if (span_collector != nullptr)
+                    span_collector->abandon(span_id);
                 // Same contract as serve: a rejected closed-loop
                 // client must be handed its request back or it waits
                 // forever.

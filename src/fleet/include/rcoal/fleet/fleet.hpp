@@ -23,6 +23,10 @@
 #include "rcoal/fleet/load_model.hpp"
 #include "rcoal/fleet/metrics.hpp"
 
+namespace rcoal::spans {
+class SpanCollector;
+} // namespace rcoal::spans
+
 namespace rcoal::telemetry {
 class FleetLeakageAuditor;
 class TelemetrySampler;
@@ -71,6 +75,14 @@ struct FleetTelemetry
 {
     telemetry::TelemetrySampler *sampler = nullptr;
     telemetry::FleetLeakageAuditor *auditor = nullptr;
+
+    /**
+     * Optional fleet-wide span tracing: one collector shared by every
+     * replica (launch slots disambiguated by replica index), so a
+     * request's Route stamp and its in-kernel stage stamps land in one
+     * slab regardless of placement. Detached before run() returns.
+     */
+    spans::SpanCollector *spans = nullptr;
 };
 
 /**

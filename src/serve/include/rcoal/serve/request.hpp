@@ -13,6 +13,7 @@
 
 #include "rcoal/aes/aes.hpp"
 #include "rcoal/common/types.hpp"
+#include "rcoal/spans/span.hpp"
 
 namespace rcoal::serve {
 
@@ -31,6 +32,13 @@ struct Request
      * traffic and for attacker probes.
      */
     std::uint64_t tenant = 0;
+
+    /**
+     * Span id assigned at admission when a spans::SpanCollector is
+     * attached (0 = untraced). Carried through batching and launch so
+     * every stage stamp lands on the right request.
+     */
+    std::uint32_t spanId = 0;
 
     unsigned lines() const
     {
@@ -80,6 +88,21 @@ struct CompletedRequest
      */
     std::uint64_t kernelPredictedLastRoundAccesses = 0;
     unsigned batchRequests = 0; ///< Requests merged into the kernel.
+
+    /** Span id (0 when no collector was attached at admission). */
+    std::uint32_t spanId = 0;
+
+    /** True when the span was retained under the sample rate. */
+    bool spanSampled = false;
+
+    /**
+     * Per-stage cycle totals (and last-round slices) accumulated by
+     * the span collector; zeroed for untraced/unsampled requests.
+     * The leakage-attribution auditor correlates
+     * kernelPredictedLastRoundAccesses against each stage's
+     * lastRoundCycles entry.
+     */
+    spans::StageTotals stageTotals;
 
     Cycle queueWaitCycles() const { return launched - arrival; }
     Cycle serviceCycles() const { return completed - launched; }

@@ -88,6 +88,15 @@ class KernelScheduler
     /** Attach a sink for serve launch/complete events (core domain). */
     void setTraceSink(trace::TraceSink *s) { traceSink = s; }
 
+    /**
+     * Attach a span collector: wires the machine's stamp points and
+     * makes the scheduler stamp queue/batch/kernel stages and register
+     * each launch's warp->span ownership map. @p span_namespace is the
+     * fleet replica index (0 for solo serve).
+     */
+    void setSpanCollector(spans::SpanCollector *c,
+                          std::uint32_t span_namespace = 0);
+
   private:
     struct ResidentBatch
     {
@@ -126,6 +135,8 @@ class KernelScheduler
     std::uint64_t launchedCount = 0;
     std::uint64_t batchedCount = 0;
     trace::TraceSink *traceSink = nullptr;
+    spans::SpanCollector *spanCollector = nullptr;
+    std::uint32_t spanNamespace = 0;
 };
 
 } // namespace rcoal::serve

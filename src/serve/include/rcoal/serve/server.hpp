@@ -27,8 +27,13 @@ class Tracer;
 
 namespace rcoal::telemetry {
 class LeakageAuditor;
+class StageLeakageAuditor;
 class TelemetrySampler;
 } // namespace rcoal::telemetry
+
+namespace rcoal::spans {
+class SpanCollector;
+} // namespace rcoal::spans
 
 namespace rcoal::serve {
 
@@ -79,6 +84,22 @@ struct ServeTelemetry
 {
     telemetry::TelemetrySampler *sampler = nullptr;
     telemetry::LeakageAuditor *auditor = nullptr;
+
+    /**
+     * Optional per-request span tracing (rcoal::spans): every admitted
+     * request gets a span id and the whole pipeline stamps stage
+     * records into the collector's slab. Detached before run()
+     * returns, like the other hooks.
+     */
+    spans::SpanCollector *spans = nullptr;
+
+    /**
+     * Optional leakage attribution: requires `spans`. Fed one
+     * observation per completed *sampled* probe and stage — predicted
+     * baseline accesses vs. that stage's last-round duration — so the
+     * per-stage Pearson correlations localize the leak.
+     */
+    telemetry::StageLeakageAuditor *stageAuditor = nullptr;
 };
 
 /**

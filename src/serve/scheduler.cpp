@@ -10,6 +10,7 @@
 #include "rcoal/common/logging.hpp"
 #include "rcoal/core/coalescer.hpp"
 #include "rcoal/core/subwarp.hpp"
+#include "rcoal/spans/collector.hpp"
 
 namespace rcoal::serve {
 
@@ -33,6 +34,15 @@ sim::SmRange
 KernelScheduler::gangRange(unsigned gang) const
 {
     return sim::SmRange{gang * smsPerKernel, smsPerKernel};
+}
+
+void
+KernelScheduler::setSpanCollector(spans::SpanCollector *c,
+                                  std::uint32_t span_namespace)
+{
+    spanCollector = c;
+    spanNamespace = span_namespace;
+    machine.setSpanCollector(c, span_namespace);
 }
 
 std::vector<std::uint64_t>
@@ -103,6 +113,41 @@ KernelScheduler::launchBatch(std::vector<Request> batch, Cycle now)
         entry.predictedLastRound += w;
     entry.id = machine.launch(*entry.kernel, gangRange(gang));
     entry.requests = std::move(batch);
+
+    if (spanCollector != nullptr) {
+        // Queue stage closes and the batch seals for every request;
+        // then the launch's warp->span ownership map goes live so the
+        // simulator's stamp points can attribute in-kernel stages.
+        std::vector<std::uint32_t> warp_spans(entry.kernel->numWarps(),
+                                              0);
+        const unsigned warp_size = machine.config().warpSize;
+        for (std::size_t r = 0; r < entry.requests.size(); ++r) {
+            const Request &request = entry.requests[r];
+            spanCollector->stampRequest(
+                request.spanId, spans::SpanStage::Queue,
+                request.arrival, now,
+                static_cast<std::uint32_t>(request.lines()),
+                static_cast<std::uint16_t>(gang));
+            spanCollector->stampRequest(
+                request.spanId, spans::SpanStage::BatchSeal, now, now,
+                static_cast<std::uint32_t>(entry.requests.size()),
+                static_cast<std::uint16_t>(gang));
+            const unsigned first = entry.lineOffsets[r];
+            const unsigned first_warp = first / warp_size;
+            const unsigned end_warp = std::min(
+                static_cast<unsigned>(warp_spans.size()),
+                (first + request.lines() + warp_size - 1) / warp_size);
+            for (unsigned w = first_warp; w < end_warp; ++w) {
+                // A boundary warp shared by two requests stays with
+                // the earlier one (single owner per warp).
+                if (warp_spans[w] == 0)
+                    warp_spans[w] = request.spanId;
+            }
+        }
+        spanCollector->registerLaunch(
+            spanNamespace, static_cast<std::uint32_t>(entry.id),
+            std::move(warp_spans));
+    }
 
     gangBusy[gang] = true;
     ++launchedCount;
@@ -184,11 +229,30 @@ KernelScheduler::collectCompleted(Cycle now)
                 done.kernelPredictedLastRoundAccesses = own;
             }
             done.batchRequests = batch_size;
+            done.spanId = request.spanId;
+            if (spanCollector != nullptr && request.spanId != 0) {
+                spanCollector->stampRequest(
+                    request.spanId, spans::SpanStage::KernelExec,
+                    it->launchedAt, finished, batch_size,
+                    static_cast<std::uint16_t>(it->gang),
+                    static_cast<std::uint64_t>(stats.lastRoundCycles()));
+                spanCollector->stampRequest(
+                    request.spanId, spans::SpanStage::Response, finished,
+                    finished, 0, static_cast<std::uint16_t>(it->gang));
+                done.spanSampled =
+                    spanCollector->sampled(request.spanId);
+                done.stageTotals =
+                    spanCollector->finishRequest(request.spanId);
+            }
             RCOAL_TRACE(traceSink, ServeComplete, finished, done.id,
                         finished - done.arrival, it->gang);
             out.push_back(std::move(done));
         }
 
+        if (spanCollector != nullptr) {
+            spanCollector->releaseLaunch(
+                spanNamespace, static_cast<std::uint32_t>(it->id));
+        }
         gangBusy[it->gang] = false;
         it = resident.erase(it);
     }

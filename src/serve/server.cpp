@@ -13,6 +13,7 @@
 #include "rcoal/serve/load_generator.hpp"
 #include "rcoal/serve/request_queue.hpp"
 #include "rcoal/serve/scheduler.hpp"
+#include "rcoal/spans/collector.hpp"
 #include "rcoal/telemetry/leakage_auditor.hpp"
 #include "rcoal/telemetry/sampler.hpp"
 #include "rcoal/trace/tracer.hpp"
@@ -130,6 +131,17 @@ EncryptionServer::run(const WorkloadSpec &spec,
         serve_sink = &tracer->sink("serve", trace::ClockDomain::Core);
         scheduler.setTraceSink(serve_sink);
     }
+    // Span tracing attaches after the warm boot for the same reason
+    // the tracer does: the boot prefix is shared machinery. The
+    // collector then rides the machine through snapshot()/restore().
+    spans::SpanCollector *span_collector =
+        telemetry != nullptr ? telemetry->spans : nullptr;
+    telemetry::StageLeakageAuditor *stage_auditor =
+        telemetry != nullptr ? telemetry->stageAuditor : nullptr;
+    RCOAL_ASSERT(stage_auditor == nullptr || span_collector != nullptr,
+                 "stage auditor requires a span collector");
+    if (span_collector != nullptr)
+        scheduler.setSpanCollector(span_collector, /*span_namespace=*/0);
     ClosedLoopGenerator probes(/*clients=*/1, spec.probeThinkCycles,
                                spec.probeLines, spec.probeSeed,
                                /*first_id=*/0, /*probes=*/true);
@@ -219,6 +231,25 @@ EncryptionServer::run(const WorkloadSpec &spec,
                 dropped->set(sink->dropped());
             }
         });
+        if (span_collector != nullptr) {
+            telemetry::Counter *span_recorded = &reg.counter(
+                "rcoal_span_records_total",
+                "Span stage records appended to the slab");
+            telemetry::Counter *span_dropped = &reg.counter(
+                "rcoal_span_dropped_total",
+                "Span stage records lost to slab overwrite");
+            telemetry::Gauge *spans_live = &reg.gauge(
+                "rcoal_spans_live", "Spans open (admitted, not retired)");
+            sampler->addCollector([span_collector, span_recorded,
+                                   span_dropped, spans_live](Cycle) {
+                span_recorded->set(static_cast<double>(
+                    span_collector->slab().totalAppended()));
+                span_dropped->set(static_cast<double>(
+                    span_collector->slab().dropped()));
+                spans_live->set(static_cast<double>(
+                    span_collector->liveSpans()));
+            });
+        }
         sampler->track("serve_queue_depth", [&queue] {
             return static_cast<double>(queue.size());
         });
@@ -260,6 +291,22 @@ EncryptionServer::run(const WorkloadSpec &spec,
                             done.kernelPredictedLastRoundAccesses),
                         done.kernelLastRoundTime);
                 }
+                if (stage_auditor != nullptr && done.spanSampled) {
+                    // Per-stage attribution: same X series as the
+                    // end-to-end auditor, Y = this stage's last-round
+                    // cycle slice. Pearson is scale-invariant, so the
+                    // DRAM stage's memory-clock slice needs no
+                    // conversion.
+                    const auto x = static_cast<double>(
+                        done.kernelPredictedLastRoundAccesses);
+                    for (std::size_t st = 0;
+                         st < spans::kNumSpanStages; ++st) {
+                        stage_auditor->observe(
+                            st, x,
+                            static_cast<double>(
+                                done.stageTotals.lastRoundCycles[st]));
+                    }
+                }
                 probes.onCompletion(done.clientId, now);
                 ++probe_completions;
             }
@@ -277,11 +324,16 @@ EncryptionServer::run(const WorkloadSpec &spec,
             const int client = request.clientId;
             [[maybe_unused]] const std::uint64_t rid = request.id;
             [[maybe_unused]] const unsigned req_lines = request.lines();
+            if (span_collector != nullptr)
+                request.spanId = span_collector->openRequest();
+            const std::uint32_t span_id = request.spanId;
             if (queue.tryPush(std::move(request))) {
                 RCOAL_TRACE(serve_sink, ServeAdmit, now, rid, req_lines,
                             is_probe ? 1 : 0);
                 continue;
             }
+            if (span_collector != nullptr)
+                span_collector->abandon(span_id);
             RCOAL_TRACE(serve_sink, ServeReject, now, rid, req_lines,
                         is_probe ? 1 : 0);
             // tryPush leaves a rejected request intact. Every rejected
@@ -395,6 +447,8 @@ EncryptionServer::run(const WorkloadSpec &spec,
         sampler->detachSources();
         scheduler.gpu().setTelemetry(nullptr);
     }
+    if (span_collector != nullptr)
+        scheduler.setSpanCollector(nullptr);
     return report;
 }
 

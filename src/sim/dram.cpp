@@ -109,9 +109,32 @@ DramPartition::enqueueSlot(std::uint32_t slot, const DramLocation &loc,
     sleepUntil = 0; // New work: the no-op-tick proof no longer holds.
 }
 
+#if RCOAL_TRACE_ENABLED
+namespace {
+
+/**
+ * Span bookkeeping: the DramService stage begins at the FIRST command
+ * the controller issues on the access's behalf (precharge, activate,
+ * or column) — queue wait ahead of that is cross-request contention,
+ * not device service.
+ */
+void
+markServiceStart(AccessSlab &slab, std::uint32_t slot, Cycle now)
+{
+    MemoryAccess &access = slab.at(slot);
+    if (access.spanDramStart == kInvalidCycle)
+        access.spanDramStart = now;
+}
+
+} // namespace
+#endif
+
 void
 DramPartition::issueColumnAt(Request &req, Cycle now)
 {
+#if RCOAL_TRACE_ENABLED
+    markServiceStart(*slab, req.slot, now);
+#endif
     Bank &bank = banks[req.loc.bank];
     const unsigned group = groupOf(req.loc.bank);
     const unsigned pc = pcOf(req.loc.bank);
@@ -183,6 +206,9 @@ DramPartition::tryIssueColumn(Cycle now)
 void
 DramPartition::issueActivateAt(Request &req, Cycle now)
 {
+#if RCOAL_TRACE_ENABLED
+    markServiceStart(*slab, req.slot, now);
+#endif
     Bank &bank = banks[req.loc.bank];
     const unsigned group = groupOf(req.loc.bank);
     if (checker != nullptr)
@@ -215,6 +241,9 @@ DramPartition::issueActivateAt(Request &req, Cycle now)
 void
 DramPartition::issuePrechargeAt(Request &req, Cycle now)
 {
+#if RCOAL_TRACE_ENABLED
+    markServiceStart(*slab, req.slot, now);
+#endif
     Bank &bank = banks[req.loc.bank];
     if (checker != nullptr) {
         checker->onPrecharge(req.loc.bank,

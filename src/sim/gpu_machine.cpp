@@ -11,6 +11,7 @@
 #include <bit>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/spans/collector.hpp"
 #include "rcoal/telemetry/sampler.hpp"
 
 namespace rcoal::sim {
@@ -33,6 +34,7 @@ constexpr std::uint32_t kTagXbar = 0x78626172;    // 'xbar'
 constexpr std::uint32_t kTagDram = 0x6472616d;    // 'dram'
 constexpr std::uint32_t kTagL2 = 0x6c322e30;      // 'l2.0'
 constexpr std::uint32_t kTagChecker = 0x63686b72; // 'chkr'
+constexpr std::uint32_t kTagSpans = 0x73706e31;   // 'spn1'
 
 } // namespace
 
@@ -123,6 +125,16 @@ GpuMachine::setTracer(trace::Tracer *t)
             static_cast<std::uint16_t>(p))));
     }
     machineSink = attach(t->sink("machine", trace::ClockDomain::Core));
+}
+
+void
+GpuMachine::setSpanCollector(spans::SpanCollector *c,
+                             std::uint32_t span_namespace)
+{
+    spanCollector = c;
+    spanNamespace = span_namespace;
+    for (auto &sm : sms)
+        sm->setSpanCollector(c, span_namespace);
 }
 
 void
@@ -230,6 +242,12 @@ GpuMachine::snapshot() const
     }
     w.endRegion();
 
+    w.beginRegion(kTagSpans);
+    w.pod(static_cast<std::uint8_t>(spanCollector != nullptr));
+    if (spanCollector != nullptr)
+        spanCollector->saveState(w);
+    w.endRegion();
+
     MachineSnapshot snap;
     snap.config = cfg;
     snap.arena = std::move(arena);
@@ -317,6 +335,18 @@ GpuMachine::restore(const MachineSnapshot &snap)
     }
     r.endRegion();
 
+    r.beginRegion(kTagSpans);
+    const bool had_spans = r.take<std::uint8_t>() != 0;
+    if (had_spans) {
+        RCOAL_ASSERT(spanCollector != nullptr,
+                     "snapshot carries span state but no collector "
+                     "is attached");
+        spanCollector->restoreState(r);
+    } else if (spanCollector != nullptr) {
+        spanCollector->clear();
+    }
+    r.endRegion();
+
     RCOAL_ASSERT(r.atEnd(), "snapshot arena has trailing bytes");
 }
 
@@ -371,6 +401,8 @@ GpuMachine::reset()
         checker->reset();
     for (trace::TraceSink *sink : attachedSinks)
         sink->clear();
+    if (spanCollector != nullptr)
+        spanCollector->clear();
     if (telemetrySampler != nullptr)
         telemetrySampler->reset();
 }
@@ -749,6 +781,21 @@ GpuMachine::tick()
             }
             const std::uint32_t pkt = reqXbar.popOutputSlot(p);
             MemoryAccess &access = slab.at(pkt);
+#if RCOAL_TRACE_ENABLED
+            if (spanCollector != nullptr) {
+                // Request-leg crossbar traversal closes here
+                // (detail 0 = request leg, 1 = response leg).
+                spanCollector->stampWarp(
+                    spanNamespace, access.launchSlot, access.warpId,
+                    spans::SpanStage::Crossbar,
+                    static_cast<std::uint16_t>(p),
+                    access.spanXbarInject, nowCycle, 0,
+                    access.tag == AccessTag::LastRoundLookup);
+            }
+            // Armed here, resolved by the partition at its first
+            // command issue for this access (see MemoryAccess).
+            access.spanDramStart = kInvalidCycle;
+#endif
             if (cfg.l2Enabled && !access.isWrite) {
                 KernelStats *owner = statsForSlot(access.launchSlot);
                 const mem::AccessOutcome outcome =
@@ -808,6 +855,20 @@ GpuMachine::tick()
         while (drams[p]->hasCompleted(memCycle)) {
             const std::uint32_t pkt = drams[p]->popCompletedSlot(memCycle);
             MemoryAccess &access = slab.at(pkt);
+#if RCOAL_TRACE_ENABLED
+            if (spanCollector != nullptr) {
+                // DRAM device-service interval (first command issued
+                // for the access -> data available), MEMORY clock
+                // domain. The L2-MSHR courier attributes to the
+                // primary request's span before dissolving below.
+                spanCollector->stampWarp(
+                    spanNamespace, access.launchSlot, access.warpId,
+                    spans::SpanStage::DramService,
+                    static_cast<std::uint16_t>(p),
+                    access.spanDramStart, memCycle, 0,
+                    access.tag == AccessTag::LastRoundLookup);
+            }
+#endif
             if (cfg.l2Enabled && !access.isWrite) {
                 l2[p].cache->fill(access.blockAddr, access.bytes);
                 if (l2[p].mshr != nullptr &&
@@ -853,7 +914,11 @@ GpuMachine::tick()
         while (!respBacklog[p].empty() && respXbar.canInject(p)) {
             const std::uint32_t pkt = respBacklog[p].front();
             respBacklog[p].pop_front();
-            respXbar.injectSlot(p, slab.at(pkt).smId, pkt, nowCycle);
+            MemoryAccess &resp = slab.at(pkt);
+#if RCOAL_TRACE_ENABLED
+            resp.spanXbarInject = nowCycle; // Response leg starts.
+#endif
+            respXbar.injectSlot(p, resp.smId, pkt, nowCycle);
         }
     }
 
@@ -862,8 +927,19 @@ GpuMachine::tick()
          ready &= ready - 1) {
         const auto s = static_cast<unsigned>(std::countr_zero(ready));
         while (respXbar.outputReady(s)) {
-            sms[s]->deliverResponseSlot(respXbar.popOutputSlot(s),
-                                        nowCycle);
+            const std::uint32_t pkt = respXbar.popOutputSlot(s);
+#if RCOAL_TRACE_ENABLED
+            if (spanCollector != nullptr) {
+                const MemoryAccess &resp = slab.at(pkt);
+                spanCollector->stampWarp(
+                    spanNamespace, resp.launchSlot, resp.warpId,
+                    spans::SpanStage::Crossbar,
+                    static_cast<std::uint16_t>(s),
+                    resp.spanXbarInject, nowCycle, 1,
+                    resp.tag == AccessTag::LastRoundLookup);
+            }
+#endif
+            sms[s]->deliverResponseSlot(pkt, nowCycle);
         }
     }
 

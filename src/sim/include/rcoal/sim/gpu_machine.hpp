@@ -193,6 +193,22 @@ class GpuMachine
     void setTracer(trace::Tracer *t);
 
     /**
+     * Attach (or with nullptr detach) a span collector (rcoal::spans):
+     * wires every SM's warp-level stamp points and enables the
+     * machine's crossbar/DRAM stage stamps. @p span_namespace
+     * disambiguates launch slots when several machines (fleet
+     * replicas) share one collector. Collector state rides along in
+     * snapshot()/restore() and is cleared by reset().
+     */
+    void setSpanCollector(spans::SpanCollector *c,
+                          std::uint32_t span_namespace = 0);
+
+    spans::SpanCollector *spanCollectorPtr() const
+    {
+        return spanCollector;
+    }
+
+    /**
      * Create one protocol checker per DRAM partition and validate every
      * command as it issues. Independent of RCOAL_TRACE: checking is a
      * test-mode feature of every build.
@@ -339,6 +355,8 @@ class GpuMachine
     trace::TraceSink *machineSink = nullptr; ///< Launch/retire events.
     /** Every sink setTracer() wired, so reset() can clear them. */
     std::vector<trace::TraceSink *> attachedSinks;
+    spans::SpanCollector *spanCollector = nullptr;
+    std::uint32_t spanNamespace = 0;
     telemetry::TelemetrySampler *telemetrySampler = nullptr;
     KernelStats retiredTotals; ///< Sum of all taken launches' stats.
     std::uint64_t retiredLaunches = 0;

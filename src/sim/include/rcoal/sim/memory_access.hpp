@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "rcoal/common/types.hpp"
+#include "rcoal/trace/event.hpp" // RCOAL_TRACE_ENABLED gate
 
 namespace rcoal::sim {
 
@@ -96,6 +97,22 @@ struct MemoryAccess
     PrtIndexList prtIndices;  ///< PRT entries to release (loads only).
 
     Cycle issueCycle = 0;     ///< Core cycle the access left the LD/ST.
+
+#if RCOAL_TRACE_ENABLED
+    /**
+     * Span-stamp scratch (rcoal::spans): entry cycle of the current
+     * crossbar leg (core clock), and the memory cycle the first DRAM
+     * command (precharge/activate/column) issued on this access's
+     * behalf — kInvalidCycle until then. The DramService span
+     * deliberately starts at first command, not queue entry: FR-FCFS
+     * queue wait is cross-request contention (visible upstream in
+     * PrtResidency), while first-command-to-data-return isolates the
+     * device-service slice the access count serializes. Compiled out
+     * with tracing so the TRACE=OFF hot path keeps its access size.
+     */
+    Cycle spanXbarInject = 0;
+    Cycle spanDramStart = 0;
+#endif
 };
 
 } // namespace rcoal::sim

@@ -37,6 +37,10 @@
 #include "rcoal/sim/kernel.hpp"
 #include "rcoal/sim/stats.hpp"
 
+namespace rcoal::spans {
+class SpanCollector;
+} // namespace rcoal::spans
+
 namespace rcoal::sim {
 
 /**
@@ -157,6 +161,18 @@ class StreamingMultiprocessor
 
     /** Attach a sink for issue/stall/coalesce events (core domain). */
     void setTraceSink(trace::TraceSink *s) { traceSink = s; }
+
+    /**
+     * Attach a span collector (rcoal::spans); the SM stamps coalesce
+     * and PRT-residency stages for warps whose launches registered a
+     * span map. @p ns is the machine namespace (fleet replica index).
+     */
+    void
+    setSpanCollector(spans::SpanCollector *c, std::uint32_t ns)
+    {
+        spanCollector = c;
+        spanNamespace = ns;
+    }
 
   private:
     /**
@@ -323,6 +339,8 @@ class StreamingMultiprocessor
 
     std::vector<int> laneScratch;       ///< tid -> lane index scratch.
     trace::TraceSink *traceSink = nullptr;
+    spans::SpanCollector *spanCollector = nullptr;
+    std::uint32_t spanNamespace = 0;
 };
 
 } // namespace rcoal::sim

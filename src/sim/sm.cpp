@@ -9,6 +9,7 @@
 #include <bit>
 
 #include "rcoal/common/logging.hpp"
+#include "rcoal/spans/collector.hpp"
 #include "rcoal/trace/sink.hpp"
 
 namespace rcoal::sim {
@@ -339,6 +340,18 @@ StreamingMultiprocessor::issueMemory(std::size_t slot,
         }
         ldstQueue.push_back(slab->allocate(std::move(access)));
     }
+#if RCOAL_TRACE_ENABLED
+    if (spanCollector != nullptr) {
+        // Coalesce stage: the record's width is the coalesced access
+        // count — the LD/ST serialization cost RCoal randomizes.
+        spanCollector->stampWarp(
+            spanNamespace, launchSlot, warp.id,
+            spans::SpanStage::Coalesce, static_cast<std::uint16_t>(id),
+            now, now + accesses.size(),
+            static_cast<std::uint32_t>(accesses.size()),
+            instr.tag == AccessTag::LastRoundLookup);
+    }
+#endif
     warp.pendingCoalesce.clear();
     warp.pendingPc = ~std::size_t{0};
     pendingMem[slot] = 0;
@@ -484,6 +497,9 @@ StreamingMultiprocessor::drainLdst(Cycle now)
             scanGate = 0; // Queue space freed: rescan.
             const unsigned dest = map->partitionOf(head.blockAddr);
             head.prtIndices.clear(); // PRT freed via the MSHR entry.
+#if RCOAL_TRACE_ENABLED
+            head.spanXbarInject = now;
+#endif
             reqXbar->injectSlot(id, dest, head_slot, now);
             return;
         }
@@ -502,6 +518,9 @@ StreamingMultiprocessor::drainLdst(Cycle now)
     if (l1 && !head.isWrite)
         l1->reserve();
     const unsigned dest = map->partitionOf(head.blockAddr);
+#if RCOAL_TRACE_ENABLED
+    head.spanXbarInject = now;
+#endif
     reqXbar->injectSlot(id, dest, head_slot, now);
     ldstQueue.pop_front();
     tickChanged = true;
@@ -689,6 +708,19 @@ StreamingMultiprocessor::finalizeLoad(const MemoryAccess &access, Cycle now)
     }
     TagStats &tag_stats = stats->tagStats(access.tag);
     tag_stats.lastComplete = std::max(tag_stats.lastComplete, now);
+#if RCOAL_TRACE_ENABLED
+    if (spanCollector != nullptr) {
+        // PRT residency: this logical access held its table entries
+        // (and a warp-outstanding credit) from issue until now —
+        // including MSHR-merged copies that never travelled.
+        spanCollector->stampWarp(
+            spanNamespace, access.launchSlot, access.warpId,
+            spans::SpanStage::PrtResidency,
+            static_cast<std::uint16_t>(id), access.issueCycle, now,
+            static_cast<std::uint32_t>(access.prtIndices.size()),
+            access.tag == AccessTag::LastRoundLookup);
+    }
+#endif
     scanGate = 0; // Freed PRT entries / woke a waiting warp: rescan.
 }
 

@@ -1,0 +1,101 @@
+#include "rcoal/spans/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/spans/collector.hpp"
+#include "rcoal/trace/chrome_trace.hpp"
+
+namespace rcoal::spans {
+
+CriticalPathReducer::CriticalPathReducer(
+    telemetry::MetricRegistry &registry, double core_per_mem,
+    const telemetry::MetricRegistry::Labels &labels)
+    : corePerMem(core_per_mem)
+{
+    for (std::size_t s = 0; s < kNumSpanStages; ++s) {
+        telemetry::MetricRegistry::Labels staged = labels;
+        staged.emplace_back("stage",
+                            spanStageName(static_cast<SpanStage>(s)));
+        histograms[s] = &registry.histogram(
+            "rcoal_span_stage_cycles",
+            "per-request cycles spent in each span stage "
+            "(core-clock-normalized)",
+            staged);
+    }
+}
+
+void
+CriticalPathReducer::observe(const StageTotals &totals)
+{
+    ++observedRequests;
+    std::size_t critical = 0;
+    std::uint64_t critical_cycles = 0;
+    for (std::size_t s = 0; s < kNumSpanStages; ++s) {
+        std::uint64_t cycles = totals.cycles[s];
+        if (static_cast<SpanStage>(s) == SpanStage::DramService)
+            cycles = static_cast<std::uint64_t>(
+                static_cast<double>(cycles) * corePerMem);
+        histograms[s]->observe(cycles);
+        totalsByStage[s] += cycles;
+        if (cycles > critical_cycles) {
+            critical_cycles = cycles;
+            critical = s;
+        }
+    }
+    // KernelExec envelops the in-kernel stages; only count it as the
+    // request's critical stage when nothing inside it was larger —
+    // which the > comparison above already guarantees for ties.
+    ++criticalByStage[critical];
+}
+
+SpanStage
+CriticalPathReducer::dominantStage() const
+{
+    const auto it =
+        std::max_element(totalsByStage.begin(), totalsByStage.end());
+    return static_cast<SpanStage>(it - totalsByStage.begin());
+}
+
+void
+writeSpanTrace(const std::string &path, const SpanCollector &collector,
+               double core_per_mem)
+{
+    const std::vector<SpanRecord> records = collector.slab().snapshot();
+    trace::ChromeTraceWriter writer(path);
+
+    // One trace thread per span, in first-appearance order; pid 2
+    // keeps request tracks apart from the component-event pid.
+    std::map<std::uint32_t, int> tids;
+    for (const SpanRecord &r : records) {
+        if (tids.contains(r.spanId))
+            continue;
+        const int tid = static_cast<int>(tids.size()) + 1;
+        tids.emplace(r.spanId, tid);
+        writer.threadName(2, tid, strprintf("span %u", r.spanId));
+    }
+
+    for (const SpanRecord &r : records) {
+        const auto stage = static_cast<SpanStage>(r.stage);
+        const bool memory_domain = stage == SpanStage::DramService;
+        const double scale = memory_domain ? core_per_mem : 1.0;
+        const double ts = static_cast<double>(r.begin) * scale;
+        const double dur =
+            static_cast<double>(r.end - r.begin) * scale;
+        const std::string args = strprintf(
+            "{\"span\": %u, \"detail\": %u, \"component\": %u, "
+            "\"last_round\": %u}",
+            r.spanId, r.detail, static_cast<unsigned>(r.component),
+            static_cast<unsigned>(r.lastRound));
+        const int tid = tids.at(r.spanId);
+        if (r.end > r.begin)
+            writer.complete(spanStageName(stage), 2, tid, ts, dur, args);
+        else
+            writer.instant(spanStageName(stage), 2, tid, ts, args);
+    }
+
+    writer.close();
+}
+
+} // namespace rcoal::spans

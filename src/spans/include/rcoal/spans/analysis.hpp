@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Span analyses: the critical-path reducer and the Perfetto exporter.
+ *
+ * CriticalPathReducer folds finished spans' StageTotals into
+ * `rcoal_span_stage_cycles{stage=...}` histograms plus running
+ * per-stage totals and a per-request dominant-stage tally — "which
+ * stage was this request's critical path". DRAM service runs on the
+ * memory clock; the reducer scales it by the configured core-per-mem
+ * ratio so the breakdown compares like with like.
+ *
+ * writeSpanTrace renders a collector's slab as Chrome/Perfetto track
+ * events: one track per span (tid = span id), nested "X" complete
+ * events per stamped stage, via the shared trace::ChromeTraceWriter.
+ */
+
+#ifndef RCOAL_SPANS_ANALYSIS_HPP
+#define RCOAL_SPANS_ANALYSIS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "rcoal/spans/span.hpp"
+#include "rcoal/telemetry/registry.hpp"
+
+namespace rcoal::spans {
+
+class SpanCollector;
+
+class CriticalPathReducer
+{
+  public:
+    /**
+     * Registers one `rcoal_span_stage_cycles` histogram per stage in
+     * @p registry (labelled stage=<name> plus @p labels).
+     * @param core_per_mem core cycles per memory cycle, used to bring
+     *        DramService totals into the core-clock domain.
+     */
+    CriticalPathReducer(telemetry::MetricRegistry &registry,
+                        double core_per_mem = 1.0,
+                        const telemetry::MetricRegistry::Labels &labels = {});
+
+    /** Fold one finished span. */
+    void observe(const StageTotals &totals);
+
+    std::uint64_t requests() const { return observedRequests; }
+
+    /** Core-clock-normalized cycles accumulated per stage. */
+    const std::array<std::uint64_t, kNumSpanStages> &stageCycles() const
+    {
+        return totalsByStage;
+    }
+
+    /** Requests whose largest stage was <stage>. */
+    const std::array<std::uint64_t, kNumSpanStages> &criticalCounts() const
+    {
+        return criticalByStage;
+    }
+
+    /** Stage with the largest accumulated total (Route when empty). */
+    SpanStage dominantStage() const;
+
+  private:
+    double corePerMem;
+    std::uint64_t observedRequests = 0;
+    std::array<std::uint64_t, kNumSpanStages> totalsByStage{};
+    std::array<std::uint64_t, kNumSpanStages> criticalByStage{};
+    std::array<telemetry::LogHistogram *, kNumSpanStages> histograms{};
+};
+
+/**
+ * Write the collector's retained span records as a Chrome/Perfetto
+ * trace (one track per span id, nested complete events per stage).
+ * DramService timestamps are scaled by @p core_per_mem into the core
+ * clock so stages nest correctly. fatal()s when the file cannot be
+ * written.
+ */
+void writeSpanTrace(const std::string &path, const SpanCollector &collector,
+                    double core_per_mem);
+
+} // namespace rcoal::spans
+
+#endif // RCOAL_SPANS_ANALYSIS_HPP

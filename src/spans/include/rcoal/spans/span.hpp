@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Span vocabulary: the stage enum and the packed per-stamp record.
+ *
+ * A *span* is one served request's causal timeline, identified by a
+ * 32-bit span id assigned at admission (router or serve queue) and
+ * carried through to the response. Each instrumented stage boundary
+ * appends one SpanRecord to the collector's slab; the per-request
+ * stage totals accumulated alongside are what the critical-path
+ * reducer and the leakage-attribution auditor consume.
+ *
+ * Stage semantics (and clock domains) are chosen so that every stage's
+ * duration is meaningful to correlate against the request's predicted
+ * baseline coalescing count:
+ *
+ *  - Route:        fleet router decision (arrival -> routed cycle).
+ *  - Queue:        admission queue residency (arrival -> batch launch).
+ *  - BatchSeal:    zero-width marker when the batcher seals the batch.
+ *  - KernelExec:   kernel residency (launch -> finish); the lastRound
+ *                  contribution is the kernel's measured last-round
+ *                  time, the attacker-visible signal.
+ *  - Coalesce:     one record per memory instruction; duration is the
+ *                  coalesced access count (its LD/ST serialization
+ *                  cost), the quantity RCoal randomizes.
+ *  - PrtResidency: per coalesced access, PRT entry hold time
+ *                  (issue -> response finalize), core clock.
+ *  - Crossbar:     per network traversal, inject -> output pop, both
+ *                  request and response legs, core clock.
+ *  - DramService:  per DRAM transaction, device service: first
+ *                  controller command issued for the access
+ *                  (precharge/activate/column) -> data available,
+ *                  MEMORY clock (scale by core/mem ratio when mixing
+ *                  with core-clock stages for display; Pearson
+ *                  correlation is scale-invariant so attribution
+ *                  needs no conversion). FR-FCFS queue wait is
+ *                  excluded on purpose: it is cross-request
+ *                  contention, already visible upstream in
+ *                  PrtResidency, and it drowns the count-proportional
+ *                  service signal this stage exists to expose.
+ *  - Response:     zero-width marker when the scheduler retires the
+ *                  request.
+ */
+
+#ifndef RCOAL_SPANS_SPAN_HPP
+#define RCOAL_SPANS_SPAN_HPP
+
+#include <array>
+#include <cstdint>
+#include <type_traits>
+
+#include "rcoal/common/types.hpp"
+
+namespace rcoal::spans {
+
+/** Instrumented stage boundaries, in pipeline order. */
+enum class SpanStage : std::uint8_t
+{
+    Route = 0,
+    Queue,
+    BatchSeal,
+    KernelExec,
+    Coalesce,
+    PrtResidency,
+    Crossbar,
+    DramService,
+    Response,
+};
+
+inline constexpr std::size_t kNumSpanStages = 9;
+
+/** Stable lowercase stage name for labels / JSON / traces. */
+const char *spanStageName(SpanStage stage);
+
+/**
+ * One stamped stage interval. Packed to 32 bytes with explicit tail
+ * padding so podVector serialization and byte-equality comparisons
+ * see no indeterminate bytes.
+ */
+struct SpanRecord
+{
+    Cycle begin = 0;          ///< Stage entry cycle (stage's clock domain).
+    Cycle end = 0;            ///< Stage exit cycle.
+    std::uint32_t spanId = 0; ///< Owning request's span id.
+    std::uint32_t detail = 0; ///< Stage-specific payload (counts, ids).
+    std::uint16_t component = 0; ///< SM / partition / replica index.
+    std::uint8_t stage = 0;      ///< SpanStage, stored raw.
+    std::uint8_t lastRound = 0;  ///< 1 when attributable to the last round.
+    std::uint32_t reserved = 0;  ///< Explicit padding; always 0.
+};
+
+static_assert(std::is_trivially_copyable_v<SpanRecord>);
+static_assert(sizeof(SpanRecord) == 32, "SpanRecord must stay padding-free");
+
+/**
+ * Per-request cycle totals accumulated while the span is live and
+ * returned when it finishes. `lastRoundCycles` is the slice of each
+ * stage attributable to the AES last round — the per-stage Y series
+ * the leakage-attribution auditor correlates against the predicted
+ * baseline access count.
+ */
+struct StageTotals
+{
+    std::array<std::uint64_t, kNumSpanStages> cycles{};
+    std::array<std::uint64_t, kNumSpanStages> lastRoundCycles{};
+};
+
+static_assert(std::is_trivially_copyable_v<StageTotals>);
+
+} // namespace rcoal::spans
+
+#endif // RCOAL_SPANS_SPAN_HPP

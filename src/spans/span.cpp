@@ -1,0 +1,31 @@
+#include "rcoal/spans/span.hpp"
+
+namespace rcoal::spans {
+
+const char *
+spanStageName(SpanStage stage)
+{
+    switch (stage) {
+      case SpanStage::Route:
+        return "route";
+      case SpanStage::Queue:
+        return "queue";
+      case SpanStage::BatchSeal:
+        return "batch_seal";
+      case SpanStage::KernelExec:
+        return "kernel_exec";
+      case SpanStage::Coalesce:
+        return "coalesce";
+      case SpanStage::PrtResidency:
+        return "prt_residency";
+      case SpanStage::Crossbar:
+        return "crossbar";
+      case SpanStage::DramService:
+        return "dram_service";
+      case SpanStage::Response:
+        return "response";
+    }
+    return "unknown";
+}
+
+} // namespace rcoal::spans

@@ -1,0 +1,77 @@
+#include "rcoal/spans/span_slab.hpp"
+
+#include <algorithm>
+
+#include "rcoal/common/logging.hpp"
+#include "rcoal/common/state_arena.hpp"
+
+namespace rcoal::spans {
+
+SpanSlab::SpanSlab(std::size_t capacity) : ring(capacity)
+{
+    RCOAL_ASSERT(capacity > 0, "SpanSlab capacity must be positive");
+}
+
+void
+SpanSlab::append(const SpanRecord &record)
+{
+    if (appended >= ring.size())
+        ++overwritten; // The slot being written still holds a live record.
+    ring[next] = record;
+    next = (next + 1) % ring.size();
+    ++appended;
+}
+
+std::size_t
+SpanSlab::size() const
+{
+    return appended < ring.size() ? static_cast<std::size_t>(appended)
+                                  : ring.size();
+}
+
+std::vector<SpanRecord>
+SpanSlab::snapshot() const
+{
+    std::vector<SpanRecord> out;
+    out.reserve(size());
+    const std::size_t start = appended > ring.size() ? next : 0;
+    for (std::size_t i = 0; i < size(); ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    return out;
+}
+
+void
+SpanSlab::clear()
+{
+    next = 0;
+    appended = 0;
+    overwritten = 0;
+    // Ring contents are dead once the counters reset; re-zero them so
+    // a cleared slab serializes byte-identically to a fresh one.
+    std::fill(ring.begin(), ring.end(), SpanRecord{});
+}
+
+void
+SpanSlab::saveState(common::ArenaWriter &w) const
+{
+    w.pod(static_cast<std::uint64_t>(ring.size()));
+    w.pod(static_cast<std::uint64_t>(next));
+    w.pod(appended);
+    w.pod(overwritten);
+    w.podVector(ring);
+}
+
+void
+SpanSlab::restoreState(common::ArenaReader &r)
+{
+    const auto cap = r.take<std::uint64_t>();
+    RCOAL_ASSERT(cap == ring.size(),
+                 "SpanSlab restore: capacity mismatch (%llu vs %zu)",
+                 static_cast<unsigned long long>(cap), ring.size());
+    next = static_cast<std::size_t>(r.take<std::uint64_t>());
+    appended = r.take<std::uint64_t>();
+    overwritten = r.take<std::uint64_t>();
+    r.podVector(ring);
+}
+
+} // namespace rcoal::spans

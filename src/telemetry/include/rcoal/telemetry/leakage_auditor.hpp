@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "rcoal/telemetry/registry.hpp"
@@ -124,6 +125,51 @@ class FleetLeakageAuditor
     /** Auditors are not movable (reference members); box them. */
     std::vector<std::unique_ptr<LeakageAuditor>> perReplica;
     LeakageAuditor aggregate;
+};
+
+/**
+ * Leakage *attribution*: the paper's Pearson statistic per pipeline
+ * stage. One LeakageAuditor per named stage (labelled stage="<name>")
+ * correlates the predicted baseline access count against that stage's
+ * per-request last-round duration, so a run reports WHERE the
+ * key-dependent time lives, not just that it exists. Paper
+ * prediction: under BASE the coalescer/DRAM stages carry the signal;
+ * RSS/RTS push every per-stage correlation into the noise floor.
+ *
+ * Pearson correlation is scale- and offset-invariant, so stages in
+ * different clock domains (DRAM service runs on the memory clock)
+ * attribute correctly without conversion.
+ */
+class StageLeakageAuditor
+{
+  public:
+    /**
+     * @param stage_names label values, indexed by the stage argument
+     *        of observe(); typically rcoal::spans stage names.
+     */
+    StageLeakageAuditor(MetricRegistry &registry,
+                        const LeakageAuditor::Config &config,
+                        std::vector<std::string> stage_names,
+                        const MetricRegistry::Labels &labels = {});
+
+    /** Feed one completed request's X and stage-duration Y. */
+    void observe(std::size_t stage, double predicted_accesses,
+                 double stage_duration);
+
+    double correlation(std::size_t stage) const;
+    bool alerting(std::size_t stage) const;
+
+    /** True when any stage's auditor alerts. */
+    bool anyAlerting() const;
+
+    std::size_t samples(std::size_t stage) const;
+    std::size_t stages() const { return perStage.size(); }
+    const std::string &stageName(std::size_t stage) const;
+
+  private:
+    std::vector<std::string> names;
+    /** Auditors are not movable (reference members); box them. */
+    std::vector<std::unique_ptr<LeakageAuditor>> perStage;
 };
 
 } // namespace rcoal::telemetry

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "rcoal/common/logging.hpp"
 
@@ -144,6 +145,75 @@ FleetLeakageAuditor::samples(unsigned replica) const
     RCOAL_ASSERT(replica < perReplica.size(),
                  "samples for unknown replica %u", replica);
     return perReplica[replica]->samples();
+}
+
+StageLeakageAuditor::StageLeakageAuditor(
+    MetricRegistry &registry, const LeakageAuditor::Config &config,
+    std::vector<std::string> stage_names,
+    const MetricRegistry::Labels &labels)
+    : names(std::move(stage_names))
+{
+    RCOAL_ASSERT(!names.empty(),
+                 "stage auditor needs at least one stage");
+    perStage.reserve(names.size());
+    for (const std::string &name : names) {
+        MetricRegistry::Labels staged = labels;
+        staged.emplace_back("stage", name);
+        perStage.push_back(
+            std::make_unique<LeakageAuditor>(registry, config, staged));
+    }
+}
+
+void
+StageLeakageAuditor::observe(std::size_t stage,
+                             double predicted_accesses,
+                             double stage_duration)
+{
+    RCOAL_ASSERT(stage < perStage.size(),
+                 "observation for unknown stage %zu", stage);
+    perStage[stage]->observe(predicted_accesses, stage_duration);
+}
+
+double
+StageLeakageAuditor::correlation(std::size_t stage) const
+{
+    RCOAL_ASSERT(stage < perStage.size(),
+                 "correlation for unknown stage %zu", stage);
+    return perStage[stage]->correlation();
+}
+
+bool
+StageLeakageAuditor::alerting(std::size_t stage) const
+{
+    RCOAL_ASSERT(stage < perStage.size(),
+                 "alerting for unknown stage %zu", stage);
+    return perStage[stage]->alerting();
+}
+
+bool
+StageLeakageAuditor::anyAlerting() const
+{
+    for (const auto &auditor : perStage) {
+        if (auditor->alerting())
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+StageLeakageAuditor::samples(std::size_t stage) const
+{
+    RCOAL_ASSERT(stage < perStage.size(),
+                 "samples for unknown stage %zu", stage);
+    return perStage[stage]->samples();
+}
+
+const std::string &
+StageLeakageAuditor::stageName(std::size_t stage) const
+{
+    RCOAL_ASSERT(stage < names.size(), "name for unknown stage %zu",
+                 stage);
+    return names[stage];
 }
 
 } // namespace rcoal::telemetry

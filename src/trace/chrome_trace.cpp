@@ -1,7 +1,5 @@
 #include "rcoal/trace/chrome_trace.hpp"
 
-#include <fstream>
-
 #include "rcoal/common/logging.hpp"
 #include "rcoal/trace/tracer.hpp"
 
@@ -17,38 +15,86 @@ toTraceTime(Cycle cycle, ClockDomain domain, double core_per_mem)
     return domain == ClockDomain::Memory ? c * core_per_mem : c;
 }
 
-void
-writeEvent(std::ofstream &out, bool &first, const std::string &json)
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
+    : filePath(path), out(path)
 {
+    if (!out)
+        fatal("cannot open trace output file '%s'", path.c_str());
+    out << "{\n\"traceEvents\": [\n";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    if (!closed && out.is_open()) {
+        out << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+        closed = true;
+    }
+}
+
+void
+ChromeTraceWriter::event(const std::string &json)
+{
+    RCOAL_ASSERT(!closed, "ChromeTraceWriter: event after close()");
     if (!first)
         out << ",\n";
     first = false;
     out << "  " << json;
 }
 
-} // namespace
+void
+ChromeTraceWriter::threadName(int pid, int tid, const std::string &name)
+{
+    event(strprintf("{\"name\": \"thread_name\", \"ph\": \"M\", "
+                    "\"pid\": %d, \"tid\": %d, \"args\": "
+                    "{\"name\": \"%s\"}}",
+                    pid, tid, name.c_str()));
+}
+
+void
+ChromeTraceWriter::instant(const std::string &name, int pid, int tid,
+                           double ts, const std::string &args_json)
+{
+    event(strprintf("{\"name\": \"%s\", \"ph\": \"i\", \"pid\": %d, "
+                    "\"tid\": %d, \"ts\": %.3f, \"s\": \"t\", "
+                    "\"args\": %s}",
+                    name.c_str(), pid, tid, ts, args_json.c_str()));
+}
+
+void
+ChromeTraceWriter::complete(const std::string &name, int pid, int tid,
+                            double ts, double dur,
+                            const std::string &args_json)
+{
+    event(strprintf("{\"name\": \"%s\", \"ph\": \"X\", \"pid\": %d, "
+                    "\"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, "
+                    "\"args\": %s}",
+                    name.c_str(), pid, tid, ts, dur, args_json.c_str()));
+}
+
+void
+ChromeTraceWriter::close()
+{
+    RCOAL_ASSERT(!closed, "ChromeTraceWriter: double close()");
+    out << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+    closed = true;
+    out.flush();
+    if (!out)
+        fatal("failed writing trace output file '%s'", filePath.c_str());
+}
 
 void
 writeChromeTrace(const std::string &path, const Tracer &tracer,
                  unsigned dram_burst_cycles)
 {
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open trace output file '%s'", path.c_str());
-
+    ChromeTraceWriter writer(path);
     const double ratio = tracer.coreCyclesPerMemCycle();
-
-    out << "{\n\"traceEvents\": [\n";
-    bool first = true;
 
     // Thread-name metadata: one trace thread per sink, all in pid 1.
     int tid = 1;
     for (const auto &sink : tracer.sinks()) {
-        writeEvent(out, first,
-                   strprintf("{\"name\": \"thread_name\", \"ph\": \"M\", "
-                             "\"pid\": 1, \"tid\": %d, \"args\": "
-                             "{\"name\": \"%s\"}}",
-                             tid, sink->name().c_str()));
+        writer.threadName(1, tid, sink->name());
         ++tid;
     }
 
@@ -72,36 +118,19 @@ writeChromeTrace(const std::string &path, const Tracer &tracer,
                 const double start = toTraceTime(e.c, domain, ratio);
                 const double dur =
                     toTraceTime(dram_burst_cycles, domain, ratio);
-                writeEvent(out, first,
-                           strprintf("{\"name\": \"%s\", \"ph\": \"X\", "
-                                     "\"pid\": 1, \"tid\": %d, "
-                                     "\"ts\": %.3f, \"dur\": %.3f, "
-                                     "\"args\": %s}",
-                                     name, tid, start, dur, args.c_str()));
+                writer.complete(name, 1, tid, start, dur, args);
             } else if (e.kind == EventKind::DramRefresh) {
                 // Span the tRFC window recorded in arg a.
                 const double dur = toTraceTime(e.a, domain, ratio);
-                writeEvent(out, first,
-                           strprintf("{\"name\": \"%s\", \"ph\": \"X\", "
-                                     "\"pid\": 1, \"tid\": %d, "
-                                     "\"ts\": %.3f, \"dur\": %.3f, "
-                                     "\"args\": %s}",
-                                     name, tid, ts, dur, args.c_str()));
+                writer.complete(name, 1, tid, ts, dur, args);
             } else {
-                writeEvent(out, first,
-                           strprintf("{\"name\": \"%s\", \"ph\": \"i\", "
-                                     "\"pid\": 1, \"tid\": %d, "
-                                     "\"ts\": %.3f, \"s\": \"t\", "
-                                     "\"args\": %s}",
-                                     name, tid, ts, args.c_str()));
+                writer.instant(name, 1, tid, ts, args);
             }
         }
         ++tid;
     }
 
-    out << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
-    if (!out)
-        fatal("failed writing trace output file '%s'", path.c_str());
+    writer.close();
 }
 
 } // namespace rcoal::trace

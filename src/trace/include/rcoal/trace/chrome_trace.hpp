@@ -12,16 +12,63 @@
  *    coreCyclesPerMemCycle ratio;
  *  - DramRead and DramRefresh become duration ("X") events spanning
  *    the data burst / tRFC window; everything else is an instant ("i").
+ *
+ * ChromeTraceWriter is the reusable emission layer underneath: it owns
+ * the file, the JSON framing and the event-separator state, and other
+ * exporters (rcoal::spans' per-request track renderer) build on it
+ * instead of re-deriving the format.
  */
 
 #ifndef RCOAL_TRACE_CHROME_TRACE_HPP
 #define RCOAL_TRACE_CHROME_TRACE_HPP
 
+#include <fstream>
 #include <string>
 
 namespace rcoal::trace {
 
 class Tracer;
+
+/**
+ * Incremental Chrome trace-event JSON emitter. Construction opens the
+ * file and writes the header; close() writes the footer and verifies
+ * the stream (fatal() on failure). Events appear in emission order.
+ */
+class ChromeTraceWriter
+{
+  public:
+    /** Opens @p path and writes the JSON header; fatal() on failure. */
+    explicit ChromeTraceWriter(const std::string &path);
+
+    /** Closes the file if close() was not called (without the fatal
+     *  stream check — destructors must not abort). */
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** "M" metadata event naming trace thread (@p pid, @p tid). */
+    void threadName(int pid, int tid, const std::string &name);
+
+    /** "i" instant event. @p args_json must be a JSON object literal. */
+    void instant(const std::string &name, int pid, int tid, double ts,
+                 const std::string &args_json);
+
+    /** "X" complete (duration) event. */
+    void complete(const std::string &name, int pid, int tid, double ts,
+                  double dur, const std::string &args_json);
+
+    /** Write the footer and flush; fatal() when the stream failed. */
+    void close();
+
+  private:
+    void event(const std::string &json);
+
+    std::string filePath;
+    std::ofstream out;
+    bool first = true;
+    bool closed = false;
+};
 
 /**
  * Write @p tracer's events to @p path as Chrome trace-event JSON.

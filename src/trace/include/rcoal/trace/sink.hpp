@@ -43,6 +43,8 @@ class TraceSink
     void record(EventKind kind, Cycle cycle, std::uint64_t a,
                 std::uint64_t b, std::uint64_t c)
     {
+        if (recorded >= ring.size())
+            ++overwritten; // The slot still holds a retained event.
         TraceEvent &slot = ring[next];
         slot.cycle = cycle;
         slot.a = a;
@@ -67,8 +69,14 @@ class TraceSink
     /** Total events ever recorded (including overwritten ones). */
     std::uint64_t totalRecorded() const { return recorded; }
 
-    /** Events lost to ring overwrite. */
-    std::uint64_t dropped() const;
+    /**
+     * Events lost to ring overwrite. Tracked by an explicit counter
+     * (not derived from totalRecorded - size) so clear() — and
+     * therefore GpuMachine::reset(), which clears every attached
+     * sink — provably zeroes drop accounting along with the other
+     * per-kernel counters.
+     */
+    std::uint64_t dropped() const { return overwritten; }
 
     /** Chronological copy of the retained events (oldest first). */
     std::vector<TraceEvent> snapshot() const;
@@ -82,6 +90,7 @@ class TraceSink
     std::vector<TraceEvent> ring;
     std::size_t next = 0;        ///< Next write position.
     std::uint64_t recorded = 0;
+    std::uint64_t overwritten = 0; ///< Events lost to ring overwrite.
     std::uint16_t componentId = 0;
 };
 

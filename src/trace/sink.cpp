@@ -22,12 +22,6 @@ TraceSink::size() const
         std::min<std::uint64_t>(recorded, ring.size()));
 }
 
-std::uint64_t
-TraceSink::dropped() const
-{
-    return recorded - size();
-}
-
 std::vector<TraceEvent>
 TraceSink::snapshot() const
 {
@@ -47,6 +41,7 @@ TraceSink::clear()
 {
     next = 0;
     recorded = 0;
+    overwritten = 0;
 }
 
 } // namespace rcoal::trace

@@ -28,6 +28,7 @@
 #include "rcoal/common/thread_pool.hpp"
 #include "rcoal/core/policy.hpp"
 #include "rcoal/sim/gpu_machine.hpp"
+#include "rcoal/spans/collector.hpp"
 #include "rcoal/telemetry/prometheus.hpp"
 #include "rcoal/telemetry/registry.hpp"
 #include "rcoal/telemetry/sampler.hpp"
@@ -333,6 +334,67 @@ TEST(SnapshotFork, ForkTelemetryMatchesReplay)
     EXPECT_GT(fork_out.second.size(), 2u); // Non-trivial series JSON.
     EXPECT_EQ(fork_out.first, replay_out.first);
     EXPECT_EQ(fork_out.second, replay_out.second);
+}
+
+TEST(SnapshotFork, SpanStateRoundTripsThroughSnapshotRestore)
+{
+    const GpuConfig cfg = baseConfig();
+    GpuMachine machine(cfg);
+    spans::SpanCollector collector;
+    machine.setSpanCollector(&collector);
+
+    // In-flight span state at snapshot time: one finished span and one
+    // still live (opened, stamped, not yet finished). Launch maps are
+    // empty — the machine is quiescent — but live-span totals and the
+    // slab must survive the round-trip.
+    const std::uint32_t done = collector.openRequest();
+    collector.stampRequest(done, spans::SpanStage::Queue, 0, 11);
+    collector.finishRequest(done);
+    const std::uint32_t live = collector.openRequest();
+    collector.stampRequest(live, spans::SpanStage::Queue, 11, 40);
+    runTestWarmups(machine, /*plaintext_root=*/43, kWarmup);
+    const MachineSnapshot snap = machine.snapshot();
+
+    GpuMachine twin(cfg);
+    spans::SpanCollector twin_collector;
+    twin.setSpanCollector(&twin_collector);
+    twin.restore(snap);
+    EXPECT_EQ(twin_collector.spansOpened(), 2u);
+    EXPECT_EQ(twin_collector.spansFinished(), 1u);
+    EXPECT_EQ(twin_collector.liveSpans(), 1u);
+    EXPECT_TRUE(twin.snapshot().byteEqual(snap))
+        << "span region did not re-serialize byte-identically";
+
+    // The restored collector carries the in-flight totals and
+    // continues the id sequence where the original left off.
+    const spans::StageTotals totals = twin_collector.finishRequest(live);
+    EXPECT_EQ(totals.cycles[static_cast<std::size_t>(
+                  spans::SpanStage::Queue)],
+              29u);
+    EXPECT_EQ(twin_collector.openRequest(), 3u);
+}
+
+TEST(SnapshotFork, ResetClearsAttachedSpanCollector)
+{
+    const GpuConfig cfg = baseConfig();
+    GpuMachine machine(cfg);
+    spans::SpanCollector collector;
+    machine.setSpanCollector(&collector);
+    const std::uint32_t id = collector.openRequest();
+    collector.stampRequest(id, spans::SpanStage::Queue, 0, 5);
+    runTestWarmups(machine, /*plaintext_root=*/47, kWarmup);
+    machine.reset();
+
+    EXPECT_EQ(collector.spansOpened(), 0u);
+    EXPECT_EQ(collector.liveSpans(), 0u);
+    EXPECT_EQ(collector.slab().totalAppended(), 0u);
+
+    // Reset machine + cleared collector snapshot exactly like a fresh
+    // pair — the same audit the sink/checker reset paths pass.
+    GpuMachine fresh(cfg);
+    spans::SpanCollector fresh_collector;
+    fresh.setSpanCollector(&fresh_collector);
+    EXPECT_TRUE(machine.snapshot().byteEqual(fresh.snapshot()));
 }
 
 TEST(SnapshotFork, ForkCheckerVerdictsMatchReplay)

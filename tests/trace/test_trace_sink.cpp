@@ -68,6 +68,35 @@ TEST(TraceSink, ClearForgetsEverything)
     EXPECT_TRUE(sink.snapshot().empty());
 }
 
+TEST(TraceSink, ClearResetsDropAccountingLikeFresh)
+{
+    // Regression test for the drop counter: dropped() used to be
+    // derived as totalRecorded - size, which only works while the two
+    // counters move in lockstep. It is now an explicit counter that
+    // clear() (and therefore GpuMachine::reset()) must zero — a sink
+    // reused after clear() must account drops exactly like a fresh one.
+    TraceSink used("t", ClockDomain::Core, 4);
+    for (Cycle c = 0; c < 11; ++c)
+        used.record(EventKind::SmIssue, c, 0, 0, 0);
+    EXPECT_EQ(used.dropped(), 7u);
+    used.clear();
+    EXPECT_EQ(used.dropped(), 0u);
+
+    TraceSink fresh("t", ClockDomain::Core, 4);
+    for (Cycle c = 0; c < 6; ++c) {
+        used.record(EventKind::SmIssue, c, 0, 0, 0);
+        fresh.record(EventKind::SmIssue, c, 0, 0, 0);
+    }
+    EXPECT_EQ(used.dropped(), fresh.dropped());
+    EXPECT_EQ(used.dropped(), 2u);
+    EXPECT_EQ(used.totalRecorded(), fresh.totalRecorded());
+    const auto a = used.snapshot();
+    const auto b = fresh.snapshot();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+}
+
 TEST(TraceSink, StampsComponentId)
 {
     TraceSink sink("t", ClockDomain::Core, 4);
